@@ -1,0 +1,287 @@
+//! Viola–Jones-style attentional decision cascade.
+//!
+//! The paper cites decision cascades in machine learning (Viola & Jones
+//! 2001) as an irregular streaming workload: a stream of candidate
+//! windows flows through increasingly expensive classifier stages, each
+//! of which rejects most of its input, so data volume collapses as
+//! compute-per-item grows.
+//!
+//! The cascade here is a real (if miniature) one: each window carries a
+//! feature vector; stage `i` computes a linear score over a prefix of
+//! the features and passes the window iff the score clears the stage
+//! threshold. Thresholds are chosen from a calibration sample to hit
+//! configured per-stage pass rates, then gains are *measured* on fresh
+//! data — the same calibrate-then-measure flow a production cascade
+//! uses.
+
+use dataflow_model::{GainModel, ModelError, PipelineSpec, PipelineSpecBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A candidate window: a small feature vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Window {
+    /// Feature values.
+    pub features: Vec<f64>,
+    /// Whether the window truly contains the object (drives feature
+    /// distribution; the cascade never sees this).
+    pub positive: bool,
+}
+
+/// Cascade parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CascadeConfig {
+    /// Features per window.
+    pub features: usize,
+    /// Fraction of windows that truly contain the object.
+    pub positive_fraction: f64,
+    /// Target pass rate of each stage (length = number of stages).
+    pub stage_pass_rates: Vec<f64>,
+    /// Per-stage service times (cycles under the 1/N share); later
+    /// stages use more features and cost more.
+    pub service_times: Vec<f64>,
+    /// Calibration + measurement sample sizes.
+    pub samples: usize,
+    /// SIMD width.
+    pub vector_width: u32,
+}
+
+impl Default for CascadeConfig {
+    fn default() -> Self {
+        CascadeConfig {
+            features: 16,
+            positive_fraction: 0.02,
+            stage_pass_rates: vec![0.4, 0.25, 0.15],
+            service_times: vec![150.0, 480.0, 1_900.0],
+            samples: 30_000,
+            vector_width: 128,
+        }
+    }
+}
+
+/// A calibrated cascade: per-stage thresholds over growing feature
+/// prefixes.
+#[derive(Debug, Clone)]
+pub struct Cascade {
+    thresholds: Vec<f64>,
+    prefix_lens: Vec<usize>,
+}
+
+/// Generate one window. Positives have shifted feature means, which is
+/// what gives later stages discriminative power.
+pub fn synth_window<R: Rng + ?Sized>(config: &CascadeConfig, rng: &mut R) -> Window {
+    let positive = rng.gen::<f64>() < config.positive_fraction;
+    let shift = if positive { 0.8 } else { 0.0 };
+    let features = (0..config.features)
+        .map(|_| {
+            // Approximately normal via the sum of uniforms.
+            let u: f64 = (0..4).map(|_| rng.gen::<f64>()).sum::<f64>() - 2.0;
+            u + shift
+        })
+        .collect();
+    Window { features, positive }
+}
+
+impl Cascade {
+    /// Calibrate stage thresholds on `config.samples` windows so each
+    /// stage passes its configured fraction *of its own input*.
+    pub fn calibrate<R: Rng + ?Sized>(config: &CascadeConfig, rng: &mut R) -> Self {
+        let stages = config.stage_pass_rates.len();
+        let prefix_lens: Vec<usize> = (0..stages)
+            .map(|i| ((i + 1) * config.features / stages).max(1))
+            .collect();
+        let mut pool: Vec<Window> = (0..config.samples).map(|_| synth_window(config, rng)).collect();
+        let mut thresholds = Vec::with_capacity(stages);
+        for (i, &rate) in config.stage_pass_rates.iter().enumerate() {
+            let mut scores: Vec<f64> = pool
+                .iter()
+                .map(|w| stage_score(w, prefix_lens[i]))
+                .collect();
+            scores.sort_by(|a, b| a.partial_cmp(b).expect("scores are finite"));
+            let cut_idx = ((1.0 - rate) * scores.len() as f64) as usize;
+            let threshold = scores[cut_idx.min(scores.len() - 1)];
+            thresholds.push(threshold);
+            // Only survivors reach the next stage's calibration.
+            pool.retain(|w| stage_score(w, prefix_lens[i]) >= threshold);
+            if pool.is_empty() {
+                // Degenerate calibration: keep remaining thresholds at 0.
+                for _ in (i + 1)..stages {
+                    thresholds.push(0.0);
+                }
+                break;
+            }
+        }
+        while thresholds.len() < stages {
+            thresholds.push(0.0);
+        }
+        Cascade {
+            thresholds,
+            prefix_lens,
+        }
+    }
+
+    /// Number of stages.
+    pub fn stages(&self) -> usize {
+        self.thresholds.len()
+    }
+
+    /// Does `window` pass stage `i`?
+    pub fn pass(&self, window: &Window, stage: usize) -> bool {
+        stage_score(window, self.prefix_lens[stage]) >= self.thresholds[stage]
+    }
+
+    /// Run the whole cascade; returns the index of the rejecting stage,
+    /// or `None` if the window survives everything (a detection).
+    pub fn run(&self, window: &Window) -> Option<usize> {
+        (0..self.stages()).find(|&i| !self.pass(window, i))
+    }
+}
+
+/// Stage score: mean of the first `prefix` features.
+fn stage_score(window: &Window, prefix: usize) -> f64 {
+    let p = prefix.min(window.features.len()).max(1);
+    window.features[..p].iter().sum::<f64>() / p as f64
+}
+
+/// Measure per-stage pass rates on fresh windows and assemble the
+/// pipeline (each classifier stage is Bernoulli; a final deterministic
+/// reporting stage emits detections).
+pub fn synthesize(config: &CascadeConfig, seed: u64) -> Result<PipelineSpec, ModelError> {
+    assert_eq!(
+        config.stage_pass_rates.len(),
+        config.service_times.len(),
+        "one service time per cascade stage"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cascade = Cascade::calibrate(config, &mut rng);
+
+    // Fresh data for measurement.
+    let mut reached = vec![0u64; cascade.stages()];
+    let mut passed = vec![0u64; cascade.stages()];
+    for _ in 0..config.samples {
+        let w = synth_window(config, &mut rng);
+        for i in 0..cascade.stages() {
+            reached[i] += 1;
+            if cascade.pass(&w, i) {
+                passed[i] += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    let mut builder = PipelineSpecBuilder::new(config.vector_width);
+    for i in 0..cascade.stages() {
+        let p = if reached[i] == 0 {
+            0.0
+        } else {
+            passed[i] as f64 / reached[i] as f64
+        };
+        builder = builder.stage(
+            format!("classifier-{i}"),
+            config.service_times[i],
+            GainModel::Bernoulli { p },
+        );
+    }
+    builder
+        .stage("report", 300.0, GainModel::Deterministic { k: 1 })
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_hits_target_pass_rates() {
+        let config = CascadeConfig::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let cascade = Cascade::calibrate(&config, &mut rng);
+        // Measure stage-0 pass rate on fresh data.
+        let n = 20_000;
+        let passed = (0..n)
+            .filter(|_| cascade.pass(&synth_window(&config, &mut rng), 0))
+            .count();
+        let rate = passed as f64 / n as f64;
+        assert!((rate - 0.4).abs() < 0.03, "stage-0 pass rate {rate}");
+    }
+
+    #[test]
+    fn positives_survive_more_often() {
+        let config = CascadeConfig {
+            positive_fraction: 0.5,
+            ..CascadeConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        let cascade = Cascade::calibrate(&config, &mut rng);
+        let n = 10_000;
+        let mut pos_detect = 0u32;
+        let mut neg_detect = 0u32;
+        let mut pos = 0u32;
+        let mut neg = 0u32;
+        for _ in 0..n {
+            let w = synth_window(&config, &mut rng);
+            let detected = cascade.run(&w).is_none();
+            if w.positive {
+                pos += 1;
+                pos_detect += detected as u32;
+            } else {
+                neg += 1;
+                neg_detect += detected as u32;
+            }
+        }
+        let pos_rate = pos_detect as f64 / pos.max(1) as f64;
+        let neg_rate = neg_detect as f64 / neg.max(1) as f64;
+        assert!(
+            pos_rate > 3.0 * neg_rate,
+            "detection rates: positive {pos_rate}, negative {neg_rate}"
+        );
+    }
+
+    #[test]
+    fn run_reports_rejecting_stage() {
+        let config = CascadeConfig::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        let cascade = Cascade::calibrate(&config, &mut rng);
+        let w = synth_window(&config, &mut rng);
+        match cascade.run(&w) {
+            Some(stage) => {
+                assert!(stage < cascade.stages());
+                assert!(!cascade.pass(&w, stage));
+                for earlier in 0..stage {
+                    assert!(cascade.pass(&w, earlier));
+                }
+            }
+            None => {
+                for i in 0..cascade.stages() {
+                    assert!(cascade.pass(&w, i));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn synthesized_pipeline_attenuates_stage_over_stage() {
+        let p = synthesize(&CascadeConfig::default(), 4).unwrap();
+        assert_eq!(p.len(), 4); // 3 classifiers + report
+        let g = p.mean_gains();
+        assert!((g[0] - 0.4).abs() < 0.05, "g0 = {}", g[0]);
+        // Later stages pass conditioned on earlier survival; measured
+        // conditional rates should be near the calibration targets.
+        assert!(g[1] < 0.6 && g[1] > 0.05, "g1 = {}", g[1]);
+        assert!(g[2] < 0.6, "g2 = {}", g[2]);
+        // Total survival is tiny.
+        assert!(p.total_gains()[3] < 0.05, "{:?}", p.total_gains());
+    }
+
+    #[test]
+    #[should_panic(expected = "one service time per cascade stage")]
+    fn mismatched_config_panics() {
+        let config = CascadeConfig {
+            service_times: vec![1.0],
+            ..CascadeConfig::default()
+        };
+        let _ = synthesize(&config, 0);
+    }
+}

@@ -1,0 +1,157 @@
+//! SIMT kernels for the bundled applications.
+//!
+//! The BLAST crate measures its Table-1 service times by running stage
+//! kernels on the simulated device; this module does the same for the
+//! gamma-ray pipeline so that an `apps` pipeline can also be built with
+//! *measured* rather than assumed service times. Instruction mixes
+//! mirror each stage's real work: thresholding is a short ALU sequence,
+//! pair splitting loops over candidate segments, the quality cut reloads
+//! geometry, and the burst update maintains a windowed accumulator.
+
+use simd_device::machine::AluFn;
+use simd_device::{LaneValue, Machine, Op, Program};
+
+/// Stage 0: energy threshold test (compare + predicated flag write).
+pub fn hit_filter_kernel() -> Program {
+    Program {
+        registers: 4,
+        ops: vec![
+            Op::Load { dst: 1, addr: 0, cycles: 10 },
+            Op::Alu { dst: 2, a: 1, b: 0, f: AluFn::CmpLt, cycles: 5 },
+            Op::Alu { dst: 3, a: 2, b: 2, f: AluFn::Max, cycles: 5 },
+            Op::Alu { dst: 3, a: 3, b: 1, f: AluFn::And, cycles: 5 },
+        ],
+    }
+}
+
+/// Stage 1: shower reconstruction — lane register 0 carries the number
+/// of track-segment candidates; each loop trip fits one segment.
+pub fn pair_split_kernel() -> Program {
+    Program {
+        registers: 5,
+        ops: vec![
+            Op::SetImm { dst: 1, value: 1, cycles: 2 },
+            Op::Load { dst: 2, addr: 0, cycles: 14 },
+            Op::While {
+                cond: 0,
+                body: vec![
+                    Op::Load { dst: 3, addr: 2, cycles: 10 },
+                    Op::Alu { dst: 4, a: 3, b: 2, f: AluFn::Add, cycles: 6 },
+                    Op::Alu { dst: 4, a: 4, b: 3, f: AluFn::Max, cycles: 6 },
+                    Op::Alu { dst: 0, a: 0, b: 1, f: AluFn::Sub, cycles: 4 },
+                ],
+                max_iters: 64,
+            },
+        ],
+    }
+}
+
+/// Stage 2: geometric quality cut — angle reload + a few trig-ish ALU
+/// steps + threshold.
+pub fn track_cut_kernel() -> Program {
+    Program {
+        registers: 5,
+        ops: vec![
+            Op::Load { dst: 1, addr: 0, cycles: 14 },
+            Op::Alu { dst: 2, a: 1, b: 1, f: AluFn::Mul, cycles: 8 },
+            Op::Alu { dst: 3, a: 2, b: 1, f: AluFn::Add, cycles: 8 },
+            Op::Alu { dst: 3, a: 3, b: 2, f: AluFn::Mod, cycles: 10 },
+            Op::Alu { dst: 4, a: 3, b: 1, f: AluFn::CmpLt, cycles: 8 },
+        ],
+    }
+}
+
+/// Stage 3: burst-significance update — windowed accumulator with a
+/// fixed small loop (time bins).
+pub fn burst_update_kernel() -> Program {
+    Program {
+        registers: 5,
+        ops: vec![
+            Op::SetImm { dst: 0, value: 16, cycles: 2 },
+            Op::SetImm { dst: 1, value: 1, cycles: 2 },
+            Op::While {
+                cond: 0,
+                body: vec![
+                    Op::Load { dst: 2, addr: 0, cycles: 6 },
+                    Op::Alu { dst: 3, a: 3, b: 2, f: AluFn::Add, cycles: 4 },
+                    Op::Alu { dst: 0, a: 0, b: 1, f: AluFn::Sub, cycles: 3 },
+                ],
+                max_iters: 64,
+            },
+            Op::Alu { dst: 4, a: 3, b: 1, f: AluFn::Max, cycles: 6 },
+        ],
+    }
+}
+
+/// Measure the mean wall-clock service time of `program` under a `1/N`
+/// share, over batches of the given per-lane inputs.
+pub fn mean_service_time(
+    machine: &Machine,
+    program: &Program,
+    lane_inputs: &[Vec<LaneValue>],
+    shares: u32,
+) -> f64 {
+    assert!(!lane_inputs.is_empty(), "need at least one lane input");
+    let width = machine.width() as usize;
+    let mut mean = 0.0;
+    let mut batches = 0usize;
+    for chunk in lane_inputs.chunks(width) {
+        let (_, stats) = machine.run(program, chunk);
+        batches += 1;
+        mean += (stats.cycles as f64 * shares as f64 - mean) / batches as f64;
+    }
+    mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_and_cut_costs_are_data_independent() {
+        let m = Machine::new(64);
+        for kernel in [hit_filter_kernel(), track_cut_kernel()] {
+            let (_, a) = m.run(&kernel, &[vec![1]]);
+            let (_, b) = m.run(&kernel, &[vec![999], vec![-5], vec![0]]);
+            assert_eq!(a.cycles, b.cycles);
+        }
+    }
+
+    #[test]
+    fn pair_split_cost_scales_with_segments() {
+        let m = Machine::new(64);
+        let k = pair_split_kernel();
+        let (_, one) = m.run(&k, &[vec![1]]);
+        let (_, eight) = m.run(&k, &[vec![8]]);
+        assert!(eight.cycles > one.cycles);
+        // SIMT max-trip semantics.
+        let (_, mixed) = m.run(&k, &[vec![1], vec![8], vec![3]]);
+        assert_eq!(mixed.cycles, eight.cycles);
+    }
+
+    #[test]
+    fn burst_update_cost_fixed_by_window() {
+        let m = Machine::new(64);
+        let k = burst_update_kernel();
+        let (_, a) = m.run(&k, &[vec![0]]);
+        let (_, b) = m.run(&k, &[vec![7], vec![100]]);
+        assert_eq!(a.cycles, b.cycles, "window length is architectural");
+    }
+
+    #[test]
+    fn mean_service_time_scales_with_shares() {
+        let m = Machine::new(64);
+        let k = hit_filter_kernel();
+        let inputs: Vec<Vec<LaneValue>> = (0..100).map(|i| vec![i]).collect();
+        let one = mean_service_time(&m, &k, &inputs, 1);
+        let four = mean_service_time(&m, &k, &inputs, 4);
+        assert!((four - 4.0 * one).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane input")]
+    fn mean_service_time_requires_inputs() {
+        let m = Machine::new(4);
+        mean_service_time(&m, &hit_filter_kernel(), &[], 4);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the bundled applications.
+
+use apps::cascade::{synth_window, Cascade, CascadeConfig};
+use apps::gamma::{pair_split, synth_event, GammaConfig};
+use apps::ids::{synth_packet, IdsConfig, RuleSet};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn gamma_pair_split_is_within_architectural_bounds(
+        seed in 0u64..1000,
+        max_segments in 1u32..16,
+    ) {
+        let config = GammaConfig { max_segments, ..GammaConfig::default() };
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            let ev = synth_event(&config, &mut rng);
+            let s = pair_split(&config, &ev, &mut rng);
+            prop_assert!(s >= 1 && s <= max_segments);
+        }
+    }
+
+    #[test]
+    fn gamma_pipeline_valid_across_configs(
+        noise in 0.1..0.9f64,
+        threshold in 1.0..20.0f64,
+        seed in 0u64..100,
+    ) {
+        let config = GammaConfig {
+            noise_fraction: noise,
+            energy_threshold: threshold,
+            events: 4_000,
+            ..GammaConfig::default()
+        };
+        let p = apps::gamma::synthesize(&config, seed).unwrap();
+        prop_assert_eq!(p.len(), 4);
+        let g = p.mean_gains();
+        prop_assert!(g[0] >= 0.0 && g[0] <= 1.0);
+        prop_assert!(g[1] >= 1.0, "pair split always emits at least one");
+        prop_assert!(g[2] >= 0.0 && g[2] <= 1.0);
+    }
+
+    #[test]
+    fn ids_scan_counts_are_bounded_and_planted_signatures_found(
+        seed in 0u64..500,
+        cap in 1u32..20,
+    ) {
+        let config = IdsConfig { max_matches: cap, ..IdsConfig::default() };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rules = RuleSet::generate(&config, &mut rng);
+        for _ in 0..50 {
+            let pkt = synth_packet(&config, &rules, &mut rng);
+            let n = rules.scan(&pkt.payload, cap);
+            prop_assert!(n <= cap);
+        }
+        // A payload that *is* a signature must match.
+        let sig = rules.signatures()[0].clone();
+        prop_assert!(rules.scan(&sig, cap) >= 1);
+    }
+
+    #[test]
+    fn cascade_stage_decisions_are_deterministic(seed in 0u64..200) {
+        let config = CascadeConfig { samples: 3_000, ..CascadeConfig::default() };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cascade = Cascade::calibrate(&config, &mut rng);
+        let w = synth_window(&config, &mut rng);
+        for stage in 0..cascade.stages() {
+            prop_assert_eq!(cascade.pass(&w, stage), cascade.pass(&w, stage));
+        }
+        // run() is consistent with pass().
+        match cascade.run(&w) {
+            Some(rej) => prop_assert!(!cascade.pass(&w, rej)),
+            None => {
+                for s in 0..cascade.stages() {
+                    prop_assert!(cascade.pass(&w, s));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cascade_survival_is_monotone_in_stage(seed in 0u64..100) {
+        // The fraction of windows surviving through stage i is
+        // nonincreasing in i.
+        let config = CascadeConfig { samples: 4_000, ..CascadeConfig::default() };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cascade = Cascade::calibrate(&config, &mut rng);
+        let n = 2_000;
+        let mut survivors = vec![0u32; cascade.stages() + 1];
+        for _ in 0..n {
+            let w = synth_window(&config, &mut rng);
+            survivors[0] += 1;
+            for s in 0..cascade.stages() {
+                if cascade.pass(&w, s) {
+                    survivors[s + 1] += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        for w in survivors.windows(2) {
+            prop_assert!(w[1] <= w[0]);
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Criterion bench for experiments E3/E4: one Fig.-3 grid cell (both
+//! strategies optimized) and a small grid sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rtsdf::core::comparison::{compare_at, sweep, SweepConfig};
+use rtsdf::prelude::*;
+use std::hint::black_box;
+
+fn bench_fig3_cell(c: &mut Criterion) {
+    let p = rtsdf::blast::paper_pipeline();
+    let cfg = SweepConfig::paper_blast();
+    let params = RtParams::new(10.0, 1e5).unwrap();
+    c.bench_function("fig3_single_cell", |b| {
+        b.iter(|| black_box(compare_at(&p, params, &cfg)))
+    });
+}
+
+fn bench_fig3_grid(c: &mut Criterion) {
+    let p = rtsdf::blast::paper_pipeline();
+    let cfg = SweepConfig::paper_blast();
+    let (tau0s, ds) = RtParams::paper_grid(6, 6);
+    c.bench_function("fig3_grid_6x6", |b| {
+        b.iter(|| black_box(sweep(&p, &tau0s, &ds, &cfg)))
+    });
+}
+
+criterion_group!(benches, bench_fig3_cell, bench_fig3_grid);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench for experiment E5: computing the Fig.-4 difference
+//! statistics from a sweep.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rtsdf::core::comparison::{sweep, SweepConfig};
+use rtsdf::prelude::*;
+use std::hint::black_box;
+
+fn bench_fig4_difference_stats(c: &mut Criterion) {
+    let p = rtsdf::blast::paper_pipeline();
+    let cfg = SweepConfig::paper_blast();
+    let (tau0s, ds) = RtParams::paper_grid(8, 8);
+    let result = sweep(&p, &tau0s, &ds, &cfg);
+    c.bench_function("fig4_stats_from_sweep", |b| {
+        b.iter_batched(
+            || result.clone(),
+            |r| {
+                black_box((
+                    r.enforced_win_fraction(),
+                    r.max_enforced_advantage(),
+                    r.max_monolithic_advantage(),
+                ))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_fig4_full(c: &mut Criterion) {
+    let p = rtsdf::blast::paper_pipeline();
+    let cfg = SweepConfig::paper_blast();
+    let (tau0s, ds) = RtParams::paper_grid(4, 4);
+    c.bench_function("fig4_sweep_and_stats_4x4", |b| {
+        b.iter(|| {
+            let r = sweep(&p, &tau0s, &ds, &cfg);
+            black_box(r.enforced_win_fraction())
+        })
+    });
+}
+
+criterion_group!(benches, bench_fig4_difference_stats, bench_fig4_full);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion bench for experiment E1: the Table-1 measurement pipeline
+//! (synthetic data generation, the four real stages, and the SIMT
+//! kernels).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rtsdf::blast::{measure_pipeline, MeasurementConfig};
+use std::hint::black_box;
+
+fn small_config() -> MeasurementConfig {
+    MeasurementConfig {
+        genome_len: 20_000,
+        query_len: 8_000,
+        homology_segments: 8,
+        positions: 6_000,
+        ..MeasurementConfig::default()
+    }
+}
+
+fn bench_table1_measurement(c: &mut Criterion) {
+    c.bench_function("table1_measure_pipeline_small", |b| {
+        let cfg = small_config();
+        b.iter(|| black_box(measure_pipeline(&cfg).unwrap()))
+    });
+}
+
+fn bench_stage_kernels(c: &mut Criterion) {
+    use rtsdf::blast::kernels::{measure_service_time, stage_kernels};
+    use rtsdf::device::Machine;
+    let machine = Machine::new(128);
+    let kernels = stage_kernels();
+    let batch: Vec<Vec<Vec<i64>>> = vec![(0..128).map(|i| vec![i * 31 + 7]).collect()];
+    let mut group = c.benchmark_group("simt_kernels");
+    for (name, prog) in [
+        ("seed", &kernels.seed),
+        ("extend", &kernels.extend),
+        ("filter", &kernels.filter),
+        ("align", &kernels.align),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(measure_service_time(&machine, prog, &batch, 4)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1_measurement, bench_stage_kernels);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Query k-mer index: the lookup table stage 0 probes.
+
+use crate::sequence::Dna;
+use std::collections::HashMap;
+
+/// An index from packed k-mer to the query positions where it occurs.
+#[derive(Debug, Clone)]
+pub struct KmerIndex {
+    k: usize,
+    map: HashMap<u64, Vec<u32>>,
+}
+
+impl KmerIndex {
+    /// Index every k-mer of `query`.
+    pub fn build(query: &Dna, k: usize) -> Self {
+        let mut map: HashMap<u64, Vec<u32>> = HashMap::new();
+        let mut pos = 0usize;
+        while let Some(kmer) = query.kmer_at(pos, k) {
+            map.entry(kmer).or_default().push(pos as u32);
+            pos += 1;
+        }
+        KmerIndex { k, map }
+    }
+
+    /// The word size `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of distinct k-mers indexed.
+    pub fn distinct_kmers(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Query positions where `kmer` occurs (empty slice if none).
+    pub fn lookup(&self, kmer: u64) -> &[u32] {
+        self.map.get(&kmer).map_or(&[], |v| v)
+    }
+
+    /// Mean occupancy of nonempty buckets (diagnostic for tuning the
+    /// expansion gain of stage 1).
+    pub fn mean_bucket_size(&self) -> f64 {
+        if self.map.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.map.values().map(|v| v.len()).sum();
+        total as f64 / self.map.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn indexes_all_positions() {
+        // Sequence ACGTACGT: k=4 gives 5 k-mers; ACGT occurs at 0 and 4.
+        let d = Dna::from_codes(vec![0, 1, 2, 3, 0, 1, 2, 3]);
+        let idx = KmerIndex::build(&d, 4);
+        let acgt = d.kmer_at(0, 4).unwrap();
+        assert_eq!(idx.lookup(acgt), &[0, 4]);
+        assert_eq!(idx.k(), 4);
+        // 5 windows, ACGT duplicated → 4 distinct.
+        assert_eq!(idx.distinct_kmers(), 4);
+    }
+
+    #[test]
+    fn missing_kmer_gives_empty() {
+        let d = Dna::from_codes(vec![0, 0, 0, 0]);
+        let idx = KmerIndex::build(&d, 2);
+        assert!(idx.lookup(0b0101).is_empty());
+    }
+
+    #[test]
+    fn bucket_statistics() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = Dna::random(5_000, &mut rng);
+        let idx = KmerIndex::build(&d, 6);
+        // 4^6 = 4096 possible k-mers, ~5000 windows: mean bucket a bit
+        // over 1.
+        let mean = idx.mean_bucket_size();
+        assert!((1.0..3.0).contains(&mean), "mean bucket {mean}");
+    }
+
+    #[test]
+    fn empty_query_index() {
+        let d = Dna::from_codes(vec![0, 1]);
+        let idx = KmerIndex::build(&d, 4); // no complete window
+        assert_eq!(idx.distinct_kmers(), 0);
+        assert_eq!(idx.mean_bucket_size(), 0.0);
+    }
+}

@@ -1,0 +1,39 @@
+//! # blast — the paper's test application
+//!
+//! The paper evaluates on a 4-stage streaming pipeline drawn from a
+//! Mercator GPU implementation of NCBI BLAST (§6.1), with Table 1 giving
+//! each stage's service time and mean gain as measured on a GTX 2080
+//! for a human-genome vs. 64-kilobase-query comparison.
+//!
+//! This crate rebuilds that application end to end on the workspace's
+//! simulated substrate:
+//!
+//! * [`sequence`] — synthetic DNA with planted homologies standing in
+//!   for the proprietary genome/query pair;
+//! * [`index`] — the query k-mer index that stage 0 probes;
+//! * [`stages`] — the four pipeline stages as real computations (seed
+//!   lookup → ungapped x-drop extension → score filter → banded
+//!   Smith-Waterman), from which empirical *gain* distributions are
+//!   measured;
+//! * [`kernels`] — the same stages as SIMT lane programs on
+//!   [`simd_device::Machine`], from which *service times* are measured
+//!   the way the paper measured them on hardware;
+//! * [`pipeline`] — assembly: the paper's exact Table 1 constants
+//!   ([`pipeline::paper_pipeline`]) and a fully measured variant
+//!   ([`pipeline::measure_pipeline`]) that regenerates a Table-1
+//!   analogue from the synthetic data.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod index;
+pub mod kernels;
+pub mod pipeline;
+pub mod sequence;
+pub mod stages;
+
+pub use pipeline::{measure_pipeline, paper_pipeline, paper_table1, MeasurementConfig, Table1};
+
+/// Stage-1's architectural output cap (`u` in the paper): one seed hit
+/// may expand into at most this many HSP candidates.
+pub const EXPANSION_CAP: u32 = 16;

@@ -1,0 +1,167 @@
+//! Synthetic DNA sequences.
+//!
+//! The paper's measurements used the human genome and a 64-kilobase
+//! microbial query — data we substitute with synthetic sequences whose
+//! *statistics* drive the same pipeline behaviour: a uniform random
+//! background plus planted mutated homologies, so seed matches arise
+//! both by chance and from genuine similarity, exactly the mixture that
+//! makes BLAST's data flow irregular.
+
+use rand::Rng;
+
+/// A DNA sequence, 2-bit encoded (A=0, C=1, G=2, T=3), one base per
+/// byte for simplicity of slicing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dna {
+    bases: Vec<u8>,
+}
+
+impl Dna {
+    /// A uniformly random sequence of `len` bases.
+    pub fn random<R: Rng + ?Sized>(len: usize, rng: &mut R) -> Self {
+        Dna {
+            bases: (0..len).map(|_| rng.gen_range(0..4u8)).collect(),
+        }
+    }
+
+    /// Build from raw 2-bit codes.
+    ///
+    /// # Panics
+    /// Panics if any code exceeds 3.
+    pub fn from_codes(codes: Vec<u8>) -> Self {
+        assert!(codes.iter().all(|&b| b < 4), "base codes must be 0..4");
+        Dna { bases: codes }
+    }
+
+    /// Sequence length in bases.
+    pub fn len(&self) -> usize {
+        self.bases.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.bases.is_empty()
+    }
+
+    /// The base codes.
+    pub fn bases(&self) -> &[u8] {
+        &self.bases
+    }
+
+    /// Base at `pos`.
+    pub fn base(&self, pos: usize) -> u8 {
+        self.bases[pos]
+    }
+
+    /// Pack the `k`-mer starting at `pos` into an integer (2 bits per
+    /// base), or `None` if it runs off the end. `k ≤ 31`.
+    pub fn kmer_at(&self, pos: usize, k: usize) -> Option<u64> {
+        assert!((1..=31).contains(&k), "k must be in 1..=31");
+        if pos + k > self.bases.len() {
+            return None;
+        }
+        let mut packed = 0u64;
+        for &b in &self.bases[pos..pos + k] {
+            packed = (packed << 2) | b as u64;
+        }
+        Some(packed)
+    }
+
+    /// Copy a segment of `other` into `self` at `at`, point-mutating
+    /// each base with probability `mutation_rate` — a planted homology.
+    ///
+    /// # Panics
+    /// Panics if the segment does not fit.
+    pub fn plant<R: Rng + ?Sized>(
+        &mut self,
+        at: usize,
+        other: &Dna,
+        from: usize,
+        len: usize,
+        mutation_rate: f64,
+        rng: &mut R,
+    ) {
+        assert!(at + len <= self.bases.len(), "planted segment exceeds target");
+        assert!(from + len <= other.bases.len(), "source segment out of range");
+        for i in 0..len {
+            let mut b = other.bases[from + i];
+            if rng.gen::<f64>() < mutation_rate {
+                b = (b + rng.gen_range(1..4u8)) % 4;
+            }
+            self.bases[at + i] = b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(77)
+    }
+
+    #[test]
+    fn random_has_right_length_and_alphabet() {
+        let d = Dna::random(1000, &mut rng());
+        assert_eq!(d.len(), 1000);
+        assert!(!d.is_empty());
+        assert!(d.bases().iter().all(|&b| b < 4));
+        // All four bases appear in 1000 draws with overwhelming odds.
+        for target in 0..4u8 {
+            assert!(d.bases().contains(&target));
+        }
+    }
+
+    #[test]
+    fn kmer_packing() {
+        let d = Dna::from_codes(vec![0, 1, 2, 3]); // ACGT
+        assert_eq!(d.kmer_at(0, 4), Some(0b00_01_10_11));
+        assert_eq!(d.kmer_at(1, 3), Some(0b01_10_11));
+        assert_eq!(d.kmer_at(1, 4), None, "runs off the end");
+        assert_eq!(d.base(2), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be")]
+    fn kmer_k_range_checked() {
+        Dna::from_codes(vec![0]).kmer_at(0, 32);
+    }
+
+    #[test]
+    fn plant_copies_with_no_mutation() {
+        let mut r = rng();
+        let src = Dna::random(100, &mut r);
+        let mut dst = Dna::random(100, &mut r);
+        dst.plant(10, &src, 20, 30, 0.0, &mut r);
+        assert_eq!(&dst.bases()[10..40], &src.bases()[20..50]);
+    }
+
+    #[test]
+    fn plant_mutates_at_rate() {
+        let mut r = rng();
+        let src = Dna::from_codes(vec![0; 10_000]);
+        let mut dst = Dna::from_codes(vec![0; 10_000]);
+        dst.plant(0, &src, 0, 10_000, 0.1, &mut r);
+        let diffs = dst.bases().iter().filter(|&&b| b != 0).count();
+        let rate = diffs as f64 / 10_000.0;
+        assert!((rate - 0.1).abs() < 0.02, "mutation rate {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds target")]
+    fn plant_bounds_checked() {
+        let mut r = rng();
+        let src = Dna::random(10, &mut r);
+        let mut dst = Dna::random(10, &mut r);
+        dst.plant(5, &src, 0, 10, 0.0, &mut r);
+    }
+
+    #[test]
+    #[should_panic(expected = "base codes")]
+    fn from_codes_validates() {
+        Dna::from_codes(vec![4]);
+    }
+}

@@ -1,0 +1,531 @@
+//! The four BLAST pipeline stages as real computations.
+//!
+//! Stage semantics (matching §6.1's description of the Mercator BLAST
+//! pipeline):
+//!
+//! 0. **seed match** — probe the query k-mer index with the k-mer at a
+//!    genome position; at most one output per input (gain ≤ 1).
+//! 1. **ungapped extension** — extend the seed along each diagonal the
+//!    index bucket offers, x-drop style; up to [`crate::EXPANSION_CAP`]
+//!    outputs per input (the paper's `u = 16`).
+//! 2. **score filter** — keep only HSPs above a reporting threshold;
+//!    gain ≪ 1.
+//! 3. **gapped alignment** — banded Smith–Waterman around the HSP; one
+//!    output per input.
+
+use crate::index::KmerIndex;
+use crate::sequence::Dna;
+use crate::EXPANSION_CAP;
+
+/// A stage-0 output: a seed match between genome and query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeedHit {
+    /// Genome position of the seed.
+    pub gpos: u32,
+    /// Query position of the seed.
+    pub qpos: u32,
+}
+
+/// A stage-1 output: an ungapped high-scoring segment pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hsp {
+    /// Genome position of the seed the HSP grew from.
+    pub gpos: u32,
+    /// Query position of the seed.
+    pub qpos: u32,
+    /// Ungapped extension score.
+    pub score: i32,
+}
+
+/// A stage-3 output: a gapped alignment score.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Alignment {
+    /// Banded Smith–Waterman score.
+    pub score: i32,
+}
+
+/// Scoring and thresholding parameters for the pipeline stages.
+#[derive(Debug, Clone, Copy)]
+pub struct BlastParams {
+    /// Seed word size.
+    pub k: usize,
+    /// X-drop cutoff for ungapped extension.
+    pub xdrop: i32,
+    /// Minimum ungapped score for an extension to become an HSP.
+    pub hsp_min_score: i32,
+    /// Minimum HSP score to survive the stage-2 filter.
+    pub filter_min_score: i32,
+    /// Half-width of the banded alignment window.
+    pub band: usize,
+    /// Match reward.
+    pub match_score: i32,
+    /// Mismatch penalty (positive number, subtracted).
+    pub mismatch_penalty: i32,
+    /// Gap penalty (positive number, subtracted).
+    pub gap_penalty: i32,
+    /// Two-hit seeding window: when `Some(w)`, a genome position only
+    /// seeds if a *second* exact k-mer match lies on the same diagonal
+    /// within `w` bases upstream — NCBI BLAST's classic heuristic for
+    /// suppressing chance single-word hits. `None` = one-hit seeding.
+    pub two_hit_window: Option<u32>,
+}
+
+impl Default for BlastParams {
+    fn default() -> Self {
+        BlastParams {
+            k: 8,
+            xdrop: 12,
+            // The seed alone scores k × match = 8, so every hit yields at
+            // least one HSP — matching the paper's stage-1 mean gain of
+            // 1.92 (≥ 1) for hits.
+            hsp_min_score: 8,
+            filter_min_score: 26,
+            band: 8,
+            match_score: 1,
+            mismatch_penalty: 2,
+            gap_penalty: 3,
+            two_hit_window: None,
+        }
+    }
+}
+
+/// Shared state for a genome-vs-query comparison.
+#[derive(Debug)]
+pub struct BlastContext {
+    genome: Dna,
+    query: Dna,
+    index: KmerIndex,
+    params: BlastParams,
+}
+
+impl BlastContext {
+    /// Build the context, indexing the query.
+    pub fn new(genome: Dna, query: Dna, params: BlastParams) -> Self {
+        let index = KmerIndex::build(&query, params.k);
+        BlastContext {
+            genome,
+            query,
+            index,
+            params,
+        }
+    }
+
+    /// The genome.
+    pub fn genome(&self) -> &Dna {
+        &self.genome
+    }
+
+    /// The query.
+    pub fn query(&self) -> &Dna {
+        &self.query
+    }
+
+    /// The parameters in force.
+    pub fn params(&self) -> &BlastParams {
+        &self.params
+    }
+
+    /// Stage 0: seed lookup at a genome position. Returns the first
+    /// index hit (passing the two-hit test if configured), if any — one
+    /// lane's worth of downstream work.
+    pub fn seed_stage(&self, gpos: u32) -> Option<SeedHit> {
+        let kmer = self.genome.kmer_at(gpos as usize, self.params.k)?;
+        for &qpos in self.index.lookup(kmer) {
+            match self.params.two_hit_window {
+                None => return Some(SeedHit { gpos, qpos }),
+                Some(w) => {
+                    if self.has_prior_diagonal_hit(gpos as usize, qpos as usize, w as usize) {
+                        return Some(SeedHit { gpos, qpos });
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Two-hit test: is there an exact k-mer match on the same diagonal
+    /// within `window` bases upstream of `(gpos, qpos)`?
+    fn has_prior_diagonal_hit(&self, gpos: usize, qpos: usize, window: usize) -> bool {
+        let k = self.params.k;
+        let back = window.min(gpos).min(qpos);
+        for d in k..=back {
+            let g = gpos - d;
+            let q = qpos - d;
+            if self.genome.bases()[g..g + k] == self.query.bases()[q..q + k] {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Stage 1: ungapped x-drop extension of the seed along every
+    /// diagonal the index bucket offers, capped at
+    /// [`EXPANSION_CAP`] outputs.
+    pub fn extend_stage(&self, hit: SeedHit) -> Vec<Hsp> {
+        self.extend_stage_measured(hit)
+            .into_iter()
+            .map(|(hsp, _)| hsp)
+            .collect()
+    }
+
+    /// [`Self::extend_stage`] plus, per HSP, the number of bases the
+    /// extension actually touched — the data-dependent work amount that
+    /// drives the stage-1 kernel's loop trip count during service-time
+    /// measurement.
+    pub fn extend_stage_measured(&self, hit: SeedHit) -> Vec<(Hsp, u32)> {
+        let kmer = match self.genome.kmer_at(hit.gpos as usize, self.params.k) {
+            Some(k) => k,
+            None => return Vec::new(),
+        };
+        let mut out = Vec::new();
+        for &qpos in self.index.lookup(kmer) {
+            let (score, touched) = self.ungapped_extend(hit.gpos as usize, qpos as usize);
+            if score >= self.params.hsp_min_score {
+                out.push((
+                    Hsp {
+                        gpos: hit.gpos,
+                        qpos,
+                        score,
+                    },
+                    touched,
+                ));
+                if out.len() == EXPANSION_CAP as usize {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// Stage 2: reporting-threshold filter.
+    pub fn filter_stage(&self, hsp: Hsp) -> Option<Hsp> {
+        (hsp.score >= self.params.filter_min_score).then_some(hsp)
+    }
+
+    /// Stage 3: banded Smith–Waterman around the HSP.
+    pub fn align_stage(&self, hsp: Hsp) -> Alignment {
+        let window = 24usize;
+        let g0 = (hsp.gpos as usize).saturating_sub(window);
+        let g1 = (hsp.gpos as usize + self.params.k + window).min(self.genome.len());
+        let q0 = (hsp.qpos as usize).saturating_sub(window);
+        let q1 = (hsp.qpos as usize + self.params.k + window).min(self.query.len());
+        let score = banded_smith_waterman(
+            &self.genome.bases()[g0..g1],
+            &self.query.bases()[q0..q1],
+            self.params.band,
+            self.params.match_score,
+            self.params.mismatch_penalty,
+            self.params.gap_penalty,
+        );
+        Alignment { score }
+    }
+
+    /// X-drop ungapped extension from a seed at `(gpos, qpos)`: returns
+    /// `(score, bases touched)`.
+    fn ungapped_extend(&self, gpos: usize, qpos: usize) -> (i32, u32) {
+        let k = self.params.k;
+        let g = self.genome.bases();
+        let q = self.query.bases();
+        // The seed itself matches exactly.
+        let seed_score = k as i32 * self.params.match_score;
+        let mut touched = k as u32;
+
+        let step = |gi: usize, qi: usize| -> i32 {
+            if g[gi] == q[qi] {
+                self.params.match_score
+            } else {
+                -self.params.mismatch_penalty
+            }
+        };
+
+        // Extend right from the seed's end.
+        let mut best_right = 0;
+        let mut run = 0;
+        let (mut gi, mut qi) = (gpos + k, qpos + k);
+        while gi < g.len() && qi < q.len() {
+            run += step(gi, qi);
+            touched += 1;
+            if run > best_right {
+                best_right = run;
+            }
+            if run < best_right - self.params.xdrop {
+                break;
+            }
+            gi += 1;
+            qi += 1;
+        }
+
+        // Extend left from the seed's start.
+        let mut best_left = 0;
+        let mut run = 0;
+        let (mut gi, mut qi) = (gpos, qpos);
+        while gi > 0 && qi > 0 {
+            gi -= 1;
+            qi -= 1;
+            run += step(gi, qi);
+            touched += 1;
+            if run > best_left {
+                best_left = run;
+            }
+            if run < best_left - self.params.xdrop {
+                break;
+            }
+        }
+
+        (seed_score + best_right + best_left, touched)
+    }
+}
+
+/// Banded Smith–Waterman local alignment score of `a` vs `b`: cells with
+/// `|i − j| > band` are excluded.
+pub fn banded_smith_waterman(
+    a: &[u8],
+    b: &[u8],
+    band: usize,
+    match_score: i32,
+    mismatch_penalty: i32,
+    gap_penalty: i32,
+) -> i32 {
+    if a.is_empty() || b.is_empty() {
+        return 0;
+    }
+    let cols = b.len() + 1;
+    let mut prev = vec![0i32; cols];
+    let mut cur = vec![0i32; cols];
+    let mut best = 0;
+    for i in 1..=a.len() {
+        let lo = i.saturating_sub(band).max(1);
+        let hi = (i + band).min(b.len());
+        if lo > hi {
+            // The band has slid past the end of `b`; no cell of this or
+            // any later row is inside it.
+            break;
+        }
+        cur[lo - 1] = 0;
+        for j in lo..=hi {
+            let sub = if a[i - 1] == b[j - 1] {
+                match_score
+            } else {
+                -mismatch_penalty
+            };
+            let diag = prev[j - 1] + sub;
+            let up = prev[j] - gap_penalty;
+            let left = cur[j - 1] - gap_penalty;
+            let cell = diag.max(up).max(left).max(0);
+            cur[j] = cell;
+            if cell > best {
+                best = cell;
+            }
+        }
+        if hi < b.len() {
+            cur[hi + 1] = 0;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ctx_with_planted() -> BlastContext {
+        let mut rng = StdRng::seed_from_u64(42);
+        let query = Dna::random(2_000, &mut rng);
+        let mut genome = Dna::random(10_000, &mut rng);
+        // Plant a clean homology: query[100..400] at genome 5000.
+        genome.plant(5_000, &query, 100, 300, 0.02, &mut rng);
+        BlastContext::new(genome, query, BlastParams::default())
+    }
+
+    #[test]
+    fn seed_stage_finds_planted_homology() {
+        let ctx = ctx_with_planted();
+        // Scan the planted region: the vast majority of positions should
+        // seed (k=8 with 2% mutation leaves most 8-mers intact).
+        let hits = (5_000..5_250)
+            .filter(|&g| ctx.seed_stage(g).is_some())
+            .count();
+        assert!(hits > 150, "only {hits} of 250 planted positions seeded");
+    }
+
+    #[test]
+    fn seed_hit_points_back_to_query() {
+        let ctx = ctx_with_planted();
+        let hit = (5_000..5_100)
+            .find_map(|g| ctx.seed_stage(g))
+            .expect("planted region must seed");
+        // The seed's k-mer must actually match at the reported positions.
+        let k = ctx.params().k;
+        let gk = ctx.genome().kmer_at(hit.gpos as usize, k).unwrap();
+        let qk = ctx.query().kmer_at(hit.qpos as usize, k).unwrap();
+        assert_eq!(gk, qk);
+    }
+
+    #[test]
+    fn extension_scores_homology_higher_than_chance() {
+        let ctx = ctx_with_planted();
+        let planted_hit = (5_050..5_150)
+            .find_map(|g| ctx.seed_stage(g))
+            .expect("planted region must seed");
+        let hsps = ctx.extend_stage(planted_hit);
+        assert!(!hsps.is_empty());
+        let best = hsps.iter().map(|h| h.score).max().unwrap();
+        assert!(
+            best >= ctx.params().filter_min_score,
+            "planted extension score {best} below the reporting threshold"
+        );
+    }
+
+    #[test]
+    fn extension_respects_cap() {
+        // A degenerate query of all-A makes every bucket enormous.
+        let mut rng = StdRng::seed_from_u64(1);
+        let query = Dna::from_codes(vec![0; 500]);
+        let mut genome = Dna::random(1_000, &mut rng);
+        genome.plant(400, &query, 0, 100, 0.0, &mut rng);
+        let ctx = BlastContext::new(genome, query, BlastParams::default());
+        let hit = ctx.seed_stage(420).expect("all-A region seeds");
+        let hsps = ctx.extend_stage(hit);
+        assert!(hsps.len() <= EXPANSION_CAP as usize);
+        assert_eq!(hsps.len(), EXPANSION_CAP as usize, "degenerate case should saturate");
+    }
+
+    #[test]
+    fn filter_passes_only_high_scores() {
+        let ctx = ctx_with_planted();
+        let low = Hsp { gpos: 0, qpos: 0, score: ctx.params().filter_min_score - 1 };
+        let high = Hsp { gpos: 0, qpos: 0, score: ctx.params().filter_min_score };
+        assert!(ctx.filter_stage(low).is_none());
+        assert!(ctx.filter_stage(high).is_some());
+    }
+
+    #[test]
+    fn align_stage_scores_planted_region_well() {
+        let ctx = ctx_with_planted();
+        let hit = (5_050..5_150)
+            .find_map(|g| ctx.seed_stage(g))
+            .expect("planted region must seed");
+        let hsp = ctx
+            .extend_stage(hit)
+            .into_iter()
+            .max_by_key(|h| h.score)
+            .unwrap();
+        let aln = ctx.align_stage(hsp);
+        // A ~48-base window of 98%-identity sequence should align with a
+        // hefty positive score.
+        assert!(aln.score > 20, "alignment score {}", aln.score);
+    }
+
+    #[test]
+    fn smith_waterman_identical_strings() {
+        let s = [0u8, 1, 2, 3, 0, 1, 2, 3];
+        assert_eq!(banded_smith_waterman(&s, &s, 4, 1, 2, 3), 8);
+    }
+
+    #[test]
+    fn smith_waterman_disjoint_strings() {
+        let a = [0u8; 8];
+        let b = [3u8; 8];
+        assert_eq!(banded_smith_waterman(&a, &b, 4, 1, 2, 3), 0);
+    }
+
+    #[test]
+    fn smith_waterman_gap_bridging() {
+        // b equals a with one base deleted: score = matches − gap.
+        let a = [0u8, 1, 2, 3, 0, 1, 2, 3, 0, 1];
+        let b = [0u8, 1, 2, 3, 1, 2, 3, 0, 1];
+        let score = banded_smith_waterman(&a, &b, 4, 1, 2, 3);
+        assert_eq!(score, 9 - 3);
+    }
+
+    #[test]
+    fn smith_waterman_empty_inputs() {
+        assert_eq!(banded_smith_waterman(&[], &[0], 4, 1, 2, 3), 0);
+        assert_eq!(banded_smith_waterman(&[0], &[], 4, 1, 2, 3), 0);
+    }
+
+    #[test]
+    fn two_hit_suppresses_chance_seeds_but_keeps_homology() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let query = Dna::random(4_000, &mut rng);
+        let mut genome = Dna::random(30_000, &mut rng);
+        genome.plant(10_000, &query, 500, 400, 0.02, &mut rng);
+        let one_hit = BlastContext::new(
+            genome.clone(),
+            query.clone(),
+            BlastParams::default(),
+        );
+        let two_hit = BlastContext::new(
+            genome,
+            query,
+            BlastParams {
+                two_hit_window: Some(40),
+                ..BlastParams::default()
+            },
+        );
+        // Background (random) seeding rate: two-hit must be much rarer.
+        let count = |ctx: &BlastContext, range: std::ops::Range<u32>| {
+            range.filter(|&g| ctx.seed_stage(g).is_some()).count()
+        };
+        let bg_one = count(&one_hit, 0..8_000);
+        let bg_two = count(&two_hit, 0..8_000);
+        assert!(bg_one > 0);
+        assert!(
+            (bg_two as f64) < 0.25 * bg_one as f64,
+            "two-hit background {bg_two} vs one-hit {bg_one}"
+        );
+        // Homologous region: two-hit must retain most seeds.
+        let hom_one = count(&one_hit, 10_050..10_350);
+        let hom_two = count(&two_hit, 10_050..10_350);
+        assert!(
+            (hom_two as f64) > 0.5 * hom_one as f64,
+            "two-hit homology {hom_two} vs one-hit {hom_one}"
+        );
+    }
+
+    #[test]
+    fn two_hit_respects_window_bound() {
+        // A genome that equals the query exactly: every position past k
+        // has a prior diagonal hit; position 0 cannot.
+        let mut rng = StdRng::seed_from_u64(5);
+        let seq = Dna::random(200, &mut rng);
+        let ctx = BlastContext::new(
+            seq.clone(),
+            seq,
+            BlastParams {
+                two_hit_window: Some(16),
+                ..BlastParams::default()
+            },
+        );
+        assert!(ctx.seed_stage(0).is_none(), "no upstream context at position 0");
+        assert!(ctx.seed_stage(50).is_some(), "identical sequences double-hit everywhere");
+    }
+
+    #[test]
+    fn random_positions_rarely_pass_filter() {
+        // End-to-end gain sanity on pure random data: the stage-2 filter
+        // must be selective.
+        let mut rng = StdRng::seed_from_u64(9);
+        let query = Dna::random(2_000, &mut rng);
+        let genome = Dna::random(20_000, &mut rng);
+        let ctx = BlastContext::new(genome, query, BlastParams::default());
+        let mut survivors = 0u32;
+        let mut hsps_total = 0u32;
+        for g in 0..10_000u32 {
+            if let Some(hit) = ctx.seed_stage(g) {
+                for hsp in ctx.extend_stage(hit) {
+                    hsps_total += 1;
+                    if ctx.filter_stage(hsp).is_some() {
+                        survivors += 1;
+                    }
+                }
+            }
+        }
+        assert!(hsps_total > 0);
+        let rate = survivors as f64 / hsps_total as f64;
+        assert!(rate < 0.2, "filter passes {rate} of random HSPs");
+    }
+}

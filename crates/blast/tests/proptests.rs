@@ -1,0 +1,112 @@
+//! Property-based tests for the BLAST application substrate.
+
+use blast::index::KmerIndex;
+use blast::sequence::Dna;
+use blast::stages::{banded_smith_waterman, BlastContext, BlastParams};
+use blast::EXPANSION_CAP;
+use proptest::prelude::*;
+
+fn dna(len: std::ops::Range<usize>) -> impl Strategy<Value = Dna> {
+    prop::collection::vec(0u8..4, len).prop_map(Dna::from_codes)
+}
+
+proptest! {
+    #[test]
+    fn kmer_encoding_is_injective_on_windows(seq in dna(8..64), k in 2usize..8) {
+        // Two windows encode equal iff their bases are equal.
+        let n = seq.len();
+        for i in 0..n.saturating_sub(k) {
+            for j in (i + 1)..n.saturating_sub(k) + 1 {
+                let a = seq.kmer_at(i, k);
+                let b = seq.kmer_at(j, k);
+                if let (Some(a), Some(b)) = (a, b) {
+                    let eq_bases = seq.bases()[i..i + k] == seq.bases()[j..j + k];
+                    prop_assert_eq!(a == b, eq_bases, "windows {},{} k={}", i, j, k);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn index_lookup_positions_really_match(seq in dna(32..256), k in 3usize..8) {
+        let idx = KmerIndex::build(&seq, k);
+        for pos in 0..seq.len() - k {
+            let kmer = seq.kmer_at(pos, k).unwrap();
+            let bucket = idx.lookup(kmer);
+            prop_assert!(bucket.contains(&(pos as u32)), "own position missing from bucket");
+            for &q in bucket {
+                prop_assert_eq!(
+                    seq.kmer_at(q as usize, k).unwrap(),
+                    kmer,
+                    "bucket entry {} does not match",
+                    q
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn smith_waterman_self_alignment_is_perfect(a in dna(1..48), band in 2usize..12) {
+        let score = banded_smith_waterman(a.bases(), a.bases(), band, 1, 2, 3);
+        prop_assert_eq!(score, a.len() as i32);
+    }
+
+    #[test]
+    fn smith_waterman_score_is_nonnegative_and_bounded(
+        a in dna(0..40),
+        b in dna(0..40),
+        band in 1usize..10,
+    ) {
+        let score = banded_smith_waterman(a.bases(), b.bases(), band, 1, 2, 3);
+        prop_assert!(score >= 0);
+        prop_assert!(score <= a.len().min(b.len()) as i32, "score beats perfect match");
+    }
+
+    #[test]
+    fn smith_waterman_is_symmetric(a in dna(1..32), b in dna(1..32), band in 2usize..10) {
+        let ab = banded_smith_waterman(a.bases(), b.bases(), band, 1, 2, 3);
+        let ba = banded_smith_waterman(b.bases(), a.bases(), band, 1, 2, 3);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn extension_outputs_respect_cap_and_threshold(seed in 0u64..500) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let query = Dna::random(1_500, &mut rng);
+        let mut genome = Dna::random(4_000, &mut rng);
+        genome.plant(1_000, &query, 100, 300, 0.05, &mut rng);
+        let ctx = BlastContext::new(genome, query, BlastParams::default());
+        for g in (0..3_900u32).step_by(37) {
+            if let Some(hit) = ctx.seed_stage(g) {
+                let hsps = ctx.extend_stage(hit);
+                prop_assert!(hsps.len() <= EXPANSION_CAP as usize);
+                for h in &hsps {
+                    prop_assert!(h.score >= ctx.params().hsp_min_score);
+                    // The seed itself guarantees at least k matches.
+                    prop_assert!(h.score >= ctx.params().k as i32);
+                }
+                // Every hit yields at least one HSP (the seed's own
+                // diagonal always clears the threshold).
+                prop_assert!(!hsps.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn planting_preserves_sequence_length_and_alphabet(
+        mut dst in dna(64..128),
+        src in dna(64..128),
+        seed in 0u64..100,
+    ) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let len = 32.min(src.len()).min(dst.len());
+        let before = dst.len();
+        dst.plant(0, &src, 0, len, 0.3, &mut rng);
+        prop_assert_eq!(dst.len(), before);
+        prop_assert!(dst.bases().iter().all(|&b| b < 4));
+    }
+}

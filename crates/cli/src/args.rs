@@ -1,0 +1,414 @@
+//! Argument parsing (hand-rolled: the surface is small and a parser
+//! dependency would dwarf it).
+
+use std::fmt;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+rtsdf-cli — real-time irregular SIMD pipeline scheduling
+
+USAGE:
+  rtsdf-cli example-pipeline
+  rtsdf-cli optimize  --pipeline FILE --tau0 T --deadline D
+                      [--b B1,B2,...] [--strategy enforced|monolithic|flexible|all] [--json]
+  rtsdf-cli simulate  --pipeline FILE --tau0 T --deadline D
+                      [--b B1,B2,...] [--items N] [--seeds K] [--json]
+  rtsdf-cli sweep     --pipeline FILE [--grid RxC] [--csv]
+  rtsdf-cli calibrate --pipeline FILE --points T1:D1,T2:D2,...
+                      [--seeds K] [--items N]
+  rtsdf-cli gantt     --pipeline FILE --tau0 T --deadline D
+                      [--b B1,B2,...] [--window CYCLES] [--width COLS]
+
+OPTIONS:
+  --pipeline FILE   JSON file holding a PipelineSpec (see example-pipeline)
+  --tau0 T          inter-arrival time in cycles (floats accepted, e.g. 1e2)
+  --deadline D      end-to-end deadline in cycles
+  --b LIST          backlog factors, one per stage (default: ceil of each gain)
+  --strategy S      which optimizer(s) to run (default: all)
+  --items N         stream length per simulation run (default: 10000)
+  --seeds K         number of seeds (default: 8)
+  --grid RxC        sweep resolution over the paper's (tau0, D) ranges (default: 8x8)
+  --points LIST     calibration operating points as tau0:deadline pairs
+  --json / --csv    machine-readable output
+";
+
+/// Which strategies an `optimize` run covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Enforced waits only.
+    Enforced,
+    /// Monolithic batching only.
+    Monolithic,
+    /// Flexible-shares extension only.
+    Flexible,
+    /// Everything.
+    All,
+}
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Print the BLAST example pipeline JSON.
+    ExamplePipeline,
+    /// Optimize schedules at one operating point.
+    Optimize {
+        /// Pipeline JSON path.
+        pipeline: String,
+        /// Inter-arrival time.
+        tau0: f64,
+        /// Deadline.
+        deadline: f64,
+        /// Backlog factors (`None` = optimistic default).
+        b: Option<Vec<f64>>,
+        /// Strategies to run.
+        strategy: Strategy,
+        /// Emit JSON.
+        json: bool,
+    },
+    /// Optimize then simulate across seeds.
+    Simulate {
+        /// Pipeline JSON path.
+        pipeline: String,
+        /// Inter-arrival time.
+        tau0: f64,
+        /// Deadline.
+        deadline: f64,
+        /// Backlog factors.
+        b: Option<Vec<f64>>,
+        /// Items per run.
+        items: usize,
+        /// Seeds.
+        seeds: u64,
+        /// Emit JSON.
+        json: bool,
+    },
+    /// Fig-3/4 style grid sweep.
+    Sweep {
+        /// Pipeline JSON path.
+        pipeline: String,
+        /// Grid shape (τ0 points, D points).
+        grid: (usize, usize),
+        /// Emit CSV.
+        csv: bool,
+    },
+    /// ASCII firing timeline.
+    Gantt {
+        /// Pipeline JSON path.
+        pipeline: String,
+        /// Inter-arrival time.
+        tau0: f64,
+        /// Deadline.
+        deadline: f64,
+        /// Backlog factors.
+        b: Option<Vec<f64>>,
+        /// Cycles of execution to draw.
+        window: f64,
+        /// Output width in columns.
+        width: usize,
+    },
+    /// §6.2 calibration.
+    Calibrate {
+        /// Pipeline JSON path.
+        pipeline: String,
+        /// Operating points.
+        points: Vec<(f64, f64)>,
+        /// Seeds per point.
+        seeds: u64,
+        /// Items per run.
+        items: usize,
+    },
+}
+
+/// Parse failure with a human-oriented message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError(msg.into()))
+}
+
+/// A tiny `--flag value` scanner over the argument list.
+struct Scanner<'a> {
+    args: &'a [String],
+}
+
+impl<'a> Scanner<'a> {
+    fn value_of(&self, flag: &str) -> Option<&'a str> {
+        self.args
+            .iter()
+            .position(|a| a == flag)
+            .and_then(|i| self.args.get(i + 1))
+            .map(|s| s.as_str())
+    }
+
+    fn has(&self, flag: &str) -> bool {
+        self.args.iter().any(|a| a == flag)
+    }
+
+    fn require(&self, flag: &str) -> Result<&'a str, ParseError> {
+        self.value_of(flag)
+            .ok_or_else(|| ParseError(format!("missing required option {flag} VALUE")))
+    }
+
+    fn parse_f64(&self, flag: &str) -> Result<f64, ParseError> {
+        let raw = self.require(flag)?;
+        raw.parse::<f64>()
+            .map_err(|_| ParseError(format!("{flag}: '{raw}' is not a number")))
+    }
+
+    fn parse_usize_or(&self, flag: &str, default: usize) -> Result<usize, ParseError> {
+        match self.value_of(flag) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse::<f64>()
+                .ok()
+                .filter(|v| *v >= 0.0 && v.fract() == 0.0)
+                .map(|v| v as usize)
+                .ok_or_else(|| ParseError(format!("{flag}: '{raw}' is not a nonnegative integer"))),
+        }
+    }
+}
+
+fn parse_b_list(raw: &str) -> Result<Vec<f64>, ParseError> {
+    raw.split(',')
+        .map(|tok| {
+            tok.trim()
+                .parse::<f64>()
+                .map_err(|_| ParseError(format!("--b: '{tok}' is not a number")))
+        })
+        .collect()
+}
+
+fn parse_points(raw: &str) -> Result<Vec<(f64, f64)>, ParseError> {
+    raw.split(',')
+        .map(|pair| {
+            let mut it = pair.split(':');
+            let t = it.next().unwrap_or("");
+            let d = it.next().unwrap_or("");
+            if it.next().is_some() {
+                return err(format!("--points: '{pair}' has too many ':'"));
+            }
+            let t: f64 = t
+                .trim()
+                .parse()
+                .map_err(|_| ParseError(format!("--points: bad tau0 in '{pair}'")))?;
+            let d: f64 = d
+                .trim()
+                .parse()
+                .map_err(|_| ParseError(format!("--points: bad deadline in '{pair}'")))?;
+            Ok((t, d))
+        })
+        .collect()
+}
+
+fn parse_grid(raw: &str) -> Result<(usize, usize), ParseError> {
+    let mut it = raw.split('x');
+    let r = it.next().unwrap_or("");
+    let c = it.next().unwrap_or("");
+    if it.next().is_some() {
+        return err(format!("--grid: '{raw}' should look like 8x8"));
+    }
+    let r: usize = r
+        .parse()
+        .map_err(|_| ParseError(format!("--grid: bad row count in '{raw}'")))?;
+    let c: usize = c
+        .parse()
+        .map_err(|_| ParseError(format!("--grid: bad column count in '{raw}'")))?;
+    if r < 2 || c < 2 {
+        return err("--grid: both dimensions must be at least 2");
+    }
+    Ok((r, c))
+}
+
+/// Parse `argv` (program name already stripped).
+pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
+    let Some(sub) = argv.first() else {
+        return err("no subcommand given");
+    };
+    let scan = Scanner { args: &argv[1..] };
+    match sub.as_str() {
+        "example-pipeline" => Ok(Command::ExamplePipeline),
+        "optimize" => Ok(Command::Optimize {
+            pipeline: scan.require("--pipeline")?.to_string(),
+            tau0: scan.parse_f64("--tau0")?,
+            deadline: scan.parse_f64("--deadline")?,
+            b: scan.value_of("--b").map(parse_b_list).transpose()?,
+            strategy: match scan.value_of("--strategy") {
+                None | Some("all") => Strategy::All,
+                Some("enforced") => Strategy::Enforced,
+                Some("monolithic") => Strategy::Monolithic,
+                Some("flexible") => Strategy::Flexible,
+                Some(other) => return err(format!("--strategy: unknown strategy '{other}'")),
+            },
+            json: scan.has("--json"),
+        }),
+        "simulate" => Ok(Command::Simulate {
+            pipeline: scan.require("--pipeline")?.to_string(),
+            tau0: scan.parse_f64("--tau0")?,
+            deadline: scan.parse_f64("--deadline")?,
+            b: scan.value_of("--b").map(parse_b_list).transpose()?,
+            items: scan.parse_usize_or("--items", 10_000)?,
+            seeds: scan.parse_usize_or("--seeds", 8)? as u64,
+            json: scan.has("--json"),
+        }),
+        "sweep" => Ok(Command::Sweep {
+            pipeline: scan.require("--pipeline")?.to_string(),
+            grid: match scan.value_of("--grid") {
+                None => (8, 8),
+                Some(raw) => parse_grid(raw)?,
+            },
+            csv: scan.has("--csv"),
+        }),
+        "gantt" => Ok(Command::Gantt {
+            pipeline: scan.require("--pipeline")?.to_string(),
+            tau0: scan.parse_f64("--tau0")?,
+            deadline: scan.parse_f64("--deadline")?,
+            b: scan.value_of("--b").map(parse_b_list).transpose()?,
+            window: match scan.value_of("--window") {
+                None => 20_000.0,
+                Some(raw) => raw
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|v| *v > 0.0)
+                    .ok_or_else(|| ParseError(format!("--window: '{raw}' is not a positive number")))?,
+            },
+            width: scan.parse_usize_or("--width", 100)?,
+        }),
+        "calibrate" => Ok(Command::Calibrate {
+            pipeline: scan.require("--pipeline")?.to_string(),
+            points: parse_points(scan.require("--points")?)?,
+            seeds: scan.parse_usize_or("--seeds", 8)? as u64,
+            items: scan.parse_usize_or("--items", 5_000)?,
+        }),
+        other => err(format!("unknown subcommand '{other}'")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_example_pipeline() {
+        assert_eq!(parse(&argv("example-pipeline")).unwrap(), Command::ExamplePipeline);
+    }
+
+    #[test]
+    fn parses_optimize_with_defaults() {
+        let cmd = parse(&argv("optimize --pipeline p.json --tau0 10 --deadline 1e5")).unwrap();
+        match cmd {
+            Command::Optimize {
+                pipeline,
+                tau0,
+                deadline,
+                b,
+                strategy,
+                json,
+            } => {
+                assert_eq!(pipeline, "p.json");
+                assert_eq!(tau0, 10.0);
+                assert_eq!(deadline, 1e5);
+                assert_eq!(b, None);
+                assert_eq!(strategy, Strategy::All);
+                assert!(!json);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_optimize_full() {
+        let cmd = parse(&argv(
+            "optimize --pipeline p.json --tau0 10 --deadline 1e5 --b 1,3,9,6 --strategy enforced --json",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Optimize { b, strategy, json, .. } => {
+                assert_eq!(b, Some(vec![1.0, 3.0, 9.0, 6.0]));
+                assert_eq!(strategy, Strategy::Enforced);
+                assert!(json);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_missing_required() {
+        let e = parse(&argv("optimize --tau0 10 --deadline 1e5")).unwrap_err();
+        assert!(e.to_string().contains("--pipeline"));
+    }
+
+    #[test]
+    fn rejects_bad_numbers() {
+        assert!(parse(&argv("optimize --pipeline p --tau0 abc --deadline 1")).is_err());
+        assert!(parse(&argv("optimize --pipeline p --tau0 1 --deadline 1 --b 1,x")).is_err());
+        assert!(parse(&argv("simulate --pipeline p --tau0 1 --deadline 1 --items -3")).is_err());
+        assert!(parse(&argv("simulate --pipeline p --tau0 1 --deadline 1 --items 1.5")).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_strategy_and_subcommand() {
+        assert!(parse(&argv("optimize --pipeline p --tau0 1 --deadline 1 --strategy foo")).is_err());
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&[]).is_err());
+    }
+
+    #[test]
+    fn parses_sweep_grid() {
+        let cmd = parse(&argv("sweep --pipeline p.json --grid 12x6 --csv")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Sweep {
+                pipeline: "p.json".into(),
+                grid: (12, 6),
+                csv: true
+            }
+        );
+        assert!(parse(&argv("sweep --pipeline p --grid 1x6")).is_err());
+        assert!(parse(&argv("sweep --pipeline p --grid 4x4x4")).is_err());
+        assert!(parse(&argv("sweep --pipeline p --grid huge")).is_err());
+    }
+
+    #[test]
+    fn parses_gantt() {
+        let cmd = parse(&argv(
+            "gantt --pipeline p.json --tau0 10 --deadline 1e5 --window 5000 --width 80",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Gantt { window, width, .. } => {
+                assert_eq!(window, 5000.0);
+                assert_eq!(width, 80);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("gantt --pipeline p --tau0 1 --deadline 1 --window -5")).is_err());
+    }
+
+    #[test]
+    fn parses_calibrate_points() {
+        let cmd = parse(&argv("calibrate --pipeline p.json --points 10:1e5,30:1.5e5")).unwrap();
+        match cmd {
+            Command::Calibrate { points, seeds, items, .. } => {
+                assert_eq!(points, vec![(10.0, 1e5), (30.0, 1.5e5)]);
+                assert_eq!(seeds, 8);
+                assert_eq!(items, 5_000);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("calibrate --pipeline p --points 10")).is_err());
+        assert!(parse(&argv("calibrate --pipeline p --points 10:2:3")).is_err());
+    }
+}

@@ -1,0 +1,294 @@
+//! Command execution: load the pipeline, call into `rtsdf`, format the
+//! results.
+
+use crate::args::{Command, Strategy};
+use rtsdf::core::comparison::{sweep, SweepConfig};
+use rtsdf::core::FlexibleSharesProblem;
+use rtsdf::prelude::*;
+use rtsdf::sim::calibration::{calibrate_enforced, CalibrationConfig};
+use std::fmt;
+use std::io::Write;
+
+/// Execution failure (I/O, parsing, or scheduling).
+#[derive(Debug)]
+pub enum CommandError {
+    /// Could not read or parse the pipeline file.
+    Pipeline(String),
+    /// Invalid operating parameters.
+    Params(String),
+    /// Output write failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for CommandError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommandError::Pipeline(m) => write!(f, "pipeline: {m}"),
+            CommandError::Params(m) => write!(f, "parameters: {m}"),
+            CommandError::Io(e) => write!(f, "io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CommandError {}
+
+impl From<std::io::Error> for CommandError {
+    fn from(e: std::io::Error) -> Self {
+        CommandError::Io(e)
+    }
+}
+
+fn load_pipeline(path: &str) -> Result<PipelineSpec, CommandError> {
+    let raw = std::fs::read_to_string(path)
+        .map_err(|e| CommandError::Pipeline(format!("cannot read '{path}': {e}")))?;
+    serde_json::from_str(&raw)
+        .map_err(|e| CommandError::Pipeline(format!("cannot parse '{path}': {e}")))
+}
+
+fn params(tau0: f64, deadline: f64) -> Result<RtParams, CommandError> {
+    RtParams::new(tau0, deadline).map_err(|e| CommandError::Params(e.to_string()))
+}
+
+fn backlog(pipeline: &PipelineSpec, b: Option<Vec<f64>>) -> Result<Vec<f64>, CommandError> {
+    match b {
+        None => Ok(EnforcedWaitsProblem::optimistic_backlog(pipeline)),
+        Some(b) if b.len() == pipeline.len() => Ok(b),
+        Some(b) => Err(CommandError::Params(format!(
+            "--b has {} entries but the pipeline has {} stages",
+            b.len(),
+            pipeline.len()
+        ))),
+    }
+}
+
+/// Run a parsed command, writing human- or machine-readable output.
+pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<(), CommandError> {
+    match cmd {
+        Command::ExamplePipeline => {
+            let p = rtsdf::blast::paper_pipeline();
+            writeln!(out, "{}", serde_json::to_string_pretty(&p).expect("spec serializes"))?;
+            Ok(())
+        }
+        Command::Optimize {
+            pipeline,
+            tau0,
+            deadline,
+            b,
+            strategy,
+            json,
+        } => {
+            let p = load_pipeline(&pipeline)?;
+            let params = params(tau0, deadline)?;
+            let b = backlog(&p, b)?;
+            let mut report = serde_json::Map::new();
+
+            if matches!(strategy, Strategy::Enforced | Strategy::All) {
+                match EnforcedWaitsProblem::new(&p, params, b.clone()).solve(SolveMethod::WaterFilling)
+                {
+                    Ok(s) => {
+                        if !json {
+                            writeln!(out, "enforced waits: active fraction {:.4}", s.active_fraction)?;
+                            writeln!(out, "  waits: {:?}", round_vec(&s.waits))?;
+                        }
+                        report.insert("enforced".into(), serde_json::to_value(&s).unwrap());
+                    }
+                    Err(e) => {
+                        if !json {
+                            writeln!(out, "enforced waits: {e}")?;
+                        }
+                        report.insert("enforced_error".into(), e.to_string().into());
+                    }
+                }
+            }
+            if matches!(strategy, Strategy::Monolithic | Strategy::All) {
+                match MonolithicProblem::new(&p, params, 1.0, 1.0).solve_fast() {
+                    Ok(s) => {
+                        if !json {
+                            writeln!(
+                                out,
+                                "monolithic: M = {}, active fraction {:.4}",
+                                s.block_size, s.active_fraction
+                            )?;
+                        }
+                        report.insert("monolithic".into(), serde_json::to_value(&s).unwrap());
+                    }
+                    Err(e) => {
+                        if !json {
+                            writeln!(out, "monolithic: {e}")?;
+                        }
+                        report.insert("monolithic_error".into(), e.to_string().into());
+                    }
+                }
+            }
+            if matches!(strategy, Strategy::Flexible | Strategy::All) {
+                match FlexibleSharesProblem::new(&p, params, b).solve() {
+                    Ok(s) => {
+                        if !json {
+                            writeln!(
+                                out,
+                                "flexible shares: utilization {:.4}, shares {:?}",
+                                s.utilization,
+                                round_vec(&s.shares)
+                            )?;
+                        }
+                        report.insert("flexible".into(), serde_json::to_value(&s).unwrap());
+                    }
+                    Err(e) => {
+                        if !json {
+                            writeln!(out, "flexible shares: {e}")?;
+                        }
+                        report.insert("flexible_error".into(), e.to_string().into());
+                    }
+                }
+            }
+            if json {
+                writeln!(out, "{}", serde_json::Value::Object(report))?;
+            }
+            Ok(())
+        }
+        Command::Simulate {
+            pipeline,
+            tau0,
+            deadline,
+            b,
+            items,
+            seeds,
+            json,
+        } => {
+            let p = load_pipeline(&pipeline)?;
+            let params = params(tau0, deadline)?;
+            let b = backlog(&p, b)?;
+            let sched = EnforcedWaitsProblem::new(&p, params, b)
+                .solve(SolveMethod::WaterFilling)
+                .map_err(|e| CommandError::Params(e.to_string()))?;
+            let cfg = SimConfig::quick(tau0, 0, items);
+            let report = run_seeds_enforced(&p, &sched, deadline, &cfg, seeds);
+            if json {
+                writeln!(
+                    out,
+                    "{}",
+                    serde_json::json!({
+                        "predicted_active_fraction": sched.active_fraction,
+                        "mean_measured_active_fraction": report.mean_active_fraction(),
+                        "miss_free_fraction": report.miss_free_fraction(),
+                        "worst_miss_rate": report.worst_miss_rate(),
+                        "max_backlog_vectors": report.max_backlog_vectors(),
+                    })
+                )?;
+            } else {
+                writeln!(out, "simulated {} seeds x {} items", seeds, items)?;
+                writeln!(
+                    out,
+                    "  active fraction: predicted {:.4}, measured {:.4}",
+                    sched.active_fraction,
+                    report.mean_active_fraction()
+                )?;
+                writeln!(
+                    out,
+                    "  miss-free seeds: {:.0}%  worst miss rate: {:.4}%",
+                    100.0 * report.miss_free_fraction(),
+                    100.0 * report.worst_miss_rate()
+                )?;
+                writeln!(
+                    out,
+                    "  max backlog (vectors): {:?}",
+                    round_vec(&report.max_backlog_vectors())
+                )?;
+            }
+            Ok(())
+        }
+        Command::Sweep { pipeline, grid, csv } => {
+            let p = load_pipeline(&pipeline)?;
+            let (tau0s, ds) = RtParams::paper_grid(grid.0, grid.1);
+            let config = SweepConfig {
+                enforced_b: EnforcedWaitsProblem::optimistic_backlog(&p),
+                monolithic_b: 1.0,
+                monolithic_s: 1.0,
+            };
+            let r = sweep(&p, &tau0s, &ds, &config);
+            if csv {
+                writeln!(out, "tau0,deadline,enforced_af,monolithic_af,difference")?;
+                for c in &r.cells {
+                    writeln!(
+                        out,
+                        "{},{},{},{},{}",
+                        c.tau0,
+                        c.deadline,
+                        c.enforced.map_or(String::from("-"), |v| v.to_string()),
+                        c.monolithic.map_or(String::from("-"), |v| v.to_string()),
+                        c.difference().map_or(String::from("-"), |v| v.to_string()),
+                    )?;
+                }
+            } else {
+                writeln!(
+                    out,
+                    "swept {}x{} grid: enforced wins {:.0}% of comparable cells; max advantage {:+.3}",
+                    grid.0,
+                    grid.1,
+                    100.0 * r.enforced_win_fraction(),
+                    r.max_enforced_advantage().unwrap_or(0.0),
+                )?;
+            }
+            Ok(())
+        }
+        Command::Gantt {
+            pipeline,
+            tau0,
+            deadline,
+            b,
+            window,
+            width,
+        } => {
+            let p = load_pipeline(&pipeline)?;
+            let params = params(tau0, deadline)?;
+            let b = backlog(&p, b)?;
+            let sched = EnforcedWaitsProblem::new(&p, params, b)
+                .solve(SolveMethod::WaterFilling)
+                .map_err(|e| CommandError::Params(e.to_string()))?;
+            let cfg = SimConfig::quick(tau0, 0, 2_000);
+            let tl = rtsdf::sim::timeline::record_timeline(&p, &sched, deadline, &cfg, window);
+            writeln!(
+                out,
+                "firing timeline ('#' = busy, '.' = waiting; active fraction {:.3})",
+                sched.active_fraction
+            )?;
+            write!(out, "{}", rtsdf::sim::timeline::render_ascii(&tl, width.max(10)))?;
+            Ok(())
+        }
+        Command::Calibrate {
+            pipeline,
+            points,
+            seeds,
+            items,
+        } => {
+            let p = load_pipeline(&pipeline)?;
+            let grid: Result<Vec<RtParams>, _> = points
+                .iter()
+                .map(|&(t, d)| RtParams::new(t, d).map_err(|e| CommandError::Params(e.to_string())))
+                .collect();
+            let config = CalibrationConfig {
+                seeds_per_point: seeds,
+                stream_length: items,
+                ..CalibrationConfig::quick(grid?)
+            };
+            let result = calibrate_enforced(&p, &config);
+            for (i, round) in result.rounds.iter().enumerate() {
+                writeln!(
+                    out,
+                    "round {i}: b = {:?}, worst miss-free {:.2}",
+                    round.b, round.worst_miss_free
+                )?;
+            }
+            writeln!(
+                out,
+                "calibrated b = {:?} (converged: {})",
+                result.b, result.converged
+            )?;
+            Ok(())
+        }
+    }
+}
+
+fn round_vec(v: &[f64]) -> Vec<f64> {
+    v.iter().map(|x| (x * 1000.0).round() / 1000.0).collect()
+}

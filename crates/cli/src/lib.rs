@@ -1,0 +1,34 @@
+//! # rtsdf-cli — scheduling irregular SIMD pipelines from the shell
+//!
+//! A thin command-line front end over the `rtsdf` facade, so a pipeline
+//! described in a JSON file can be scheduled, simulated, swept, and
+//! calibrated without writing Rust:
+//!
+//! ```text
+//! rtsdf-cli example-pipeline > blast.json
+//! rtsdf-cli optimize  --pipeline blast.json --tau0 10 --deadline 1e5 --b 1,3,9,6
+//! rtsdf-cli simulate  --pipeline blast.json --tau0 10 --deadline 1e5 --items 50000 --seeds 10
+//! rtsdf-cli sweep     --pipeline blast.json --grid 8x8 --csv
+//! rtsdf-cli calibrate --pipeline blast.json --points 10:1e5,30:1.5e5
+//! ```
+//!
+//! The pipeline file is the `serde_json` encoding of
+//! [`rtsdf::model::PipelineSpec`]; `example-pipeline` emits the paper's
+//! BLAST pipeline as a starting point.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse, Command, ParseError};
+
+/// Entry point shared by the binary and tests: parse `argv` (without
+/// the program name) and run the command, writing to `out`.
+pub fn run(argv: &[String], out: &mut dyn std::io::Write) -> Result<(), String> {
+    match args::parse(argv) {
+        Ok(cmd) => commands::execute(cmd, out).map_err(|e| e.to_string()),
+        Err(e) => Err(format!("{e}\n\n{}", args::USAGE)),
+    }
+}

@@ -1,0 +1,10 @@
+//! The `rtsdf-cli` binary: see `rtsdf_cli::args::USAGE`.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout().lock();
+    if let Err(msg) = rtsdf_cli::run(&argv, &mut stdout) {
+        eprintln!("{msg}");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,159 @@
+//! End-to-end CLI tests: run the commands through `rtsdf_cli::run` with
+//! a real pipeline file and inspect the output.
+
+use rtsdf_cli::run;
+
+fn argv(s: &str) -> Vec<String> {
+    s.split_whitespace().map(String::from).collect()
+}
+
+fn run_to_string(cmd: &str) -> Result<String, String> {
+    let mut out = Vec::new();
+    run(&argv(cmd), &mut out)?;
+    Ok(String::from_utf8(out).expect("utf8 output"))
+}
+
+/// Write the example pipeline to a temp file and return its path.
+fn pipeline_file() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("rtsdf-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("blast.json");
+    let json = run_to_string("example-pipeline").unwrap();
+    std::fs::write(&path, json).unwrap();
+    path
+}
+
+#[test]
+fn example_pipeline_roundtrips() {
+    let json = run_to_string("example-pipeline").unwrap();
+    let spec: rtsdf::model::PipelineSpec = serde_json::from_str(&json).unwrap();
+    assert_eq!(spec.len(), 4);
+    assert_eq!(spec.vector_width(), 128);
+}
+
+#[test]
+fn optimize_all_strategies() {
+    let path = pipeline_file();
+    let out = run_to_string(&format!(
+        "optimize --pipeline {} --tau0 10 --deadline 1e5 --b 1,3,9,6",
+        path.display()
+    ))
+    .unwrap();
+    assert!(out.contains("enforced waits: active fraction"), "{out}");
+    assert!(out.contains("monolithic: M ="), "{out}");
+    assert!(out.contains("flexible shares: utilization"), "{out}");
+}
+
+#[test]
+fn optimize_json_output_parses() {
+    let path = pipeline_file();
+    let out = run_to_string(&format!(
+        "optimize --pipeline {} --tau0 10 --deadline 1e5 --json",
+        path.display()
+    ))
+    .unwrap();
+    let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+    assert!(v.get("enforced").is_some(), "{v}");
+    let af = v["enforced"]["active_fraction"].as_f64().unwrap();
+    assert!(af > 0.0 && af < 1.0);
+}
+
+#[test]
+fn optimize_reports_infeasibility_gracefully() {
+    let path = pipeline_file();
+    let out = run_to_string(&format!(
+        "optimize --pipeline {} --tau0 10 --deadline 100 --strategy enforced",
+        path.display()
+    ))
+    .unwrap();
+    assert!(out.contains("infeasible"), "{out}");
+}
+
+#[test]
+fn simulate_prints_metrics() {
+    let path = pipeline_file();
+    let out = run_to_string(&format!(
+        "simulate --pipeline {} --tau0 10 --deadline 1e5 --b 1,3,9,6 --items 1000 --seeds 2",
+        path.display()
+    ))
+    .unwrap();
+    assert!(out.contains("miss-free seeds"), "{out}");
+    assert!(out.contains("active fraction: predicted"), "{out}");
+}
+
+#[test]
+fn sweep_csv_has_expected_columns() {
+    let path = pipeline_file();
+    let out = run_to_string(&format!(
+        "sweep --pipeline {} --grid 3x3 --csv",
+        path.display()
+    ))
+    .unwrap();
+    let mut lines = out.lines();
+    assert_eq!(
+        lines.next().unwrap(),
+        "tau0,deadline,enforced_af,monolithic_af,difference"
+    );
+    assert_eq!(lines.count(), 9, "3x3 grid rows");
+}
+
+#[test]
+fn calibrate_reports_rounds() {
+    let path = pipeline_file();
+    let out = run_to_string(&format!(
+        "calibrate --pipeline {} --points 10:1e5 --seeds 2 --items 1000",
+        path.display()
+    ))
+    .unwrap();
+    assert!(out.contains("round 0"), "{out}");
+    assert!(out.contains("calibrated b ="), "{out}");
+}
+
+#[test]
+fn gantt_draws_one_row_per_node() {
+    let path = pipeline_file();
+    let out = run_to_string(&format!(
+        "gantt --pipeline {} --tau0 10 --deadline 1e5 --b 1,3,9,6 --window 20000 --width 60",
+        path.display()
+    ))
+    .unwrap();
+    let rows: Vec<&str> = out.lines().filter(|l| l.starts_with("node ")).collect();
+    assert_eq!(rows.len(), 4, "{out}");
+    assert!(rows.iter().all(|r| r.contains('#')), "{out}");
+}
+
+#[test]
+fn optimize_flexible_strategy_only() {
+    let path = pipeline_file();
+    let out = run_to_string(&format!(
+        "optimize --pipeline {} --tau0 10 --deadline 2e4 --b 1,3,9,6 --strategy flexible",
+        path.display()
+    ))
+    .unwrap();
+    assert!(out.contains("flexible shares: utilization"), "{out}");
+    assert!(!out.contains("monolithic"), "{out}");
+}
+
+#[test]
+fn missing_file_is_a_clean_error() {
+    let err = run_to_string("optimize --pipeline /no/such/file.json --tau0 1 --deadline 1")
+        .unwrap_err();
+    assert!(err.contains("cannot read"), "{err}");
+}
+
+#[test]
+fn bad_b_length_is_a_clean_error() {
+    let path = pipeline_file();
+    let err = run_to_string(&format!(
+        "optimize --pipeline {} --tau0 10 --deadline 1e5 --b 1,2",
+        path.display()
+    ))
+    .unwrap_err();
+    assert!(err.contains("stages"), "{err}");
+}
+
+#[test]
+fn unknown_subcommand_shows_usage() {
+    let err = run_to_string("bogus").unwrap_err();
+    assert!(err.contains("USAGE"), "{err}");
+}

@@ -1,0 +1,304 @@
+//! Strategy comparison over the `(τ0, D)` operating space.
+//!
+//! Regenerates the data behind the paper's Figures 3 and 4: the two
+//! strategies' optimized active fractions on a grid of inter-arrival
+//! times and deadlines, and their difference (monolithic − enforced,
+//! positive where enforced waits win).
+
+use crate::enforced::{EnforcedWaitsProblem, SolveMethod};
+use crate::monolithic::MonolithicProblem;
+use dataflow_model::{PipelineSpec, RtParams};
+use serde::{Deserialize, Serialize};
+
+/// One grid cell's results.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CellResult {
+    /// Inter-arrival time.
+    pub tau0: f64,
+    /// Deadline.
+    pub deadline: f64,
+    /// Enforced-waits optimized active fraction (`None` if infeasible).
+    pub enforced: Option<f64>,
+    /// Monolithic optimized active fraction (`None` if infeasible).
+    pub monolithic: Option<f64>,
+}
+
+impl CellResult {
+    /// Figure-4 value: monolithic − enforced, when both are feasible.
+    /// Positive means enforced waits achieve lower utilization.
+    pub fn difference(&self) -> Option<f64> {
+        match (self.monolithic, self.enforced) {
+            (Some(m), Some(e)) => Some(m - e),
+            _ => None,
+        }
+    }
+}
+
+/// Results of a full grid sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepResult {
+    /// τ0 axis values.
+    pub tau0s: Vec<f64>,
+    /// Deadline axis values.
+    pub deadlines: Vec<f64>,
+    /// Row-major cells (`tau0` major, `deadline` minor).
+    pub cells: Vec<CellResult>,
+}
+
+impl SweepResult {
+    /// Cell at axis indices `(i_tau0, j_deadline)`.
+    pub fn cell(&self, i: usize, j: usize) -> &CellResult {
+        &self.cells[i * self.deadlines.len() + j]
+    }
+
+    /// Fraction of cells (with both strategies feasible) where enforced
+    /// waits strictly beat monolithic.
+    pub fn enforced_win_fraction(&self) -> f64 {
+        let comparable: Vec<f64> = self.cells.iter().filter_map(|c| c.difference()).collect();
+        if comparable.is_empty() {
+            return 0.0;
+        }
+        comparable.iter().filter(|&&d| d > 0.0).count() as f64 / comparable.len() as f64
+    }
+
+    /// Largest difference in enforced waits' favour (Fig. 4's peak).
+    pub fn max_enforced_advantage(&self) -> Option<f64> {
+        self.cells
+            .iter()
+            .filter_map(|c| c.difference())
+            .fold(None, |acc, d| Some(acc.map_or(d, |a: f64| a.max(d))))
+    }
+
+    /// Largest difference in the monolithic strategy's favour.
+    pub fn max_monolithic_advantage(&self) -> Option<f64> {
+        self.cells
+            .iter()
+            .filter_map(|c| c.difference())
+            .fold(None, |acc, d| Some(acc.map_or(-d, |a: f64| a.max(-d))))
+    }
+}
+
+/// Parameters of a sweep: backlog factors for enforced waits, `(b, S)`
+/// for monolithic.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepConfig {
+    /// Enforced-waits backlog factors (length = pipeline stages).
+    pub enforced_b: Vec<f64>,
+    /// Monolithic queue multiplier.
+    pub monolithic_b: f64,
+    /// Monolithic worst-case scale.
+    pub monolithic_s: f64,
+}
+
+impl SweepConfig {
+    /// The configuration the paper's §6.2 calibration arrived at for the
+    /// BLAST pipeline: `b = [1, 3, 9, 6]`, monolithic `b = 1, S = 1`.
+    pub fn paper_blast() -> Self {
+        SweepConfig {
+            enforced_b: vec![1.0, 3.0, 9.0, 6.0],
+            monolithic_b: 1.0,
+            monolithic_s: 1.0,
+        }
+    }
+}
+
+/// Optimize both strategies at one operating point.
+pub fn compare_at(
+    pipeline: &PipelineSpec,
+    params: RtParams,
+    config: &SweepConfig,
+) -> CellResult {
+    let enforced = EnforcedWaitsProblem::new(pipeline, params, config.enforced_b.clone())
+        .solve(SolveMethod::WaterFilling)
+        .ok()
+        .map(|s| s.active_fraction);
+    let monolithic =
+        MonolithicProblem::new(pipeline, params, config.monolithic_b, config.monolithic_s)
+            .solve_fast()
+            .ok()
+            .map(|s| s.active_fraction);
+    CellResult {
+        tau0: params.tau0,
+        deadline: params.deadline,
+        enforced,
+        monolithic,
+    }
+}
+
+/// Sweep both strategies over the cartesian grid `tau0s × deadlines`.
+pub fn sweep(
+    pipeline: &PipelineSpec,
+    tau0s: &[f64],
+    deadlines: &[f64],
+    config: &SweepConfig,
+) -> SweepResult {
+    let mut cells = Vec::with_capacity(tau0s.len() * deadlines.len());
+    for &tau0 in tau0s {
+        for &d in deadlines {
+            let params = RtParams::new(tau0, d).expect("grid values must be positive");
+            cells.push(compare_at(pipeline, params, config));
+        }
+    }
+    SweepResult {
+        tau0s: tau0s.to_vec(),
+        deadlines: deadlines.to_vec(),
+        cells,
+    }
+}
+
+/// [`sweep`], parallelized across τ0 rows with scoped threads. Produces
+/// bit-identical results (cells are independent); use for large grids.
+pub fn sweep_parallel(
+    pipeline: &PipelineSpec,
+    tau0s: &[f64],
+    deadlines: &[f64],
+    config: &SweepConfig,
+) -> SweepResult {
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let mut rows: Vec<Option<Vec<CellResult>>> = vec![None; tau0s.len()];
+    std::thread::scope(|scope| {
+        let chunk = tau0s.len().div_ceil(threads).max(1);
+        for (tau0_chunk, row_chunk) in tau0s.chunks(chunk).zip(rows.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (&tau0, slot) in tau0_chunk.iter().zip(row_chunk.iter_mut()) {
+                    let row: Vec<CellResult> = deadlines
+                        .iter()
+                        .map(|&d| {
+                            let params =
+                                RtParams::new(tau0, d).expect("grid values must be positive");
+                            compare_at(pipeline, params, config)
+                        })
+                        .collect();
+                    *slot = Some(row);
+                }
+            });
+        }
+    });
+    SweepResult {
+        tau0s: tau0s.to_vec(),
+        deadlines: deadlines.to_vec(),
+        cells: rows.into_iter().flat_map(|r| r.expect("all rows computed")).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataflow_model::{GainModel, PipelineSpecBuilder};
+
+    fn blast() -> PipelineSpec {
+        PipelineSpecBuilder::new(128)
+            .stage("s0", 287.0, GainModel::Bernoulli { p: 0.379 })
+            .stage("s1", 955.0, GainModel::CensoredPoisson { mean: 1.920, cap: 16 })
+            .stage("s2", 402.0, GainModel::Bernoulli { p: 0.0332 })
+            .stage("s3", 2753.0, GainModel::Deterministic { k: 1 })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn sweep_covers_grid() {
+        let p = blast();
+        let tau0s = [5.0, 20.0, 80.0];
+        let ds = [5e4, 1.5e5, 3e5];
+        let r = sweep(&p, &tau0s, &ds, &SweepConfig::paper_blast());
+        assert_eq!(r.cells.len(), 9);
+        assert_eq!(r.cell(1, 2).tau0, 20.0);
+        assert_eq!(r.cell(1, 2).deadline, 3e5);
+    }
+
+    #[test]
+    fn fast_arrivals_large_slack_favour_enforced() {
+        // Paper Fig. 4: the fastest arrivals that both strategies can
+        // sustain, plus lots of deadline slack, is enforced-waits
+        // territory by a wide margin. (The monolithic stability limit
+        // for this pipeline is τ0 ≈ Σ G_i·t_i / v ≈ 7.9 cycles.)
+        let p = blast();
+        let params = RtParams::new(10.0, 3.5e5).unwrap();
+        let cell = compare_at(&p, params, &SweepConfig::paper_blast());
+        let diff = cell.difference().expect("both feasible");
+        assert!(
+            diff > 0.4,
+            "expected strong enforced advantage, got {diff} ({cell:?})"
+        );
+    }
+
+    #[test]
+    fn below_monolithic_stability_limit_only_enforced_is_feasible() {
+        // For τ0 below ~7.9 the monolithic strategy cannot keep up at
+        // any block size, while enforced waits still schedules down to
+        // τ0 ≈ 2.83 (the head-stability limit x̂_0/v).
+        let p = blast();
+        let params = RtParams::new(4.0, 3.5e5).unwrap();
+        let cell = compare_at(&p, params, &SweepConfig::paper_blast());
+        assert!(cell.enforced.is_some() && cell.monolithic.is_none(), "{cell:?}");
+    }
+
+    #[test]
+    fn slow_arrivals_tight_deadline_favour_monolithic() {
+        // Paper Fig. 4: slow arrivals + minimal slack is monolithic
+        // territory (here by more than 0.4 in absolute active fraction:
+        // enforced is squeezed against its minimal periods while the
+        // monolithic block still amortizes ~180 items per block).
+        let p = blast();
+        let params = RtParams::new(100.0, 2.4e4).unwrap();
+        let cell = compare_at(&p, params, &SweepConfig::paper_blast());
+        let diff = cell.difference().expect("both feasible");
+        assert!(diff < -0.4, "expected monolithic win, got {diff} ({cell:?})");
+    }
+
+    #[test]
+    fn win_region_statistics() {
+        let p = blast();
+        let (tau0s, ds) = RtParams::paper_grid(10, 10);
+        let r = sweep(&p, &tau0s, &ds, &SweepConfig::paper_blast());
+        // Enforced waits should win over a large portion of the grid
+        // (paper §6.3; measured ≈ 0.84 on this grid).
+        let win = r.enforced_win_fraction();
+        assert!(win > 0.6, "enforced win fraction {win}");
+        // And its best-case advantage should be at least 0.4 in absolute
+        // terms (paper §6.3; measured ≈ 0.455 on this grid).
+        let adv = r.max_enforced_advantage().unwrap();
+        assert!(adv >= 0.4, "max advantage {adv}");
+        // The monolithic strategy must also have a win region.
+        let mono = r.max_monolithic_advantage().unwrap();
+        assert!(mono > 0.05, "max monolithic advantage {mono}");
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential() {
+        let p = blast();
+        let (tau0s, ds) = RtParams::paper_grid(5, 5);
+        let cfg = SweepConfig::paper_blast();
+        let seq = sweep(&p, &tau0s, &ds, &cfg);
+        let par = sweep_parallel(&p, &tau0s, &ds, &cfg);
+        assert_eq!(seq.cells.len(), par.cells.len());
+        for (a, b) in seq.cells.iter().zip(&par.cells) {
+            assert_eq!(a.tau0, b.tau0);
+            assert_eq!(a.deadline, b.deadline);
+            assert_eq!(a.enforced, b.enforced);
+            assert_eq!(a.monolithic, b.monolithic);
+        }
+    }
+
+    #[test]
+    fn difference_requires_both_feasible() {
+        let c = CellResult {
+            tau0: 1.0,
+            deadline: 1.0,
+            enforced: Some(0.5),
+            monolithic: None,
+        };
+        assert!(c.difference().is_none());
+    }
+
+    #[test]
+    fn infeasible_cells_recorded_as_none() {
+        let p = blast();
+        // τ0 = 1 is infeasible for monolithic (stability) — the paper's
+        // fastest arrival rate is near the feasibility edge.
+        let params = RtParams::new(1.0, 3.5e5).unwrap();
+        let cell = compare_at(&p, params, &SweepConfig::paper_blast());
+        assert!(cell.monolithic.is_none());
+    }
+}

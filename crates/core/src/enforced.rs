@@ -1,0 +1,599 @@
+//! The enforced-waits strategy (paper §4).
+//!
+//! Each node `n_i` is given a fixed wait `w_i`: after every firing it
+//! sleeps exactly `w_i` cycles before firing again, so its firing period
+//! is `x_i = t_i + w_i`. The waits solve the convex program of the
+//! paper's Figure 1 (restated in terms of periods `x`):
+//!
+//! ```text
+//! min (1/N) Σ t_i/x_i
+//! s.t. x_0 ≤ v·τ0                     (head keeps up with arrivals)
+//!      g_{i-1}·x_i ≤ x_{i-1}          (each edge is stable)
+//!      Σ b_i·x_i ≤ D                  (deadline with backlog factors)
+//!      x_i ≥ t_i                      (waits are nonnegative)
+//! ```
+//!
+//! Two independent solution methods are provided and cross-checked in
+//! tests:
+//!
+//! * [`SolveMethod::InteriorPoint`] — the general log-barrier Newton
+//!   method from the `solver` crate, applied directly.
+//! * [`SolveMethod::WaterFilling`] — an exact specialized method: the
+//!   substitution `z_i = G_i·x_i` turns the edge constraints into a
+//!   monotonicity requirement (`z` nonincreasing) and the head bound
+//!   into `z_i ≤ v·τ0`, leaving a separable convex objective. For a
+//!   fixed deadline price λ the inner problem is solved exactly by
+//!   pool-adjacent-violators; an outer bisection finds the λ that
+//!   exhausts (or slackens) the deadline budget.
+
+use crate::feasibility::{check_enforced_feasibility, minimal_periods};
+use crate::schedule::ScheduleError;
+use dataflow_model::analysis::enforced_active_fraction;
+use dataflow_model::{PipelineSpec, RtParams};
+use serde::{Deserialize, Serialize};
+use solver::convex::{find_interior_point, minimize, ConvexProblem, SolverOptions};
+use solver::linalg::Mat;
+use solver::linear::ConstraintSet;
+
+/// Which algorithm solves the Fig.-1 program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SolveMethod {
+    /// General log-barrier interior-point Newton method.
+    InteriorPoint,
+    /// Exact specialized water-filling (λ-bisection + PAV).
+    WaterFilling,
+}
+
+/// An optimized enforced-waits schedule.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WaitSchedule {
+    /// Per-node waits `w_i ≥ 0` (cycles).
+    pub waits: Vec<f64>,
+    /// Per-node firing periods `x_i = t_i + w_i` (cycles).
+    pub periods: Vec<f64>,
+    /// Predicted active fraction `(1/N) Σ t_i/x_i`.
+    pub active_fraction: f64,
+    /// Backlog factors `b_i` the schedule was designed for.
+    pub backlog_factors: Vec<f64>,
+    /// Worst-case latency bound `Σ b_i·x_i` at this schedule.
+    pub latency_bound: f64,
+    /// Method that produced the schedule.
+    pub method: SolveMethod,
+}
+
+/// The Fig.-1 design problem: a pipeline, an operating point, and
+/// backlog factors capturing worst-case queue growth.
+#[derive(Debug, Clone)]
+pub struct EnforcedWaitsProblem<'a> {
+    pipeline: &'a PipelineSpec,
+    params: RtParams,
+    b: Vec<f64>,
+}
+
+impl<'a> EnforcedWaitsProblem<'a> {
+    /// Construct the problem. `b` must have one strictly positive factor
+    /// per pipeline stage (the paper's `b_i`; `⌈g_i⌉` is the optimistic
+    /// starting choice, calibrated upward empirically in §6.2).
+    pub fn new(pipeline: &'a PipelineSpec, params: RtParams, b: Vec<f64>) -> Self {
+        EnforcedWaitsProblem {
+            pipeline,
+            params,
+            b,
+        }
+    }
+
+    /// The paper's optimistic starting backlog factors `b_i = ⌈g_i⌉`
+    /// (clamped up to 1 so factors stay positive for filter stages).
+    pub fn optimistic_backlog(pipeline: &PipelineSpec) -> Vec<f64> {
+        pipeline
+            .mean_gains()
+            .iter()
+            .map(|g| g.ceil().max(1.0))
+            .collect()
+    }
+
+    /// The pipeline being scheduled.
+    pub fn pipeline(&self) -> &PipelineSpec {
+        self.pipeline
+    }
+
+    /// The operating point.
+    pub fn params(&self) -> &RtParams {
+        &self.params
+    }
+
+    /// The backlog factors.
+    pub fn backlog_factors(&self) -> &[f64] {
+        &self.b
+    }
+
+    /// Build the Fig.-1 constraint set over the period variables `x`.
+    pub fn constraint_set(&self) -> ConstraintSet {
+        let n = self.pipeline.len();
+        let t = self.pipeline.service_times();
+        let g = self.pipeline.mean_gains();
+        let v_tau0 = self.pipeline.vector_width() as f64 * self.params.tau0;
+        let mut cs = ConstraintSet::new(n);
+        cs.push_upper_bound(0, v_tau0, "head rate: x0 <= v*tau0");
+        for i in 1..n {
+            if g[i - 1] > 0.0 {
+                let mut coeffs = vec![0.0; n];
+                coeffs[i] = g[i - 1];
+                coeffs[i - 1] = -1.0;
+                cs.push(coeffs, 0.0, format!("edge {}->{} stability", i - 1, i));
+            }
+        }
+        cs.push(self.b.clone(), self.params.deadline, "deadline");
+        for (i, &ti) in t.iter().enumerate() {
+            cs.push_lower_bound(i, ti, format!("x{i} >= t{i}"));
+        }
+        cs
+    }
+
+    /// Solve for the optimal waits with the chosen method.
+    pub fn solve(&self, method: SolveMethod) -> Result<WaitSchedule, ScheduleError> {
+        check_enforced_feasibility(self.pipeline, &self.params, &self.b)?;
+        let periods = match method {
+            SolveMethod::InteriorPoint => self.solve_interior_point()?,
+            SolveMethod::WaterFilling => self.solve_waterfilling()?,
+        };
+        Ok(self.schedule_from_periods(periods, method))
+    }
+
+    fn schedule_from_periods(&self, mut periods: Vec<f64>, method: SolveMethod) -> WaitSchedule {
+        let t = self.pipeline.service_times();
+        // Numerical solutions can sit a hair below t_i; clamp so waits
+        // are exactly nonnegative.
+        for (x, &ti) in periods.iter_mut().zip(&t) {
+            if *x < ti {
+                *x = ti;
+            }
+        }
+        let waits: Vec<f64> = periods.iter().zip(&t).map(|(&x, &ti)| x - ti).collect();
+        let active_fraction = enforced_active_fraction(self.pipeline, &periods);
+        let latency_bound = periods.iter().zip(&self.b).map(|(&x, &bi)| bi * x).sum();
+        WaitSchedule {
+            waits,
+            periods,
+            active_fraction,
+            backlog_factors: self.b.clone(),
+            latency_bound,
+            method,
+        }
+    }
+
+    fn solve_interior_point(&self) -> Result<Vec<f64>, ScheduleError> {
+        let cs = self.constraint_set();
+        let opts = SolverOptions::default();
+        // Start from the minimal periods, nudged to the interior by the
+        // solver's phase-1.
+        let x0 = minimal_periods(self.pipeline);
+        let radius = (self.params.deadline
+            + self.pipeline.vector_width() as f64 * self.params.tau0)
+            .max(1.0)
+            * 4.0;
+        let interior = find_interior_point(&cs, &x0, radius, &opts)
+            .map_err(|e| ScheduleError::Solver(format!("phase-1: {e}")))?;
+        let objective = ActiveFractionObjective {
+            t_over_n: self
+                .pipeline
+                .service_times()
+                .iter()
+                .map(|ti| ti / self.pipeline.len() as f64)
+                .collect(),
+        };
+        let sol = minimize(&objective, &cs, &interior, &opts)
+            .map_err(|e| ScheduleError::Solver(e.to_string()))?;
+        Ok(sol.x)
+    }
+
+    fn solve_waterfilling(&self) -> Result<Vec<f64>, ScheduleError> {
+        let g_total = self.pipeline.total_gains();
+        if g_total.iter().any(|&g| g <= 0.0) {
+            return Err(ScheduleError::Solver(
+                "water-filling requires strictly positive mean gains; use InteriorPoint".into(),
+            ));
+        }
+        let n = self.pipeline.len();
+        let t = self.pipeline.service_times();
+        let cap = self.pipeline.vector_width() as f64 * self.params.tau0;
+        // z_i = G_i·x_i. Objective coefficient a_i (from t_i/(N·x_i) =
+        // a_i/z_i), budget coefficient c_i (from b_i·x_i = c_i·z_i).
+        let a: Vec<f64> = (0..n).map(|i| t[i] * g_total[i] / n as f64).collect();
+        let c: Vec<f64> = (0..n).map(|i| self.b[i] / g_total[i]).collect();
+        let lo: Vec<f64> = (0..n).map(|i| t[i] * g_total[i]).collect();
+        debug_assert!(
+            lo.iter().all(|&l| l <= cap * (1.0 + 1e-9)),
+            "feasibility precheck should guarantee lo <= cap"
+        );
+
+        let budget_of = |z: &[f64]| -> f64 { z.iter().zip(&c).map(|(&zi, &ci)| zi * ci).sum() };
+
+        // λ = 0: everything at the cap. If the deadline is slack there,
+        // the stability bounds are the binding constraints and we are
+        // done (maximal waits everywhere).
+        let z_cap = vec![cap; n];
+        if budget_of(&z_cap) <= self.params.deadline {
+            return Ok(z_cap
+                .iter()
+                .zip(&g_total)
+                .map(|(&z, &gt)| z / gt)
+                .collect());
+        }
+
+        // Otherwise bisect the deadline price λ. The budget used by the
+        // inner solution is continuous and nonincreasing in λ.
+        let inner = |lambda: f64| pav_nonincreasing(&a, &c, &lo, cap, lambda);
+        let mut lam_lo = 1e-30;
+        let mut lam_hi = 1.0;
+        while budget_of(&inner(lam_hi)) > self.params.deadline {
+            lam_hi *= 10.0;
+            if lam_hi > 1e30 {
+                return Err(ScheduleError::Solver(
+                    "water-filling bisection failed to bracket the deadline price".into(),
+                ));
+            }
+        }
+        for _ in 0..200 {
+            let mid = (lam_lo * lam_hi).sqrt(); // geometric: λ spans decades
+            if budget_of(&inner(mid)) > self.params.deadline {
+                lam_lo = mid;
+            } else {
+                lam_hi = mid;
+            }
+        }
+        let z = inner(lam_hi);
+        Ok(z.iter().zip(&g_total).map(|(&z, &gt)| z / gt).collect())
+    }
+}
+
+/// The Fig.-1 objective `(1/N) Σ t_i/x_i` for the interior-point solver.
+struct ActiveFractionObjective {
+    t_over_n: Vec<f64>,
+}
+
+impl ConvexProblem for ActiveFractionObjective {
+    fn dim(&self) -> usize {
+        self.t_over_n.len()
+    }
+    fn value(&self, x: &[f64]) -> f64 {
+        x.iter().zip(&self.t_over_n).map(|(&xi, &ai)| ai / xi).sum()
+    }
+    fn gradient(&self, x: &[f64], grad: &mut [f64]) {
+        for i in 0..x.len() {
+            grad[i] = -self.t_over_n[i] / (x[i] * x[i]);
+        }
+    }
+    fn hessian(&self, x: &[f64], h: &mut Mat) {
+        for i in 0..x.len() {
+            h[(i, i)] = 2.0 * self.t_over_n[i] / (x[i] * x[i] * x[i]);
+        }
+    }
+}
+
+/// Exact minimizer of `Σ_i a_i/z_i + λ·c_i·z_i` subject to
+/// `z_0 ≥ z_1 ≥ … ≥ z_{n-1}`, `lo_i ≤ z_i ≤ cap`, via
+/// pool-adjacent-violators. Each pooled block takes the value
+/// `clamp(√(Σa / (λ·Σc)), max lo over block, cap)`.
+fn pav_nonincreasing(a: &[f64], c: &[f64], lo: &[f64], cap: f64, lambda: f64) -> Vec<f64> {
+    #[derive(Clone, Copy)]
+    struct Block {
+        a_sum: f64,
+        c_sum: f64,
+        lo_max: f64,
+        len: usize,
+        value: f64,
+    }
+    fn block_value(a_sum: f64, c_sum: f64, lo_max: f64, cap: f64, lambda: f64) -> f64 {
+        (a_sum / (lambda * c_sum)).sqrt().clamp(lo_max, cap)
+    }
+
+    let n = a.len();
+    let mut stack: Vec<Block> = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut blk = Block {
+            a_sum: a[i],
+            c_sum: c[i],
+            lo_max: lo[i],
+            len: 1,
+            value: block_value(a[i], c[i], lo[i], cap, lambda),
+        };
+        // Nonincreasing order: the previous block's value must be >= the
+        // new block's. Pool while violated.
+        while let Some(prev) = stack.last() {
+            if prev.value >= blk.value {
+                break;
+            }
+            let prev = stack.pop().expect("just peeked");
+            blk.a_sum += prev.a_sum;
+            blk.c_sum += prev.c_sum;
+            blk.lo_max = blk.lo_max.max(prev.lo_max);
+            blk.len += prev.len;
+            blk.value = block_value(blk.a_sum, blk.c_sum, blk.lo_max, cap, lambda);
+        }
+        stack.push(blk);
+    }
+    let mut z = Vec::with_capacity(n);
+    for blk in stack {
+        for _ in 0..blk.len {
+            z.push(blk.value);
+        }
+    }
+    z
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataflow_model::{GainModel, PipelineSpecBuilder};
+
+    fn blast() -> PipelineSpec {
+        PipelineSpecBuilder::new(128)
+            .stage("s0", 287.0, GainModel::Bernoulli { p: 0.379 })
+            .stage("s1", 955.0, GainModel::CensoredPoisson { mean: 1.920, cap: 16 })
+            .stage("s2", 402.0, GainModel::Bernoulli { p: 0.0332 })
+            .stage("s3", 2753.0, GainModel::Deterministic { k: 1 })
+            .build()
+            .unwrap()
+    }
+
+    const PAPER_B: [f64; 4] = [1.0, 3.0, 9.0, 6.0];
+
+    fn solve_both(pipeline: &PipelineSpec, tau0: f64, d: f64, b: &[f64]) -> (WaitSchedule, WaitSchedule) {
+        let params = RtParams::new(tau0, d).unwrap();
+        let prob = EnforcedWaitsProblem::new(pipeline, params, b.to_vec());
+        let ip = prob.solve(SolveMethod::InteriorPoint).unwrap();
+        let wf = prob.solve(SolveMethod::WaterFilling).unwrap();
+        (ip, wf)
+    }
+
+    #[test]
+    fn methods_agree_on_blast_tight_deadline() {
+        let p = blast();
+        let (ip, wf) = solve_both(&p, 10.0, 5e4, &PAPER_B);
+        assert!(
+            (ip.active_fraction - wf.active_fraction).abs() < 1e-5,
+            "IP {} vs WF {}",
+            ip.active_fraction,
+            wf.active_fraction
+        );
+        for (a, b) in ip.periods.iter().zip(&wf.periods) {
+            assert!((a - b).abs() / b < 1e-3, "{:?} vs {:?}", ip.periods, wf.periods);
+        }
+    }
+
+    #[test]
+    fn methods_agree_on_blast_loose_deadline() {
+        let p = blast();
+        let (ip, wf) = solve_both(&p, 10.0, 3.5e5, &PAPER_B);
+        assert!(
+            (ip.active_fraction - wf.active_fraction).abs() < 1e-5,
+            "IP {} vs WF {}",
+            ip.active_fraction,
+            wf.active_fraction
+        );
+    }
+
+    #[test]
+    fn solutions_are_feasible() {
+        let p = blast();
+        for (tau0, d) in [(1.0, 2e4), (3.0, 5e4), (10.0, 1e5), (100.0, 3.5e5)] {
+            let params = RtParams::new(tau0, d).unwrap();
+            let prob = EnforcedWaitsProblem::new(&p, params, PAPER_B.to_vec());
+            if let Ok(s) = prob.solve(SolveMethod::WaterFilling) {
+                let cs = prob.constraint_set();
+                assert!(
+                    cs.is_feasible(&s.periods, 1e-6 * d),
+                    "WF infeasible at tau0={tau0} D={d}: {:?}",
+                    s.periods
+                );
+                assert!(s.waits.iter().all(|&w| w >= 0.0));
+                assert!(s.latency_bound <= d * (1.0 + 1e-9));
+            }
+            if let Ok(s) = prob.solve(SolveMethod::InteriorPoint) {
+                let cs = prob.constraint_set();
+                assert!(
+                    cs.is_feasible(&s.periods, 1e-6 * d),
+                    "IP infeasible at tau0={tau0} D={d}: {:?}",
+                    s.periods
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn larger_deadline_means_lower_active_fraction() {
+        let p = blast();
+        let mut prev = f64::INFINITY;
+        for d in [2.5e4, 5e4, 1e5, 2e5, 3.5e5] {
+            let params = RtParams::new(5.0, d).unwrap();
+            let prob = EnforcedWaitsProblem::new(&p, params, PAPER_B.to_vec());
+            let s = prob.solve(SolveMethod::WaterFilling).unwrap();
+            assert!(
+                s.active_fraction <= prev + 1e-12,
+                "active fraction should be nonincreasing in D"
+            );
+            prev = s.active_fraction;
+        }
+    }
+
+    #[test]
+    fn active_fraction_insensitive_to_tau0_when_deadline_binds() {
+        // Paper §6.3: enforced-waits is insensitive to τ0 except at the
+        // smallest values (where stability binds).
+        let p = blast();
+        let d = 1e5;
+        let af = |tau0: f64| {
+            let params = RtParams::new(tau0, d).unwrap();
+            EnforcedWaitsProblem::new(&p, params, PAPER_B.to_vec())
+                .solve(SolveMethod::WaterFilling)
+                .unwrap()
+                .active_fraction
+        };
+        let a50 = af(50.0);
+        let a100 = af(100.0);
+        assert!(
+            (a50 - a100).abs() / a50 < 0.01,
+            "large tau0 should not matter: {a50} vs {a100}"
+        );
+    }
+
+    #[test]
+    fn unbounded_deadline_hits_stability_caps() {
+        let p = blast();
+        let tau0 = 10.0;
+        let params = RtParams::new(tau0, 1e12).unwrap();
+        let prob = EnforcedWaitsProblem::new(&p, params, PAPER_B.to_vec());
+        let s = prob.solve(SolveMethod::WaterFilling).unwrap();
+        // All periods at stability bounds: x_i = v·τ0/G_i.
+        let g = p.total_gains();
+        for i in 0..4 {
+            let cap = 128.0 * tau0 / g[i];
+            assert!(
+                (s.periods[i] - cap).abs() / cap < 1e-9,
+                "period {i}: {} vs cap {cap}",
+                s.periods[i]
+            );
+        }
+        // And the active fraction equals the analytic limit.
+        let limit = dataflow_model::analysis::enforced_limit_active_fraction(&p, prob.params());
+        assert!((s.active_fraction - limit).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_deadline_reported() {
+        let p = blast();
+        let params = RtParams::new(10.0, 1000.0).unwrap();
+        let prob = EnforcedWaitsProblem::new(&p, params, PAPER_B.to_vec());
+        assert!(matches!(
+            prob.solve(SolveMethod::WaterFilling),
+            Err(ScheduleError::Infeasible(_))
+        ));
+        assert!(matches!(
+            prob.solve(SolveMethod::InteriorPoint),
+            Err(ScheduleError::Infeasible(_))
+        ));
+    }
+
+    #[test]
+    fn optimistic_backlog_factors() {
+        let p = blast();
+        let b = EnforcedWaitsProblem::optimistic_backlog(&p);
+        assert_eq!(b, vec![1.0, 2.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn methods_agree_on_random_pipelines() {
+        // A light-weight deterministic fuzz over pipeline shapes.
+        let mut state = 0x1234_5678_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for trial in 0..30 {
+            let n = 2 + (next() * 5.0) as usize;
+            let mut builder = PipelineSpecBuilder::new(64);
+            for i in 0..n {
+                let t = 10.0 + next() * 1000.0;
+                let gain = 0.05 + next() * 3.0;
+                builder = builder.stage(
+                    format!("n{i}"),
+                    t,
+                    GainModel::Empirical {
+                        pmf: {
+                            // two-point distribution with the target mean
+                            let k = gain.ceil().max(1.0) as u32;
+                            let p_hi = gain / k as f64;
+                            vec![(0, 1.0 - p_hi), (k, p_hi)]
+                        },
+                    },
+                );
+            }
+            let p = builder.build().unwrap();
+            let b: Vec<f64> = p.mean_gains().iter().map(|g| g.ceil().max(1.0)).collect();
+            let tau0 = 5.0 + next() * 50.0;
+            let xmin = minimal_periods(&p);
+            if xmin[0] > 64.0 * tau0 {
+                continue; // unstable operating point; skip
+            }
+            let min_d: f64 = xmin.iter().zip(&b).map(|(x, bi)| x * bi).sum();
+            let d = min_d * (1.2 + next() * 4.0);
+            let params = RtParams::new(tau0, d).unwrap();
+            let prob = EnforcedWaitsProblem::new(&p, params, b);
+            let ip = prob.solve(SolveMethod::InteriorPoint);
+            let wf = prob.solve(SolveMethod::WaterFilling);
+            match (ip, wf) {
+                (Ok(ip), Ok(wf)) => {
+                    assert!(
+                        (ip.active_fraction - wf.active_fraction).abs()
+                            < 1e-4 * wf.active_fraction.max(1e-6),
+                        "trial {trial}: IP {} vs WF {} (n={n}, tau0={tau0:.1}, D={d:.0})",
+                        ip.active_fraction,
+                        wf.active_fraction
+                    );
+                }
+                (ip, wf) => panic!("trial {trial}: solver disagreement: {ip:?} vs {wf:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn pav_respects_monotonicity_and_bounds() {
+        let a = [5.0, 1.0, 3.0, 0.5];
+        let c = [1.0, 2.0, 0.5, 1.0];
+        let lo = [0.1, 0.2, 0.4, 0.3];
+        let cap = 100.0;
+        for lambda in [1e-4, 1e-2, 1.0, 100.0] {
+            let z = pav_nonincreasing(&a, &c, &lo, cap, lambda);
+            for w in z.windows(2) {
+                assert!(w[0] >= w[1] - 1e-12, "not nonincreasing: {z:?}");
+            }
+            for (zi, &loi) in z.iter().zip(&lo) {
+                assert!(*zi >= loi - 1e-12 && *zi <= cap + 1e-12, "out of box: {z:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn pav_matches_bruteforce_on_small_instance() {
+        // 3 variables, grid brute force.
+        let a = [2.0, 0.3, 1.0];
+        let c = [1.0, 1.0, 1.0];
+        let lo = [0.5, 0.5, 0.5];
+        let cap = 5.0;
+        let lambda = 0.7;
+        let obj = |z: &[f64]| -> f64 {
+            z.iter()
+                .zip(&a)
+                .zip(&c)
+                .map(|((&zi, &ai), &ci)| ai / zi + lambda * ci * zi)
+                .sum()
+        };
+        let z = pav_nonincreasing(&a, &c, &lo, cap, lambda);
+        let steps = 80;
+        let mut best = f64::INFINITY;
+        for i0 in 0..=steps {
+            let z0 = lo[0] + (cap - lo[0]) * i0 as f64 / steps as f64;
+            for i1 in 0..=steps {
+                let z1 = lo[1] + (cap - lo[1]) * i1 as f64 / steps as f64;
+                if z1 > z0 {
+                    continue;
+                }
+                for i2 in 0..=steps {
+                    let z2 = lo[2] + (cap - lo[2]) * i2 as f64 / steps as f64;
+                    if z2 > z1 {
+                        continue;
+                    }
+                    best = best.min(obj(&[z0, z1, z2]));
+                }
+            }
+        }
+        assert!(
+            obj(&z) <= best + 1e-3,
+            "PAV {} worse than brute force {best}",
+            obj(&z)
+        );
+    }
+}

@@ -1,0 +1,184 @@
+//! KKT optimality certification for enforced-waits schedules.
+//!
+//! The Fig.-1 program is convex, so the KKT conditions are necessary and
+//! sufficient for global optimality. Given a candidate period vector we
+//! identify the active constraints, solve a small least-squares system
+//! for the Lagrange multipliers, and report:
+//!
+//! * **stationarity residual** — `‖∇f + Σ μ_j a_j‖ / ‖∇f‖` over active
+//!   constraints;
+//! * **dual feasibility** — the most negative multiplier found;
+//! * **primal feasibility** — the worst constraint violation.
+//!
+//! This is an *independent certificate*: it validates a solution no
+//! matter which solver produced it, which is how the interior-point and
+//! water-filling methods vouch for each other beyond merely agreeing.
+
+use crate::enforced::EnforcedWaitsProblem;
+use serde::{Deserialize, Serialize};
+use solver::linalg::{norm2, Mat};
+
+/// Outcome of a KKT check.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KktReport {
+    /// Relative stationarity residual (≈0 at an optimum).
+    pub stationarity_residual: f64,
+    /// Most negative Lagrange multiplier (≥ −tol at an optimum).
+    pub min_multiplier: f64,
+    /// Worst primal violation (≤ tol at a feasible point).
+    pub max_violation: f64,
+    /// Labels of the active constraints.
+    pub active: Vec<String>,
+}
+
+impl KktReport {
+    /// True if the report certifies (approximate) optimality at the
+    /// given tolerance.
+    pub fn is_optimal(&self, tol: f64) -> bool {
+        self.stationarity_residual <= tol && self.min_multiplier >= -tol && self.max_violation <= tol
+    }
+}
+
+/// Check the KKT conditions for `periods` on `problem`.
+///
+/// `active_tol` decides which constraints count as active, *relative* to
+/// each constraint's scale (measured as `|rhs| + ‖a‖·‖x‖`).
+pub fn verify_kkt(problem: &EnforcedWaitsProblem<'_>, periods: &[f64], active_tol: f64) -> KktReport {
+    let n = problem.pipeline().len();
+    assert_eq!(periods.len(), n, "period vector length mismatch");
+    let cs = problem.constraint_set();
+
+    // Gradient of (1/N) Σ t_i/x_i.
+    let t = problem.pipeline().service_times();
+    let grad: Vec<f64> = (0..n)
+        .map(|i| -t[i] / (n as f64 * periods[i] * periods[i]))
+        .collect();
+    let grad_norm = norm2(&grad).max(1e-30);
+
+    let x_norm = norm2(periods).max(1.0);
+    let mut active: Vec<&solver::linear::Constraint> = Vec::new();
+    let mut max_violation = 0.0_f64;
+    for c in cs.constraints() {
+        let scale = c.rhs.abs() + norm2(&c.coeffs) * x_norm;
+        let slack = c.slack(periods);
+        max_violation = max_violation.max(-slack / scale.max(1.0));
+        if slack <= active_tol * scale.max(1.0) {
+            active.push(c);
+        }
+    }
+
+    if active.is_empty() {
+        // Interior point with nonzero gradient: not stationary.
+        return KktReport {
+            stationarity_residual: 1.0,
+            min_multiplier: 0.0,
+            max_violation,
+            active: vec![],
+        };
+    }
+
+    // Least squares for μ ≥ 0:  A_actᵀ μ ≈ −∇f, where rows of A_act are
+    // the active constraint normals. Solve the normal equations
+    // (A Aᵀ + ridge) μ = −A ∇f.
+    let k = active.len();
+    let mut gram = Mat::zeros(k, k);
+    let mut rhs = vec![0.0; k];
+    for (i, ci) in active.iter().enumerate() {
+        for (j, cj) in active.iter().enumerate() {
+            gram[(i, j)] = solver::linalg::dot(&ci.coeffs, &cj.coeffs);
+        }
+        rhs[i] = -solver::linalg::dot(&ci.coeffs, &grad);
+    }
+    gram.add_diagonal(1e-10 * (1.0 + grad_norm));
+    let mu = match gram.cholesky() {
+        Some(chol) => chol.solve(&rhs),
+        None => vec![0.0; k],
+    };
+
+    // Residual of stationarity: ∇f + Σ μ_j a_j.
+    let mut resid = grad.clone();
+    for (j, c) in active.iter().enumerate() {
+        solver::linalg::axpy(mu[j], &c.coeffs, &mut resid);
+    }
+    KktReport {
+        stationarity_residual: norm2(&resid) / grad_norm,
+        min_multiplier: mu.iter().copied().fold(f64::INFINITY, f64::min),
+        max_violation,
+        active: active.iter().map(|c| c.label.clone()).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enforced::SolveMethod;
+    use dataflow_model::{GainModel, PipelineSpec, PipelineSpecBuilder, RtParams};
+
+    fn blast() -> PipelineSpec {
+        PipelineSpecBuilder::new(128)
+            .stage("s0", 287.0, GainModel::Bernoulli { p: 0.379 })
+            .stage("s1", 955.0, GainModel::CensoredPoisson { mean: 1.920, cap: 16 })
+            .stage("s2", 402.0, GainModel::Bernoulli { p: 0.0332 })
+            .stage("s3", 2753.0, GainModel::Deterministic { k: 1 })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn optimal_solutions_pass_kkt() {
+        let p = blast();
+        for (tau0, d) in [(5.0, 5e4), (10.0, 1e5), (50.0, 3.5e5)] {
+            let params = RtParams::new(tau0, d).unwrap();
+            let prob = EnforcedWaitsProblem::new(&p, params, vec![1.0, 3.0, 9.0, 6.0]);
+            for method in [SolveMethod::InteriorPoint, SolveMethod::WaterFilling] {
+                let s = prob.solve(method).unwrap();
+                let report = verify_kkt(&prob, &s.periods, 1e-5);
+                assert!(
+                    report.is_optimal(1e-3),
+                    "{method:?} at tau0={tau0} D={d}: {report:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn suboptimal_point_fails_kkt() {
+        let p = blast();
+        let params = RtParams::new(10.0, 1e5).unwrap();
+        let prob = EnforcedWaitsProblem::new(&p, params, vec![1.0, 3.0, 9.0, 6.0]);
+        // A strictly interior, clearly non-optimal point: minimal periods
+        // scaled up slightly (deadline far from tight).
+        let x: Vec<f64> = crate::feasibility::minimal_periods(&p)
+            .iter()
+            .map(|v| v * 1.5)
+            .collect();
+        let report = verify_kkt(&prob, &x, 1e-6);
+        assert!(!report.is_optimal(1e-3), "{report:?}");
+    }
+
+    #[test]
+    fn deadline_constraint_is_active_when_binding() {
+        let p = blast();
+        let params = RtParams::new(10.0, 5e4).unwrap();
+        let prob = EnforcedWaitsProblem::new(&p, params, vec![1.0, 3.0, 9.0, 6.0]);
+        let s = prob.solve(SolveMethod::WaterFilling).unwrap();
+        let report = verify_kkt(&prob, &s.periods, 1e-5);
+        assert!(
+            report.active.iter().any(|l| l == "deadline"),
+            "deadline should bind at D=5e4: {:?}",
+            report.active
+        );
+    }
+
+    #[test]
+    fn infeasible_point_reports_violation() {
+        let p = blast();
+        let params = RtParams::new(10.0, 1e5).unwrap();
+        let prob = EnforcedWaitsProblem::new(&p, params, vec![1.0, 3.0, 9.0, 6.0]);
+        // Way past the deadline.
+        let x = vec![1e5, 1e5, 1e5, 1e5];
+        let report = verify_kkt(&prob, &x, 1e-6);
+        assert!(report.max_violation > 0.0);
+        assert!(!report.is_optimal(1e-3));
+    }
+}

@@ -1,0 +1,49 @@
+//! Shared error type for schedule construction.
+
+use crate::feasibility::FeasibilityError;
+use std::fmt;
+
+/// Why a strategy failed to produce a schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScheduleError {
+    /// The operating point admits no schedule (analysis-level reason).
+    Infeasible(FeasibilityError),
+    /// The numerical solver failed (should not happen on feasible,
+    /// well-scaled inputs; surfaced rather than hidden).
+    Solver(String),
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::Infeasible(e) => write!(f, "infeasible: {e}"),
+            ScheduleError::Solver(msg) => write!(f, "solver failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+impl From<FeasibilityError> for ScheduleError {
+    fn from(e: FeasibilityError) -> Self {
+        ScheduleError::Infeasible(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_from() {
+        let fe = FeasibilityError::DeadlineTooTight {
+            min_deadline: 100.0,
+            deadline: 50.0,
+        };
+        let se: ScheduleError = fe.clone().into();
+        assert!(se.to_string().contains("infeasible"));
+        assert_eq!(se, ScheduleError::Infeasible(fe));
+        let s = ScheduleError::Solver("x".into());
+        assert!(s.to_string().contains("solver failure"));
+    }
+}

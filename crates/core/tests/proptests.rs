@@ -1,0 +1,158 @@
+//! Property-based tests for the scheduling strategies: solver agreement,
+//! feasibility, and KKT certification on randomized pipelines.
+
+use dataflow_model::{GainModel, PipelineSpec, PipelineSpecBuilder, RtParams};
+use proptest::prelude::*;
+use rtsdf_core::feasibility::minimal_periods;
+use rtsdf_core::kkt::verify_kkt;
+use rtsdf_core::{EnforcedWaitsProblem, MonolithicProblem, SolveMethod};
+
+/// A random pipeline with strictly positive mean gains (so both Fig.-1
+/// solution methods apply).
+fn pipeline() -> impl Strategy<Value = PipelineSpec> {
+    prop::collection::vec((10.0..2000.0f64, 0.1..3.0f64), 2..=6).prop_map(|stages| {
+        let mut b = PipelineSpecBuilder::new(64);
+        for (i, (t, gain)) in stages.into_iter().enumerate() {
+            // Two-point empirical law with the requested mean: stresses
+            // the Empirical code path rather than only Bernoulli.
+            let k = gain.ceil().max(1.0) as u32;
+            let p_hi = gain / k as f64;
+            b = b.stage(
+                format!("s{i}"),
+                t,
+                GainModel::Empirical {
+                    pmf: vec![(0, 1.0 - p_hi), (k, p_hi)],
+                },
+            );
+        }
+        b.build().expect("valid")
+    })
+}
+
+/// A feasible operating point + factors for the given pipeline, derived
+/// from its minimal periods.
+fn feasible_point(p: &PipelineSpec, tau_scale: f64, d_scale: f64) -> Option<(RtParams, Vec<f64>)> {
+    let b: Vec<f64> = p.mean_gains().iter().map(|g| g.ceil().max(1.0)).collect();
+    let xmin = minimal_periods(p);
+    let tau0 = xmin[0] / p.vector_width() as f64 * tau_scale;
+    if !(tau0 > 0.0) {
+        return None;
+    }
+    let min_d: f64 = xmin.iter().zip(&b).map(|(x, bi)| x * bi).sum();
+    let d = min_d * d_scale;
+    Some((RtParams::new(tau0, d).ok()?, b))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn waterfilling_and_interior_point_agree(
+        p in pipeline(),
+        tau_scale in 1.05..20.0f64,
+        d_scale in 1.05..20.0f64,
+    ) {
+        let Some((params, b)) = feasible_point(&p, tau_scale, d_scale) else {
+            return Ok(());
+        };
+        let prob = EnforcedWaitsProblem::new(&p, params, b);
+        let wf = prob.solve(SolveMethod::WaterFilling).expect("feasible by construction");
+        let ip = prob.solve(SolveMethod::InteriorPoint).expect("feasible by construction");
+        prop_assert!(
+            (wf.active_fraction - ip.active_fraction).abs()
+                <= 1e-4 * wf.active_fraction.max(1e-9),
+            "WF {} vs IP {}",
+            wf.active_fraction,
+            ip.active_fraction
+        );
+    }
+
+    #[test]
+    fn waterfilling_solution_is_feasible_and_certified(
+        p in pipeline(),
+        tau_scale in 1.05..20.0f64,
+        d_scale in 1.05..20.0f64,
+    ) {
+        let Some((params, b)) = feasible_point(&p, tau_scale, d_scale) else {
+            return Ok(());
+        };
+        let prob = EnforcedWaitsProblem::new(&p, params, b);
+        let s = prob.solve(SolveMethod::WaterFilling).expect("feasible by construction");
+        let cs = prob.constraint_set();
+        prop_assert!(cs.is_feasible(&s.periods, 1e-6 * params.deadline.max(1.0)));
+        prop_assert!(s.waits.iter().all(|&w| w >= 0.0));
+        let kkt = verify_kkt(&prob, &s.periods, 1e-5);
+        prop_assert!(kkt.is_optimal(5e-3), "{kkt:?}");
+    }
+
+    #[test]
+    fn tighter_deadline_never_improves_active_fraction(
+        p in pipeline(),
+        tau_scale in 1.05..20.0f64,
+        d_scale in 1.2..10.0f64,
+    ) {
+        let Some((params_loose, b)) = feasible_point(&p, tau_scale, d_scale * 2.0) else {
+            return Ok(());
+        };
+        let Some((params_tight, _)) = feasible_point(&p, tau_scale, d_scale) else {
+            return Ok(());
+        };
+        let loose = EnforcedWaitsProblem::new(&p, params_loose, b.clone())
+            .solve(SolveMethod::WaterFilling)
+            .unwrap();
+        let tight = EnforcedWaitsProblem::new(&p, params_tight, b)
+            .solve(SolveMethod::WaterFilling)
+            .unwrap();
+        prop_assert!(loose.active_fraction <= tight.active_fraction + 1e-9);
+    }
+
+    #[test]
+    fn minimal_periods_are_componentwise_minimal(
+        p in pipeline(),
+        inflate in prop::collection::vec(1.0..4.0f64, 6),
+    ) {
+        // Any feasible period vector (built by inflating x̂ upstream-first
+        // so the chain constraints stay satisfied) dominates x̂.
+        let xmin = minimal_periods(&p);
+        let g = p.mean_gains();
+        // Inflate from the tail: x_i' = max(t_i, g_i·x_{i+1}') · inflate_i.
+        let t = p.service_times();
+        let n = p.len();
+        let mut x = vec![0.0; n];
+        x[n - 1] = t[n - 1] * inflate[0];
+        for i in (0..n - 1).rev() {
+            x[i] = (t[i].max(g[i] * x[i + 1])) * inflate[(n - 1 - i) % inflate.len()];
+        }
+        for i in 0..n {
+            prop_assert!(x[i] >= xmin[i] - 1e-9, "constructed feasible x below x̂ at {i}");
+        }
+    }
+
+    #[test]
+    fn monolithic_exact_result_beats_random_probes(
+        p in pipeline(),
+        tau_scale in 2.0..40.0f64,
+        d_scale in 2.0..40.0f64,
+        probe in 1u64..5_000,
+    ) {
+        // Build an operating point generous enough that the monolithic
+        // strategy usually has a feasible block size.
+        let totals = p.total_gains();
+        let rate_limit: f64 = p
+            .nodes()
+            .iter()
+            .zip(&totals)
+            .map(|(n, &g)| n.service_time * g)
+            .sum::<f64>()
+            / p.vector_width() as f64;
+        let tau0 = rate_limit * tau_scale;
+        let d = p.total_service_time() * d_scale + tau0 * 64.0;
+        let params = RtParams::new(tau0, d).unwrap();
+        let prob = MonolithicProblem::new(&p, params, 1.0, 1.0);
+        if let Ok(best) = prob.solve() {
+            if let Some(v) = prob.objective(probe.min(prob.max_block_size().max(1))) {
+                prop_assert!(best.active_fraction <= v + 1e-12);
+            }
+        }
+    }
+}

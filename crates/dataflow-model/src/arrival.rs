@@ -1,0 +1,222 @@
+//! Arrival processes.
+//!
+//! The paper's model assumes items arrive *regularly* at rate `ρ0 = 1/τ0`
+//! (§2.1). We implement that as [`ArrivalProcess::Periodic`], plus the
+//! Poisson generalization the conclusion points at and an on/off bursty
+//! process used to study the monolithic strategy's `S` (worst-case
+//! scale) parameter.
+
+use crate::error::ModelError;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How items enter the pipeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Exactly one item every `tau0` cycles (the paper's model).
+    Periodic {
+        /// Inter-arrival time `τ0`.
+        tau0: f64,
+    },
+    /// Poisson arrivals with mean inter-arrival `tau0` (rate `1/τ0`).
+    Poisson {
+        /// Mean inter-arrival time.
+        tau0: f64,
+    },
+    /// On/off bursty arrivals: alternating exponentially-distributed
+    /// "on" and "off" phases; during "on" phases items arrive
+    /// periodically at interval `tau_on`. The long-run mean rate is
+    /// `(on_mean / (on_mean + off_mean)) / tau_on`.
+    Bursty {
+        /// Inter-arrival time inside a burst.
+        tau_on: f64,
+        /// Mean duration of a burst (cycles).
+        on_mean: f64,
+        /// Mean gap between bursts (cycles).
+        off_mean: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Validate parameters.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        let bad = |reason: String| Err(ModelError::InvalidRtParams { reason });
+        let pos = |v: f64| v.is_finite() && v > 0.0;
+        match self {
+            ArrivalProcess::Periodic { tau0 } | ArrivalProcess::Poisson { tau0 } => {
+                if pos(*tau0) {
+                    Ok(())
+                } else {
+                    bad(format!("tau0 = {tau0} must be positive and finite"))
+                }
+            }
+            ArrivalProcess::Bursty {
+                tau_on,
+                on_mean,
+                off_mean,
+            } => {
+                if pos(*tau_on) && pos(*on_mean) && pos(*off_mean) {
+                    Ok(())
+                } else {
+                    bad("bursty parameters must be positive and finite".into())
+                }
+            }
+        }
+    }
+
+    /// Long-run mean inter-arrival time.
+    pub fn mean_interarrival(&self) -> f64 {
+        match self {
+            ArrivalProcess::Periodic { tau0 } | ArrivalProcess::Poisson { tau0 } => *tau0,
+            ArrivalProcess::Bursty {
+                tau_on,
+                on_mean,
+                off_mean,
+            } => {
+                // Items per on/off cycle ≈ on_mean / tau_on; cycle length
+                // = on_mean + off_mean.
+                tau_on * (on_mean + off_mean) / on_mean
+            }
+        }
+    }
+
+    /// Long-run mean rate `ρ0`.
+    pub fn mean_rate(&self) -> f64 {
+        1.0 / self.mean_interarrival()
+    }
+
+    /// Generate the first `n` arrival times (cycles, nondecreasing),
+    /// starting at time 0 for periodic arrivals.
+    pub fn generate<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<f64> {
+        let mut times = Vec::with_capacity(n);
+        match self {
+            ArrivalProcess::Periodic { tau0 } => {
+                for k in 0..n {
+                    times.push(k as f64 * tau0);
+                }
+            }
+            ArrivalProcess::Poisson { tau0 } => {
+                let mut t = 0.0;
+                for _ in 0..n {
+                    // Inverse-CDF exponential draw.
+                    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                    t += -tau0 * u.ln();
+                    times.push(t);
+                }
+            }
+            ArrivalProcess::Bursty {
+                tau_on,
+                on_mean,
+                off_mean,
+            } => {
+                let mut t = 0.0;
+                while times.len() < n {
+                    // One burst: exponential length, periodic arrivals.
+                    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                    let burst_len = -on_mean * u.ln();
+                    let in_burst = ((burst_len / tau_on).floor() as usize).max(1);
+                    for k in 0..in_burst {
+                        if times.len() == n {
+                            break;
+                        }
+                        times.push(t + k as f64 * tau_on);
+                    }
+                    t += in_burst as f64 * tau_on;
+                    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                    t += -off_mean * u.ln();
+                }
+            }
+        }
+        times
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn periodic_is_exact() {
+        let a = ArrivalProcess::Periodic { tau0: 10.0 };
+        let times = a.generate(5, &mut rng());
+        assert_eq!(times, vec![0.0, 10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(a.mean_interarrival(), 10.0);
+        assert!((a.mean_rate() - 0.1).abs() < 1e-15);
+    }
+
+    #[test]
+    fn poisson_mean_rate_matches() {
+        let a = ArrivalProcess::Poisson { tau0: 25.0 };
+        let n = 100_000;
+        let times = a.generate(n, &mut rng());
+        let mean_gap = times.last().unwrap() / (n as f64);
+        assert!((mean_gap - 25.0).abs() < 0.5, "mean gap {mean_gap}");
+        assert!(times.windows(2).all(|w| w[1] >= w[0]), "nondecreasing");
+    }
+
+    #[test]
+    fn bursty_rate_matches_formula() {
+        let a = ArrivalProcess::Bursty {
+            tau_on: 2.0,
+            on_mean: 100.0,
+            off_mean: 300.0,
+        };
+        let n = 200_000;
+        let times = a.generate(n, &mut rng());
+        let measured_gap = times.last().unwrap() / n as f64;
+        let predicted = a.mean_interarrival();
+        assert!(
+            (measured_gap - predicted).abs() / predicted < 0.1,
+            "measured {measured_gap}, predicted {predicted}"
+        );
+    }
+
+    #[test]
+    fn bursty_is_actually_bursty() {
+        let a = ArrivalProcess::Bursty {
+            tau_on: 1.0,
+            on_mean: 50.0,
+            off_mean: 500.0,
+        };
+        let times = a.generate(10_000, &mut rng());
+        let gaps: Vec<f64> = times.windows(2).map(|w| w[1] - w[0]).collect();
+        let small = gaps.iter().filter(|&&g| g < 2.0).count();
+        let large = gaps.iter().filter(|&&g| g > 100.0).count();
+        assert!(small > gaps.len() / 2, "most gaps inside bursts");
+        assert!(large > 0, "some long inter-burst gaps");
+    }
+
+    #[test]
+    fn validation() {
+        assert!(ArrivalProcess::Periodic { tau0: 1.0 }.validate().is_ok());
+        assert!(ArrivalProcess::Periodic { tau0: 0.0 }.validate().is_err());
+        assert!(ArrivalProcess::Poisson { tau0: -1.0 }.validate().is_err());
+        assert!(ArrivalProcess::Bursty {
+            tau_on: 1.0,
+            on_mean: 1.0,
+            off_mean: 0.0
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn deterministic_given_same_seed() {
+        let a = ArrivalProcess::Poisson { tau0: 5.0 };
+        let t1 = a.generate(100, &mut StdRng::seed_from_u64(7));
+        let t2 = a.generate(100, &mut StdRng::seed_from_u64(7));
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn generate_zero_items() {
+        let a = ArrivalProcess::Periodic { tau0: 1.0 };
+        assert!(a.generate(0, &mut rng()).is_empty());
+    }
+}

@@ -1,0 +1,72 @@
+//! Model-level error types.
+
+use std::fmt;
+
+/// Errors raised while constructing or validating model objects.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A pipeline must contain at least one node.
+    EmptyPipeline,
+    /// A node's service time must be strictly positive.
+    NonPositiveServiceTime {
+        /// Offending node index.
+        node: usize,
+        /// The rejected value.
+        value: f64,
+    },
+    /// SIMD vector width must be at least 1.
+    ZeroVectorWidth,
+    /// A gain model parameter is out of range.
+    InvalidGain {
+        /// Offending node index (`usize::MAX` when standalone).
+        node: usize,
+        /// What was wrong.
+        reason: String,
+    },
+    /// Real-time parameters must be positive and finite.
+    InvalidRtParams {
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::EmptyPipeline => write!(f, "pipeline has no nodes"),
+            ModelError::NonPositiveServiceTime { node, value } => {
+                write!(f, "node {node}: service time {value} is not strictly positive")
+            }
+            ModelError::ZeroVectorWidth => write!(f, "SIMD vector width must be >= 1"),
+            ModelError::InvalidGain { node, reason } => {
+                if *node == usize::MAX {
+                    write!(f, "invalid gain model: {reason}")
+                } else {
+                    write!(f, "node {node}: invalid gain model: {reason}")
+                }
+            }
+            ModelError::InvalidRtParams { reason } => write!(f, "invalid RT parameters: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(ModelError::EmptyPipeline.to_string(), "pipeline has no nodes");
+        let e = ModelError::NonPositiveServiceTime { node: 2, value: -1.0 };
+        assert!(e.to_string().contains("node 2"));
+        let e = ModelError::InvalidGain { node: usize::MAX, reason: "p>1".into() };
+        assert!(!e.to_string().contains("node"));
+        let e = ModelError::InvalidGain { node: 1, reason: "p>1".into() };
+        assert!(e.to_string().contains("node 1"));
+        assert!(ModelError::ZeroVectorWidth.to_string().contains(">= 1"));
+        let e = ModelError::InvalidRtParams { reason: "tau0 <= 0".into() };
+        assert!(e.to_string().contains("tau0"));
+    }
+}

@@ -1,0 +1,369 @@
+//! Gain models: the per-input output-count distribution of a node.
+//!
+//! The paper models irregularity per node as a distribution over how many
+//! outputs one input produces. For the BLAST evaluation (§6.1) it uses:
+//!
+//! * **Bernoulli** for the filter-like stages (one output with
+//!   probability `g_i`, else zero), and
+//! * **censored Poisson** for the expanding stage (Poisson with mean
+//!   `g_i`, truncated at the stage's architectural maximum `u = 16`).
+//!
+//! We additionally provide deterministic and empirical (arbitrary PMF)
+//! models, which other applications in this workspace use.
+
+use crate::error::ModelError;
+use rand::Rng;
+use rand_distr::{Distribution, Poisson};
+use serde::{Deserialize, Serialize};
+
+/// Distribution of the number of outputs a node emits per consumed input.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum GainModel {
+    /// Always exactly `k` outputs per input.
+    Deterministic {
+        /// Outputs per input.
+        k: u32,
+    },
+    /// One output with probability `p`, zero otherwise (`0 ≤ p ≤ 1`).
+    Bernoulli {
+        /// Success probability.
+        p: f64,
+    },
+    /// Poisson with the given mean, censored (clamped) at `cap`:
+    /// draws above `cap` count as exactly `cap`.
+    CensoredPoisson {
+        /// Mean of the underlying Poisson.
+        mean: f64,
+        /// Architectural maximum outputs per input (`u` in the paper).
+        cap: u32,
+    },
+    /// Arbitrary probability mass function over output counts.
+    /// Probabilities must be nonnegative and sum to 1 (±1e-9).
+    Empirical {
+        /// `(output_count, probability)` pairs.
+        pmf: Vec<(u32, f64)>,
+    },
+}
+
+impl GainModel {
+    /// Build an [`GainModel::Empirical`] model from observed output
+    /// counts (e.g. a production trace). Returns an error if `samples`
+    /// is empty.
+    pub fn from_samples(samples: &[u32]) -> Result<Self, ModelError> {
+        if samples.is_empty() {
+            return Err(ModelError::InvalidGain {
+                node: usize::MAX,
+                reason: "no samples to build an empirical gain from".into(),
+            });
+        }
+        let mut counts: std::collections::BTreeMap<u32, u64> = std::collections::BTreeMap::new();
+        for &s in samples {
+            *counts.entry(s).or_insert(0) += 1;
+        }
+        let total = samples.len() as f64;
+        let pmf = counts
+            .into_iter()
+            .map(|(k, c)| (k, c as f64 / total))
+            .collect();
+        Ok(GainModel::Empirical { pmf })
+    }
+
+    /// Validate parameters. `node` is used only for error reporting; pass
+    /// `usize::MAX` for a standalone model.
+    pub fn validate(&self, node: usize) -> Result<(), ModelError> {
+        let err = |reason: String| Err(ModelError::InvalidGain { node, reason });
+        match self {
+            GainModel::Deterministic { .. } => Ok(()),
+            GainModel::Bernoulli { p } => {
+                if !(0.0..=1.0).contains(p) || !p.is_finite() {
+                    err(format!("Bernoulli p = {p} outside [0, 1]"))
+                } else {
+                    Ok(())
+                }
+            }
+            GainModel::CensoredPoisson { mean, cap } => {
+                if !mean.is_finite() || *mean <= 0.0 {
+                    err(format!("Poisson mean = {mean} not strictly positive"))
+                } else if *cap == 0 {
+                    err("censoring cap must be >= 1".into())
+                } else {
+                    Ok(())
+                }
+            }
+            GainModel::Empirical { pmf } => {
+                if pmf.is_empty() {
+                    return err("empirical PMF is empty".into());
+                }
+                if pmf.iter().any(|(_, p)| !p.is_finite() || *p < 0.0) {
+                    return err("empirical PMF has a negative or non-finite probability".into());
+                }
+                let total: f64 = pmf.iter().map(|(_, p)| p).sum();
+                if (total - 1.0).abs() > 1e-9 {
+                    return err(format!("empirical PMF sums to {total}, expected 1"));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Expected outputs per input (`g_i` in the paper).
+    pub fn mean(&self) -> f64 {
+        match self {
+            GainModel::Deterministic { k } => *k as f64,
+            GainModel::Bernoulli { p } => *p,
+            GainModel::CensoredPoisson { mean, cap } => censored_poisson_mean(*mean, *cap),
+            GainModel::Empirical { pmf } => pmf.iter().map(|(k, p)| *k as f64 * p).sum(),
+        }
+    }
+
+    /// Variance of outputs per input.
+    pub fn variance(&self) -> f64 {
+        match self {
+            GainModel::Deterministic { .. } => 0.0,
+            GainModel::Bernoulli { p } => p * (1.0 - p),
+            GainModel::CensoredPoisson { mean, cap } => {
+                let (m1, m2) = censored_poisson_moments(*mean, *cap);
+                (m2 - m1 * m1).max(0.0)
+            }
+            GainModel::Empirical { pmf } => {
+                let m1: f64 = pmf.iter().map(|(k, p)| *k as f64 * p).sum();
+                let m2: f64 = pmf.iter().map(|(k, p)| (*k as f64).powi(2) * p).sum();
+                (m2 - m1 * m1).max(0.0)
+            }
+        }
+    }
+
+    /// Largest possible output count per input, if bounded.
+    pub fn max_outputs(&self) -> Option<u32> {
+        match self {
+            GainModel::Deterministic { k } => Some(*k),
+            GainModel::Bernoulli { .. } => Some(1),
+            GainModel::CensoredPoisson { cap, .. } => Some(*cap),
+            GainModel::Empirical { pmf } => pmf.iter().map(|(k, _)| *k).max(),
+        }
+    }
+
+    /// Draw an output count for one input.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        match self {
+            GainModel::Deterministic { k } => *k,
+            GainModel::Bernoulli { p } => {
+                if rng.gen::<f64>() < *p {
+                    1
+                } else {
+                    0
+                }
+            }
+            GainModel::CensoredPoisson { mean, cap } => {
+                let pois = Poisson::new(*mean).expect("validated mean > 0");
+                let draw = pois.sample(rng);
+                // rand_distr returns f64; counts are exact small integers.
+                (draw as u32).min(*cap)
+            }
+            GainModel::Empirical { pmf } => {
+                let mut u = rng.gen::<f64>();
+                for (k, p) in pmf {
+                    if u < *p {
+                        return *k;
+                    }
+                    u -= p;
+                }
+                // Floating-point slop: return the last support point.
+                pmf.last().map(|(k, _)| *k).unwrap_or(0)
+            }
+        }
+    }
+}
+
+/// Mean of `min(Poisson(λ), cap)`.
+fn censored_poisson_mean(lambda: f64, cap: u32) -> f64 {
+    censored_poisson_moments(lambda, cap).0
+}
+
+/// First and second moments of `min(Poisson(λ), cap)`, computed by direct
+/// summation of the PMF (cap is small — 16 in the paper).
+fn censored_poisson_moments(lambda: f64, cap: u32) -> (f64, f64) {
+    // P(X = k) for k < cap, and P(X >= cap) lumped at cap.
+    let mut pk = (-lambda).exp(); // P(X=0)
+    let mut below_mass = 0.0;
+    let mut m1 = 0.0;
+    let mut m2 = 0.0;
+    for k in 0..cap {
+        m1 += k as f64 * pk;
+        m2 += (k as f64).powi(2) * pk;
+        below_mass += pk;
+        pk *= lambda / (k + 1) as f64;
+    }
+    let tail = (1.0 - below_mass).max(0.0);
+    m1 += cap as f64 * tail;
+    m2 += (cap as f64).powi(2) * tail;
+    (m1, m2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xC0FFEE)
+    }
+
+    #[test]
+    fn deterministic_model() {
+        let g = GainModel::Deterministic { k: 3 };
+        assert_eq!(g.mean(), 3.0);
+        assert_eq!(g.variance(), 0.0);
+        assert_eq!(g.max_outputs(), Some(3));
+        assert_eq!(g.sample(&mut rng()), 3);
+        assert!(g.validate(0).is_ok());
+    }
+
+    #[test]
+    fn bernoulli_moments() {
+        let g = GainModel::Bernoulli { p: 0.379 };
+        assert!((g.mean() - 0.379).abs() < 1e-15);
+        assert!((g.variance() - 0.379 * 0.621).abs() < 1e-12);
+        assert_eq!(g.max_outputs(), Some(1));
+    }
+
+    #[test]
+    fn bernoulli_sampling_frequency() {
+        let g = GainModel::Bernoulli { p: 0.379 };
+        let mut r = rng();
+        let n = 200_000;
+        let ones = (0..n).filter(|_| g.sample(&mut r) == 1).count();
+        let freq = ones as f64 / n as f64;
+        assert!((freq - 0.379).abs() < 0.005, "freq {freq}");
+    }
+
+    #[test]
+    fn bernoulli_validation() {
+        assert!(GainModel::Bernoulli { p: 1.0 }.validate(0).is_ok());
+        assert!(GainModel::Bernoulli { p: 0.0 }.validate(0).is_ok());
+        assert!(GainModel::Bernoulli { p: 1.1 }.validate(0).is_err());
+        assert!(GainModel::Bernoulli { p: -0.1 }.validate(0).is_err());
+        assert!(GainModel::Bernoulli { p: f64::NAN }.validate(0).is_err());
+    }
+
+    #[test]
+    fn censored_poisson_mean_below_uncensored() {
+        // Censoring can only reduce the mean.
+        let g = GainModel::CensoredPoisson { mean: 1.920, cap: 16 };
+        let m = g.mean();
+        assert!(m <= 1.920 + 1e-12, "mean {m}");
+        // With cap = 16 and λ = 1.92 the truncated mass is tiny, so the
+        // censored mean should be extremely close to λ.
+        assert!((m - 1.920).abs() < 1e-6, "mean {m}");
+    }
+
+    #[test]
+    fn censored_poisson_tight_cap() {
+        // λ = 2, cap = 1 → X is Bernoulli(1 - e^{-2}).
+        let g = GainModel::CensoredPoisson { mean: 2.0, cap: 1 };
+        let expect = 1.0 - (-2.0_f64).exp();
+        assert!((g.mean() - expect).abs() < 1e-12);
+        assert!((g.variance() - expect * (1.0 - expect)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn censored_poisson_sampling_respects_cap_and_mean() {
+        let g = GainModel::CensoredPoisson { mean: 1.920, cap: 16 };
+        let mut r = rng();
+        let n = 200_000;
+        let mut sum = 0u64;
+        for _ in 0..n {
+            let k = g.sample(&mut r);
+            assert!(k <= 16);
+            sum += k as u64;
+        }
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 1.920).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn censored_poisson_validation() {
+        assert!(GainModel::CensoredPoisson { mean: 0.0, cap: 4 }.validate(0).is_err());
+        assert!(GainModel::CensoredPoisson { mean: 1.0, cap: 0 }.validate(0).is_err());
+        assert!(GainModel::CensoredPoisson { mean: 1.0, cap: 4 }.validate(0).is_ok());
+    }
+
+    #[test]
+    fn empirical_model() {
+        let g = GainModel::Empirical {
+            pmf: vec![(0, 0.5), (2, 0.25), (4, 0.25)],
+        };
+        assert!(g.validate(0).is_ok());
+        assert!((g.mean() - 1.5).abs() < 1e-12);
+        assert_eq!(g.max_outputs(), Some(4));
+        // variance = E[X²] − mean² = (0 + 1 + 4) − 2.25 = 2.75
+        assert!((g.variance() - 2.75).abs() < 1e-12);
+        let mut r = rng();
+        for _ in 0..1000 {
+            let k = g.sample(&mut r);
+            assert!(k == 0 || k == 2 || k == 4);
+        }
+    }
+
+    #[test]
+    fn empirical_validation() {
+        assert!(GainModel::Empirical { pmf: vec![] }.validate(0).is_err());
+        assert!(GainModel::Empirical { pmf: vec![(1, 0.5)] }.validate(0).is_err());
+        assert!(GainModel::Empirical { pmf: vec![(1, -0.5), (0, 1.5)] }.validate(0).is_err());
+        assert!(GainModel::Empirical { pmf: vec![(1, 1.0)] }.validate(0).is_ok());
+    }
+
+    #[test]
+    fn empirical_sampling_frequencies() {
+        let g = GainModel::Empirical {
+            pmf: vec![(0, 0.2), (1, 0.3), (5, 0.5)],
+        };
+        let mut r = rng();
+        let n = 100_000;
+        let mut c0 = 0;
+        let mut c1 = 0;
+        let mut c5 = 0;
+        for _ in 0..n {
+            match g.sample(&mut r) {
+                0 => c0 += 1,
+                1 => c1 += 1,
+                5 => c5 += 1,
+                other => panic!("unexpected sample {other}"),
+            }
+        }
+        assert!((c0 as f64 / n as f64 - 0.2).abs() < 0.01);
+        assert!((c1 as f64 / n as f64 - 0.3).abs() < 0.01);
+        assert!((c5 as f64 / n as f64 - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn from_samples_builds_matching_empirical() {
+        let samples = [0u32, 0, 1, 1, 1, 3, 3, 0];
+        let g = GainModel::from_samples(&samples).unwrap();
+        assert!(g.validate(0).is_ok());
+        let expect_mean = samples.iter().sum::<u32>() as f64 / samples.len() as f64;
+        assert!((g.mean() - expect_mean).abs() < 1e-12);
+        assert_eq!(g.max_outputs(), Some(3));
+        match g {
+            GainModel::Empirical { pmf } => {
+                assert_eq!(pmf.len(), 3);
+                assert!((pmf[0].1 - 3.0 / 8.0).abs() < 1e-12);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn from_samples_rejects_empty() {
+        assert!(GainModel::from_samples(&[]).is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let g = GainModel::CensoredPoisson { mean: 1.92, cap: 16 };
+        let json = serde_json::to_string(&g).unwrap();
+        let back: GainModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(g, back);
+    }
+}

@@ -1,0 +1,82 @@
+//! Pipeline node specification.
+
+use crate::error::ModelError;
+use crate::gain::GainModel;
+use serde::{Deserialize, Serialize};
+
+/// Static description of one pipeline stage.
+///
+/// `service_time` is the time (in device cycles) for one firing — the
+/// node consuming one SIMD vector of up to `v` inputs — *measured under
+/// the node's 1/N processor share* (paper §2.2). It is the same whether
+/// the vector is full or nearly empty; that invariance is exactly what
+/// makes waiting for fuller vectors profitable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// Human-readable stage name.
+    pub name: String,
+    /// Cycles per firing (`t_i`), under the node's processor share.
+    pub service_time: f64,
+    /// Output-count distribution per consumed input (`g_i`'s law).
+    pub gain: GainModel,
+}
+
+impl NodeSpec {
+    /// Construct a node spec.
+    pub fn new(name: impl Into<String>, service_time: f64, gain: GainModel) -> Self {
+        NodeSpec {
+            name: name.into(),
+            service_time,
+            gain,
+        }
+    }
+
+    /// Average gain `g_i`.
+    pub fn mean_gain(&self) -> f64 {
+        self.gain.mean()
+    }
+
+    /// Validate this node's parameters (`idx` for error reporting).
+    pub fn validate(&self, idx: usize) -> Result<(), ModelError> {
+        if self.service_time <= 0.0 || !self.service_time.is_finite() {
+            return Err(ModelError::NonPositiveServiceTime {
+                node: idx,
+                value: self.service_time,
+            });
+        }
+        self.gain.validate(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_mean_gain() {
+        let n = NodeSpec::new("seed", 287.0, GainModel::Bernoulli { p: 0.379 });
+        assert_eq!(n.name, "seed");
+        assert_eq!(n.service_time, 287.0);
+        assert!((n.mean_gain() - 0.379).abs() < 1e-15);
+    }
+
+    #[test]
+    fn validation_rejects_bad_service_time() {
+        for bad in [0.0, -5.0, f64::NAN, f64::INFINITY] {
+            let n = NodeSpec::new("x", bad, GainModel::Deterministic { k: 1 });
+            assert!(n.validate(3).is_err(), "service time {bad} accepted");
+        }
+    }
+
+    #[test]
+    fn validation_propagates_gain_errors() {
+        let n = NodeSpec::new("x", 1.0, GainModel::Bernoulli { p: 2.0 });
+        assert!(matches!(n.validate(1), Err(ModelError::InvalidGain { node: 1, .. })));
+    }
+
+    #[test]
+    fn validation_accepts_good_node() {
+        let n = NodeSpec::new("x", 955.0, GainModel::CensoredPoisson { mean: 1.92, cap: 16 });
+        assert!(n.validate(0).is_ok());
+    }
+}

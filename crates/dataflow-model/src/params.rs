@@ -1,0 +1,104 @@
+//! Real-time operating parameters: arrival rate and deadline.
+
+use crate::error::ModelError;
+use serde::{Deserialize, Serialize};
+
+/// The real-time operating point of a deployment: how fast items arrive
+/// and how quickly each must clear the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RtParams {
+    /// Inter-arrival time `τ0 = 1/ρ0` (cycles per item).
+    pub tau0: f64,
+    /// End-to-end deadline `D` (cycles).
+    pub deadline: f64,
+}
+
+impl RtParams {
+    /// Construct and validate.
+    pub fn new(tau0: f64, deadline: f64) -> Result<Self, ModelError> {
+        let p = RtParams { tau0, deadline };
+        p.validate()?;
+        Ok(p)
+    }
+
+    /// Arrival rate `ρ0 = 1/τ0` (items per cycle).
+    pub fn rho0(&self) -> f64 {
+        1.0 / self.tau0
+    }
+
+    /// Validate positivity and finiteness.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        if !self.tau0.is_finite() || self.tau0 <= 0.0 {
+            return Err(ModelError::InvalidRtParams {
+                reason: format!("tau0 = {} must be positive and finite", self.tau0),
+            });
+        }
+        if !self.deadline.is_finite() || self.deadline <= 0.0 {
+            return Err(ModelError::InvalidRtParams {
+                reason: format!("deadline = {} must be positive and finite", self.deadline),
+            });
+        }
+        Ok(())
+    }
+
+    /// The paper's evaluation grid (§6.1): `τ0 ∈ [1, 100]` and
+    /// `D ∈ [2·10⁴, 3.5·10⁵]` cycles. Returns (τ0 values, D values) with
+    /// the given number of points per axis, spaced geometrically for τ0
+    /// and linearly for D (matching the ranges' character).
+    pub fn paper_grid(tau0_points: usize, d_points: usize) -> (Vec<f64>, Vec<f64>) {
+        assert!(tau0_points >= 2 && d_points >= 2, "need at least 2 points per axis");
+        let tau0s: Vec<f64> = (0..tau0_points)
+            .map(|i| {
+                let f = i as f64 / (tau0_points - 1) as f64;
+                // Geometric from 1 to 100.
+                10f64.powf(2.0 * f)
+            })
+            .collect();
+        let ds: Vec<f64> = (0..d_points)
+            .map(|i| {
+                let f = i as f64 / (d_points - 1) as f64;
+                2e4 + f * (3.5e5 - 2e4)
+            })
+            .collect();
+        (tau0s, ds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_rate() {
+        let p = RtParams::new(10.0, 2e4).unwrap();
+        assert!((p.rho0() - 0.1).abs() < 1e-15);
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        assert!(RtParams::new(0.0, 1.0).is_err());
+        assert!(RtParams::new(-1.0, 1.0).is_err());
+        assert!(RtParams::new(1.0, 0.0).is_err());
+        assert!(RtParams::new(f64::INFINITY, 1.0).is_err());
+        assert!(RtParams::new(1.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn paper_grid_spans_the_paper_ranges() {
+        let (tau0s, ds) = RtParams::paper_grid(11, 8);
+        assert_eq!(tau0s.len(), 11);
+        assert_eq!(ds.len(), 8);
+        assert!((tau0s[0] - 1.0).abs() < 1e-12);
+        assert!((tau0s[10] - 100.0).abs() < 1e-9);
+        assert!((ds[0] - 2e4).abs() < 1e-9);
+        assert!((ds[7] - 3.5e5).abs() < 1e-6);
+        assert!(tau0s.windows(2).all(|w| w[1] > w[0]));
+        assert!(ds.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn paper_grid_needs_two_points() {
+        RtParams::paper_grid(1, 5);
+    }
+}

@@ -1,0 +1,229 @@
+//! Pipeline specification: an ordered chain of nodes sharing one SIMD
+//! device.
+
+use crate::error::ModelError;
+use crate::gain::GainModel;
+use crate::node::NodeSpec;
+use serde::{Deserialize, Serialize};
+
+/// A validated pipeline of `N` stages with SIMD vector width `v`.
+///
+/// Construct via [`PipelineSpec::new`] (validating) or incrementally with
+/// [`PipelineSpecBuilder`]. Invariants guaranteed after construction:
+/// at least one node, all service times strictly positive and finite, all
+/// gain models valid, `v ≥ 1`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineSpec {
+    nodes: Vec<NodeSpec>,
+    vector_width: u32,
+}
+
+impl PipelineSpec {
+    /// Build and validate a pipeline.
+    pub fn new(nodes: Vec<NodeSpec>, vector_width: u32) -> Result<Self, ModelError> {
+        if nodes.is_empty() {
+            return Err(ModelError::EmptyPipeline);
+        }
+        if vector_width == 0 {
+            return Err(ModelError::ZeroVectorWidth);
+        }
+        for (i, n) in nodes.iter().enumerate() {
+            n.validate(i)?;
+        }
+        Ok(PipelineSpec {
+            nodes,
+            vector_width,
+        })
+    }
+
+    /// Number of stages `N`.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Pipelines are never empty; provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// SIMD vector width `v`.
+    pub fn vector_width(&self) -> u32 {
+        self.vector_width
+    }
+
+    /// The stages in order.
+    pub fn nodes(&self) -> &[NodeSpec] {
+        &self.nodes
+    }
+
+    /// Stage `i`'s spec.
+    pub fn node(&self, i: usize) -> &NodeSpec {
+        &self.nodes[i]
+    }
+
+    /// Service times `t_i` as a vector.
+    pub fn service_times(&self) -> Vec<f64> {
+        self.nodes.iter().map(|n| n.service_time).collect()
+    }
+
+    /// Mean gains `g_i` as a vector (the last entry is unused by the
+    /// design problems but still defined).
+    pub fn mean_gains(&self) -> Vec<f64> {
+        self.nodes.iter().map(|n| n.mean_gain()).collect()
+    }
+
+    /// Total gains `G_i = Π_{j<i} g_j` *into* each node, with `G_0 = 1`
+    /// (paper §2.1). `G_i` is the average number of items arriving at
+    /// node `i` per original stream input.
+    pub fn total_gains(&self) -> Vec<f64> {
+        let mut g = Vec::with_capacity(self.nodes.len());
+        let mut acc = 1.0;
+        for n in &self.nodes {
+            g.push(acc);
+            acc *= n.mean_gain();
+        }
+        g
+    }
+
+    /// Total gain *out of* the pipeline: expected final outputs per input.
+    pub fn end_to_end_gain(&self) -> f64 {
+        self.nodes.iter().map(|n| n.mean_gain()).product()
+    }
+
+    /// Sum of service times — the minimum conceivable trip through the
+    /// pipeline (every stage fires immediately, once).
+    pub fn total_service_time(&self) -> f64 {
+        self.nodes.iter().map(|n| n.service_time).sum()
+    }
+}
+
+/// Incremental builder for [`PipelineSpec`].
+///
+/// ```
+/// use dataflow_model::{GainModel, PipelineSpecBuilder};
+/// let p = PipelineSpecBuilder::new(128)
+///     .stage("seed", 287.0, GainModel::Bernoulli { p: 0.379 })
+///     .stage("extend", 955.0, GainModel::CensoredPoisson { mean: 1.920, cap: 16 })
+///     .build()
+///     .unwrap();
+/// assert_eq!(p.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PipelineSpecBuilder {
+    nodes: Vec<NodeSpec>,
+    vector_width: u32,
+}
+
+impl PipelineSpecBuilder {
+    /// Start a pipeline with SIMD width `vector_width`.
+    pub fn new(vector_width: u32) -> Self {
+        PipelineSpecBuilder {
+            nodes: Vec::new(),
+            vector_width,
+        }
+    }
+
+    /// Append a stage.
+    pub fn stage(mut self, name: impl Into<String>, service_time: f64, gain: GainModel) -> Self {
+        self.nodes.push(NodeSpec::new(name, service_time, gain));
+        self
+    }
+
+    /// Validate and build.
+    pub fn build(self) -> Result<PipelineSpec, ModelError> {
+        PipelineSpec::new(self.nodes, self.vector_width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blast_like() -> PipelineSpec {
+        PipelineSpecBuilder::new(128)
+            .stage("s0", 287.0, GainModel::Bernoulli { p: 0.379 })
+            .stage("s1", 955.0, GainModel::CensoredPoisson { mean: 1.920, cap: 16 })
+            .stage("s2", 402.0, GainModel::Bernoulli { p: 0.0332 })
+            .stage("s3", 2753.0, GainModel::Deterministic { k: 1 })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn accessors() {
+        let p = blast_like();
+        assert_eq!(p.len(), 4);
+        assert!(!p.is_empty());
+        assert_eq!(p.vector_width(), 128);
+        assert_eq!(p.node(3).service_time, 2753.0);
+        assert_eq!(p.service_times(), vec![287.0, 955.0, 402.0, 2753.0]);
+    }
+
+    #[test]
+    fn total_gains_match_paper_definition() {
+        let p = blast_like();
+        let g = p.mean_gains();
+        let total = p.total_gains();
+        assert_eq!(total[0], 1.0);
+        assert!((total[1] - g[0]).abs() < 1e-12);
+        assert!((total[2] - g[0] * g[1]).abs() < 1e-9);
+        assert!((total[3] - g[0] * g[1] * g[2]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn end_to_end_gain_and_total_service() {
+        let p = blast_like();
+        assert!((p.total_service_time() - 4397.0).abs() < 1e-9);
+        let e2e = p.end_to_end_gain();
+        // 0.379 · ~1.92 · 0.0332 · 1 ≈ 0.024
+        assert!(e2e > 0.02 && e2e < 0.03, "{e2e}");
+    }
+
+    #[test]
+    fn rejects_empty_pipeline() {
+        assert!(matches!(
+            PipelineSpec::new(vec![], 128),
+            Err(ModelError::EmptyPipeline)
+        ));
+    }
+
+    #[test]
+    fn rejects_zero_vector_width() {
+        let nodes = vec![NodeSpec::new("a", 1.0, GainModel::Deterministic { k: 1 })];
+        assert!(matches!(
+            PipelineSpec::new(nodes, 0),
+            Err(ModelError::ZeroVectorWidth)
+        ));
+    }
+
+    #[test]
+    fn rejects_invalid_node_with_index() {
+        let nodes = vec![
+            NodeSpec::new("ok", 1.0, GainModel::Deterministic { k: 1 }),
+            NodeSpec::new("bad", -1.0, GainModel::Deterministic { k: 1 }),
+        ];
+        match PipelineSpec::new(nodes, 4) {
+            Err(ModelError::NonPositiveServiceTime { node, .. }) => assert_eq!(node, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let p = blast_like();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: PipelineSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn single_stage_pipeline_is_valid() {
+        let p = PipelineSpecBuilder::new(1)
+            .stage("only", 5.0, GainModel::Deterministic { k: 0 })
+            .build()
+            .unwrap();
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.total_gains(), vec![1.0]);
+        assert_eq!(p.end_to_end_gain(), 0.0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests for the application model.
+
+use dataflow_model::analysis::*;
+use dataflow_model::{GainModel, PipelineSpec, PipelineSpecBuilder, RtParams};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a valid gain model.
+fn gain_model() -> impl Strategy<Value = GainModel> {
+    prop_oneof![
+        (0u32..5).prop_map(|k| GainModel::Deterministic { k }),
+        (0.0..=1.0f64).prop_map(|p| GainModel::Bernoulli { p }),
+        (0.05..4.0f64, 1u32..20).prop_map(|(mean, cap)| GainModel::CensoredPoisson { mean, cap }),
+    ]
+}
+
+/// Strategy: a valid pipeline of 1..=6 stages.
+fn pipeline() -> impl Strategy<Value = PipelineSpec> {
+    (
+        prop::collection::vec((1.0..5000.0f64, gain_model()), 1..=6),
+        prop_oneof![Just(32u32), Just(64), Just(128), Just(256)],
+    )
+        .prop_map(|(stages, v)| {
+            let mut b = PipelineSpecBuilder::new(v);
+            for (i, (t, g)) in stages.into_iter().enumerate() {
+                b = b.stage(format!("s{i}"), t, g);
+            }
+            b.build().expect("generated pipelines are valid")
+        })
+}
+
+proptest! {
+    #[test]
+    fn total_gains_are_prefix_products(p in pipeline()) {
+        let g = p.mean_gains();
+        let total = p.total_gains();
+        prop_assert_eq!(total[0], 1.0);
+        let mut acc = 1.0;
+        for i in 1..p.len() {
+            acc *= g[i - 1];
+            prop_assert!((total[i] - acc).abs() <= 1e-9 * acc.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn active_fraction_bounds_and_monotonicity(p in pipeline(), scale in 1.0..50.0f64) {
+        let t = p.service_times();
+        // x = t → fraction exactly 1; scaling periods up reduces it.
+        prop_assert!((enforced_active_fraction(&p, &t) - 1.0).abs() < 1e-12);
+        let scaled: Vec<f64> = t.iter().map(|ti| ti * scale).collect();
+        let af = enforced_active_fraction(&p, &scaled);
+        prop_assert!((af - 1.0 / scale).abs() < 1e-9);
+        prop_assert!(af > 0.0 && af <= 1.0);
+    }
+
+    #[test]
+    fn block_time_bounds(p in pipeline(), m in 1u64..10_000) {
+        // Lower bound: no ceilings; upper bound: each ceiling adds < 1.
+        let v = p.vector_width() as f64;
+        let totals = p.total_gains();
+        let lower: f64 = p.nodes().iter().zip(&totals)
+            .map(|(n, &g)| (m as f64 * g / v) * n.service_time).sum();
+        let upper: f64 = lower + p.total_service_time();
+        let t = monolithic_block_time(&p, m);
+        prop_assert!(t >= lower - 1e-6, "{t} < {lower}");
+        prop_assert!(t <= upper + 1e-6, "{t} > {upper}");
+    }
+
+    #[test]
+    fn block_time_is_nondecreasing_in_m(p in pipeline(), m in 1u64..5_000) {
+        prop_assert!(monolithic_block_time(&p, m + 1) >= monolithic_block_time(&p, m) - 1e-9);
+    }
+
+    #[test]
+    fn period_bounds_scale_linearly_with_tau0(p in pipeline(), tau0 in 1.0..100.0f64) {
+        let a = period_upper_bounds(&p, &RtParams::new(tau0, 1e5).unwrap());
+        let b = period_upper_bounds(&p, &RtParams::new(2.0 * tau0, 1e5).unwrap());
+        for (x, y) in a.iter().zip(&b) {
+            if x.is_finite() {
+                prop_assert!((y / x - 2.0).abs() < 1e-9);
+            } else {
+                prop_assert!(y.is_infinite());
+            }
+        }
+    }
+
+    #[test]
+    fn limits_relationship_holds_generally(p in pipeline(), tau0 in 1.0..100.0f64) {
+        let params = RtParams::new(tau0, 1e6).unwrap();
+        let e = enforced_limit_active_fraction(&p, &params);
+        let m = monolithic_limit_active_fraction(&p, &params);
+        prop_assert!((m - e * p.len() as f64).abs() <= 1e-12 * m.abs().max(1.0));
+    }
+
+    #[test]
+    fn gain_sampling_respects_max_outputs(g in gain_model(), seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let max = g.max_outputs().unwrap();
+        for _ in 0..200 {
+            prop_assert!(g.sample(&mut rng) <= max);
+        }
+    }
+
+    #[test]
+    fn gain_sample_mean_tracks_model_mean(g in gain_model(), seed in 0u64..50) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 30_000;
+        let sum: u64 = (0..n).map(|_| g.sample(&mut rng) as u64).sum();
+        let sample_mean = sum as f64 / n as f64;
+        let model_mean = g.mean();
+        // 6-sigma-ish tolerance using the model's own variance.
+        let tol = 6.0 * (g.variance() / n as f64).sqrt() + 1e-6;
+        prop_assert!(
+            (sample_mean - model_mean).abs() <= tol,
+            "sample {sample_mean} vs model {model_mean} (tol {tol})"
+        );
+    }
+
+    #[test]
+    fn min_feasible_deadline_is_a_true_lower_bound(p in pipeline(), b_raw in prop::collection::vec(1.0..8.0f64, 6)) {
+        let b = &b_raw[..p.len()];
+        let min_d = min_feasible_deadline(&p, b);
+        // Any period vector with x >= t has at least this latency bound.
+        let bound_at_t = enforced_latency_bound(&p, &p.service_times(), b);
+        prop_assert!((min_d - bound_at_t).abs() < 1e-9);
+        let inflated: Vec<f64> = p.service_times().iter().map(|t| t * 1.7).collect();
+        prop_assert!(enforced_latency_bound(&p, &inflated, b) >= min_d);
+    }
+}

@@ -1,0 +1,402 @@
+//! Online statistics accumulators.
+//!
+//! Long simulated streams (the paper uses 50 000 inputs × 100 seeds ×
+//! thousands of parameter cells) make storing raw samples impractical.
+//! These accumulators keep O(1) or O(bins) state.
+
+use serde::{Deserialize, Serialize};
+
+/// Welford online mean/variance plus min/max and count.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// New empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add a sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 if fewer than 2 samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample (`None` if empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest sample (`None` if empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Merge another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += delta * n2 / n;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / n;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Fixed-width-bin histogram over `[lo, hi)` with overflow/underflow bins.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Create a histogram with `nbins` equal bins spanning `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `nbins == 0` or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, nbins: usize) -> Self {
+        assert!(nbins > 0, "histogram needs at least one bin");
+        assert!(lo < hi, "histogram range must be nonempty");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; nbins],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Record a sample.
+    pub fn push(&mut self, x: f64) {
+        self.total += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let frac = (x - self.lo) / (self.hi - self.lo);
+            let idx = ((frac * self.bins.len() as f64) as usize).min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Total samples recorded (including under/overflow).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Count of samples below range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Count of samples at or above range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Per-bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Approximate `q`-quantile (0 ≤ q ≤ 1) from bin midpoints.
+    ///
+    /// Underflow samples count as `lo`, overflow as `hi`. Returns `None`
+    /// if the histogram is empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = self.underflow;
+        if seen >= target {
+            return Some(self.lo);
+        }
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        for (i, &c) in self.bins.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(self.lo + (i as f64 + 0.5) * width);
+            }
+        }
+        Some(self.hi)
+    }
+
+    /// Merge a compatible histogram (same range and bin count).
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bins.len(), other.bins.len(), "bin count mismatch");
+        assert!(
+            (self.lo - other.lo).abs() < f64::EPSILON && (self.hi - other.hi).abs() < f64::EPSILON,
+            "range mismatch"
+        );
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.total += other.total;
+    }
+}
+
+/// Time-weighted average of a piecewise-constant signal (e.g. queue
+/// length over simulated time).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeWeighted {
+    last_t: f64,
+    last_v: f64,
+    area: f64,
+    t0: f64,
+    started: bool,
+    max: f64,
+}
+
+impl Default for TimeWeighted {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TimeWeighted {
+    /// New accumulator; the signal starts when [`TimeWeighted::record`]
+    /// is first called.
+    pub fn new() -> Self {
+        TimeWeighted {
+            last_t: 0.0,
+            last_v: 0.0,
+            area: 0.0,
+            t0: 0.0,
+            started: false,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record that the signal takes value `v` from time `t` onward.
+    ///
+    /// Times must be nondecreasing.
+    pub fn record(&mut self, t: f64, v: f64) {
+        if !self.started {
+            self.t0 = t;
+            self.started = true;
+        } else {
+            assert!(t >= self.last_t, "time went backwards");
+            self.area += self.last_v * (t - self.last_t);
+        }
+        self.last_t = t;
+        self.last_v = v;
+        self.max = self.max.max(v);
+    }
+
+    /// Time-weighted mean of the signal up to time `t_end`.
+    pub fn mean_until(&self, t_end: f64) -> f64 {
+        if !self.started || t_end <= self.t0 {
+            return 0.0;
+        }
+        let area = self.area + self.last_v * (t_end - self.last_t).max(0.0);
+        area / (t_end - self.t0)
+    }
+
+    /// Maximum recorded value (`None` before any record).
+    pub fn max(&self) -> Option<f64> {
+        self.started.then_some(self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_basic() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn online_stats_empty() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert!(s.min().is_none());
+        assert!(s.max().is_none());
+    }
+
+    #[test]
+    fn online_stats_merge_matches_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut all = OnlineStats::new();
+        for &x in &xs {
+            all.push(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &xs[..37] {
+            a.push(x);
+        }
+        for &x in &xs[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-10);
+        assert!((a.variance() - all.variance()).abs() < 1e-10);
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = OnlineStats::new();
+        a.push(1.0);
+        a.push(3.0);
+        let before_mean = a.mean();
+        a.merge(&OnlineStats::new());
+        assert_eq!(a.mean(), before_mean);
+        let mut e = OnlineStats::new();
+        e.merge(&a);
+        assert_eq!(e.count(), 2);
+    }
+
+    #[test]
+    fn histogram_bins_and_flows() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.push(-1.0);
+        h.push(0.0);
+        h.push(9.999);
+        h.push(10.0);
+        h.push(5.5);
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.bins()[0], 1);
+        assert_eq!(h.bins()[9], 1);
+        assert_eq!(h.bins()[5], 1);
+    }
+
+    #[test]
+    fn histogram_quantile() {
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        for i in 0..100 {
+            h.push(i as f64);
+        }
+        let med = h.quantile(0.5).unwrap();
+        assert!((med - 49.5).abs() <= 1.0, "median {med}");
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p99 >= 97.0, "p99 {p99}");
+        assert!(Histogram::new(0.0, 1.0, 1).quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new(0.0, 10.0, 5);
+        let mut b = Histogram::new(0.0, 10.0, 5);
+        a.push(1.0);
+        b.push(1.0);
+        b.push(11.0);
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.bins()[0], 2);
+        assert_eq!(a.overflow(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn histogram_zero_bins_panics() {
+        Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    fn time_weighted_mean() {
+        let mut tw = TimeWeighted::new();
+        tw.record(0.0, 2.0); // v=2 on [0,10)
+        tw.record(10.0, 4.0); // v=4 on [10,20)
+        assert!((tw.mean_until(20.0) - 3.0).abs() < 1e-12);
+        assert_eq!(tw.max(), Some(4.0));
+    }
+
+    #[test]
+    fn time_weighted_before_start_is_zero() {
+        let tw = TimeWeighted::new();
+        assert_eq!(tw.mean_until(5.0), 0.0);
+        assert!(tw.max().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn time_weighted_rejects_backwards_time() {
+        let mut tw = TimeWeighted::new();
+        tw.record(5.0, 1.0);
+        tw.record(4.0, 1.0);
+    }
+}

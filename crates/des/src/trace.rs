@@ -1,0 +1,137 @@
+//! Bounded event tracing for debugging simulations.
+//!
+//! A [`TraceBuffer`] keeps the most recent `capacity` records in a ring.
+//! Tracing is off the hot path by default: the simulator only calls
+//! [`TraceBuffer::push`] when a trace has been attached, and the buffer
+//! never allocates after construction.
+
+use crate::clock::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// One trace record: a timestamp, a subsystem tag, and a message.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// When the traced event happened.
+    pub time: SimTime,
+    /// Which subsystem emitted it (e.g. a node index).
+    pub tag: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// A fixed-capacity ring buffer of [`TraceRecord`]s.
+#[derive(Debug, Clone)]
+pub struct TraceBuffer {
+    records: Vec<TraceRecord>,
+    head: usize,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    /// Create a buffer holding at most `capacity` records.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace buffer needs nonzero capacity");
+        TraceBuffer {
+            records: Vec::with_capacity(capacity),
+            head: 0,
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Append a record, evicting the oldest if full.
+    pub fn push(&mut self, time: SimTime, tag: u32, message: impl Into<String>) {
+        let rec = TraceRecord {
+            time,
+            tag,
+            message: message.into(),
+        };
+        if self.records.len() < self.capacity {
+            self.records.push(rec);
+        } else {
+            self.records[self.head] = rec;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if nothing has been traced.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// How many records were evicted to make room.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Records in chronological order (oldest first).
+    pub fn iter(&self) -> impl Iterator<Item = &TraceRecord> {
+        let (newer, older) = self.records.split_at(self.head);
+        older.iter().chain(newer.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(c: u64) -> SimTime {
+        SimTime::from_cycles(c)
+    }
+
+    #[test]
+    fn keeps_all_records_under_capacity() {
+        let mut tb = TraceBuffer::new(4);
+        tb.push(t(1), 0, "a");
+        tb.push(t(2), 0, "b");
+        assert_eq!(tb.len(), 2);
+        assert_eq!(tb.dropped(), 0);
+        let msgs: Vec<_> = tb.iter().map(|r| r.message.as_str()).collect();
+        assert_eq!(msgs, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn evicts_oldest_when_full() {
+        let mut tb = TraceBuffer::new(3);
+        for i in 0..5u64 {
+            tb.push(t(i), 0, format!("m{i}"));
+        }
+        assert_eq!(tb.len(), 3);
+        assert_eq!(tb.dropped(), 2);
+        let msgs: Vec<_> = tb.iter().map(|r| r.message.as_str()).collect();
+        assert_eq!(msgs, vec!["m2", "m3", "m4"]);
+    }
+
+    #[test]
+    fn iteration_order_is_chronological_after_wrap() {
+        let mut tb = TraceBuffer::new(2);
+        tb.push(t(1), 1, "x");
+        tb.push(t(2), 2, "y");
+        tb.push(t(3), 3, "z");
+        let times: Vec<_> = tb.iter().map(|r| r.time.cycles()).collect();
+        assert_eq!(times, vec![2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero capacity")]
+    fn zero_capacity_panics() {
+        TraceBuffer::new(0);
+    }
+
+    #[test]
+    fn empty_buffer() {
+        let tb = TraceBuffer::new(1);
+        assert!(tb.is_empty());
+        assert_eq!(tb.iter().count(), 0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for the discrete-event engine.
+
+use des::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn calendar_pops_sorted_by_time_then_seq(times in prop::collection::vec(0u64..10_000, 1..200)) {
+        let mut cal = Calendar::new();
+        for (i, &t) in times.iter().enumerate() {
+            cal.schedule(SimTime::from_cycles(t), i);
+        }
+        let mut popped: Vec<(u64, u64)> = Vec::new();
+        while let Some(ev) = cal.pop() {
+            popped.push((ev.time.cycles(), ev.seq));
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0] <= w[1], "out of (time, seq) order: {:?} then {:?}", w[0], w[1]);
+        }
+        // Every scheduled time appears.
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        let got: Vec<u64> = popped.iter().map(|(t, _)| *t).collect();
+        prop_assert_eq!(got, sorted);
+    }
+
+    #[test]
+    fn online_stats_merge_is_order_insensitive(
+        xs in prop::collection::vec(-1e6..1e6f64, 1..100),
+        split in 0usize..100,
+    ) {
+        let cut = split.min(xs.len());
+        let mut whole = OnlineStats::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &xs[..cut] { a.push(x); }
+        for &x in &xs[cut..] { b.push(x); }
+        // Merge both ways.
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        for m in [&ab, &ba] {
+            prop_assert_eq!(m.count(), whole.count());
+            prop_assert!((m.mean() - whole.mean()).abs() <= 1e-6 * whole.mean().abs().max(1.0));
+            prop_assert!((m.variance() - whole.variance()).abs() <= 1e-4 * whole.variance().abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_are_monotone(
+        xs in prop::collection::vec(0.0..100.0f64, 1..200),
+        qa in 0.0..1.0f64,
+        qb in 0.0..1.0f64,
+    ) {
+        let mut h = Histogram::new(0.0, 100.0, 50);
+        for &x in &xs {
+            h.push(x);
+        }
+        let (lo_q, hi_q) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+        let a = h.quantile(lo_q).unwrap();
+        let b = h.quantile(hi_q).unwrap();
+        prop_assert!(a <= b, "quantile({lo_q})={a} > quantile({hi_q})={b}");
+    }
+
+    #[test]
+    fn rng_uniform_below_is_always_in_range(seed in 0u64..10_000, n in 1u64..1_000_000) {
+        let mut r = RngStream::new(seed);
+        for _ in 0..100 {
+            prop_assert!(r.uniform_below(n) < n);
+        }
+    }
+
+    #[test]
+    fn rng_substreams_with_distinct_labels_differ(seed in 0u64..10_000, l1 in 0u64..1000, l2 in 0u64..1000) {
+        prop_assume!(l1 != l2);
+        let parent = RngStream::new(seed);
+        let mut a = parent.substream(l1);
+        let mut b = parent.substream(l2);
+        let matches = (0..16).filter(|_| a.next_u64_raw() == b.next_u64_raw()).count();
+        prop_assert!(matches < 2, "substreams {l1} and {l2} coincide");
+    }
+
+    #[test]
+    fn time_weighted_mean_is_within_signal_range(
+        steps in prop::collection::vec((0.0..100.0f64, -50.0..50.0f64), 1..50),
+    ) {
+        let mut tw = TimeWeighted::new();
+        let mut t = 0.0;
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &(dt, v) in &steps {
+            t += dt + 1e-9;
+            tw.record(t, v);
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        let mean = tw.mean_until(t + 10.0);
+        prop_assert!(mean >= lo - 1e-9 && mean <= hi + 1e-9, "mean {mean} outside [{lo}, {hi}]");
+    }
+}

@@ -1,0 +1,146 @@
+//! Work items flowing through the simulated pipeline.
+
+use des::clock::SimTime;
+
+/// A work item inside the pipeline. Every item carries the identity and
+/// arrival time of its *ancestral stream input*, because deadlines
+/// attach to stream inputs (paper §2.3): an input's deadline is met only
+/// when every item derived from it has left the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Item {
+    /// Index of the original stream input this item derives from.
+    pub origin: u64,
+    /// Arrival time of that original input.
+    pub arrival: SimTime,
+}
+
+/// Tracks, per stream input, how many derived items are still alive in
+/// the pipeline, and when the last one left.
+///
+/// An input starts with one live item (itself). When a node consumes an
+/// item and emits `k` outputs, the live count changes by `k − 1`; when
+/// it reaches zero the input is *complete* — either its outputs all
+/// exited the final stage or its lineage died at a filter stage
+/// (producing zero outputs means there is nothing left to wait for).
+#[derive(Debug)]
+pub struct LineageTracker {
+    live: Vec<u32>,
+    completion: Vec<Option<SimTime>>,
+    completed: u64,
+}
+
+impl LineageTracker {
+    /// Tracker for a stream of `n` inputs.
+    pub fn new(n: usize) -> Self {
+        LineageTracker {
+            live: vec![0; n],
+            completion: vec![None; n],
+            completed: 0,
+        }
+    }
+
+    /// Register the arrival of input `origin` (live count 0 → 1).
+    pub fn arrive(&mut self, origin: u64) {
+        let o = origin as usize;
+        debug_assert_eq!(self.live[o], 0, "input {origin} arrived twice");
+        self.live[o] = 1;
+    }
+
+    /// Record that one item of `origin`'s lineage was consumed and
+    /// produced `outputs` new items, at firing-completion time `at`.
+    /// Returns `true` if this completed the input.
+    pub fn consume(&mut self, origin: u64, outputs: u32, at: SimTime) -> bool {
+        let o = origin as usize;
+        debug_assert!(self.live[o] > 0, "consuming dead lineage of input {origin}");
+        self.live[o] = self.live[o] - 1 + outputs;
+        if self.live[o] == 0 && self.completion[o].is_none() {
+            self.completion[o] = Some(at);
+            self.completed += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of inputs fully resolved.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Completion time of input `origin`, if complete.
+    pub fn completion(&self, origin: u64) -> Option<SimTime> {
+        self.completion[origin as usize]
+    }
+
+    /// True if every input in the stream is complete.
+    pub fn all_complete(&self) -> bool {
+        self.completed as usize == self.completion.len()
+    }
+
+    /// Iterate completion times with input indices.
+    pub fn completions(&self) -> impl Iterator<Item = (u64, Option<SimTime>)> + '_ {
+        self.completion
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i as u64, *c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(c: u64) -> SimTime {
+        SimTime::from_cycles(c)
+    }
+
+    #[test]
+    fn single_item_passthrough() {
+        let mut lt = LineageTracker::new(1);
+        lt.arrive(0);
+        // One node consumes it, emits 1 output.
+        assert!(!lt.consume(0, 1, t(10)));
+        // Final node consumes, emits nothing further (exits).
+        assert!(lt.consume(0, 0, t(20)));
+        assert_eq!(lt.completion(0), Some(t(20)));
+        assert!(lt.all_complete());
+    }
+
+    #[test]
+    fn filtered_item_completes_at_filter() {
+        let mut lt = LineageTracker::new(1);
+        lt.arrive(0);
+        assert!(lt.consume(0, 0, t(5)), "zero outputs → lineage dies → complete");
+        assert_eq!(lt.completion(0), Some(t(5)));
+    }
+
+    #[test]
+    fn expansion_requires_all_descendants() {
+        let mut lt = LineageTracker::new(1);
+        lt.arrive(0);
+        // Expand ×3.
+        assert!(!lt.consume(0, 3, t(10)));
+        // Two of the three die, one at a time.
+        assert!(!lt.consume(0, 0, t(20)));
+        assert!(!lt.consume(0, 0, t(30)));
+        // The last one exits: now complete.
+        assert!(lt.consume(0, 0, t(40)));
+        assert_eq!(lt.completion(0), Some(t(40)));
+    }
+
+    #[test]
+    fn independent_origins() {
+        let mut lt = LineageTracker::new(2);
+        lt.arrive(0);
+        lt.arrive(1);
+        lt.consume(1, 0, t(5));
+        assert_eq!(lt.completed(), 1);
+        assert!(lt.completion(0).is_none());
+        assert!(!lt.all_complete());
+        lt.consume(0, 0, t(9));
+        assert!(lt.all_complete());
+        let comps: Vec<_> = lt.completions().collect();
+        assert_eq!(comps[0], (0, Some(t(9))));
+        assert_eq!(comps[1], (1, Some(t(5))));
+    }
+}

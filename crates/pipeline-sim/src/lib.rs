@@ -1,0 +1,45 @@
+//! # pipeline-sim — discrete-event simulation of irregular SIMD pipelines
+//!
+//! This crate is the simulator of the paper's §6.2: it executes a
+//! pipeline on the §2.2 system model (one processor, 1/N share per node,
+//! SIMD vector width `v`) under either scheduling strategy, processes a
+//! long stream of inputs, and reports
+//!
+//! * how many inputs missed their deadline (the schedulability check),
+//! * the **measured** active fraction (validated against the optimizer's
+//!   prediction — §6.2 notes they match closely),
+//! * per-node lane occupancy and queue high-water marks (the empirical
+//!   counterpart of the backlog factors `b_i`).
+//!
+//! Modules:
+//!
+//! * [`enforced`] — the enforced-waits runtime: every node fires
+//!   periodically with its optimized period `t_i + w_i`.
+//! * [`monolithic`] — the block-batching runtime: accumulate `M` items,
+//!   push the whole block through the pipeline at once.
+//! * [`runner`] — multi-seed experiment execution (parallel across
+//!   seeds), mirroring the paper's 100-runs-per-point methodology.
+//! * [`calibration`] — the §6.2 empirical search for backlog factors:
+//!   start from the optimistic `b_i = ⌈g_i⌉`, simulate, escalate the
+//!   factors of nodes whose queues overflow the design assumption, and
+//!   repeat until a target fraction of seeds is miss-free.
+//! * [`validate`] — optimizer-vs-simulator agreement checks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calibration;
+pub mod config;
+pub mod enforced;
+pub mod item;
+pub mod metrics;
+pub mod monolithic;
+pub mod runner;
+pub mod timeline;
+pub mod validate;
+
+pub use config::SimConfig;
+pub use enforced::simulate_enforced;
+pub use metrics::SimMetrics;
+pub use monolithic::simulate_monolithic;
+pub use runner::{run_seeds_enforced, run_seeds_monolithic, MultiSeedReport};

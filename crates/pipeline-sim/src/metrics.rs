@@ -1,0 +1,85 @@
+//! Measurements from one simulation run.
+
+use des::stats::OnlineStats;
+use serde::{Deserialize, Serialize};
+use simd_device::OccupancyStats;
+
+/// Everything one simulation run measures.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimMetrics {
+    /// Stream inputs that arrived.
+    pub items_arrived: u64,
+    /// Stream inputs fully resolved (all derived outputs exited).
+    pub items_completed: u64,
+    /// Stream inputs whose completion exceeded `arrival + D` (including
+    /// any still unresolved when the run hit its safety horizon).
+    pub deadline_misses: u64,
+    /// Measured active fraction under the paper's convention (empty
+    /// firings charged).
+    pub active_fraction: f64,
+    /// Measured active fraction with empty firings treated as vacations.
+    pub active_fraction_nonempty: f64,
+    /// Per-input end-to-end latency statistics (cycles).
+    pub latency: OnlineStats,
+    /// Per-node lane occupancy.
+    pub occupancy: Vec<OccupancyStats>,
+    /// Per-node maximum input-queue depth observed (items).
+    pub max_queue_depth: Vec<u64>,
+    /// `max_queue_depth / v`: the empirical counterpart of the paper's
+    /// backlog factors `b_i`.
+    pub max_backlog_vectors: Vec<f64>,
+    /// Simulated horizon (cycles) the run covered.
+    pub horizon: f64,
+    /// True if the run hit its safety horizon before completing all
+    /// inputs (a sign of an unstable or badly mis-calibrated schedule).
+    pub truncated: bool,
+}
+
+impl SimMetrics {
+    /// True if no input missed its deadline.
+    pub fn miss_free(&self) -> bool {
+        self.deadline_misses == 0
+    }
+
+    /// Misses as a fraction of arrived inputs.
+    pub fn miss_rate(&self) -> f64 {
+        if self.items_arrived == 0 {
+            0.0
+        } else {
+            self.deadline_misses as f64 / self.items_arrived as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blank() -> SimMetrics {
+        SimMetrics {
+            items_arrived: 100,
+            items_completed: 100,
+            deadline_misses: 0,
+            active_fraction: 0.5,
+            active_fraction_nonempty: 0.4,
+            latency: OnlineStats::new(),
+            occupancy: vec![],
+            max_queue_depth: vec![],
+            max_backlog_vectors: vec![],
+            horizon: 1000.0,
+            truncated: false,
+        }
+    }
+
+    #[test]
+    fn miss_accessors() {
+        let mut m = blank();
+        assert!(m.miss_free());
+        assert_eq!(m.miss_rate(), 0.0);
+        m.deadline_misses = 5;
+        assert!(!m.miss_free());
+        assert!((m.miss_rate() - 0.05).abs() < 1e-12);
+        m.items_arrived = 0;
+        assert_eq!(m.miss_rate(), 0.0);
+    }
+}

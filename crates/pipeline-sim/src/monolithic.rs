@@ -1,0 +1,291 @@
+//! Simulation of the monolithic batching strategy.
+//!
+//! Items accumulate into blocks of `M`; when a block is full (and the
+//! pipeline is free) the whole block runs through all stages back to
+//! back. Within a block, stage `i` needs `⌈n_i / v⌉` firings of `t_i`
+//! cycles each, where `n_i` is the *actual* (sampled) number of items
+//! reaching stage `i` — the simulation realizes the stochastic gains the
+//! analysis only averages. Every item in a block completes when the
+//! block finishes; the stream's final partial block is flushed at the
+//! end.
+
+use crate::config::SimConfig;
+use crate::metrics::SimMetrics;
+use des::rng::RngStream;
+use des::stats::OnlineStats;
+use dataflow_model::PipelineSpec;
+use rtsdf_core::MonolithicSchedule;
+use simd_device::OccupancyStats;
+
+/// Simulate one run of the monolithic `schedule` on `pipeline`.
+pub fn simulate_monolithic(
+    pipeline: &PipelineSpec,
+    schedule: &MonolithicSchedule,
+    deadline: f64,
+    config: &SimConfig,
+) -> SimMetrics {
+    let n = pipeline.len();
+    let v = pipeline.vector_width();
+    let m = schedule.block_size.max(1) as usize;
+    let service: Vec<f64> = pipeline.service_times();
+
+    let master = RngStream::new(config.seed);
+    let mut arrival_rng = master.substream(0);
+    let mut gain_rngs: Vec<RngStream> = (0..n).map(|i| master.substream(1 + i as u64)).collect();
+
+    let arrivals = config.arrivals.generate(config.stream_length, &mut arrival_rng);
+    let last_arrival = arrivals.last().copied().unwrap_or(0.0);
+    let safety_horizon = last_arrival + config.drain_factor * deadline;
+
+    let mut occupancy: Vec<OccupancyStats> = (0..n).map(|_| OccupancyStats::new()).collect();
+    let mut latency = OnlineStats::new();
+    let mut misses = 0u64;
+    let mut completed = 0u64;
+    let mut busy_total = 0.0;
+    let mut pipeline_free_at = 0.0_f64;
+    let mut horizon = 0.0_f64;
+    let mut truncated = false;
+    let mut max_waiting = 0u64;
+    let mut processed_before = 0usize;
+
+    for block in arrivals.chunks(m) {
+        let ready = *block.last().expect("chunks are nonempty");
+        let start = ready.max(pipeline_free_at);
+        if start > safety_horizon {
+            truncated = true;
+            break;
+        }
+        // Queue depth just before this block starts: arrived but not yet
+        // processed items (this block's own plus any backlog behind a
+        // busy pipeline).
+        let arrived = arrivals.partition_point(|&t| t <= start);
+        max_waiting = max_waiting.max((arrived - processed_before) as u64);
+
+        // Push the block through all stages, sampling actual gains.
+        let mut count = block.len() as u64;
+        let mut busy = 0.0;
+        for i in 0..n {
+            if count == 0 {
+                break;
+            }
+            let firings = count.div_ceil(v as u64);
+            busy += firings as f64 * service[i];
+            let full = count / v as u64;
+            for _ in 0..full {
+                occupancy[i].record(v, v);
+            }
+            let rem = (count % v as u64) as u32;
+            if rem > 0 {
+                occupancy[i].record(rem, v);
+            }
+            if i + 1 < n {
+                let mut next = 0u64;
+                for _ in 0..count {
+                    next += pipeline.node(i).gain.sample(&mut gain_rngs[i]) as u64;
+                }
+                count = next;
+            }
+        }
+        let finish = start + busy;
+        busy_total += busy;
+        pipeline_free_at = finish;
+        horizon = horizon.max(finish);
+        processed_before += block.len();
+
+        for &arr in block {
+            let lat = finish - arr;
+            latency.push(lat);
+            completed += 1;
+            if lat > deadline {
+                misses += 1;
+            }
+        }
+    }
+    if truncated {
+        misses += (arrivals.len() - processed_before) as u64;
+        horizon = safety_horizon;
+    }
+    let horizon = horizon.max(1.0);
+
+    // The monolithic application is a single schedulable unit: its
+    // active fraction is total busy time over the horizon.
+    let active_fraction = busy_total / horizon;
+    SimMetrics {
+        items_arrived: arrivals.len() as u64,
+        items_completed: completed,
+        deadline_misses: misses,
+        active_fraction,
+        // No empty firings exist in this strategy: a stage with zero
+        // items simply does not fire.
+        active_fraction_nonempty: active_fraction,
+        latency,
+        max_queue_depth: {
+            let mut d = vec![0u64; n];
+            d[0] = max_waiting;
+            d
+        },
+        max_backlog_vectors: {
+            let mut b = vec![0.0; n];
+            b[0] = max_waiting as f64 / v as f64;
+            b
+        },
+        occupancy,
+        horizon,
+        truncated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataflow_model::{GainModel, PipelineSpecBuilder, RtParams};
+    use rtsdf_core::MonolithicProblem;
+
+    fn blast() -> PipelineSpec {
+        PipelineSpecBuilder::new(128)
+            .stage("s0", 287.0, GainModel::Bernoulli { p: 0.379 })
+            .stage("s1", 955.0, GainModel::CensoredPoisson { mean: 1.920, cap: 16 })
+            .stage("s2", 402.0, GainModel::Bernoulli { p: 0.0332 })
+            .stage("s3", 2753.0, GainModel::Deterministic { k: 1 })
+            .build()
+            .unwrap()
+    }
+
+    fn schedule(p: &PipelineSpec, tau0: f64, d: f64) -> MonolithicSchedule {
+        MonolithicProblem::new(p, RtParams::new(tau0, d).unwrap(), 1.0, 1.0)
+            .solve()
+            .unwrap()
+    }
+
+    #[test]
+    fn paper_observation_no_misses_with_b1_s1() {
+        // §6.2: "For the monolithic strategy, we observed no deadline
+        // misses in simulation even with b = 1, S = 1."
+        let p = blast();
+        for seed in 0..5 {
+            let sched = schedule(&p, 50.0, 1e5);
+            let cfg = SimConfig::quick(50.0, seed, 10_000);
+            let m = simulate_monolithic(&p, &sched, 1e5, &cfg);
+            assert!(!m.truncated);
+            assert_eq!(m.items_completed, 10_000);
+            assert!(
+                m.miss_free(),
+                "seed {seed}: {} misses at M={}",
+                m.deadline_misses,
+                sched.block_size
+            );
+        }
+    }
+
+    #[test]
+    fn measured_active_fraction_matches_prediction() {
+        let p = blast();
+        let sched = schedule(&p, 50.0, 1e5);
+        let cfg = SimConfig::quick(50.0, 11, 20_000);
+        let m = simulate_monolithic(&p, &sched, 1e5, &cfg);
+        let rel = (m.active_fraction - sched.active_fraction).abs() / sched.active_fraction;
+        assert!(
+            rel < 0.08,
+            "measured {} vs predicted {} (rel {rel}, M={})",
+            m.active_fraction,
+            sched.active_fraction,
+            sched.block_size
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = blast();
+        let sched = schedule(&p, 50.0, 1e5);
+        let cfg = SimConfig::quick(50.0, 4, 5_000);
+        let a = simulate_monolithic(&p, &sched, 1e5, &cfg);
+        let b = simulate_monolithic(&p, &sched, 1e5, &cfg);
+        assert_eq!(a.active_fraction, b.active_fraction);
+        assert_eq!(a.deadline_misses, b.deadline_misses);
+    }
+
+    #[test]
+    fn partial_final_block_is_flushed() {
+        let p = blast();
+        let sched = MonolithicSchedule {
+            block_size: 64,
+            block_time: 0.0,
+            active_fraction: 0.0,
+            latency_bound: 0.0,
+            b: 1.0,
+            s: 1.0,
+        };
+        let cfg = SimConfig::quick(50.0, 1, 130); // 2 full blocks + 2 items
+        let m = simulate_monolithic(&p, &sched, 1e9, &cfg);
+        assert_eq!(m.items_completed, 130);
+    }
+
+    #[test]
+    fn block_smaller_than_stream() {
+        let p = blast();
+        let sched = MonolithicSchedule {
+            block_size: 1_000_000,
+            block_time: 0.0,
+            active_fraction: 0.0,
+            latency_bound: 0.0,
+            b: 1.0,
+            s: 1.0,
+        };
+        let cfg = SimConfig::quick(50.0, 1, 100);
+        let m = simulate_monolithic(&p, &sched, 1e9, &cfg);
+        assert_eq!(m.items_completed, 100);
+        assert!(m.miss_free());
+    }
+
+    #[test]
+    fn unstable_block_size_truncates() {
+        let p = blast();
+        // M = 8 at τ0 = 1: each block takes ≥ 4397 cycles but accumulates
+        // in 8 → backlog grows without bound.
+        let sched = MonolithicSchedule {
+            block_size: 8,
+            block_time: 0.0,
+            active_fraction: 0.0,
+            latency_bound: 0.0,
+            b: 1.0,
+            s: 1.0,
+        };
+        let mut cfg = SimConfig::quick(1.0, 1, 20_000);
+        cfg.drain_factor = 3.0;
+        let m = simulate_monolithic(&p, &sched, 1e4, &cfg);
+        assert!(m.truncated);
+        assert!(m.deadline_misses > 0);
+    }
+
+    #[test]
+    fn zero_length_stream_is_a_clean_noop() {
+        let p = blast();
+        let sched = schedule(&p, 50.0, 1e5);
+        let cfg = SimConfig::quick(50.0, 1, 0);
+        let m = simulate_monolithic(&p, &sched, 1e5, &cfg);
+        assert_eq!(m.items_arrived, 0);
+        assert_eq!(m.items_completed, 0);
+        assert!(m.miss_free());
+    }
+
+    #[test]
+    fn occupancy_full_for_aligned_blocks() {
+        let p = PipelineSpecBuilder::new(16)
+            .stage("only", 10.0, GainModel::Deterministic { k: 1 })
+            .build()
+            .unwrap();
+        let sched = MonolithicSchedule {
+            block_size: 32,
+            block_time: 20.0,
+            active_fraction: 0.0,
+            latency_bound: 0.0,
+            b: 1.0,
+            s: 1.0,
+        };
+        let cfg = SimConfig::quick(100.0, 1, 64);
+        let m = simulate_monolithic(&p, &sched, 1e9, &cfg);
+        // 64 items in 2 blocks of 32 = 4 firings, all full.
+        assert_eq!(m.occupancy[0].firings(), 4);
+        assert_eq!(m.occupancy[0].full_fraction(), 1.0);
+    }
+}

@@ -1,0 +1,190 @@
+//! Multi-seed experiment execution.
+//!
+//! The paper's methodology (§6.2) runs each configuration under 100
+//! different random seeds and reports the fraction of runs that were
+//! miss-free. Seeds are independent, so runs execute in parallel across
+//! a scoped thread pool.
+
+use crate::config::SimConfig;
+use crate::enforced::simulate_enforced;
+use crate::metrics::SimMetrics;
+use crate::monolithic::simulate_monolithic;
+use dataflow_model::PipelineSpec;
+use rtsdf_core::{MonolithicSchedule, WaitSchedule};
+use serde::{Deserialize, Serialize};
+
+/// Aggregate of a batch of runs differing only in seed.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MultiSeedReport {
+    /// Per-seed results, in seed order.
+    pub runs: Vec<SimMetrics>,
+}
+
+impl MultiSeedReport {
+    /// Fraction of runs with zero deadline misses (the paper's primary
+    /// schedulability statistic).
+    pub fn miss_free_fraction(&self) -> f64 {
+        if self.runs.is_empty() {
+            return 0.0;
+        }
+        self.runs.iter().filter(|r| r.miss_free()).count() as f64 / self.runs.len() as f64
+    }
+
+    /// Worst per-run miss rate observed.
+    pub fn worst_miss_rate(&self) -> f64 {
+        self.runs.iter().map(|r| r.miss_rate()).fold(0.0, f64::max)
+    }
+
+    /// Mean measured active fraction across runs.
+    pub fn mean_active_fraction(&self) -> f64 {
+        if self.runs.is_empty() {
+            return 0.0;
+        }
+        self.runs.iter().map(|r| r.active_fraction).sum::<f64>() / self.runs.len() as f64
+    }
+
+    /// Componentwise maximum of the empirical backlog (in vectors) over
+    /// all runs — the data the §6.2 calibration raises `b_i` from.
+    pub fn max_backlog_vectors(&self) -> Vec<f64> {
+        let mut out: Vec<f64> = Vec::new();
+        for r in &self.runs {
+            if out.is_empty() {
+                out = r.max_backlog_vectors.clone();
+            } else {
+                for (o, &b) in out.iter_mut().zip(&r.max_backlog_vectors) {
+                    *o = o.max(b);
+                }
+            }
+        }
+        out
+    }
+
+    /// True if any run hit its safety horizon.
+    pub fn any_truncated(&self) -> bool {
+        self.runs.iter().any(|r| r.truncated)
+    }
+}
+
+/// Run a closure-per-seed experiment in parallel and collect results in
+/// seed order.
+fn run_parallel<F>(seeds: std::ops::Range<u64>, threads: usize, f: F) -> Vec<SimMetrics>
+where
+    F: Fn(u64) -> SimMetrics + Sync,
+{
+    let seeds: Vec<u64> = seeds.collect();
+    let threads = threads.max(1).min(seeds.len().max(1));
+    let mut results: Vec<Option<SimMetrics>> = vec![None; seeds.len()];
+    std::thread::scope(|scope| {
+        for (chunk_idx, (seed_chunk, result_chunk)) in seeds
+            .chunks(seeds.len().div_ceil(threads))
+            .zip(results.chunks_mut(seeds.len().div_ceil(threads)))
+            .enumerate()
+        {
+            let f = &f;
+            let _ = chunk_idx;
+            scope.spawn(move || {
+                for (s, out) in seed_chunk.iter().zip(result_chunk.iter_mut()) {
+                    *out = Some(f(*s));
+                }
+            });
+        }
+    });
+    results.into_iter().map(|r| r.expect("all seeds ran")).collect()
+}
+
+/// Simulate an enforced-waits schedule under `num_seeds` seeds
+/// (numbered `0..num_seeds`), in parallel.
+pub fn run_seeds_enforced(
+    pipeline: &PipelineSpec,
+    schedule: &WaitSchedule,
+    deadline: f64,
+    base_config: &SimConfig,
+    num_seeds: u64,
+) -> MultiSeedReport {
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let runs = run_parallel(0..num_seeds, threads, |seed| {
+        let mut cfg = base_config.clone();
+        cfg.seed = seed;
+        simulate_enforced(pipeline, schedule, deadline, &cfg)
+    });
+    MultiSeedReport { runs }
+}
+
+/// Simulate a monolithic schedule under `num_seeds` seeds, in parallel.
+pub fn run_seeds_monolithic(
+    pipeline: &PipelineSpec,
+    schedule: &MonolithicSchedule,
+    deadline: f64,
+    base_config: &SimConfig,
+    num_seeds: u64,
+) -> MultiSeedReport {
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let runs = run_parallel(0..num_seeds, threads, |seed| {
+        let mut cfg = base_config.clone();
+        cfg.seed = seed;
+        simulate_monolithic(pipeline, schedule, deadline, &cfg)
+    });
+    MultiSeedReport { runs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataflow_model::{GainModel, PipelineSpecBuilder, RtParams};
+    use rtsdf_core::{EnforcedWaitsProblem, MonolithicProblem, SolveMethod};
+
+    fn blast() -> PipelineSpec {
+        PipelineSpecBuilder::new(128)
+            .stage("s0", 287.0, GainModel::Bernoulli { p: 0.379 })
+            .stage("s1", 955.0, GainModel::CensoredPoisson { mean: 1.920, cap: 16 })
+            .stage("s2", 402.0, GainModel::Bernoulli { p: 0.0332 })
+            .stage("s3", 2753.0, GainModel::Deterministic { k: 1 })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn parallel_results_are_in_seed_order_and_deterministic() {
+        let p = blast();
+        let params = RtParams::new(10.0, 1e5).unwrap();
+        let sched = EnforcedWaitsProblem::new(&p, params, vec![1.0, 3.0, 9.0, 6.0])
+            .solve(SolveMethod::WaterFilling)
+            .unwrap();
+        let cfg = SimConfig::quick(10.0, 0, 1_000);
+        let a = run_seeds_enforced(&p, &sched, 1e5, &cfg, 6);
+        let b = run_seeds_enforced(&p, &sched, 1e5, &cfg, 6);
+        assert_eq!(a.runs.len(), 6);
+        for (x, y) in a.runs.iter().zip(&b.runs) {
+            assert_eq!(x.active_fraction, y.active_fraction);
+            assert_eq!(x.deadline_misses, y.deadline_misses);
+        }
+        // Sequential reference for seed 3.
+        let mut c3 = cfg.clone();
+        c3.seed = 3;
+        let seq = crate::enforced::simulate_enforced(&p, &sched, 1e5, &c3);
+        assert_eq!(a.runs[3].active_fraction, seq.active_fraction);
+    }
+
+    #[test]
+    fn report_statistics() {
+        let p = blast();
+        let params = RtParams::new(50.0, 1e5).unwrap();
+        let sched = MonolithicProblem::new(&p, params, 1.0, 1.0).solve().unwrap();
+        let cfg = SimConfig::quick(50.0, 0, 2_000);
+        let r = run_seeds_monolithic(&p, &sched, 1e5, &cfg, 4);
+        assert_eq!(r.runs.len(), 4);
+        assert!((0.0..=1.0).contains(&r.miss_free_fraction()));
+        assert!(r.mean_active_fraction() > 0.0);
+        assert_eq!(r.max_backlog_vectors().len(), 4);
+        assert!(!r.any_truncated());
+        assert!(r.worst_miss_rate() >= 0.0);
+    }
+
+    #[test]
+    fn empty_report_statistics() {
+        let r = MultiSeedReport { runs: vec![] };
+        assert_eq!(r.miss_free_fraction(), 0.0);
+        assert_eq!(r.mean_active_fraction(), 0.0);
+        assert!(r.max_backlog_vectors().is_empty());
+    }
+}

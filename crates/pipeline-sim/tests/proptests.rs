@@ -1,0 +1,136 @@
+//! Property-based tests for the pipeline simulator: conservation laws
+//! and metric sanity on randomized pipelines and schedules.
+
+use dataflow_model::{GainModel, PipelineSpec, PipelineSpecBuilder, RtParams};
+use pipeline_sim::{simulate_enforced, simulate_monolithic, SimConfig};
+use proptest::prelude::*;
+use rtsdf_core::{EnforcedWaitsProblem, MonolithicSchedule, SolveMethod};
+
+fn pipeline() -> impl Strategy<Value = PipelineSpec> {
+    prop::collection::vec((20.0..500.0f64, 0.2..2.0f64), 2..=4).prop_map(|stages| {
+        let mut b = PipelineSpecBuilder::new(32);
+        for (i, (t, gain)) in stages.into_iter().enumerate() {
+            let k = gain.ceil().max(1.0) as u32;
+            let p_hi = gain / k as f64;
+            b = b.stage(
+                format!("s{i}"),
+                t,
+                GainModel::Empirical {
+                    pmf: vec![(0, 1.0 - p_hi), (k, p_hi)],
+                },
+            );
+        }
+        b.build().expect("valid")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn enforced_simulation_conserves_items(
+        p in pipeline(),
+        seed in 0u64..1000,
+        tau_scale in 1.5..10.0f64,
+    ) {
+        // A stable, generously-deadlined operating point.
+        let xmin = rtsdf_core::minimal_periods(&p);
+        let tau0 = xmin[0] / p.vector_width() as f64 * tau_scale;
+        let b: Vec<f64> = p.mean_gains().iter().map(|g| (g.ceil() + 2.0).max(3.0)).collect();
+        let min_d: f64 = xmin.iter().zip(&b).map(|(x, bi)| x * bi).sum();
+        let d = min_d * 20.0;
+        let params = RtParams::new(tau0, d).unwrap();
+        let sched = EnforcedWaitsProblem::new(&p, params, b)
+            .solve(SolveMethod::WaterFilling)
+            .expect("constructed feasible");
+        let cfg = SimConfig::quick(tau0, seed, 500);
+        let m = simulate_enforced(&p, &sched, d, &cfg);
+        // Conservation: every arrived input resolves (the schedule is
+        // stable and the deadline generous).
+        prop_assert!(!m.truncated);
+        prop_assert_eq!(m.items_completed, m.items_arrived);
+        prop_assert!(m.active_fraction > 0.0 && m.active_fraction <= 1.0 + 1e-9);
+        prop_assert!(m.active_fraction_nonempty <= m.active_fraction + 1e-12);
+        prop_assert!(m.latency.count() == m.items_arrived);
+        // Occupancy is a valid fraction everywhere.
+        for o in &m.occupancy {
+            prop_assert!((0.0..=1.0).contains(&o.mean_occupancy()));
+        }
+        // Queue depth in items implies backlog in vectors.
+        for (dep, vecs) in m.max_queue_depth.iter().zip(&m.max_backlog_vectors) {
+            prop_assert!((vecs - *dep as f64 / p.vector_width() as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn monolithic_simulation_conserves_items(
+        p in pipeline(),
+        seed in 0u64..1000,
+        m_block in 8u64..200,
+    ) {
+        let tau0 = p.total_service_time(); // slow arrivals: always stable
+        let sched = MonolithicSchedule {
+            block_size: m_block,
+            block_time: 0.0,
+            active_fraction: 0.0,
+            latency_bound: 0.0,
+            b: 1.0,
+            s: 1.0,
+        };
+        let cfg = SimConfig::quick(tau0, seed, 700);
+        let m = simulate_monolithic(&p, &sched, 1e18, &cfg);
+        prop_assert!(!m.truncated);
+        prop_assert_eq!(m.items_completed, 700);
+        prop_assert_eq!(m.deadline_misses, 0);
+        prop_assert!(m.active_fraction > 0.0 && m.active_fraction <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn simulation_is_deterministic_per_seed(
+        p in pipeline(),
+        seed in 0u64..100,
+    ) {
+        let xmin = rtsdf_core::minimal_periods(&p);
+        let tau0 = xmin[0] / p.vector_width() as f64 * 3.0;
+        let b: Vec<f64> = p.mean_gains().iter().map(|g| (g.ceil() + 2.0).max(3.0)).collect();
+        let min_d: f64 = xmin.iter().zip(&b).map(|(x, bi)| x * bi).sum();
+        let params = RtParams::new(tau0, min_d * 10.0).unwrap();
+        let sched = EnforcedWaitsProblem::new(&p, params, b)
+            .solve(SolveMethod::WaterFilling)
+            .unwrap();
+        let cfg = SimConfig::quick(tau0, seed, 300);
+        let a = simulate_enforced(&p, &sched, params.deadline, &cfg);
+        let b2 = simulate_enforced(&p, &sched, params.deadline, &cfg);
+        prop_assert_eq!(a.active_fraction, b2.active_fraction);
+        prop_assert_eq!(a.deadline_misses, b2.deadline_misses);
+        prop_assert_eq!(a.horizon, b2.horizon);
+        prop_assert_eq!(a.max_queue_depth, b2.max_queue_depth);
+    }
+
+    #[test]
+    fn longer_waits_reduce_measured_activity(
+        p in pipeline(),
+        seed in 0u64..100,
+    ) {
+        // Compare zero waits against doubled periods at the same load.
+        let xmin = rtsdf_core::minimal_periods(&p);
+        let tau0 = xmin[0] / p.vector_width() as f64 * 4.0;
+        let mk = |scale: f64| rtsdf_core::WaitSchedule {
+            waits: p.service_times().iter().map(|t| t * (scale - 1.0)).collect(),
+            periods: p.service_times().iter().map(|t| t * scale).collect(),
+            active_fraction: 1.0 / scale,
+            backlog_factors: vec![1.0; p.len()],
+            latency_bound: 0.0,
+            method: SolveMethod::WaterFilling,
+        };
+        let cfg = SimConfig::quick(tau0, seed, 400);
+        let fast = simulate_enforced(&p, &mk(1.0), 1e18, &cfg);
+        let slow = simulate_enforced(&p, &mk(2.0), 1e18, &cfg);
+        prop_assert!(
+            slow.active_fraction < fast.active_fraction + 1e-9,
+            "doubling periods must not increase activity: {} vs {}",
+            slow.active_fraction,
+            fast.active_fraction
+        );
+    }
+}

@@ -1,0 +1,263 @@
+//! The batch-service queue `Q' = max(Q + A − v, 0)`.
+//!
+//! This is the embedded Markov chain of a bulk-service queue observed
+//! at service instants (Bailey 1954): each period the server removes up
+//! to `v` customers and `A` new ones arrive, `A` drawn i.i.d. from a
+//! per-period arrival PMF. The paper's pipeline nodes are exactly such
+//! queues — a node fires every `t_i + w_i` cycles and consumes up to a
+//! SIMD vector.
+//!
+//! The stationary distribution is computed by power iteration on a
+//! truncated state space, which is robust for the moderate utilizations
+//! real schedules run at and needs no generating-function root finding.
+
+use crate::pmf;
+use serde::{Deserialize, Serialize};
+
+/// A batch-service queue specification.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BulkQueue {
+    /// Batch capacity `v`: customers removed per service epoch.
+    pub capacity: u32,
+    /// PMF of arrivals per service epoch.
+    pub arrivals: Vec<f64>,
+}
+
+impl BulkQueue {
+    /// Construct, validating the arrival PMF.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0` or the PMF is empty/negative/not
+    /// normalized.
+    pub fn new(capacity: u32, arrivals: Vec<f64>) -> Self {
+        assert!(capacity > 0, "batch capacity must be >= 1");
+        assert!(!arrivals.is_empty(), "arrival PMF is empty");
+        assert!(
+            arrivals.iter().all(|&p| p >= -1e-12 && p.is_finite()),
+            "arrival PMF has a negative or non-finite entry"
+        );
+        let total: f64 = arrivals.iter().sum();
+        assert!((total - 1.0).abs() < 1e-6, "arrival PMF sums to {total}");
+        BulkQueue { capacity, arrivals }
+    }
+
+    /// Mean arrivals per epoch.
+    pub fn arrival_mean(&self) -> f64 {
+        pmf::mean(&self.arrivals)
+    }
+
+    /// Utilization `ρ = E[A]/v`. The queue is stable iff `ρ < 1`.
+    pub fn utilization(&self) -> f64 {
+        self.arrival_mean() / self.capacity as f64
+    }
+
+    /// Stationary distribution of the queue length just after a service
+    /// epoch, truncated at `max_queue` (tail mass folded into the last
+    /// state). Returns `None` if the queue is unstable (`ρ ≥ 1`).
+    pub fn stationary(&self, max_queue: usize) -> Option<Vec<f64>> {
+        if self.utilization() >= 1.0 {
+            return None;
+        }
+        let states = max_queue + 1;
+        let v = self.capacity as usize;
+        let mut dist = vec![0.0; states];
+        dist[0] = 1.0;
+        let mut next = vec![0.0; states];
+        // Power iteration: push the distribution through one epoch until
+        // it stops changing.
+        for _ in 0..100_000 {
+            next.iter_mut().for_each(|x| *x = 0.0);
+            for (q, &pq) in dist.iter().enumerate() {
+                if pq == 0.0 {
+                    continue;
+                }
+                for (a, &pa) in self.arrivals.iter().enumerate() {
+                    if pa == 0.0 {
+                        continue;
+                    }
+                    let q_next = (q + a).saturating_sub(v).min(max_queue);
+                    next[q_next] += pq * pa;
+                }
+            }
+            let delta: f64 = dist
+                .iter()
+                .zip(&next)
+                .map(|(a, b)| (a - b).abs())
+                .sum();
+            std::mem::swap(&mut dist, &mut next);
+            if delta < 1e-12 {
+                break;
+            }
+        }
+        Some(dist)
+    }
+
+    /// `q`-quantile of the stationary queue length, or `None` if
+    /// unstable.
+    pub fn queue_quantile(&self, q: f64, max_queue: usize) -> Option<usize> {
+        self.stationary(max_queue).map(|d| pmf::quantile(&d, q))
+    }
+
+    /// Distribution of the *sojourn* in service epochs: an item arriving
+    /// to find the stationary queue `Q` ahead of it departs with the
+    /// `⌈(Q+1)/v⌉`-th following firing. Index `k` of the returned vector
+    /// is `P(sojourn = k)` (index 0 is unused and zero). `None` if the
+    /// queue is unstable.
+    pub fn sojourn_epochs(&self, max_queue: usize) -> Option<Vec<f64>> {
+        let stationary = self.stationary(max_queue)?;
+        let v = self.capacity as usize;
+        let max_k = max_queue / v + 2;
+        let mut out = vec![0.0; max_k + 1];
+        for (q, &p) in stationary.iter().enumerate() {
+            let k = q / v + 1; // ⌈(q+1)/v⌉
+            out[k.min(max_k)] += p;
+        }
+        Some(out)
+    }
+
+    /// `q`-quantile of the sojourn (in epochs) — the quantity the
+    /// paper's backlog factors `b_i` bound. `None` if unstable.
+    pub fn sojourn_quantile(&self, q: f64, max_queue: usize) -> Option<usize> {
+        self.sojourn_epochs(max_queue).map(|d| pmf::quantile(&d, q))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn underloaded_deterministic_queue_stays_empty() {
+        // 3 arrivals per epoch, capacity 8: queue never builds.
+        let mut pmf = vec![0.0; 4];
+        pmf[3] = 1.0;
+        let q = BulkQueue::new(8, pmf);
+        assert!((q.utilization() - 0.375).abs() < 1e-12);
+        let d = q.stationary(64).unwrap();
+        assert!((d[0] - 1.0).abs() < 1e-9, "{:?}", &d[..4]);
+        assert_eq!(q.queue_quantile(0.999, 64), Some(0));
+    }
+
+    #[test]
+    fn heavier_load_builds_longer_queues() {
+        let light = BulkQueue::new(8, crate::pmf::poisson(2.0, 64));
+        let heavy = BulkQueue::new(8, crate::pmf::poisson(7.0, 64));
+        let ql = light.queue_quantile(0.999, 512).unwrap();
+        let qh = heavy.queue_quantile(0.999, 512).unwrap();
+        assert!(qh > ql, "light {ql}, heavy {qh}");
+    }
+
+    #[test]
+    fn unstable_queue_returns_none() {
+        let q = BulkQueue::new(4, crate::pmf::poisson(5.0, 64));
+        assert!(q.utilization() > 1.0);
+        assert!(q.stationary(128).is_none());
+        assert!(q.queue_quantile(0.99, 128).is_none());
+    }
+
+    #[test]
+    fn stationary_is_a_distribution() {
+        let q = BulkQueue::new(8, crate::pmf::poisson(6.0, 64));
+        let d = q.stationary(512).unwrap();
+        let total: f64 = d.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(d.iter().all(|&p| p >= -1e-12));
+    }
+
+    #[test]
+    fn matches_simulation_of_the_chain() {
+        // Cross-check the analytic stationary tail against a brute-force
+        // simulation of the same recursion.
+        let v = 8usize;
+        let arrivals = crate::pmf::poisson(6.5, 64);
+        let q = BulkQueue::new(v as u32, arrivals.clone());
+        let analytic = q.stationary(1024).unwrap();
+
+        // Simulate with inverse-CDF sampling (deterministic LCG).
+        let mut state = 12345u64;
+        let mut rand01 = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let sample = |u: f64| -> usize {
+            let mut cum = 0.0;
+            for (k, &p) in arrivals.iter().enumerate() {
+                cum += p;
+                if u < cum {
+                    return k;
+                }
+            }
+            arrivals.len() - 1
+        };
+        let mut queue = 0usize;
+        let mut counts = vec![0u64; 1025];
+        let epochs = 400_000;
+        for _ in 0..epochs {
+            let a = sample(rand01());
+            queue = (queue + a).saturating_sub(v).min(1024);
+            counts[queue] += 1;
+        }
+        // Compare P(Q = 0) and the 99th percentile.
+        let sim_p0 = counts[0] as f64 / epochs as f64;
+        assert!(
+            (sim_p0 - analytic[0]).abs() < 0.02,
+            "P(Q=0): sim {sim_p0} vs analytic {}",
+            analytic[0]
+        );
+        let sim_q99 = {
+            let mut cum = 0u64;
+            let target = (0.99 * epochs as f64) as u64;
+            counts
+                .iter()
+                .enumerate()
+                .find(|(_, &c)| {
+                    cum += c;
+                    cum >= target
+                })
+                .map(|(k, _)| k)
+                .unwrap_or(1024)
+        };
+        let ana_q99 = crate::pmf::quantile(&analytic, 0.99);
+        assert!(
+            (sim_q99 as i64 - ana_q99 as i64).abs() <= 3,
+            "q99: sim {sim_q99} vs analytic {ana_q99}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sums to")]
+    fn rejects_unnormalized_pmf() {
+        BulkQueue::new(4, vec![0.5, 0.2]);
+    }
+
+    #[test]
+    fn sojourn_is_one_epoch_when_queue_is_empty() {
+        let mut arr = vec![0.0; 4];
+        arr[3] = 1.0; // deterministic 3 < v = 8
+        let q = BulkQueue::new(8, arr);
+        let s = q.sojourn_epochs(64).unwrap();
+        assert!((s[1] - 1.0).abs() < 1e-9, "{s:?}");
+        assert_eq!(q.sojourn_quantile(0.999, 64), Some(1));
+    }
+
+    #[test]
+    fn sojourn_distribution_is_normalized_and_grows_with_load() {
+        let light = BulkQueue::new(8, crate::pmf::poisson(3.0, 64));
+        let heavy = BulkQueue::new(8, crate::pmf::poisson(7.5, 64));
+        let sl = light.sojourn_epochs(1024).unwrap();
+        let sh = heavy.sojourn_epochs(1024).unwrap();
+        assert!((sl.iter().sum::<f64>() - 1.0).abs() < 1e-8);
+        assert!((sh.iter().sum::<f64>() - 1.0).abs() < 1e-8);
+        assert!(
+            heavy.sojourn_quantile(0.999, 1024).unwrap()
+                >= light.sojourn_quantile(0.999, 1024).unwrap()
+        );
+    }
+
+    #[test]
+    fn sojourn_unstable_is_none() {
+        let q = BulkQueue::new(4, crate::pmf::poisson(6.0, 64));
+        assert!(q.sojourn_epochs(128).is_none());
+        assert!(q.sojourn_quantile(0.9, 128).is_none());
+    }
+}

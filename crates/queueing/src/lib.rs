@@ -1,0 +1,32 @@
+//! # queueing — bulk-service queue analysis
+//!
+//! The enforced-waits deadline constraint needs worst-case queue sizes
+//! `b_i·v`. The paper chooses the `b_i` empirically (§6.2) and names
+//! *a-priori* estimation from queueing theory as future work (§7),
+//! pointing at the classical bulk-service queue literature (Bailey
+//! 1954; Brière & Chaudhry 1989) and Jackson-style Poisson
+//! approximations. This crate implements that program:
+//!
+//! * [`pmf`] — discrete distribution utilities (Poisson, compound
+//!   Poisson, convolution) used to model per-period arrival counts;
+//! * [`bulk`] — the embedded Markov chain of a batch-service queue
+//!   `Q' = max(Q + A − v, 0)`, its stationary distribution (computed by
+//!   power iteration on a truncated state space), and tail quantiles;
+//! * [`estimate`] — per-node backlog-factor estimation for a scheduled
+//!   pipeline: model node `i`'s per-period arrivals as Poisson with the
+//!   node's long-run rate (the paper's suggested Jacksonian
+//!   approximation; the head node keeps its deterministic arrivals),
+//!   then read `b_i` off a tail quantile of the stationary queue.
+//!
+//! The estimates are validated against the simulator's empirically
+//! calibrated factors in this workspace's integration tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bulk;
+pub mod estimate;
+pub mod pmf;
+
+pub use bulk::BulkQueue;
+pub use estimate::estimate_backlog_factors;

@@ -1,0 +1,87 @@
+//! Property-based tests for the bulk-service queue analysis.
+
+use proptest::prelude::*;
+use queueing::bulk::BulkQueue;
+use queueing::pmf;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn poisson_pmf_is_normalized_with_correct_mean(lambda in 0.0..40.0f64) {
+        let p = pmf::poisson(lambda, 512);
+        let total: f64 = p.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        // With max_k = 512 ≫ λ the folded tail is negligible.
+        prop_assert!((pmf::mean(&p) - lambda).abs() < 1e-6 * lambda.max(1.0));
+    }
+
+    #[test]
+    fn convolution_adds_means_and_preserves_mass(
+        l1 in 0.1..15.0f64,
+        l2 in 0.1..15.0f64,
+    ) {
+        let a = pmf::poisson(l1, 256);
+        let b = pmf::poisson(l2, 256);
+        let c = pmf::convolve(&a, &b, 512);
+        prop_assert!((c.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!((pmf::mean(&c) - (l1 + l2)).abs() < 1e-4 * (l1 + l2));
+    }
+
+    #[test]
+    fn compound_poisson_mean_is_rate_times_burst_mean(
+        rate in 0.1..10.0f64,
+        burst_k in 1u32..6,
+        burst_p in 0.1..1.0f64,
+    ) {
+        // Burst ∈ {0, k} with P(k) = p.
+        let mut per_event = vec![0.0; burst_k as usize + 1];
+        per_event[0] = 1.0 - burst_p;
+        per_event[burst_k as usize] += burst_p;
+        let c = pmf::compound_poisson(rate, &per_event, 1024);
+        let expect = rate * burst_k as f64 * burst_p;
+        prop_assert!((c.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(
+            (pmf::mean(&c) - expect).abs() < 1e-3 * expect.max(1.0),
+            "mean {} vs {}",
+            pmf::mean(&c),
+            expect
+        );
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q(lambda in 0.5..20.0f64, qa in 0.0..1.0f64, qb in 0.0..1.0f64) {
+        let p = pmf::poisson(lambda, 256);
+        let (lo, hi) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+        prop_assert!(pmf::quantile(&p, lo) <= pmf::quantile(&p, hi));
+    }
+
+    #[test]
+    fn stationary_distribution_is_valid(v in 2u32..32, lambda_frac in 0.05..0.85f64) {
+        let lambda = v as f64 * lambda_frac;
+        let q = BulkQueue::new(v, pmf::poisson(lambda, 256));
+        let d = q.stationary(1024).expect("stable by construction");
+        let total: f64 = d.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-8);
+        prop_assert!(d.iter().all(|&p| p >= -1e-12));
+    }
+
+    #[test]
+    fn queue_tail_grows_with_load(v in 4u32..16, low in 0.2..0.5f64, bump in 0.15..0.35f64) {
+        let q_lo = BulkQueue::new(v, pmf::poisson(v as f64 * low, 256));
+        let q_hi = BulkQueue::new(v, pmf::poisson(v as f64 * (low + bump), 256));
+        let a = q_lo.queue_quantile(0.999, 2048).unwrap();
+        let b = q_hi.queue_quantile(0.999, 2048).unwrap();
+        prop_assert!(a <= b, "tail should grow with load: {a} vs {b}");
+    }
+
+    #[test]
+    fn deterministic_subcapacity_arrivals_never_queue(v in 2u32..64, frac in 0.1..1.0f64) {
+        // Exactly k ≤ v arrivals per epoch: the queue stays empty.
+        let k = ((v as f64 * frac) as usize).min(v as usize - 1);
+        let mut arr = vec![0.0; k + 1];
+        arr[k] = 1.0;
+        let q = BulkQueue::new(v, arr);
+        prop_assert_eq!(q.queue_quantile(0.9999, 256), Some(0));
+    }
+}

@@ -1,0 +1,140 @@
+//! SIMD vector batches of work items.
+
+use serde::{Deserialize, Serialize};
+
+/// A batch of up to `width` work items occupying the lanes of one SIMD
+/// vector. Firing a node consumes one batch; the whole point of enforced
+/// waiting is to fire with batches as full as possible.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VectorBatch<T> {
+    width: u32,
+    items: Vec<T>,
+}
+
+impl<T> VectorBatch<T> {
+    /// An empty batch for a vector of `width` lanes.
+    ///
+    /// # Panics
+    /// Panics if `width == 0`.
+    pub fn new(width: u32) -> Self {
+        assert!(width > 0, "vector width must be >= 1");
+        VectorBatch {
+            width,
+            items: Vec::with_capacity(width as usize),
+        }
+    }
+
+    /// Build a batch by draining up to `width` items from `source`.
+    pub fn fill_from(width: u32, source: &mut Vec<T>) -> Self {
+        let mut batch = VectorBatch::new(width);
+        let take = (width as usize).min(source.len());
+        batch.items.extend(source.drain(..take));
+        batch
+    }
+
+    /// Lane count of the vector.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Occupied lanes.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if no lanes are occupied.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// True if every lane is occupied.
+    pub fn is_full(&self) -> bool {
+        self.items.len() == self.width as usize
+    }
+
+    /// Occupancy in `[0, 1]`.
+    pub fn occupancy(&self) -> f64 {
+        self.items.len() as f64 / self.width as f64
+    }
+
+    /// Number of empty lanes.
+    pub fn empty_lanes(&self) -> u32 {
+        self.width - self.items.len() as u32
+    }
+
+    /// Push one item.
+    ///
+    /// # Panics
+    /// Panics if the batch is already full.
+    pub fn push(&mut self, item: T) {
+        assert!(!self.is_full(), "batch already has {} lanes occupied", self.width);
+        self.items.push(item);
+    }
+
+    /// The occupied lanes, in insertion order.
+    pub fn items(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Consume the batch, yielding its items.
+    pub fn into_items(self) -> Vec<T> {
+        self.items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_from_takes_at_most_width() {
+        let mut q = vec![1, 2, 3, 4, 5];
+        let b = VectorBatch::fill_from(4, &mut q);
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.items(), &[1, 2, 3, 4]);
+        assert_eq!(q, vec![5]);
+        assert!(b.is_full());
+        assert_eq!(b.empty_lanes(), 0);
+    }
+
+    #[test]
+    fn fill_from_underfull_queue() {
+        let mut q = vec![7];
+        let b = VectorBatch::fill_from(4, &mut q);
+        assert_eq!(b.len(), 1);
+        assert!(q.is_empty());
+        assert!(!b.is_full());
+        assert_eq!(b.occupancy(), 0.25);
+        assert_eq!(b.empty_lanes(), 3);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let b: VectorBatch<u8> = VectorBatch::new(8);
+        assert!(b.is_empty());
+        assert_eq!(b.occupancy(), 0.0);
+        assert_eq!(b.width(), 8);
+    }
+
+    #[test]
+    fn push_and_into_items() {
+        let mut b = VectorBatch::new(2);
+        b.push("a");
+        b.push("b");
+        assert_eq!(b.into_items(), vec!["a", "b"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already has")]
+    fn push_beyond_width_panics() {
+        let mut b = VectorBatch::new(1);
+        b.push(0);
+        b.push(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be")]
+    fn zero_width_panics() {
+        let _: VectorBatch<u8> = VectorBatch::new(0);
+    }
+}

@@ -1,0 +1,37 @@
+//! # simd-device — a simulated SIMT processor
+//!
+//! The paper targets GPU-like devices but deliberately evaluates in
+//! simulation (§3: real-time guarantees on actual GPUs founder on
+//! undocumented device behaviour; §6.2 builds a discrete-event
+//! simulation instead). This crate is that device substrate:
+//!
+//! * [`batch::VectorBatch`] — a SIMD vector of up to `v` work items; the
+//!   unit a pipeline node consumes per firing.
+//! * [`occupancy::OccupancyStats`] — lane-occupancy accounting, the
+//!   quantity the enforced-waits strategy exists to improve.
+//! * [`machine`] — a small lockstep lane-program interpreter with SIMT
+//!   cost semantics: an instruction costs its latency once per *vector*
+//!   regardless of how many lanes are active; divergent branches cost
+//!   both sides (predication); data-dependent loops cost the *maximum*
+//!   trip count across active lanes. The `blast` crate uses it to
+//!   "measure" per-stage service times the way the paper measured its
+//!   Table 1 on real hardware.
+//! * [`share::ShareProcessor`] — the paper's §2.2 execution model: one
+//!   single-threaded processor divided into `N` fixed shares, one per
+//!   pipeline node, with fine-grained preemption so a node's service
+//!   time under its share is `N ×` its raw vector time. An
+//!   [`share::ActiveTimeLedger`] tracks active vs. yielded time, from
+//!   which the simulator computes measured active fractions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod machine;
+pub mod occupancy;
+pub mod share;
+
+pub use batch::VectorBatch;
+pub use machine::{ExecStats, LaneValue, Machine, Op, Program};
+pub use occupancy::OccupancyStats;
+pub use share::{ActiveTimeLedger, ShareProcessor};

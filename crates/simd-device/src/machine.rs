@@ -1,0 +1,588 @@
+//! A lockstep SIMT lane-program interpreter with cycle cost accounting.
+//!
+//! Cost semantics follow the classic SIMT execution model:
+//!
+//! * a vector instruction costs its latency **once per vector**, no
+//!   matter how many lanes are active — the invariance that makes the
+//!   paper's fixed per-firing service time `t_i` realistic;
+//! * a divergent branch costs **both** sides (predicated execution) when
+//!   at least one lane takes each; a side no lane takes is skipped;
+//! * a data-dependent loop runs until every active lane is done, so its
+//!   cost is the **maximum** trip count over active lanes.
+//!
+//! The `blast` crate builds its pipeline-stage kernels from these ops
+//! and "measures" service times the way the paper measured Table 1 on a
+//! GTX 2080.
+
+use serde::{Deserialize, Serialize};
+
+/// A lane-register value.
+pub type LaneValue = i64;
+
+/// Binary ALU functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AluFn {
+    /// `a + b`
+    Add,
+    /// `a - b`
+    Sub,
+    /// `a * b` (wrapping)
+    Mul,
+    /// `min(a, b)`
+    Min,
+    /// `max(a, b)`
+    Max,
+    /// `(a < b) as i64`
+    CmpLt,
+    /// `a & b`
+    And,
+    /// `a ^ b`
+    Xor,
+    /// logical shift right of `a` by `b & 63`
+    Shr,
+    /// `a % max(b, 1)` (guarded modulo)
+    Mod,
+}
+
+impl AluFn {
+    fn apply(self, a: LaneValue, b: LaneValue) -> LaneValue {
+        match self {
+            AluFn::Add => a.wrapping_add(b),
+            AluFn::Sub => a.wrapping_sub(b),
+            AluFn::Mul => a.wrapping_mul(b),
+            AluFn::Min => a.min(b),
+            AluFn::Max => a.max(b),
+            AluFn::CmpLt => (a < b) as LaneValue,
+            AluFn::And => a & b,
+            AluFn::Xor => a ^ b,
+            AluFn::Shr => ((a as u64) >> (b as u64 & 63)) as LaneValue,
+            AluFn::Mod => a.wrapping_rem(b.max(1)),
+        }
+    }
+}
+
+/// One instruction of a lane program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Op {
+    /// `r[dst] = value`.
+    SetImm {
+        /// Destination register.
+        dst: usize,
+        /// Immediate value.
+        value: LaneValue,
+        /// Issue latency in cycles.
+        cycles: u32,
+    },
+    /// `r[dst] = f(r[a], r[b])`.
+    Alu {
+        /// Destination register.
+        dst: usize,
+        /// First operand register.
+        a: usize,
+        /// Second operand register.
+        b: usize,
+        /// The function.
+        f: AluFn,
+        /// Issue latency in cycles.
+        cycles: u32,
+    },
+    /// Gather: `r[dst] = mix(r[addr])` — a deterministic hash standing in
+    /// for a memory table lookup, with memory-access latency.
+    Load {
+        /// Destination register.
+        dst: usize,
+        /// Address register.
+        addr: usize,
+        /// Access latency in cycles.
+        cycles: u32,
+    },
+    /// Coalescing-aware gather: like [`Op::Load`], but the cost depends
+    /// on how the active lanes' addresses spread over memory segments —
+    /// the defining performance behaviour of GPU memory systems. The
+    /// charge is `base_cycles + per_segment_cycles × segments`, where
+    /// `segments` is the number of distinct aligned `segment_size`-byte
+    /// blocks touched by `r[addr]` across active lanes (at least 1 when
+    /// any lane is active).
+    Gather {
+        /// Destination register.
+        dst: usize,
+        /// Address register.
+        addr: usize,
+        /// Fixed issue cost.
+        base_cycles: u32,
+        /// Cost per distinct memory segment served.
+        per_segment_cycles: u32,
+        /// Segment (cache-line) size in address units; must be nonzero.
+        segment_size: u32,
+    },
+    /// Predicated branch on `r[cond] != 0`.
+    If {
+        /// Condition register.
+        cond: usize,
+        /// Ops for lanes where the condition holds.
+        then_ops: Vec<Op>,
+        /// Ops for the remaining lanes.
+        else_ops: Vec<Op>,
+    },
+    /// Loop `body` while any active lane has `r[cond] != 0`, bounded by
+    /// `max_iters` as an architectural safety net.
+    While {
+        /// Condition register.
+        cond: usize,
+        /// Loop body.
+        body: Vec<Op>,
+        /// Hard iteration cap.
+        max_iters: u32,
+    },
+}
+
+/// A lane program: straight-line ops plus structured control flow, over
+/// a register file of `registers` values per lane.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    /// Registers per lane.
+    pub registers: usize,
+    /// Instructions.
+    pub ops: Vec<Op>,
+}
+
+/// Cost and behaviour statistics from executing one program over one
+/// vector of lanes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecStats {
+    /// Total cycles charged.
+    pub cycles: u64,
+    /// Vector instructions issued.
+    pub instructions: u64,
+    /// Branches where both sides had active lanes.
+    pub divergent_branches: u64,
+    /// Total loop iterations executed (vector-level).
+    pub loop_iterations: u64,
+    /// Memory segments served by [`Op::Gather`] instructions.
+    pub gather_segments: u64,
+}
+
+/// The SIMT machine: executes programs over vectors of lanes.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    width: u32,
+}
+
+/// Deterministic 64-bit mix used by [`Op::Load`] to model table lookups.
+fn mix(x: i64) -> i64 {
+    let mut z = (x as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (z ^ (z >> 31)) as i64
+}
+
+impl Machine {
+    /// A machine with `width` SIMD lanes.
+    ///
+    /// # Panics
+    /// Panics if `width == 0`.
+    pub fn new(width: u32) -> Self {
+        assert!(width > 0, "machine needs at least one lane");
+        Machine { width }
+    }
+
+    /// Lane count.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Run `program` with the given per-lane initial register values.
+    /// `inputs.len()` lanes are active (must be ≤ width); each inner
+    /// vec is copied into the low registers of its lane.
+    ///
+    /// Returns the final register files of the active lanes and the
+    /// execution statistics.
+    ///
+    /// # Panics
+    /// Panics if more inputs than lanes are supplied, or a register
+    /// index is out of range.
+    pub fn run(&self, program: &Program, inputs: &[Vec<LaneValue>]) -> (Vec<Vec<LaneValue>>, ExecStats) {
+        assert!(
+            inputs.len() <= self.width as usize,
+            "{} inputs for {} lanes",
+            inputs.len(),
+            self.width
+        );
+        let mut regs: Vec<Vec<LaneValue>> = inputs
+            .iter()
+            .map(|init| {
+                assert!(
+                    init.len() <= program.registers,
+                    "lane initializer wider than register file"
+                );
+                let mut r = vec![0; program.registers];
+                r[..init.len()].copy_from_slice(init);
+                r
+            })
+            .collect();
+        let mask: Vec<bool> = vec![true; regs.len()];
+        let mut stats = ExecStats::default();
+        exec_block(&program.ops, &mut regs, &mask, &mut stats);
+        (regs, stats)
+    }
+}
+
+fn any(mask: &[bool]) -> bool {
+    mask.iter().any(|&m| m)
+}
+
+fn exec_block(ops: &[Op], regs: &mut [Vec<LaneValue>], mask: &[bool], stats: &mut ExecStats) {
+    for op in ops {
+        match op {
+            Op::SetImm { dst, value, cycles } => {
+                stats.cycles += *cycles as u64;
+                stats.instructions += 1;
+                for (lane, r) in regs.iter_mut().enumerate() {
+                    if mask[lane] {
+                        r[*dst] = *value;
+                    }
+                }
+            }
+            Op::Alu { dst, a, b, f, cycles } => {
+                stats.cycles += *cycles as u64;
+                stats.instructions += 1;
+                for (lane, r) in regs.iter_mut().enumerate() {
+                    if mask[lane] {
+                        r[*dst] = f.apply(r[*a], r[*b]);
+                    }
+                }
+            }
+            Op::Load { dst, addr, cycles } => {
+                stats.cycles += *cycles as u64;
+                stats.instructions += 1;
+                for (lane, r) in regs.iter_mut().enumerate() {
+                    if mask[lane] {
+                        r[*dst] = mix(r[*addr]);
+                    }
+                }
+            }
+            Op::Gather {
+                dst,
+                addr,
+                base_cycles,
+                per_segment_cycles,
+                segment_size,
+            } => {
+                assert!(*segment_size > 0, "gather segment size must be nonzero");
+                stats.instructions += 1;
+                let mut segments: Vec<i64> = regs
+                    .iter()
+                    .enumerate()
+                    .filter(|(lane, _)| mask[*lane])
+                    .map(|(_, r)| r[*addr].div_euclid(*segment_size as i64))
+                    .collect();
+                segments.sort_unstable();
+                segments.dedup();
+                let nseg = segments.len().max(usize::from(any(mask))) as u64;
+                stats.cycles += *base_cycles as u64 + *per_segment_cycles as u64 * nseg;
+                stats.gather_segments += nseg;
+                for (lane, r) in regs.iter_mut().enumerate() {
+                    if mask[lane] {
+                        r[*dst] = mix(r[*addr]);
+                    }
+                }
+            }
+            Op::If {
+                cond,
+                then_ops,
+                else_ops,
+            } => {
+                let then_mask: Vec<bool> = regs
+                    .iter()
+                    .enumerate()
+                    .map(|(lane, r)| mask[lane] && r[*cond] != 0)
+                    .collect();
+                let else_mask: Vec<bool> = regs
+                    .iter()
+                    .enumerate()
+                    .map(|(lane, r)| mask[lane] && r[*cond] == 0)
+                    .collect();
+                let take_then = any(&then_mask);
+                let take_else = any(&else_mask) && !else_ops.is_empty();
+                if take_then && take_else {
+                    stats.divergent_branches += 1;
+                }
+                if take_then {
+                    exec_block(then_ops, regs, &then_mask, stats);
+                }
+                if take_else {
+                    exec_block(else_ops, regs, &else_mask, stats);
+                }
+            }
+            Op::While {
+                cond,
+                body,
+                max_iters,
+            } => {
+                let mut live: Vec<bool> = regs
+                    .iter()
+                    .enumerate()
+                    .map(|(lane, r)| mask[lane] && r[*cond] != 0)
+                    .collect();
+                let mut iters = 0;
+                while any(&live) && iters < *max_iters {
+                    exec_block(body, regs, &live, stats);
+                    stats.loop_iterations += 1;
+                    iters += 1;
+                    for (lane, r) in regs.iter().enumerate() {
+                        live[lane] = live[lane] && r[*cond] != 0;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prog(ops: Vec<Op>) -> Program {
+        Program { registers: 4, ops }
+    }
+
+    #[test]
+    fn straight_line_cost_is_lane_independent() {
+        let p = prog(vec![
+            Op::SetImm { dst: 0, value: 1, cycles: 2 },
+            Op::Alu { dst: 1, a: 0, b: 0, f: AluFn::Add, cycles: 3 },
+        ]);
+        let m = Machine::new(8);
+        let (_, one_lane) = m.run(&p, &[vec![0]]);
+        let (_, eight_lanes) = m.run(&p, &(0..8).map(|i| vec![i]).collect::<Vec<_>>());
+        assert_eq!(one_lane.cycles, 5);
+        assert_eq!(eight_lanes.cycles, 5, "SIMD cost must not depend on lane count");
+        assert_eq!(one_lane.instructions, 2);
+    }
+
+    #[test]
+    fn alu_functions() {
+        let cases = [
+            (AluFn::Add, 7, 3, 10),
+            (AluFn::Sub, 7, 3, 4),
+            (AluFn::Mul, 7, 3, 21),
+            (AluFn::Min, 7, 3, 3),
+            (AluFn::Max, 7, 3, 7),
+            (AluFn::CmpLt, 3, 7, 1),
+            (AluFn::CmpLt, 7, 3, 0),
+            (AluFn::And, 6, 3, 2),
+            (AluFn::Xor, 6, 3, 5),
+            (AluFn::Shr, 8, 2, 2),
+            (AluFn::Mod, 7, 3, 1),
+            (AluFn::Mod, 7, 0, 0), // guarded: b clamped to 1
+        ];
+        for (f, a, b, want) in cases {
+            assert_eq!(f.apply(a, b), want, "{f:?}({a},{b})");
+        }
+    }
+
+    #[test]
+    fn alu_computes_per_lane() {
+        let p = prog(vec![Op::Alu { dst: 2, a: 0, b: 1, f: AluFn::Add, cycles: 1 }]);
+        let m = Machine::new(4);
+        let (regs, _) = m.run(&p, &[vec![1, 10], vec![2, 20]]);
+        assert_eq!(regs[0][2], 11);
+        assert_eq!(regs[1][2], 22);
+    }
+
+    #[test]
+    fn divergent_branch_costs_both_sides() {
+        let branch = |cond_reg| Op::If {
+            cond: cond_reg,
+            then_ops: vec![Op::SetImm { dst: 1, value: 1, cycles: 10 }],
+            else_ops: vec![Op::SetImm { dst: 1, value: 2, cycles: 20 }],
+        };
+        let m = Machine::new(4);
+        // All lanes take "then": cost 10, no divergence.
+        let (_, s) = m.run(&prog(vec![branch(0)]), &[vec![1], vec![1]]);
+        assert_eq!(s.cycles, 10);
+        assert_eq!(s.divergent_branches, 0);
+        // All lanes take "else": cost 20.
+        let (_, s) = m.run(&prog(vec![branch(0)]), &[vec![0], vec![0]]);
+        assert_eq!(s.cycles, 20);
+        // Mixed: both sides issue → 30, one divergent branch.
+        let (_, s) = m.run(&prog(vec![branch(0)]), &[vec![1], vec![0]]);
+        assert_eq!(s.cycles, 30);
+        assert_eq!(s.divergent_branches, 1);
+    }
+
+    #[test]
+    fn branch_results_are_predicated() {
+        let p = prog(vec![Op::If {
+            cond: 0,
+            then_ops: vec![Op::SetImm { dst: 1, value: 100, cycles: 1 }],
+            else_ops: vec![Op::SetImm { dst: 1, value: 200, cycles: 1 }],
+        }]);
+        let (regs, _) = Machine::new(2).run(&p, &[vec![1], vec![0]]);
+        assert_eq!(regs[0][1], 100);
+        assert_eq!(regs[1][1], 200);
+    }
+
+    #[test]
+    fn loop_cost_is_max_trip_count() {
+        // r0 = per-lane trip count; body decrements r0 at 5 cycles/iter.
+        let p = prog(vec![
+            Op::SetImm { dst: 1, value: 1, cycles: 0 },
+            Op::While {
+                cond: 0,
+                body: vec![Op::Alu { dst: 0, a: 0, b: 1, f: AluFn::Sub, cycles: 5 }],
+                max_iters: 1000,
+            },
+        ]);
+        let m = Machine::new(4);
+        let (_, s) = m.run(&p, &[vec![3], vec![7], vec![1]]);
+        // Max trips = 7 → 7 iterations × 5 cycles.
+        assert_eq!(s.cycles, 35);
+        assert_eq!(s.loop_iterations, 7);
+    }
+
+    #[test]
+    fn loop_honours_safety_cap() {
+        let p = prog(vec![Op::While {
+            cond: 0,
+            body: vec![Op::SetImm { dst: 1, value: 1, cycles: 1 }], // never clears r0
+            max_iters: 50,
+        }]);
+        let (_, s) = Machine::new(1).run(&p, &[vec![1]]);
+        assert_eq!(s.loop_iterations, 50);
+    }
+
+    #[test]
+    fn empty_branch_sides_are_skipped() {
+        let p = prog(vec![Op::If {
+            cond: 0,
+            then_ops: vec![Op::SetImm { dst: 1, value: 1, cycles: 10 }],
+            else_ops: vec![],
+        }]);
+        // No lane satisfies the condition → nothing issues.
+        let (_, s) = Machine::new(2).run(&p, &[vec![0], vec![0]]);
+        assert_eq!(s.cycles, 0);
+        assert_eq!(s.instructions, 0);
+    }
+
+    #[test]
+    fn load_is_deterministic() {
+        let p = prog(vec![Op::Load { dst: 1, addr: 0, cycles: 8 }]);
+        let m = Machine::new(1);
+        let (r1, s) = m.run(&p, &[vec![42]]);
+        let (r2, _) = m.run(&p, &[vec![42]]);
+        assert_eq!(r1[0][1], r2[0][1]);
+        assert_ne!(r1[0][1], 42, "load should transform the address");
+        assert_eq!(s.cycles, 8);
+    }
+
+    #[test]
+    fn zero_active_lanes_runs_for_free() {
+        let p = prog(vec![Op::SetImm { dst: 0, value: 1, cycles: 9 }]);
+        let (regs, s) = Machine::new(4).run(&p, &[]);
+        assert!(regs.is_empty());
+        // Straight-line ops still "issue" in this model (the node fires
+        // regardless), so cycles are charged even with no lanes: this
+        // mirrors the paper charging empty firings as active time.
+        assert_eq!(s.cycles, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "inputs for")]
+    fn too_many_lanes_panics() {
+        let p = prog(vec![]);
+        Machine::new(1).run(&p, &[vec![0], vec![1]]);
+    }
+
+    #[test]
+    fn gather_coalesced_vs_scattered() {
+        let gather = Op::Gather {
+            dst: 1,
+            addr: 0,
+            base_cycles: 10,
+            per_segment_cycles: 20,
+            segment_size: 32,
+        };
+        let p = Program { registers: 2, ops: vec![gather] };
+        let m = Machine::new(32);
+        // Coalesced: 32 consecutive addresses fit in one 32-unit segment.
+        let coalesced: Vec<Vec<LaneValue>> = (0..32).map(|i| vec![i]).collect();
+        let (_, c) = m.run(&p, &coalesced);
+        assert_eq!(c.cycles, 10 + 20, "{c:?}");
+        assert_eq!(c.gather_segments, 1);
+        // Scattered: each lane in its own segment.
+        let scattered: Vec<Vec<LaneValue>> = (0..32).map(|i| vec![i * 1_000]).collect();
+        let (_, s) = m.run(&p, &scattered);
+        assert_eq!(s.cycles, 10 + 20 * 32);
+        assert_eq!(s.gather_segments, 32);
+        // Negative addresses land in well-defined segments too.
+        let negative: Vec<Vec<LaneValue>> = vec![vec![-1], vec![-32], vec![-33]];
+        let (_, n) = m.run(&p, &negative);
+        assert_eq!(n.gather_segments, 2, "(-1,-32) share segment -1; -33 is segment -2");
+    }
+
+    #[test]
+    fn gather_with_no_active_lanes_charges_base_only() {
+        let p = Program {
+            registers: 2,
+            ops: vec![Op::Gather {
+                dst: 1,
+                addr: 0,
+                base_cycles: 7,
+                per_segment_cycles: 100,
+                segment_size: 32,
+            }],
+        };
+        let (_, s) = Machine::new(4).run(&p, &[]);
+        assert_eq!(s.cycles, 7);
+        assert_eq!(s.gather_segments, 0);
+    }
+
+    #[test]
+    fn gather_results_match_load_semantics() {
+        let g = Program {
+            registers: 2,
+            ops: vec![Op::Gather {
+                dst: 1,
+                addr: 0,
+                base_cycles: 1,
+                per_segment_cycles: 1,
+                segment_size: 32,
+            }],
+        };
+        let l = Program {
+            registers: 2,
+            ops: vec![Op::Load { dst: 1, addr: 0, cycles: 1 }],
+        };
+        let m = Machine::new(4);
+        let (rg, _) = m.run(&g, &[vec![42], vec![7]]);
+        let (rl, _) = m.run(&l, &[vec![42], vec![7]]);
+        assert_eq!(rg, rl);
+    }
+
+    #[test]
+    fn nested_control_flow() {
+        // while (r0) { if (r0 & 1) r2 += r0; r0 -= 1 }  — sums odd values.
+        let p = Program {
+            registers: 5,
+            ops: vec![
+                Op::SetImm { dst: 1, value: 1, cycles: 0 },
+                Op::While {
+                    cond: 0,
+                    body: vec![
+                        Op::Alu { dst: 3, a: 0, b: 1, f: AluFn::And, cycles: 1 },
+                        Op::If {
+                            cond: 3,
+                            then_ops: vec![Op::Alu { dst: 2, a: 2, b: 0, f: AluFn::Add, cycles: 1 }],
+                            else_ops: vec![],
+                        },
+                        Op::Alu { dst: 0, a: 0, b: 1, f: AluFn::Sub, cycles: 1 },
+                    ],
+                    max_iters: 100,
+                },
+            ],
+        };
+        let (regs, _) = Machine::new(1).run(&p, &[vec![5]]);
+        assert_eq!(regs[0][2], 5 + 3 + 1);
+    }
+}

@@ -1,0 +1,133 @@
+//! Lane-occupancy accounting.
+//!
+//! Every firing of a node is recorded here with the number of lanes it
+//! actually filled. The mean occupancy directly determines how many
+//! firings (and hence how much active time) a workload needs, which is
+//! what the enforced-waits optimization improves.
+
+use serde::{Deserialize, Serialize};
+
+/// Accumulates lane-occupancy statistics across firings.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct OccupancyStats {
+    firings: u64,
+    empty_firings: u64,
+    full_firings: u64,
+    lanes_used: u64,
+    lanes_offered: u64,
+}
+
+impl OccupancyStats {
+    /// New empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one firing that filled `used` of `width` lanes.
+    ///
+    /// # Panics
+    /// Panics if `used > width`.
+    pub fn record(&mut self, used: u32, width: u32) {
+        assert!(used <= width, "{used} lanes used of {width}");
+        self.firings += 1;
+        if used == 0 {
+            self.empty_firings += 1;
+        }
+        if used == width {
+            self.full_firings += 1;
+        }
+        self.lanes_used += used as u64;
+        self.lanes_offered += width as u64;
+    }
+
+    /// Total firings recorded.
+    pub fn firings(&self) -> u64 {
+        self.firings
+    }
+
+    /// Firings that consumed no items at all (a node whose enforced wait
+    /// expired with an empty input queue).
+    pub fn empty_firings(&self) -> u64 {
+        self.empty_firings
+    }
+
+    /// Firings with every lane occupied.
+    pub fn full_firings(&self) -> u64 {
+        self.full_firings
+    }
+
+    /// Mean occupancy over all firings (0 if none).
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.lanes_offered == 0 {
+            0.0
+        } else {
+            self.lanes_used as f64 / self.lanes_offered as f64
+        }
+    }
+
+    /// Fraction of firings that were completely full.
+    pub fn full_fraction(&self) -> f64 {
+        if self.firings == 0 {
+            0.0
+        } else {
+            self.full_firings as f64 / self.firings as f64
+        }
+    }
+
+    /// Total items processed.
+    pub fn items_processed(&self) -> u64 {
+        self.lanes_used
+    }
+
+    /// Merge another accumulator (parallel reduction across seeds).
+    pub fn merge(&mut self, other: &OccupancyStats) {
+        self.firings += other.firings;
+        self.empty_firings += other.empty_firings;
+        self.full_firings += other.full_firings;
+        self.lanes_used += other.lanes_used;
+        self.lanes_offered += other.lanes_offered;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_firings() {
+        let mut o = OccupancyStats::new();
+        o.record(128, 128);
+        o.record(64, 128);
+        o.record(0, 128);
+        assert_eq!(o.firings(), 3);
+        assert_eq!(o.empty_firings(), 1);
+        assert_eq!(o.full_firings(), 1);
+        assert!((o.mean_occupancy() - 0.5).abs() < 1e-12);
+        assert!((o.full_fraction() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(o.items_processed(), 192);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let o = OccupancyStats::new();
+        assert_eq!(o.mean_occupancy(), 0.0);
+        assert_eq!(o.full_fraction(), 0.0);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = OccupancyStats::new();
+        a.record(10, 10);
+        let mut b = OccupancyStats::new();
+        b.record(0, 10);
+        a.merge(&b);
+        assert_eq!(a.firings(), 2);
+        assert!((a.mean_occupancy() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "lanes used")]
+    fn rejects_overfull() {
+        OccupancyStats::new().record(11, 10);
+    }
+}

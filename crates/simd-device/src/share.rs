@@ -1,0 +1,180 @@
+//! Processor-share accounting (the paper's §2.2 implementation model).
+//!
+//! The application runs on one single-threaded processor. Each of the
+//! `N` pipeline nodes is assigned a fixed `1/N` share of processor time,
+//! preempted at fine granularity, so a node that needs `c` raw device
+//! cycles of work observes a wall-clock service time of `N·c` while
+//! consuming only its own share. The paper's `t_i` values are *already*
+//! expressed under the share ("measured assuming that the node uses only
+//! its assigned 1/N fraction of the processor while firing").
+//!
+//! [`ShareProcessor`] converts between raw vector time and share-scaled
+//! service time; [`ActiveTimeLedger`] accumulates each node's active and
+//! waiting time, from which the application's measured **active
+//! fraction** is computed exactly as §2.3 defines it: total active time
+//! over total (active + waiting) time, summed across nodes.
+
+use serde::{Deserialize, Serialize};
+
+/// A single-threaded processor divided into `n` equal, preemptively
+/// scheduled shares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShareProcessor {
+    shares: u32,
+}
+
+impl ShareProcessor {
+    /// A processor divided into `shares` equal fractions (one per node).
+    ///
+    /// # Panics
+    /// Panics if `shares == 0`.
+    pub fn new(shares: u32) -> Self {
+        assert!(shares > 0, "processor needs at least one share");
+        ShareProcessor { shares }
+    }
+
+    /// Number of shares `N`.
+    pub fn shares(&self) -> u32 {
+        self.shares
+    }
+
+    /// Wall-clock service time of a firing that needs `raw_cycles` of
+    /// exclusive device time, when run under a `1/N` share.
+    pub fn service_time(&self, raw_cycles: f64) -> f64 {
+        raw_cycles * self.shares as f64
+    }
+
+    /// Inverse of [`Self::service_time`]: raw device cycles implied by a
+    /// share-scaled service time.
+    pub fn raw_cycles(&self, service_time: f64) -> f64 {
+        service_time / self.shares as f64
+    }
+}
+
+/// Per-node active/waiting time accounting.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ActiveTimeLedger {
+    active: Vec<f64>,
+    // Active time excluding firings that consumed zero items — the
+    // "vacation" variant the paper mentions (§4: empty firings are
+    // charged as active for analysis but could be treated as vacations).
+    active_nonempty: Vec<f64>,
+    horizon: f64,
+}
+
+impl ActiveTimeLedger {
+    /// Ledger for `nodes` pipeline stages.
+    pub fn new(nodes: usize) -> Self {
+        ActiveTimeLedger {
+            active: vec![0.0; nodes],
+            active_nonempty: vec![0.0; nodes],
+            horizon: 0.0,
+        }
+    }
+
+    /// Record a firing of `node` that occupied it for `service_time`
+    /// wall-clock cycles and consumed `items` inputs.
+    pub fn record_firing(&mut self, node: usize, service_time: f64, items: u32) {
+        self.active[node] += service_time;
+        if items > 0 {
+            self.active_nonempty[node] += service_time;
+        }
+    }
+
+    /// Extend the measurement horizon to `t` (the end of the run).
+    pub fn set_horizon(&mut self, t: f64) {
+        assert!(t >= self.horizon, "horizon must not shrink");
+        self.horizon = t;
+    }
+
+    /// The measurement horizon.
+    pub fn horizon(&self) -> f64 {
+        self.horizon
+    }
+
+    /// Per-node active time.
+    pub fn active(&self) -> &[f64] {
+        &self.active
+    }
+
+    /// Application active fraction per §2.3: `Σ_i active_i / (N·horizon)`
+    /// — every node is either active or waiting at all times, so the
+    /// denominator is the full horizon per node.
+    pub fn active_fraction(&self) -> f64 {
+        if self.horizon <= 0.0 {
+            return 0.0;
+        }
+        self.active.iter().sum::<f64>() / (self.active.len() as f64 * self.horizon)
+    }
+
+    /// The "vacation" variant: empty firings not charged.
+    pub fn active_fraction_nonempty(&self) -> f64 {
+        if self.horizon <= 0.0 {
+            return 0.0;
+        }
+        self.active_nonempty.iter().sum::<f64>() / (self.active.len() as f64 * self.horizon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn share_scaling_roundtrip() {
+        let p = ShareProcessor::new(4);
+        assert_eq!(p.shares(), 4);
+        assert_eq!(p.service_time(100.0), 400.0);
+        assert_eq!(p.raw_cycles(400.0), 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one share")]
+    fn zero_shares_panics() {
+        ShareProcessor::new(0);
+    }
+
+    #[test]
+    fn ledger_active_fraction() {
+        let mut l = ActiveTimeLedger::new(2);
+        l.record_firing(0, 30.0, 5);
+        l.record_firing(1, 10.0, 2);
+        l.set_horizon(100.0);
+        // (30 + 10) / (2 × 100)
+        assert!((l.active_fraction() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_firings_split_the_two_metrics() {
+        let mut l = ActiveTimeLedger::new(1);
+        l.record_firing(0, 10.0, 4);
+        l.record_firing(0, 10.0, 0); // empty firing
+        l.set_horizon(100.0);
+        assert!((l.active_fraction() - 0.2).abs() < 1e-12);
+        assert!((l.active_fraction_nonempty() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_horizon_is_zero_fraction() {
+        let l = ActiveTimeLedger::new(3);
+        assert_eq!(l.active_fraction(), 0.0);
+        assert_eq!(l.active_fraction_nonempty(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not shrink")]
+    fn horizon_cannot_shrink() {
+        let mut l = ActiveTimeLedger::new(1);
+        l.set_horizon(10.0);
+        l.set_horizon(5.0);
+    }
+
+    #[test]
+    fn accessors() {
+        let mut l = ActiveTimeLedger::new(2);
+        l.record_firing(1, 7.0, 1);
+        l.set_horizon(50.0);
+        assert_eq!(l.active(), &[0.0, 7.0]);
+        assert_eq!(l.horizon(), 50.0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests for the SIMT device model.
+
+use proptest::prelude::*;
+use simd_device::machine::AluFn;
+use simd_device::{Machine, OccupancyStats, Op, Program, ShareProcessor};
+
+/// Strategy: a random straight-line program (no control flow).
+fn straight_line_program() -> impl Strategy<Value = Program> {
+    prop::collection::vec(
+        prop_oneof![
+            (0usize..4, -100i64..100, 1u32..20).prop_map(|(dst, value, cycles)| Op::SetImm {
+                dst,
+                value,
+                cycles
+            }),
+            (0usize..4, 0usize..4, 0usize..4, 1u32..20).prop_map(|(dst, a, b, cycles)| Op::Alu {
+                dst,
+                a,
+                b,
+                f: AluFn::Add,
+                cycles
+            }),
+            (0usize..4, 0usize..4, 1u32..30).prop_map(|(dst, addr, cycles)| Op::Load {
+                dst,
+                addr,
+                cycles
+            }),
+        ],
+        0..20,
+    )
+    .prop_map(|ops| Program { registers: 4, ops })
+}
+
+proptest! {
+    #[test]
+    fn straight_line_cost_is_lane_count_invariant(
+        prog in straight_line_program(),
+        lanes in 1usize..32,
+    ) {
+        let m = Machine::new(32);
+        let (_, one) = m.run(&prog, &[vec![1]]);
+        let inputs: Vec<Vec<i64>> = (0..lanes).map(|i| vec![i as i64]).collect();
+        let (_, many) = m.run(&prog, &inputs);
+        prop_assert_eq!(one.cycles, many.cycles);
+        prop_assert_eq!(one.instructions, many.instructions);
+    }
+
+    #[test]
+    fn straight_line_cost_is_sum_of_op_costs(prog in straight_line_program()) {
+        fn total(ops: &[Op]) -> u64 {
+            ops.iter()
+                .map(|op| match op {
+                    Op::SetImm { cycles, .. } | Op::Alu { cycles, .. } | Op::Load { cycles, .. } => {
+                        *cycles as u64
+                    }
+                    _ => unreachable!("straight-line only"),
+                })
+                .sum()
+        }
+        let m = Machine::new(4);
+        let (_, stats) = m.run(&prog, &[vec![0]]);
+        prop_assert_eq!(stats.cycles, total(&prog.ops));
+    }
+
+    #[test]
+    fn while_cost_equals_max_trip_times_body(
+        trips in prop::collection::vec(0i64..50, 1..16),
+        body_cost in 1u32..10,
+    ) {
+        let prog = Program {
+            registers: 3,
+            ops: vec![
+                Op::SetImm { dst: 1, value: 1, cycles: 0 },
+                Op::While {
+                    cond: 0,
+                    body: vec![Op::Alu { dst: 0, a: 0, b: 1, f: AluFn::Sub, cycles: body_cost }],
+                    max_iters: 1000,
+                },
+            ],
+        };
+        let m = Machine::new(16);
+        let inputs: Vec<Vec<i64>> = trips.iter().map(|&t| vec![t]).collect();
+        let (_, stats) = m.run(&prog, &inputs);
+        let max_trip = *trips.iter().max().unwrap() as u64;
+        prop_assert_eq!(stats.cycles, max_trip * body_cost as u64);
+        prop_assert_eq!(stats.loop_iterations, max_trip);
+    }
+
+    #[test]
+    fn divergence_cost_is_sum_of_taken_sides(
+        conds in prop::collection::vec(prop::bool::ANY, 1..16),
+        then_cost in 1u32..20,
+        else_cost in 1u32..20,
+    ) {
+        let prog = Program {
+            registers: 2,
+            ops: vec![Op::If {
+                cond: 0,
+                then_ops: vec![Op::SetImm { dst: 1, value: 1, cycles: then_cost }],
+                else_ops: vec![Op::SetImm { dst: 1, value: 2, cycles: else_cost }],
+            }],
+        };
+        let m = Machine::new(16);
+        let inputs: Vec<Vec<i64>> = conds.iter().map(|&c| vec![c as i64]).collect();
+        let (regs, stats) = m.run(&prog, &inputs);
+        let any_then = conds.iter().any(|&c| c);
+        let any_else = conds.iter().any(|&c| !c);
+        let expect = (any_then as u64) * then_cost as u64 + (any_else as u64) * else_cost as u64;
+        prop_assert_eq!(stats.cycles, expect);
+        prop_assert_eq!(stats.divergent_branches, (any_then && any_else) as u64);
+        // Predication: each lane's result matches its own condition.
+        for (r, &c) in regs.iter().zip(&conds) {
+            prop_assert_eq!(r[1], if c { 1 } else { 2 });
+        }
+    }
+
+    #[test]
+    fn occupancy_merge_matches_sequential(
+        fills in prop::collection::vec(0u32..=64, 1..64),
+        split in 0usize..64,
+    ) {
+        let cut = split.min(fills.len());
+        let mut whole = OccupancyStats::new();
+        let mut a = OccupancyStats::new();
+        let mut b = OccupancyStats::new();
+        for (i, &f) in fills.iter().enumerate() {
+            whole.record(f, 64);
+            if i < cut { a.record(f, 64) } else { b.record(f, 64) }
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.firings(), whole.firings());
+        prop_assert_eq!(a.items_processed(), whole.items_processed());
+        prop_assert!((a.mean_occupancy() - whole.mean_occupancy()).abs() < 1e-12);
+        prop_assert!((a.full_fraction() - whole.full_fraction()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn share_scaling_roundtrips(shares in 1u32..64, raw in 0.0..1e9f64) {
+        let p = ShareProcessor::new(shares);
+        let wall = p.service_time(raw);
+        prop_assert!((p.raw_cycles(wall) - raw).abs() <= 1e-9 * raw.max(1.0));
+        prop_assert!(wall >= raw);
+    }
+}

@@ -1,0 +1,154 @@
+//! One-dimensional branch-and-bound for integer minimization with a
+//! relaxation lower bound — the miniature of what BONMIN does for the
+//! paper's monolithic block-size program.
+//!
+//! The caller supplies:
+//!
+//! * `evaluate(m)` — the true objective at an integer point, `None` if
+//!   infeasible; and
+//! * `lower_bound(lo, hi)` — a value ≤ every feasible objective on
+//!   `lo..=hi` (from a convex/continuous relaxation).
+//!
+//! The search keeps a worklist of intervals, prunes those whose lower
+//! bound cannot beat the incumbent, and splits the rest at their
+//! midpoint, probing the midpoint integer each time. With an informative
+//! lower bound the search visits O(log range) intervals around the
+//! optimum; with a weak bound it degrades gracefully toward exhaustive
+//! scan, never losing exactness.
+
+use crate::integer::IntOpt;
+
+/// Statistics from a branch-and-bound run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BnbStats {
+    /// Intervals examined.
+    pub nodes: u64,
+    /// Intervals pruned by bound.
+    pub pruned: u64,
+    /// Objective evaluations.
+    pub evaluations: u64,
+}
+
+/// Minimize `evaluate` over `lo..=hi` with `lower_bound` pruning.
+///
+/// Returns the global integer optimum (exact — pruning only discards
+/// intervals certified not to contain a better point) together with
+/// search statistics, or `None` if every point is infeasible.
+pub fn minimize_bnb(
+    lo: u64,
+    hi: u64,
+    mut evaluate: impl FnMut(u64) -> Option<f64>,
+    mut lower_bound: impl FnMut(u64, u64) -> f64,
+) -> (Option<IntOpt>, BnbStats) {
+    let mut stats = BnbStats::default();
+    if lo > hi {
+        return (None, stats);
+    }
+    let mut best: Option<IntOpt> = None;
+    let mut probe = |m: u64, best: &mut Option<IntOpt>, stats: &mut BnbStats| {
+        stats.evaluations += 1;
+        if let Some(v) = evaluate(m) {
+            let better = best.as_ref().is_none_or(|b| v < b.value || (v == b.value && m < b.arg));
+            if better {
+                *best = Some(IntOpt { arg: m, value: v });
+            }
+        }
+    };
+
+    // Seed the incumbent with the endpoints and midpoint.
+    probe(lo, &mut best, &mut stats);
+    if hi != lo {
+        probe(hi, &mut best, &mut stats);
+        probe(lo + (hi - lo) / 2, &mut best, &mut stats);
+    }
+
+    let mut stack: Vec<(u64, u64)> = vec![(lo, hi)];
+    while let Some((a, b)) = stack.pop() {
+        stats.nodes += 1;
+        // Tiny intervals: finish by scan.
+        if b - a <= 8 {
+            for m in a..=b {
+                probe(m, &mut best, &mut stats);
+            }
+            continue;
+        }
+        if let Some(ref inc) = best {
+            if lower_bound(a, b) >= inc.value {
+                stats.pruned += 1;
+                continue;
+            }
+        }
+        let mid = a + (b - a) / 2;
+        probe(mid, &mut best, &mut stats);
+        // Deeper-first on the half containing the midpoint's neighbors;
+        // order does not affect exactness, only pruning efficiency.
+        stack.push((a, mid));
+        stack.push((mid + 1, b));
+    }
+    (best, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::integer::minimize_scan;
+
+    #[test]
+    fn exact_on_convex_objective_with_tight_bound() {
+        let f = |m: u64| Some((m as f64 - 700.3).powi(2));
+        // Convex: min over [a, b] is attained at the clamp of the real
+        // argmin.
+        let lb = |a: u64, b: u64| {
+            let x = 700.3_f64.clamp(a as f64, b as f64);
+            (x - 700.3).powi(2)
+        };
+        let (best, stats) = minimize_bnb(1, 100_000, f, lb);
+        let best = best.unwrap();
+        assert_eq!(best.arg, 700);
+        // Tight bound → massive pruning: far fewer evals than the range.
+        assert!(stats.evaluations < 1_000, "{stats:?}");
+        assert!(stats.pruned > 0);
+    }
+
+    #[test]
+    fn exact_with_trivial_bound_degenerates_to_scan() {
+        let f = |m: u64| Some(((m * 2654435761) % 997) as f64);
+        let (bnb, _) = minimize_bnb(1, 3_000, f, |_, _| f64::NEG_INFINITY);
+        let scan = minimize_scan(1, 3_000, f).unwrap();
+        let bnb = bnb.unwrap();
+        assert_eq!(bnb.value, scan.value);
+    }
+
+    #[test]
+    fn handles_infeasible_regions() {
+        let f = |m: u64| if !(50..=80).contains(&m) { None } else { Some(m as f64) };
+        let (best, _) = minimize_bnb(1, 200, f, |_, _| 0.0);
+        assert_eq!(best.unwrap().arg, 50);
+    }
+
+    #[test]
+    fn all_infeasible_is_none() {
+        let (best, _) = minimize_bnb(1, 100, |_| None, |_, _| 0.0);
+        assert!(best.is_none());
+    }
+
+    #[test]
+    fn empty_range_is_none() {
+        let (best, stats) = minimize_bnb(10, 5, |m| Some(m as f64), |_, _| 0.0);
+        assert!(best.is_none());
+        assert_eq!(stats.nodes, 0);
+    }
+
+    #[test]
+    fn single_point_range() {
+        let (best, _) = minimize_bnb(7, 7, |m| Some(m as f64 * 2.0), |_, _| 0.0);
+        assert_eq!(best.unwrap(), IntOpt { arg: 7, value: 14.0 });
+    }
+
+    #[test]
+    fn ties_break_toward_smaller_argument() {
+        let f = |m: u64| Some(if (40..=60).contains(&m) { 1.0 } else { 2.0 });
+        let (best, _) = minimize_bnb(1, 100, f, |_, _| f64::NEG_INFINITY);
+        assert_eq!(best.unwrap().arg, 40);
+    }
+}

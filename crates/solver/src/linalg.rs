@@ -1,0 +1,307 @@
+//! Small dense linear algebra.
+//!
+//! The interior-point method solves Newton systems `H d = -g` where `H`
+//! is symmetric positive definite and tiny (dimension = number of
+//! pipeline stages, single digits in practice). A dense row-major matrix
+//! with an in-place Cholesky factorization is the right tool; pulling in
+//! a full linear-algebra crate would be far heavier than the problem.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major `n × n` or `m × n` matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Mat {
+    /// Zero matrix of shape `rows × cols`.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Mat {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Mat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build from a row-major slice.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: &[f64]) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape mismatch");
+        Mat {
+            rows,
+            cols,
+            data: data.to_vec(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Add `value` to every diagonal entry (ridge regularization).
+    pub fn add_diagonal(&mut self, value: f64) {
+        let n = self.rows.min(self.cols);
+        for i in 0..n {
+            self[(i, i)] += value;
+        }
+    }
+
+    /// Rank-1 update: `self += scale · u uᵀ` (square matrices only).
+    pub fn rank1_update(&mut self, u: &[f64], scale: f64) {
+        assert_eq!(self.rows, self.cols, "rank1_update needs a square matrix");
+        assert_eq!(u.len(), self.rows, "vector length mismatch");
+        for i in 0..self.rows {
+            if u[i] == 0.0 {
+                continue;
+            }
+            let su = scale * u[i];
+            let row = &mut self.data[i * self.cols..(i + 1) * self.cols];
+            for (j, r) in row.iter_mut().enumerate() {
+                *r += su * u[j];
+            }
+        }
+    }
+
+    /// Matrix–vector product `self · x`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "dimension mismatch");
+        let mut y = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            y[i] = dot(row, x);
+        }
+        y
+    }
+
+    /// In-place Cholesky factorization `A = L Lᵀ` (lower triangle).
+    ///
+    /// Returns `None` if the matrix is not (numerically) positive
+    /// definite. Only the lower triangle of the result is meaningful.
+    pub fn cholesky(mut self) -> Option<Chol> {
+        assert_eq!(self.rows, self.cols, "cholesky needs a square matrix");
+        let n = self.rows;
+        for j in 0..n {
+            let mut d = self[(j, j)];
+            for k in 0..j {
+                d -= self[(j, k)] * self[(j, k)];
+            }
+            if d <= 0.0 || !d.is_finite() {
+                return None;
+            }
+            let d = d.sqrt();
+            self[(j, j)] = d;
+            for i in (j + 1)..n {
+                let mut s = self[(i, j)];
+                for k in 0..j {
+                    s -= self[(i, k)] * self[(j, k)];
+                }
+                self[(i, j)] = s / d;
+            }
+        }
+        Some(Chol { l: self })
+    }
+}
+
+impl Index<(usize, usize)> for Mat {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Mat {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Display for Mat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                write!(f, "{:>12.5} ", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// A Cholesky factorization, ready to solve linear systems.
+#[derive(Debug, Clone)]
+pub struct Chol {
+    l: Mat,
+}
+
+impl Chol {
+    /// Solve `A x = b` where `A = L Lᵀ`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.l.rows;
+        assert_eq!(b.len(), n, "dimension mismatch");
+        // Forward substitution: L y = b.
+        let mut y = b.to_vec();
+        for i in 0..n {
+            for k in 0..i {
+                y[i] -= self.l[(i, k)] * y[k];
+            }
+            y[i] /= self.l[(i, i)];
+        }
+        // Back substitution: Lᵀ x = y.
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                y[i] -= self.l[(k, i)] * y[k];
+            }
+            y[i] /= self.l[(i, i)];
+        }
+        y
+    }
+}
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm.
+#[inline]
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// `y += alpha * x` (AXPY).
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solves_trivially() {
+        let a = Mat::identity(3);
+        let chol = a.cholesky().unwrap();
+        let x = chol.solve(&[1.0, 2.0, 3.0]);
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn cholesky_solve_known_system() {
+        // A = [[4,2],[2,3]], b = [2,1] → x = [0.5, 0]
+        let a = Mat::from_rows(2, 2, &[4.0, 2.0, 2.0, 3.0]);
+        let x = a.cholesky().unwrap().solve(&[2.0, 1.0]);
+        assert!((x[0] - 0.5).abs() < 1e-12, "{x:?}");
+        assert!(x[1].abs() < 1e-12, "{x:?}");
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Mat::from_rows(2, 2, &[1.0, 2.0, 2.0, 1.0]); // eigvals 3, -1
+        assert!(a.cholesky().is_none());
+    }
+
+    #[test]
+    fn cholesky_rejects_nan() {
+        let a = Mat::from_rows(1, 1, &[f64::NAN]);
+        assert!(a.cholesky().is_none());
+    }
+
+    #[test]
+    fn solve_roundtrip_random_spd() {
+        // Build SPD as Bᵀ B + I for a fixed pseudo-random B.
+        let n = 5;
+        let mut b = Mat::zeros(n, n);
+        let mut v = 1u64;
+        for i in 0..n {
+            for j in 0..n {
+                v = v.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                b[(i, j)] = ((v >> 33) as f64 / (1u64 << 31) as f64) - 0.5;
+            }
+        }
+        let mut a = Mat::identity(n);
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += b[(k, i)] * b[(k, j)];
+                }
+                a[(i, j)] += s;
+            }
+        }
+        let x_true: Vec<f64> = (0..n).map(|i| i as f64 - 2.0).collect();
+        let rhs = a.matvec(&x_true);
+        let x = a.cholesky().unwrap().solve(&rhs);
+        for (xa, xb) in x.iter().zip(&x_true) {
+            assert!((xa - xb).abs() < 1e-9, "{x:?} vs {x_true:?}");
+        }
+    }
+
+    #[test]
+    fn rank1_update_matches_manual() {
+        let mut a = Mat::zeros(2, 2);
+        a.rank1_update(&[1.0, 2.0], 3.0);
+        assert_eq!(a[(0, 0)], 3.0);
+        assert_eq!(a[(0, 1)], 6.0);
+        assert_eq!(a[(1, 0)], 6.0);
+        assert_eq!(a[(1, 1)], 12.0);
+    }
+
+    #[test]
+    fn add_diagonal() {
+        let mut a = Mat::zeros(2, 2);
+        a.add_diagonal(5.0);
+        assert_eq!(a[(0, 0)], 5.0);
+        assert_eq!(a[(1, 1)], 5.0);
+        assert_eq!(a[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn vector_helpers() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[1.0, 2.0], &mut y);
+        assert_eq!(y, vec![3.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn from_rows_shape_check() {
+        Mat::from_rows(2, 2, &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = Mat::identity(2).to_string();
+        assert!(s.contains("1.00000"));
+    }
+}

@@ -1,0 +1,187 @@
+//! Linear inequality constraint sets.
+//!
+//! A [`ConstraintSet`] is a list of half-spaces `a·x ≤ b` over a fixed
+//! dimension. The enforced-waits problem builds one of these from the
+//! pipeline's stability and deadline constraints plus the lower bounds
+//! `x_i ≥ t_i` (encoded as `-x_i ≤ -t_i`).
+
+use serde::{Deserialize, Serialize};
+
+/// One half-space constraint `coeffs · x ≤ rhs`, with a label for
+/// diagnostics (infeasibility reports name the violated constraint).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Constraint {
+    /// Coefficient vector `a`.
+    pub coeffs: Vec<f64>,
+    /// Right-hand side `b`.
+    pub rhs: f64,
+    /// Human-readable name (e.g. `"deadline"`, `"edge 2→3 stability"`).
+    pub label: String,
+}
+
+impl Constraint {
+    /// Build a constraint `coeffs · x ≤ rhs`.
+    pub fn new(coeffs: Vec<f64>, rhs: f64, label: impl Into<String>) -> Self {
+        Constraint {
+            coeffs,
+            rhs,
+            label: label.into(),
+        }
+    }
+
+    /// Signed slack `rhs − a·x`; nonnegative iff satisfied.
+    pub fn slack(&self, x: &[f64]) -> f64 {
+        self.rhs - crate::linalg::dot(&self.coeffs, x)
+    }
+}
+
+/// A set of linear inequality constraints over `dim` variables.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ConstraintSet {
+    dim: usize,
+    constraints: Vec<Constraint>,
+}
+
+impl ConstraintSet {
+    /// Empty set over `dim` variables.
+    pub fn new(dim: usize) -> Self {
+        ConstraintSet {
+            dim,
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Problem dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of constraints.
+    pub fn len(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// True if there are no constraints.
+    pub fn is_empty(&self) -> bool {
+        self.constraints.is_empty()
+    }
+
+    /// Add `coeffs · x ≤ rhs`.
+    ///
+    /// # Panics
+    /// Panics if `coeffs.len() != dim` or any coefficient is non-finite.
+    pub fn push(&mut self, coeffs: Vec<f64>, rhs: f64, label: impl Into<String>) {
+        assert_eq!(coeffs.len(), self.dim, "constraint dimension mismatch");
+        assert!(
+            coeffs.iter().all(|c| c.is_finite()) && rhs.is_finite(),
+            "non-finite constraint data"
+        );
+        self.constraints.push(Constraint::new(coeffs, rhs, label));
+    }
+
+    /// Add an upper bound `x_i ≤ ub`.
+    pub fn push_upper_bound(&mut self, i: usize, ub: f64, label: impl Into<String>) {
+        let mut c = vec![0.0; self.dim];
+        c[i] = 1.0;
+        self.push(c, ub, label);
+    }
+
+    /// Add a lower bound `x_i ≥ lb` (stored as `−x_i ≤ −lb`).
+    pub fn push_lower_bound(&mut self, i: usize, lb: f64, label: impl Into<String>) {
+        let mut c = vec![0.0; self.dim];
+        c[i] = -1.0;
+        self.push(c, -lb, label);
+    }
+
+    /// The constraints.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// True if every constraint holds at `x` within tolerance `tol`
+    /// (violations up to `tol` are accepted).
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        self.constraints.iter().all(|c| c.slack(x) >= -tol)
+    }
+
+    /// Worst violation at `x`: `max_j (a_j·x − b_j)`, negative when
+    /// strictly feasible. Returns 0 for an empty set.
+    pub fn max_violation(&self, x: &[f64]) -> f64 {
+        self.constraints
+            .iter()
+            .map(|c| -c.slack(x))
+            .fold(0.0_f64.min(f64::NEG_INFINITY), f64::max)
+            .max(if self.constraints.is_empty() { 0.0 } else { f64::NEG_INFINITY })
+    }
+
+    /// Constraints violated at `x` beyond tolerance, for diagnostics.
+    pub fn violated<'a>(&'a self, x: &'a [f64], tol: f64) -> impl Iterator<Item = &'a Constraint> {
+        self.constraints.iter().filter(move |c| c.slack(x) < -tol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slack_sign_convention() {
+        let c = Constraint::new(vec![1.0, 1.0], 3.0, "sum");
+        assert_eq!(c.slack(&[1.0, 1.0]), 1.0); // satisfied with room
+        assert_eq!(c.slack(&[2.0, 2.0]), -1.0); // violated
+    }
+
+    #[test]
+    fn feasibility_check() {
+        let mut cs = ConstraintSet::new(2);
+        cs.push(vec![1.0, 0.0], 5.0, "x0 <= 5");
+        cs.push_lower_bound(1, 1.0, "x1 >= 1");
+        assert!(cs.is_feasible(&[4.0, 2.0], 0.0));
+        assert!(!cs.is_feasible(&[6.0, 2.0], 0.0));
+        assert!(!cs.is_feasible(&[4.0, 0.5], 0.0));
+        assert!(cs.is_feasible(&[5.0 + 1e-9, 1.0], 1e-6), "tolerance accepted");
+    }
+
+    #[test]
+    fn bounds_helpers() {
+        let mut cs = ConstraintSet::new(3);
+        cs.push_upper_bound(2, 10.0, "ub");
+        cs.push_lower_bound(0, 2.0, "lb");
+        assert_eq!(cs.len(), 2);
+        assert_eq!(cs.constraints()[0].coeffs, vec![0.0, 0.0, 1.0]);
+        assert_eq!(cs.constraints()[1].coeffs, vec![-1.0, 0.0, 0.0]);
+        assert_eq!(cs.constraints()[1].rhs, -2.0);
+    }
+
+    #[test]
+    fn max_violation_reports_worst() {
+        let mut cs = ConstraintSet::new(1);
+        cs.push_upper_bound(0, 1.0, "a");
+        cs.push_upper_bound(0, 2.0, "b");
+        assert!((cs.max_violation(&[4.0]) - 3.0).abs() < 1e-12);
+        assert!(cs.max_violation(&[0.0]) < 0.0);
+    }
+
+    #[test]
+    fn violated_lists_names() {
+        let mut cs = ConstraintSet::new(1);
+        cs.push_upper_bound(0, 1.0, "tight");
+        cs.push_upper_bound(0, 100.0, "loose");
+        let names: Vec<_> = cs.violated(&[5.0], 1e-9).map(|c| c.label.clone()).collect();
+        assert_eq!(names, vec!["tight".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dimension_checked() {
+        let mut cs = ConstraintSet::new(2);
+        cs.push(vec![1.0], 0.0, "bad");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn non_finite_rejected() {
+        let mut cs = ConstraintSet::new(1);
+        cs.push(vec![f64::NAN], 0.0, "bad");
+    }
+}

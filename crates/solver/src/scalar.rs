@@ -1,0 +1,125 @@
+//! One-dimensional continuous search: bisection root-finding and
+//! golden-section minimization.
+//!
+//! These are used for tuning scalar design parameters (e.g. the
+//! water-filling multiplier λ in the specialized Fig.-1 solver, and
+//! continuous relaxations of the block size `M`).
+
+/// Find a root of `f` on `[lo, hi]` by bisection.
+///
+/// Requires `f(lo)` and `f(hi)` to have opposite signs (a sign change
+/// bracket). Returns the midpoint of the final bracket after `iters`
+/// halvings (53 iterations exhausts `f64` precision).
+///
+/// # Panics
+/// Panics if `lo >= hi` or the bracket does not straddle a sign change.
+pub fn bisect(mut f: impl FnMut(f64) -> f64, lo: f64, hi: f64, iters: usize) -> f64 {
+    assert!(lo < hi, "empty bracket");
+    let (mut lo, mut hi) = (lo, hi);
+    let flo = f(lo);
+    let fhi = f(hi);
+    if flo == 0.0 {
+        return lo;
+    }
+    if fhi == 0.0 {
+        return hi;
+    }
+    assert!(
+        flo.signum() != fhi.signum(),
+        "bisect bracket does not straddle a root: f({lo}) = {flo}, f({hi}) = {fhi}"
+    );
+    let neg_lo = flo < 0.0;
+    for _ in 0..iters {
+        let mid = 0.5 * (lo + hi);
+        let fm = f(mid);
+        if fm == 0.0 {
+            return mid;
+        }
+        if (fm < 0.0) == neg_lo {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Minimize a unimodal `f` on `[lo, hi]` by golden-section search.
+///
+/// Returns `(argmin, min)`. For strictly unimodal functions the result is
+/// within `tol` of the true minimizer.
+pub fn golden_section(mut f: impl FnMut(f64) -> f64, lo: f64, hi: f64, tol: f64) -> (f64, f64) {
+    assert!(lo <= hi, "empty interval");
+    const INV_PHI: f64 = 0.618_033_988_749_894_9;
+    let (mut a, mut b) = (lo, hi);
+    let mut c = b - (b - a) * INV_PHI;
+    let mut d = a + (b - a) * INV_PHI;
+    let mut fc = f(c);
+    let mut fd = f(d);
+    while (b - a) > tol {
+        if fc < fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - (b - a) * INV_PHI;
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + (b - a) * INV_PHI;
+            fd = f(d);
+        }
+    }
+    let x = 0.5 * (a + b);
+    (x, f(x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_finds_sqrt2() {
+        let root = bisect(|x| x * x - 2.0, 0.0, 2.0, 80);
+        assert!((root - 2.0_f64.sqrt()).abs() < 1e-12, "{root}");
+    }
+
+    #[test]
+    fn bisect_handles_decreasing_function() {
+        let root = bisect(|x| 1.0 - x, 0.0, 5.0, 80);
+        assert!((root - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bisect_exact_endpoint_roots() {
+        assert_eq!(bisect(|x| x, 0.0, 1.0, 10), 0.0);
+        assert_eq!(bisect(|x| x - 1.0, 0.0, 1.0, 10), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "straddle")]
+    fn bisect_rejects_bad_bracket() {
+        bisect(|x| x * x + 1.0, -1.0, 1.0, 10);
+    }
+
+    #[test]
+    fn golden_section_quadratic() {
+        let (x, v) = golden_section(|x| (x - 3.0).powi(2) + 1.0, 0.0, 10.0, 1e-9);
+        assert!((x - 3.0).abs() < 1e-6, "{x}");
+        assert!((v - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn golden_section_boundary_minimum() {
+        let (x, _) = golden_section(|x| x, 2.0, 5.0, 1e-9);
+        assert!((x - 2.0).abs() < 1e-6, "{x}");
+    }
+
+    #[test]
+    fn golden_section_degenerate_interval() {
+        let (x, v) = golden_section(|x| x * x, 4.0, 4.0, 1e-9);
+        assert_eq!(x, 4.0);
+        assert_eq!(v, 16.0);
+    }
+}
