@@ -91,7 +91,9 @@ impl Cascade {
         let prefix_lens: Vec<usize> = (0..stages)
             .map(|i| ((i + 1) * config.features / stages).max(1))
             .collect();
-        let mut pool: Vec<Window> = (0..config.samples).map(|_| synth_window(config, rng)).collect();
+        let mut pool: Vec<Window> = (0..config.samples)
+            .map(|_| synth_window(config, rng))
+            .collect();
         let mut thresholds = Vec::with_capacity(stages);
         for (i, &rate) in config.stage_pass_rates.iter().enumerate() {
             let mut scores: Vec<f64> = pool
@@ -106,15 +108,11 @@ impl Cascade {
             pool.retain(|w| stage_score(w, prefix_lens[i]) >= threshold);
             if pool.is_empty() {
                 // Degenerate calibration: keep remaining thresholds at 0.
-                for _ in (i + 1)..stages {
-                    thresholds.push(0.0);
-                }
+                thresholds.resize(stages, 0.0);
                 break;
             }
         }
-        while thresholds.len() < stages {
-            thresholds.push(0.0);
-        }
+        thresholds.resize(stages.max(thresholds.len()), 0.0);
         Cascade {
             thresholds,
             prefix_lens,

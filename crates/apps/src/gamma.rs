@@ -169,10 +169,7 @@ pub fn synthesize(config: &GammaConfig, seed: u64) -> Result<PipelineSpec, Model
 /// Like [`synthesize`], but with service times *measured* by running
 /// the stage kernels on the simulated SIMT device over the synthetic
 /// event stream (instead of taking `config.service_times` on faith).
-pub fn synthesize_measured(
-    config: &GammaConfig,
-    seed: u64,
-) -> Result<PipelineSpec, ModelError> {
+pub fn synthesize_measured(config: &GammaConfig, seed: u64) -> Result<PipelineSpec, ModelError> {
     use crate::kernels;
     use simd_device::{LaneValue, Machine};
 
@@ -204,12 +201,27 @@ pub fn synthesize_measured(
     let shares = 4;
     let t = [
         kernels::mean_service_time(&machine, &kernels::hit_filter_kernel(), &energies, shares),
-        kernels::mean_service_time(&machine, &kernels::pair_split_kernel(), &segment_counts, shares),
+        kernels::mean_service_time(
+            &machine,
+            &kernels::pair_split_kernel(),
+            &segment_counts,
+            shares,
+        ),
         kernels::mean_service_time(&machine, &kernels::track_cut_kernel(), &cut_inputs, shares),
-        kernels::mean_service_time(&machine, &kernels::burst_update_kernel(), &cut_inputs, shares),
+        kernels::mean_service_time(
+            &machine,
+            &kernels::burst_update_kernel(),
+            &cut_inputs,
+            shares,
+        ),
     ];
     let measured = GammaConfig {
-        service_times: [t[0].round().max(1.0), t[1].round().max(1.0), t[2].round().max(1.0), t[3].round().max(1.0)],
+        service_times: [
+            t[0].round().max(1.0),
+            t[1].round().max(1.0),
+            t[2].round().max(1.0),
+            t[3].round().max(1.0),
+        ],
         ..config.clone()
     };
     synthesize(&measured, seed)
@@ -245,8 +257,22 @@ mod tests {
     #[test]
     fn hit_filter_threshold() {
         let cfg = GammaConfig::default();
-        assert!(hit_filter(&cfg, &PhotonEvent { energy: 5.0, depth: 0, angle: 0.0 }));
-        assert!(!hit_filter(&cfg, &PhotonEvent { energy: 4.9, depth: 0, angle: 0.0 }));
+        assert!(hit_filter(
+            &cfg,
+            &PhotonEvent {
+                energy: 5.0,
+                depth: 0,
+                angle: 0.0
+            }
+        ));
+        assert!(!hit_filter(
+            &cfg,
+            &PhotonEvent {
+                energy: 4.9,
+                depth: 0,
+                angle: 0.0
+            }
+        ));
     }
 
     #[test]
@@ -264,11 +290,22 @@ mod tests {
     fn energetic_events_split_more() {
         let cfg = GammaConfig::default();
         let mut rng = StdRng::seed_from_u64(2);
-        let soft = PhotonEvent { energy: 6.0, depth: 19, angle: 0.1 };
-        let hard = PhotonEvent { energy: 300.0, depth: 0, angle: 0.1 };
+        let soft = PhotonEvent {
+            energy: 6.0,
+            depth: 19,
+            angle: 0.1,
+        };
+        let hard = PhotonEvent {
+            energy: 300.0,
+            depth: 0,
+            angle: 0.1,
+        };
         let n = 5_000;
         let mean = |ev: &PhotonEvent, rng: &mut StdRng| {
-            (0..n).map(|_| pair_split(&cfg, ev, rng) as f64).sum::<f64>() / n as f64
+            (0..n)
+                .map(|_| pair_split(&cfg, ev, rng) as f64)
+                .sum::<f64>()
+                / n as f64
         };
         let m_soft = mean(&soft, &mut rng);
         let m_hard = mean(&hard, &mut rng);
@@ -289,7 +326,11 @@ mod tests {
         assert!(t[1] > t[0], "{t:?}");
         // And the whole thing must be schedulable.
         use dataflow_model::RtParams;
-        let b: Vec<f64> = p.mean_gains().iter().map(|g| (g.ceil() + 1.0).max(2.0)).collect();
+        let b: Vec<f64> = p
+            .mean_gains()
+            .iter()
+            .map(|g| (g.ceil() + 1.0).max(2.0))
+            .collect();
         let params = RtParams::new(60.0, 1e5).unwrap();
         assert!(rtsdf_core::EnforcedWaitsProblem::new(&p, params, b)
             .solve(rtsdf_core::SolveMethod::WaterFilling)

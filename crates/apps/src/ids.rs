@@ -224,14 +224,30 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let rules = RuleSet::generate(&config, &mut rng);
         assert_eq!(rules.scan(&[], 12), 0);
-        assert_eq!(rules.scan(&[1, 2, 3], 12), 0, "payload shorter than signatures");
+        assert_eq!(
+            rules.scan(&[1, 2, 3], 12),
+            0,
+            "payload shorter than signatures"
+        );
     }
 
     #[test]
     fn header_filter_ports() {
         let config = IdsConfig::default();
-        assert!(header_filter(&config, &Packet { port: 443, payload: vec![] }));
-        assert!(!header_filter(&config, &Packet { port: 5_000, payload: vec![] }));
+        assert!(header_filter(
+            &config,
+            &Packet {
+                port: 443,
+                payload: vec![]
+            }
+        ));
+        assert!(!header_filter(
+            &config,
+            &Packet {
+                port: 5_000,
+                payload: vec![]
+            }
+        ));
     }
 
     #[test]
@@ -251,12 +267,18 @@ mod tests {
     #[test]
     fn more_attacks_more_scan_gain() {
         let quiet = synthesize(
-            &IdsConfig { attack_fraction: 0.01, ..IdsConfig::default() },
+            &IdsConfig {
+                attack_fraction: 0.01,
+                ..IdsConfig::default()
+            },
             2,
         )
         .unwrap();
         let noisy = synthesize(
-            &IdsConfig { attack_fraction: 0.5, ..IdsConfig::default() },
+            &IdsConfig {
+                attack_fraction: 0.5,
+                ..IdsConfig::default()
+            },
             2,
         )
         .unwrap();

@@ -16,10 +16,32 @@ pub fn hit_filter_kernel() -> Program {
     Program {
         registers: 4,
         ops: vec![
-            Op::Load { dst: 1, addr: 0, cycles: 10 },
-            Op::Alu { dst: 2, a: 1, b: 0, f: AluFn::CmpLt, cycles: 5 },
-            Op::Alu { dst: 3, a: 2, b: 2, f: AluFn::Max, cycles: 5 },
-            Op::Alu { dst: 3, a: 3, b: 1, f: AluFn::And, cycles: 5 },
+            Op::Load {
+                dst: 1,
+                addr: 0,
+                cycles: 10,
+            },
+            Op::Alu {
+                dst: 2,
+                a: 1,
+                b: 0,
+                f: AluFn::CmpLt,
+                cycles: 5,
+            },
+            Op::Alu {
+                dst: 3,
+                a: 2,
+                b: 2,
+                f: AluFn::Max,
+                cycles: 5,
+            },
+            Op::Alu {
+                dst: 3,
+                a: 3,
+                b: 1,
+                f: AluFn::And,
+                cycles: 5,
+            },
         ],
     }
 }
@@ -30,15 +52,45 @@ pub fn pair_split_kernel() -> Program {
     Program {
         registers: 5,
         ops: vec![
-            Op::SetImm { dst: 1, value: 1, cycles: 2 },
-            Op::Load { dst: 2, addr: 0, cycles: 14 },
+            Op::SetImm {
+                dst: 1,
+                value: 1,
+                cycles: 2,
+            },
+            Op::Load {
+                dst: 2,
+                addr: 0,
+                cycles: 14,
+            },
             Op::While {
                 cond: 0,
                 body: vec![
-                    Op::Load { dst: 3, addr: 2, cycles: 10 },
-                    Op::Alu { dst: 4, a: 3, b: 2, f: AluFn::Add, cycles: 6 },
-                    Op::Alu { dst: 4, a: 4, b: 3, f: AluFn::Max, cycles: 6 },
-                    Op::Alu { dst: 0, a: 0, b: 1, f: AluFn::Sub, cycles: 4 },
+                    Op::Load {
+                        dst: 3,
+                        addr: 2,
+                        cycles: 10,
+                    },
+                    Op::Alu {
+                        dst: 4,
+                        a: 3,
+                        b: 2,
+                        f: AluFn::Add,
+                        cycles: 6,
+                    },
+                    Op::Alu {
+                        dst: 4,
+                        a: 4,
+                        b: 3,
+                        f: AluFn::Max,
+                        cycles: 6,
+                    },
+                    Op::Alu {
+                        dst: 0,
+                        a: 0,
+                        b: 1,
+                        f: AluFn::Sub,
+                        cycles: 4,
+                    },
                 ],
                 max_iters: 64,
             },
@@ -52,11 +104,39 @@ pub fn track_cut_kernel() -> Program {
     Program {
         registers: 5,
         ops: vec![
-            Op::Load { dst: 1, addr: 0, cycles: 14 },
-            Op::Alu { dst: 2, a: 1, b: 1, f: AluFn::Mul, cycles: 8 },
-            Op::Alu { dst: 3, a: 2, b: 1, f: AluFn::Add, cycles: 8 },
-            Op::Alu { dst: 3, a: 3, b: 2, f: AluFn::Mod, cycles: 10 },
-            Op::Alu { dst: 4, a: 3, b: 1, f: AluFn::CmpLt, cycles: 8 },
+            Op::Load {
+                dst: 1,
+                addr: 0,
+                cycles: 14,
+            },
+            Op::Alu {
+                dst: 2,
+                a: 1,
+                b: 1,
+                f: AluFn::Mul,
+                cycles: 8,
+            },
+            Op::Alu {
+                dst: 3,
+                a: 2,
+                b: 1,
+                f: AluFn::Add,
+                cycles: 8,
+            },
+            Op::Alu {
+                dst: 3,
+                a: 3,
+                b: 2,
+                f: AluFn::Mod,
+                cycles: 10,
+            },
+            Op::Alu {
+                dst: 4,
+                a: 3,
+                b: 1,
+                f: AluFn::CmpLt,
+                cycles: 8,
+            },
         ],
     }
 }
@@ -67,18 +147,48 @@ pub fn burst_update_kernel() -> Program {
     Program {
         registers: 5,
         ops: vec![
-            Op::SetImm { dst: 0, value: 16, cycles: 2 },
-            Op::SetImm { dst: 1, value: 1, cycles: 2 },
+            Op::SetImm {
+                dst: 0,
+                value: 16,
+                cycles: 2,
+            },
+            Op::SetImm {
+                dst: 1,
+                value: 1,
+                cycles: 2,
+            },
             Op::While {
                 cond: 0,
                 body: vec![
-                    Op::Load { dst: 2, addr: 0, cycles: 6 },
-                    Op::Alu { dst: 3, a: 3, b: 2, f: AluFn::Add, cycles: 4 },
-                    Op::Alu { dst: 0, a: 0, b: 1, f: AluFn::Sub, cycles: 3 },
+                    Op::Load {
+                        dst: 2,
+                        addr: 0,
+                        cycles: 6,
+                    },
+                    Op::Alu {
+                        dst: 3,
+                        a: 3,
+                        b: 2,
+                        f: AluFn::Add,
+                        cycles: 4,
+                    },
+                    Op::Alu {
+                        dst: 0,
+                        a: 0,
+                        b: 1,
+                        f: AluFn::Sub,
+                        cycles: 3,
+                    },
                 ],
                 max_iters: 64,
             },
-            Op::Alu { dst: 4, a: 3, b: 1, f: AluFn::Max, cycles: 6 },
+            Op::Alu {
+                dst: 4,
+                a: 3,
+                b: 1,
+                f: AluFn::Max,
+                cycles: 6,
+            },
         ],
     }
 }

@@ -27,6 +27,6 @@
 #![warn(missing_docs)]
 
 pub mod cascade;
-pub mod kernels;
 pub mod gamma;
 pub mod ids;
+pub mod kernels;

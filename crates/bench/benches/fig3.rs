@@ -20,7 +20,7 @@ fn bench_fig3_grid(c: &mut Criterion) {
     let cfg = SweepConfig::paper_blast();
     let (tau0s, ds) = RtParams::paper_grid(6, 6);
     c.bench_function("fig3_grid_6x6", |b| {
-        b.iter(|| black_box(sweep(&p, &tau0s, &ds, &cfg)))
+        b.iter(|| black_box(sweep(&p, &tau0s, &ds, &cfg).unwrap()))
     });
 }
 

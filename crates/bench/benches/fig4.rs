@@ -10,7 +10,7 @@ fn bench_fig4_difference_stats(c: &mut Criterion) {
     let p = rtsdf::blast::paper_pipeline();
     let cfg = SweepConfig::paper_blast();
     let (tau0s, ds) = RtParams::paper_grid(8, 8);
-    let result = sweep(&p, &tau0s, &ds, &cfg);
+    let result = sweep(&p, &tau0s, &ds, &cfg).unwrap();
     c.bench_function("fig4_stats_from_sweep", |b| {
         b.iter_batched(
             || result.clone(),
@@ -32,7 +32,7 @@ fn bench_fig4_full(c: &mut Criterion) {
     let (tau0s, ds) = RtParams::paper_grid(4, 4);
     c.bench_function("fig4_sweep_and_stats_4x4", |b| {
         b.iter(|| {
-            let r = sweep(&p, &tau0s, &ds, &cfg);
+            let r = sweep(&p, &tau0s, &ds, &cfg).unwrap();
             black_box(r.enforced_win_fraction())
         })
     });

@@ -27,7 +27,9 @@ fn bench_enforced_simulation(c: &mut Criterion) {
 fn bench_monolithic_simulation(c: &mut Criterion) {
     let p = rtsdf::blast::paper_pipeline();
     let params = RtParams::new(50.0, 1e5).unwrap();
-    let sched = MonolithicProblem::new(&p, params, 1.0, 1.0).solve().unwrap();
+    let sched = MonolithicProblem::new(&p, params, 1.0, 1.0)
+        .solve()
+        .unwrap();
     let items = 20_000usize;
     let mut group = c.benchmark_group("simulate");
     group.throughput(Throughput::Elements(items as u64));

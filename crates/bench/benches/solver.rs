@@ -64,7 +64,11 @@ fn bench_deep_pipeline_scaling(c: &mut Criterion) {
     for n in [4usize, 16, 64] {
         let mut b = PipelineSpecBuilder::new(128);
         for i in 0..n {
-            b = b.stage(format!("s{i}"), 100.0 + i as f64, GainModel::Bernoulli { p: 0.9 });
+            b = b.stage(
+                format!("s{i}"),
+                100.0 + i as f64,
+                GainModel::Bernoulli { p: 0.9 },
+            );
         }
         let p = b.build().unwrap();
         let factors = vec![2.0; n];

@@ -45,7 +45,10 @@ fn main() {
             af.map_or("infeasible".into(), |a| format!("{a:.4}")),
         ]);
     }
-    print!("{}", bench::render_table(&["label", "b", "active fraction"], &rows));
+    print!(
+        "{}",
+        bench::render_table(&["label", "b", "active fraction"], &rows)
+    );
     println!();
 
     // --- A2: monolithic safety knobs ----------------------------------
@@ -57,12 +60,14 @@ fn main() {
         let r = MonolithicProblem::new(&p, params_m, b, s).solve();
         rows.push(vec![
             format!("b={b}, S={s}"),
-            r.as_ref()
-                .map_or("-".into(), |m| m.block_size.to_string()),
+            r.as_ref().map_or("-".into(), |m| m.block_size.to_string()),
             r.map_or("infeasible".into(), |m| format!("{:.4}", m.active_fraction)),
         ]);
     }
-    print!("{}", bench::render_table(&["knobs", "M*", "active fraction"], &rows));
+    print!(
+        "{}",
+        bench::render_table(&["knobs", "M*", "active fraction"], &rows)
+    );
     println!();
 
     // --- A3: SIMD width ------------------------------------------------
@@ -84,7 +89,10 @@ fn main() {
             bench::opt_fmt(m, 4),
         ]);
     }
-    print!("{}", bench::render_table(&["v", "enforced", "monolithic"], &rows));
+    print!(
+        "{}",
+        bench::render_table(&["v", "enforced", "monolithic"], &rows)
+    );
     println!("(wider vectors help both, but the enforced advantage persists)");
     println!();
 
@@ -94,7 +102,11 @@ fn main() {
     for n in [2usize, 3, 4, 6, 8] {
         let mut b = PipelineSpecBuilder::new(128);
         for i in 0..n {
-            b = b.stage(format!("s{i}"), 200.0 + 100.0 * i as f64, GainModel::Bernoulli { p: 0.8 });
+            b = b.stage(
+                format!("s{i}"),
+                200.0 + 100.0 * i as f64,
+                GainModel::Bernoulli { p: 0.8 },
+            );
         }
         let p = b.build().unwrap();
         let pr = RtParams::new(10.0, 1e9).unwrap();
@@ -102,5 +114,8 @@ fn main() {
             / analysis::enforced_limit_active_fraction(&p, &pr);
         rows.push(vec![n.to_string(), format!("{ratio:.2}")]);
     }
-    print!("{}", bench::render_table(&["stages N", "limit ratio"], &rows));
+    print!(
+        "{}",
+        bench::render_table(&["stages N", "limit ratio"], &rows)
+    );
 }

@@ -10,31 +10,27 @@ use rtsdf::sim::validate::{enforced_agreement, monolithic_agreement};
 
 fn main() {
     let pipeline = rtsdf::blast::paper_pipeline();
-    let enforced_points: Vec<RtParams> = [
-        (5.0, 5e4),
-        (10.0, 1e5),
-        (30.0, 2e5),
-        (80.0, 3e5),
-    ]
-    .iter()
-    .map(|&(t, d)| RtParams::new(t, d).unwrap())
-    .collect();
+    let enforced_points: Vec<RtParams> = [(5.0, 5e4), (10.0, 1e5), (30.0, 2e5), (80.0, 3e5)]
+        .iter()
+        .map(|&(t, d)| RtParams::new(t, d).unwrap())
+        .collect();
     // Monolithic blocks hold thousands of items at fast arrival rates;
     // use points whose optimal M is well under the stream length.
-    let mono_points: Vec<RtParams> = [
-        (30.0, 1e5),
-        (60.0, 2e5),
-        (80.0, 3e5),
-        (100.0, 3.5e5),
-    ]
-    .iter()
-    .map(|&(t, d)| RtParams::new(t, d).unwrap())
-    .collect();
+    let mono_points: Vec<RtParams> = [(30.0, 1e5), (60.0, 2e5), (80.0, 3e5), (100.0, 3.5e5)]
+        .iter()
+        .map(|&(t, d)| RtParams::new(t, d).unwrap())
+        .collect();
 
     println!("optimizer-predicted vs simulator-measured active fraction");
     println!();
     for report in [
-        enforced_agreement(&pipeline, &enforced_points, &[1.0, 3.0, 9.0, 6.0], 20_000, 7),
+        enforced_agreement(
+            &pipeline,
+            &enforced_points,
+            &[1.0, 3.0, 9.0, 6.0],
+            20_000,
+            7,
+        ),
         monolithic_agreement(&pipeline, &mono_points, 1.0, 1.0, 30_000, 7),
     ] {
         println!("{}:", report.strategy);

@@ -51,7 +51,10 @@ fn main() {
     }
     print!(
         "{}",
-        bench::render_table(&["tau0", "D", "b (theory)", "utilization", "saturated?"], &rows)
+        bench::render_table(
+            &["tau0", "D", "b (theory)", "utilization", "saturated?"],
+            &rows
+        )
     );
 
     println!();

@@ -11,13 +11,20 @@
 //!
 //! Paper scale means 50 000-item streams and 100 seeds per grid point
 //! (several minutes); the scaled-down run preserves the methodology at
-//! a fraction of the cost.
+//! a fraction of the cost. `--metrics json|csv` writes a
+//! `BENCH_calibrate` run manifest with the per-round history.
 
+use bench::{MetricsFormat, RunManifest};
 use rtsdf::prelude::*;
 use rtsdf::sim::calibration::{calibrate_enforced, CalibrationConfig};
 
 fn main() {
-    let full = std::env::args().any(|a| a == "--full");
+    let args: Vec<String> = std::env::args().collect();
+    let full = args.iter().any(|a| a == "--full");
+    let metrics = bench::parse_metrics_flag(&args).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
     let pipeline = rtsdf::blast::paper_pipeline();
     // The grid mixes tight deadlines (where optimistic factors fail and
     // escalation has to work) with relaxed ones (where any factors
@@ -56,11 +63,50 @@ fn main() {
         "calibrating enforced-waits backlog factors ({} seeds x {} items per grid point)",
         config.seeds_per_point, config.stream_length
     );
-    println!("grid: {} operating points; target: >= {:.0}% miss-free seeds everywhere",
-        config.grid.len(), 100.0 * config.target_miss_free);
+    println!(
+        "grid: {} operating points; target: >= {:.0}% miss-free seeds everywhere",
+        config.grid.len(),
+        100.0 * config.target_miss_free
+    );
     println!();
 
     let result = calibrate_enforced(&pipeline, &config);
+
+    if let Some(format) = metrics {
+        let path = match format {
+            MetricsFormat::Json => RunManifest::new(
+                "calibrate",
+                serde_json::to_value(&config).expect("config serializes"),
+                serde_json::to_value(&result).expect("result serializes"),
+            )
+            .write()
+            .expect("manifest written"),
+            MetricsFormat::Csv => {
+                let rows: Vec<Vec<String>> = result
+                    .rounds
+                    .iter()
+                    .enumerate()
+                    .map(|(i, r)| {
+                        vec![
+                            i.to_string(),
+                            format!("{:?}", r.b).replace(',', ";"),
+                            format!("{:.4}", r.worst_miss_free),
+                            r.worst_point
+                                .map_or("-".into(), |(t, d)| format!("({t:.0}; {d:.0})")),
+                        ]
+                    })
+                    .collect();
+                bench::manifest::write_metrics_csv(
+                    "calibrate",
+                    &["round", "b", "worst_miss_free", "worst_point"],
+                    &rows,
+                )
+                .expect("metrics csv written")
+            }
+        };
+        eprintln!("wrote {}", path.display());
+    }
+
     let rows: Vec<Vec<String>> = result
         .rounds
         .iter()
@@ -85,7 +131,13 @@ fn main() {
     print!(
         "{}",
         bench::render_table(
-            &["round", "b", "worst miss-free", "worst point", "observed backlog (vectors)"],
+            &[
+                "round",
+                "b",
+                "worst miss-free",
+                "worst point",
+                "observed backlog (vectors)"
+            ],
             &rows
         )
     );

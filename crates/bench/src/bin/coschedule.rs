@@ -31,7 +31,10 @@ fn main() {
             Err(e) => rows.push(vec![format!("{d:.0}"), format!("0 ({e})")]),
         }
     }
-    print!("{}", bench::render_table(&["deadline", "max replicas"], &rows));
+    print!(
+        "{}",
+        bench::render_table(&["deadline", "max replicas"], &rows)
+    );
     println!("(deadline slack buys co-residency — the paper's motivation, quantified)");
 
     println!();
@@ -39,7 +42,10 @@ fn main() {
     let gamma_p = gamma::synthesize(&gamma::GammaConfig::default(), 1).expect("gamma pipeline");
     let ids_p = ids::synthesize(&ids::IdsConfig::default(), 1).expect("ids pipeline");
     let mk_b = |p: &rtsdf::model::PipelineSpec| -> Vec<f64> {
-        p.mean_gains().iter().map(|g| (g.ceil() + 1.0).max(2.0)).collect()
+        p.mean_gains()
+            .iter()
+            .map(|g| (g.ceil() + 1.0).max(2.0))
+            .collect()
     };
     let workloads = [
         Workload {

@@ -2,20 +2,37 @@
 //! fraction of each strategy over the (τ0, D) grid.
 //!
 //! Prints two ASCII surfaces plus the underlying CSV so the numbers can
-//! be replotted.
+//! be replotted. `--metrics json` additionally writes a `BENCH_fig3.json`
+//! run manifest with per-cell solver telemetry (method, iterations,
+//! wall time, fallbacks); `--metrics csv` writes the same data flat to
+//! `BENCH_fig3.csv`.
 //!
 //! ```text
-//! cargo run --release -p bench --bin fig3 [-- --csv]
+//! cargo run --release -p bench --bin fig3 [-- --csv] [--metrics json|csv]
 //! ```
 
+use bench::manifest::emit_sweep_metrics;
 use rtsdf::core::comparison::{sweep_parallel, SweepConfig};
 use rtsdf::prelude::*;
 
 fn main() {
-    let csv = std::env::args().any(|a| a == "--csv");
+    let args: Vec<String> = std::env::args().collect();
+    let csv = args.iter().any(|a| a == "--csv");
+    let metrics = bench::parse_metrics_flag(&args).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
     let pipeline = rtsdf::blast::paper_pipeline();
     let (tau0s, ds) = RtParams::paper_grid(16, 16);
-    let result = sweep_parallel(&pipeline, &tau0s, &ds, &SweepConfig::paper_blast());
+    let sweep_config = SweepConfig::paper_blast();
+    let result =
+        sweep_parallel(&pipeline, &tau0s, &ds, &sweep_config).expect("paper grid is valid");
+
+    if let Some(format) = metrics {
+        let path =
+            emit_sweep_metrics("fig3", &result, &sweep_config, format).expect("metrics written");
+        eprintln!("wrote {}", path.display());
+    }
 
     if csv {
         let rows: Vec<Vec<String>> = result
@@ -41,10 +58,7 @@ fn main() {
     println!("rows: tau0 (geometric 1..100); columns: D (linear 2e4..3.5e5)");
     println!();
     let labels: Vec<String> = tau0s.iter().map(|t| format!("tau0={t:7.2}")).collect();
-    for (name, pick) in [
-        ("enforced waits", 0usize),
-        ("monolithic", 1usize),
-    ] {
+    for (name, pick) in [("enforced waits", 0usize), ("monolithic", 1usize)] {
         let grid: Vec<Vec<Option<f64>>> = (0..tau0s.len())
             .map(|i| {
                 (0..ds.len())

@@ -68,6 +68,7 @@ fn main() {
         backlog_factors: b,
         latency_bound: sched.latency_bound,
         method: SolveMethod::WaterFilling,
+        telemetry: None,
     };
     let report = run_seeds_enforced(
         &realized,

@@ -6,16 +6,17 @@
 //! cargo run --release -p bench --bin frontier
 //! ```
 
-use rtsdf::core::frontier::{
-    enforced_min_tau0, frontier, monolithic_min_tau0_asymptote,
-};
+use rtsdf::core::frontier::{enforced_min_tau0, frontier, monolithic_min_tau0_asymptote};
 
 fn main() {
     let p = rtsdf::blast::paper_pipeline();
     let b = [1.0, 3.0, 9.0, 6.0];
 
     println!("arrival-rate limits (smallest sustainable tau0):");
-    println!("  enforced waits:  {:.3} cycles/item (head stability x̂_0/v)", enforced_min_tau0(&p));
+    println!(
+        "  enforced waits:  {:.3} cycles/item (head stability x̂_0/v)",
+        enforced_min_tau0(&p)
+    );
     println!(
         "  monolithic:      {:.3} cycles/item (asymptote Σ G_i·t_i / v; finite M slightly worse)",
         monolithic_min_tau0_asymptote(&p)

@@ -47,7 +47,12 @@ fn main() {
     print!(
         "{}",
         bench::render_table(
-            &["tau0", "D", "periodic (miss-free / worst rate)", "poisson (miss-free / worst rate)"],
+            &[
+                "tau0",
+                "D",
+                "periodic (miss-free / worst rate)",
+                "poisson (miss-free / worst rate)"
+            ],
             &rows
         )
     );
@@ -74,7 +79,10 @@ fn main() {
     for round in 0..8 {
         let mut worst: f64 = 1.0;
         let mut observed = vec![0.0_f64; p.len()];
-        for params in [RtParams::new(5.0, 2.6e4).unwrap(), RtParams::new(10.0, 3e4).unwrap()] {
+        for params in [
+            RtParams::new(5.0, 2.6e4).unwrap(),
+            RtParams::new(10.0, 3e4).unwrap(),
+        ] {
             let Ok(sched) = EnforcedWaitsProblem::new(&p, params, b_poisson.clone())
                 .solve(SolveMethod::WaterFilling)
             else {
@@ -88,9 +96,7 @@ fn main() {
                 *o = o.max(x);
             }
         }
-        println!(
-            "  poisson round {round}: b = {b_poisson:?}, worst miss-free {worst:.2}"
-        );
+        println!("  poisson round {round}: b = {b_poisson:?}, worst miss-free {worst:.2}");
         if worst >= 0.95 {
             break;
         }

@@ -8,6 +8,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod manifest;
+
+pub use manifest::{parse_metrics_flag, MetricsFormat, RunManifest};
+
 use std::fmt::Write as _;
 
 /// Render a right-aligned table: `header` then `rows`, each cell padded
@@ -67,8 +71,12 @@ pub fn render_heatmap(
 ) -> String {
     const RAMP: &[u8] = b" .:-=+*#%@";
     let mut out = String::new();
-    let _ = writeln!(out, "{title}  [{lo:.2} '{}' .. '{}' {hi:.2}, x = infeasible]",
-        RAMP[0] as char, RAMP[RAMP.len() - 1] as char);
+    let _ = writeln!(
+        out,
+        "{title}  [{lo:.2} '{}' .. '{}' {hi:.2}, x = infeasible]",
+        RAMP[0] as char,
+        RAMP[RAMP.len() - 1] as char
+    );
     for (row, label) in grid.iter().zip(row_labels) {
         let _ = write!(out, "{label:>12} |");
         for cell in row {

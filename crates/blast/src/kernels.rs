@@ -47,16 +47,60 @@ fn seed_kernel() -> Program {
         registers: 6,
         ops: vec![
             // Hash the packed k-mer in r0.
-            Op::Alu { dst: 1, a: 0, b: 0, f: AluFn::Mul, cycles: 4 },
-            Op::Alu { dst: 2, a: 1, b: 0, f: AluFn::Xor, cycles: 4 },
-            Op::Alu { dst: 3, a: 2, b: 1, f: AluFn::Add, cycles: 4 },
+            Op::Alu {
+                dst: 1,
+                a: 0,
+                b: 0,
+                f: AluFn::Mul,
+                cycles: 4,
+            },
+            Op::Alu {
+                dst: 2,
+                a: 1,
+                b: 0,
+                f: AluFn::Xor,
+                cycles: 4,
+            },
+            Op::Alu {
+                dst: 3,
+                a: 2,
+                b: 1,
+                f: AluFn::Add,
+                cycles: 4,
+            },
             // Bucket head pointer, then first entry.
-            Op::Load { dst: 4, addr: 3, cycles: 18 },
-            Op::Load { dst: 5, addr: 4, cycles: 18 },
+            Op::Load {
+                dst: 4,
+                addr: 3,
+                cycles: 18,
+            },
+            Op::Load {
+                dst: 5,
+                addr: 4,
+                cycles: 18,
+            },
             // Hit test.
-            Op::Alu { dst: 5, a: 5, b: 0, f: AluFn::Xor, cycles: 4 },
-            Op::Alu { dst: 5, a: 5, b: 5, f: AluFn::Min, cycles: 4 },
-            Op::Alu { dst: 5, a: 5, b: 0, f: AluFn::CmpLt, cycles: 4 },
+            Op::Alu {
+                dst: 5,
+                a: 5,
+                b: 0,
+                f: AluFn::Xor,
+                cycles: 4,
+            },
+            Op::Alu {
+                dst: 5,
+                a: 5,
+                b: 5,
+                f: AluFn::Min,
+                cycles: 4,
+            },
+            Op::Alu {
+                dst: 5,
+                a: 5,
+                b: 0,
+                f: AluFn::CmpLt,
+                cycles: 4,
+            },
         ],
     }
 }
@@ -68,19 +112,55 @@ fn extend_kernel() -> Program {
     Program {
         registers: 6,
         ops: vec![
-            Op::SetImm { dst: 1, value: 1, cycles: 2 },
+            Op::SetImm {
+                dst: 1,
+                value: 1,
+                cycles: 2,
+            },
             // Load the diagonal's base pointers.
-            Op::Load { dst: 2, addr: 0, cycles: 18 },
-            Op::Load { dst: 3, addr: 1, cycles: 18 },
+            Op::Load {
+                dst: 2,
+                addr: 0,
+                cycles: 18,
+            },
+            Op::Load {
+                dst: 3,
+                addr: 1,
+                cycles: 18,
+            },
             Op::While {
                 cond: 0,
                 body: vec![
                     // Fetch-and-compare one base pair, update the score,
                     // test the drop.
-                    Op::Alu { dst: 4, a: 2, b: 3, f: AluFn::Xor, cycles: 4 },
-                    Op::Alu { dst: 5, a: 5, b: 4, f: AluFn::Add, cycles: 4 },
-                    Op::Alu { dst: 4, a: 5, b: 2, f: AluFn::Max, cycles: 3 },
-                    Op::Alu { dst: 0, a: 0, b: 1, f: AluFn::Sub, cycles: 3 },
+                    Op::Alu {
+                        dst: 4,
+                        a: 2,
+                        b: 3,
+                        f: AluFn::Xor,
+                        cycles: 4,
+                    },
+                    Op::Alu {
+                        dst: 5,
+                        a: 5,
+                        b: 4,
+                        f: AluFn::Add,
+                        cycles: 4,
+                    },
+                    Op::Alu {
+                        dst: 4,
+                        a: 5,
+                        b: 2,
+                        f: AluFn::Max,
+                        cycles: 3,
+                    },
+                    Op::Alu {
+                        dst: 0,
+                        a: 0,
+                        b: 1,
+                        f: AluFn::Sub,
+                        cycles: 3,
+                    },
                 ],
                 // Per-firing extension budget: the Mercator kernel
                 // extends in bounded passes, re-queueing unfinished
@@ -88,7 +168,13 @@ fn extend_kernel() -> Program {
                 max_iters: 16,
             },
             // Final score writeback.
-            Op::Alu { dst: 5, a: 5, b: 4, f: AluFn::Add, cycles: 4 },
+            Op::Alu {
+                dst: 5,
+                a: 5,
+                b: 4,
+                f: AluFn::Add,
+                cycles: 4,
+            },
         ],
     }
 }
@@ -98,15 +184,65 @@ fn filter_kernel() -> Program {
     Program {
         registers: 6,
         ops: vec![
-            Op::Load { dst: 1, addr: 0, cycles: 20 },
-            Op::Load { dst: 2, addr: 1, cycles: 20 },
-            Op::Alu { dst: 3, a: 1, b: 2, f: AluFn::Add, cycles: 6 },
-            Op::Alu { dst: 3, a: 3, b: 1, f: AluFn::Max, cycles: 6 },
-            Op::Alu { dst: 4, a: 3, b: 2, f: AluFn::Mod, cycles: 8 },
-            Op::Alu { dst: 4, a: 4, b: 3, f: AluFn::Add, cycles: 6 },
-            Op::Alu { dst: 5, a: 2, b: 4, f: AluFn::CmpLt, cycles: 6 },
-            Op::Alu { dst: 5, a: 5, b: 1, f: AluFn::And, cycles: 6 },
-            Op::Alu { dst: 5, a: 5, b: 5, f: AluFn::Max, cycles: 6 },
+            Op::Load {
+                dst: 1,
+                addr: 0,
+                cycles: 20,
+            },
+            Op::Load {
+                dst: 2,
+                addr: 1,
+                cycles: 20,
+            },
+            Op::Alu {
+                dst: 3,
+                a: 1,
+                b: 2,
+                f: AluFn::Add,
+                cycles: 6,
+            },
+            Op::Alu {
+                dst: 3,
+                a: 3,
+                b: 1,
+                f: AluFn::Max,
+                cycles: 6,
+            },
+            Op::Alu {
+                dst: 4,
+                a: 3,
+                b: 2,
+                f: AluFn::Mod,
+                cycles: 8,
+            },
+            Op::Alu {
+                dst: 4,
+                a: 4,
+                b: 3,
+                f: AluFn::Add,
+                cycles: 6,
+            },
+            Op::Alu {
+                dst: 5,
+                a: 2,
+                b: 4,
+                f: AluFn::CmpLt,
+                cycles: 6,
+            },
+            Op::Alu {
+                dst: 5,
+                a: 5,
+                b: 1,
+                f: AluFn::And,
+                cycles: 6,
+            },
+            Op::Alu {
+                dst: 5,
+                a: 5,
+                b: 5,
+                f: AluFn::Max,
+                cycles: 6,
+            },
         ],
     }
 }
@@ -117,22 +253,64 @@ fn align_kernel() -> Program {
     Program {
         registers: 6,
         ops: vec![
-            Op::SetImm { dst: 1, value: 1, cycles: 2 },
-            Op::Load { dst: 2, addr: 0, cycles: 18 },
+            Op::SetImm {
+                dst: 1,
+                value: 1,
+                cycles: 2,
+            },
+            Op::Load {
+                dst: 2,
+                addr: 0,
+                cycles: 18,
+            },
             Op::While {
                 cond: 0,
                 body: vec![
                     // One banded row: load the row, three cell updates,
                     // a running max, the loop bookkeeping.
-                    Op::Load { dst: 3, addr: 2, cycles: 6 },
-                    Op::Alu { dst: 4, a: 3, b: 2, f: AluFn::Add, cycles: 3 },
-                    Op::Alu { dst: 4, a: 4, b: 3, f: AluFn::Max, cycles: 3 },
-                    Op::Alu { dst: 5, a: 5, b: 4, f: AluFn::Max, cycles: 2 },
-                    Op::Alu { dst: 0, a: 0, b: 1, f: AluFn::Sub, cycles: 2 },
+                    Op::Load {
+                        dst: 3,
+                        addr: 2,
+                        cycles: 6,
+                    },
+                    Op::Alu {
+                        dst: 4,
+                        a: 3,
+                        b: 2,
+                        f: AluFn::Add,
+                        cycles: 3,
+                    },
+                    Op::Alu {
+                        dst: 4,
+                        a: 4,
+                        b: 3,
+                        f: AluFn::Max,
+                        cycles: 3,
+                    },
+                    Op::Alu {
+                        dst: 5,
+                        a: 5,
+                        b: 4,
+                        f: AluFn::Max,
+                        cycles: 2,
+                    },
+                    Op::Alu {
+                        dst: 0,
+                        a: 0,
+                        b: 1,
+                        f: AluFn::Sub,
+                        cycles: 2,
+                    },
                 ],
                 max_iters: 4096,
             },
-            Op::Alu { dst: 5, a: 5, b: 4, f: AluFn::Max, cycles: 4 },
+            Op::Alu {
+                dst: 5,
+                a: 5,
+                b: 4,
+                f: AluFn::Max,
+                cycles: 4,
+            },
         ],
     }
 }
@@ -236,11 +414,8 @@ mod tests {
     fn measurement_statistics() {
         let m = Machine::new(8);
         let k = extend_kernel();
-        let batches: Vec<Vec<Vec<LaneValue>>> = vec![
-            vec![vec![10]],
-            vec![vec![20]],
-            vec![vec![30]],
-        ];
+        let batches: Vec<Vec<Vec<LaneValue>>> =
+            vec![vec![vec![10]], vec![vec![20]], vec![vec![30]]];
         let meas = measure_service_time(&m, &k, &batches, 4);
         assert_eq!(meas.firings, 3);
         assert!(meas.min < meas.mean && meas.mean < meas.max);

@@ -5,7 +5,9 @@ use crate::kernels::{measure_service_time, stage_kernels};
 use crate::sequence::Dna;
 use crate::stages::{BlastContext, BlastParams};
 use crate::EXPANSION_CAP;
-use dataflow_model::{GainModel, ModelError, PipelineSpec, PipelineSpecBuilder, PAPER_VECTOR_WIDTH};
+use dataflow_model::{
+    GainModel, ModelError, PipelineSpec, PipelineSpecBuilder, PAPER_VECTOR_WIDTH,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -57,10 +59,26 @@ pub struct Table1 {
 pub fn paper_table1() -> Table1 {
     Table1 {
         rows: vec![
-            Table1Row { name: "seed-match".into(), service_time: 287.0, mean_gain: Some(0.379) },
-            Table1Row { name: "ungapped-extend".into(), service_time: 955.0, mean_gain: Some(1.920) },
-            Table1Row { name: "score-filter".into(), service_time: 402.0, mean_gain: Some(0.0332) },
-            Table1Row { name: "gapped-align".into(), service_time: 2753.0, mean_gain: None },
+            Table1Row {
+                name: "seed-match".into(),
+                service_time: 287.0,
+                mean_gain: Some(0.379),
+            },
+            Table1Row {
+                name: "ungapped-extend".into(),
+                service_time: 955.0,
+                mean_gain: Some(1.920),
+            },
+            Table1Row {
+                name: "score-filter".into(),
+                service_time: 402.0,
+                mean_gain: Some(0.0332),
+            },
+            Table1Row {
+                name: "gapped-align".into(),
+                service_time: 2753.0,
+                mean_gain: None,
+            },
         ],
         vector_width: PAPER_VECTOR_WIDTH,
     }
@@ -130,7 +148,14 @@ pub fn measure_pipeline(config: &MeasurementConfig) -> Result<(PipelineSpec, Tab
         let qfrom = rng.gen_range(0..config.query_len - config.homology_len);
         let gat = rng.gen_range(0..config.genome_len - config.homology_len);
         let q = query.clone();
-        genome.plant(gat, &q, qfrom, config.homology_len, config.mutation_rate, &mut rng);
+        genome.plant(
+            gat,
+            &q,
+            qfrom,
+            config.homology_len,
+            config.mutation_rate,
+            &mut rng,
+        );
     }
 
     let ctx = BlastContext::new(genome, query, params);
@@ -145,7 +170,9 @@ pub fn measure_pipeline(config: &MeasurementConfig) -> Result<(PipelineSpec, Tab
     let mut extend_trips: Vec<Vec<LaneValue>> = Vec::new();
     let mut align_rows: Vec<Vec<LaneValue>> = Vec::new();
 
-    let positions = config.positions.min(config.genome_len.saturating_sub(params.k));
+    let positions = config
+        .positions
+        .min(config.genome_len.saturating_sub(params.k));
     for gpos in 0..positions as u32 {
         if let Some(kmer) = ctx.genome().kmer_at(gpos as usize, params.k) {
             seed_inputs.push(vec![kmer as LaneValue]);
@@ -205,14 +232,28 @@ pub fn measure_pipeline(config: &MeasurementConfig) -> Result<(PipelineSpec, Tab
     let t3 = measure_service_time(&machine, &kernels.align, &batch(&align_rows), shares);
 
     let spec = PipelineSpecBuilder::new(PAPER_VECTOR_WIDTH)
-        .stage("seed-match", t0.mean.round(), GainModel::Bernoulli { p: g0 })
+        .stage(
+            "seed-match",
+            t0.mean.round(),
+            GainModel::Bernoulli { p: g0 },
+        )
         .stage(
             "ungapped-extend",
             t1.mean.round(),
-            GainModel::Empirical { pmf: normalize(expansion_pmf) },
+            GainModel::Empirical {
+                pmf: normalize(expansion_pmf),
+            },
         )
-        .stage("score-filter", t2.mean.round(), GainModel::Bernoulli { p: g2 })
-        .stage("gapped-align", t3.mean.round(), GainModel::Deterministic { k: 1 })
+        .stage(
+            "score-filter",
+            t2.mean.round(),
+            GainModel::Bernoulli { p: g2 },
+        )
+        .stage(
+            "gapped-align",
+            t3.mean.round(),
+            GainModel::Deterministic { k: 1 },
+        )
         .build()?;
 
     let table = Table1 {

@@ -81,8 +81,14 @@ impl Dna {
         mutation_rate: f64,
         rng: &mut R,
     ) {
-        assert!(at + len <= self.bases.len(), "planted segment exceeds target");
-        assert!(from + len <= other.bases.len(), "source segment out of range");
+        assert!(
+            at + len <= self.bases.len(),
+            "planted segment exceeds target"
+        );
+        assert!(
+            from + len <= other.bases.len(),
+            "source segment out of range"
+        );
         for i in 0..len {
             let mut b = other.bases[from + i];
             if rng.gen::<f64>() < mutation_rate {

@@ -390,14 +390,26 @@ mod tests {
         let hit = ctx.seed_stage(420).expect("all-A region seeds");
         let hsps = ctx.extend_stage(hit);
         assert!(hsps.len() <= EXPANSION_CAP as usize);
-        assert_eq!(hsps.len(), EXPANSION_CAP as usize, "degenerate case should saturate");
+        assert_eq!(
+            hsps.len(),
+            EXPANSION_CAP as usize,
+            "degenerate case should saturate"
+        );
     }
 
     #[test]
     fn filter_passes_only_high_scores() {
         let ctx = ctx_with_planted();
-        let low = Hsp { gpos: 0, qpos: 0, score: ctx.params().filter_min_score - 1 };
-        let high = Hsp { gpos: 0, qpos: 0, score: ctx.params().filter_min_score };
+        let low = Hsp {
+            gpos: 0,
+            qpos: 0,
+            score: ctx.params().filter_min_score - 1,
+        };
+        let high = Hsp {
+            gpos: 0,
+            qpos: 0,
+            score: ctx.params().filter_min_score,
+        };
         assert!(ctx.filter_stage(low).is_none());
         assert!(ctx.filter_stage(high).is_some());
     }
@@ -453,11 +465,7 @@ mod tests {
         let query = Dna::random(4_000, &mut rng);
         let mut genome = Dna::random(30_000, &mut rng);
         genome.plant(10_000, &query, 500, 400, 0.02, &mut rng);
-        let one_hit = BlastContext::new(
-            genome.clone(),
-            query.clone(),
-            BlastParams::default(),
-        );
+        let one_hit = BlastContext::new(genome.clone(), query.clone(), BlastParams::default());
         let two_hit = BlastContext::new(
             genome,
             query,
@@ -500,8 +508,14 @@ mod tests {
                 ..BlastParams::default()
             },
         );
-        assert!(ctx.seed_stage(0).is_none(), "no upstream context at position 0");
-        assert!(ctx.seed_stage(50).is_some(), "identical sequences double-hit everywhere");
+        assert!(
+            ctx.seed_stage(0).is_none(),
+            "no upstream context at position 0"
+        );
+        assert!(
+            ctx.seed_stage(50).is_some(),
+            "identical sequences double-hit everywhere"
+        );
     }
 
     #[test]

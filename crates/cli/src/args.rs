@@ -1,6 +1,7 @@
 //! Argument parsing (hand-rolled: the surface is small and a parser
 //! dependency would dwarf it).
 
+use bench::MetricsFormat;
 use std::fmt;
 
 /// Top-level usage text.
@@ -13,7 +14,8 @@ USAGE:
                       [--b B1,B2,...] [--strategy enforced|monolithic|flexible|all] [--json]
   rtsdf-cli simulate  --pipeline FILE --tau0 T --deadline D
                       [--b B1,B2,...] [--items N] [--seeds K] [--json]
-  rtsdf-cli sweep     --pipeline FILE [--grid RxC] [--csv]
+                      [--metrics json|csv]
+  rtsdf-cli sweep     --pipeline FILE [--grid RxC] [--csv] [--metrics json|csv]
   rtsdf-cli calibrate --pipeline FILE --points T1:D1,T2:D2,...
                       [--seeds K] [--items N]
   rtsdf-cli gantt     --pipeline FILE --tau0 T --deadline D
@@ -30,6 +32,8 @@ OPTIONS:
   --grid RxC        sweep resolution over the paper's (tau0, D) ranges (default: 8x8)
   --points LIST     calibration operating points as tau0:deadline pairs
   --json / --csv    machine-readable output
+  --metrics FMT     also write a BENCH_<cmd> run manifest (json) or flat
+                    per-cell/per-seed rows (csv) to $BENCH_OUT_DIR or .
 ";
 
 /// Which strategies an `optimize` run covers.
@@ -81,6 +85,8 @@ pub enum Command {
         seeds: u64,
         /// Emit JSON.
         json: bool,
+        /// Also write a run manifest / metrics file.
+        metrics: Option<MetricsFormat>,
     },
     /// Fig-3/4 style grid sweep.
     Sweep {
@@ -90,6 +96,8 @@ pub enum Command {
         grid: (usize, usize),
         /// Emit CSV.
         csv: bool,
+        /// Also write a run manifest / metrics file.
+        metrics: Option<MetricsFormat>,
     },
     /// ASCII firing timeline.
     Gantt {
@@ -162,6 +170,10 @@ impl<'a> Scanner<'a> {
         let raw = self.require(flag)?;
         raw.parse::<f64>()
             .map_err(|_| ParseError(format!("{flag}: '{raw}' is not a number")))
+    }
+
+    fn parse_metrics(&self) -> Result<Option<MetricsFormat>, ParseError> {
+        bench::parse_metrics_flag(self.args).map_err(ParseError)
     }
 
     fn parse_usize_or(&self, flag: &str, default: usize) -> Result<usize, ParseError> {
@@ -258,6 +270,7 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
             items: scan.parse_usize_or("--items", 10_000)?,
             seeds: scan.parse_usize_or("--seeds", 8)? as u64,
             json: scan.has("--json"),
+            metrics: scan.parse_metrics()?,
         }),
         "sweep" => Ok(Command::Sweep {
             pipeline: scan.require("--pipeline")?.to_string(),
@@ -266,6 +279,7 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 Some(raw) => parse_grid(raw)?,
             },
             csv: scan.has("--csv"),
+            metrics: scan.parse_metrics()?,
         }),
         "gantt" => Ok(Command::Gantt {
             pipeline: scan.require("--pipeline")?.to_string(),
@@ -278,7 +292,9 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                     .parse::<f64>()
                     .ok()
                     .filter(|v| *v > 0.0)
-                    .ok_or_else(|| ParseError(format!("--window: '{raw}' is not a positive number")))?,
+                    .ok_or_else(|| {
+                        ParseError(format!("--window: '{raw}' is not a positive number"))
+                    })?,
             },
             width: scan.parse_usize_or("--width", 100)?,
         }),
@@ -302,7 +318,10 @@ mod tests {
 
     #[test]
     fn parses_example_pipeline() {
-        assert_eq!(parse(&argv("example-pipeline")).unwrap(), Command::ExamplePipeline);
+        assert_eq!(
+            parse(&argv("example-pipeline")).unwrap(),
+            Command::ExamplePipeline
+        );
     }
 
     #[test]
@@ -335,7 +354,9 @@ mod tests {
         ))
         .unwrap();
         match cmd {
-            Command::Optimize { b, strategy, json, .. } => {
+            Command::Optimize {
+                b, strategy, json, ..
+            } => {
                 assert_eq!(b, Some(vec![1.0, 3.0, 9.0, 6.0]));
                 assert_eq!(strategy, Strategy::Enforced);
                 assert!(json);
@@ -354,13 +375,22 @@ mod tests {
     fn rejects_bad_numbers() {
         assert!(parse(&argv("optimize --pipeline p --tau0 abc --deadline 1")).is_err());
         assert!(parse(&argv("optimize --pipeline p --tau0 1 --deadline 1 --b 1,x")).is_err());
-        assert!(parse(&argv("simulate --pipeline p --tau0 1 --deadline 1 --items -3")).is_err());
-        assert!(parse(&argv("simulate --pipeline p --tau0 1 --deadline 1 --items 1.5")).is_err());
+        assert!(parse(&argv(
+            "simulate --pipeline p --tau0 1 --deadline 1 --items -3"
+        ))
+        .is_err());
+        assert!(parse(&argv(
+            "simulate --pipeline p --tau0 1 --deadline 1 --items 1.5"
+        ))
+        .is_err());
     }
 
     #[test]
     fn rejects_unknown_strategy_and_subcommand() {
-        assert!(parse(&argv("optimize --pipeline p --tau0 1 --deadline 1 --strategy foo")).is_err());
+        assert!(parse(&argv(
+            "optimize --pipeline p --tau0 1 --deadline 1 --strategy foo"
+        ))
+        .is_err());
         assert!(parse(&argv("frobnicate")).is_err());
         assert!(parse(&[]).is_err());
     }
@@ -373,12 +403,32 @@ mod tests {
             Command::Sweep {
                 pipeline: "p.json".into(),
                 grid: (12, 6),
-                csv: true
+                csv: true,
+                metrics: None,
             }
         );
         assert!(parse(&argv("sweep --pipeline p --grid 1x6")).is_err());
         assert!(parse(&argv("sweep --pipeline p --grid 4x4x4")).is_err());
         assert!(parse(&argv("sweep --pipeline p --grid huge")).is_err());
+    }
+
+    #[test]
+    fn parses_metrics_flag() {
+        let cmd = parse(&argv("sweep --pipeline p.json --metrics json")).unwrap();
+        match cmd {
+            Command::Sweep { metrics, .. } => assert_eq!(metrics, Some(MetricsFormat::Json)),
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse(&argv(
+            "simulate --pipeline p --tau0 1 --deadline 1e5 --metrics csv",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Simulate { metrics, .. } => assert_eq!(metrics, Some(MetricsFormat::Csv)),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("sweep --pipeline p --metrics xml")).is_err());
+        assert!(parse(&argv("sweep --pipeline p --metrics")).is_err());
     }
 
     #[test]
@@ -394,14 +444,25 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
-        assert!(parse(&argv("gantt --pipeline p --tau0 1 --deadline 1 --window -5")).is_err());
+        assert!(parse(&argv(
+            "gantt --pipeline p --tau0 1 --deadline 1 --window -5"
+        ))
+        .is_err());
     }
 
     #[test]
     fn parses_calibrate_points() {
-        let cmd = parse(&argv("calibrate --pipeline p.json --points 10:1e5,30:1.5e5")).unwrap();
+        let cmd = parse(&argv(
+            "calibrate --pipeline p.json --points 10:1e5,30:1.5e5",
+        ))
+        .unwrap();
         match cmd {
-            Command::Calibrate { points, seeds, items, .. } => {
+            Command::Calibrate {
+                points,
+                seeds,
+                items,
+                ..
+            } => {
                 assert_eq!(points, vec![(10.0, 1e5), (30.0, 1.5e5)]);
                 assert_eq!(seeds, 8);
                 assert_eq!(items, 5_000);

@@ -2,6 +2,7 @@
 //! results.
 
 use crate::args::{Command, Strategy};
+use bench::{MetricsFormat, RunManifest};
 use rtsdf::core::comparison::{sweep, SweepConfig};
 use rtsdf::core::FlexibleSharesProblem;
 use rtsdf::prelude::*;
@@ -66,7 +67,11 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<(), CommandError> {
     match cmd {
         Command::ExamplePipeline => {
             let p = rtsdf::blast::paper_pipeline();
-            writeln!(out, "{}", serde_json::to_string_pretty(&p).expect("spec serializes"))?;
+            writeln!(
+                out,
+                "{}",
+                serde_json::to_string_pretty(&p).expect("spec serializes")
+            )?;
             Ok(())
         }
         Command::Optimize {
@@ -83,11 +88,16 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<(), CommandError> {
             let mut report = serde_json::Map::new();
 
             if matches!(strategy, Strategy::Enforced | Strategy::All) {
-                match EnforcedWaitsProblem::new(&p, params, b.clone()).solve(SolveMethod::WaterFilling)
+                match EnforcedWaitsProblem::new(&p, params, b.clone())
+                    .solve(SolveMethod::WaterFilling)
                 {
                     Ok(s) => {
                         if !json {
-                            writeln!(out, "enforced waits: active fraction {:.4}", s.active_fraction)?;
+                            writeln!(
+                                out,
+                                "enforced waits: active fraction {:.4}",
+                                s.active_fraction
+                            )?;
                             writeln!(out, "  waits: {:?}", round_vec(&s.waits))?;
                         }
                         report.insert("enforced".into(), serde_json::to_value(&s).unwrap());
@@ -154,15 +164,66 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<(), CommandError> {
             items,
             seeds,
             json,
+            metrics,
         } => {
             let p = load_pipeline(&pipeline)?;
             let params = params(tau0, deadline)?;
             let b = backlog(&p, b)?;
-            let sched = EnforcedWaitsProblem::new(&p, params, b)
+            let sched = EnforcedWaitsProblem::new(&p, params, b.clone())
                 .solve(SolveMethod::WaterFilling)
                 .map_err(|e| CommandError::Params(e.to_string()))?;
             let cfg = SimConfig::quick(tau0, 0, items);
             let report = run_seeds_enforced(&p, &sched, deadline, &cfg, seeds);
+            if let Some(format) = metrics {
+                let path = match format {
+                    MetricsFormat::Json => RunManifest::new(
+                        "simulate",
+                        serde_json::json!({
+                            "pipeline": pipeline,
+                            "tau0": tau0,
+                            "deadline": deadline,
+                            "b": b,
+                            "items": items,
+                            "seeds": seeds,
+                        }),
+                        serde_json::json!({
+                            "schedule": sched,
+                            "runs": report,
+                        }),
+                    )
+                    .write()?,
+                    MetricsFormat::Csv => {
+                        let rows: Vec<Vec<String>> = report
+                            .runs
+                            .iter()
+                            .enumerate()
+                            .map(|(i, r)| {
+                                vec![
+                                    i.to_string(),
+                                    format!("{:.6}", r.active_fraction),
+                                    r.deadline_misses.to_string(),
+                                    r.items_arrived.to_string(),
+                                    r.items_completed.to_string(),
+                                    r.items_dropped.to_string(),
+                                ]
+                            })
+                            .collect();
+                        bench::manifest::write_metrics_csv(
+                            "simulate",
+                            &[
+                                "seed",
+                                "active_fraction",
+                                "deadline_misses",
+                                "items_arrived",
+                                "items_completed",
+                                "items_dropped",
+                            ],
+                            &rows,
+                        )?
+                    }
+                };
+                eprintln!("wrote {}", path.display());
+            }
             if json {
                 writeln!(
                     out,
@@ -197,7 +258,12 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<(), CommandError> {
             }
             Ok(())
         }
-        Command::Sweep { pipeline, grid, csv } => {
+        Command::Sweep {
+            pipeline,
+            grid,
+            csv,
+            metrics,
+        } => {
             let p = load_pipeline(&pipeline)?;
             let (tau0s, ds) = RtParams::paper_grid(grid.0, grid.1);
             let config = SweepConfig {
@@ -205,7 +271,12 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<(), CommandError> {
                 monolithic_b: 1.0,
                 monolithic_s: 1.0,
             };
-            let r = sweep(&p, &tau0s, &ds, &config);
+            let r =
+                sweep(&p, &tau0s, &ds, &config).map_err(|e| CommandError::Params(e.to_string()))?;
+            if let Some(format) = metrics {
+                let path = bench::manifest::emit_sweep_metrics("sweep", &r, &config, format)?;
+                eprintln!("wrote {}", path.display());
+            }
             if csv {
                 writeln!(out, "tau0,deadline,enforced_af,monolithic_af,difference")?;
                 for c in &r.cells {
@@ -252,7 +323,11 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<(), CommandError> {
                 "firing timeline ('#' = busy, '.' = waiting; active fraction {:.3})",
                 sched.active_fraction
             )?;
-            write!(out, "{}", rtsdf::sim::timeline::render_ascii(&tl, width.max(10)))?;
+            write!(
+                out,
+                "{}",
+                rtsdf::sim::timeline::render_ascii(&tl, width.max(10))
+            )?;
             Ok(())
         }
         Command::Calibrate {

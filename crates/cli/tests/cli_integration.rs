@@ -136,8 +136,8 @@ fn optimize_flexible_strategy_only() {
 
 #[test]
 fn missing_file_is_a_clean_error() {
-    let err = run_to_string("optimize --pipeline /no/such/file.json --tau0 1 --deadline 1")
-        .unwrap_err();
+    let err =
+        run_to_string("optimize --pipeline /no/such/file.json --tau0 1 --deadline 1").unwrap_err();
     assert!(err.contains("cannot read"), "{err}");
 }
 

@@ -5,8 +5,10 @@
 //! times and deadlines, and their difference (monolithic − enforced,
 //! positive where enforced waits win).
 
-use crate::enforced::{EnforcedWaitsProblem, SolveMethod};
+use crate::enforced::EnforcedWaitsProblem;
 use crate::monolithic::MonolithicProblem;
+use crate::schedule::ScheduleError;
+use crate::telemetry::SolveTelemetry;
 use dataflow_model::{PipelineSpec, RtParams};
 use serde::{Deserialize, Serialize};
 
@@ -21,6 +23,10 @@ pub struct CellResult {
     pub enforced: Option<f64>,
     /// Monolithic optimized active fraction (`None` if infeasible).
     pub monolithic: Option<f64>,
+    /// Telemetry of the enforced-waits solve (when it succeeded).
+    pub enforced_telemetry: Option<SolveTelemetry>,
+    /// Telemetry of the monolithic solve (when it succeeded).
+    pub monolithic_telemetry: Option<SolveTelemetry>,
 }
 
 impl CellResult {
@@ -103,47 +109,60 @@ impl SweepConfig {
 }
 
 /// Optimize both strategies at one operating point.
-pub fn compare_at(
-    pipeline: &PipelineSpec,
-    params: RtParams,
-    config: &SweepConfig,
-) -> CellResult {
+pub fn compare_at(pipeline: &PipelineSpec, params: RtParams, config: &SweepConfig) -> CellResult {
     let enforced = EnforcedWaitsProblem::new(pipeline, params, config.enforced_b.clone())
-        .solve(SolveMethod::WaterFilling)
-        .ok()
-        .map(|s| s.active_fraction);
+        .solve_with_fallback()
+        .ok();
     let monolithic =
         MonolithicProblem::new(pipeline, params, config.monolithic_b, config.monolithic_s)
             .solve_fast()
-            .ok()
-            .map(|s| s.active_fraction);
+            .ok();
     CellResult {
         tau0: params.tau0,
         deadline: params.deadline,
-        enforced,
-        monolithic,
+        enforced: enforced.as_ref().map(|s| s.active_fraction),
+        monolithic: monolithic.as_ref().map(|s| s.active_fraction),
+        enforced_telemetry: enforced.and_then(|s| s.telemetry),
+        monolithic_telemetry: monolithic.and_then(|s| s.telemetry),
     }
 }
 
+/// Validate every `(τ0, D)` grid point up front so a malformed grid is
+/// reported as an error instead of crashing mid-sweep.
+fn validate_grid(tau0s: &[f64], deadlines: &[f64]) -> Result<(), ScheduleError> {
+    for &tau0 in tau0s {
+        for &d in deadlines {
+            RtParams::new(tau0, d)
+                .map_err(|e| ScheduleError::InvalidParams(format!("(τ0={tau0}, D={d}): {e}")))?;
+        }
+    }
+    Ok(())
+}
+
 /// Sweep both strategies over the cartesian grid `tau0s × deadlines`.
+///
+/// Returns [`ScheduleError::InvalidParams`] if any grid value is
+/// non-positive or non-finite; infeasible cells are *not* errors (they
+/// come back as `None` entries).
 pub fn sweep(
     pipeline: &PipelineSpec,
     tau0s: &[f64],
     deadlines: &[f64],
     config: &SweepConfig,
-) -> SweepResult {
+) -> Result<SweepResult, ScheduleError> {
+    validate_grid(tau0s, deadlines)?;
     let mut cells = Vec::with_capacity(tau0s.len() * deadlines.len());
     for &tau0 in tau0s {
         for &d in deadlines {
-            let params = RtParams::new(tau0, d).expect("grid values must be positive");
+            let params = RtParams::new(tau0, d).expect("grid validated above");
             cells.push(compare_at(pipeline, params, config));
         }
     }
-    SweepResult {
+    Ok(SweepResult {
         tau0s: tau0s.to_vec(),
         deadlines: deadlines.to_vec(),
         cells,
-    }
+    })
 }
 
 /// [`sweep`], parallelized across τ0 rows with scoped threads. Produces
@@ -153,7 +172,8 @@ pub fn sweep_parallel(
     tau0s: &[f64],
     deadlines: &[f64],
     config: &SweepConfig,
-) -> SweepResult {
+) -> Result<SweepResult, ScheduleError> {
+    validate_grid(tau0s, deadlines)?;
     let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
     let mut rows: Vec<Option<Vec<CellResult>>> = vec![None; tau0s.len()];
     std::thread::scope(|scope| {
@@ -164,8 +184,7 @@ pub fn sweep_parallel(
                     let row: Vec<CellResult> = deadlines
                         .iter()
                         .map(|&d| {
-                            let params =
-                                RtParams::new(tau0, d).expect("grid values must be positive");
+                            let params = RtParams::new(tau0, d).expect("grid validated above");
                             compare_at(pipeline, params, config)
                         })
                         .collect();
@@ -174,11 +193,14 @@ pub fn sweep_parallel(
             });
         }
     });
-    SweepResult {
+    Ok(SweepResult {
         tau0s: tau0s.to_vec(),
         deadlines: deadlines.to_vec(),
-        cells: rows.into_iter().flat_map(|r| r.expect("all rows computed")).collect(),
-    }
+        cells: rows
+            .into_iter()
+            .flat_map(|r| r.expect("all rows computed"))
+            .collect(),
+    })
 }
 
 #[cfg(test)]
@@ -189,7 +211,14 @@ mod tests {
     fn blast() -> PipelineSpec {
         PipelineSpecBuilder::new(128)
             .stage("s0", 287.0, GainModel::Bernoulli { p: 0.379 })
-            .stage("s1", 955.0, GainModel::CensoredPoisson { mean: 1.920, cap: 16 })
+            .stage(
+                "s1",
+                955.0,
+                GainModel::CensoredPoisson {
+                    mean: 1.920,
+                    cap: 16,
+                },
+            )
             .stage("s2", 402.0, GainModel::Bernoulli { p: 0.0332 })
             .stage("s3", 2753.0, GainModel::Deterministic { k: 1 })
             .build()
@@ -201,7 +230,7 @@ mod tests {
         let p = blast();
         let tau0s = [5.0, 20.0, 80.0];
         let ds = [5e4, 1.5e5, 3e5];
-        let r = sweep(&p, &tau0s, &ds, &SweepConfig::paper_blast());
+        let r = sweep(&p, &tau0s, &ds, &SweepConfig::paper_blast()).unwrap();
         assert_eq!(r.cells.len(), 9);
         assert_eq!(r.cell(1, 2).tau0, 20.0);
         assert_eq!(r.cell(1, 2).deadline, 3e5);
@@ -231,7 +260,10 @@ mod tests {
         let p = blast();
         let params = RtParams::new(4.0, 3.5e5).unwrap();
         let cell = compare_at(&p, params, &SweepConfig::paper_blast());
-        assert!(cell.enforced.is_some() && cell.monolithic.is_none(), "{cell:?}");
+        assert!(
+            cell.enforced.is_some() && cell.monolithic.is_none(),
+            "{cell:?}"
+        );
     }
 
     #[test]
@@ -244,14 +276,17 @@ mod tests {
         let params = RtParams::new(100.0, 2.4e4).unwrap();
         let cell = compare_at(&p, params, &SweepConfig::paper_blast());
         let diff = cell.difference().expect("both feasible");
-        assert!(diff < -0.4, "expected monolithic win, got {diff} ({cell:?})");
+        assert!(
+            diff < -0.4,
+            "expected monolithic win, got {diff} ({cell:?})"
+        );
     }
 
     #[test]
     fn win_region_statistics() {
         let p = blast();
         let (tau0s, ds) = RtParams::paper_grid(10, 10);
-        let r = sweep(&p, &tau0s, &ds, &SweepConfig::paper_blast());
+        let r = sweep(&p, &tau0s, &ds, &SweepConfig::paper_blast()).unwrap();
         // Enforced waits should win over a large portion of the grid
         // (paper §6.3; measured ≈ 0.84 on this grid).
         let win = r.enforced_win_fraction();
@@ -270,8 +305,8 @@ mod tests {
         let p = blast();
         let (tau0s, ds) = RtParams::paper_grid(5, 5);
         let cfg = SweepConfig::paper_blast();
-        let seq = sweep(&p, &tau0s, &ds, &cfg);
-        let par = sweep_parallel(&p, &tau0s, &ds, &cfg);
+        let seq = sweep(&p, &tau0s, &ds, &cfg).unwrap();
+        let par = sweep_parallel(&p, &tau0s, &ds, &cfg).unwrap();
         assert_eq!(seq.cells.len(), par.cells.len());
         for (a, b) in seq.cells.iter().zip(&par.cells) {
             assert_eq!(a.tau0, b.tau0);
@@ -288,8 +323,39 @@ mod tests {
             deadline: 1.0,
             enforced: Some(0.5),
             monolithic: None,
+            enforced_telemetry: None,
+            monolithic_telemetry: None,
         };
         assert!(c.difference().is_none());
+    }
+
+    #[test]
+    fn malformed_grid_is_an_error_not_a_panic() {
+        let p = blast();
+        let cfg = SweepConfig::paper_blast();
+        for bad in [
+            sweep(&p, &[10.0, 0.0], &[1e5], &cfg),
+            sweep(&p, &[10.0], &[-3.0], &cfg),
+            sweep_parallel(&p, &[f64::NAN], &[1e5], &cfg),
+        ] {
+            match bad {
+                Err(ScheduleError::InvalidParams(_)) => {}
+                other => panic!("expected InvalidParams, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn feasible_cells_carry_solver_telemetry() {
+        let p = blast();
+        let params = RtParams::new(10.0, 3.5e5).unwrap();
+        let cell = compare_at(&p, params, &SweepConfig::paper_blast());
+        let et = cell.enforced_telemetry.expect("enforced telemetry");
+        assert!(et.iterations > 0, "{et:?}");
+        assert!(et.wall_micros >= 0.0);
+        let mt = cell.monolithic_telemetry.expect("monolithic telemetry");
+        assert!(mt.iterations > 0, "{mt:?}");
+        assert_eq!(mt.method, "unimodal");
     }
 
     #[test]

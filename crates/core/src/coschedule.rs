@@ -138,7 +138,14 @@ mod tests {
     fn blast() -> PipelineSpec {
         PipelineSpecBuilder::new(128)
             .stage("s0", 287.0, GainModel::Bernoulli { p: 0.379 })
-            .stage("s1", 955.0, GainModel::CensoredPoisson { mean: 1.920, cap: 16 })
+            .stage(
+                "s1",
+                955.0,
+                GainModel::CensoredPoisson {
+                    mean: 1.920,
+                    cap: 16,
+                },
+            )
             .stage("s2", 402.0, GainModel::Bernoulli { p: 0.0332 })
             .stage("s3", 2753.0, GainModel::Deterministic { k: 1 })
             .build()
@@ -170,10 +177,7 @@ mod tests {
     fn overcommitment_is_detected() {
         let p = blast();
         // Each of these needs a large chunk of the device.
-        let ws = [
-            workload(&p, 10.0, 2.5e4),
-            workload(&p, 10.0, 2.5e4),
-        ];
+        let ws = [workload(&p, 10.0, 2.5e4), workload(&p, 10.0, 2.5e4)];
         match admit(&ws) {
             Err(AdmissionError::Overcommitted { required }) => {
                 assert!(required > 1.0, "{required}");
@@ -203,7 +207,10 @@ mod tests {
         assert!(admit(&ws).is_ok(), "{n} replicas should fit");
         // ...but n+1 do not.
         let ws: Vec<Workload<'_>> = (0..n + 1).map(|_| w.clone()).collect();
-        assert!(matches!(admit(&ws), Err(AdmissionError::Overcommitted { .. })));
+        assert!(matches!(
+            admit(&ws),
+            Err(AdmissionError::Overcommitted { .. })
+        ));
     }
 
     #[test]
@@ -223,7 +230,10 @@ mod tests {
     fn error_display() {
         let e = AdmissionError::Overcommitted { required: 1.5 };
         assert!(e.to_string().contains("overcommitted"));
-        let e = AdmissionError::WorkloadInfeasible { index: 3, reason: "x".into() };
+        let e = AdmissionError::WorkloadInfeasible {
+            index: 3,
+            reason: "x".into(),
+        };
         assert!(e.to_string().contains("workload 3"));
     }
 }

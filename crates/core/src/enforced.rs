@@ -28,6 +28,7 @@
 
 use crate::feasibility::{check_enforced_feasibility, minimal_periods};
 use crate::schedule::ScheduleError;
+use crate::telemetry::{timed, SolveTelemetry};
 use dataflow_model::analysis::enforced_active_fraction;
 use dataflow_model::{PipelineSpec, RtParams};
 use serde::{Deserialize, Serialize};
@@ -59,6 +60,8 @@ pub struct WaitSchedule {
     pub latency_bound: f64,
     /// Method that produced the schedule.
     pub method: SolveMethod,
+    /// How the solve went (iterations, residual, wall time, …).
+    pub telemetry: Option<SolveTelemetry>,
 }
 
 /// The Fig.-1 design problem: a pipeline, an operating point, and
@@ -133,11 +136,33 @@ impl<'a> EnforcedWaitsProblem<'a> {
     /// Solve for the optimal waits with the chosen method.
     pub fn solve(&self, method: SolveMethod) -> Result<WaitSchedule, ScheduleError> {
         check_enforced_feasibility(self.pipeline, &self.params, &self.b)?;
-        let periods = match method {
-            SolveMethod::InteriorPoint => self.solve_interior_point()?,
-            SolveMethod::WaterFilling => self.solve_waterfilling()?,
-        };
-        Ok(self.schedule_from_periods(periods, method))
+        let (result, micros) = timed(|| match method {
+            SolveMethod::InteriorPoint => self.solve_interior_point(),
+            SolveMethod::WaterFilling => self.solve_waterfilling(),
+        });
+        let (periods, mut telemetry) = result?;
+        telemetry.wall_micros = micros;
+        let mut schedule = self.schedule_from_periods(periods, method);
+        schedule.telemetry = Some(telemetry);
+        Ok(schedule)
+    }
+
+    /// Solve with water-filling, falling back to the interior-point
+    /// method when the specialized solver declines the instance (e.g.
+    /// pipelines with zero-mean-gain stages). The returned schedule's
+    /// telemetry records whether the fallback was taken.
+    pub fn solve_with_fallback(&self) -> Result<WaitSchedule, ScheduleError> {
+        match self.solve(SolveMethod::WaterFilling) {
+            Ok(s) => Ok(s),
+            Err(ScheduleError::Infeasible(e)) => Err(ScheduleError::Infeasible(e)),
+            Err(_) => {
+                let mut s = self.solve(SolveMethod::InteriorPoint)?;
+                if let Some(t) = s.telemetry.as_mut() {
+                    t.fallback = true;
+                }
+                Ok(s)
+            }
+        }
     }
 
     fn schedule_from_periods(&self, mut periods: Vec<f64>, method: SolveMethod) -> WaitSchedule {
@@ -159,10 +184,11 @@ impl<'a> EnforcedWaitsProblem<'a> {
             backlog_factors: self.b.clone(),
             latency_bound,
             method,
+            telemetry: None,
         }
     }
 
-    fn solve_interior_point(&self) -> Result<Vec<f64>, ScheduleError> {
+    fn solve_interior_point(&self) -> Result<(Vec<f64>, SolveTelemetry), ScheduleError> {
         let cs = self.constraint_set();
         let opts = SolverOptions::default();
         // Start from the minimal periods, nudged to the interior by the
@@ -184,10 +210,14 @@ impl<'a> EnforcedWaitsProblem<'a> {
         };
         let sol = minimize(&objective, &cs, &interior, &opts)
             .map_err(|e| ScheduleError::Solver(e.to_string()))?;
-        Ok(sol.x)
+        let mut telemetry = SolveTelemetry::new("interior-point");
+        telemetry.iterations = sol.newton_iters as u64;
+        telemetry.residual = sol.gap;
+        telemetry.barrier_mu = sol.barrier_ts.clone();
+        Ok((sol.x, telemetry))
     }
 
-    fn solve_waterfilling(&self) -> Result<Vec<f64>, ScheduleError> {
+    fn solve_waterfilling(&self) -> Result<(Vec<f64>, SolveTelemetry), ScheduleError> {
         let g_total = self.pipeline.total_gains();
         if g_total.iter().any(|&g| g <= 0.0) {
             return Err(ScheduleError::Solver(
@@ -209,16 +239,19 @@ impl<'a> EnforcedWaitsProblem<'a> {
 
         let budget_of = |z: &[f64]| -> f64 { z.iter().zip(&c).map(|(&zi, &ci)| zi * ci).sum() };
 
+        let mut telemetry = SolveTelemetry::new("water-filling");
+
         // λ = 0: everything at the cap. If the deadline is slack there,
         // the stability bounds are the binding constraints and we are
         // done (maximal waits everywhere).
         let z_cap = vec![cap; n];
         if budget_of(&z_cap) <= self.params.deadline {
-            return Ok(z_cap
-                .iter()
-                .zip(&g_total)
-                .map(|(&z, &gt)| z / gt)
-                .collect());
+            telemetry.iterations = 1; // one budget evaluation decided it
+            telemetry.residual = self.params.deadline - budget_of(&z_cap);
+            return Ok((
+                z_cap.iter().zip(&g_total).map(|(&z, &gt)| z / gt).collect(),
+                telemetry,
+            ));
         }
 
         // Otherwise bisect the deadline price λ. The budget used by the
@@ -227,6 +260,7 @@ impl<'a> EnforcedWaitsProblem<'a> {
         let mut lam_lo = 1e-30;
         let mut lam_hi = 1.0;
         while budget_of(&inner(lam_hi)) > self.params.deadline {
+            telemetry.iterations += 1;
             lam_hi *= 10.0;
             if lam_hi > 1e30 {
                 return Err(ScheduleError::Solver(
@@ -235,6 +269,7 @@ impl<'a> EnforcedWaitsProblem<'a> {
             }
         }
         for _ in 0..200 {
+            telemetry.iterations += 1;
             let mid = (lam_lo * lam_hi).sqrt(); // geometric: λ spans decades
             if budget_of(&inner(mid)) > self.params.deadline {
                 lam_lo = mid;
@@ -243,7 +278,11 @@ impl<'a> EnforcedWaitsProblem<'a> {
             }
         }
         let z = inner(lam_hi);
-        Ok(z.iter().zip(&g_total).map(|(&z, &gt)| z / gt).collect())
+        telemetry.residual = (self.params.deadline - budget_of(&z)).abs();
+        Ok((
+            z.iter().zip(&g_total).map(|(&z, &gt)| z / gt).collect(),
+            telemetry,
+        ))
     }
 }
 
@@ -330,7 +369,14 @@ mod tests {
     fn blast() -> PipelineSpec {
         PipelineSpecBuilder::new(128)
             .stage("s0", 287.0, GainModel::Bernoulli { p: 0.379 })
-            .stage("s1", 955.0, GainModel::CensoredPoisson { mean: 1.920, cap: 16 })
+            .stage(
+                "s1",
+                955.0,
+                GainModel::CensoredPoisson {
+                    mean: 1.920,
+                    cap: 16,
+                },
+            )
             .stage("s2", 402.0, GainModel::Bernoulli { p: 0.0332 })
             .stage("s3", 2753.0, GainModel::Deterministic { k: 1 })
             .build()
@@ -339,7 +385,12 @@ mod tests {
 
     const PAPER_B: [f64; 4] = [1.0, 3.0, 9.0, 6.0];
 
-    fn solve_both(pipeline: &PipelineSpec, tau0: f64, d: f64, b: &[f64]) -> (WaitSchedule, WaitSchedule) {
+    fn solve_both(
+        pipeline: &PipelineSpec,
+        tau0: f64,
+        d: f64,
+        b: &[f64],
+    ) -> (WaitSchedule, WaitSchedule) {
         let params = RtParams::new(tau0, d).unwrap();
         let prob = EnforcedWaitsProblem::new(pipeline, params, b.to_vec());
         let ip = prob.solve(SolveMethod::InteriorPoint).unwrap();
@@ -358,7 +409,12 @@ mod tests {
             wf.active_fraction
         );
         for (a, b) in ip.periods.iter().zip(&wf.periods) {
-            assert!((a - b).abs() / b < 1e-3, "{:?} vs {:?}", ip.periods, wf.periods);
+            assert!(
+                (a - b).abs() / b < 1e-3,
+                "{:?} vs {:?}",
+                ip.periods,
+                wf.periods
+            );
         }
     }
 
@@ -447,8 +503,8 @@ mod tests {
         let s = prob.solve(SolveMethod::WaterFilling).unwrap();
         // All periods at stability bounds: x_i = v·τ0/G_i.
         let g = p.total_gains();
-        for i in 0..4 {
-            let cap = 128.0 * tau0 / g[i];
+        for (i, &gi) in g.iter().enumerate() {
+            let cap = 128.0 * tau0 / gi;
             assert!(
                 (s.periods[i] - cap).abs() / cap < 1e-9,
                 "period {i}: {} vs cap {cap}",
@@ -551,7 +607,10 @@ mod tests {
                 assert!(w[0] >= w[1] - 1e-12, "not nonincreasing: {z:?}");
             }
             for (zi, &loi) in z.iter().zip(&lo) {
-                assert!(*zi >= loi - 1e-12 && *zi <= cap + 1e-12, "out of box: {z:?}");
+                assert!(
+                    *zi >= loi - 1e-12 && *zi <= cap + 1e-12,
+                    "out of box: {z:?}"
+                );
             }
         }
     }

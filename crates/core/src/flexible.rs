@@ -73,7 +73,11 @@ impl<'a> FlexibleSharesProblem<'a> {
     /// Raw per-firing device cycles `c_i = t_i / N`.
     pub fn raw_cycles(&self) -> Vec<f64> {
         let n = self.pipeline.len() as f64;
-        self.pipeline.service_times().iter().map(|t| t / n).collect()
+        self.pipeline
+            .service_times()
+            .iter()
+            .map(|t| t / n)
+            .collect()
     }
 
     /// Solve the flexible-share program.
@@ -86,9 +90,11 @@ impl<'a> FlexibleSharesProblem<'a> {
         let c = self.raw_cycles();
         let n = self.pipeline.len();
         if self.b.len() != n || self.b.iter().any(|&bi| bi <= 0.0 || bi.is_nan()) {
-            return Err(ScheduleError::Infeasible(FeasibilityError::BadBacklogFactors {
-                reason: "need one strictly positive factor per stage".into(),
-            }));
+            return Err(ScheduleError::Infeasible(
+                FeasibilityError::BadBacklogFactors {
+                    reason: "need one strictly positive factor per stage".into(),
+                },
+            ));
         }
 
         // Relaxed pipeline: floors shrunk to ε of the raw cost, gains
@@ -114,12 +120,18 @@ impl<'a> FlexibleSharesProblem<'a> {
         // Evaluate the *true* utilization at the optimized periods.
         let utilization: f64 = c.iter().zip(&sched.periods).map(|(&ci, &xi)| ci / xi).sum();
         if utilization > 1.0 + 1e-9 {
-            return Err(ScheduleError::Infeasible(FeasibilityError::DeadlineTooTight {
-                min_deadline: self.params.deadline * utilization,
-                deadline: self.params.deadline,
-            }));
+            return Err(ScheduleError::Infeasible(
+                FeasibilityError::DeadlineTooTight {
+                    min_deadline: self.params.deadline * utilization,
+                    deadline: self.params.deadline,
+                },
+            ));
         }
-        let shares: Vec<f64> = c.iter().zip(&sched.periods).map(|(&ci, &xi)| ci / xi).collect();
+        let shares: Vec<f64> = c
+            .iter()
+            .zip(&sched.periods)
+            .map(|(&ci, &xi)| ci / xi)
+            .collect();
         let latency_bound = sched
             .periods
             .iter()
@@ -172,7 +184,14 @@ mod tests {
     fn blast() -> PipelineSpec {
         PipelineSpecBuilder::new(128)
             .stage("s0", 287.0, GainModel::Bernoulli { p: 0.379 })
-            .stage("s1", 955.0, GainModel::CensoredPoisson { mean: 1.920, cap: 16 })
+            .stage(
+                "s1",
+                955.0,
+                GainModel::CensoredPoisson {
+                    mean: 1.920,
+                    cap: 16,
+                },
+            )
             .stage("s2", 402.0, GainModel::Bernoulli { p: 0.0332 })
             .stage("s3", 2753.0, GainModel::Deterministic { k: 1 })
             .build()
@@ -237,7 +256,10 @@ mod tests {
         let p = blast();
         let params = RtParams::new(10.0, 1.8e4).unwrap();
         let prob = FlexibleSharesProblem::new(&p, params, PAPER_B.to_vec());
-        assert!(prob.equal_share_baseline().is_err(), "equal shares should be infeasible");
+        assert!(
+            prob.equal_share_baseline().is_err(),
+            "equal shares should be infeasible"
+        );
         let s = prob.solve().unwrap();
         assert!(s.utilization <= 1.0 + 1e-9, "{}", s.utilization);
     }

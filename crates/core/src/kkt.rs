@@ -35,7 +35,9 @@ impl KktReport {
     /// True if the report certifies (approximate) optimality at the
     /// given tolerance.
     pub fn is_optimal(&self, tol: f64) -> bool {
-        self.stationarity_residual <= tol && self.min_multiplier >= -tol && self.max_violation <= tol
+        self.stationarity_residual <= tol
+            && self.min_multiplier >= -tol
+            && self.max_violation <= tol
     }
 }
 
@@ -43,7 +45,11 @@ impl KktReport {
 ///
 /// `active_tol` decides which constraints count as active, *relative* to
 /// each constraint's scale (measured as `|rhs| + ‖a‖·‖x‖`).
-pub fn verify_kkt(problem: &EnforcedWaitsProblem<'_>, periods: &[f64], active_tol: f64) -> KktReport {
+pub fn verify_kkt(
+    problem: &EnforcedWaitsProblem<'_>,
+    periods: &[f64],
+    active_tol: f64,
+) -> KktReport {
     let n = problem.pipeline().len();
     assert_eq!(periods.len(), n, "period vector length mismatch");
     let cs = problem.constraint_set();
@@ -117,7 +123,14 @@ mod tests {
     fn blast() -> PipelineSpec {
         PipelineSpecBuilder::new(128)
             .stage("s0", 287.0, GainModel::Bernoulli { p: 0.379 })
-            .stage("s1", 955.0, GainModel::CensoredPoisson { mean: 1.920, cap: 16 })
+            .stage(
+                "s1",
+                955.0,
+                GainModel::CensoredPoisson {
+                    mean: 1.920,
+                    cap: 16,
+                },
+            )
             .stage("s2", 402.0, GainModel::Bernoulli { p: 0.0332 })
             .stage("s3", 2753.0, GainModel::Deterministic { k: 1 })
             .build()

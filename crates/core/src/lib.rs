@@ -38,9 +38,11 @@ pub mod frontier;
 pub mod kkt;
 pub mod monolithic;
 pub mod schedule;
+pub mod telemetry;
 
 pub use enforced::{EnforcedWaitsProblem, SolveMethod, WaitSchedule};
 pub use feasibility::{check_enforced_feasibility, minimal_periods, FeasibilityError};
 pub use flexible::{FlexibleSchedule, FlexibleSharesProblem};
 pub use monolithic::{MonolithicProblem, MonolithicSchedule};
 pub use schedule::ScheduleError;
+pub use telemetry::SolveTelemetry;

@@ -20,6 +20,7 @@
 //! sensitivity studies.
 
 use crate::schedule::ScheduleError;
+use crate::telemetry::{timed, SolveTelemetry};
 use dataflow_model::analysis::{
     monolithic_active_fraction, monolithic_block_time, monolithic_latency_bound, monolithic_stable,
 };
@@ -42,6 +43,8 @@ pub struct MonolithicSchedule {
     pub b: f64,
     /// Worst-case scale used.
     pub s: f64,
+    /// How the solve went (objective evaluations, wall time, …).
+    pub telemetry: Option<SolveTelemetry>,
 }
 
 /// The Fig.-2 design problem.
@@ -106,13 +109,20 @@ impl<'a> MonolithicProblem<'a> {
     /// Solve exactly by exhaustive scan over `M ∈ [1, max_block_size]`.
     pub fn solve(&self) -> Result<MonolithicSchedule, ScheduleError> {
         let hi = self.max_block_size();
-        let best = minimize_scan(1, hi, |m| self.objective(m)).ok_or_else(|| {
+        let evals = std::cell::Cell::new(0u64);
+        let (best, micros) = timed(|| {
+            minimize_scan(1, hi, |m| {
+                evals.set(evals.get() + 1);
+                self.objective(m)
+            })
+        });
+        let best = best.ok_or_else(|| {
             ScheduleError::Solver(format!(
                 "no feasible block size in [1, {hi}] (deadline {:.0}, tau0 {:.1})",
                 self.params.deadline, self.params.tau0
             ))
         })?;
-        Ok(self.schedule_at(best.arg))
+        Ok(self.schedule_at_observed(best.arg, "scan", evals.get(), micros))
     }
 
     /// Solve with the accelerated unimodal search. The objective's
@@ -139,10 +149,16 @@ impl<'a> MonolithicProblem<'a> {
             .saturating_mul(2)
             .max(4 * self.pipeline.vector_width() as u64)
             .max(64);
-        let best = minimize_unimodal(1, hi, slop, |m| self.objective(m)).ok_or_else(|| {
-            ScheduleError::Solver(format!("no feasible block size in [1, {hi}]"))
-        })?;
-        Ok(self.schedule_at(best.arg))
+        let evals = std::cell::Cell::new(0u64);
+        let (best, micros) = timed(|| {
+            minimize_unimodal(1, hi, slop, |m| {
+                evals.set(evals.get() + 1);
+                self.objective(m)
+            })
+        });
+        let best = best
+            .ok_or_else(|| ScheduleError::Solver(format!("no feasible block size in [1, {hi}]")))?;
+        Ok(self.schedule_at_observed(best.arg, "unimodal", evals.get(), micros))
     }
 
     /// Solve with branch-and-bound (the miniature BONMIN): the true
@@ -165,7 +181,12 @@ impl<'a> MonolithicProblem<'a> {
             .nodes()
             .iter()
             .zip(&totals)
-            .map(|(n, &g)| (g / v * n.service_time, if g > 0.0 { n.service_time } else { 0.0 }))
+            .map(|(n, &g)| {
+                (
+                    g / v * n.service_time,
+                    if g > 0.0 { n.service_time } else { 0.0 },
+                )
+            })
             .collect();
         let lower_bound = |_a: u64, b: u64| -> f64 {
             rho0 * per_stage
@@ -173,11 +194,21 @@ impl<'a> MonolithicProblem<'a> {
                 .map(|&(slope, fixed)| slope.max(fixed / b as f64))
                 .sum::<f64>()
         };
-        let (best, _stats) = solver::bnb::minimize_bnb(1, hi, |m| self.objective(m), lower_bound);
-        let best = best.ok_or_else(|| {
-            ScheduleError::Solver(format!("no feasible block size in [1, {hi}]"))
-        })?;
-        Ok(self.schedule_at(best.arg))
+        let evals = std::cell::Cell::new(0u64);
+        let ((best, _stats), micros) = timed(|| {
+            solver::bnb::minimize_bnb(
+                1,
+                hi,
+                |m| {
+                    evals.set(evals.get() + 1);
+                    self.objective(m)
+                },
+                lower_bound,
+            )
+        });
+        let best = best
+            .ok_or_else(|| ScheduleError::Solver(format!("no feasible block size in [1, {hi}]")))?;
+        Ok(self.schedule_at_observed(best.arg, "bnb", evals.get(), micros))
     }
 
     fn schedule_at(&self, m: u64) -> MonolithicSchedule {
@@ -188,7 +219,23 @@ impl<'a> MonolithicProblem<'a> {
             latency_bound: monolithic_latency_bound(self.pipeline, &self.params, m, self.b, self.s),
             b: self.b,
             s: self.s,
+            telemetry: None,
         }
+    }
+
+    fn schedule_at_observed(
+        &self,
+        m: u64,
+        method: &str,
+        evaluations: u64,
+        wall_micros: f64,
+    ) -> MonolithicSchedule {
+        let mut schedule = self.schedule_at(m);
+        let mut telemetry = SolveTelemetry::new(method);
+        telemetry.iterations = evaluations;
+        telemetry.wall_micros = wall_micros;
+        schedule.telemetry = Some(telemetry);
+        schedule
     }
 }
 
@@ -200,7 +247,14 @@ mod tests {
     fn blast() -> PipelineSpec {
         PipelineSpecBuilder::new(128)
             .stage("s0", 287.0, GainModel::Bernoulli { p: 0.379 })
-            .stage("s1", 955.0, GainModel::CensoredPoisson { mean: 1.920, cap: 16 })
+            .stage(
+                "s1",
+                955.0,
+                GainModel::CensoredPoisson {
+                    mean: 1.920,
+                    cap: 16,
+                },
+            )
             .stage("s2", 402.0, GainModel::Bernoulli { p: 0.0332 })
             .stage("s3", 2753.0, GainModel::Deterministic { k: 1 })
             .build()
@@ -246,7 +300,13 @@ mod tests {
     #[test]
     fn bnb_matches_exact_scan() {
         let p = blast();
-        for (tau0, d) in [(10.0, 1e5), (30.0, 2e5), (50.0, 3.5e5), (100.0, 5e4), (1.0, 1e5)] {
+        for (tau0, d) in [
+            (10.0, 1e5),
+            (30.0, 2e5),
+            (50.0, 3.5e5),
+            (100.0, 5e4),
+            (1.0, 1e5),
+        ] {
             let params = RtParams::new(tau0, d).unwrap();
             let prob = MonolithicProblem::new(&p, params, 1.0, 1.0);
             match (prob.solve(), prob.solve_bnb()) {
@@ -323,9 +383,15 @@ mod tests {
     fn higher_b_or_s_never_improves() {
         let p = blast();
         let params = RtParams::new(50.0, 1e5).unwrap();
-        let base = MonolithicProblem::new(&p, params, 1.0, 1.0).solve().unwrap();
-        let b2 = MonolithicProblem::new(&p, params, 2.0, 1.0).solve().unwrap();
-        let s2 = MonolithicProblem::new(&p, params, 1.0, 2.0).solve().unwrap();
+        let base = MonolithicProblem::new(&p, params, 1.0, 1.0)
+            .solve()
+            .unwrap();
+        let b2 = MonolithicProblem::new(&p, params, 2.0, 1.0)
+            .solve()
+            .unwrap();
+        let s2 = MonolithicProblem::new(&p, params, 1.0, 2.0)
+            .solve()
+            .unwrap();
         assert!(b2.active_fraction >= base.active_fraction - 1e-12);
         assert!(s2.active_fraction >= base.active_fraction - 1e-12);
     }

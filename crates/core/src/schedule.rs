@@ -11,6 +11,9 @@ pub enum ScheduleError {
     /// The numerical solver failed (should not happen on feasible,
     /// well-scaled inputs; surfaced rather than hidden).
     Solver(String),
+    /// A caller-supplied operating point was malformed (non-positive or
+    /// non-finite `τ0`/`D`) before any scheduling was attempted.
+    InvalidParams(String),
 }
 
 impl fmt::Display for ScheduleError {
@@ -18,6 +21,7 @@ impl fmt::Display for ScheduleError {
         match self {
             ScheduleError::Infeasible(e) => write!(f, "infeasible: {e}"),
             ScheduleError::Solver(msg) => write!(f, "solver failure: {msg}"),
+            ScheduleError::InvalidParams(msg) => write!(f, "invalid parameters: {msg}"),
         }
     }
 }

@@ -1,0 +1,90 @@
+//! Per-solve telemetry attached to schedules.
+//!
+//! Every optimizer in this crate can report *how* it arrived at a
+//! schedule — iteration counts, the final residual, the barrier weight
+//! trajectory (for interior-point solves), wall time, and whether a
+//! fallback path produced the answer. The data rides on
+//! [`crate::WaitSchedule`] / [`crate::MonolithicSchedule`] so callers
+//! (the bench harness, the CLI) can aggregate it into run manifests
+//! without re-instrumenting each solver.
+
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// How a single solve went.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SolveTelemetry {
+    /// Algorithm that produced the result (e.g. `"water-filling"`,
+    /// `"interior-point"`, `"unimodal"`, `"scan"`, `"bnb"`).
+    pub method: String,
+    /// Iteration count in the method's natural unit: Newton iterations
+    /// for interior point, bisection steps for water-filling, objective
+    /// evaluations for the integer searches.
+    pub iterations: u64,
+    /// Final residual in the method's natural unit: duality-gap bound
+    /// for interior point, deadline-budget slack for water-filling,
+    /// 0 for exact integer searches.
+    pub residual: f64,
+    /// Barrier weight trajectory (interior point only; empty otherwise).
+    pub barrier_mu: Vec<f64>,
+    /// Wall-clock time the solve took, in microseconds.
+    pub wall_micros: f64,
+    /// True if this result came from a fallback path after the primary
+    /// method failed (e.g. water-filling → interior point on zero-gain
+    /// pipelines).
+    pub fallback: bool,
+}
+
+impl SolveTelemetry {
+    /// Telemetry with everything zeroed except the method name; callers
+    /// fill the rest in as the solve proceeds.
+    pub fn new(method: impl Into<String>) -> Self {
+        SolveTelemetry {
+            method: method.into(),
+            iterations: 0,
+            residual: 0.0,
+            barrier_mu: Vec::new(),
+            wall_micros: 0.0,
+            fallback: false,
+        }
+    }
+}
+
+/// Measure the wall time of `f` and stamp it (in microseconds) onto the
+/// telemetry its result carries via the returned closure's output.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64() * 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_zeroes_everything_but_method() {
+        let t = SolveTelemetry::new("water-filling");
+        assert_eq!(t.method, "water-filling");
+        assert_eq!(t.iterations, 0);
+        assert!(!t.fallback);
+        assert!(t.barrier_mu.is_empty());
+    }
+
+    #[test]
+    fn timed_reports_nonnegative_micros() {
+        let (v, us) = timed(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert!(us >= 0.0);
+    }
+
+    #[test]
+    fn serializes_roundtrip() {
+        let mut t = SolveTelemetry::new("interior-point");
+        t.iterations = 12;
+        t.barrier_mu = vec![1.0, 20.0];
+        let v = serde_json::to_value(&t).unwrap();
+        let back: SolveTelemetry = serde_json::from_value(&v).unwrap();
+        assert_eq!(back, t);
+    }
+}

@@ -35,7 +35,8 @@ fn feasible_point(p: &PipelineSpec, tau_scale: f64, d_scale: f64) -> Option<(RtP
     let b: Vec<f64> = p.mean_gains().iter().map(|g| g.ceil().max(1.0)).collect();
     let xmin = minimal_periods(p);
     let tau0 = xmin[0] / p.vector_width() as f64 * tau_scale;
-    if !(tau0 > 0.0) {
+    // NaN or nonpositive tau0 means the scale degenerated the point.
+    if tau0.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
         return None;
     }
     let min_d: f64 = xmin.iter().zip(&b).map(|(x, bi)| x * bi).sum();

@@ -25,7 +25,11 @@ use crate::pipeline::PipelineSpec;
 /// Panics if `periods.len()` differs from the pipeline length or any
 /// period is not positive.
 pub fn enforced_active_fraction(pipeline: &PipelineSpec, periods: &[f64]) -> f64 {
-    assert_eq!(periods.len(), pipeline.len(), "period vector length mismatch");
+    assert_eq!(
+        periods.len(),
+        pipeline.len(),
+        "period vector length mismatch"
+    );
     let n = pipeline.len() as f64;
     pipeline
         .nodes()
@@ -164,7 +168,14 @@ mod tests {
     fn blast() -> PipelineSpec {
         PipelineSpecBuilder::new(128)
             .stage("s0", 287.0, GainModel::Bernoulli { p: 0.379 })
-            .stage("s1", 955.0, GainModel::CensoredPoisson { mean: 1.920, cap: 16 })
+            .stage(
+                "s1",
+                955.0,
+                GainModel::CensoredPoisson {
+                    mean: 1.920,
+                    cap: 16,
+                },
+            )
             .stage("s2", 402.0, GainModel::Bernoulli { p: 0.0332 })
             .stage("s3", 2753.0, GainModel::Deterministic { k: 1 })
             .build()
@@ -272,7 +283,10 @@ mod tests {
         let limit = monolithic_limit_active_fraction(&p, &params);
         assert!(a1 > a128 && a128 > a4096, "{a1} {a128} {a4096}");
         assert!(a4096 >= limit - 1e-12, "never below the limit");
-        assert!((a4096 - limit) / limit < 0.25, "within 25% of limit by M=4096");
+        assert!(
+            (a4096 - limit) / limit < 0.25,
+            "within 25% of limit by M=4096"
+        );
     }
 
     #[test]

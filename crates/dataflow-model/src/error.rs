@@ -35,7 +35,10 @@ impl fmt::Display for ModelError {
         match self {
             ModelError::EmptyPipeline => write!(f, "pipeline has no nodes"),
             ModelError::NonPositiveServiceTime { node, value } => {
-                write!(f, "node {node}: service time {value} is not strictly positive")
+                write!(
+                    f,
+                    "node {node}: service time {value} is not strictly positive"
+                )
             }
             ModelError::ZeroVectorWidth => write!(f, "SIMD vector width must be >= 1"),
             ModelError::InvalidGain { node, reason } => {
@@ -58,15 +61,29 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert_eq!(ModelError::EmptyPipeline.to_string(), "pipeline has no nodes");
-        let e = ModelError::NonPositiveServiceTime { node: 2, value: -1.0 };
+        assert_eq!(
+            ModelError::EmptyPipeline.to_string(),
+            "pipeline has no nodes"
+        );
+        let e = ModelError::NonPositiveServiceTime {
+            node: 2,
+            value: -1.0,
+        };
         assert!(e.to_string().contains("node 2"));
-        let e = ModelError::InvalidGain { node: usize::MAX, reason: "p>1".into() };
+        let e = ModelError::InvalidGain {
+            node: usize::MAX,
+            reason: "p>1".into(),
+        };
         assert!(!e.to_string().contains("node"));
-        let e = ModelError::InvalidGain { node: 1, reason: "p>1".into() };
+        let e = ModelError::InvalidGain {
+            node: 1,
+            reason: "p>1".into(),
+        };
         assert!(e.to_string().contains("node 1"));
         assert!(ModelError::ZeroVectorWidth.to_string().contains(">= 1"));
-        let e = ModelError::InvalidRtParams { reason: "tau0 <= 0".into() };
+        let e = ModelError::InvalidRtParams {
+            reason: "tau0 <= 0".into(),
+        };
         assert!(e.to_string().contains("tau0"));
     }
 }

@@ -250,7 +250,10 @@ mod tests {
     #[test]
     fn censored_poisson_mean_below_uncensored() {
         // Censoring can only reduce the mean.
-        let g = GainModel::CensoredPoisson { mean: 1.920, cap: 16 };
+        let g = GainModel::CensoredPoisson {
+            mean: 1.920,
+            cap: 16,
+        };
         let m = g.mean();
         assert!(m <= 1.920 + 1e-12, "mean {m}");
         // With cap = 16 and λ = 1.92 the truncated mass is tiny, so the
@@ -269,7 +272,10 @@ mod tests {
 
     #[test]
     fn censored_poisson_sampling_respects_cap_and_mean() {
-        let g = GainModel::CensoredPoisson { mean: 1.920, cap: 16 };
+        let g = GainModel::CensoredPoisson {
+            mean: 1.920,
+            cap: 16,
+        };
         let mut r = rng();
         let n = 200_000;
         let mut sum = 0u64;
@@ -284,9 +290,15 @@ mod tests {
 
     #[test]
     fn censored_poisson_validation() {
-        assert!(GainModel::CensoredPoisson { mean: 0.0, cap: 4 }.validate(0).is_err());
-        assert!(GainModel::CensoredPoisson { mean: 1.0, cap: 0 }.validate(0).is_err());
-        assert!(GainModel::CensoredPoisson { mean: 1.0, cap: 4 }.validate(0).is_ok());
+        assert!(GainModel::CensoredPoisson { mean: 0.0, cap: 4 }
+            .validate(0)
+            .is_err());
+        assert!(GainModel::CensoredPoisson { mean: 1.0, cap: 0 }
+            .validate(0)
+            .is_err());
+        assert!(GainModel::CensoredPoisson { mean: 1.0, cap: 4 }
+            .validate(0)
+            .is_ok());
     }
 
     #[test]
@@ -309,9 +321,21 @@ mod tests {
     #[test]
     fn empirical_validation() {
         assert!(GainModel::Empirical { pmf: vec![] }.validate(0).is_err());
-        assert!(GainModel::Empirical { pmf: vec![(1, 0.5)] }.validate(0).is_err());
-        assert!(GainModel::Empirical { pmf: vec![(1, -0.5), (0, 1.5)] }.validate(0).is_err());
-        assert!(GainModel::Empirical { pmf: vec![(1, 1.0)] }.validate(0).is_ok());
+        assert!(GainModel::Empirical {
+            pmf: vec![(1, 0.5)]
+        }
+        .validate(0)
+        .is_err());
+        assert!(GainModel::Empirical {
+            pmf: vec![(1, -0.5), (0, 1.5)]
+        }
+        .validate(0)
+        .is_err());
+        assert!(GainModel::Empirical {
+            pmf: vec![(1, 1.0)]
+        }
+        .validate(0)
+        .is_ok());
     }
 
     #[test]
@@ -361,7 +385,10 @@ mod tests {
 
     #[test]
     fn serde_roundtrip() {
-        let g = GainModel::CensoredPoisson { mean: 1.92, cap: 16 };
+        let g = GainModel::CensoredPoisson {
+            mean: 1.92,
+            cap: 16,
+        };
         let json = serde_json::to_string(&g).unwrap();
         let back: GainModel = serde_json::from_str(&json).unwrap();
         assert_eq!(g, back);

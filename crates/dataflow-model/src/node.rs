@@ -71,12 +71,22 @@ mod tests {
     #[test]
     fn validation_propagates_gain_errors() {
         let n = NodeSpec::new("x", 1.0, GainModel::Bernoulli { p: 2.0 });
-        assert!(matches!(n.validate(1), Err(ModelError::InvalidGain { node: 1, .. })));
+        assert!(matches!(
+            n.validate(1),
+            Err(ModelError::InvalidGain { node: 1, .. })
+        ));
     }
 
     #[test]
     fn validation_accepts_good_node() {
-        let n = NodeSpec::new("x", 955.0, GainModel::CensoredPoisson { mean: 1.92, cap: 16 });
+        let n = NodeSpec::new(
+            "x",
+            955.0,
+            GainModel::CensoredPoisson {
+                mean: 1.92,
+                cap: 16,
+            },
+        );
         assert!(n.validate(0).is_ok());
     }
 }

@@ -46,7 +46,10 @@ impl RtParams {
     /// the given number of points per axis, spaced geometrically for τ0
     /// and linearly for D (matching the ranges' character).
     pub fn paper_grid(tau0_points: usize, d_points: usize) -> (Vec<f64>, Vec<f64>) {
-        assert!(tau0_points >= 2 && d_points >= 2, "need at least 2 points per axis");
+        assert!(
+            tau0_points >= 2 && d_points >= 2,
+            "need at least 2 points per axis"
+        );
         let tau0s: Vec<f64> = (0..tau0_points)
             .map(|i| {
                 let f = i as f64 / (tau0_points - 1) as f64;

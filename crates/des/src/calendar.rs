@@ -136,7 +136,11 @@ impl<P> Calendar<P> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled += 1;
-        self.heap.push(Entry { time: at, seq, payload });
+        self.heap.push(Entry {
+            time: at,
+            seq,
+            payload,
+        });
     }
 
     /// Schedule `payload` to fire `delay` after the current time.
@@ -152,7 +156,10 @@ impl<P> Calendar<P> {
     /// Pop the next event, advancing the calendar clock to its timestamp.
     pub fn pop(&mut self) -> Option<Event<P>> {
         let entry = self.heap.pop()?;
-        debug_assert!(entry.time >= self.now, "heap returned an out-of-order event");
+        debug_assert!(
+            entry.time >= self.now,
+            "heap returned an out-of-order event"
+        );
         self.now = entry.time;
         self.fired += 1;
         Some(Event {

@@ -17,7 +17,9 @@ use std::ops::{Add, AddAssign, Sub};
 /// a span) and subtracting an earlier time to get a span. Subtraction
 /// panics (in all build profiles) if it would underflow, because a
 /// negative span always indicates a causality bug in the simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 impl SimTime {
@@ -156,7 +158,10 @@ mod tests {
 
     #[test]
     fn saturating_ops() {
-        assert_eq!(SimTime::MAX.saturating_add(SimTime::from_cycles(1)), SimTime::MAX);
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimTime::from_cycles(1)),
+            SimTime::MAX
+        );
         assert_eq!(SimTime::from_cycles(3).saturating_mul(4).cycles(), 12);
         assert_eq!(SimTime::MAX.saturating_mul(2), SimTime::MAX);
     }

@@ -46,6 +46,7 @@
 
 pub mod calendar;
 pub mod clock;
+pub mod obs;
 pub mod rng;
 pub mod stats;
 pub mod trace;
@@ -54,6 +55,7 @@ pub mod trace;
 pub mod prelude {
     pub use crate::calendar::{Calendar, Event};
     pub use crate::clock::SimTime;
+    pub use crate::obs::{ObsConfig, ObsReport, ObsSink};
     pub use crate::rng::RngStream;
     pub use crate::stats::{Histogram, OnlineStats, TimeWeighted};
     pub use crate::trace::{TraceBuffer, TraceRecord};

@@ -1,0 +1,378 @@
+//! Structured observability for simulations.
+//!
+//! An [`ObsSink`] collects per-stage distributions (queue depth, firing
+//! occupancy, sojourn time), global event counters, and a bounded trace
+//! of recent events. Simulators thread an `Option<&mut ObsSink>` through
+//! their hot loop; when the option is `None` the cost of the layer is a
+//! single untaken branch per hook, so the disabled path stays within
+//! noise of an uninstrumented build (verified by the `obs_overhead`
+//! criterion bench in `pipeline-sim`).
+//!
+//! At the end of a run, [`ObsSink::report`] folds the accumulators into
+//! a serializable [`ObsReport`] that downstream harnesses embed in run
+//! manifests.
+
+use crate::clock::SimTime;
+use crate::stats::{Histogram, OnlineStats};
+use crate::trace::{TraceBuffer, TraceRecord};
+use serde::{Deserialize, Serialize};
+
+/// Shape of the accumulators an [`ObsSink`] allocates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObsConfig {
+    /// Bins of the per-stage queue-depth histogram.
+    pub depth_bins: usize,
+    /// Upper bound of the queue-depth histogram range `[0, depth_max)`;
+    /// deeper queues land in the overflow bin.
+    pub depth_bins_max: f64,
+    /// Bins of the per-stage occupancy histogram over `[0, 1)`. Full
+    /// firings (occupancy exactly 1) land in the overflow bin, so the
+    /// overflow count doubles as a full-firing counter.
+    pub occupancy_bins: usize,
+    /// Bins of the per-stage sojourn-time histogram.
+    pub sojourn_bins: usize,
+    /// Upper bound of the sojourn histogram range `[0, sojourn_max)`
+    /// in cycles; longer sojourns land in the overflow bin.
+    pub sojourn_max: f64,
+    /// Capacity of the recent-event trace ring; `0` disables tracing
+    /// entirely (trace hooks become no-ops).
+    pub trace_capacity: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            depth_bins: 64,
+            depth_bins_max: 1024.0,
+            occupancy_bins: 32,
+            sojourn_bins: 64,
+            sojourn_max: 1e6,
+            trace_capacity: 0,
+        }
+    }
+}
+
+impl ObsConfig {
+    /// Default shapes plus a trace ring of `capacity` recent events.
+    pub fn with_trace(capacity: usize) -> Self {
+        ObsConfig {
+            trace_capacity: capacity,
+            ..ObsConfig::default()
+        }
+    }
+}
+
+/// A sampled distribution: exact moments plus a fixed-bin histogram for
+/// quantiles.
+#[derive(Debug, Clone)]
+pub struct Dist {
+    stats: OnlineStats,
+    hist: Histogram,
+}
+
+impl Dist {
+    /// New distribution with a histogram over `[lo, hi)` with `nbins`
+    /// bins.
+    pub fn new(lo: f64, hi: f64, nbins: usize) -> Self {
+        Dist {
+            stats: OnlineStats::new(),
+            hist: Histogram::new(lo, hi, nbins),
+        }
+    }
+
+    /// Record a sample.
+    pub fn push(&mut self, x: f64) {
+        self.stats.push(x);
+        self.hist.push(x);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.stats.count()
+    }
+
+    /// Fold into a serializable summary.
+    pub fn summary(&self) -> DistSummary {
+        DistSummary {
+            count: self.stats.count(),
+            mean: self.stats.mean(),
+            stddev: self.stats.stddev(),
+            min: self.stats.min(),
+            max: self.stats.max(),
+            p50: self.hist.quantile(0.5),
+            p90: self.hist.quantile(0.9),
+            p99: self.hist.quantile(0.99),
+        }
+    }
+}
+
+/// Serializable summary of a [`Dist`]: exact moments, approximate
+/// (histogram-midpoint) quantiles.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DistSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Exact sample mean (0 if empty).
+    pub mean: f64,
+    /// Exact sample standard deviation.
+    pub stddev: f64,
+    /// Smallest sample (`None` if empty).
+    pub min: Option<f64>,
+    /// Largest sample (`None` if empty).
+    pub max: Option<f64>,
+    /// Approximate median.
+    pub p50: Option<f64>,
+    /// Approximate 90th percentile.
+    pub p90: Option<f64>,
+    /// Approximate 99th percentile.
+    pub p99: Option<f64>,
+}
+
+/// Per-stage accumulators.
+#[derive(Debug, Clone)]
+pub struct StageObs {
+    /// Queue depth sampled after each enqueue batch.
+    pub queue_depth: Dist,
+    /// Occupancy fraction (items consumed ÷ vector width) per firing.
+    pub occupancy: Dist,
+    /// Cycles each consumed item spent waiting in this stage's queue.
+    pub sojourn: Dist,
+}
+
+impl StageObs {
+    fn new(config: &ObsConfig) -> Self {
+        StageObs {
+            queue_depth: Dist::new(0.0, config.depth_bins_max, config.depth_bins),
+            occupancy: Dist::new(0.0, 1.0, config.occupancy_bins),
+            sojourn: Dist::new(0.0, config.sojourn_max, config.sojourn_bins),
+        }
+    }
+
+    fn report(&self) -> StageReport {
+        StageReport {
+            queue_depth: self.queue_depth.summary(),
+            occupancy: self.occupancy.summary(),
+            sojourn: self.sojourn.summary(),
+        }
+    }
+}
+
+/// Serializable per-stage summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageReport {
+    /// Queue-depth distribution (sampled at enqueue).
+    pub queue_depth: DistSummary,
+    /// Firing-occupancy distribution (fraction of vector width).
+    pub occupancy: DistSummary,
+    /// Sojourn-time distribution (cycles in queue before consumption).
+    pub sojourn: DistSummary,
+}
+
+/// Global event counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObsCounters {
+    /// Simulation events processed (arrivals, firings, deliveries).
+    pub events: u64,
+    /// Stage firings, including empty ones.
+    pub firings: u64,
+    /// Firings that found an empty queue.
+    pub empty_firings: u64,
+    /// Items pushed onto stage queues (all stages).
+    pub items_enqueued: u64,
+    /// Items consumed off stage queues (all stages).
+    pub items_consumed: u64,
+    /// Pipeline-level completions observed.
+    pub completions: u64,
+    /// Items dropped (e.g. still in flight at a truncated horizon).
+    pub drops: u64,
+}
+
+/// Live observability sink. Construct per run, thread through the
+/// simulator as `Option<&mut ObsSink>`, then call [`ObsSink::report`].
+#[derive(Debug, Clone)]
+pub struct ObsSink {
+    config: ObsConfig,
+    stages: Vec<StageObs>,
+    counters: ObsCounters,
+    trace: Option<TraceBuffer>,
+}
+
+impl ObsSink {
+    /// Sink for a pipeline with `num_stages` stages.
+    pub fn new(num_stages: usize, config: ObsConfig) -> Self {
+        let trace = (config.trace_capacity > 0).then(|| TraceBuffer::new(config.trace_capacity));
+        ObsSink {
+            stages: (0..num_stages).map(|_| StageObs::new(&config)).collect(),
+            counters: ObsCounters::default(),
+            trace,
+            config,
+        }
+    }
+
+    /// Sink with default shapes and no trace.
+    pub fn with_defaults(num_stages: usize) -> Self {
+        ObsSink::new(num_stages, ObsConfig::default())
+    }
+
+    /// Number of instrumented stages.
+    pub fn num_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Counters so far.
+    pub fn counters(&self) -> &ObsCounters {
+        &self.counters
+    }
+
+    /// One simulation event processed.
+    pub fn on_event(&mut self) {
+        self.counters.events += 1;
+    }
+
+    /// `pushed` items entered `stage`'s queue, leaving it `depth` deep.
+    pub fn on_enqueue(&mut self, stage: usize, pushed: u64, depth: usize) {
+        self.counters.items_enqueued += pushed;
+        self.stages[stage].queue_depth.push(depth as f64);
+    }
+
+    /// `stage` fired, consuming `take` of `width` lanes.
+    pub fn on_fire(&mut self, stage: usize, take: usize, width: usize) {
+        self.counters.firings += 1;
+        if take == 0 {
+            self.counters.empty_firings += 1;
+        }
+        self.counters.items_consumed += take as u64;
+        self.stages[stage]
+            .occupancy
+            .push(take as f64 / width.max(1) as f64);
+    }
+
+    /// A consumed item had waited `cycles` in `stage`'s queue.
+    pub fn on_sojourn(&mut self, stage: usize, cycles: f64) {
+        self.stages[stage].sojourn.push(cycles);
+    }
+
+    /// A pipeline-level completion.
+    pub fn on_completion(&mut self) {
+        self.counters.completions += 1;
+    }
+
+    /// An item was dropped (never completed).
+    pub fn on_drop(&mut self) {
+        self.counters.drops += 1;
+    }
+
+    /// Whether trace hooks record anything (lets callers skip building
+    /// trace messages when they would be thrown away).
+    pub fn tracing(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Record a trace event (no-op unless a trace ring was configured).
+    pub fn trace(&mut self, time: SimTime, tag: u32, message: impl Into<String>) {
+        if let Some(tb) = self.trace.as_mut() {
+            tb.push(time, tag, message);
+        }
+    }
+
+    /// Fold into a serializable report.
+    pub fn report(&self) -> ObsReport {
+        ObsReport {
+            config: self.config.clone(),
+            counters: self.counters.clone(),
+            stages: self.stages.iter().map(StageObs::report).collect(),
+            trace: self
+                .trace
+                .as_ref()
+                .map_or_else(Vec::new, |tb| tb.iter().cloned().collect()),
+            trace_dropped: self.trace.as_ref().map_or(0, TraceBuffer::dropped),
+        }
+    }
+}
+
+/// Serializable end-of-run observability report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObsReport {
+    /// Accumulator shapes the run used.
+    pub config: ObsConfig,
+    /// Global counters.
+    pub counters: ObsCounters,
+    /// Per-stage summaries.
+    pub stages: Vec<StageReport>,
+    /// Most recent trace records (empty unless tracing was enabled).
+    pub trace: Vec<TraceRecord>,
+    /// Trace records evicted from the ring.
+    pub trace_dropped: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = ObsSink::with_defaults(2);
+        s.on_event();
+        s.on_enqueue(0, 3, 3);
+        s.on_fire(0, 2, 4);
+        s.on_sojourn(0, 10.0);
+        s.on_fire(1, 0, 4);
+        s.on_completion();
+        s.on_drop();
+        let r = s.report();
+        assert_eq!(r.counters.events, 1);
+        assert_eq!(r.counters.items_enqueued, 3);
+        assert_eq!(r.counters.items_consumed, 2);
+        assert_eq!(r.counters.firings, 2);
+        assert_eq!(r.counters.empty_firings, 1);
+        assert_eq!(r.counters.completions, 1);
+        assert_eq!(r.counters.drops, 1);
+        assert_eq!(r.stages.len(), 2);
+        assert_eq!(r.stages[0].queue_depth.count, 1);
+        assert!((r.stages[0].occupancy.mean - 0.5).abs() < 1e-12);
+        assert_eq!(r.stages[0].sojourn.count, 1);
+    }
+
+    #[test]
+    fn trace_disabled_by_default() {
+        let mut s = ObsSink::with_defaults(1);
+        assert!(!s.tracing());
+        s.trace(SimTime::from_cycles(1), 0, "ignored");
+        assert!(s.report().trace.is_empty());
+    }
+
+    #[test]
+    fn trace_ring_keeps_most_recent() {
+        let mut s = ObsSink::new(1, ObsConfig::with_trace(2));
+        assert!(s.tracing());
+        for i in 0..4u64 {
+            s.trace(SimTime::from_cycles(i), 0, format!("e{i}"));
+        }
+        let r = s.report();
+        assert_eq!(r.trace.len(), 2);
+        assert_eq!(r.trace_dropped, 2);
+        assert_eq!(r.trace[0].message, "e2");
+        assert_eq!(r.trace[1].message, "e3");
+    }
+
+    #[test]
+    fn full_firing_counts_as_occupancy_overflow() {
+        let mut s = ObsSink::with_defaults(1);
+        s.on_fire(0, 4, 4);
+        let sum = s.report().stages[0].occupancy.clone();
+        assert_eq!(sum.count, 1);
+        assert!((sum.mean - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let mut s = ObsSink::new(2, ObsConfig::with_trace(4));
+        s.on_enqueue(1, 1, 1);
+        s.on_fire(1, 1, 8);
+        s.trace(SimTime::from_cycles(7), 1, "fire");
+        let r = s.report();
+        let v = serde_json::to_value(&r).unwrap();
+        let back: ObsReport = serde_json::from_value(&v).unwrap();
+        assert_eq!(back, r);
+    }
+}

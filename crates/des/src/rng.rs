@@ -74,10 +74,7 @@ impl RngStream {
     #[inline]
     pub fn next_u64_raw(&mut self) -> u64 {
         // xoshiro256**
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -162,7 +159,9 @@ mod tests {
     fn different_seeds_differ() {
         let mut a = RngStream::new(1);
         let mut b = RngStream::new(2);
-        let same = (0..64).filter(|_| a.next_u64_raw() == b.next_u64_raw()).count();
+        let same = (0..64)
+            .filter(|_| a.next_u64_raw() == b.next_u64_raw())
+            .count();
         assert!(same < 2, "streams from different seeds look identical");
     }
 
@@ -188,7 +187,9 @@ mod tests {
         let parent = RngStream::new(1234);
         let mut a = parent.substream(0);
         let mut b = parent.substream(1);
-        let same = (0..64).filter(|_| a.next_u64_raw() == b.next_u64_raw()).count();
+        let same = (0..64)
+            .filter(|_| a.next_u64_raw() == b.next_u64_raw())
+            .count();
         assert!(same < 2);
     }
 

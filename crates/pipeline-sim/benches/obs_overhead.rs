@@ -1,0 +1,76 @@
+//! Overhead of the observability layer on the enforced-waits simulator.
+//!
+//! Three variants of the same run:
+//!
+//! - `obs_disabled` — the public [`simulate_enforced`] entry point,
+//!   which passes `None` for the sink. The per-event cost of
+//!   instrumentation is a branch on an `Option` that is never taken;
+//!   this must stay within noise (≤2%) of the seed simulator.
+//! - `obs_enabled` — full per-stage histograms and counters.
+//! - `obs_enabled_traced` — histograms plus a 256-event ring trace.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dataflow_model::{GainModel, PipelineSpec, PipelineSpecBuilder, RtParams};
+use des::obs::ObsConfig;
+use pipeline_sim::{simulate_enforced, simulate_enforced_observed, SimConfig};
+use rtsdf_core::{EnforcedWaitsProblem, SolveMethod, WaitSchedule};
+use std::hint::black_box;
+
+fn blast() -> PipelineSpec {
+    PipelineSpecBuilder::new(128)
+        .stage("s0", 287.0, GainModel::Bernoulli { p: 0.379 })
+        .stage(
+            "s1",
+            955.0,
+            GainModel::CensoredPoisson {
+                mean: 1.920,
+                cap: 16,
+            },
+        )
+        .stage("s2", 402.0, GainModel::Bernoulli { p: 0.0332 })
+        .stage("s3", 2753.0, GainModel::Deterministic { k: 1 })
+        .build()
+        .unwrap()
+}
+
+fn schedule(pipeline: &PipelineSpec) -> WaitSchedule {
+    let params = RtParams::new(20.0, 2e5).unwrap();
+    EnforcedWaitsProblem::new(pipeline, params, vec![1.0, 3.0, 9.0, 6.0])
+        .solve(SolveMethod::WaterFilling)
+        .unwrap()
+}
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let p = blast();
+    let sched = schedule(&p);
+    let cfg = SimConfig::quick(20.0, 7, 2_000);
+
+    c.bench_function("enforced_obs_disabled", |b| {
+        b.iter(|| black_box(simulate_enforced(&p, &sched, 2e5, &cfg)))
+    });
+    c.bench_function("enforced_obs_enabled", |b| {
+        b.iter(|| {
+            black_box(simulate_enforced_observed(
+                &p,
+                &sched,
+                2e5,
+                &cfg,
+                ObsConfig::default(),
+            ))
+        })
+    });
+    c.bench_function("enforced_obs_enabled_traced", |b| {
+        b.iter(|| {
+            black_box(simulate_enforced_observed(
+                &p,
+                &sched,
+                2e5,
+                &cfg,
+                ObsConfig::with_trace(256),
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

@@ -85,7 +85,10 @@ pub struct CalibrationResult {
 /// # Panics
 /// Panics if the grid is empty or no grid point is feasible at the
 /// optimistic starting factors.
-pub fn calibrate_enforced(pipeline: &PipelineSpec, config: &CalibrationConfig) -> CalibrationResult {
+pub fn calibrate_enforced(
+    pipeline: &PipelineSpec,
+    config: &CalibrationConfig,
+) -> CalibrationResult {
     assert!(!config.grid.is_empty(), "calibration grid is empty");
     let n = pipeline.len();
     let mut b = EnforcedWaitsProblem::optimistic_backlog(pipeline);
@@ -157,7 +160,10 @@ pub fn calibrate_enforced(pipeline: &PipelineSpec, config: &CalibrationConfig) -
                 .iter()
                 .enumerate()
                 .map(|(i, &bi)| (i, observed[i] / bi))
-                .fold((0, f64::NEG_INFINITY), |acc, x| if x.1 > acc.1 { x } else { acc });
+                .fold(
+                    (0, f64::NEG_INFINITY),
+                    |acc, x| if x.1 > acc.1 { x } else { acc },
+                );
             b[worst_i] = (b[worst_i] + 1.0).min(config.b_cap);
         }
         if b.iter().any(|&bi| bi >= config.b_cap) {
@@ -180,7 +186,14 @@ mod tests {
     fn blast() -> PipelineSpec {
         PipelineSpecBuilder::new(128)
             .stage("s0", 287.0, GainModel::Bernoulli { p: 0.379 })
-            .stage("s1", 955.0, GainModel::CensoredPoisson { mean: 1.920, cap: 16 })
+            .stage(
+                "s1",
+                955.0,
+                GainModel::CensoredPoisson {
+                    mean: 1.920,
+                    cap: 16,
+                },
+            )
             .stage("s2", 402.0, GainModel::Bernoulli { p: 0.0332 })
             .stage("s3", 2753.0, GainModel::Deterministic { k: 1 })
             .build()

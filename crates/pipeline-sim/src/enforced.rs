@@ -16,11 +16,12 @@
 use crate::config::{FiringDiscipline, SimConfig};
 use crate::item::{Item, LineageTracker};
 use crate::metrics::SimMetrics;
+use dataflow_model::PipelineSpec;
 use des::calendar::Calendar;
 use des::clock::SimTime;
+use des::obs::{ObsConfig, ObsSink};
 use des::rng::RngStream;
 use des::stats::OnlineStats;
-use dataflow_model::PipelineSpec;
 use rtsdf_core::WaitSchedule;
 use simd_device::{ActiveTimeLedger, OccupancyStats};
 use std::collections::VecDeque;
@@ -56,8 +57,45 @@ pub fn simulate_enforced(
     deadline: f64,
     config: &SimConfig,
 ) -> SimMetrics {
+    simulate_enforced_with(pipeline, schedule, deadline, config, None)
+}
+
+/// [`simulate_enforced`] with the observability layer enabled: collects
+/// per-stage queue-depth / occupancy / sojourn distributions, event
+/// counters, and (if `obs_config.trace_capacity > 0`) a recent-event
+/// trace, returned in [`SimMetrics::obs`].
+pub fn simulate_enforced_observed(
+    pipeline: &PipelineSpec,
+    schedule: &WaitSchedule,
+    deadline: f64,
+    config: &SimConfig,
+    obs_config: ObsConfig,
+) -> SimMetrics {
+    let mut sink = ObsSink::new(pipeline.len(), obs_config);
+    let mut metrics = simulate_enforced_with(pipeline, schedule, deadline, config, Some(&mut sink));
+    metrics.obs = Some(sink.report());
+    metrics
+}
+
+/// Core simulator. `obs` is branch-on-`Option`: when `None`, every hook
+/// is a single untaken branch, so the uninstrumented path stays at the
+/// cost of the plain simulator.
+pub fn simulate_enforced_with(
+    pipeline: &PipelineSpec,
+    schedule: &WaitSchedule,
+    deadline: f64,
+    config: &SimConfig,
+    mut obs: Option<&mut ObsSink>,
+) -> SimMetrics {
     let n = pipeline.len();
-    assert_eq!(schedule.periods.len(), n, "schedule/pipeline length mismatch");
+    if let Some(sink) = obs.as_deref_mut() {
+        assert_eq!(sink.num_stages(), n, "obs sink/pipeline length mismatch");
+    }
+    assert_eq!(
+        schedule.periods.len(),
+        n,
+        "schedule/pipeline length mismatch"
+    );
     let v = pipeline.vector_width();
     let service: Vec<u64> = pipeline
         .service_times()
@@ -77,7 +115,9 @@ pub fn simulate_enforced(
     let mut gain_rngs: Vec<RngStream> = (0..n).map(|i| master.substream(1 + i as u64)).collect();
 
     // Precompute arrival times, rounded onto the integer clock.
-    let arrivals_f = config.arrivals.generate(config.stream_length, &mut arrival_rng);
+    let arrivals_f = config
+        .arrivals
+        .generate(config.stream_length, &mut arrival_rng);
     let arrivals: Vec<SimTime> = {
         let mut last = 0u64;
         arrivals_f
@@ -95,13 +135,25 @@ pub fn simulate_enforced(
 
     let mut cal: Calendar<Ev> = Calendar::with_capacity(config.stream_length * 2 + 64);
     for (origin, &t) in arrivals.iter().enumerate() {
-        cal.schedule(t, Ev::Arrival { origin: origin as u64 });
+        cal.schedule(
+            t,
+            Ev::Arrival {
+                origin: origin as u64,
+            },
+        );
     }
     for node in 0..n {
         cal.schedule(SimTime::ZERO, Ev::Fire { node });
     }
 
     let mut queues: Vec<VecDeque<Item>> = (0..n).map(|_| VecDeque::new()).collect();
+    // Parallel per-stage enqueue timestamps for sojourn measurement;
+    // allocated only when the observability layer is on.
+    let mut enq_times: Vec<VecDeque<SimTime>> = if obs.is_some() {
+        (0..n).map(|_| VecDeque::new()).collect()
+    } else {
+        Vec::new()
+    };
     let mut max_depth = vec![0u64; n];
     // Vacation discipline: a dormant node skipped its firing on an
     // empty queue and is waiting for input to wake it.
@@ -129,6 +181,9 @@ pub fn simulate_enforced(
         batch.sort_by_key(|e| e.class());
 
         for ev in batch.drain(..) {
+            if let Some(sink) = obs.as_deref_mut() {
+                sink.on_event();
+            }
             match ev {
                 Ev::Arrival { origin } => {
                     lineage.arrive(origin);
@@ -137,6 +192,10 @@ pub fn simulate_enforced(
                         arrival: now,
                     });
                     max_depth[0] = max_depth[0].max(queues[0].len() as u64);
+                    if let Some(sink) = obs.as_deref_mut() {
+                        sink.on_enqueue(0, 1, queues[0].len());
+                        enq_times[0].push_back(now);
+                    }
                     if dormant[0] {
                         // Wake: the mandatory period already elapsed when
                         // the node went dormant, so firing now is legal.
@@ -145,8 +204,15 @@ pub fn simulate_enforced(
                     }
                 }
                 Ev::Deliver { node, items } => {
+                    let delivered = items.len() as u64;
                     queues[node].extend(items);
                     max_depth[node] = max_depth[node].max(queues[node].len() as u64);
+                    if let Some(sink) = obs.as_deref_mut() {
+                        sink.on_enqueue(node, delivered, queues[node].len());
+                        for _ in 0..delivered {
+                            enq_times[node].push_back(now);
+                        }
+                    }
                     if dormant[node] {
                         dormant[node] = false;
                         cal.schedule(now, Ev::Fire { node });
@@ -163,6 +229,15 @@ pub fn simulate_enforced(
                     let consumed: Vec<Item> = queues[node].drain(..take).collect();
                     occupancy[node].record(take as u32, v);
                     ledger.record_firing(node, service[node] as f64, take as u32);
+                    if let Some(sink) = obs.as_deref_mut() {
+                        sink.on_fire(node, take, v as usize);
+                        for enq in enq_times[node].drain(..take) {
+                            sink.on_sojourn(node, now.since(enq).as_f64());
+                        }
+                        if sink.tracing() {
+                            sink.trace(now, node as u32, format!("fire n{node} take={take}"));
+                        }
+                    }
                     let completion = now + SimTime::from_cycles(service[node]);
                     let is_last = node + 1 == n;
                     if !consumed.is_empty() {
@@ -175,6 +250,9 @@ pub fn simulate_enforced(
                             };
                             if lineage.consume(item.origin, k, completion) {
                                 last_completion = last_completion.max(completion);
+                                if let Some(sink) = obs.as_deref_mut() {
+                                    sink.on_completion();
+                                }
                             }
                             for _ in 0..k {
                                 outs.push(Item {
@@ -184,10 +262,13 @@ pub fn simulate_enforced(
                             }
                         }
                         if !outs.is_empty() {
-                            cal.schedule(completion, Ev::Deliver {
-                                node: node + 1,
-                                items: outs,
-                            });
+                            cal.schedule(
+                                completion,
+                                Ev::Deliver {
+                                    node: node + 1,
+                                    items: outs,
+                                },
+                            );
                         }
                     }
                     // Periodic refire, but only while there is still work
@@ -205,8 +286,9 @@ pub fn simulate_enforced(
         }
     }
 
-    // Account misses and latency.
+    // Account misses, drops, and latency.
     let mut misses = 0u64;
+    let mut dropped = 0u64;
     let mut latency = OnlineStats::new();
     for (origin, completion) in lineage.completions() {
         match completion {
@@ -217,7 +299,15 @@ pub fn simulate_enforced(
                     misses += 1;
                 }
             }
-            None => misses += 1, // unresolved at the safety horizon
+            None => {
+                // Unresolved at the safety horizon: dropped, and counted
+                // as a miss.
+                misses += 1;
+                dropped += 1;
+                if let Some(sink) = obs.as_deref_mut() {
+                    sink.on_drop();
+                }
+            }
         }
     }
 
@@ -234,6 +324,7 @@ pub fn simulate_enforced(
     SimMetrics {
         items_arrived: arrivals.len() as u64,
         items_completed: lineage.completed(),
+        items_dropped: dropped,
         deadline_misses: misses,
         active_fraction: if config.charge_empty_firings {
             active_fraction
@@ -247,6 +338,7 @@ pub fn simulate_enforced(
         occupancy,
         horizon,
         truncated,
+        obs: None,
     }
 }
 
@@ -259,7 +351,14 @@ mod tests {
     fn blast() -> PipelineSpec {
         PipelineSpecBuilder::new(128)
             .stage("s0", 287.0, GainModel::Bernoulli { p: 0.379 })
-            .stage("s1", 955.0, GainModel::CensoredPoisson { mean: 1.920, cap: 16 })
+            .stage(
+                "s1",
+                955.0,
+                GainModel::CensoredPoisson {
+                    mean: 1.920,
+                    cap: 16,
+                },
+            )
             .stage("s2", 402.0, GainModel::Bernoulli { p: 0.0332 })
             .stage("s3", 2753.0, GainModel::Deterministic { k: 1 })
             .build()
@@ -271,6 +370,33 @@ mod tests {
         EnforcedWaitsProblem::new(pipeline, params, vec![1.0, 3.0, 9.0, 6.0])
             .solve(SolveMethod::WaterFilling)
             .unwrap()
+    }
+
+    #[test]
+    fn observed_run_matches_plain_and_attaches_report() {
+        let p = blast();
+        let sched = schedule(&p, 20.0, 2e5);
+        let cfg = SimConfig::quick(20.0, 1, 500);
+        let plain = simulate_enforced(&p, &sched, 2e5, &cfg);
+        let observed = simulate_enforced_observed(&p, &sched, 2e5, &cfg, ObsConfig::with_trace(32));
+        // Instrumentation must not perturb the simulation.
+        assert_eq!(plain.items_completed, observed.items_completed);
+        assert_eq!(plain.deadline_misses, observed.deadline_misses);
+        assert_eq!(plain.active_fraction, observed.active_fraction);
+        assert!(plain.obs.is_none());
+        let report = observed.obs.expect("report attached");
+        assert_eq!(report.stages.len(), p.len());
+        assert_eq!(report.counters.completions, observed.items_completed);
+        assert_eq!(report.counters.drops, observed.items_dropped);
+        assert!(report.counters.events > 0);
+        assert!(report.counters.firings > 0);
+        assert!(report.counters.items_enqueued >= observed.items_arrived);
+        // Every arrival is eventually consumed at the head stage, and
+        // each consumption produced a sojourn sample.
+        assert_eq!(report.stages[0].sojourn.count, observed.items_arrived);
+        assert!(report.stages[0].queue_depth.count > 0);
+        assert!(report.stages[0].occupancy.count > 0);
+        assert!(!report.trace.is_empty());
     }
 
     #[test]
@@ -288,6 +414,7 @@ mod tests {
             backlog_factors: vec![1.0, 1.0],
             latency_bound: 80.0,
             method: SolveMethod::WaterFilling,
+            telemetry: None,
         };
         let cfg = SimConfig::quick(10.0, 1, 400);
         let m = simulate_enforced(&p, &sched, 1e6, &cfg);
@@ -372,6 +499,7 @@ mod tests {
             backlog_factors: vec![1.0; 4],
             latency_bound: 0.0,
             method: SolveMethod::WaterFilling,
+            telemetry: None,
         };
         let cfg = SimConfig::quick(50.0, 3, 200);
         // Deadline below even one service time.
@@ -386,15 +514,12 @@ mod tests {
         // safety horizon kicks in.
         let sched = WaitSchedule {
             waits: vec![100_000.0; 4],
-            periods: p
-                .service_times()
-                .iter()
-                .map(|t| t + 100_000.0)
-                .collect(),
+            periods: p.service_times().iter().map(|t| t + 100_000.0).collect(),
             active_fraction: 0.01,
             backlog_factors: vec![1.0; 4],
             latency_bound: 0.0,
             method: SolveMethod::WaterFilling,
+            telemetry: None,
         };
         let mut cfg = SimConfig::quick(1.0, 3, 500);
         cfg.drain_factor = 2.0;
@@ -414,6 +539,7 @@ mod tests {
             backlog_factors: vec![1.0; 4],
             latency_bound: 0.0,
             method: SolveMethod::WaterFilling,
+            telemetry: None,
         };
         let with_waits = schedule(&p, 10.0, 2e5);
         let cfg = SimConfig::quick(10.0, 9, 3_000);

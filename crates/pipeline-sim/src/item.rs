@@ -110,7 +110,10 @@ mod tests {
     fn filtered_item_completes_at_filter() {
         let mut lt = LineageTracker::new(1);
         lt.arrive(0);
-        assert!(lt.consume(0, 0, t(5)), "zero outputs → lineage dies → complete");
+        assert!(
+            lt.consume(0, 0, t(5)),
+            "zero outputs → lineage dies → complete"
+        );
         assert_eq!(lt.completion(0), Some(t(5)));
     }
 

@@ -39,7 +39,7 @@ pub mod timeline;
 pub mod validate;
 
 pub use config::SimConfig;
-pub use enforced::simulate_enforced;
+pub use enforced::{simulate_enforced, simulate_enforced_observed};
 pub use metrics::SimMetrics;
-pub use monolithic::simulate_monolithic;
+pub use monolithic::{simulate_monolithic, simulate_monolithic_observed};
 pub use runner::{run_seeds_enforced, run_seeds_monolithic, MultiSeedReport};

@@ -1,5 +1,6 @@
 //! Measurements from one simulation run.
 
+use des::obs::ObsReport;
 use des::stats::OnlineStats;
 use serde::{Deserialize, Serialize};
 use simd_device::OccupancyStats;
@@ -11,6 +12,9 @@ pub struct SimMetrics {
     pub items_arrived: u64,
     /// Stream inputs fully resolved (all derived outputs exited).
     pub items_completed: u64,
+    /// Stream inputs still unresolved when the run hit its safety
+    /// horizon (these also count as deadline misses).
+    pub items_dropped: u64,
     /// Stream inputs whose completion exceeded `arrival + D` (including
     /// any still unresolved when the run hit its safety horizon).
     pub deadline_misses: u64,
@@ -33,6 +37,9 @@ pub struct SimMetrics {
     /// True if the run hit its safety horizon before completing all
     /// inputs (a sign of an unstable or badly mis-calibrated schedule).
     pub truncated: bool,
+    /// Structured observability report (`None` unless the run was
+    /// started through an `*_observed` entry point).
+    pub obs: Option<ObsReport>,
 }
 
 impl SimMetrics {
@@ -59,6 +66,7 @@ mod tests {
         SimMetrics {
             items_arrived: 100,
             items_completed: 100,
+            items_dropped: 0,
             deadline_misses: 0,
             active_fraction: 0.5,
             active_fraction_nonempty: 0.4,
@@ -68,6 +76,7 @@ mod tests {
             max_backlog_vectors: vec![],
             horizon: 1000.0,
             truncated: false,
+            obs: None,
         }
     }
 

@@ -11,9 +11,11 @@
 
 use crate::config::SimConfig;
 use crate::metrics::SimMetrics;
+use dataflow_model::PipelineSpec;
+use des::clock::SimTime;
+use des::obs::{ObsConfig, ObsSink};
 use des::rng::RngStream;
 use des::stats::OnlineStats;
-use dataflow_model::PipelineSpec;
 use rtsdf_core::MonolithicSchedule;
 use simd_device::OccupancyStats;
 
@@ -24,7 +26,38 @@ pub fn simulate_monolithic(
     deadline: f64,
     config: &SimConfig,
 ) -> SimMetrics {
+    simulate_monolithic_with(pipeline, schedule, deadline, config, None)
+}
+
+/// [`simulate_monolithic`] with the observability layer enabled;
+/// summaries land in [`SimMetrics::obs`].
+pub fn simulate_monolithic_observed(
+    pipeline: &PipelineSpec,
+    schedule: &MonolithicSchedule,
+    deadline: f64,
+    config: &SimConfig,
+    obs_config: ObsConfig,
+) -> SimMetrics {
+    let mut sink = ObsSink::new(pipeline.len(), obs_config);
+    let mut metrics =
+        simulate_monolithic_with(pipeline, schedule, deadline, config, Some(&mut sink));
+    metrics.obs = Some(sink.report());
+    metrics
+}
+
+/// Core simulator; `obs` hooks are branch-on-`Option` (see the enforced
+/// simulator for the convention).
+pub fn simulate_monolithic_with(
+    pipeline: &PipelineSpec,
+    schedule: &MonolithicSchedule,
+    deadline: f64,
+    config: &SimConfig,
+    mut obs: Option<&mut ObsSink>,
+) -> SimMetrics {
     let n = pipeline.len();
+    if let Some(sink) = obs.as_deref_mut() {
+        assert_eq!(sink.num_stages(), n, "obs sink/pipeline length mismatch");
+    }
     let v = pipeline.vector_width();
     let m = schedule.block_size.max(1) as usize;
     let service: Vec<f64> = pipeline.service_times();
@@ -33,7 +66,9 @@ pub fn simulate_monolithic(
     let mut arrival_rng = master.substream(0);
     let mut gain_rngs: Vec<RngStream> = (0..n).map(|i| master.substream(1 + i as u64)).collect();
 
-    let arrivals = config.arrivals.generate(config.stream_length, &mut arrival_rng);
+    let arrivals = config
+        .arrivals
+        .generate(config.stream_length, &mut arrival_rng);
     let last_arrival = arrivals.last().copied().unwrap_or(0.0);
     let safety_horizon = last_arrival + config.drain_factor * deadline;
 
@@ -60,6 +95,21 @@ pub fn simulate_monolithic(
         // busy pipeline).
         let arrived = arrivals.partition_point(|&t| t <= start);
         max_waiting = max_waiting.max((arrived - processed_before) as u64);
+        if let Some(sink) = obs.as_deref_mut() {
+            sink.on_event();
+            sink.on_enqueue(0, block.len() as u64, arrived - processed_before);
+            // Sojourn at the head stage: wait from arrival to block start.
+            for &arr in block {
+                sink.on_sojourn(0, start - arr);
+            }
+            if sink.tracing() {
+                sink.trace(
+                    SimTime::from_f64_rounded(start),
+                    0,
+                    format!("block of {} starts", block.len()),
+                );
+            }
+        }
 
         // Push the block through all stages, sampling actual gains.
         let mut count = block.len() as u64;
@@ -77,6 +127,14 @@ pub fn simulate_monolithic(
             let rem = (count % v as u64) as u32;
             if rem > 0 {
                 occupancy[i].record(rem, v);
+            }
+            if let Some(sink) = obs.as_deref_mut() {
+                for _ in 0..full {
+                    sink.on_fire(i, v as usize, v as usize);
+                }
+                if rem > 0 {
+                    sink.on_fire(i, rem as usize, v as usize);
+                }
             }
             if i + 1 < n {
                 let mut next = 0u64;
@@ -96,14 +154,24 @@ pub fn simulate_monolithic(
             let lat = finish - arr;
             latency.push(lat);
             completed += 1;
+            if let Some(sink) = obs.as_deref_mut() {
+                sink.on_completion();
+            }
             if lat > deadline {
                 misses += 1;
             }
         }
     }
+    let mut dropped = 0u64;
     if truncated {
-        misses += (arrivals.len() - processed_before) as u64;
+        dropped = (arrivals.len() - processed_before) as u64;
+        misses += dropped;
         horizon = safety_horizon;
+        if let Some(sink) = obs {
+            for _ in 0..dropped {
+                sink.on_drop();
+            }
+        }
     }
     let horizon = horizon.max(1.0);
 
@@ -113,6 +181,7 @@ pub fn simulate_monolithic(
     SimMetrics {
         items_arrived: arrivals.len() as u64,
         items_completed: completed,
+        items_dropped: dropped,
         deadline_misses: misses,
         active_fraction,
         // No empty firings exist in this strategy: a stage with zero
@@ -132,6 +201,7 @@ pub fn simulate_monolithic(
         occupancy,
         horizon,
         truncated,
+        obs: None,
     }
 }
 
@@ -144,7 +214,14 @@ mod tests {
     fn blast() -> PipelineSpec {
         PipelineSpecBuilder::new(128)
             .stage("s0", 287.0, GainModel::Bernoulli { p: 0.379 })
-            .stage("s1", 955.0, GainModel::CensoredPoisson { mean: 1.920, cap: 16 })
+            .stage(
+                "s1",
+                955.0,
+                GainModel::CensoredPoisson {
+                    mean: 1.920,
+                    cap: 16,
+                },
+            )
             .stage("s2", 402.0, GainModel::Bernoulli { p: 0.0332 })
             .stage("s3", 2753.0, GainModel::Deterministic { k: 1 })
             .build()
@@ -155,6 +232,26 @@ mod tests {
         MonolithicProblem::new(p, RtParams::new(tau0, d).unwrap(), 1.0, 1.0)
             .solve()
             .unwrap()
+    }
+
+    #[test]
+    fn observed_run_matches_plain_and_attaches_report() {
+        let p = blast();
+        let sched = schedule(&p, 50.0, 1e5);
+        let cfg = SimConfig::quick(50.0, 3, 2_000);
+        let plain = simulate_monolithic(&p, &sched, 1e5, &cfg);
+        let observed = simulate_monolithic_observed(&p, &sched, 1e5, &cfg, ObsConfig::default());
+        assert_eq!(plain.items_completed, observed.items_completed);
+        assert_eq!(plain.deadline_misses, observed.deadline_misses);
+        assert_eq!(plain.active_fraction, observed.active_fraction);
+        let report = observed.obs.expect("report attached");
+        assert_eq!(report.stages.len(), p.len());
+        assert_eq!(report.counters.completions, observed.items_completed);
+        assert_eq!(report.counters.items_enqueued, observed.items_arrived);
+        assert!(report.counters.firings > 0);
+        // No empty firings exist in this strategy.
+        assert_eq!(report.counters.empty_firings, 0);
+        assert_eq!(report.stages[0].sojourn.count, observed.items_completed);
     }
 
     #[test]
@@ -214,6 +311,7 @@ mod tests {
             latency_bound: 0.0,
             b: 1.0,
             s: 1.0,
+            telemetry: None,
         };
         let cfg = SimConfig::quick(50.0, 1, 130); // 2 full blocks + 2 items
         let m = simulate_monolithic(&p, &sched, 1e9, &cfg);
@@ -230,6 +328,7 @@ mod tests {
             latency_bound: 0.0,
             b: 1.0,
             s: 1.0,
+            telemetry: None,
         };
         let cfg = SimConfig::quick(50.0, 1, 100);
         let m = simulate_monolithic(&p, &sched, 1e9, &cfg);
@@ -249,6 +348,7 @@ mod tests {
             latency_bound: 0.0,
             b: 1.0,
             s: 1.0,
+            telemetry: None,
         };
         let mut cfg = SimConfig::quick(1.0, 1, 20_000);
         cfg.drain_factor = 3.0;
@@ -281,6 +381,7 @@ mod tests {
             latency_bound: 0.0,
             b: 1.0,
             s: 1.0,
+            telemetry: None,
         };
         let cfg = SimConfig::quick(100.0, 1, 64);
         let m = simulate_monolithic(&p, &sched, 1e9, &cfg);

@@ -45,15 +45,18 @@ impl MultiSeedReport {
 
     /// Componentwise maximum of the empirical backlog (in vectors) over
     /// all runs — the data the §6.2 calibration raises `b_i` from.
+    ///
+    /// Runs with differing stage counts are combined over the longest
+    /// length (missing stages contribute nothing), so no run's data is
+    /// silently truncated.
     pub fn max_backlog_vectors(&self) -> Vec<f64> {
         let mut out: Vec<f64> = Vec::new();
         for r in &self.runs {
-            if out.is_empty() {
-                out = r.max_backlog_vectors.clone();
-            } else {
-                for (o, &b) in out.iter_mut().zip(&r.max_backlog_vectors) {
-                    *o = o.max(b);
-                }
+            if r.max_backlog_vectors.len() > out.len() {
+                out.resize(r.max_backlog_vectors.len(), 0.0);
+            }
+            for (o, &b) in out.iter_mut().zip(&r.max_backlog_vectors) {
+                *o = o.max(b);
             }
         }
         out
@@ -72,16 +75,17 @@ where
     F: Fn(u64) -> SimMetrics + Sync,
 {
     let seeds: Vec<u64> = seeds.collect();
-    let threads = threads.max(1).min(seeds.len().max(1));
+    if seeds.is_empty() {
+        // `chunks(0)` below would panic; zero seeds is a valid request
+        // with an empty answer.
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(seeds.len());
+    let chunk = seeds.len().div_ceil(threads).max(1);
     let mut results: Vec<Option<SimMetrics>> = vec![None; seeds.len()];
     std::thread::scope(|scope| {
-        for (chunk_idx, (seed_chunk, result_chunk)) in seeds
-            .chunks(seeds.len().div_ceil(threads))
-            .zip(results.chunks_mut(seeds.len().div_ceil(threads)))
-            .enumerate()
-        {
+        for (seed_chunk, result_chunk) in seeds.chunks(chunk).zip(results.chunks_mut(chunk)) {
             let f = &f;
-            let _ = chunk_idx;
             scope.spawn(move || {
                 for (s, out) in seed_chunk.iter().zip(result_chunk.iter_mut()) {
                     *out = Some(f(*s));
@@ -89,7 +93,10 @@ where
             });
         }
     });
-    results.into_iter().map(|r| r.expect("all seeds ran")).collect()
+    results
+        .into_iter()
+        .map(|r| r.expect("all seeds ran"))
+        .collect()
 }
 
 /// Simulate an enforced-waits schedule under `num_seeds` seeds
@@ -136,7 +143,14 @@ mod tests {
     fn blast() -> PipelineSpec {
         PipelineSpecBuilder::new(128)
             .stage("s0", 287.0, GainModel::Bernoulli { p: 0.379 })
-            .stage("s1", 955.0, GainModel::CensoredPoisson { mean: 1.920, cap: 16 })
+            .stage(
+                "s1",
+                955.0,
+                GainModel::CensoredPoisson {
+                    mean: 1.920,
+                    cap: 16,
+                },
+            )
             .stage("s2", 402.0, GainModel::Bernoulli { p: 0.0332 })
             .stage("s3", 2753.0, GainModel::Deterministic { k: 1 })
             .build()
@@ -169,7 +183,9 @@ mod tests {
     fn report_statistics() {
         let p = blast();
         let params = RtParams::new(50.0, 1e5).unwrap();
-        let sched = MonolithicProblem::new(&p, params, 1.0, 1.0).solve().unwrap();
+        let sched = MonolithicProblem::new(&p, params, 1.0, 1.0)
+            .solve()
+            .unwrap();
         let cfg = SimConfig::quick(50.0, 0, 2_000);
         let r = run_seeds_monolithic(&p, &sched, 1e5, &cfg, 4);
         assert_eq!(r.runs.len(), 4);
@@ -186,5 +202,45 @@ mod tests {
         assert_eq!(r.miss_free_fraction(), 0.0);
         assert_eq!(r.mean_active_fraction(), 0.0);
         assert!(r.max_backlog_vectors().is_empty());
+    }
+
+    #[test]
+    fn zero_seeds_returns_empty_report() {
+        // Regression: `run_parallel` used to call `chunks(0)` (a panic)
+        // when asked for an empty seed range.
+        let p = blast();
+        let params = RtParams::new(10.0, 1e5).unwrap();
+        let sched = EnforcedWaitsProblem::new(&p, params, vec![1.0, 3.0, 9.0, 6.0])
+            .solve(SolveMethod::WaterFilling)
+            .unwrap();
+        let cfg = SimConfig::quick(10.0, 0, 100);
+        let r = run_seeds_enforced(&p, &sched, 1e5, &cfg, 0);
+        assert!(r.runs.is_empty());
+        assert_eq!(r.miss_free_fraction(), 0.0);
+    }
+
+    #[test]
+    fn max_backlog_vectors_spans_longest_run() {
+        // Reports mixing runs with different stage counts must not
+        // silently truncate to the first run's length.
+        let mk = |backlog: Vec<f64>| SimMetrics {
+            items_arrived: 1,
+            items_completed: 1,
+            items_dropped: 0,
+            deadline_misses: 0,
+            active_fraction: 0.5,
+            active_fraction_nonempty: 0.5,
+            latency: des::stats::OnlineStats::new(),
+            occupancy: vec![],
+            max_queue_depth: vec![],
+            max_backlog_vectors: backlog,
+            horizon: 1.0,
+            truncated: false,
+            obs: None,
+        };
+        let r = MultiSeedReport {
+            runs: vec![mk(vec![2.0]), mk(vec![1.0, 5.0, 3.0]), mk(vec![4.0, 0.5])],
+        };
+        assert_eq!(r.max_backlog_vectors(), vec![4.0, 5.0, 3.0]);
     }
 }

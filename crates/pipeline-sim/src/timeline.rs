@@ -77,8 +77,8 @@ pub fn record_timeline(
     let metrics = simulate_enforced(pipeline, schedule, deadline, config);
     let service = pipeline.service_times();
     let mut firings = Vec::new();
-    for node in 0..pipeline.len() {
-        let period = schedule.periods[node].round().max(service[node].round());
+    for (node, &svc) in service.iter().enumerate() {
+        let period = schedule.periods[node].round().max(svc.round());
         let mean_items =
             (metrics.occupancy[node].mean_occupancy() * pipeline.vector_width() as f64).round();
         let mut t = 0.0;
@@ -86,7 +86,7 @@ pub fn record_timeline(
             firings.push(Firing {
                 node,
                 start: t,
-                duration: service[node],
+                duration: svc,
                 items: mean_items as u32,
             });
             t += period;

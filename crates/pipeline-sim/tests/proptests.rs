@@ -2,7 +2,8 @@
 //! and metric sanity on randomized pipelines and schedules.
 
 use dataflow_model::{GainModel, PipelineSpec, PipelineSpecBuilder, RtParams};
-use pipeline_sim::{simulate_enforced, simulate_monolithic, SimConfig};
+use des::obs::ObsConfig;
+use pipeline_sim::{simulate_enforced, simulate_enforced_observed, simulate_monolithic, SimConfig};
 use proptest::prelude::*;
 use rtsdf_core::{EnforcedWaitsProblem, MonolithicSchedule, SolveMethod};
 
@@ -46,9 +47,11 @@ proptest! {
         let cfg = SimConfig::quick(tau0, seed, 500);
         let m = simulate_enforced(&p, &sched, d, &cfg);
         // Conservation: every arrived input resolves (the schedule is
-        // stable and the deadline generous).
+        // stable and the deadline generous), and the arrived count is
+        // always the sum of completions and drops.
         prop_assert!(!m.truncated);
         prop_assert_eq!(m.items_completed, m.items_arrived);
+        prop_assert_eq!(m.items_completed + m.items_dropped, m.items_arrived);
         prop_assert!(m.active_fraction > 0.0 && m.active_fraction <= 1.0 + 1e-9);
         prop_assert!(m.active_fraction_nonempty <= m.active_fraction + 1e-12);
         prop_assert!(m.latency.count() == m.items_arrived);
@@ -76,13 +79,48 @@ proptest! {
             latency_bound: 0.0,
             b: 1.0,
             s: 1.0,
+            telemetry: None,
         };
         let cfg = SimConfig::quick(tau0, seed, 700);
         let m = simulate_monolithic(&p, &sched, 1e18, &cfg);
         prop_assert!(!m.truncated);
         prop_assert_eq!(m.items_completed, 700);
+        prop_assert_eq!(m.items_completed + m.items_dropped, m.items_arrived);
         prop_assert_eq!(m.deadline_misses, 0);
         prop_assert!(m.active_fraction > 0.0 && m.active_fraction <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn observability_never_perturbs_the_run(
+        p in pipeline(),
+        seed in 0u64..200,
+    ) {
+        // The obs layer is measurement only: an observed run must report
+        // bit-identical metrics to a plain run, and its counters must
+        // obey the same conservation law as the metrics.
+        let xmin = rtsdf_core::minimal_periods(&p);
+        let tau0 = xmin[0] / p.vector_width() as f64 * 3.0;
+        let b: Vec<f64> = p.mean_gains().iter().map(|g| (g.ceil() + 2.0).max(3.0)).collect();
+        let min_d: f64 = xmin.iter().zip(&b).map(|(x, bi)| x * bi).sum();
+        let params = RtParams::new(tau0, min_d * 10.0).unwrap();
+        let sched = EnforcedWaitsProblem::new(&p, params, b)
+            .solve(SolveMethod::WaterFilling)
+            .unwrap();
+        let cfg = SimConfig::quick(tau0, seed, 300);
+        let plain = simulate_enforced(&p, &sched, params.deadline, &cfg);
+        let observed =
+            simulate_enforced_observed(&p, &sched, params.deadline, &cfg, ObsConfig::default());
+        prop_assert_eq!(plain.active_fraction, observed.active_fraction);
+        prop_assert_eq!(plain.deadline_misses, observed.deadline_misses);
+        prop_assert_eq!(plain.horizon, observed.horizon);
+        prop_assert_eq!(&plain.max_queue_depth, &observed.max_queue_depth);
+        let report = observed.obs.expect("report attached");
+        prop_assert_eq!(report.counters.completions, observed.items_completed);
+        prop_assert_eq!(report.counters.drops, observed.items_dropped);
+        // Everything enqueued is either consumed or still in a queue at
+        // the end of the run; with a stable schedule and generous
+        // deadline the queues drain completely.
+        prop_assert_eq!(report.counters.items_enqueued, report.counters.items_consumed);
     }
 
     #[test]
@@ -122,6 +160,7 @@ proptest! {
             backlog_factors: vec![1.0; p.len()],
             latency_bound: 0.0,
             method: SolveMethod::WaterFilling,
+            telemetry: None,
         };
         let cfg = SimConfig::quick(tau0, seed, 400);
         let fast = simulate_enforced(&p, &mk(1.0), 1e18, &cfg);

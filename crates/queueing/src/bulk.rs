@@ -79,11 +79,7 @@ impl BulkQueue {
                     next[q_next] += pq * pa;
                 }
             }
-            let delta: f64 = dist
-                .iter()
-                .zip(&next)
-                .map(|(a, b)| (a - b).abs())
-                .sum();
+            let delta: f64 = dist.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
             std::mem::swap(&mut dist, &mut next);
             if delta < 1e-12 {
                 break;
@@ -176,7 +172,9 @@ mod tests {
         // Simulate with inverse-CDF sampling (deterministic LCG).
         let mut state = 12345u64;
         let mut rand01 = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
         let sample = |u: f64| -> usize {

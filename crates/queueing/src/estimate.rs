@@ -102,7 +102,11 @@ pub fn estimate_backlog_factors(
     tau0: f64,
     config: &EstimateConfig,
 ) -> Vec<NodeEstimate> {
-    assert_eq!(periods.len(), pipeline.len(), "period vector length mismatch");
+    assert_eq!(
+        periods.len(),
+        pipeline.len(),
+        "period vector length mismatch"
+    );
     let v = pipeline.vector_width();
     let totals = pipeline.total_gains();
     let mut out = Vec::with_capacity(pipeline.len());
@@ -162,7 +166,14 @@ mod tests {
     fn blast() -> PipelineSpec {
         PipelineSpecBuilder::new(128)
             .stage("s0", 287.0, GainModel::Bernoulli { p: 0.379 })
-            .stage("s1", 955.0, GainModel::CensoredPoisson { mean: 1.920, cap: 16 })
+            .stage(
+                "s1",
+                955.0,
+                GainModel::CensoredPoisson {
+                    mean: 1.920,
+                    cap: 16,
+                },
+            )
             .stage("s2", 402.0, GainModel::Bernoulli { p: 0.0332 })
             .stage("s3", 2753.0, GainModel::Deterministic { k: 1 })
             .build()
@@ -175,11 +186,19 @@ mod tests {
         assert!((b[0] - 0.7).abs() < 1e-12 && (b[1] - 0.3).abs() < 1e-12);
         let d = gain_pmf(&GainModel::Deterministic { k: 3 }, 4);
         assert_eq!(d[3], 1.0);
-        let c = gain_pmf(&GainModel::CensoredPoisson { mean: 1.92, cap: 16 }, 64);
+        let c = gain_pmf(
+            &GainModel::CensoredPoisson {
+                mean: 1.92,
+                cap: 16,
+            },
+            64,
+        );
         assert!((c.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         assert!((pmf::mean(&c) - 1.92).abs() < 1e-3);
         let e = gain_pmf(
-            &GainModel::Empirical { pmf: vec![(0, 0.5), (2, 0.5)] },
+            &GainModel::Empirical {
+                pmf: vec![(0, 0.5), (2, 0.5)],
+            },
             4,
         );
         assert_eq!(e[0], 0.5);
@@ -203,7 +222,10 @@ mod tests {
         for e in &est {
             assert!(e.b >= 1.0);
             assert!(!e.saturated, "{est:?}");
-            assert!(e.b <= 8.0, "relaxed schedule should not need huge b: {est:?}");
+            assert!(
+                e.b <= 8.0,
+                "relaxed schedule should not need huge b: {est:?}"
+            );
         }
     }
 

@@ -49,8 +49,8 @@
 
 pub use apps;
 pub use blast;
-pub use des as engine;
 pub use dataflow_model as model;
+pub use des as engine;
 pub use pipeline_sim as sim;
 pub use queueing;
 pub use rtsdf_core as core;

@@ -67,7 +67,11 @@ impl<T> VectorBatch<T> {
     /// # Panics
     /// Panics if the batch is already full.
     pub fn push(&mut self, item: T) {
-        assert!(!self.is_full(), "batch already has {} lanes occupied", self.width);
+        assert!(
+            !self.is_full(),
+            "batch already has {} lanes occupied",
+            self.width
+        );
         self.items.push(item);
     }
 

@@ -201,7 +201,11 @@ impl Machine {
     /// # Panics
     /// Panics if more inputs than lanes are supplied, or a register
     /// index is out of range.
-    pub fn run(&self, program: &Program, inputs: &[Vec<LaneValue>]) -> (Vec<Vec<LaneValue>>, ExecStats) {
+    pub fn run(
+        &self,
+        program: &Program,
+        inputs: &[Vec<LaneValue>],
+    ) -> (Vec<Vec<LaneValue>>, ExecStats) {
         assert!(
             inputs.len() <= self.width as usize,
             "{} inputs for {} lanes",
@@ -243,7 +247,13 @@ fn exec_block(ops: &[Op], regs: &mut [Vec<LaneValue>], mask: &[bool], stats: &mu
                     }
                 }
             }
-            Op::Alu { dst, a, b, f, cycles } => {
+            Op::Alu {
+                dst,
+                a,
+                b,
+                f,
+                cycles,
+            } => {
                 stats.cycles += *cycles as u64;
                 stats.instructions += 1;
                 for (lane, r) in regs.iter_mut().enumerate() {
@@ -349,14 +359,27 @@ mod tests {
     #[test]
     fn straight_line_cost_is_lane_independent() {
         let p = prog(vec![
-            Op::SetImm { dst: 0, value: 1, cycles: 2 },
-            Op::Alu { dst: 1, a: 0, b: 0, f: AluFn::Add, cycles: 3 },
+            Op::SetImm {
+                dst: 0,
+                value: 1,
+                cycles: 2,
+            },
+            Op::Alu {
+                dst: 1,
+                a: 0,
+                b: 0,
+                f: AluFn::Add,
+                cycles: 3,
+            },
         ]);
         let m = Machine::new(8);
         let (_, one_lane) = m.run(&p, &[vec![0]]);
         let (_, eight_lanes) = m.run(&p, &(0..8).map(|i| vec![i]).collect::<Vec<_>>());
         assert_eq!(one_lane.cycles, 5);
-        assert_eq!(eight_lanes.cycles, 5, "SIMD cost must not depend on lane count");
+        assert_eq!(
+            eight_lanes.cycles, 5,
+            "SIMD cost must not depend on lane count"
+        );
         assert_eq!(one_lane.instructions, 2);
     }
 
@@ -383,7 +406,13 @@ mod tests {
 
     #[test]
     fn alu_computes_per_lane() {
-        let p = prog(vec![Op::Alu { dst: 2, a: 0, b: 1, f: AluFn::Add, cycles: 1 }]);
+        let p = prog(vec![Op::Alu {
+            dst: 2,
+            a: 0,
+            b: 1,
+            f: AluFn::Add,
+            cycles: 1,
+        }]);
         let m = Machine::new(4);
         let (regs, _) = m.run(&p, &[vec![1, 10], vec![2, 20]]);
         assert_eq!(regs[0][2], 11);
@@ -394,8 +423,16 @@ mod tests {
     fn divergent_branch_costs_both_sides() {
         let branch = |cond_reg| Op::If {
             cond: cond_reg,
-            then_ops: vec![Op::SetImm { dst: 1, value: 1, cycles: 10 }],
-            else_ops: vec![Op::SetImm { dst: 1, value: 2, cycles: 20 }],
+            then_ops: vec![Op::SetImm {
+                dst: 1,
+                value: 1,
+                cycles: 10,
+            }],
+            else_ops: vec![Op::SetImm {
+                dst: 1,
+                value: 2,
+                cycles: 20,
+            }],
         };
         let m = Machine::new(4);
         // All lanes take "then": cost 10, no divergence.
@@ -415,8 +452,16 @@ mod tests {
     fn branch_results_are_predicated() {
         let p = prog(vec![Op::If {
             cond: 0,
-            then_ops: vec![Op::SetImm { dst: 1, value: 100, cycles: 1 }],
-            else_ops: vec![Op::SetImm { dst: 1, value: 200, cycles: 1 }],
+            then_ops: vec![Op::SetImm {
+                dst: 1,
+                value: 100,
+                cycles: 1,
+            }],
+            else_ops: vec![Op::SetImm {
+                dst: 1,
+                value: 200,
+                cycles: 1,
+            }],
         }]);
         let (regs, _) = Machine::new(2).run(&p, &[vec![1], vec![0]]);
         assert_eq!(regs[0][1], 100);
@@ -427,10 +472,20 @@ mod tests {
     fn loop_cost_is_max_trip_count() {
         // r0 = per-lane trip count; body decrements r0 at 5 cycles/iter.
         let p = prog(vec![
-            Op::SetImm { dst: 1, value: 1, cycles: 0 },
+            Op::SetImm {
+                dst: 1,
+                value: 1,
+                cycles: 0,
+            },
             Op::While {
                 cond: 0,
-                body: vec![Op::Alu { dst: 0, a: 0, b: 1, f: AluFn::Sub, cycles: 5 }],
+                body: vec![Op::Alu {
+                    dst: 0,
+                    a: 0,
+                    b: 1,
+                    f: AluFn::Sub,
+                    cycles: 5,
+                }],
                 max_iters: 1000,
             },
         ]);
@@ -445,7 +500,11 @@ mod tests {
     fn loop_honours_safety_cap() {
         let p = prog(vec![Op::While {
             cond: 0,
-            body: vec![Op::SetImm { dst: 1, value: 1, cycles: 1 }], // never clears r0
+            body: vec![Op::SetImm {
+                dst: 1,
+                value: 1,
+                cycles: 1,
+            }], // never clears r0
             max_iters: 50,
         }]);
         let (_, s) = Machine::new(1).run(&p, &[vec![1]]);
@@ -456,7 +515,11 @@ mod tests {
     fn empty_branch_sides_are_skipped() {
         let p = prog(vec![Op::If {
             cond: 0,
-            then_ops: vec![Op::SetImm { dst: 1, value: 1, cycles: 10 }],
+            then_ops: vec![Op::SetImm {
+                dst: 1,
+                value: 1,
+                cycles: 10,
+            }],
             else_ops: vec![],
         }]);
         // No lane satisfies the condition → nothing issues.
@@ -467,7 +530,11 @@ mod tests {
 
     #[test]
     fn load_is_deterministic() {
-        let p = prog(vec![Op::Load { dst: 1, addr: 0, cycles: 8 }]);
+        let p = prog(vec![Op::Load {
+            dst: 1,
+            addr: 0,
+            cycles: 8,
+        }]);
         let m = Machine::new(1);
         let (r1, s) = m.run(&p, &[vec![42]]);
         let (r2, _) = m.run(&p, &[vec![42]]);
@@ -478,7 +545,11 @@ mod tests {
 
     #[test]
     fn zero_active_lanes_runs_for_free() {
-        let p = prog(vec![Op::SetImm { dst: 0, value: 1, cycles: 9 }]);
+        let p = prog(vec![Op::SetImm {
+            dst: 0,
+            value: 1,
+            cycles: 9,
+        }]);
         let (regs, s) = Machine::new(4).run(&p, &[]);
         assert!(regs.is_empty());
         // Straight-line ops still "issue" in this model (the node fires
@@ -503,7 +574,10 @@ mod tests {
             per_segment_cycles: 20,
             segment_size: 32,
         };
-        let p = Program { registers: 2, ops: vec![gather] };
+        let p = Program {
+            registers: 2,
+            ops: vec![gather],
+        };
         let m = Machine::new(32);
         // Coalesced: 32 consecutive addresses fit in one 32-unit segment.
         let coalesced: Vec<Vec<LaneValue>> = (0..32).map(|i| vec![i]).collect();
@@ -518,7 +592,10 @@ mod tests {
         // Negative addresses land in well-defined segments too.
         let negative: Vec<Vec<LaneValue>> = vec![vec![-1], vec![-32], vec![-33]];
         let (_, n) = m.run(&p, &negative);
-        assert_eq!(n.gather_segments, 2, "(-1,-32) share segment -1; -33 is segment -2");
+        assert_eq!(
+            n.gather_segments, 2,
+            "(-1,-32) share segment -1; -33 is segment -2"
+        );
     }
 
     #[test]
@@ -552,7 +629,11 @@ mod tests {
         };
         let l = Program {
             registers: 2,
-            ops: vec![Op::Load { dst: 1, addr: 0, cycles: 1 }],
+            ops: vec![Op::Load {
+                dst: 1,
+                addr: 0,
+                cycles: 1,
+            }],
         };
         let m = Machine::new(4);
         let (rg, _) = m.run(&g, &[vec![42], vec![7]]);
@@ -566,17 +647,39 @@ mod tests {
         let p = Program {
             registers: 5,
             ops: vec![
-                Op::SetImm { dst: 1, value: 1, cycles: 0 },
+                Op::SetImm {
+                    dst: 1,
+                    value: 1,
+                    cycles: 0,
+                },
                 Op::While {
                     cond: 0,
                     body: vec![
-                        Op::Alu { dst: 3, a: 0, b: 1, f: AluFn::And, cycles: 1 },
+                        Op::Alu {
+                            dst: 3,
+                            a: 0,
+                            b: 1,
+                            f: AluFn::And,
+                            cycles: 1,
+                        },
                         Op::If {
                             cond: 3,
-                            then_ops: vec![Op::Alu { dst: 2, a: 2, b: 0, f: AluFn::Add, cycles: 1 }],
+                            then_ops: vec![Op::Alu {
+                                dst: 2,
+                                a: 2,
+                                b: 0,
+                                f: AluFn::Add,
+                                cycles: 1,
+                            }],
                             else_ops: vec![],
                         },
-                        Op::Alu { dst: 0, a: 0, b: 1, f: AluFn::Sub, cycles: 1 },
+                        Op::Alu {
+                            dst: 0,
+                            a: 0,
+                            b: 1,
+                            f: AluFn::Sub,
+                            cycles: 1,
+                        },
                     ],
                     max_iters: 100,
                 },

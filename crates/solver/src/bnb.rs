@@ -48,7 +48,9 @@ pub fn minimize_bnb(
     let mut probe = |m: u64, best: &mut Option<IntOpt>, stats: &mut BnbStats| {
         stats.evaluations += 1;
         if let Some(v) = evaluate(m) {
-            let better = best.as_ref().is_none_or(|b| v < b.value || (v == b.value && m < b.arg));
+            let better = best
+                .as_ref()
+                .is_none_or(|b| v < b.value || (v == b.value && m < b.arg));
             if better {
                 *best = Some(IntOpt { arg: m, value: v });
             }
@@ -121,7 +123,13 @@ mod tests {
 
     #[test]
     fn handles_infeasible_regions() {
-        let f = |m: u64| if !(50..=80).contains(&m) { None } else { Some(m as f64) };
+        let f = |m: u64| {
+            if !(50..=80).contains(&m) {
+                None
+            } else {
+                Some(m as f64)
+            }
+        };
         let (best, _) = minimize_bnb(1, 200, f, |_, _| 0.0);
         assert_eq!(best.unwrap().arg, 50);
     }
@@ -142,7 +150,13 @@ mod tests {
     #[test]
     fn single_point_range() {
         let (best, _) = minimize_bnb(7, 7, |m| Some(m as f64 * 2.0), |_, _| 0.0);
-        assert_eq!(best.unwrap(), IntOpt { arg: 7, value: 14.0 });
+        assert_eq!(
+            best.unwrap(),
+            IntOpt {
+                arg: 7,
+                value: 14.0
+            }
+        );
     }
 
     #[test]

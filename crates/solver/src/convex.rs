@@ -78,6 +78,11 @@ pub struct Solution {
     pub gap: f64,
     /// Total Newton iterations used.
     pub newton_iters: usize,
+    /// Outer (centering) steps taken.
+    pub outer_iters: usize,
+    /// Barrier weight `t` at the start of each centering step — the μ
+    /// trajectory of the solve, for telemetry.
+    pub barrier_ts: Vec<f64>,
 }
 
 /// Why a solve failed.
@@ -100,10 +105,17 @@ impl fmt::Display for SolveError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SolveError::NotStrictlyFeasible(labels) => {
-                write!(f, "start point not strictly feasible for: {}", labels.join(", "))
+                write!(
+                    f,
+                    "start point not strictly feasible for: {}",
+                    labels.join(", ")
+                )
             }
             SolveError::Infeasible { violation } => {
-                write!(f, "constraints have empty interior (violation {violation:.3e})")
+                write!(
+                    f,
+                    "constraints have empty interior (violation {violation:.3e})"
+                )
             }
             SolveError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
         }
@@ -124,7 +136,11 @@ pub fn minimize(
     opts: &SolverOptions,
 ) -> Result<Solution, SolveError> {
     let n = problem.dim();
-    assert_eq!(constraints.dim(), n, "constraint/problem dimension mismatch");
+    assert_eq!(
+        constraints.dim(),
+        n,
+        "constraint/problem dimension mismatch"
+    );
     assert_eq!(x0.len(), n, "start point dimension mismatch");
 
     let bad: Vec<String> = constraints
@@ -141,14 +157,18 @@ pub fn minimize(
     let mut x = x0.to_vec();
     let mut t = opts.t0;
     let mut total_newton = 0usize;
+    let mut barrier_ts = Vec::new();
 
-    for _ in 0..opts.max_outer_iters {
+    for outer in 0..opts.max_outer_iters {
+        barrier_ts.push(t);
         total_newton += center(problem, constraints, &mut x, t, opts)?;
         if m / t < opts.tolerance {
             return Ok(Solution {
                 value: problem.value(&x),
                 gap: m / t,
                 newton_iters: total_newton,
+                outer_iters: outer + 1,
+                barrier_ts,
                 x,
             });
         }
@@ -159,6 +179,8 @@ pub fn minimize(
         value: problem.value(&x),
         gap: m / (t / opts.mu),
         newton_iters: total_newton,
+        outer_iters: opts.max_outer_iters,
+        barrier_ts,
         x,
     })
 }
@@ -215,7 +237,8 @@ fn center(
             }
             ridge = if ridge == 0.0 { 1e-12 } else { ridge * 100.0 };
         }
-        let mut d = d.ok_or_else(|| SolveError::Numerical("Hessian not positive definite".into()))?;
+        let mut d =
+            d.ok_or_else(|| SolveError::Numerical("Hessian not positive definite".into()))?;
         for di in d.iter_mut() {
             *di = -*di;
         }
@@ -370,7 +393,10 @@ mod tests {
             self.center.len()
         }
         fn value(&self, x: &[f64]) -> f64 {
-            x.iter().zip(&self.center).map(|(xi, ci)| (xi - ci).powi(2)).sum()
+            x.iter()
+                .zip(&self.center)
+                .map(|(xi, ci)| (xi - ci).powi(2))
+                .sum()
         }
         fn gradient(&self, x: &[f64], g: &mut [f64]) {
             for i in 0..x.len() {
@@ -410,7 +436,9 @@ mod tests {
     #[test]
     fn unconstrained_interior_minimum() {
         // Min of (x-1)² + (y-2)² inside a generous box: hits the center.
-        let p = Quadratic { center: vec![1.0, 2.0] };
+        let p = Quadratic {
+            center: vec![1.0, 2.0],
+        };
         let mut cs = ConstraintSet::new(2);
         cs.push_upper_bound(0, 100.0, "x ub");
         cs.push_upper_bound(1, 100.0, "y ub");
@@ -447,8 +475,18 @@ mod tests {
         let sol = minimize(&p, &cs, &[1.0, 1.0], &SolverOptions::default()).unwrap();
         let scale = b / (t[0].sqrt() + t[1].sqrt());
         let expect = [t[0].sqrt() * scale, t[1].sqrt() * scale];
-        assert!((sol.x[0] - expect[0]).abs() < 1e-4, "{:?} vs {:?}", sol.x, expect);
-        assert!((sol.x[1] - expect[1]).abs() < 1e-4, "{:?} vs {:?}", sol.x, expect);
+        assert!(
+            (sol.x[0] - expect[0]).abs() < 1e-4,
+            "{:?} vs {:?}",
+            sol.x,
+            expect
+        );
+        assert!(
+            (sol.x[1] - expect[1]).abs() < 1e-4,
+            "{:?} vs {:?}",
+            sol.x,
+            expect
+        );
     }
 
     #[test]
@@ -507,7 +545,9 @@ mod tests {
 
     #[test]
     fn solution_respects_all_constraints() {
-        let p = Reciprocal { t: vec![287.0, 955.0, 402.0, 2753.0] };
+        let p = Reciprocal {
+            t: vec![287.0, 955.0, 402.0, 2753.0],
+        };
         let mut cs = ConstraintSet::new(4);
         cs.push(vec![1.0, 3.0, 9.0, 6.0], 2e5, "deadline");
         for (i, t) in [287.0, 955.0, 402.0, 2753.0].iter().enumerate() {
@@ -517,7 +557,10 @@ mod tests {
         let x0 = vec![300.0, 1000.0, 450.0, 2800.0];
         let sol = minimize(&p, &cs, &x0, &SolverOptions::default()).unwrap();
         assert!(cs.is_feasible(&sol.x, 1e-6), "{:?}", sol.x);
-        assert!(sol.value < p.value(&x0), "optimizer should improve on start");
+        assert!(
+            sol.value < p.value(&x0),
+            "optimizer should improve on start"
+        );
     }
 
     #[test]

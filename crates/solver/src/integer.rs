@@ -134,7 +134,13 @@ mod tests {
     #[test]
     fn unimodal_handles_plateau_via_slop() {
         // Flat bottom of width 6 with the true edge at 40.
-        let f = |m: u64| Some(if (40..46).contains(&m) { 1.0 } else { (m as f64 - 43.0).abs() });
+        let f = |m: u64| {
+            Some(if (40..46).contains(&m) {
+                1.0
+            } else {
+                (m as f64 - 43.0).abs()
+            })
+        };
         let opt = minimize_unimodal(1, 100, 8, f).unwrap();
         assert_eq!(opt.arg, 40);
     }

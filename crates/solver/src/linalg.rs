@@ -87,9 +87,9 @@ impl Mat {
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "dimension mismatch");
         let mut y = vec![0.0; self.rows];
-        for i in 0..self.rows {
+        for (i, yi) in y.iter_mut().enumerate() {
             let row = &self.data[i * self.cols..(i + 1) * self.cols];
-            y[i] = dot(row, x);
+            *yi = dot(row, x);
         }
         y
     }
@@ -243,7 +243,9 @@ mod tests {
         let mut v = 1u64;
         for i in 0..n {
             for j in 0..n {
-                v = v.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                v = v
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 b[(i, j)] = ((v >> 33) as f64 / (1u64 << 31) as f64) - 0.5;
             }
         }

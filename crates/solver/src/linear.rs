@@ -111,7 +111,11 @@ impl ConstraintSet {
             .iter()
             .map(|c| -c.slack(x))
             .fold(0.0_f64.min(f64::NEG_INFINITY), f64::max)
-            .max(if self.constraints.is_empty() { 0.0 } else { f64::NEG_INFINITY })
+            .max(if self.constraints.is_empty() {
+                0.0
+            } else {
+                f64::NEG_INFINITY
+            })
     }
 
     /// Constraints violated at `x` beyond tolerance, for diagnostics.
@@ -139,7 +143,10 @@ mod tests {
         assert!(cs.is_feasible(&[4.0, 2.0], 0.0));
         assert!(!cs.is_feasible(&[6.0, 2.0], 0.0));
         assert!(!cs.is_feasible(&[4.0, 0.5], 0.0));
-        assert!(cs.is_feasible(&[5.0 + 1e-9, 1.0], 1e-6), "tolerance accepted");
+        assert!(
+            cs.is_feasible(&[5.0 + 1e-9, 1.0], 1e-6),
+            "tolerance accepted"
+        );
     }
 
     #[test]

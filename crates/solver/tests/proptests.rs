@@ -16,7 +16,10 @@ impl ConvexProblem for Quadratic {
         self.center.len()
     }
     fn value(&self, x: &[f64]) -> f64 {
-        x.iter().zip(&self.center).map(|(xi, ci)| (xi - ci).powi(2)).sum()
+        x.iter()
+            .zip(&self.center)
+            .map(|(xi, ci)| (xi - ci).powi(2))
+            .sum()
     }
     fn gradient(&self, x: &[f64], g: &mut [f64]) {
         for i in 0..x.len() {

@@ -25,7 +25,10 @@ fn main() {
     println!("equal-share (paper) minimum feasible deadline: {equal_min:.0} cycles");
     println!();
 
-    println!("{:>9}  {:>14}  {:>16}  {:>30}", "D", "equal shares", "flexible shares", "flexible share split");
+    println!(
+        "{:>9}  {:>14}  {:>16}  {:>30}",
+        "D", "equal shares", "flexible shares", "flexible share split"
+    );
     for d in [1.7e4, 2.0e4, equal_min * 1.02, 3e4, 6e4, 1.5e5] {
         let params = RtParams::new(tau0, d).unwrap();
         let prob = FlexibleSharesProblem::new(&pipeline, params, b.clone());
@@ -54,9 +57,7 @@ fn main() {
         .solve()
         .expect("feasible for flexible shares");
     println!();
-    println!(
-        "at D = {d:.0} (below the equal-share minimum!) the flexible design gives each"
-    );
+    println!("at D = {d:.0} (below the equal-share minimum!) the flexible design gives each");
     println!(
         "stage exactly its period as service time; shares: {:?}",
         sched
@@ -73,6 +74,7 @@ fn main() {
         backlog_factors: b,
         latency_bound: sched.latency_bound,
         method: SolveMethod::WaterFilling,
+        telemetry: None,
     };
     let report = run_seeds_enforced(
         &realized,

@@ -23,7 +23,10 @@ fn main() {
     // stream of synthetic photon events.
     let config = GammaConfig::default();
     let pipeline = synthesize(&config, 2024).expect("valid pipeline");
-    println!("gamma-ray pipeline (gains measured over {} events):", config.events);
+    println!(
+        "gamma-ray pipeline (gains measured over {} events):",
+        config.events
+    );
     for (node, g_total) in pipeline.nodes().iter().zip(pipeline.total_gains()) {
         println!(
             "  {:<14} t = {:>6.0}  g = {:.4}  (traffic per photon: {:.4})",
@@ -41,11 +44,11 @@ fn main() {
     // Calibrate backlog factors empirically (§6.2 methodology).
     println!();
     println!("calibrating backlog factors empirically...");
-    let calib = calibrate_enforced(
-        &pipeline,
-        &CalibrationConfig::quick(vec![params]),
+    let calib = calibrate_enforced(&pipeline, &CalibrationConfig::quick(vec![params]));
+    println!(
+        "  empirical b = {:?} (converged: {})",
+        calib.b, calib.converged
     );
-    println!("  empirical b = {:?} (converged: {})", calib.b, calib.converged);
 
     // Schedule with the calibrated factors.
     let sched = EnforcedWaitsProblem::new(&pipeline, params, calib.b.clone())
@@ -60,7 +63,12 @@ fn main() {
 
     // A-priori estimate from bulk-service queueing theory (the paper's
     // future work, §7) for comparison.
-    let est = estimate_backlog_factors(&pipeline, &sched.periods, params.tau0, &EstimateConfig::default());
+    let est = estimate_backlog_factors(
+        &pipeline,
+        &sched.periods,
+        params.tau0,
+        &EstimateConfig::default(),
+    );
     println!(
         "  a-priori queueing-theory b = {:?}",
         est.iter().map(|e| e.b).collect::<Vec<_>>()

@@ -19,7 +19,10 @@ use rtsdf::prelude::*;
 fn main() {
     let config = IdsConfig::default();
     let pipeline = synthesize(&config, 7).expect("valid pipeline");
-    println!("IDS cascade (gains measured over {} packets):", config.packets);
+    println!(
+        "IDS cascade (gains measured over {} packets):",
+        config.packets
+    );
     for node in pipeline.nodes() {
         println!(
             "  {:<14} t = {:>6.0}  g = {:.4}",
@@ -39,11 +42,7 @@ fn main() {
     println!(
         "enforced waits: active fraction {:.4} (waits {:?})",
         enforced.active_fraction,
-        enforced
-            .waits
-            .iter()
-            .map(|w| w.round())
-            .collect::<Vec<_>>()
+        enforced.waits.iter().map(|w| w.round()).collect::<Vec<_>>()
     );
 
     // The monolithic strategy under increasing worst-case scale S: the

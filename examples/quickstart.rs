@@ -25,8 +25,15 @@ fn main() {
 
     // Operating point: one item every 30 cycles, 40 000-cycle deadline.
     let params = RtParams::new(30.0, 4e4).expect("valid parameters");
-    println!("pipeline: {} stages, v = {}", pipeline.len(), pipeline.vector_width());
-    println!("operating point: tau0 = {}, D = {}", params.tau0, params.deadline);
+    println!(
+        "pipeline: {} stages, v = {}",
+        pipeline.len(),
+        pipeline.vector_width()
+    );
+    println!(
+        "operating point: tau0 = {}, D = {}",
+        params.tau0, params.deadline
+    );
     println!();
 
     // --- Strategy 1: enforced waits (the paper's contribution) -------
@@ -39,7 +46,10 @@ fn main() {
     for (i, (w, x)) in enforced.waits.iter().zip(&enforced.periods).enumerate() {
         println!("  node {i}: wait {w:8.1} cycles  (fires every {x:8.1})");
     }
-    println!("  predicted active fraction: {:.4}", enforced.active_fraction);
+    println!(
+        "  predicted active fraction: {:.4}",
+        enforced.active_fraction
+    );
 
     // Certify optimality via the KKT conditions — an independent check
     // on whichever solver produced the schedule.
@@ -56,7 +66,10 @@ fn main() {
         .expect("feasible operating point");
     println!("monolithic baseline:");
     println!("  block size M = {}", monolithic.block_size);
-    println!("  predicted active fraction: {:.4}", monolithic.active_fraction);
+    println!(
+        "  predicted active fraction: {:.4}",
+        monolithic.active_fraction
+    );
     println!();
 
     // --- Validate in simulation --------------------------------------

@@ -1,0 +1,289 @@
+//! Offline vendored subset of the `criterion` benchmarking API.
+//!
+//! Provides `Criterion`, `criterion_group!` / `criterion_main!`,
+//! `Bencher::{iter, iter_batched}`, benchmark groups with `throughput`,
+//! and `black_box`. Measurement is a simple calibrated loop (warm-up,
+//! then timed batches) reporting mean / min wall time per iteration —
+//! far simpler than the real criterion's statistics, but adequate for
+//! the relative comparisons this workspace's benches make, and fully
+//! offline.
+//!
+//! Environment knobs:
+//! * `CRITERION_MEASURE_MS` — target measurement window per benchmark
+//!   in milliseconds (default 300).
+//! * `CRITERION_FILTER` — only run benchmarks whose id contains this
+//!   substring (the real binary's positional filter is also honored).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost. The shim times each routine
+/// invocation individually, so the variants behave identically; the
+/// type exists for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Declared throughput of a benchmark, folded into the report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing collector handed to `bench_function` closures.
+pub struct Bencher {
+    target: Duration,
+    /// (total elapsed, iterations) accumulated by the measurement loop.
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(target: Duration) -> Self {
+        Bencher {
+            target,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Time `routine` repeatedly until the measurement window is full.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + calibration: find an iteration count that takes a
+        // measurable slice of the window.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let budget = self.target;
+        let rounds = (budget.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        for _ in 0..rounds {
+            let t = Instant::now();
+            black_box(routine());
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time is not
+    /// counted.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let t0 = Instant::now();
+        black_box(routine(input));
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let rounds = (self.target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        for _ in 0..rounds {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    fn report(&self) -> Option<(Duration, Duration, usize)> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        let min = *self.samples.iter().min().expect("non-empty");
+        Some((mean, min, self.samples.len()))
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    target: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = std::env::var("CRITERION_MEASURE_MS")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(300);
+        // Accept either the env knob or the conventional positional
+        // filter argument (skipping flags such as `--bench`).
+        let filter = std::env::var("CRITERION_FILTER")
+            .ok()
+            .or_else(|| std::env::args().skip(1).find(|a| !a.starts_with('-')));
+        Criterion {
+            target: Duration::from_millis(ms),
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Run one benchmark and print its timing line.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher::new(self.target);
+        f(&mut b);
+        match b.report() {
+            Some((mean, min, n)) => {
+                println!(
+                    "bench {id:<40} mean {:>12}  min {:>12}  ({n} iters)",
+                    fmt_duration(mean),
+                    fmt_duration(min)
+                );
+            }
+            None => println!("bench {id:<40} (no samples)"),
+        }
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// API-compatibility no-op (the shim configures via env vars).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing throughput metadata.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        if let Some(Throughput::Elements(n) | Throughput::Bytes(n)) = self.throughput {
+            self.criterion.bench_function(format!("{full} (x{n})"), f);
+        } else {
+            self.criterion.bench_function(full, f);
+        }
+        self
+    }
+
+    /// Finish the group (printing is immediate, so this is a no-op).
+    pub fn finish(self) {}
+
+    /// API-compatibility no-op.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// API-compatibility knob: scales the measurement window.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.target = d;
+        self
+    }
+}
+
+/// Bundle benchmark functions into a group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        std::env::set_var("CRITERION_MEASURE_MS", "5");
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn groups_and_batched_iter_work() {
+        std::env::set_var("CRITERION_MEASURE_MS", "5");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(4));
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64, 2, 3, 4],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+    }
+}

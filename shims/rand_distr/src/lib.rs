@@ -1,0 +1,89 @@
+//! Offline vendored subset of `rand_distr`: the [`Distribution`] trait
+//! and the [`Poisson`] distribution (the only one this workspace uses).
+
+use rand::{Rng, RngCore};
+
+/// A distribution that can be sampled with any [`RngCore`].
+pub trait Distribution<T> {
+    /// Draw one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error building a distribution from invalid parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoissonError;
+
+impl core::fmt::Display for PoissonError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("lambda must be finite and > 0")
+    }
+}
+
+impl std::error::Error for PoissonError {}
+
+/// Poisson distribution with rate `lambda`, sampled as `f64` counts
+/// (matching `rand_distr::Poisson<f64>`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Create a Poisson distribution; `lambda` must be finite and `> 0`.
+    pub fn new(lambda: f64) -> Result<Poisson, PoissonError> {
+        if lambda.is_finite() && lambda > 0.0 {
+            Ok(Poisson { lambda })
+        } else {
+            Err(PoissonError)
+        }
+    }
+}
+
+impl Distribution<f64> for Poisson {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.lambda < 30.0 {
+            // Knuth's product-of-uniforms method; exact and fast for the
+            // small means this workspace uses (BLAST extend stage ~1.9).
+            let limit = (-self.lambda).exp();
+            let mut count = 0u64;
+            let mut prod: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            while prod > limit {
+                count += 1;
+                prod *= rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            }
+            count as f64
+        } else {
+            // Normal approximation with continuity correction for large
+            // lambda (not exercised by the paper pipelines, kept sane).
+            let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            let v: f64 = rng.gen();
+            let z = (-2.0 * u.ln()).sqrt() * (2.0 * core::f64::consts::PI * v).cos();
+            (self.lambda + self.lambda.sqrt() * z).round().max(0.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_lambda() {
+        assert!(Poisson::new(0.0).is_err());
+        assert!(Poisson::new(-1.0).is_err());
+        assert!(Poisson::new(f64::NAN).is_err());
+        assert!(Poisson::new(1.9).is_ok());
+    }
+
+    #[test]
+    fn small_lambda_mean_matches() {
+        let p = Poisson::new(1.92).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| p.sample(&mut rng)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 1.92).abs() < 0.02, "mean {mean}");
+    }
+}

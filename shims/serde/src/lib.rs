@@ -1,0 +1,688 @@
+//! Offline vendored serde facade.
+//!
+//! The build environment has no crates.io access, so this workspace
+//! vendors a minimal serde-compatible surface: `#[derive(Serialize,
+//! Deserialize)]` (re-exported from the sibling `serde_derive` proc
+//! macro) and the [`Serialize`] / [`Deserialize`] traits, defined
+//! directly over an in-memory JSON [`Value`] tree instead of the real
+//! serde's visitor architecture. The `serde_json` shim builds its
+//! `to_string` / `from_str` / `json!` API on top of this tree.
+//!
+//! Only the shapes this repository actually derives are supported:
+//! named-field structs (optionally generic), newtype structs, and enums
+//! with unit / newtype / struct variants, encoded with serde's
+//! externally-tagged convention.
+
+use core::fmt;
+
+/// Error produced by serialization or deserialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Build an error from any message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// An order-preserving string-keyed map (what `serde_json::Map` is to
+/// `serde_json::Value`).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// Empty map.
+    pub fn new() -> Self {
+        Map::default()
+    }
+
+    /// Insert, replacing any existing entry with the same key.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(core::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// Look up a key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Whether the key is present.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Keys in insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = &String> {
+        self.entries.iter().map(|(k, _)| k)
+    }
+
+    /// Values in insertion order.
+    pub fn values(&self) -> impl Iterator<Item = &Value> {
+        self.entries.iter().map(|(_, v)| v)
+    }
+}
+
+impl FromIterator<(String, Value)> for Map {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+        let mut m = Map::new();
+        for (k, v) in iter {
+            m.insert(k, v);
+        }
+        m
+    }
+}
+
+impl IntoIterator for Map {
+    type Item = (String, Value);
+    type IntoIter = std::vec::IntoIter<(String, Value)>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+/// An in-memory JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Signed integer (negative integers parse here).
+    I64(i64),
+    /// Unsigned integer (nonnegative integers parse here).
+    U64(u64),
+    /// Floating-point number; non-finite values serialize as `null`.
+    F64(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object with insertion-ordered keys.
+    Object(Map),
+}
+
+impl Value {
+    /// Numeric view as `f64`, if this is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::I64(x) => Some(x as f64),
+            Value::U64(x) => Some(x as f64),
+            Value::F64(x) => Some(x),
+            _ => None,
+        }
+    }
+
+    /// Unsigned view, if losslessly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(x) => Some(x),
+            Value::I64(x) if x >= 0 => Some(x as u64),
+            Value::F64(x) if x >= 0.0 && x.fract() == 0.0 && x <= u64::MAX as f64 => Some(x as u64),
+            _ => None,
+        }
+    }
+
+    /// Signed view, if losslessly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::I64(x) => Some(x),
+            Value::U64(x) if x <= i64::MAX as u64 => Some(x as i64),
+            Value::F64(x) if x.fract() == 0.0 && x.abs() <= i64::MAX as f64 => Some(x as i64),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Object view.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Object member lookup (`None` for non-objects / missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+
+    /// Write compact JSON into `out`.
+    pub fn write_compact(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::I64(x) => out.push_str(&x.to_string()),
+            Value::U64(x) => out.push_str(&x.to_string()),
+            Value::F64(x) => write_f64(*x, out),
+            Value::String(s) => write_escaped(s, out),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write_compact(out);
+                }
+                out.push(']');
+            }
+            Value::Object(m) => {
+                out.push('{');
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Write pretty JSON (2-space indent) into `out`.
+    pub fn write_pretty(&self, out: &mut String, indent: usize) {
+        const STEP: usize = 2;
+        match self {
+            Value::Array(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(out, indent + STEP);
+                    v.write_pretty(out, indent + STEP);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Value::Object(m) if !m.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(out, indent + STEP);
+                    write_escaped(k, out);
+                    out.push_str(": ");
+                    v.write_pretty(out, indent + STEP);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+            other => other.write_compact(out),
+        }
+    }
+}
+
+fn push_indent(out: &mut String, n: usize) {
+    for _ in 0..n {
+        out.push(' ');
+    }
+}
+
+fn write_f64(x: f64, out: &mut String) {
+    if x.is_finite() {
+        // `{:?}` prints the shortest representation that round-trips,
+        // and always includes a decimal point or exponent.
+        out.push_str(&format!("{x:?}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        self.write_compact(&mut s);
+        f.write_str(&s)
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    /// Member access; returns `Null` for non-objects / missing keys,
+    /// like `serde_json`.
+    fn index(&self, key: &str) -> &Value {
+        static NULL: Value = Value::Null;
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        static NULL: Value = Value::Null;
+        self.as_array().and_then(|a| a.get(idx)).unwrap_or(&NULL)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::String(s)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::String(s.to_string())
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Value {
+        Value::F64(x)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(x: u64) -> Value {
+        Value::U64(x)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(x: i64) -> Value {
+        Value::I64(x)
+    }
+}
+
+/// Convert a value into the JSON [`Value`] tree.
+pub trait Serialize {
+    /// Serialize `self` as a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstruct a value from the JSON [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Deserialize from a [`Value`], with a descriptive error on shape
+    /// mismatch.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool()
+            .ok_or_else(|| Error::custom(format!("expected bool, got {v}")))
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let x = v
+                    .as_u64()
+                    .ok_or_else(|| Error::custom(format!("expected unsigned integer, got {v}")))?;
+                <$t>::try_from(x)
+                    .map_err(|_| Error::custom(format!("integer {x} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let x = v
+                    .as_i64()
+                    .ok_or_else(|| Error::custom(format!("expected integer, got {v}")))?;
+                <$t>::try_from(x)
+                    .map_err(|_| Error::custom(format!("integer {x} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(f64::NAN),
+            _ => v
+                .as_f64()
+                .ok_or_else(|| Error::custom(format!("expected number, got {v}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::custom(format!("expected string, got {v}")))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| Error::custom(format!("expected single-char string, got {v}")))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom(format!(
+                "expected single-char string, got {v}"
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::custom(format!("expected array, got {v}")))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        let got = items.len();
+        items
+            .try_into()
+            .map_err(|_| Error::custom(format!("expected array of {N} elements, got {got}")))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let a = v
+                    .as_array()
+                    .ok_or_else(|| Error::custom(format!("expected tuple array, got {v}")))?;
+                let expected = [$($n),+].len();
+                if a.len() != expected {
+                    return Err(Error::custom(format!(
+                        "expected array of {expected} elements, got {}",
+                        a.len()
+                    )));
+                }
+                Ok(($($t::from_value(&a[$n])?,)+))
+            }
+        }
+    )*};
+}
+impl_serde_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl Serialize for Map {
+    fn to_value(&self) -> Value {
+        Value::Object(self.clone())
+    }
+}
+
+impl Deserialize for Map {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_object()
+            .cloned()
+            .ok_or_else(|| Error::custom(format!("expected object, got {v}")))
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let m = v
+            .as_object()
+            .ok_or_else(|| Error::custom(format!("expected object, got {v}")))?;
+        m.iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        // Sort keys so output is deterministic.
+        let mut keys: Vec<&String> = self.keys().collect();
+        keys.sort();
+        Value::Object(
+            keys.into_iter()
+                .map(|k| (k.clone(), self[k].to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let m = v
+            .as_object()
+            .ok_or_else(|| Error::custom(format!("expected object, got {v}")))?;
+        m.iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}

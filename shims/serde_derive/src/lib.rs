@@ -1,0 +1,525 @@
+//! Offline vendored `#[derive(Serialize, Deserialize)]`.
+//!
+//! The real `serde_derive` needs `syn`/`quote`, which are unavailable in
+//! this offline build environment, so this crate parses the item's token
+//! stream by hand and emits impls of the shim `serde::Serialize` /
+//! `serde::Deserialize` traits (which operate on `serde::Value`).
+//!
+//! Supported shapes — exactly what this workspace derives:
+//! * structs with named fields (optionally with simple type generics),
+//! * newtype / tuple structs,
+//! * enums whose variants are unit, newtype, tuple, or struct-like,
+//!   encoded with serde's externally-tagged convention.
+//!
+//! `#[serde(...)]` attributes are not supported and are rejected loudly
+//! rather than silently ignored.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Item {
+    /// Named-field struct: field identifiers in declaration order.
+    Struct {
+        name: String,
+        generics: Vec<String>,
+        fields: Vec<String>,
+    },
+    /// Tuple struct with `arity` unnamed fields.
+    TupleStruct {
+        name: String,
+        generics: Vec<String>,
+        arity: usize,
+    },
+    Enum {
+        name: String,
+        generics: Vec<String>,
+        variants: Vec<Variant>,
+    },
+}
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, found {other}"),
+    };
+    i += 1;
+
+    let generics = parse_generics(&tokens, &mut i);
+
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Struct {
+                name,
+                generics,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    generics,
+                    arity: count_tuple_fields(g.stream()),
+                }
+            }
+            other => panic!("unsupported struct body for {name}: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                generics,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("expected enum body for {name}, found {other:?}"),
+        },
+        other => panic!("cannot derive serde traits for `{other}` items"),
+    }
+}
+
+/// Skip outer attributes (including doc comments) and visibility
+/// qualifiers. Rejects `#[serde(...)]`, which this shim cannot honor.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+                    let inner = g.stream().to_string();
+                    if inner.starts_with("serde") {
+                        panic!("#[serde(...)] attributes are not supported by the vendored serde_derive shim: {inner}");
+                    }
+                }
+                *i += 2; // `#` + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // pub(crate) / pub(in ...)
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parse `<T, U>` after a type name; returns the parameter identifiers.
+/// Bounds, defaults, lifetimes and const generics are not supported
+/// (nothing in this workspace derives serde on such types).
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Vec<String> {
+    let mut params = Vec::new();
+    match tokens.get(*i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            *i += 1;
+        }
+        _ => return params,
+    }
+    let mut depth = 1usize;
+    let mut expecting_param = true;
+    while depth > 0 {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 1 => {
+                expecting_param = true;
+            }
+            Some(TokenTree::Ident(id)) if expecting_param && depth == 1 => {
+                params.push(id.to_string());
+                expecting_param = false;
+            }
+            Some(_) => {}
+            None => panic!("unterminated generics"),
+        }
+        *i += 1;
+    }
+    params
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected field name, found {other}"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field `{name}`, found {other}"),
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(name);
+        // Trailing comma, if any.
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+    fields
+}
+
+/// Advance past one type, stopping at a top-level `,` (angle-bracket
+/// depth aware; parenthesized/bracketed types arrive as single groups).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth = 0usize;
+    while let Some(t) = tokens.get(*i) {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth = depth.saturating_sub(1);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return,
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut i);
+        count += 1;
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected variant name, found {other}"),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Struct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == '=' {
+                panic!("enum discriminants are not supported by the serde_derive shim");
+            }
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+fn impl_header(trait_name: &str, name: &str, generics: &[String]) -> String {
+    if generics.is_empty() {
+        format!("impl ::serde::{trait_name} for {name}")
+    } else {
+        let bounded: Vec<String> = generics
+            .iter()
+            .map(|g| format!("{g}: ::serde::{trait_name}"))
+            .collect();
+        format!(
+            "impl<{}> ::serde::{trait_name} for {name}<{}>",
+            bounded.join(", "),
+            generics.join(", ")
+        )
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct {
+            name,
+            generics,
+            fields,
+        } => {
+            let mut body = String::from("let mut m = ::serde::Map::new();\n");
+            for f in fields {
+                body.push_str(&format!(
+                    "m.insert(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}));\n"
+                ));
+            }
+            body.push_str("::serde::Value::Object(m)");
+            format!(
+                "{} {{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}",
+                impl_header("Serialize", name, generics)
+            )
+        }
+        Item::TupleStruct {
+            name,
+            generics,
+            arity,
+        } => {
+            let body = match arity {
+                0 => "::serde::Value::Null".to_string(),
+                1 => "::serde::Serialize::to_value(&self.0)".to_string(),
+                n => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                }
+            };
+            format!(
+                "{} {{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}",
+                impl_header("Serialize", name, generics)
+            )
+        }
+        Item::Enum {
+            name,
+            generics,
+            variants,
+        } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantShape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(x0) => {{ let mut m = ::serde::Map::new(); \
+                         m.insert(\"{vn}\".to_string(), ::serde::Serialize::to_value(x0)); \
+                         ::serde::Value::Object(m) }}\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("x{k}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => {{ let mut m = ::serde::Map::new(); \
+                             m.insert(\"{vn}\".to_string(), ::serde::Value::Array(vec![{}])); \
+                             ::serde::Value::Object(m) }}\n",
+                            binds.join(", "),
+                            elems.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binds = fields.join(", ");
+                        let mut inner = String::from("let mut fm = ::serde::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "fm.insert(\"{f}\".to_string(), ::serde::Serialize::to_value({f}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{ {inner} \
+                             let mut m = ::serde::Map::new(); \
+                             m.insert(\"{vn}\".to_string(), ::serde::Value::Object(fm)); \
+                             ::serde::Value::Object(m) }}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "{} {{ fn to_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }} }}",
+                impl_header("Serialize", name, generics)
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct {
+            name,
+            generics,
+            fields,
+        } => {
+            let mut body = format!(
+                "let m = v.as_object().ok_or_else(|| ::serde::Error::custom(\
+                 format!(\"expected object for {name}, got {{v}}\")))?;\n"
+            );
+            let mut ctor = String::new();
+            for f in fields {
+                ctor.push_str(&format!(
+                    "{f}: ::serde::Deserialize::from_value(\
+                     m.get(\"{f}\").unwrap_or(&::serde::Value::Null))\
+                     .map_err(|e| ::serde::Error::custom(format!(\"{name}.{f}: {{e}}\")))?,\n"
+                ));
+            }
+            body.push_str(&format!("Ok({name} {{ {ctor} }})"));
+            format!(
+                "{} {{ fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{ {body} }} }}",
+                impl_header("Deserialize", name, generics)
+            )
+        }
+        Item::TupleStruct {
+            name,
+            generics,
+            arity,
+        } => {
+            let body = match arity {
+                0 => format!("let _ = v; Ok({name})"),
+                1 => format!("Ok({name}(::serde::Deserialize::from_value(v)?))"),
+                n => {
+                    let mut b = format!(
+                        "let a = v.as_array().ok_or_else(|| ::serde::Error::custom(\
+                         format!(\"expected array for {name}, got {{v}}\")))?;\n\
+                         if a.len() != {n} {{ return Err(::serde::Error::custom(\
+                         format!(\"expected {n} elements for {name}, got {{}}\", a.len()))); }}\n"
+                    );
+                    let elems: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Deserialize::from_value(&a[{k}])?"))
+                        .collect();
+                    b.push_str(&format!("Ok({name}({}))", elems.join(", ")));
+                    b
+                }
+            };
+            format!(
+                "{} {{ fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{ {body} }} }}",
+                impl_header("Deserialize", name, generics)
+            )
+        }
+        Item::Enum {
+            name,
+            generics,
+            variants,
+        } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => return Ok({name}::{vn}),\n"));
+                    }
+                    VariantShape::Tuple(1) => {
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => return Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_value(inner)?)),\n"
+                        ));
+                    }
+                    VariantShape::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::from_value(&a[{k}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{ let a = inner.as_array().ok_or_else(|| \
+                             ::serde::Error::custom(format!(\"expected array for {name}::{vn}\")))?; \
+                             if a.len() != {n} {{ return Err(::serde::Error::custom(format!(\
+                             \"expected {n} elements for {name}::{vn}, got {{}}\", a.len()))); }} \
+                             return Ok({name}::{vn}({})); }}\n",
+                            elems.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let mut ctor = String::new();
+                        for f in fields {
+                            ctor.push_str(&format!(
+                                "{f}: ::serde::Deserialize::from_value(\
+                                 fm.get(\"{f}\").unwrap_or(&::serde::Value::Null))\
+                                 .map_err(|e| ::serde::Error::custom(\
+                                 format!(\"{name}::{vn}.{f}: {{e}}\")))?,\n"
+                            ));
+                        }
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{ let fm = inner.as_object().ok_or_else(|| \
+                             ::serde::Error::custom(format!(\"expected object for {name}::{vn}\")))?; \
+                             return Ok({name}::{vn} {{ {ctor} }}); }}\n"
+                        ));
+                    }
+                }
+            }
+            let body = format!(
+                "if let Some(tag) = v.as_str() {{ match tag {{ {unit_arms} \
+                 other => return Err(::serde::Error::custom(format!(\
+                 \"unknown {name} variant: {{other}}\"))), }} }}\n\
+                 if let Some(m) = v.as_object() {{ \
+                 if m.len() == 1 {{ \
+                 let (tag, inner) = m.iter().next().expect(\"len checked\"); \
+                 match tag.as_str() {{ {tagged_arms} \
+                 other => return Err(::serde::Error::custom(format!(\
+                 \"unknown {name} variant: {{other}}\"))), }} }} }}\n\
+                 Err(::serde::Error::custom(format!(\"cannot deserialize {name} from {{v}}\")))"
+            );
+            format!(
+                "{} {{ fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{ {body} }} }}",
+                impl_header("Deserialize", name, generics)
+            )
+        }
+    }
+}

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-0a2b3f3c6eaf0ca7.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-0a2b3f3c6eaf0ca7: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-85e3d09bc78190a9.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-85e3d09bc78190a9: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

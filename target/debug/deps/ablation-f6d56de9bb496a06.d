@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-f6d56de9bb496a06.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-f6d56de9bb496a06: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/agreement-00c4a37af9ff96f3.d: crates/bench/src/bin/agreement.rs
+
+/root/repo/target/debug/deps/agreement-00c4a37af9ff96f3: crates/bench/src/bin/agreement.rs
+
+crates/bench/src/bin/agreement.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/agreement-329a0f07d1c571e4.d: crates/bench/src/bin/agreement.rs Cargo.toml
+
+/root/repo/target/debug/deps/libagreement-329a0f07d1c571e4.rmeta: crates/bench/src/bin/agreement.rs Cargo.toml
+
+crates/bench/src/bin/agreement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

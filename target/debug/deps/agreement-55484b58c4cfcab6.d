@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/agreement-55484b58c4cfcab6.d: crates/bench/src/bin/agreement.rs
+
+/root/repo/target/debug/deps/agreement-55484b58c4cfcab6: crates/bench/src/bin/agreement.rs
+
+crates/bench/src/bin/agreement.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/agreement-6ac2f5d538e3c64e.d: crates/bench/src/bin/agreement.rs Cargo.toml
+
+/root/repo/target/debug/deps/libagreement-6ac2f5d538e3c64e.rmeta: crates/bench/src/bin/agreement.rs Cargo.toml
+
+crates/bench/src/bin/agreement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

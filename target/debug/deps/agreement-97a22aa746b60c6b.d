@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/agreement-97a22aa746b60c6b.d: crates/bench/src/bin/agreement.rs
+
+/root/repo/target/debug/deps/agreement-97a22aa746b60c6b: crates/bench/src/bin/agreement.rs
+
+crates/bench/src/bin/agreement.rs:

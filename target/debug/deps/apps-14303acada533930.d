@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/apps-14303acada533930.d: crates/apps/src/lib.rs crates/apps/src/cascade.rs crates/apps/src/kernels.rs crates/apps/src/gamma.rs crates/apps/src/ids.rs
+
+/root/repo/target/debug/deps/libapps-14303acada533930.rlib: crates/apps/src/lib.rs crates/apps/src/cascade.rs crates/apps/src/kernels.rs crates/apps/src/gamma.rs crates/apps/src/ids.rs
+
+/root/repo/target/debug/deps/libapps-14303acada533930.rmeta: crates/apps/src/lib.rs crates/apps/src/cascade.rs crates/apps/src/kernels.rs crates/apps/src/gamma.rs crates/apps/src/ids.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/cascade.rs:
+crates/apps/src/kernels.rs:
+crates/apps/src/gamma.rs:
+crates/apps/src/ids.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/apps-1434018665e65b9c.d: crates/apps/src/lib.rs crates/apps/src/cascade.rs crates/apps/src/gamma.rs crates/apps/src/ids.rs crates/apps/src/kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libapps-1434018665e65b9c.rmeta: crates/apps/src/lib.rs crates/apps/src/cascade.rs crates/apps/src/gamma.rs crates/apps/src/ids.rs crates/apps/src/kernels.rs Cargo.toml
+
+crates/apps/src/lib.rs:
+crates/apps/src/cascade.rs:
+crates/apps/src/gamma.rs:
+crates/apps/src/ids.rs:
+crates/apps/src/kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

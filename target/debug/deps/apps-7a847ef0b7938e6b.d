@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/apps-7a847ef0b7938e6b.d: crates/apps/src/lib.rs crates/apps/src/cascade.rs crates/apps/src/gamma.rs crates/apps/src/ids.rs crates/apps/src/kernels.rs
+
+/root/repo/target/debug/deps/apps-7a847ef0b7938e6b: crates/apps/src/lib.rs crates/apps/src/cascade.rs crates/apps/src/gamma.rs crates/apps/src/ids.rs crates/apps/src/kernels.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/cascade.rs:
+crates/apps/src/gamma.rs:
+crates/apps/src/ids.rs:
+crates/apps/src/kernels.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/apps-e1ae3453f40cf00a.d: crates/apps/src/lib.rs crates/apps/src/cascade.rs crates/apps/src/gamma.rs crates/apps/src/ids.rs crates/apps/src/kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libapps-e1ae3453f40cf00a.rmeta: crates/apps/src/lib.rs crates/apps/src/cascade.rs crates/apps/src/gamma.rs crates/apps/src/ids.rs crates/apps/src/kernels.rs Cargo.toml
+
+crates/apps/src/lib.rs:
+crates/apps/src/cascade.rs:
+crates/apps/src/gamma.rs:
+crates/apps/src/ids.rs:
+crates/apps/src/kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

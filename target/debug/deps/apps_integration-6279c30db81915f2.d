@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/apps_integration-6279c30db81915f2.d: crates/rtsdf/../../tests/apps_integration.rs
+
+/root/repo/target/debug/deps/apps_integration-6279c30db81915f2: crates/rtsdf/../../tests/apps_integration.rs
+
+crates/rtsdf/../../tests/apps_integration.rs:

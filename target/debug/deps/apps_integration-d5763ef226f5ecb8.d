@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/apps_integration-d5763ef226f5ecb8.d: crates/rtsdf/../../tests/apps_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libapps_integration-d5763ef226f5ecb8.rmeta: crates/rtsdf/../../tests/apps_integration.rs Cargo.toml
+
+crates/rtsdf/../../tests/apps_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

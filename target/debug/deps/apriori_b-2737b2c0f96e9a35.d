@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/apriori_b-2737b2c0f96e9a35.d: crates/bench/src/bin/apriori_b.rs
+
+/root/repo/target/debug/deps/apriori_b-2737b2c0f96e9a35: crates/bench/src/bin/apriori_b.rs
+
+crates/bench/src/bin/apriori_b.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/apriori_b-980771b2632bed70.d: crates/bench/src/bin/apriori_b.rs
+
+/root/repo/target/debug/deps/apriori_b-980771b2632bed70: crates/bench/src/bin/apriori_b.rs
+
+crates/bench/src/bin/apriori_b.rs:

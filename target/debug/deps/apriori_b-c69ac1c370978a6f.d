@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/apriori_b-c69ac1c370978a6f.d: crates/bench/src/bin/apriori_b.rs
+
+/root/repo/target/debug/deps/apriori_b-c69ac1c370978a6f: crates/bench/src/bin/apriori_b.rs
+
+crates/bench/src/bin/apriori_b.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/apriori_b-e62b43410245a29f.d: crates/bench/src/bin/apriori_b.rs Cargo.toml
+
+/root/repo/target/debug/deps/libapriori_b-e62b43410245a29f.rmeta: crates/bench/src/bin/apriori_b.rs Cargo.toml
+
+crates/bench/src/bin/apriori_b.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bench-2e74716c881e8671.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-2e74716c881e8671.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-2e74716c881e8671.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

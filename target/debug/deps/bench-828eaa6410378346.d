@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bench-828eaa6410378346.d: crates/bench/src/lib.rs crates/bench/src/manifest.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench-828eaa6410378346.rmeta: crates/bench/src/lib.rs crates/bench/src/manifest.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/manifest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

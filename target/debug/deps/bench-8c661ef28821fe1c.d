@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/bench-8c661ef28821fe1c.d: crates/bench/src/lib.rs crates/bench/src/manifest.rs
+
+/root/repo/target/debug/deps/bench-8c661ef28821fe1c: crates/bench/src/lib.rs crates/bench/src/manifest.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/manifest.rs:

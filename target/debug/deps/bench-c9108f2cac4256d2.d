@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/bench-c9108f2cac4256d2.d: crates/bench/src/lib.rs crates/bench/src/manifest.rs
+
+/root/repo/target/debug/deps/libbench-c9108f2cac4256d2.rlib: crates/bench/src/lib.rs crates/bench/src/manifest.rs
+
+/root/repo/target/debug/deps/libbench-c9108f2cac4256d2.rmeta: crates/bench/src/lib.rs crates/bench/src/manifest.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/manifest.rs:

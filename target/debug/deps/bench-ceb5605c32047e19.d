@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bench-ceb5605c32047e19.d: crates/bench/src/lib.rs crates/bench/src/manifest.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench-ceb5605c32047e19.rmeta: crates/bench/src/lib.rs crates/bench/src/manifest.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/manifest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

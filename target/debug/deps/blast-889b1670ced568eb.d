@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/blast-889b1670ced568eb.d: crates/blast/src/lib.rs crates/blast/src/index.rs crates/blast/src/kernels.rs crates/blast/src/pipeline.rs crates/blast/src/sequence.rs crates/blast/src/stages.rs
+
+/root/repo/target/debug/deps/libblast-889b1670ced568eb.rlib: crates/blast/src/lib.rs crates/blast/src/index.rs crates/blast/src/kernels.rs crates/blast/src/pipeline.rs crates/blast/src/sequence.rs crates/blast/src/stages.rs
+
+/root/repo/target/debug/deps/libblast-889b1670ced568eb.rmeta: crates/blast/src/lib.rs crates/blast/src/index.rs crates/blast/src/kernels.rs crates/blast/src/pipeline.rs crates/blast/src/sequence.rs crates/blast/src/stages.rs
+
+crates/blast/src/lib.rs:
+crates/blast/src/index.rs:
+crates/blast/src/kernels.rs:
+crates/blast/src/pipeline.rs:
+crates/blast/src/sequence.rs:
+crates/blast/src/stages.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/blast-b0d584103cec39e7.d: crates/blast/src/lib.rs crates/blast/src/index.rs crates/blast/src/kernels.rs crates/blast/src/pipeline.rs crates/blast/src/sequence.rs crates/blast/src/stages.rs
+
+/root/repo/target/debug/deps/blast-b0d584103cec39e7: crates/blast/src/lib.rs crates/blast/src/index.rs crates/blast/src/kernels.rs crates/blast/src/pipeline.rs crates/blast/src/sequence.rs crates/blast/src/stages.rs
+
+crates/blast/src/lib.rs:
+crates/blast/src/index.rs:
+crates/blast/src/kernels.rs:
+crates/blast/src/pipeline.rs:
+crates/blast/src/sequence.rs:
+crates/blast/src/stages.rs:

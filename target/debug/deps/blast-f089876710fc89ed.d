@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/blast-f089876710fc89ed.d: crates/blast/src/lib.rs crates/blast/src/index.rs crates/blast/src/kernels.rs crates/blast/src/pipeline.rs crates/blast/src/sequence.rs crates/blast/src/stages.rs Cargo.toml
+
+/root/repo/target/debug/deps/libblast-f089876710fc89ed.rmeta: crates/blast/src/lib.rs crates/blast/src/index.rs crates/blast/src/kernels.rs crates/blast/src/pipeline.rs crates/blast/src/sequence.rs crates/blast/src/stages.rs Cargo.toml
+
+crates/blast/src/lib.rs:
+crates/blast/src/index.rs:
+crates/blast/src/kernels.rs:
+crates/blast/src/pipeline.rs:
+crates/blast/src/sequence.rs:
+crates/blast/src/stages.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

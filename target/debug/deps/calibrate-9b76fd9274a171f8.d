@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-9b76fd9274a171f8.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-9b76fd9274a171f8: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-a13239a94da7cd55.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-a13239a94da7cd55: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

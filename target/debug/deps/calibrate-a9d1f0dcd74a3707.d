@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/calibrate-a9d1f0dcd74a3707.d: crates/bench/src/bin/calibrate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcalibrate-a9d1f0dcd74a3707.rmeta: crates/bench/src/bin/calibrate.rs Cargo.toml
+
+crates/bench/src/bin/calibrate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

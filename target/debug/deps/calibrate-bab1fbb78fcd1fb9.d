@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/calibrate-bab1fbb78fcd1fb9.d: crates/bench/src/bin/calibrate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcalibrate-bab1fbb78fcd1fb9.rmeta: crates/bench/src/bin/calibrate.rs Cargo.toml
+
+crates/bench/src/bin/calibrate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-f9aa433f05e0a5d9.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-f9aa433f05e0a5d9: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cli_integration-13566055ce7fe719.d: crates/cli/tests/cli_integration.rs
+
+/root/repo/target/debug/deps/cli_integration-13566055ce7fe719: crates/cli/tests/cli_integration.rs
+
+crates/cli/tests/cli_integration.rs:

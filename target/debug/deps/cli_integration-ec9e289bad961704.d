@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cli_integration-ec9e289bad961704.d: crates/cli/tests/cli_integration.rs
+
+/root/repo/target/debug/deps/cli_integration-ec9e289bad961704: crates/cli/tests/cli_integration.rs
+
+crates/cli/tests/cli_integration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cli_integration-f4f085ef9ba0dd20.d: crates/cli/tests/cli_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli_integration-f4f085ef9ba0dd20.rmeta: crates/cli/tests/cli_integration.rs Cargo.toml
+
+crates/cli/tests/cli_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

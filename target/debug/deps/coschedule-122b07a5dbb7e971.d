@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/coschedule-122b07a5dbb7e971.d: crates/bench/src/bin/coschedule.rs
+
+/root/repo/target/debug/deps/coschedule-122b07a5dbb7e971: crates/bench/src/bin/coschedule.rs
+
+crates/bench/src/bin/coschedule.rs:

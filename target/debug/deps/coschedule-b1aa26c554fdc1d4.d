@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/coschedule-b1aa26c554fdc1d4.d: crates/bench/src/bin/coschedule.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoschedule-b1aa26c554fdc1d4.rmeta: crates/bench/src/bin/coschedule.rs Cargo.toml
+
+crates/bench/src/bin/coschedule.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

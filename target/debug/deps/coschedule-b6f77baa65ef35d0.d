@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/coschedule-b6f77baa65ef35d0.d: crates/bench/src/bin/coschedule.rs
+
+/root/repo/target/debug/deps/coschedule-b6f77baa65ef35d0: crates/bench/src/bin/coschedule.rs
+
+crates/bench/src/bin/coschedule.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/coschedule-b7faf11c90c61b65.d: crates/bench/src/bin/coschedule.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoschedule-b7faf11c90c61b65.rmeta: crates/bench/src/bin/coschedule.rs Cargo.toml
+
+crates/bench/src/bin/coschedule.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/coschedule-ca0614b49cf20b1f.d: crates/bench/src/bin/coschedule.rs
+
+/root/repo/target/debug/deps/coschedule-ca0614b49cf20b1f: crates/bench/src/bin/coschedule.rs
+
+crates/bench/src/bin/coschedule.rs:

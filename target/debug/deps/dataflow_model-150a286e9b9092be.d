@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dataflow_model-150a286e9b9092be.d: crates/dataflow-model/src/lib.rs crates/dataflow-model/src/analysis.rs crates/dataflow-model/src/arrival.rs crates/dataflow-model/src/error.rs crates/dataflow-model/src/gain.rs crates/dataflow-model/src/node.rs crates/dataflow-model/src/params.rs crates/dataflow-model/src/pipeline.rs
+
+/root/repo/target/debug/deps/dataflow_model-150a286e9b9092be: crates/dataflow-model/src/lib.rs crates/dataflow-model/src/analysis.rs crates/dataflow-model/src/arrival.rs crates/dataflow-model/src/error.rs crates/dataflow-model/src/gain.rs crates/dataflow-model/src/node.rs crates/dataflow-model/src/params.rs crates/dataflow-model/src/pipeline.rs
+
+crates/dataflow-model/src/lib.rs:
+crates/dataflow-model/src/analysis.rs:
+crates/dataflow-model/src/arrival.rs:
+crates/dataflow-model/src/error.rs:
+crates/dataflow-model/src/gain.rs:
+crates/dataflow-model/src/node.rs:
+crates/dataflow-model/src/params.rs:
+crates/dataflow-model/src/pipeline.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dataflow_model-18dceb8b367898cc.d: crates/dataflow-model/src/lib.rs crates/dataflow-model/src/analysis.rs crates/dataflow-model/src/arrival.rs crates/dataflow-model/src/error.rs crates/dataflow-model/src/gain.rs crates/dataflow-model/src/node.rs crates/dataflow-model/src/params.rs crates/dataflow-model/src/pipeline.rs
+
+/root/repo/target/debug/deps/libdataflow_model-18dceb8b367898cc.rlib: crates/dataflow-model/src/lib.rs crates/dataflow-model/src/analysis.rs crates/dataflow-model/src/arrival.rs crates/dataflow-model/src/error.rs crates/dataflow-model/src/gain.rs crates/dataflow-model/src/node.rs crates/dataflow-model/src/params.rs crates/dataflow-model/src/pipeline.rs
+
+/root/repo/target/debug/deps/libdataflow_model-18dceb8b367898cc.rmeta: crates/dataflow-model/src/lib.rs crates/dataflow-model/src/analysis.rs crates/dataflow-model/src/arrival.rs crates/dataflow-model/src/error.rs crates/dataflow-model/src/gain.rs crates/dataflow-model/src/node.rs crates/dataflow-model/src/params.rs crates/dataflow-model/src/pipeline.rs
+
+crates/dataflow-model/src/lib.rs:
+crates/dataflow-model/src/analysis.rs:
+crates/dataflow-model/src/arrival.rs:
+crates/dataflow-model/src/error.rs:
+crates/dataflow-model/src/gain.rs:
+crates/dataflow-model/src/node.rs:
+crates/dataflow-model/src/params.rs:
+crates/dataflow-model/src/pipeline.rs:

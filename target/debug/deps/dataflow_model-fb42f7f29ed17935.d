@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/dataflow_model-fb42f7f29ed17935.d: crates/dataflow-model/src/lib.rs crates/dataflow-model/src/analysis.rs crates/dataflow-model/src/arrival.rs crates/dataflow-model/src/error.rs crates/dataflow-model/src/gain.rs crates/dataflow-model/src/node.rs crates/dataflow-model/src/params.rs crates/dataflow-model/src/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdataflow_model-fb42f7f29ed17935.rmeta: crates/dataflow-model/src/lib.rs crates/dataflow-model/src/analysis.rs crates/dataflow-model/src/arrival.rs crates/dataflow-model/src/error.rs crates/dataflow-model/src/gain.rs crates/dataflow-model/src/node.rs crates/dataflow-model/src/params.rs crates/dataflow-model/src/pipeline.rs Cargo.toml
+
+crates/dataflow-model/src/lib.rs:
+crates/dataflow-model/src/analysis.rs:
+crates/dataflow-model/src/arrival.rs:
+crates/dataflow-model/src/error.rs:
+crates/dataflow-model/src/gain.rs:
+crates/dataflow-model/src/node.rs:
+crates/dataflow-model/src/params.rs:
+crates/dataflow-model/src/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/des-7b5e3f85be25e607.d: crates/des/src/lib.rs crates/des/src/calendar.rs crates/des/src/clock.rs crates/des/src/rng.rs crates/des/src/stats.rs crates/des/src/trace.rs
+
+/root/repo/target/debug/deps/libdes-7b5e3f85be25e607.rlib: crates/des/src/lib.rs crates/des/src/calendar.rs crates/des/src/clock.rs crates/des/src/rng.rs crates/des/src/stats.rs crates/des/src/trace.rs
+
+/root/repo/target/debug/deps/libdes-7b5e3f85be25e607.rmeta: crates/des/src/lib.rs crates/des/src/calendar.rs crates/des/src/clock.rs crates/des/src/rng.rs crates/des/src/stats.rs crates/des/src/trace.rs
+
+crates/des/src/lib.rs:
+crates/des/src/calendar.rs:
+crates/des/src/clock.rs:
+crates/des/src/rng.rs:
+crates/des/src/stats.rs:
+crates/des/src/trace.rs:

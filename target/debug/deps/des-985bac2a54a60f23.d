@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/des-985bac2a54a60f23.d: crates/des/src/lib.rs crates/des/src/calendar.rs crates/des/src/clock.rs crates/des/src/obs.rs crates/des/src/rng.rs crates/des/src/stats.rs crates/des/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdes-985bac2a54a60f23.rmeta: crates/des/src/lib.rs crates/des/src/calendar.rs crates/des/src/clock.rs crates/des/src/obs.rs crates/des/src/rng.rs crates/des/src/stats.rs crates/des/src/trace.rs Cargo.toml
+
+crates/des/src/lib.rs:
+crates/des/src/calendar.rs:
+crates/des/src/clock.rs:
+crates/des/src/obs.rs:
+crates/des/src/rng.rs:
+crates/des/src/stats.rs:
+crates/des/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

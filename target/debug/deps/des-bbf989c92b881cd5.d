@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/des-bbf989c92b881cd5.d: crates/des/src/lib.rs crates/des/src/calendar.rs crates/des/src/clock.rs crates/des/src/rng.rs crates/des/src/stats.rs crates/des/src/trace.rs
+
+/root/repo/target/debug/deps/des-bbf989c92b881cd5: crates/des/src/lib.rs crates/des/src/calendar.rs crates/des/src/clock.rs crates/des/src/rng.rs crates/des/src/stats.rs crates/des/src/trace.rs
+
+crates/des/src/lib.rs:
+crates/des/src/calendar.rs:
+crates/des/src/clock.rs:
+crates/des/src/rng.rs:
+crates/des/src/stats.rs:
+crates/des/src/trace.rs:

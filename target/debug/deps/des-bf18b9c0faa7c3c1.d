@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/des-bf18b9c0faa7c3c1.d: crates/des/src/lib.rs crates/des/src/calendar.rs crates/des/src/clock.rs crates/des/src/obs.rs crates/des/src/rng.rs crates/des/src/stats.rs crates/des/src/trace.rs
+
+/root/repo/target/debug/deps/des-bf18b9c0faa7c3c1: crates/des/src/lib.rs crates/des/src/calendar.rs crates/des/src/clock.rs crates/des/src/obs.rs crates/des/src/rng.rs crates/des/src/stats.rs crates/des/src/trace.rs
+
+crates/des/src/lib.rs:
+crates/des/src/calendar.rs:
+crates/des/src/clock.rs:
+crates/des/src/obs.rs:
+crates/des/src/rng.rs:
+crates/des/src/stats.rs:
+crates/des/src/trace.rs:

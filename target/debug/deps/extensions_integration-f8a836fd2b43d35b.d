@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions_integration-f8a836fd2b43d35b.d: crates/rtsdf/../../tests/extensions_integration.rs
+
+/root/repo/target/debug/deps/extensions_integration-f8a836fd2b43d35b: crates/rtsdf/../../tests/extensions_integration.rs
+
+crates/rtsdf/../../tests/extensions_integration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extensions_integration-fcdf442fc19c9734.d: crates/rtsdf/../../tests/extensions_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextensions_integration-fcdf442fc19c9734.rmeta: crates/rtsdf/../../tests/extensions_integration.rs Cargo.toml
+
+crates/rtsdf/../../tests/extensions_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3-19b73a0a98cb8a8f.d: crates/bench/benches/fig3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3-19b73a0a98cb8a8f.rmeta: crates/bench/benches/fig3.rs Cargo.toml
+
+crates/bench/benches/fig3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-260082e712d41ecd.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-260082e712d41ecd: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

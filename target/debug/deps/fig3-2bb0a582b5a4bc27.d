@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-2bb0a582b5a4bc27.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-2bb0a582b5a4bc27: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-b1d0d7ddefd7f4ba.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-b1d0d7ddefd7f4ba: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-3694cdd2f7ad342a.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-3694cdd2f7ad342a: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

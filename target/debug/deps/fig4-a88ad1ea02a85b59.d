@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-a88ad1ea02a85b59.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-a88ad1ea02a85b59: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

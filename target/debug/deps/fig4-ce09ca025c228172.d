@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-ce09ca025c228172.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-ce09ca025c228172: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

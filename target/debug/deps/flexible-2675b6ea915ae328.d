@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flexible-2675b6ea915ae328.d: crates/bench/src/bin/flexible.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflexible-2675b6ea915ae328.rmeta: crates/bench/src/bin/flexible.rs Cargo.toml
+
+crates/bench/src/bin/flexible.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

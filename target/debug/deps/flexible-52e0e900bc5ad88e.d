@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flexible-52e0e900bc5ad88e.d: crates/bench/src/bin/flexible.rs
+
+/root/repo/target/debug/deps/flexible-52e0e900bc5ad88e: crates/bench/src/bin/flexible.rs
+
+crates/bench/src/bin/flexible.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flexible-58d365e07a808c8a.d: crates/bench/src/bin/flexible.rs
+
+/root/repo/target/debug/deps/flexible-58d365e07a808c8a: crates/bench/src/bin/flexible.rs
+
+crates/bench/src/bin/flexible.rs:

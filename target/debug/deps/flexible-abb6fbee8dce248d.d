@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flexible-abb6fbee8dce248d.d: crates/bench/src/bin/flexible.rs
+
+/root/repo/target/debug/deps/flexible-abb6fbee8dce248d: crates/bench/src/bin/flexible.rs
+
+crates/bench/src/bin/flexible.rs:

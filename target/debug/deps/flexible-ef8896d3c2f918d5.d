@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flexible-ef8896d3c2f918d5.d: crates/bench/src/bin/flexible.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflexible-ef8896d3c2f918d5.rmeta: crates/bench/src/bin/flexible.rs Cargo.toml
+
+crates/bench/src/bin/flexible.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/frontier-1dad6d39f08e4de2.d: crates/bench/src/bin/frontier.rs
+
+/root/repo/target/debug/deps/frontier-1dad6d39f08e4de2: crates/bench/src/bin/frontier.rs
+
+crates/bench/src/bin/frontier.rs:

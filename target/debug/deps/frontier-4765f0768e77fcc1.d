@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/frontier-4765f0768e77fcc1.d: crates/bench/src/bin/frontier.rs
+
+/root/repo/target/debug/deps/frontier-4765f0768e77fcc1: crates/bench/src/bin/frontier.rs
+
+crates/bench/src/bin/frontier.rs:

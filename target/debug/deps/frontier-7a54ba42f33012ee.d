@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/frontier-7a54ba42f33012ee.d: crates/bench/src/bin/frontier.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfrontier-7a54ba42f33012ee.rmeta: crates/bench/src/bin/frontier.rs Cargo.toml
+
+crates/bench/src/bin/frontier.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/frontier-8a5b9d1c0a530b0c.d: crates/bench/src/bin/frontier.rs
+
+/root/repo/target/debug/deps/frontier-8a5b9d1c0a530b0c: crates/bench/src/bin/frontier.rs
+
+crates/bench/src/bin/frontier.rs:

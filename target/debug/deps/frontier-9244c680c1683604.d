@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/frontier-9244c680c1683604.d: crates/bench/src/bin/frontier.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfrontier-9244c680c1683604.rmeta: crates/bench/src/bin/frontier.rs Cargo.toml
+
+crates/bench/src/bin/frontier.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/obs_overhead-81111d7415c976f3.d: crates/pipeline-sim/benches/obs_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libobs_overhead-81111d7415c976f3.rmeta: crates/pipeline-sim/benches/obs_overhead.rs Cargo.toml
+
+crates/pipeline-sim/benches/obs_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_claims-147e92bd222cc92e.d: crates/rtsdf/../../tests/paper_claims.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_claims-147e92bd222cc92e.rmeta: crates/rtsdf/../../tests/paper_claims.rs Cargo.toml
+
+crates/rtsdf/../../tests/paper_claims.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-59e5301aa3c1ebd4.d: crates/rtsdf/../../tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-59e5301aa3c1ebd4: crates/rtsdf/../../tests/paper_claims.rs
+
+crates/rtsdf/../../tests/paper_claims.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/pipeline_sim-f1ad51f9b01d26b2.d: crates/pipeline-sim/src/lib.rs crates/pipeline-sim/src/calibration.rs crates/pipeline-sim/src/config.rs crates/pipeline-sim/src/enforced.rs crates/pipeline-sim/src/item.rs crates/pipeline-sim/src/metrics.rs crates/pipeline-sim/src/monolithic.rs crates/pipeline-sim/src/runner.rs crates/pipeline-sim/src/timeline.rs crates/pipeline-sim/src/validate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_sim-f1ad51f9b01d26b2.rmeta: crates/pipeline-sim/src/lib.rs crates/pipeline-sim/src/calibration.rs crates/pipeline-sim/src/config.rs crates/pipeline-sim/src/enforced.rs crates/pipeline-sim/src/item.rs crates/pipeline-sim/src/metrics.rs crates/pipeline-sim/src/monolithic.rs crates/pipeline-sim/src/runner.rs crates/pipeline-sim/src/timeline.rs crates/pipeline-sim/src/validate.rs Cargo.toml
+
+crates/pipeline-sim/src/lib.rs:
+crates/pipeline-sim/src/calibration.rs:
+crates/pipeline-sim/src/config.rs:
+crates/pipeline-sim/src/enforced.rs:
+crates/pipeline-sim/src/item.rs:
+crates/pipeline-sim/src/metrics.rs:
+crates/pipeline-sim/src/monolithic.rs:
+crates/pipeline-sim/src/runner.rs:
+crates/pipeline-sim/src/timeline.rs:
+crates/pipeline-sim/src/validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

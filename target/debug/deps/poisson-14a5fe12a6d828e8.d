@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/poisson-14a5fe12a6d828e8.d: crates/bench/src/bin/poisson.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpoisson-14a5fe12a6d828e8.rmeta: crates/bench/src/bin/poisson.rs Cargo.toml
+
+crates/bench/src/bin/poisson.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/poisson-8ae25de654bf1dfb.d: crates/bench/src/bin/poisson.rs
+
+/root/repo/target/debug/deps/poisson-8ae25de654bf1dfb: crates/bench/src/bin/poisson.rs
+
+crates/bench/src/bin/poisson.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/poisson-d8b93ad778289564.d: crates/bench/src/bin/poisson.rs
+
+/root/repo/target/debug/deps/poisson-d8b93ad778289564: crates/bench/src/bin/poisson.rs
+
+crates/bench/src/bin/poisson.rs:

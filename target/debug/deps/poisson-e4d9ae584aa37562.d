@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/poisson-e4d9ae584aa37562.d: crates/bench/src/bin/poisson.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpoisson-e4d9ae584aa37562.rmeta: crates/bench/src/bin/poisson.rs Cargo.toml
+
+crates/bench/src/bin/poisson.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

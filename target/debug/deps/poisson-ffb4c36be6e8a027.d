@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/poisson-ffb4c36be6e8a027.d: crates/bench/src/bin/poisson.rs
+
+/root/repo/target/debug/deps/poisson-ffb4c36be6e8a027: crates/bench/src/bin/poisson.rs
+
+crates/bench/src/bin/poisson.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-055500b979cff377.d: crates/solver/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-055500b979cff377.rmeta: crates/solver/tests/proptests.rs Cargo.toml
+
+crates/solver/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

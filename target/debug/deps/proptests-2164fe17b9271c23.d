@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-2164fe17b9271c23.d: crates/pipeline-sim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-2164fe17b9271c23: crates/pipeline-sim/tests/proptests.rs
+
+crates/pipeline-sim/tests/proptests.rs:

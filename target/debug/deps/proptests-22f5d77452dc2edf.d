@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-22f5d77452dc2edf.d: crates/apps/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-22f5d77452dc2edf: crates/apps/tests/proptests.rs
+
+crates/apps/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-356ca5a2df9a0b98.d: crates/blast/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-356ca5a2df9a0b98: crates/blast/tests/proptests.rs
+
+crates/blast/tests/proptests.rs:

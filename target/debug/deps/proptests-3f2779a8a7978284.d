@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-3f2779a8a7978284.d: crates/dataflow-model/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-3f2779a8a7978284: crates/dataflow-model/tests/proptests.rs
+
+crates/dataflow-model/tests/proptests.rs:

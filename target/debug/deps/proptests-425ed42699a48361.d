@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-425ed42699a48361.d: crates/pipeline-sim/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-425ed42699a48361.rmeta: crates/pipeline-sim/tests/proptests.rs Cargo.toml
+
+crates/pipeline-sim/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-53ccc16c8377ecd9.d: crates/apps/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-53ccc16c8377ecd9.rmeta: crates/apps/tests/proptests.rs Cargo.toml
+
+crates/apps/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-56da155de397a1eb.d: crates/solver/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-56da155de397a1eb: crates/solver/tests/proptests.rs
+
+crates/solver/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-56e1aa1e1a72760d.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-56e1aa1e1a72760d: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

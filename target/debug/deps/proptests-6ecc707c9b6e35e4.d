@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-6ecc707c9b6e35e4.d: crates/des/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-6ecc707c9b6e35e4: crates/des/tests/proptests.rs
+
+crates/des/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-89bd3347db75a2d6.d: crates/des/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-89bd3347db75a2d6: crates/des/tests/proptests.rs
+
+crates/des/tests/proptests.rs:

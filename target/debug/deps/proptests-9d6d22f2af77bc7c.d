@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-9d6d22f2af77bc7c.d: crates/queueing/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-9d6d22f2af77bc7c.rmeta: crates/queueing/tests/proptests.rs Cargo.toml
+
+crates/queueing/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-a0f847c0ce00d193.d: crates/simd-device/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-a0f847c0ce00d193: crates/simd-device/tests/proptests.rs
+
+crates/simd-device/tests/proptests.rs:

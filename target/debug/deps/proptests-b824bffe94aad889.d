@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-b824bffe94aad889.d: crates/blast/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-b824bffe94aad889.rmeta: crates/blast/tests/proptests.rs Cargo.toml
+
+crates/blast/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

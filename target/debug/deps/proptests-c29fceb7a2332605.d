@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-c29fceb7a2332605.d: crates/dataflow-model/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-c29fceb7a2332605.rmeta: crates/dataflow-model/tests/proptests.rs Cargo.toml
+
+crates/dataflow-model/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-c3b77b5febbe4e9d.d: crates/des/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-c3b77b5febbe4e9d.rmeta: crates/des/tests/proptests.rs Cargo.toml
+
+crates/des/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

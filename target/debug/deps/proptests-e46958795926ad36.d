@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-e46958795926ad36.d: crates/pipeline-sim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-e46958795926ad36: crates/pipeline-sim/tests/proptests.rs
+
+crates/pipeline-sim/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-fb873c04c7f90a82.d: crates/simd-device/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-fb873c04c7f90a82.rmeta: crates/simd-device/tests/proptests.rs Cargo.toml
+
+crates/simd-device/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

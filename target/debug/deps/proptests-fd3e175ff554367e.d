@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-fd3e175ff554367e.d: crates/queueing/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-fd3e175ff554367e: crates/queueing/tests/proptests.rs
+
+crates/queueing/tests/proptests.rs:

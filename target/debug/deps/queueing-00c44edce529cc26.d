@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/queueing-00c44edce529cc26.d: crates/queueing/src/lib.rs crates/queueing/src/bulk.rs crates/queueing/src/estimate.rs crates/queueing/src/pmf.rs
+
+/root/repo/target/debug/deps/libqueueing-00c44edce529cc26.rlib: crates/queueing/src/lib.rs crates/queueing/src/bulk.rs crates/queueing/src/estimate.rs crates/queueing/src/pmf.rs
+
+/root/repo/target/debug/deps/libqueueing-00c44edce529cc26.rmeta: crates/queueing/src/lib.rs crates/queueing/src/bulk.rs crates/queueing/src/estimate.rs crates/queueing/src/pmf.rs
+
+crates/queueing/src/lib.rs:
+crates/queueing/src/bulk.rs:
+crates/queueing/src/estimate.rs:
+crates/queueing/src/pmf.rs:

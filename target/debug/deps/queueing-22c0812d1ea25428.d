@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/queueing-22c0812d1ea25428.d: crates/bench/benches/queueing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqueueing-22c0812d1ea25428.rmeta: crates/bench/benches/queueing.rs Cargo.toml
+
+crates/bench/benches/queueing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/queueing-d69969f3cbc63d25.d: crates/queueing/src/lib.rs crates/queueing/src/bulk.rs crates/queueing/src/estimate.rs crates/queueing/src/pmf.rs
+
+/root/repo/target/debug/deps/libqueueing-d69969f3cbc63d25.rlib: crates/queueing/src/lib.rs crates/queueing/src/bulk.rs crates/queueing/src/estimate.rs crates/queueing/src/pmf.rs
+
+/root/repo/target/debug/deps/libqueueing-d69969f3cbc63d25.rmeta: crates/queueing/src/lib.rs crates/queueing/src/bulk.rs crates/queueing/src/estimate.rs crates/queueing/src/pmf.rs
+
+crates/queueing/src/lib.rs:
+crates/queueing/src/bulk.rs:
+crates/queueing/src/estimate.rs:
+crates/queueing/src/pmf.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand_distr-10848c4e56141f9b.d: shims/rand_distr/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand_distr-10848c4e56141f9b.rmeta: shims/rand_distr/src/lib.rs Cargo.toml
+
+shims/rand_distr/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

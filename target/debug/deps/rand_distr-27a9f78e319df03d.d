@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand_distr-27a9f78e319df03d.d: shims/rand_distr/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand_distr-27a9f78e319df03d.rmeta: shims/rand_distr/src/lib.rs Cargo.toml
+
+shims/rand_distr/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand_distr-5ffe26b1f82e46d7.d: shims/rand_distr/src/lib.rs
+
+/root/repo/target/debug/deps/librand_distr-5ffe26b1f82e46d7.rlib: shims/rand_distr/src/lib.rs
+
+/root/repo/target/debug/deps/librand_distr-5ffe26b1f82e46d7.rmeta: shims/rand_distr/src/lib.rs
+
+shims/rand_distr/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand_distr-9e3417f654154740.d: shims/rand_distr/src/lib.rs
+
+/root/repo/target/debug/deps/rand_distr-9e3417f654154740: shims/rand_distr/src/lib.rs
+
+shims/rand_distr/src/lib.rs:

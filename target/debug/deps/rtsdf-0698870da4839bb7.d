@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rtsdf-0698870da4839bb7.d: crates/rtsdf/src/lib.rs
+
+/root/repo/target/debug/deps/librtsdf-0698870da4839bb7.rlib: crates/rtsdf/src/lib.rs
+
+/root/repo/target/debug/deps/librtsdf-0698870da4839bb7.rmeta: crates/rtsdf/src/lib.rs
+
+crates/rtsdf/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rtsdf-4ff2acf64905a618.d: crates/rtsdf/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librtsdf-4ff2acf64905a618.rmeta: crates/rtsdf/src/lib.rs Cargo.toml
+
+crates/rtsdf/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rtsdf-610df1bfaed9cf39.d: crates/rtsdf/src/lib.rs
+
+/root/repo/target/debug/deps/librtsdf-610df1bfaed9cf39.rlib: crates/rtsdf/src/lib.rs
+
+/root/repo/target/debug/deps/librtsdf-610df1bfaed9cf39.rmeta: crates/rtsdf/src/lib.rs
+
+crates/rtsdf/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rtsdf-ce60690f1e5bb68d.d: crates/rtsdf/src/lib.rs
+
+/root/repo/target/debug/deps/rtsdf-ce60690f1e5bb68d: crates/rtsdf/src/lib.rs
+
+crates/rtsdf/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rtsdf-e7feded5be9a7efc.d: crates/rtsdf/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librtsdf-e7feded5be9a7efc.rmeta: crates/rtsdf/src/lib.rs Cargo.toml
+
+crates/rtsdf/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rtsdf_cli-175001749a2ae965.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/rtsdf_cli-175001749a2ae965: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rtsdf_cli-3e8f9910c6ce840d.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs Cargo.toml
+
+/root/repo/target/debug/deps/librtsdf_cli-3e8f9910c6ce840d.rmeta: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs Cargo.toml
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

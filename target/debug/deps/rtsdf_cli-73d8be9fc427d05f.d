@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rtsdf_cli-73d8be9fc427d05f.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/librtsdf_cli-73d8be9fc427d05f.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rtsdf_cli-7dbf36e05c2763c5.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/librtsdf_cli-7dbf36e05c2763c5.rlib: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/librtsdf_cli-7dbf36e05c2763c5.rmeta: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

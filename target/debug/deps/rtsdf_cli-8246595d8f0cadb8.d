@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rtsdf_cli-8246595d8f0cadb8.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/rtsdf_cli-8246595d8f0cadb8: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rtsdf_cli-8fc3ea057920ef02.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/rtsdf_cli-8fc3ea057920ef02: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rtsdf_cli-a2c387d12bd05226.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/rtsdf_cli-a2c387d12bd05226: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rtsdf_cli-b841df2d55d179b8.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/rtsdf_cli-b841df2d55d179b8: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

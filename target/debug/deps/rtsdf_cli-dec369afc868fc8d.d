@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rtsdf_cli-dec369afc868fc8d.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/rtsdf_cli-dec369afc868fc8d: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rtsdf_cli-e9ad264241eb2c40.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/rtsdf_cli-e9ad264241eb2c40: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

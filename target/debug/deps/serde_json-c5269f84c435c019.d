@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-c5269f84c435c019.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-c5269f84c435c019.rlib: shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-c5269f84c435c019.rmeta: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/simd_device-85c67f2df8629c6f.d: crates/simd-device/src/lib.rs crates/simd-device/src/batch.rs crates/simd-device/src/machine.rs crates/simd-device/src/occupancy.rs crates/simd-device/src/share.rs
+
+/root/repo/target/debug/deps/libsimd_device-85c67f2df8629c6f.rlib: crates/simd-device/src/lib.rs crates/simd-device/src/batch.rs crates/simd-device/src/machine.rs crates/simd-device/src/occupancy.rs crates/simd-device/src/share.rs
+
+/root/repo/target/debug/deps/libsimd_device-85c67f2df8629c6f.rmeta: crates/simd-device/src/lib.rs crates/simd-device/src/batch.rs crates/simd-device/src/machine.rs crates/simd-device/src/occupancy.rs crates/simd-device/src/share.rs
+
+crates/simd-device/src/lib.rs:
+crates/simd-device/src/batch.rs:
+crates/simd-device/src/machine.rs:
+crates/simd-device/src/occupancy.rs:
+crates/simd-device/src/share.rs:

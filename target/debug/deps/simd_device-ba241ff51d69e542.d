@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/simd_device-ba241ff51d69e542.d: crates/simd-device/src/lib.rs crates/simd-device/src/batch.rs crates/simd-device/src/machine.rs crates/simd-device/src/occupancy.rs crates/simd-device/src/share.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimd_device-ba241ff51d69e542.rmeta: crates/simd-device/src/lib.rs crates/simd-device/src/batch.rs crates/simd-device/src/machine.rs crates/simd-device/src/occupancy.rs crates/simd-device/src/share.rs Cargo.toml
+
+crates/simd-device/src/lib.rs:
+crates/simd-device/src/batch.rs:
+crates/simd-device/src/machine.rs:
+crates/simd-device/src/occupancy.rs:
+crates/simd-device/src/share.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simd_device-e1ec2b25b4fef9ec.d: crates/simd-device/src/lib.rs crates/simd-device/src/batch.rs crates/simd-device/src/machine.rs crates/simd-device/src/occupancy.rs crates/simd-device/src/share.rs
+
+/root/repo/target/debug/deps/simd_device-e1ec2b25b4fef9ec: crates/simd-device/src/lib.rs crates/simd-device/src/batch.rs crates/simd-device/src/machine.rs crates/simd-device/src/occupancy.rs crates/simd-device/src/share.rs
+
+crates/simd-device/src/lib.rs:
+crates/simd-device/src/batch.rs:
+crates/simd-device/src/machine.rs:
+crates/simd-device/src/occupancy.rs:
+crates/simd-device/src/share.rs:

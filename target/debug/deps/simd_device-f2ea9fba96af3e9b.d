@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/simd_device-f2ea9fba96af3e9b.d: crates/simd-device/src/lib.rs crates/simd-device/src/batch.rs crates/simd-device/src/machine.rs crates/simd-device/src/occupancy.rs crates/simd-device/src/share.rs
+
+/root/repo/target/debug/deps/libsimd_device-f2ea9fba96af3e9b.rlib: crates/simd-device/src/lib.rs crates/simd-device/src/batch.rs crates/simd-device/src/machine.rs crates/simd-device/src/occupancy.rs crates/simd-device/src/share.rs
+
+/root/repo/target/debug/deps/libsimd_device-f2ea9fba96af3e9b.rmeta: crates/simd-device/src/lib.rs crates/simd-device/src/batch.rs crates/simd-device/src/machine.rs crates/simd-device/src/occupancy.rs crates/simd-device/src/share.rs
+
+crates/simd-device/src/lib.rs:
+crates/simd-device/src/batch.rs:
+crates/simd-device/src/machine.rs:
+crates/simd-device/src/occupancy.rs:
+crates/simd-device/src/share.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simulator-8e5d102866feb404.d: crates/bench/benches/simulator.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimulator-8e5d102866feb404.rmeta: crates/bench/benches/simulator.rs Cargo.toml
+
+crates/bench/benches/simulator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

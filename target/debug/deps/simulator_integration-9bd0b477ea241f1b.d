@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simulator_integration-9bd0b477ea241f1b.d: crates/rtsdf/../../tests/simulator_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimulator_integration-9bd0b477ea241f1b.rmeta: crates/rtsdf/../../tests/simulator_integration.rs Cargo.toml
+
+crates/rtsdf/../../tests/simulator_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulator_integration-ee27edd2fe8b14c9.d: crates/rtsdf/../../tests/simulator_integration.rs
+
+/root/repo/target/debug/deps/simulator_integration-ee27edd2fe8b14c9: crates/rtsdf/../../tests/simulator_integration.rs
+
+crates/rtsdf/../../tests/simulator_integration.rs:

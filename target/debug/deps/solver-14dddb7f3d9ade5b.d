@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/solver-14dddb7f3d9ade5b.d: crates/solver/src/lib.rs crates/solver/src/bnb.rs crates/solver/src/convex.rs crates/solver/src/integer.rs crates/solver/src/linalg.rs crates/solver/src/linear.rs crates/solver/src/scalar.rs
+
+/root/repo/target/debug/deps/libsolver-14dddb7f3d9ade5b.rlib: crates/solver/src/lib.rs crates/solver/src/bnb.rs crates/solver/src/convex.rs crates/solver/src/integer.rs crates/solver/src/linalg.rs crates/solver/src/linear.rs crates/solver/src/scalar.rs
+
+/root/repo/target/debug/deps/libsolver-14dddb7f3d9ade5b.rmeta: crates/solver/src/lib.rs crates/solver/src/bnb.rs crates/solver/src/convex.rs crates/solver/src/integer.rs crates/solver/src/linalg.rs crates/solver/src/linear.rs crates/solver/src/scalar.rs
+
+crates/solver/src/lib.rs:
+crates/solver/src/bnb.rs:
+crates/solver/src/convex.rs:
+crates/solver/src/integer.rs:
+crates/solver/src/linalg.rs:
+crates/solver/src/linear.rs:
+crates/solver/src/scalar.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/solver-35ed708042cc1155.d: crates/bench/benches/solver.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsolver-35ed708042cc1155.rmeta: crates/bench/benches/solver.rs Cargo.toml
+
+crates/bench/benches/solver.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

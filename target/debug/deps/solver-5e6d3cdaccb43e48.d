@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/solver-5e6d3cdaccb43e48.d: crates/solver/src/lib.rs crates/solver/src/bnb.rs crates/solver/src/convex.rs crates/solver/src/integer.rs crates/solver/src/linalg.rs crates/solver/src/linear.rs crates/solver/src/scalar.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsolver-5e6d3cdaccb43e48.rmeta: crates/solver/src/lib.rs crates/solver/src/bnb.rs crates/solver/src/convex.rs crates/solver/src/integer.rs crates/solver/src/linalg.rs crates/solver/src/linear.rs crates/solver/src/scalar.rs Cargo.toml
+
+crates/solver/src/lib.rs:
+crates/solver/src/bnb.rs:
+crates/solver/src/convex.rs:
+crates/solver/src/integer.rs:
+crates/solver/src/linalg.rs:
+crates/solver/src/linear.rs:
+crates/solver/src/scalar.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/solver-e81fd723084a2324.d: crates/solver/src/lib.rs crates/solver/src/bnb.rs crates/solver/src/convex.rs crates/solver/src/integer.rs crates/solver/src/linalg.rs crates/solver/src/linear.rs crates/solver/src/scalar.rs
+
+/root/repo/target/debug/deps/solver-e81fd723084a2324: crates/solver/src/lib.rs crates/solver/src/bnb.rs crates/solver/src/convex.rs crates/solver/src/integer.rs crates/solver/src/linalg.rs crates/solver/src/linear.rs crates/solver/src/scalar.rs
+
+crates/solver/src/lib.rs:
+crates/solver/src/bnb.rs:
+crates/solver/src/convex.rs:
+crates/solver/src/integer.rs:
+crates/solver/src/linalg.rs:
+crates/solver/src/linear.rs:
+crates/solver/src/scalar.rs:

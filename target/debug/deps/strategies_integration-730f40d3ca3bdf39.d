@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/strategies_integration-730f40d3ca3bdf39.d: crates/rtsdf/../../tests/strategies_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstrategies_integration-730f40d3ca3bdf39.rmeta: crates/rtsdf/../../tests/strategies_integration.rs Cargo.toml
+
+crates/rtsdf/../../tests/strategies_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/strategies_integration-def9f16ad2728497.d: crates/rtsdf/../../tests/strategies_integration.rs
+
+/root/repo/target/debug/deps/strategies_integration-def9f16ad2728497: crates/rtsdf/../../tests/strategies_integration.rs
+
+crates/rtsdf/../../tests/strategies_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-3300784d59ed7a64.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-3300784d59ed7a64: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-c0f0819692659ba8.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-c0f0819692659ba8: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

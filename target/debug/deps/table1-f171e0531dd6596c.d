@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-f171e0531dd6596c.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-f171e0531dd6596c: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/blast_realtime-99b94b6df779fc85.d: crates/rtsdf/../../examples/blast_realtime.rs Cargo.toml
+
+/root/repo/target/debug/examples/libblast_realtime-99b94b6df779fc85.rmeta: crates/rtsdf/../../examples/blast_realtime.rs Cargo.toml
+
+crates/rtsdf/../../examples/blast_realtime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/blast_realtime-b0796f2fbe5263f1.d: crates/rtsdf/../../examples/blast_realtime.rs
+
+/root/repo/target/debug/examples/blast_realtime-b0796f2fbe5263f1: crates/rtsdf/../../examples/blast_realtime.rs
+
+crates/rtsdf/../../examples/blast_realtime.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/flexible_shares-7045fdd7ff99c574.d: crates/rtsdf/../../examples/flexible_shares.rs Cargo.toml
+
+/root/repo/target/debug/examples/libflexible_shares-7045fdd7ff99c574.rmeta: crates/rtsdf/../../examples/flexible_shares.rs Cargo.toml
+
+crates/rtsdf/../../examples/flexible_shares.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

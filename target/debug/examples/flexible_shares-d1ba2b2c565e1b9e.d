@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/flexible_shares-d1ba2b2c565e1b9e.d: crates/rtsdf/../../examples/flexible_shares.rs
+
+/root/repo/target/debug/examples/flexible_shares-d1ba2b2c565e1b9e: crates/rtsdf/../../examples/flexible_shares.rs
+
+crates/rtsdf/../../examples/flexible_shares.rs:

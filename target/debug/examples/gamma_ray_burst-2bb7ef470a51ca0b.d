@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/gamma_ray_burst-2bb7ef470a51ca0b.d: crates/rtsdf/../../examples/gamma_ray_burst.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgamma_ray_burst-2bb7ef470a51ca0b.rmeta: crates/rtsdf/../../examples/gamma_ray_burst.rs Cargo.toml
+
+crates/rtsdf/../../examples/gamma_ray_burst.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gamma_ray_burst-a3d6ac8d8a824021.d: crates/rtsdf/../../examples/gamma_ray_burst.rs
+
+/root/repo/target/debug/examples/gamma_ray_burst-a3d6ac8d8a824021: crates/rtsdf/../../examples/gamma_ray_burst.rs
+
+crates/rtsdf/../../examples/gamma_ray_burst.rs:

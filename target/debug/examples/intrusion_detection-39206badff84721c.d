@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/intrusion_detection-39206badff84721c.d: crates/rtsdf/../../examples/intrusion_detection.rs
+
+/root/repo/target/debug/examples/intrusion_detection-39206badff84721c: crates/rtsdf/../../examples/intrusion_detection.rs
+
+crates/rtsdf/../../examples/intrusion_detection.rs:

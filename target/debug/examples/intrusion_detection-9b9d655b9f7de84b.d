@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/intrusion_detection-9b9d655b9f7de84b.d: crates/rtsdf/../../examples/intrusion_detection.rs Cargo.toml
+
+/root/repo/target/debug/examples/libintrusion_detection-9b9d655b9f7de84b.rmeta: crates/rtsdf/../../examples/intrusion_detection.rs Cargo.toml
+
+crates/rtsdf/../../examples/intrusion_detection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-36265e90969b0ddc.d: crates/rtsdf/../../examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-36265e90969b0ddc.rmeta: crates/rtsdf/../../examples/quickstart.rs Cargo.toml
+
+crates/rtsdf/../../examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

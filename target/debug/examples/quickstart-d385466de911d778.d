@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-d385466de911d778.d: crates/rtsdf/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-d385466de911d778: crates/rtsdf/../../examples/quickstart.rs
+
+crates/rtsdf/../../examples/quickstart.rs:

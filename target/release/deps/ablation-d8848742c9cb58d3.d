@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-d8848742c9cb58d3.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-d8848742c9cb58d3: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-df5942e0c93a159f.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-df5942e0c93a159f: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

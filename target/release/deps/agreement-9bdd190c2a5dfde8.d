@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/agreement-9bdd190c2a5dfde8.d: crates/bench/src/bin/agreement.rs
+
+/root/repo/target/release/deps/agreement-9bdd190c2a5dfde8: crates/bench/src/bin/agreement.rs
+
+crates/bench/src/bin/agreement.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/agreement-a2a4bf03ff1d18ba.d: crates/bench/src/bin/agreement.rs
+
+/root/repo/target/release/deps/agreement-a2a4bf03ff1d18ba: crates/bench/src/bin/agreement.rs
+
+crates/bench/src/bin/agreement.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/apps-a3eeecd4c244b7d3.d: crates/apps/src/lib.rs crates/apps/src/cascade.rs crates/apps/src/kernels.rs crates/apps/src/gamma.rs crates/apps/src/ids.rs
+
+/root/repo/target/release/deps/apps-a3eeecd4c244b7d3: crates/apps/src/lib.rs crates/apps/src/cascade.rs crates/apps/src/kernels.rs crates/apps/src/gamma.rs crates/apps/src/ids.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/cascade.rs:
+crates/apps/src/kernels.rs:
+crates/apps/src/gamma.rs:
+crates/apps/src/ids.rs:

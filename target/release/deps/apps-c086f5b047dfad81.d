@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/apps-c086f5b047dfad81.d: crates/apps/src/lib.rs crates/apps/src/cascade.rs crates/apps/src/gamma.rs crates/apps/src/ids.rs crates/apps/src/kernels.rs
+
+/root/repo/target/release/deps/libapps-c086f5b047dfad81.rlib: crates/apps/src/lib.rs crates/apps/src/cascade.rs crates/apps/src/gamma.rs crates/apps/src/ids.rs crates/apps/src/kernels.rs
+
+/root/repo/target/release/deps/libapps-c086f5b047dfad81.rmeta: crates/apps/src/lib.rs crates/apps/src/cascade.rs crates/apps/src/gamma.rs crates/apps/src/ids.rs crates/apps/src/kernels.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/cascade.rs:
+crates/apps/src/gamma.rs:
+crates/apps/src/ids.rs:
+crates/apps/src/kernels.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/apps_integration-1d888c2311fb8c61.d: crates/rtsdf/../../tests/apps_integration.rs
+
+/root/repo/target/release/deps/apps_integration-1d888c2311fb8c61: crates/rtsdf/../../tests/apps_integration.rs
+
+crates/rtsdf/../../tests/apps_integration.rs:

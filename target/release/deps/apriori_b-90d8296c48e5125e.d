@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/apriori_b-90d8296c48e5125e.d: crates/bench/src/bin/apriori_b.rs
+
+/root/repo/target/release/deps/apriori_b-90d8296c48e5125e: crates/bench/src/bin/apriori_b.rs
+
+crates/bench/src/bin/apriori_b.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/apriori_b-a9fce9e8c75d9b12.d: crates/bench/src/bin/apriori_b.rs
+
+/root/repo/target/release/deps/apriori_b-a9fce9e8c75d9b12: crates/bench/src/bin/apriori_b.rs
+
+crates/bench/src/bin/apriori_b.rs:

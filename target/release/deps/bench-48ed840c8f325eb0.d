@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/bench-48ed840c8f325eb0.d: crates/bench/src/lib.rs crates/bench/src/manifest.rs
+
+/root/repo/target/release/deps/libbench-48ed840c8f325eb0.rlib: crates/bench/src/lib.rs crates/bench/src/manifest.rs
+
+/root/repo/target/release/deps/libbench-48ed840c8f325eb0.rmeta: crates/bench/src/lib.rs crates/bench/src/manifest.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/manifest.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench-a9da91a5daec2b65.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/bench-a9da91a5daec2b65: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/blast-db279412e26ef2c9.d: crates/blast/src/lib.rs crates/blast/src/index.rs crates/blast/src/kernels.rs crates/blast/src/pipeline.rs crates/blast/src/sequence.rs crates/blast/src/stages.rs
+
+/root/repo/target/release/deps/libblast-db279412e26ef2c9.rlib: crates/blast/src/lib.rs crates/blast/src/index.rs crates/blast/src/kernels.rs crates/blast/src/pipeline.rs crates/blast/src/sequence.rs crates/blast/src/stages.rs
+
+/root/repo/target/release/deps/libblast-db279412e26ef2c9.rmeta: crates/blast/src/lib.rs crates/blast/src/index.rs crates/blast/src/kernels.rs crates/blast/src/pipeline.rs crates/blast/src/sequence.rs crates/blast/src/stages.rs
+
+crates/blast/src/lib.rs:
+crates/blast/src/index.rs:
+crates/blast/src/kernels.rs:
+crates/blast/src/pipeline.rs:
+crates/blast/src/sequence.rs:
+crates/blast/src/stages.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/blast-f22ea7913d585eb0.d: crates/blast/src/lib.rs crates/blast/src/index.rs crates/blast/src/kernels.rs crates/blast/src/pipeline.rs crates/blast/src/sequence.rs crates/blast/src/stages.rs
+
+/root/repo/target/release/deps/blast-f22ea7913d585eb0: crates/blast/src/lib.rs crates/blast/src/index.rs crates/blast/src/kernels.rs crates/blast/src/pipeline.rs crates/blast/src/sequence.rs crates/blast/src/stages.rs
+
+crates/blast/src/lib.rs:
+crates/blast/src/index.rs:
+crates/blast/src/kernels.rs:
+crates/blast/src/pipeline.rs:
+crates/blast/src/sequence.rs:
+crates/blast/src/stages.rs:

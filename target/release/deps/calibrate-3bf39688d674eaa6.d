@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/calibrate-3bf39688d674eaa6.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/release/deps/calibrate-3bf39688d674eaa6: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

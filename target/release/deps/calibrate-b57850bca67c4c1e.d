@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/calibrate-b57850bca67c4c1e.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/release/deps/calibrate-b57850bca67c4c1e: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

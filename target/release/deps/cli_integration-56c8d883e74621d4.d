@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cli_integration-56c8d883e74621d4.d: crates/cli/tests/cli_integration.rs
+
+/root/repo/target/release/deps/cli_integration-56c8d883e74621d4: crates/cli/tests/cli_integration.rs
+
+crates/cli/tests/cli_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/coschedule-1598b7386bec0671.d: crates/bench/src/bin/coschedule.rs
+
+/root/repo/target/release/deps/coschedule-1598b7386bec0671: crates/bench/src/bin/coschedule.rs
+
+crates/bench/src/bin/coschedule.rs:

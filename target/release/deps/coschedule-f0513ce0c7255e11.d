@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/coschedule-f0513ce0c7255e11.d: crates/bench/src/bin/coschedule.rs
+
+/root/repo/target/release/deps/coschedule-f0513ce0c7255e11: crates/bench/src/bin/coschedule.rs
+
+crates/bench/src/bin/coschedule.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-2b008928b7de4f8d.d: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-2b008928b7de4f8d: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/dataflow_model-561240cee3133b7a.d: crates/dataflow-model/src/lib.rs crates/dataflow-model/src/analysis.rs crates/dataflow-model/src/arrival.rs crates/dataflow-model/src/error.rs crates/dataflow-model/src/gain.rs crates/dataflow-model/src/node.rs crates/dataflow-model/src/params.rs crates/dataflow-model/src/pipeline.rs
+
+/root/repo/target/release/deps/libdataflow_model-561240cee3133b7a.rlib: crates/dataflow-model/src/lib.rs crates/dataflow-model/src/analysis.rs crates/dataflow-model/src/arrival.rs crates/dataflow-model/src/error.rs crates/dataflow-model/src/gain.rs crates/dataflow-model/src/node.rs crates/dataflow-model/src/params.rs crates/dataflow-model/src/pipeline.rs
+
+/root/repo/target/release/deps/libdataflow_model-561240cee3133b7a.rmeta: crates/dataflow-model/src/lib.rs crates/dataflow-model/src/analysis.rs crates/dataflow-model/src/arrival.rs crates/dataflow-model/src/error.rs crates/dataflow-model/src/gain.rs crates/dataflow-model/src/node.rs crates/dataflow-model/src/params.rs crates/dataflow-model/src/pipeline.rs
+
+crates/dataflow-model/src/lib.rs:
+crates/dataflow-model/src/analysis.rs:
+crates/dataflow-model/src/arrival.rs:
+crates/dataflow-model/src/error.rs:
+crates/dataflow-model/src/gain.rs:
+crates/dataflow-model/src/node.rs:
+crates/dataflow-model/src/params.rs:
+crates/dataflow-model/src/pipeline.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dataflow_model-b95c6ed374d9c67b.d: crates/dataflow-model/src/lib.rs crates/dataflow-model/src/analysis.rs crates/dataflow-model/src/arrival.rs crates/dataflow-model/src/error.rs crates/dataflow-model/src/gain.rs crates/dataflow-model/src/node.rs crates/dataflow-model/src/params.rs crates/dataflow-model/src/pipeline.rs
+
+/root/repo/target/release/deps/dataflow_model-b95c6ed374d9c67b: crates/dataflow-model/src/lib.rs crates/dataflow-model/src/analysis.rs crates/dataflow-model/src/arrival.rs crates/dataflow-model/src/error.rs crates/dataflow-model/src/gain.rs crates/dataflow-model/src/node.rs crates/dataflow-model/src/params.rs crates/dataflow-model/src/pipeline.rs
+
+crates/dataflow-model/src/lib.rs:
+crates/dataflow-model/src/analysis.rs:
+crates/dataflow-model/src/arrival.rs:
+crates/dataflow-model/src/error.rs:
+crates/dataflow-model/src/gain.rs:
+crates/dataflow-model/src/node.rs:
+crates/dataflow-model/src/params.rs:
+crates/dataflow-model/src/pipeline.rs:

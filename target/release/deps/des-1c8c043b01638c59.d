@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/des-1c8c043b01638c59.d: crates/des/src/lib.rs crates/des/src/calendar.rs crates/des/src/clock.rs crates/des/src/rng.rs crates/des/src/stats.rs crates/des/src/trace.rs
+
+/root/repo/target/release/deps/des-1c8c043b01638c59: crates/des/src/lib.rs crates/des/src/calendar.rs crates/des/src/clock.rs crates/des/src/rng.rs crates/des/src/stats.rs crates/des/src/trace.rs
+
+crates/des/src/lib.rs:
+crates/des/src/calendar.rs:
+crates/des/src/clock.rs:
+crates/des/src/rng.rs:
+crates/des/src/stats.rs:
+crates/des/src/trace.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/des-3ecb31dd2ed3bf3d.d: crates/des/src/lib.rs crates/des/src/calendar.rs crates/des/src/clock.rs crates/des/src/obs.rs crates/des/src/rng.rs crates/des/src/stats.rs crates/des/src/trace.rs
+
+/root/repo/target/release/deps/libdes-3ecb31dd2ed3bf3d.rlib: crates/des/src/lib.rs crates/des/src/calendar.rs crates/des/src/clock.rs crates/des/src/obs.rs crates/des/src/rng.rs crates/des/src/stats.rs crates/des/src/trace.rs
+
+/root/repo/target/release/deps/libdes-3ecb31dd2ed3bf3d.rmeta: crates/des/src/lib.rs crates/des/src/calendar.rs crates/des/src/clock.rs crates/des/src/obs.rs crates/des/src/rng.rs crates/des/src/stats.rs crates/des/src/trace.rs
+
+crates/des/src/lib.rs:
+crates/des/src/calendar.rs:
+crates/des/src/clock.rs:
+crates/des/src/obs.rs:
+crates/des/src/rng.rs:
+crates/des/src/stats.rs:
+crates/des/src/trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extensions_integration-408d9c8602fc923f.d: crates/rtsdf/../../tests/extensions_integration.rs
+
+/root/repo/target/release/deps/extensions_integration-408d9c8602fc923f: crates/rtsdf/../../tests/extensions_integration.rs
+
+crates/rtsdf/../../tests/extensions_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-5126d9a649a819c9.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/release/deps/fig3-5126d9a649a819c9: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

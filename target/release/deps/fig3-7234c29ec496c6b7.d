@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-7234c29ec496c6b7.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/release/deps/fig3-7234c29ec496c6b7: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-128eabf165bf783a.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-128eabf165bf783a: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-900c2066bc149d81.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-900c2066bc149d81: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/flexible-9a25e55d34d6c91d.d: crates/bench/src/bin/flexible.rs
+
+/root/repo/target/release/deps/flexible-9a25e55d34d6c91d: crates/bench/src/bin/flexible.rs
+
+crates/bench/src/bin/flexible.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/flexible-9ecb31b1533a90d0.d: crates/bench/src/bin/flexible.rs
+
+/root/repo/target/release/deps/flexible-9ecb31b1533a90d0: crates/bench/src/bin/flexible.rs
+
+crates/bench/src/bin/flexible.rs:

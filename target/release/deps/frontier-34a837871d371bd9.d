@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/frontier-34a837871d371bd9.d: crates/bench/src/bin/frontier.rs
+
+/root/repo/target/release/deps/frontier-34a837871d371bd9: crates/bench/src/bin/frontier.rs
+
+crates/bench/src/bin/frontier.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/frontier-e82f3da1d35b7673.d: crates/bench/src/bin/frontier.rs
+
+/root/repo/target/release/deps/frontier-e82f3da1d35b7673: crates/bench/src/bin/frontier.rs
+
+crates/bench/src/bin/frontier.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/obs_overhead-f1714e6f064772ad.d: crates/pipeline-sim/benches/obs_overhead.rs
+
+/root/repo/target/release/deps/obs_overhead-f1714e6f064772ad: crates/pipeline-sim/benches/obs_overhead.rs
+
+crates/pipeline-sim/benches/obs_overhead.rs:

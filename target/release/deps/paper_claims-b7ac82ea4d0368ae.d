@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_claims-b7ac82ea4d0368ae.d: crates/rtsdf/../../tests/paper_claims.rs
+
+/root/repo/target/release/deps/paper_claims-b7ac82ea4d0368ae: crates/rtsdf/../../tests/paper_claims.rs
+
+crates/rtsdf/../../tests/paper_claims.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/pipeline_sim-f09c45b0e20ad081.d: crates/pipeline-sim/src/lib.rs crates/pipeline-sim/src/calibration.rs crates/pipeline-sim/src/config.rs crates/pipeline-sim/src/enforced.rs crates/pipeline-sim/src/item.rs crates/pipeline-sim/src/metrics.rs crates/pipeline-sim/src/monolithic.rs crates/pipeline-sim/src/runner.rs crates/pipeline-sim/src/timeline.rs crates/pipeline-sim/src/validate.rs
+
+/root/repo/target/release/deps/libpipeline_sim-f09c45b0e20ad081.rlib: crates/pipeline-sim/src/lib.rs crates/pipeline-sim/src/calibration.rs crates/pipeline-sim/src/config.rs crates/pipeline-sim/src/enforced.rs crates/pipeline-sim/src/item.rs crates/pipeline-sim/src/metrics.rs crates/pipeline-sim/src/monolithic.rs crates/pipeline-sim/src/runner.rs crates/pipeline-sim/src/timeline.rs crates/pipeline-sim/src/validate.rs
+
+/root/repo/target/release/deps/libpipeline_sim-f09c45b0e20ad081.rmeta: crates/pipeline-sim/src/lib.rs crates/pipeline-sim/src/calibration.rs crates/pipeline-sim/src/config.rs crates/pipeline-sim/src/enforced.rs crates/pipeline-sim/src/item.rs crates/pipeline-sim/src/metrics.rs crates/pipeline-sim/src/monolithic.rs crates/pipeline-sim/src/runner.rs crates/pipeline-sim/src/timeline.rs crates/pipeline-sim/src/validate.rs
+
+crates/pipeline-sim/src/lib.rs:
+crates/pipeline-sim/src/calibration.rs:
+crates/pipeline-sim/src/config.rs:
+crates/pipeline-sim/src/enforced.rs:
+crates/pipeline-sim/src/item.rs:
+crates/pipeline-sim/src/metrics.rs:
+crates/pipeline-sim/src/monolithic.rs:
+crates/pipeline-sim/src/runner.rs:
+crates/pipeline-sim/src/timeline.rs:
+crates/pipeline-sim/src/validate.rs:

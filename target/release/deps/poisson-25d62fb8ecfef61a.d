@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/poisson-25d62fb8ecfef61a.d: crates/bench/src/bin/poisson.rs
+
+/root/repo/target/release/deps/poisson-25d62fb8ecfef61a: crates/bench/src/bin/poisson.rs
+
+crates/bench/src/bin/poisson.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/poisson-857cb1ca47cf8a94.d: crates/bench/src/bin/poisson.rs
+
+/root/repo/target/release/deps/poisson-857cb1ca47cf8a94: crates/bench/src/bin/poisson.rs
+
+crates/bench/src/bin/poisson.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-7babb6e116073283.d: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-7babb6e116073283.rlib: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-7babb6e116073283.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

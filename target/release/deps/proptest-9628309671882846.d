@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-9628309671882846.d: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-9628309671882846: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

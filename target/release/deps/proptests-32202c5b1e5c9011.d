@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-32202c5b1e5c9011.d: crates/des/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-32202c5b1e5c9011: crates/des/tests/proptests.rs
+
+crates/des/tests/proptests.rs:

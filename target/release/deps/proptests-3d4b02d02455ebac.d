@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-3d4b02d02455ebac.d: crates/apps/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-3d4b02d02455ebac: crates/apps/tests/proptests.rs
+
+crates/apps/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-54ef8018cc0f4df9.d: crates/core/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-54ef8018cc0f4df9: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

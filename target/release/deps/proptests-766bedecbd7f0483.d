@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-766bedecbd7f0483.d: crates/solver/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-766bedecbd7f0483: crates/solver/tests/proptests.rs
+
+crates/solver/tests/proptests.rs:

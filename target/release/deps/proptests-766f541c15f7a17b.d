@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-766f541c15f7a17b.d: crates/queueing/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-766f541c15f7a17b: crates/queueing/tests/proptests.rs
+
+crates/queueing/tests/proptests.rs:

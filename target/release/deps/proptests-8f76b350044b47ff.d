@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-8f76b350044b47ff.d: crates/blast/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-8f76b350044b47ff: crates/blast/tests/proptests.rs
+
+crates/blast/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-a60459ee5e166aeb.d: crates/dataflow-model/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-a60459ee5e166aeb: crates/dataflow-model/tests/proptests.rs
+
+crates/dataflow-model/tests/proptests.rs:

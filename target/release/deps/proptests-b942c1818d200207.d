@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-b942c1818d200207.d: crates/pipeline-sim/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-b942c1818d200207: crates/pipeline-sim/tests/proptests.rs
+
+crates/pipeline-sim/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-f9d7a615686cf073.d: crates/simd-device/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-f9d7a615686cf073: crates/simd-device/tests/proptests.rs
+
+crates/simd-device/tests/proptests.rs:

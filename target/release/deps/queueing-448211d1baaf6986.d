@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/queueing-448211d1baaf6986.d: crates/queueing/src/lib.rs crates/queueing/src/bulk.rs crates/queueing/src/estimate.rs crates/queueing/src/pmf.rs
+
+/root/repo/target/release/deps/queueing-448211d1baaf6986: crates/queueing/src/lib.rs crates/queueing/src/bulk.rs crates/queueing/src/estimate.rs crates/queueing/src/pmf.rs
+
+crates/queueing/src/lib.rs:
+crates/queueing/src/bulk.rs:
+crates/queueing/src/estimate.rs:
+crates/queueing/src/pmf.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/queueing-b76157310b2e5427.d: crates/queueing/src/lib.rs crates/queueing/src/bulk.rs crates/queueing/src/estimate.rs crates/queueing/src/pmf.rs
+
+/root/repo/target/release/deps/libqueueing-b76157310b2e5427.rlib: crates/queueing/src/lib.rs crates/queueing/src/bulk.rs crates/queueing/src/estimate.rs crates/queueing/src/pmf.rs
+
+/root/repo/target/release/deps/libqueueing-b76157310b2e5427.rmeta: crates/queueing/src/lib.rs crates/queueing/src/bulk.rs crates/queueing/src/estimate.rs crates/queueing/src/pmf.rs
+
+crates/queueing/src/lib.rs:
+crates/queueing/src/bulk.rs:
+crates/queueing/src/estimate.rs:
+crates/queueing/src/pmf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-2995a8f3192d14a2.d: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-2995a8f3192d14a2: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

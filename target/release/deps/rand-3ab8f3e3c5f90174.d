@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-3ab8f3e3c5f90174.d: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-3ab8f3e3c5f90174.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-3ab8f3e3c5f90174.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

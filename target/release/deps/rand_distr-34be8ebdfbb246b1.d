@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand_distr-34be8ebdfbb246b1.d: shims/rand_distr/src/lib.rs
+
+/root/repo/target/release/deps/librand_distr-34be8ebdfbb246b1.rlib: shims/rand_distr/src/lib.rs
+
+/root/repo/target/release/deps/librand_distr-34be8ebdfbb246b1.rmeta: shims/rand_distr/src/lib.rs
+
+shims/rand_distr/src/lib.rs:

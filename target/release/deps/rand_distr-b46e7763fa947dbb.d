@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand_distr-b46e7763fa947dbb.d: shims/rand_distr/src/lib.rs
+
+/root/repo/target/release/deps/rand_distr-b46e7763fa947dbb: shims/rand_distr/src/lib.rs
+
+shims/rand_distr/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rtsdf-d556af0072f7f382.d: crates/rtsdf/src/lib.rs
+
+/root/repo/target/release/deps/librtsdf-d556af0072f7f382.rlib: crates/rtsdf/src/lib.rs
+
+/root/repo/target/release/deps/librtsdf-d556af0072f7f382.rmeta: crates/rtsdf/src/lib.rs
+
+crates/rtsdf/src/lib.rs:

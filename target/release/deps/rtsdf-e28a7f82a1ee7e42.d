@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rtsdf-e28a7f82a1ee7e42.d: crates/rtsdf/src/lib.rs
+
+/root/repo/target/release/deps/rtsdf-e28a7f82a1ee7e42: crates/rtsdf/src/lib.rs
+
+crates/rtsdf/src/lib.rs:

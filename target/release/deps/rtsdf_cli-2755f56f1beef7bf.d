@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rtsdf_cli-2755f56f1beef7bf.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/rtsdf_cli-2755f56f1beef7bf: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rtsdf_cli-7a4eb2a194fbd348.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/rtsdf_cli-7a4eb2a194fbd348: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

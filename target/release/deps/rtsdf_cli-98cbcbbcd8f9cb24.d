@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rtsdf_cli-98cbcbbcd8f9cb24.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/release/deps/rtsdf_cli-98cbcbbcd8f9cb24: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

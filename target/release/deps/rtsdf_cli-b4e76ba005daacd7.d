@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rtsdf_cli-b4e76ba005daacd7.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/rtsdf_cli-b4e76ba005daacd7: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rtsdf_cli-ccafa27a2d8f29e3.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/release/deps/librtsdf_cli-ccafa27a2d8f29e3.rlib: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/release/deps/librtsdf_cli-ccafa27a2d8f29e3.rmeta: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/rtsdf_core-1a984dad5a40762c.d: crates/core/src/lib.rs crates/core/src/comparison.rs crates/core/src/coschedule.rs crates/core/src/enforced.rs crates/core/src/feasibility.rs crates/core/src/flexible.rs crates/core/src/frontier.rs crates/core/src/kkt.rs crates/core/src/monolithic.rs crates/core/src/schedule.rs
+
+/root/repo/target/release/deps/rtsdf_core-1a984dad5a40762c: crates/core/src/lib.rs crates/core/src/comparison.rs crates/core/src/coschedule.rs crates/core/src/enforced.rs crates/core/src/feasibility.rs crates/core/src/flexible.rs crates/core/src/frontier.rs crates/core/src/kkt.rs crates/core/src/monolithic.rs crates/core/src/schedule.rs
+
+crates/core/src/lib.rs:
+crates/core/src/comparison.rs:
+crates/core/src/coschedule.rs:
+crates/core/src/enforced.rs:
+crates/core/src/feasibility.rs:
+crates/core/src/flexible.rs:
+crates/core/src/frontier.rs:
+crates/core/src/kkt.rs:
+crates/core/src/monolithic.rs:
+crates/core/src/schedule.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde-424c43ccc05f09e4.d: shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/serde-424c43ccc05f09e4: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

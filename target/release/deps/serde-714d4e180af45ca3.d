@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-714d4e180af45ca3.d: shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-714d4e180af45ca3.rlib: shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-714d4e180af45ca3.rmeta: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

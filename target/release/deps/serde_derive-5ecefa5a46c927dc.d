@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-5ecefa5a46c927dc.d: shims/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-5ecefa5a46c927dc.so: shims/serde_derive/src/lib.rs
+
+shims/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-f0c6cdb6f4c8087f.d: shims/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/serde_derive-f0c6cdb6f4c8087f: shims/serde_derive/src/lib.rs
+
+shims/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_json-3cdcc8c13c4ef35b.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/serde_json-3cdcc8c13c4ef35b: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-5f5d5c9bdafe30e9.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-5f5d5c9bdafe30e9.rlib: shims/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-5f5d5c9bdafe30e9.rmeta: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/simd_device-200b169b1d34a7c1.d: crates/simd-device/src/lib.rs crates/simd-device/src/batch.rs crates/simd-device/src/machine.rs crates/simd-device/src/occupancy.rs crates/simd-device/src/share.rs
+
+/root/repo/target/release/deps/simd_device-200b169b1d34a7c1: crates/simd-device/src/lib.rs crates/simd-device/src/batch.rs crates/simd-device/src/machine.rs crates/simd-device/src/occupancy.rs crates/simd-device/src/share.rs
+
+crates/simd-device/src/lib.rs:
+crates/simd-device/src/batch.rs:
+crates/simd-device/src/machine.rs:
+crates/simd-device/src/occupancy.rs:
+crates/simd-device/src/share.rs:

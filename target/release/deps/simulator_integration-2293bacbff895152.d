@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/simulator_integration-2293bacbff895152.d: crates/rtsdf/../../tests/simulator_integration.rs
+
+/root/repo/target/release/deps/simulator_integration-2293bacbff895152: crates/rtsdf/../../tests/simulator_integration.rs
+
+crates/rtsdf/../../tests/simulator_integration.rs:

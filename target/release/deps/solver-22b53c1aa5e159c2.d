@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/solver-22b53c1aa5e159c2.d: crates/solver/src/lib.rs crates/solver/src/bnb.rs crates/solver/src/convex.rs crates/solver/src/integer.rs crates/solver/src/linalg.rs crates/solver/src/linear.rs crates/solver/src/scalar.rs
+
+/root/repo/target/release/deps/solver-22b53c1aa5e159c2: crates/solver/src/lib.rs crates/solver/src/bnb.rs crates/solver/src/convex.rs crates/solver/src/integer.rs crates/solver/src/linalg.rs crates/solver/src/linear.rs crates/solver/src/scalar.rs
+
+crates/solver/src/lib.rs:
+crates/solver/src/bnb.rs:
+crates/solver/src/convex.rs:
+crates/solver/src/integer.rs:
+crates/solver/src/linalg.rs:
+crates/solver/src/linear.rs:
+crates/solver/src/scalar.rs:

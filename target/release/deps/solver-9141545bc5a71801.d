@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/solver-9141545bc5a71801.d: crates/solver/src/lib.rs crates/solver/src/bnb.rs crates/solver/src/convex.rs crates/solver/src/integer.rs crates/solver/src/linalg.rs crates/solver/src/linear.rs crates/solver/src/scalar.rs
+
+/root/repo/target/release/deps/libsolver-9141545bc5a71801.rlib: crates/solver/src/lib.rs crates/solver/src/bnb.rs crates/solver/src/convex.rs crates/solver/src/integer.rs crates/solver/src/linalg.rs crates/solver/src/linear.rs crates/solver/src/scalar.rs
+
+/root/repo/target/release/deps/libsolver-9141545bc5a71801.rmeta: crates/solver/src/lib.rs crates/solver/src/bnb.rs crates/solver/src/convex.rs crates/solver/src/integer.rs crates/solver/src/linalg.rs crates/solver/src/linear.rs crates/solver/src/scalar.rs
+
+crates/solver/src/lib.rs:
+crates/solver/src/bnb.rs:
+crates/solver/src/convex.rs:
+crates/solver/src/integer.rs:
+crates/solver/src/linalg.rs:
+crates/solver/src/linear.rs:
+crates/solver/src/scalar.rs:

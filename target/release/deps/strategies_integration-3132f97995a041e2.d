@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/strategies_integration-3132f97995a041e2.d: crates/rtsdf/../../tests/strategies_integration.rs
+
+/root/repo/target/release/deps/strategies_integration-3132f97995a041e2: crates/rtsdf/../../tests/strategies_integration.rs
+
+crates/rtsdf/../../tests/strategies_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-90d5b057737f0efa.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-90d5b057737f0efa: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

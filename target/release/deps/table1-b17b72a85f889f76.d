@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-b17b72a85f889f76.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-b17b72a85f889f76: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

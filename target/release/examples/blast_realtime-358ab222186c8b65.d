@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/blast_realtime-358ab222186c8b65.d: crates/rtsdf/../../examples/blast_realtime.rs
+
+/root/repo/target/release/examples/blast_realtime-358ab222186c8b65: crates/rtsdf/../../examples/blast_realtime.rs
+
+crates/rtsdf/../../examples/blast_realtime.rs:

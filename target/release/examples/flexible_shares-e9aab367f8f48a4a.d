@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/flexible_shares-e9aab367f8f48a4a.d: crates/rtsdf/../../examples/flexible_shares.rs
+
+/root/repo/target/release/examples/flexible_shares-e9aab367f8f48a4a: crates/rtsdf/../../examples/flexible_shares.rs
+
+crates/rtsdf/../../examples/flexible_shares.rs:

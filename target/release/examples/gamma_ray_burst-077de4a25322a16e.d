@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/gamma_ray_burst-077de4a25322a16e.d: crates/rtsdf/../../examples/gamma_ray_burst.rs
+
+/root/repo/target/release/examples/gamma_ray_burst-077de4a25322a16e: crates/rtsdf/../../examples/gamma_ray_burst.rs
+
+crates/rtsdf/../../examples/gamma_ray_burst.rs:

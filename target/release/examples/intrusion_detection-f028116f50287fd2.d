@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/intrusion_detection-f028116f50287fd2.d: crates/rtsdf/../../examples/intrusion_detection.rs
+
+/root/repo/target/release/examples/intrusion_detection-f028116f50287fd2: crates/rtsdf/../../examples/intrusion_detection.rs
+
+crates/rtsdf/../../examples/intrusion_detection.rs:

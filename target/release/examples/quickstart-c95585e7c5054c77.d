@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-c95585e7c5054c77.d: crates/rtsdf/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-c95585e7c5054c77: crates/rtsdf/../../examples/quickstart.rs
+
+crates/rtsdf/../../examples/quickstart.rs:

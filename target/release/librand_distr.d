@@ -1,0 +1,1 @@
+/root/repo/target/release/librand_distr.rlib: /root/repo/shims/rand/src/lib.rs /root/repo/shims/rand_distr/src/lib.rs

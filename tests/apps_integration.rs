@@ -25,7 +25,11 @@ fn schedule_and_simulate(
 #[test]
 fn gamma_pipeline_schedules_and_validates() {
     let p = gamma::synthesize(&gamma::GammaConfig::default(), 1).unwrap();
-    let b: Vec<f64> = p.mean_gains().iter().map(|g| (g.ceil() + 1.0).max(2.0)).collect();
+    let b: Vec<f64> = p
+        .mean_gains()
+        .iter()
+        .map(|g| (g.ceil() + 1.0).max(2.0))
+        .collect();
     let (predicted, measured, miss) = schedule_and_simulate(&p, 40.0, 8e4, b, 6_000);
     assert!(
         (predicted - measured).abs() / predicted < 0.06,
@@ -37,7 +41,11 @@ fn gamma_pipeline_schedules_and_validates() {
 #[test]
 fn ids_pipeline_schedules_and_validates() {
     let p = ids::synthesize(&ids::IdsConfig::default(), 2).unwrap();
-    let b: Vec<f64> = p.mean_gains().iter().map(|g| (g.ceil() + 1.0).max(2.0)).collect();
+    let b: Vec<f64> = p
+        .mean_gains()
+        .iter()
+        .map(|g| (g.ceil() + 1.0).max(2.0))
+        .collect();
     let (predicted, measured, miss) = schedule_and_simulate(&p, 60.0, 1e5, b, 6_000);
     assert!(
         (predicted - measured).abs() / predicted < 0.06,
@@ -49,7 +57,11 @@ fn ids_pipeline_schedules_and_validates() {
 #[test]
 fn cascade_pipeline_schedules_and_validates() {
     let p = cascade::synthesize(&cascade::CascadeConfig::default(), 3).unwrap();
-    let b: Vec<f64> = p.mean_gains().iter().map(|g| (g.ceil() + 1.0).max(2.0)).collect();
+    let b: Vec<f64> = p
+        .mean_gains()
+        .iter()
+        .map(|g| (g.ceil() + 1.0).max(2.0))
+        .collect();
     let (predicted, measured, miss) = schedule_and_simulate(&p, 50.0, 1.2e5, b, 6_000);
     assert!(
         (predicted - measured).abs() / predicted < 0.06,
@@ -71,7 +83,11 @@ fn measured_blast_variant_flows_through_the_stack() {
     };
     let (p, table) = rtsdf::blast::measure_pipeline(&cfg).unwrap();
     assert_eq!(table.rows.len(), 4);
-    let b: Vec<f64> = p.mean_gains().iter().map(|g| (g.ceil() + 2.0).max(3.0)).collect();
+    let b: Vec<f64> = p
+        .mean_gains()
+        .iter()
+        .map(|g| (g.ceil() + 2.0).max(3.0))
+        .collect();
     let (predicted, measured, miss) = schedule_and_simulate(&p, 40.0, 4e5, b, 5_000);
     assert!(
         (predicted - measured).abs() / predicted < 0.08,
@@ -108,7 +124,11 @@ fn all_apps_have_the_irregular_shape() {
 fn bursty_arrivals_stress_but_do_not_break_enforced_schedules() {
     let p = ids::synthesize(&ids::IdsConfig::default(), 4).unwrap();
     let params = RtParams::new(60.0, 1.2e5).unwrap();
-    let b: Vec<f64> = p.mean_gains().iter().map(|g| (g.ceil() + 2.0).max(3.0)).collect();
+    let b: Vec<f64> = p
+        .mean_gains()
+        .iter()
+        .map(|g| (g.ceil() + 2.0).max(3.0))
+        .collect();
     let sched = EnforcedWaitsProblem::new(&p, params, b)
         .solve(SolveMethod::WaterFilling)
         .unwrap();
@@ -119,7 +139,10 @@ fn bursty_arrivals_stress_but_do_not_break_enforced_schedules() {
         off_mean: 3_000.0,
     };
     let m = simulate_enforced(&p, &sched, params.deadline, &cfg);
-    assert!(!m.truncated, "bursty load must not destabilize the schedule");
+    assert!(
+        !m.truncated,
+        "bursty load must not destabilize the schedule"
+    );
     assert!(
         m.miss_rate() < 0.2,
         "bursty miss rate {} unexpectedly catastrophic",

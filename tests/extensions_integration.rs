@@ -33,10 +33,14 @@ fn frontier_flexible_and_equal_share_orders() {
     assert!(flex_min < equal_min);
     // Flexible schedules just above its analytic minimum...
     let params = RtParams::new(tau0, flex_min * 1.02).unwrap();
-    assert!(FlexibleSharesProblem::new(&p, params, PAPER_B.to_vec()).solve().is_ok());
+    assert!(FlexibleSharesProblem::new(&p, params, PAPER_B.to_vec())
+        .solve()
+        .is_ok());
     // ...and not below it.
     let params = RtParams::new(tau0, flex_min * 0.98).unwrap();
-    assert!(FlexibleSharesProblem::new(&p, params, PAPER_B.to_vec()).solve().is_err());
+    assert!(FlexibleSharesProblem::new(&p, params, PAPER_B.to_vec())
+        .solve()
+        .is_err());
 }
 
 #[test]
@@ -62,7 +66,10 @@ fn coscheduling_composes_with_the_frontier() {
         b: PAPER_B.to_vec(),
     };
     let n = max_replicas(&w).unwrap();
-    assert!(n <= 2, "near-frontier workloads are expensive: {n} replicas");
+    assert!(
+        n <= 2,
+        "near-frontier workloads are expensive: {n} replicas"
+    );
     // A relaxed workload co-schedules with it if capacity remains.
     let relaxed = Workload {
         pipeline: &p,
@@ -88,8 +95,15 @@ fn flexible_schedule_simulates_within_its_deadline() {
         backlog_factors: PAPER_B.to_vec(),
         latency_bound: sched.latency_bound,
         method: SolveMethod::WaterFilling,
+        telemetry: None,
     };
-    let report = run_seeds_enforced(&realized, &ws, params.deadline, &SimConfig::quick(10.0, 0, 5_000), 8);
+    let report = run_seeds_enforced(
+        &realized,
+        &ws,
+        params.deadline,
+        &SimConfig::quick(10.0, 0, 5_000),
+        8,
+    );
     assert!(
         report.miss_free_fraction() >= 0.75,
         "flexible schedule below the equal-share frontier should still be miss-free-ish: {}",
@@ -129,14 +143,24 @@ fn vacation_discipline_is_a_pure_win_at_slow_rates() {
     vacation.discipline = FiringDiscipline::Vacation;
     let sm = simulate_enforced(&p, &sched, params.deadline, &strict);
     let vm = simulate_enforced(&p, &sched, params.deadline, &vacation);
-    assert!(vm.active_fraction < sm.active_fraction, "{} vs {}", vm.active_fraction, sm.active_fraction);
+    assert!(
+        vm.active_fraction < sm.active_fraction,
+        "{} vs {}",
+        vm.active_fraction,
+        sm.active_fraction
+    );
     assert!(vm.latency.mean() <= sm.latency.mean() + 1e-9);
     assert!(vm.miss_rate() <= sm.miss_rate() + 1e-12);
     // And the strict run's *vacation metric* equals roughly what the
     // vacation run actually charges.
-    let rel = (sm.active_fraction_nonempty - vm.active_fraction).abs()
-        / vm.active_fraction.max(1e-12);
-    assert!(rel < 0.35, "vacation metric {} vs realized {}", sm.active_fraction_nonempty, vm.active_fraction);
+    let rel =
+        (sm.active_fraction_nonempty - vm.active_fraction).abs() / vm.active_fraction.max(1e-12);
+    assert!(
+        rel < 0.35,
+        "vacation metric {} vs realized {}",
+        sm.active_fraction_nonempty,
+        vm.active_fraction
+    );
     strict.seed = 3;
     vacation.seed = 3;
     let sm2 = simulate_enforced(&p, &sched, params.deadline, &strict);

@@ -95,8 +95,12 @@ fn claim_fig4_win_regions() {
     // slack; monolithic dominates for slow arrivals and little slack.
     let p = blast();
     let (tau0s, ds) = RtParams::paper_grid(10, 10);
-    let r = sweep(&p, &tau0s, &ds, &SweepConfig::paper_blast());
-    assert!(r.enforced_win_fraction() > 0.6, "{}", r.enforced_win_fraction());
+    let r = sweep(&p, &tau0s, &ds, &SweepConfig::paper_blast()).unwrap();
+    assert!(
+        r.enforced_win_fraction() > 0.6,
+        "{}",
+        r.enforced_win_fraction()
+    );
     assert!(r.max_enforced_advantage().unwrap() >= 0.4);
 
     // The monolithic corner: slow arrivals, minimal slack.

@@ -113,7 +113,9 @@ fn monolithic_nearly_miss_free_at_b1_s1() {
     let p = blast();
     for (tau0, d) in [(30.0, 1e5), (60.0, 2e5)] {
         let params = RtParams::new(tau0, d).unwrap();
-        let sched = MonolithicProblem::new(&p, params, 1.0, 1.0).solve().unwrap();
+        let sched = MonolithicProblem::new(&p, params, 1.0, 1.0)
+            .solve()
+            .unwrap();
         let report = run_seeds_monolithic(
             &p,
             &sched,
@@ -127,7 +129,9 @@ fn monolithic_nearly_miss_free_at_b1_s1() {
             report.worst_miss_rate()
         );
 
-        let safe = MonolithicProblem::new(&p, params, 1.0, 1.1).solve().unwrap();
+        let safe = MonolithicProblem::new(&p, params, 1.0, 1.1)
+            .solve()
+            .unwrap();
         let safe_report = run_seeds_monolithic(
             &p,
             &safe,
@@ -168,7 +172,12 @@ fn empty_firings_metric_ordering() {
     let sched = EnforcedWaitsProblem::new(&p, params, PAPER_B.to_vec())
         .solve(SolveMethod::WaterFilling)
         .unwrap();
-    let m = simulate_enforced(&p, &sched, params.deadline, &SimConfig::quick(50.0, 2, 3_000));
+    let m = simulate_enforced(
+        &p,
+        &sched,
+        params.deadline,
+        &SimConfig::quick(50.0, 2, 3_000),
+    );
     assert!(m.active_fraction_nonempty <= m.active_fraction + 1e-12);
     // At τ0=50 the tail stages see little traffic: some firings must be
     // empty, so the two metrics genuinely differ.

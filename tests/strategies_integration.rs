@@ -38,7 +38,9 @@ fn both_solvers_agree_and_certify_across_the_grid() {
                     );
                 }
                 (Err(_), Err(_)) => {} // consistently infeasible
-                (wf, ip) => panic!("feasibility disagreement at tau0={tau0} D={d}: {wf:?} vs {ip:?}"),
+                (wf, ip) => {
+                    panic!("feasibility disagreement at tau0={tau0} D={d}: {wf:?} vs {ip:?}")
+                }
             }
         }
     }
