@@ -1,0 +1,73 @@
+//! Compare two `BENCH_*.json` run manifests and gate on regressions.
+//!
+//! ```text
+//! cargo run --release -p bench --bin bench_diff -- \
+//!     results/baseline/BENCH_fig3.json BENCH_fig3.json \
+//!     [--threshold 0.05] [--gate-wall] [--all]
+//! ```
+//!
+//! Prints a delta table (changed leaves only; `--all` includes
+//! unchanged ones) and exits 0 when clean, 1 on a regression past the
+//! threshold, 2 when the manifests are not comparable (different
+//! experiment or grid) or on usage errors.
+
+use bench::{diff_manifests, render_diff, DiffConfig, RunManifest};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_diff <baseline.json> <candidate.json> \
+         [--threshold FRACTION] [--gate-wall] [--all]"
+    );
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> RunManifest {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_diff: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    serde_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!("bench_diff: {path} is not a run manifest: {e:?}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = DiffConfig::default();
+    let mut files = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                let Some(v) = it.next().and_then(|v| v.parse::<f64>().ok()) else {
+                    usage();
+                };
+                if !(v.is_finite() && v >= 0.0) {
+                    usage();
+                }
+                config.threshold = v;
+            }
+            "--gate-wall" => config.gate_wall = true,
+            "--all" => config.show_unchanged = true,
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => usage(),
+            other => files.push(other.to_string()),
+        }
+    }
+    let [baseline, candidate] = files.as_slice() else {
+        usage();
+    };
+    let old = load(baseline);
+    let new = load(candidate);
+    println!(
+        "comparing {} ({}) -> {} ({})",
+        baseline,
+        old.git_rev.as_deref().unwrap_or("unknown rev"),
+        candidate,
+        new.git_rev.as_deref().unwrap_or("unknown rev"),
+    );
+    let report = diff_manifests(&old, &new, &config);
+    print!("{}", render_diff(&report, &config));
+    std::process::exit(report.exit_code());
+}

@@ -7,8 +7,12 @@
 //! wall time, fallbacks); `--metrics csv` writes the same data flat to
 //! `BENCH_fig3.csv`.
 //!
+//! `--grid RxC` shrinks the τ0 × D grid from the paper's 16x16 (CI
+//! runs a small grid and diffs the manifest against the committed
+//! baseline with `bench_diff`).
+//!
 //! ```text
-//! cargo run --release -p bench --bin fig3 [-- --csv] [--metrics json|csv]
+//! cargo run --release -p bench --bin fig3 [-- --csv] [--metrics json|csv] [--grid RxC]
 //! ```
 
 use bench::manifest::emit_sweep_metrics;
@@ -22,8 +26,24 @@ fn main() {
         eprintln!("{e}");
         std::process::exit(2);
     });
+    let (rows, cols) = match args.iter().position(|a| a == "--grid") {
+        None => (16, 16),
+        Some(pos) => {
+            let parsed = args.get(pos + 1).and_then(|v| {
+                let (r, c) = v.split_once('x')?;
+                Some((r.parse::<usize>().ok()?, c.parse::<usize>().ok()?))
+            });
+            match parsed {
+                Some((r, c)) if r >= 2 && c >= 2 => (r, c),
+                _ => {
+                    eprintln!("--grid expects RxC with R, C >= 2 (e.g. --grid 4x4)");
+                    std::process::exit(2);
+                }
+            }
+        }
+    };
     let pipeline = rtsdf::blast::paper_pipeline();
-    let (tau0s, ds) = RtParams::paper_grid(16, 16);
+    let (tau0s, ds) = RtParams::paper_grid(rows, cols);
     let sweep_config = SweepConfig::paper_blast();
     let result =
         sweep_parallel(&pipeline, &tau0s, &ds, &sweep_config).expect("paper grid is valid");

@@ -8,8 +8,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod diff;
 pub mod manifest;
 
+pub use diff::{diff_manifests, render_diff, DiffConfig, DiffReport};
 pub use manifest::{parse_metrics_flag, MetricsFormat, RunManifest};
 
 use std::fmt::Write as _;
@@ -46,17 +48,84 @@ pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
     out
 }
 
-/// Emit a CSV block (comma-separated, no quoting — callers pass numeric
-/// cells).
+/// Quote a CSV cell per RFC 4180 when it needs it: cells containing a
+/// comma, double quote, or line break are wrapped in double quotes with
+/// embedded quotes doubled. Plain cells pass through unchanged.
+pub fn csv_escape(cell: &str) -> String {
+    if cell.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+/// Emit a CSV block. Cells are escaped per RFC 4180 ([`csv_escape`]),
+/// so free-text columns (method names, error strings) survive commas,
+/// quotes, and newlines.
 pub fn render_csv(header: &[&str], rows: &[Vec<String>]) -> String {
     let mut out = String::new();
-    out.push_str(&header.join(","));
-    out.push('\n');
-    for row in rows {
-        out.push_str(&row.join(","));
+    let fmt_row = |cells: &mut dyn Iterator<Item = &str>, out: &mut String| {
+        let mut first = true;
+        for cell in cells {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&csv_escape(cell));
+        }
         out.push('\n');
+    };
+    fmt_row(&mut header.iter().copied(), &mut out);
+    for row in rows {
+        fmt_row(&mut row.iter().map(String::as_str), &mut out);
     }
     out
+}
+
+/// Parse a CSV block produced by [`render_csv`] back into rows
+/// (header included as the first row). Handles quoted cells with
+/// embedded commas, doubled quotes, and line breaks; returns `Err` on
+/// an unterminated quote.
+pub fn parse_csv(text: &str) -> Result<Vec<Vec<String>>, String> {
+    let mut rows = Vec::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut cell = String::new();
+    let mut chars = text.chars().peekable();
+    let mut in_quotes = false;
+    let mut any = false;
+    while let Some(c) = chars.next() {
+        any = true;
+        if in_quotes {
+            match c {
+                '"' if chars.peek() == Some(&'"') => {
+                    chars.next();
+                    cell.push('"');
+                }
+                '"' => in_quotes = false,
+                other => cell.push(other),
+            }
+            continue;
+        }
+        match c {
+            '"' => in_quotes = true,
+            ',' => row.push(std::mem::take(&mut cell)),
+            '\r' => {}
+            '\n' => {
+                row.push(std::mem::take(&mut cell));
+                rows.push(std::mem::take(&mut row));
+            }
+            other => cell.push(other),
+        }
+    }
+    if in_quotes {
+        return Err("unterminated quoted cell".into());
+    }
+    // A final line without a trailing newline still counts.
+    if any && (!cell.is_empty() || !row.is_empty()) {
+        row.push(cell);
+        rows.push(row);
+    }
+    Ok(rows)
 }
 
 /// An ASCII heatmap of a row-major grid (`None` = infeasible cell).
@@ -132,6 +201,37 @@ mod tests {
     fn csv_renders() {
         let c = render_csv(&["x", "y"], &[vec!["1".into(), "2".into()]]);
         assert_eq!(c, "x,y\n1,2\n");
+    }
+
+    #[test]
+    fn csv_escapes_special_cells() {
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(csv_escape("two\nlines"), "\"two\nlines\"");
+        let c = render_csv(&["note"], &[vec!["x, y".into()]]);
+        assert_eq!(c, "note\n\"x, y\"\n");
+    }
+
+    #[test]
+    fn csv_round_trips_hostile_cells() {
+        let rows = vec![
+            vec!["1.5".to_string(), "water-filling".to_string()],
+            vec!["commas, galore".to_string(), "quote \"this\"".to_string()],
+            vec!["multi\nline".to_string(), String::new()],
+        ];
+        let text = render_csv(&["a", "b"], &rows);
+        let back = parse_csv(&text).unwrap();
+        assert_eq!(back[0], vec!["a", "b"]);
+        assert_eq!(&back[1..], rows.as_slice());
+    }
+
+    #[test]
+    fn parse_csv_rejects_unterminated_quote() {
+        assert!(parse_csv("a,\"oops\n").is_err());
+        assert_eq!(parse_csv("").unwrap(), Vec::<Vec<String>>::new());
+        // Missing trailing newline still yields the last row.
+        assert_eq!(parse_csv("a,b").unwrap(), vec![vec!["a", "b"]]);
     }
 
     #[test]

@@ -165,10 +165,19 @@ pub fn out_dir() -> PathBuf {
     std::env::var_os("BENCH_OUT_DIR").map_or_else(|| PathBuf::from("."), PathBuf::from)
 }
 
-/// Current git revision, if a repository and the `git` binary are
-/// available.
+/// Current git revision of the working directory, if a repository and
+/// the `git` binary are available.
 pub fn git_rev() -> Option<String> {
+    git_rev_in(std::path::Path::new("."))
+}
+
+/// Git revision of `dir` (`git -C dir rev-parse HEAD`): `None` when
+/// `git` is missing, `dir` is not inside a repository, or the output is
+/// not a revision. The testable core of [`git_rev`].
+pub fn git_rev_in(dir: &std::path::Path) -> Option<String> {
     let out = std::process::Command::new("git")
+        .arg("-C")
+        .arg(dir)
         .args(["rev-parse", "HEAD"])
         .output()
         .ok()?;
@@ -213,6 +222,30 @@ mod tests {
         let back: RunManifest = serde_json::from_str(&j).unwrap();
         assert_eq!(back.experiment, "unit");
         assert_eq!(back.argv, m.argv);
+    }
+
+    #[test]
+    fn git_rev_in_repo_is_a_trimmed_hash() {
+        // Skip silently when the git binary is absent altogether.
+        if std::process::Command::new("git")
+            .arg("--version")
+            .output()
+            .is_err()
+        {
+            return;
+        }
+        let rev = git_rev_in(std::path::Path::new(env!("CARGO_MANIFEST_DIR")))
+            .expect("manifest dir is inside the workspace repo");
+        assert_eq!(rev.len(), 40, "full SHA-1, no trailing newline: {rev:?}");
+        assert!(rev.chars().all(|c| c.is_ascii_hexdigit()), "{rev:?}");
+    }
+
+    #[test]
+    fn git_rev_outside_a_repo_is_none() {
+        let dir = std::env::temp_dir().join(format!("bench-git-rev-none-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        assert_eq!(git_rev_in(&dir), None);
+        let _ = std::fs::remove_dir(&dir);
     }
 
     #[test]

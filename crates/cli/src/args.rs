@@ -20,6 +20,10 @@ USAGE:
                       [--seeds K] [--items N]
   rtsdf-cli gantt     --pipeline FILE --tau0 T --deadline D
                       [--b B1,B2,...] [--window CYCLES] [--width COLS]
+  rtsdf-cli trace     --pipeline FILE --tau0 T --deadline D
+                      [--b B1,B2,...] [--items N] [--seed S]
+                      [--strategy enforced|monolithic] [--format chrome|json]
+                      [--alpha A] [--out FILE]
 
 OPTIONS:
   --pipeline FILE   JSON file holding a PipelineSpec (see example-pipeline)
@@ -34,6 +38,12 @@ OPTIONS:
   --json / --csv    machine-readable output
   --metrics FMT     also write a BENCH_<cmd> run manifest (json) or flat
                     per-cell/per-seed rows (csv) to $BENCH_OUT_DIR or .
+  --seed S          RNG seed for a single traced run (default: 0)
+  --format FMT      trace output: 'chrome' (Chrome/Perfetto trace-event
+                    JSON, the default) or 'json' (metrics + blame report)
+  --alpha A         deadline-miss forensics threshold: analyze items with
+                    latency > A*deadline (default: 1.0)
+  --out FILE        trace output path (default: trace.json)
 ";
 
 /// Which strategies an `optimize` run covers.
@@ -47,6 +57,15 @@ pub enum Strategy {
     Flexible,
     /// Everything.
     All,
+}
+
+/// Output format of the `trace` subcommand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// Chrome trace-event JSON, loadable in Perfetto / `chrome://tracing`.
+    Chrome,
+    /// Structured metrics + blame report JSON.
+    Json,
 }
 
 /// A parsed command line.
@@ -113,6 +132,29 @@ pub enum Command {
         window: f64,
         /// Output width in columns.
         width: usize,
+    },
+    /// Single traced run: causal span trace + deadline-miss forensics.
+    Trace {
+        /// Pipeline JSON path.
+        pipeline: String,
+        /// Inter-arrival time.
+        tau0: f64,
+        /// Deadline.
+        deadline: f64,
+        /// Backlog factors.
+        b: Option<Vec<f64>>,
+        /// Items in the traced run.
+        items: usize,
+        /// RNG seed.
+        seed: u64,
+        /// Which strategy to trace (enforced or monolithic only).
+        strategy: Strategy,
+        /// Output format.
+        format: TraceFormat,
+        /// Forensics threshold multiplier on the deadline.
+        alpha: f64,
+        /// Output path.
+        out: String,
     },
     /// §6.2 calibration.
     Calibrate {
@@ -298,6 +340,43 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
             },
             width: scan.parse_usize_or("--width", 100)?,
         }),
+        "trace" => Ok(Command::Trace {
+            pipeline: scan.require("--pipeline")?.to_string(),
+            tau0: scan.parse_f64("--tau0")?,
+            deadline: scan.parse_f64("--deadline")?,
+            b: scan.value_of("--b").map(parse_b_list).transpose()?,
+            items: scan.parse_usize_or("--items", 10_000)?,
+            seed: scan.parse_usize_or("--seed", 0)? as u64,
+            strategy: match scan.value_of("--strategy") {
+                None | Some("enforced") => Strategy::Enforced,
+                Some("monolithic") => Strategy::Monolithic,
+                Some(other) => {
+                    return err(format!(
+                        "--strategy: trace supports 'enforced' or 'monolithic', got '{other}'"
+                    ))
+                }
+            },
+            format: match scan.value_of("--format") {
+                None | Some("chrome") => TraceFormat::Chrome,
+                Some("json") => TraceFormat::Json,
+                Some(other) => {
+                    return err(format!(
+                        "--format: expected 'chrome' or 'json', got '{other}'"
+                    ))
+                }
+            },
+            alpha: match scan.value_of("--alpha") {
+                None => 1.0,
+                Some(raw) => raw
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|a| a.is_finite() && *a > 0.0)
+                    .ok_or_else(|| {
+                        ParseError(format!("--alpha: '{raw}' is not a positive number"))
+                    })?,
+            },
+            out: scan.value_of("--out").unwrap_or("trace.json").to_string(),
+        }),
         "calibrate" => Ok(Command::Calibrate {
             pipeline: scan.require("--pipeline")?.to_string(),
             points: parse_points(scan.require("--points")?)?,
@@ -448,6 +527,71 @@ mod tests {
             "gantt --pipeline p --tau0 1 --deadline 1 --window -5"
         ))
         .is_err());
+    }
+
+    #[test]
+    fn parses_trace_with_defaults() {
+        let cmd = parse(&argv("trace --pipeline p.json --tau0 10 --deadline 1e5")).unwrap();
+        match cmd {
+            Command::Trace {
+                items,
+                seed,
+                strategy,
+                format,
+                alpha,
+                out,
+                ..
+            } => {
+                assert_eq!(items, 10_000);
+                assert_eq!(seed, 0);
+                assert_eq!(strategy, Strategy::Enforced);
+                assert_eq!(format, TraceFormat::Chrome);
+                assert_eq!(alpha, 1.0);
+                assert_eq!(out, "trace.json");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_trace_full() {
+        let cmd = parse(&argv(
+            "trace --pipeline p.json --tau0 10 --deadline 1e5 --items 500 --seed 7 \
+             --strategy monolithic --format json --alpha 0.8 --out t.json",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Trace {
+                items,
+                seed,
+                strategy,
+                format,
+                alpha,
+                out,
+                ..
+            } => {
+                assert_eq!(items, 500);
+                assert_eq!(seed, 7);
+                assert_eq!(strategy, Strategy::Monolithic);
+                assert_eq!(format, TraceFormat::Json);
+                assert_eq!(alpha, 0.8);
+                assert_eq!(out, "t.json");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_trace_options() {
+        assert!(parse(&argv(
+            "trace --pipeline p --tau0 1 --deadline 1 --format xml"
+        ))
+        .is_err());
+        assert!(parse(&argv(
+            "trace --pipeline p --tau0 1 --deadline 1 --strategy flexible"
+        ))
+        .is_err());
+        assert!(parse(&argv("trace --pipeline p --tau0 1 --deadline 1 --alpha -2")).is_err());
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! Command execution: load the pipeline, call into `rtsdf`, format the
 //! results.
 
-use crate::args::{Command, Strategy};
+use crate::args::{Command, Strategy, TraceFormat};
 use bench::{MetricsFormat, RunManifest};
+use obs_trace::{chrome_trace_string, render_blame, ForensicsConfig, SpanSink, TraceConfig};
 use rtsdf::core::comparison::{sweep, SweepConfig};
 use rtsdf::core::FlexibleSharesProblem;
 use rtsdf::prelude::*;
@@ -328,6 +329,87 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<(), CommandError> {
                 "{}",
                 rtsdf::sim::timeline::render_ascii(&tl, width.max(10))
             )?;
+            Ok(())
+        }
+        Command::Trace {
+            pipeline,
+            tau0,
+            deadline,
+            b,
+            items,
+            seed,
+            strategy,
+            format,
+            alpha,
+            out: out_path,
+        } => {
+            let p = load_pipeline(&pipeline)?;
+            let params = params(tau0, deadline)?;
+            let cfg = SimConfig::quick(tau0, seed, items);
+            let forensics = ForensicsConfig {
+                alpha,
+                ..ForensicsConfig::default()
+            };
+            let (metrics, log) = match strategy {
+                Strategy::Monolithic => {
+                    let sched = MonolithicProblem::new(&p, params, 1.0, 1.0)
+                        .solve_fast()
+                        .map_err(|e| CommandError::Params(e.to_string()))?;
+                    simulate_monolithic_traced(
+                        &p,
+                        &sched,
+                        deadline,
+                        &cfg,
+                        TraceConfig::default(),
+                        &forensics,
+                    )
+                }
+                _ => {
+                    let b = backlog(&p, b)?;
+                    let mut solver_sink = SpanSink::with_defaults();
+                    let sched = EnforcedWaitsProblem::new(&p, params, b)
+                        .solve_with_fallback_traced(&mut solver_sink, 0)
+                        .map_err(|e| CommandError::Params(e.to_string()))?;
+                    let (m, mut log) = simulate_enforced_traced(
+                        &p,
+                        &sched,
+                        deadline,
+                        &cfg,
+                        TraceConfig::default(),
+                        &forensics,
+                    );
+                    log.merge(solver_sink.finish());
+                    (m, log)
+                }
+            };
+            let payload = match format {
+                TraceFormat::Chrome => chrome_trace_string(&log),
+                TraceFormat::Json => {
+                    let stats = serde_json::json!({
+                        "spans": log.spans.len() as u64,
+                        "instants": log.instants.len() as u64,
+                        "visits": log.visits.len() as u64,
+                        "fates": log.fates.len() as u64,
+                        "dropped_spans": log.dropped_spans,
+                        "dropped_visits": log.dropped_visits,
+                    });
+                    serde_json::to_string_pretty(&serde_json::json!({
+                        "metrics": metrics,
+                        "trace": stats,
+                    }))
+                    .expect("trace report serializes")
+                }
+            };
+            std::fs::write(&out_path, payload)?;
+            writeln!(
+                out,
+                "traced {items} items (seed {seed}): {} spans, {} visits -> {out_path}",
+                log.spans.len(),
+                log.visits.len(),
+            )?;
+            if let Some(blame) = &metrics.blame {
+                write!(out, "{}", render_blame(blame))?;
+            }
             Ok(())
         }
         Command::Calibrate {

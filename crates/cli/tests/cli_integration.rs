@@ -157,3 +157,93 @@ fn unknown_subcommand_shows_usage() {
     let err = run_to_string("bogus").unwrap_err();
     assert!(err.contains("USAGE"), "{err}");
 }
+
+#[test]
+fn trace_writes_perfetto_loadable_chrome_json() {
+    let path = pipeline_file();
+    let out_path = path.with_file_name("trace_chrome.json");
+    let out = run_to_string(&format!(
+        "trace --pipeline {} --tau0 10 --deadline 1e5 --b 1,3,9,6 --items 400 --out {}",
+        path.display(),
+        out_path.display()
+    ))
+    .unwrap();
+    assert!(out.contains("traced 400 items"), "{out}");
+    let text = std::fs::read_to_string(&out_path).unwrap();
+    let v: serde_json::Value = serde_json::from_str(&text).unwrap();
+    let events = v["traceEvents"].as_array().expect("traceEvents array");
+    assert!(!events.is_empty());
+    // Chrome trace-event essentials: metadata naming plus complete
+    // events with microsecond timestamps on every record.
+    let mut phases = std::collections::HashSet::new();
+    for e in events {
+        let ph = e["ph"].as_str().expect("ph field");
+        phases.insert(ph.to_string());
+        if ph == "X" {
+            assert!(e["ts"].as_f64().is_some(), "{e}");
+            assert!(e["dur"].as_f64().is_some(), "{e}");
+            assert!(e["pid"].as_u64().is_some(), "{e}");
+        }
+    }
+    assert!(phases.contains("M"), "thread metadata present: {phases:?}");
+    assert!(phases.contains("X"), "span events present: {phases:?}");
+    // Both the simulator tracks and the solver track made it into one
+    // file (pid 1 = stages, pid 2 = items, pid 3 = solver).
+    let pids: std::collections::HashSet<u64> =
+        events.iter().filter_map(|e| e["pid"].as_u64()).collect();
+    assert!(
+        pids.contains(&1) && pids.contains(&2) && pids.contains(&3),
+        "{pids:?}"
+    );
+}
+
+#[test]
+fn trace_json_format_reports_blame_for_missed_deadlines() {
+    let path = pipeline_file();
+    let out_path = path.with_file_name("trace_report.json");
+    // alpha = 0.05 puts the forensics threshold (5e3 cycles) far below
+    // the pipeline's minimum latency, so every completion is analyzed
+    // and the blame report must account for all overrun.
+    let out = run_to_string(&format!(
+        "trace --pipeline {} --tau0 10 --deadline 1e5 --b 1,3,9,6 --items 400 \
+         --alpha 0.05 --format json --out {}",
+        path.display(),
+        out_path.display()
+    ))
+    .unwrap();
+    assert!(out.contains("deadline-miss forensics"), "{out}");
+    let text = std::fs::read_to_string(&out_path).unwrap();
+    let v: serde_json::Value = serde_json::from_str(&text).unwrap();
+    let blame = &v["metrics"]["blame"];
+    assert!(blame["analyzed_items"].as_u64().unwrap() > 0, "{blame}");
+    let stages = blame["stages"].as_array().unwrap();
+    let total: f64 = stages
+        .iter()
+        .map(|s| {
+            s["enforced_wait"].as_f64().unwrap()
+                + s["queue_wait"].as_f64().unwrap()
+                + s["service"].as_f64().unwrap()
+        })
+        .sum();
+    assert!(
+        (total - 1.0).abs() < 1e-9,
+        "blame fractions sum to 1: {total}"
+    );
+    assert!(v["trace"]["visits"].as_u64().unwrap() > 0);
+}
+
+#[test]
+fn trace_monolithic_strategy_works() {
+    let path = pipeline_file();
+    let out_path = path.with_file_name("trace_mono.json");
+    let out = run_to_string(&format!(
+        "trace --pipeline {} --tau0 50 --deadline 1e5 --items 300 --strategy monolithic --out {}",
+        path.display(),
+        out_path.display()
+    ))
+    .unwrap();
+    assert!(out.contains("traced 300 items"), "{out}");
+    let text = std::fs::read_to_string(&out_path).unwrap();
+    let v: serde_json::Value = serde_json::from_str(&text).unwrap();
+    assert!(!v["traceEvents"].as_array().unwrap().is_empty());
+}

@@ -31,6 +31,7 @@ use crate::schedule::ScheduleError;
 use crate::telemetry::{timed, SolveTelemetry};
 use dataflow_model::analysis::enforced_active_fraction;
 use dataflow_model::{PipelineSpec, RtParams};
+use obs_trace::{SpanSink, Track};
 use serde::{Deserialize, Serialize};
 use solver::convex::{find_interior_point, minimize, ConvexProblem, SolverOptions};
 use solver::linalg::Mat;
@@ -135,11 +136,44 @@ impl<'a> EnforcedWaitsProblem<'a> {
 
     /// Solve for the optimal waits with the chosen method.
     pub fn solve(&self, method: SolveMethod) -> Result<WaitSchedule, ScheduleError> {
+        self.solve_inner(method, None, 0)
+    }
+
+    /// [`EnforcedWaitsProblem::solve`] with solver span tracing: emits
+    /// an enclosing solve span on [`Track::solver`]`(attempt)` (wall
+    /// microseconds as the time axis), with one child span per
+    /// water-filling bisection step or interior-point barrier centering
+    /// step.
+    pub fn solve_traced(
+        &self,
+        method: SolveMethod,
+        sink: &mut SpanSink,
+        attempt: u64,
+    ) -> Result<WaitSchedule, ScheduleError> {
+        self.solve_inner(method, Some(sink), attempt)
+    }
+
+    fn solve_inner(
+        &self,
+        method: SolveMethod,
+        mut spans: Option<&mut SpanSink>,
+        attempt: u64,
+    ) -> Result<WaitSchedule, ScheduleError> {
         check_enforced_feasibility(self.pipeline, &self.params, &self.b)?;
+        if let Some(sink) = spans.as_deref_mut() {
+            let name = match method {
+                SolveMethod::InteriorPoint => "solve interior-point",
+                SolveMethod::WaterFilling => "solve water-filling",
+            };
+            sink.enter(Track::solver(attempt), name, "solver", 0.0);
+        }
         let (result, micros) = timed(|| match method {
-            SolveMethod::InteriorPoint => self.solve_interior_point(),
-            SolveMethod::WaterFilling => self.solve_waterfilling(),
+            SolveMethod::InteriorPoint => self.solve_interior_point(spans.as_deref_mut(), attempt),
+            SolveMethod::WaterFilling => self.solve_waterfilling(spans.as_deref_mut(), attempt),
         });
+        if let Some(sink) = spans {
+            sink.exit(micros);
+        }
         let (periods, mut telemetry) = result?;
         telemetry.wall_micros = micros;
         let mut schedule = self.schedule_from_periods(periods, method);
@@ -152,11 +186,35 @@ impl<'a> EnforcedWaitsProblem<'a> {
     /// pipelines with zero-mean-gain stages). The returned schedule's
     /// telemetry records whether the fallback was taken.
     pub fn solve_with_fallback(&self) -> Result<WaitSchedule, ScheduleError> {
-        match self.solve(SolveMethod::WaterFilling) {
+        self.solve_with_fallback_inner(None, 0)
+    }
+
+    /// [`EnforcedWaitsProblem::solve_with_fallback`] with solver span
+    /// tracing. The water-filling attempt lands on
+    /// [`Track::solver`]`(attempt)`; if it declines the instance a
+    /// `kkt-fallback` instant is emitted there and the interior-point
+    /// retry lands on `attempt + 1`.
+    pub fn solve_with_fallback_traced(
+        &self,
+        sink: &mut SpanSink,
+        attempt: u64,
+    ) -> Result<WaitSchedule, ScheduleError> {
+        self.solve_with_fallback_inner(Some(sink), attempt)
+    }
+
+    fn solve_with_fallback_inner(
+        &self,
+        mut spans: Option<&mut SpanSink>,
+        attempt: u64,
+    ) -> Result<WaitSchedule, ScheduleError> {
+        match self.solve_inner(SolveMethod::WaterFilling, spans.as_deref_mut(), attempt) {
             Ok(s) => Ok(s),
             Err(ScheduleError::Infeasible(e)) => Err(ScheduleError::Infeasible(e)),
             Err(_) => {
-                let mut s = self.solve(SolveMethod::InteriorPoint)?;
+                if let Some(sink) = spans.as_deref_mut() {
+                    sink.instant(Track::solver(attempt), "kkt-fallback", 0.0);
+                }
+                let mut s = self.solve_inner(SolveMethod::InteriorPoint, spans, attempt + 1)?;
                 if let Some(t) = s.telemetry.as_mut() {
                     t.fallback = true;
                 }
@@ -188,7 +246,13 @@ impl<'a> EnforcedWaitsProblem<'a> {
         }
     }
 
-    fn solve_interior_point(&self) -> Result<(Vec<f64>, SolveTelemetry), ScheduleError> {
+    fn solve_interior_point(
+        &self,
+        mut spans: Option<&mut SpanSink>,
+        attempt: u64,
+    ) -> Result<(Vec<f64>, SolveTelemetry), ScheduleError> {
+        let t0 = std::time::Instant::now();
+        let elapsed_us = |t0: &std::time::Instant| t0.elapsed().as_secs_f64() * 1e6;
         let cs = self.constraint_set();
         let opts = SolverOptions::default();
         // Start from the minimal periods, nudged to the interior by the
@@ -200,6 +264,16 @@ impl<'a> EnforcedWaitsProblem<'a> {
             * 4.0;
         let interior = find_interior_point(&cs, &x0, radius, &opts)
             .map_err(|e| ScheduleError::Solver(format!("phase-1: {e}")))?;
+        let phase1_done = elapsed_us(&t0);
+        if let Some(sink) = spans.as_deref_mut() {
+            sink.span(
+                Track::solver(attempt),
+                "phase-1",
+                "solver",
+                0.0,
+                phase1_done,
+            );
+        }
         let objective = ActiveFractionObjective {
             t_over_n: self
                 .pipeline
@@ -210,6 +284,26 @@ impl<'a> EnforcedWaitsProblem<'a> {
         };
         let sol = minimize(&objective, &cs, &interior, &opts)
             .map_err(|e| ScheduleError::Solver(e.to_string()))?;
+        if let Some(sink) = spans {
+            // One child span per barrier centering step, laid out
+            // back-to-back from the end of phase-1 using the solver's
+            // per-step wall timings.
+            let mut at = phase1_done;
+            for (i, &dur) in sol.barrier_wall_micros.iter().enumerate() {
+                sink.span_detail(
+                    Track::solver(attempt),
+                    "centering",
+                    "solver",
+                    format!(
+                        "t={:.3e} newtons={}",
+                        sol.barrier_ts[i], sol.barrier_newtons[i]
+                    ),
+                    at,
+                    at + dur,
+                );
+                at += dur;
+            }
+        }
         let mut telemetry = SolveTelemetry::new("interior-point");
         telemetry.iterations = sol.newton_iters as u64;
         telemetry.residual = sol.gap;
@@ -217,7 +311,11 @@ impl<'a> EnforcedWaitsProblem<'a> {
         Ok((sol.x, telemetry))
     }
 
-    fn solve_waterfilling(&self) -> Result<(Vec<f64>, SolveTelemetry), ScheduleError> {
+    fn solve_waterfilling(
+        &self,
+        mut spans: Option<&mut SpanSink>,
+        attempt: u64,
+    ) -> Result<(Vec<f64>, SolveTelemetry), ScheduleError> {
         let g_total = self.pipeline.total_gains();
         if g_total.iter().any(|&g| g <= 0.0) {
             return Err(ScheduleError::Solver(
@@ -240,6 +338,9 @@ impl<'a> EnforcedWaitsProblem<'a> {
         let budget_of = |z: &[f64]| -> f64 { z.iter().zip(&c).map(|(&zi, &ci)| zi * ci).sum() };
 
         let mut telemetry = SolveTelemetry::new("water-filling");
+        let t0 = std::time::Instant::now();
+        let elapsed_us = |t0: &std::time::Instant| t0.elapsed().as_secs_f64() * 1e6;
+        let track = Track::solver(attempt);
 
         // λ = 0: everything at the cap. If the deadline is slack there,
         // the stability bounds are the binding constraints and we are
@@ -248,6 +349,16 @@ impl<'a> EnforcedWaitsProblem<'a> {
         if budget_of(&z_cap) <= self.params.deadline {
             telemetry.iterations = 1; // one budget evaluation decided it
             telemetry.residual = self.params.deadline - budget_of(&z_cap);
+            if let Some(sink) = spans.as_deref_mut() {
+                sink.span_detail(
+                    track,
+                    "cap-check",
+                    "solver",
+                    "deadline slack at λ=0",
+                    0.0,
+                    elapsed_us(&t0),
+                );
+            }
             return Ok((
                 z_cap.iter().zip(&g_total).map(|(&z, &gt)| z / gt).collect(),
                 telemetry,
@@ -259,7 +370,26 @@ impl<'a> EnforcedWaitsProblem<'a> {
         let inner = |lambda: f64| pav_nonincreasing(&a, &c, &lo, cap, lambda);
         let mut lam_lo = 1e-30;
         let mut lam_hi = 1.0;
-        while budget_of(&inner(lam_hi)) > self.params.deadline {
+        loop {
+            let started = if spans.is_some() {
+                elapsed_us(&t0)
+            } else {
+                0.0
+            };
+            let over = budget_of(&inner(lam_hi)) > self.params.deadline;
+            if let Some(sink) = spans.as_deref_mut() {
+                sink.span_detail(
+                    track,
+                    "bracket",
+                    "solver",
+                    format!("lambda={lam_hi:.4e} over={over}"),
+                    started,
+                    elapsed_us(&t0),
+                );
+            }
+            if !over {
+                break;
+            }
             telemetry.iterations += 1;
             lam_hi *= 10.0;
             if lam_hi > 1e30 {
@@ -271,7 +401,23 @@ impl<'a> EnforcedWaitsProblem<'a> {
         for _ in 0..200 {
             telemetry.iterations += 1;
             let mid = (lam_lo * lam_hi).sqrt(); // geometric: λ spans decades
-            if budget_of(&inner(mid)) > self.params.deadline {
+            let started = if spans.is_some() {
+                elapsed_us(&t0)
+            } else {
+                0.0
+            };
+            let over = budget_of(&inner(mid)) > self.params.deadline;
+            if let Some(sink) = spans.as_deref_mut() {
+                sink.span_detail(
+                    track,
+                    "bisection",
+                    "solver",
+                    format!("lambda={mid:.4e} over={over}"),
+                    started,
+                    elapsed_us(&t0),
+                );
+            }
+            if over {
                 lam_lo = mid;
             } else {
                 lam_hi = mid;
@@ -593,6 +739,82 @@ mod tests {
                 (ip, wf) => panic!("trial {trial}: solver disagreement: {ip:?} vs {wf:?}"),
             }
         }
+    }
+
+    #[test]
+    fn traced_solves_emit_solver_spans() {
+        let p = blast();
+        let params = RtParams::new(10.0, 5e4).unwrap();
+        let prob = EnforcedWaitsProblem::new(&p, params, PAPER_B.to_vec());
+        let mut sink = SpanSink::with_defaults();
+        let wf = prob
+            .solve_traced(SolveMethod::WaterFilling, &mut sink, 0)
+            .unwrap();
+        let ip = prob
+            .solve_traced(SolveMethod::InteriorPoint, &mut sink, 1)
+            .unwrap();
+        // Traced solves produce the same schedules as plain ones.
+        let plain = prob.solve(SolveMethod::WaterFilling).unwrap();
+        assert_eq!(wf.periods, plain.periods);
+
+        let log = sink.finish();
+        let count = |attempt: u64, name: &str| {
+            log.spans
+                .iter()
+                .filter(|s| s.track == Track::solver(attempt) && s.name == name)
+                .count() as u64
+        };
+        // Enclosing solve spans at depth 0, one per attempt.
+        assert_eq!(count(0, "solve water-filling"), 1);
+        assert_eq!(count(1, "solve interior-point"), 1);
+        for s in &log.spans {
+            if s.name.starts_with("solve ") {
+                assert_eq!(s.depth, 0);
+                assert!(s.dur > 0.0, "solve span has wall time");
+            } else {
+                assert_eq!(s.depth, 1, "child spans nest inside the solve");
+            }
+        }
+        // Water-filling: every λ evaluation leaves a span. The bracket
+        // loop emits one more span than it counts iterations (the final,
+        // passing check), so spans == iterations + 1.
+        let wf_tel = wf.telemetry.expect("telemetry");
+        assert_eq!(
+            count(0, "bisection") + count(0, "bracket"),
+            wf_tel.iterations + 1
+        );
+        // Interior point: one centering span per barrier step, plus the
+        // phase-1 span.
+        let ip_tel = ip.telemetry.expect("telemetry");
+        assert_eq!(count(1, "centering"), ip_tel.barrier_mu.len() as u64);
+        assert_eq!(count(1, "phase-1"), 1);
+    }
+
+    #[test]
+    fn fallback_traced_emits_instant_and_retries_on_next_track() {
+        // A filter stage with zero mean gain: water-filling declines,
+        // the interior-point fallback must answer.
+        let p = PipelineSpecBuilder::new(128)
+            .stage("kill", 100.0, GainModel::Deterministic { k: 0 })
+            .stage("dead", 50.0, GainModel::Deterministic { k: 1 })
+            .build()
+            .unwrap();
+        let params = RtParams::new(10.0, 1e6).unwrap();
+        let prob = EnforcedWaitsProblem::new(&p, params, vec![1.0, 1.0]);
+        let mut sink = SpanSink::with_defaults();
+        let s = prob
+            .solve_with_fallback_traced(&mut sink, 0)
+            .expect("fallback solves");
+        assert!(s.telemetry.as_ref().unwrap().fallback);
+        let log = sink.finish();
+        assert!(log
+            .instants
+            .iter()
+            .any(|i| i.track == Track::solver(0) && i.name == "kkt-fallback"));
+        assert!(log
+            .spans
+            .iter()
+            .any(|s| s.track == Track::solver(1) && s.name == "solve interior-point"));
     }
 
     #[test]

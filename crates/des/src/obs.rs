@@ -37,6 +37,11 @@ pub struct ObsConfig {
     /// Capacity of the recent-event trace ring; `0` disables tracing
     /// entirely (trace hooks become no-ops).
     pub trace_capacity: usize,
+    /// Distributions keep raw samples up to this count and report
+    /// *exact* quantiles from them; past the cutoff the raw samples are
+    /// discarded and quantiles fall back to the histogram
+    /// approximation. `0` disables the exact path.
+    pub exact_cutoff: usize,
 }
 
 impl Default for ObsConfig {
@@ -48,9 +53,13 @@ impl Default for ObsConfig {
             sojourn_bins: 64,
             sojourn_max: 1e6,
             trace_capacity: 0,
+            exact_cutoff: DEFAULT_EXACT_CUTOFF,
         }
     }
 }
+
+/// Default raw-sample budget for exact quantiles (per distribution).
+pub const DEFAULT_EXACT_CUTOFF: usize = 4096;
 
 impl ObsConfig {
     /// Default shapes plus a trace ring of `capacity` recent events.
@@ -68,15 +77,27 @@ impl ObsConfig {
 pub struct Dist {
     stats: OnlineStats,
     hist: Histogram,
+    /// Raw samples while at most `exact_cutoff` have arrived; dropped
+    /// (set to `None`) the moment the budget would overflow.
+    raw: Option<Vec<f64>>,
+    exact_cutoff: usize,
 }
 
 impl Dist {
     /// New distribution with a histogram over `[lo, hi)` with `nbins`
-    /// bins.
+    /// bins and the default exact-quantile budget.
     pub fn new(lo: f64, hi: f64, nbins: usize) -> Self {
+        Dist::with_cutoff(lo, hi, nbins, DEFAULT_EXACT_CUTOFF)
+    }
+
+    /// New distribution keeping up to `exact_cutoff` raw samples for
+    /// exact quantiles (`0` = histogram-only).
+    pub fn with_cutoff(lo: f64, hi: f64, nbins: usize, exact_cutoff: usize) -> Self {
         Dist {
             stats: OnlineStats::new(),
             hist: Histogram::new(lo, hi, nbins),
+            raw: (exact_cutoff > 0).then(Vec::new),
+            exact_cutoff,
         }
     }
 
@@ -84,6 +105,16 @@ impl Dist {
     pub fn push(&mut self, x: f64) {
         self.stats.push(x);
         self.hist.push(x);
+        if self
+            .raw
+            .as_ref()
+            .is_some_and(|r| r.len() >= self.exact_cutoff)
+        {
+            self.raw = None;
+        }
+        if let Some(raw) = self.raw.as_mut() {
+            raw.push(x);
+        }
     }
 
     /// Number of samples.
@@ -91,17 +122,38 @@ impl Dist {
         self.stats.count()
     }
 
+    /// Whether quantiles will be exact (raw samples still held).
+    pub fn is_exact(&self) -> bool {
+        self.raw.is_some()
+    }
+
     /// Fold into a serializable summary.
     pub fn summary(&self) -> DistSummary {
+        let sorted = self.raw.as_ref().filter(|r| !r.is_empty()).map(|r| {
+            let mut s = r.clone();
+            s.sort_by(|a, b| a.partial_cmp(b).expect("samples are not NaN"));
+            s
+        });
+        let q = |frac: f64| match &sorted {
+            // Nearest-rank on the retained samples: exact for small
+            // runs, immune to histogram bin width.
+            Some(s) => {
+                let rank = ((frac * s.len() as f64).ceil() as usize).clamp(1, s.len());
+                Some(s[rank - 1])
+            }
+            None => self.hist.quantile(frac),
+        };
         DistSummary {
             count: self.stats.count(),
             mean: self.stats.mean(),
             stddev: self.stats.stddev(),
             min: self.stats.min(),
             max: self.stats.max(),
-            p50: self.hist.quantile(0.5),
-            p90: self.hist.quantile(0.9),
-            p99: self.hist.quantile(0.99),
+            p50: q(0.5),
+            p90: q(0.9),
+            p99: q(0.99),
+            p999: q(0.999),
+            exact: sorted.is_some() || self.stats.count() == 0,
         }
     }
 }
@@ -120,12 +172,17 @@ pub struct DistSummary {
     pub min: Option<f64>,
     /// Largest sample (`None` if empty).
     pub max: Option<f64>,
-    /// Approximate median.
+    /// Median (exact below the raw-sample cutoff).
     pub p50: Option<f64>,
-    /// Approximate 90th percentile.
+    /// 90th percentile (exact below the raw-sample cutoff).
     pub p90: Option<f64>,
-    /// Approximate 99th percentile.
+    /// 99th percentile (exact below the raw-sample cutoff).
     pub p99: Option<f64>,
+    /// 99.9th percentile (exact below the raw-sample cutoff).
+    pub p999: Option<f64>,
+    /// Whether the quantiles came from raw samples (exact) rather than
+    /// the histogram approximation.
+    pub exact: bool,
 }
 
 /// Per-stage accumulators.
@@ -141,10 +198,11 @@ pub struct StageObs {
 
 impl StageObs {
     fn new(config: &ObsConfig) -> Self {
+        let cut = config.exact_cutoff;
         StageObs {
-            queue_depth: Dist::new(0.0, config.depth_bins_max, config.depth_bins),
-            occupancy: Dist::new(0.0, 1.0, config.occupancy_bins),
-            sojourn: Dist::new(0.0, config.sojourn_max, config.sojourn_bins),
+            queue_depth: Dist::with_cutoff(0.0, config.depth_bins_max, config.depth_bins, cut),
+            occupancy: Dist::with_cutoff(0.0, 1.0, config.occupancy_bins, cut),
+            sojourn: Dist::with_cutoff(0.0, config.sojourn_max, config.sojourn_bins, cut),
         }
     }
 
@@ -331,6 +389,54 @@ mod tests {
         assert_eq!(r.stages[0].queue_depth.count, 1);
         assert!((r.stages[0].occupancy.mean - 0.5).abs() < 1e-12);
         assert_eq!(r.stages[0].sojourn.count, 1);
+    }
+
+    #[test]
+    fn small_samples_get_exact_quantiles() {
+        let mut d = Dist::new(0.0, 10.0, 4); // coarse bins on purpose
+        for i in 1..=100 {
+            d.push(i as f64);
+        }
+        assert!(d.is_exact());
+        let s = d.summary();
+        assert!(s.exact);
+        // Nearest-rank on 1..=100 hits the integers exactly, far
+        // outside what 4 bins over [0, 10) could resolve.
+        assert_eq!(s.p50, Some(50.0));
+        assert_eq!(s.p90, Some(90.0));
+        assert_eq!(s.p99, Some(99.0));
+        assert_eq!(s.p999, Some(100.0));
+    }
+
+    #[test]
+    fn past_cutoff_falls_back_to_histogram() {
+        let mut d = Dist::with_cutoff(0.0, 100.0, 100, 8);
+        for i in 0..50 {
+            d.push(i as f64);
+        }
+        assert!(!d.is_exact(), "cutoff of 8 exceeded");
+        let s = d.summary();
+        assert!(!s.exact);
+        // Histogram quantiles still answer, at bin-midpoint precision.
+        let p50 = s.p50.unwrap();
+        assert!((p50 - 25.0).abs() <= 1.0, "p50 {p50}");
+        assert!(s.p999.is_some());
+        // Zero cutoff disables the exact path from the first sample.
+        let mut d0 = Dist::with_cutoff(0.0, 1.0, 4, 0);
+        d0.push(0.5);
+        assert!(!d0.is_exact());
+    }
+
+    #[test]
+    fn default_summaries_report_p999() {
+        let mut s = ObsSink::with_defaults(1);
+        for i in 1..=1000 {
+            s.on_sojourn(0, i as f64);
+        }
+        let sum = s.report().stages[0].sojourn.clone();
+        assert!(sum.exact, "1000 samples sit below the default cutoff");
+        assert_eq!(sum.p999, Some(999.0));
+        assert_eq!(sum.p50, Some(500.0));
     }
 
     #[test]

@@ -1,0 +1,278 @@
+//! Chrome Trace Event export.
+//!
+//! Converts a [`TraceLog`] into the JSON object format consumed by
+//! `chrome://tracing` and [Perfetto](https://ui.perfetto.dev):
+//! `{"traceEvents": [...], "displayTimeUnit": "ms"}` with complete
+//! (`ph:"X"`) events for spans, instant (`ph:"i"`) events for marks,
+//! and metadata (`ph:"M"`) events naming the process/thread rows.
+//!
+//! Track layout:
+//!
+//! * **pid 1 — stages**: one thread per pipeline stage, carrying firing
+//!   spans and any other stage-track spans.
+//! * **pid 2 — items**: one thread per traced stream input; each
+//!   [`ItemVisit`](crate::span::ItemVisit) renders as three back-to-back
+//!   spans (`enforced-wait`, `queue-wait`, `service`) so the sojourn
+//!   decomposition is visible directly on the lifeline.
+//! * **pid 3 — solver**: one thread per solve attempt (timestamps are
+//!   wall-clock microseconds rather than simulated cycles, hence the
+//!   separate process).
+//!
+//! Timestamps pass through unscaled: one simulated cycle (or one µs of
+//! solver wall time) renders as one microsecond in the viewer.
+
+use crate::span::{TraceLog, Track, TrackKind};
+use serde_json::{json, Map, Value};
+
+const PID_STAGES: u64 = 1;
+const PID_ITEMS: u64 = 2;
+const PID_SOLVER: u64 = 3;
+
+fn pid_tid(track: Track) -> (u64, u64) {
+    match track.kind {
+        TrackKind::Stage => (PID_STAGES, track.index),
+        TrackKind::Item => (PID_ITEMS, track.index),
+        TrackKind::Solver => (PID_SOLVER, track.index),
+    }
+}
+
+fn meta(name: &str, pid: u64, tid: Option<u64>, value: &str) -> Value {
+    let mut m = Map::new();
+    m.insert("ph".into(), json!("M"));
+    m.insert("name".into(), json!(name));
+    m.insert("pid".into(), json!(pid));
+    if let Some(tid) = tid {
+        m.insert("tid".into(), json!(tid));
+    }
+    let mut args = Map::new();
+    args.insert("name".into(), json!(value));
+    m.insert("args".into(), Value::Object(args));
+    Value::Object(m)
+}
+
+fn complete_event(
+    track: Track,
+    name: &str,
+    cat: &str,
+    detail: &str,
+    start: f64,
+    dur: f64,
+) -> Value {
+    let (pid, tid) = pid_tid(track);
+    let mut m = Map::new();
+    m.insert("ph".into(), json!("X"));
+    m.insert("name".into(), json!(name));
+    m.insert("cat".into(), json!(cat));
+    m.insert("ts".into(), json!(start));
+    m.insert("dur".into(), json!(dur));
+    m.insert("pid".into(), json!(pid));
+    m.insert("tid".into(), json!(tid));
+    if !detail.is_empty() {
+        let mut args = Map::new();
+        args.insert("detail".into(), json!(detail));
+        m.insert("args".into(), Value::Object(args));
+    }
+    Value::Object(m)
+}
+
+/// Render a [`TraceLog`] as a Chrome Trace Event JSON value.
+pub fn chrome_trace(log: &TraceLog) -> Value {
+    let mut events: Vec<Value> = Vec::new();
+
+    // Process metadata. Thread metadata is emitted lazily for every
+    // (pid, tid) pair actually used, so viewers show readable row names.
+    events.push(meta("process_name", PID_STAGES, None, "pipeline stages"));
+    events.push(meta("process_name", PID_ITEMS, None, "item lifelines"));
+    events.push(meta("process_name", PID_SOLVER, None, "solver (wall µs)"));
+
+    let mut named: Vec<(u64, u64)> = Vec::new();
+    let mut name_thread = |events: &mut Vec<Value>, track: Track| {
+        let (pid, tid) = pid_tid(track);
+        if named.contains(&(pid, tid)) {
+            return;
+        }
+        named.push((pid, tid));
+        let label = match track.kind {
+            TrackKind::Stage => format!("stage {tid}"),
+            TrackKind::Item => format!("item {tid}"),
+            TrackKind::Solver => format!("solve {tid}"),
+        };
+        events.push(meta("thread_name", pid, Some(tid), &label));
+    };
+
+    for s in &log.spans {
+        name_thread(&mut events, s.track);
+        events.push(complete_event(
+            s.track, &s.name, &s.cat, &s.detail, s.start, s.dur,
+        ));
+    }
+
+    for v in &log.visits {
+        let track = Track::item(v.origin);
+        name_thread(&mut events, track);
+        let stage = v.stage;
+        let parts = [
+            ("enforced-wait", v.enqueued, v.enforced_wait()),
+            ("queue-wait", v.eligible, v.queue_wait()),
+            ("service", v.consumed, v.service()),
+        ];
+        for (name, start, dur) in parts {
+            if dur > 0.0 {
+                events.push(complete_event(
+                    track,
+                    name,
+                    "lifeline",
+                    &format!("stage={stage}"),
+                    start,
+                    dur,
+                ));
+            }
+        }
+    }
+
+    for i in &log.instants {
+        name_thread(&mut events, i.track);
+        let (pid, tid) = pid_tid(i.track);
+        let mut m = Map::new();
+        m.insert("ph".into(), json!("i"));
+        m.insert("name".into(), json!(i.name.clone()));
+        m.insert("ts".into(), json!(i.at));
+        m.insert("pid".into(), json!(pid));
+        m.insert("tid".into(), json!(tid));
+        m.insert("s".into(), json!("t"));
+        events.push(Value::Object(m));
+    }
+
+    // Completion / drop marks from fates land on the item lifeline.
+    for f in &log.fates {
+        let track = Track::item(f.origin);
+        name_thread(&mut events, track);
+        let (pid, tid) = pid_tid(track);
+        let (name, ts) = match f.completion {
+            Some(c) => ("complete", c),
+            None => ("dropped", f.arrival),
+        };
+        let mut m = Map::new();
+        m.insert("ph".into(), json!("i"));
+        m.insert("name".into(), json!(name));
+        m.insert("ts".into(), json!(ts));
+        m.insert("pid".into(), json!(pid));
+        m.insert("tid".into(), json!(tid));
+        m.insert("s".into(), json!("t"));
+        events.push(Value::Object(m));
+    }
+
+    let mut root = Map::new();
+    root.insert("traceEvents".into(), Value::Array(events));
+    root.insert("displayTimeUnit".into(), json!("ms"));
+    if log.dropped_spans > 0 || log.dropped_visits > 0 {
+        let mut o = Map::new();
+        o.insert("dropped_spans".into(), json!(log.dropped_spans));
+        o.insert("dropped_visits".into(), json!(log.dropped_visits));
+        root.insert("otherData".into(), Value::Object(o));
+    }
+    Value::Object(root)
+}
+
+/// [`chrome_trace`], pretty-printed to a string.
+pub fn chrome_trace_string(log: &TraceLog) -> String {
+    serde_json::to_string_pretty(&chrome_trace(log)).expect("trace serializes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{ItemFate, ItemVisit, SpanSink, Track};
+
+    fn sample_log() -> TraceLog {
+        let mut s = SpanSink::with_defaults();
+        s.span_detail(Track::stage(0), "fire", "firing", "take=4", 10.0, 14.0);
+        s.span(Track::stage(1), "fire", "firing", 14.0, 20.0);
+        s.instant(Track::solver(0), "fallback", 3.5);
+        s.visit(ItemVisit {
+            origin: 2,
+            stage: 0,
+            enqueued: 0.0,
+            eligible: 5.0,
+            consumed: 10.0,
+            done: 14.0,
+        });
+        s.fate(ItemFate {
+            origin: 2,
+            arrival: 0.0,
+            completion: Some(20.0),
+        });
+        s.fate(ItemFate {
+            origin: 3,
+            arrival: 1.0,
+            completion: None,
+        });
+        s.finish()
+    }
+
+    #[test]
+    fn exports_trace_events_envelope() {
+        let v = chrome_trace(&sample_log());
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        assert!(!events.is_empty());
+        // Every event has a ph and pid.
+        for e in events {
+            assert!(e.get("ph").unwrap().as_str().is_some());
+            assert!(e.get("pid").unwrap().as_u64().is_some());
+        }
+    }
+
+    #[test]
+    fn visits_expand_to_three_lifeline_spans() {
+        let v = chrome_trace(&sample_log());
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        let lifeline: Vec<&Value> = events
+            .iter()
+            .filter(|e| e.get("cat").and_then(Value::as_str) == Some("lifeline"))
+            .collect();
+        assert_eq!(lifeline.len(), 3);
+        let names: Vec<&str> = lifeline
+            .iter()
+            .map(|e| e.get("name").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(names, ["enforced-wait", "queue-wait", "service"]);
+        // Back-to-back: each span starts where the previous ended.
+        let start = |e: &Value| e.get("ts").unwrap().as_f64().unwrap();
+        let dur = |e: &Value| e.get("dur").unwrap().as_f64().unwrap();
+        assert_eq!(start(lifeline[0]) + dur(lifeline[0]), start(lifeline[1]));
+        assert_eq!(start(lifeline[1]) + dur(lifeline[1]), start(lifeline[2]));
+    }
+
+    #[test]
+    fn metadata_names_processes_and_threads() {
+        let v = chrome_trace(&sample_log());
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        let metas: Vec<&Value> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("M"))
+            .collect();
+        // 3 process names + threads: stage 0, stage 1, solve 0, item 2, item 3.
+        assert_eq!(metas.len(), 8);
+    }
+
+    #[test]
+    fn fates_become_instant_marks() {
+        let v = chrome_trace(&sample_log());
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        let instants: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("i"))
+            .map(|e| e.get("name").unwrap().as_str().unwrap())
+            .collect();
+        assert!(instants.contains(&"fallback"));
+        assert!(instants.contains(&"complete"));
+        assert!(instants.contains(&"dropped"));
+    }
+
+    #[test]
+    fn string_export_parses_back() {
+        let s = chrome_trace_string(&sample_log());
+        let v: Value = serde_json::from_str(&s).unwrap();
+        assert!(v.get("traceEvents").is_some());
+    }
+}

@@ -1,0 +1,455 @@
+//! Deadline-miss forensics: causal blame attribution.
+//!
+//! Given a finished [`TraceLog`] and the run's deadline `D`, the
+//! analyzer reconstructs the causal path of every *analyzed* item —
+//! each completed stream input whose end-to-end latency exceeds
+//! `α·D` (misses when `α = 1`, near-misses when `α < 1`) — and
+//! attributes its time to per-stage components using the exact
+//! enqueued/eligible/consumed/done decomposition carried by
+//! [`ItemVisit`](crate::span::ItemVisit):
+//!
+//! * **enforced wait** — structural delay until the stage's next firing
+//!   opportunity (the schedule's `w_i`, or block-fill time for the
+//!   monolithic strategy);
+//! * **queue wait** — extra firings waited out behind backlogged items
+//!   (the empirical `b_i` term);
+//! * **service** — the consuming firing itself (`t_i`).
+//!
+//! Per item, each component's share is its fraction of the item's total
+//! attributed time, so the fractions sum to exactly 1 even when lineage
+//! fans out across parallel branches. The aggregate report weights each
+//! item by how far past the threshold it landed (`latency − α·D`), so a
+//! 2× overrun counts twice as much as a 1× overrun and the resulting
+//! per-stage fractions still account for 100 % of the analyzed weight.
+
+use crate::span::TraceLog;
+use serde::{Deserialize, Serialize};
+
+/// Analyzer knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ForensicsConfig {
+    /// Analysis threshold as a fraction of the deadline: items with
+    /// latency above `alpha · D` are analyzed. `1.0` = misses only;
+    /// `0.8` also catches near-misses within 20 % of the deadline.
+    pub alpha: f64,
+    /// Maximum worst-item exemplars retained in the report.
+    pub max_exemplars: usize,
+}
+
+impl Default for ForensicsConfig {
+    fn default() -> Self {
+        ForensicsConfig {
+            alpha: 1.0,
+            max_exemplars: 5,
+        }
+    }
+}
+
+/// Blame attributed to one pipeline stage, as fractions of the total
+/// analyzed overrun weight. Summing every field across all stages of a
+/// report yields 1 (when any item was analyzed).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StageBlame {
+    /// Stage index.
+    pub stage: u32,
+    /// Share attributable to enforced (structural) waiting.
+    pub enforced_wait: f64,
+    /// Share attributable to queueing behind backlog.
+    pub queue_wait: f64,
+    /// Share attributable to service time.
+    pub service: f64,
+}
+
+impl StageBlame {
+    /// Total share of this stage across all three components.
+    pub fn total(&self) -> f64 {
+        self.enforced_wait + self.queue_wait + self.service
+    }
+}
+
+/// One worst-offender item kept for inspection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Exemplar {
+    /// Stream input index.
+    pub origin: u64,
+    /// End-to-end latency.
+    pub latency: f64,
+    /// `latency − D` (negative for near-misses under `α < 1`).
+    pub overrun: f64,
+    /// Stage receiving the largest share of this item's time.
+    pub worst_stage: u32,
+    /// Component of `worst_stage` with the largest share
+    /// (`"enforced-wait"`, `"queue-wait"`, or `"service"`).
+    pub worst_component: String,
+    /// That component's fraction of the item's attributed time.
+    pub worst_fraction: f64,
+}
+
+/// Aggregated deadline-miss forensics for one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlameReport {
+    /// Deadline `D` the run was simulated against.
+    pub deadline: f64,
+    /// Threshold fraction used (see [`ForensicsConfig::alpha`]).
+    pub alpha: f64,
+    /// Stream inputs that completed.
+    pub completed_items: u64,
+    /// Stream inputs still unresolved at run end.
+    pub dropped_items: u64,
+    /// Completed inputs with latency above `deadline` (hard misses).
+    pub missed_items: u64,
+    /// Completed inputs with latency above `alpha · deadline` — the
+    /// population the per-stage fractions describe.
+    pub analyzed_items: u64,
+    /// Σ max(latency − deadline, 0) over completed items.
+    pub total_overrun: f64,
+    /// Per-stage blame fractions; all components across all entries sum
+    /// to 1 when `analyzed_items > 0`.
+    pub stages: Vec<StageBlame>,
+    /// Worst analyzed items, sorted by descending latency.
+    pub exemplars: Vec<Exemplar>,
+}
+
+impl BlameReport {
+    /// Sum of every component fraction across all stages — 1.0 (up to
+    /// floating-point rounding) when anything was analyzed, else 0.
+    pub fn accounted_fraction(&self) -> f64 {
+        self.stages.iter().map(StageBlame::total).sum()
+    }
+}
+
+const COMPONENTS: usize = 3;
+
+/// Run the forensic analysis over `log` for a run with deadline
+/// `deadline` (in the same time unit as the trace).
+pub fn analyze(log: &TraceLog, deadline: f64, config: &ForensicsConfig) -> BlameReport {
+    let threshold = config.alpha * deadline;
+
+    // Per-origin component sums, flat-indexed as stage * 3 + component.
+    // Origins are item indices; visits for one origin are contiguous in
+    // neither order, so accumulate into a map keyed by origin.
+    let mut max_stage: u32 = 0;
+    let mut per_origin: std::collections::HashMap<u64, Vec<f64>> = std::collections::HashMap::new();
+    for v in &log.visits {
+        max_stage = max_stage.max(v.stage);
+        let sums = per_origin.entry(v.origin).or_default();
+        let need = (v.stage as usize + 1) * COMPONENTS;
+        if sums.len() < need {
+            sums.resize(need, 0.0);
+        }
+        let base = v.stage as usize * COMPONENTS;
+        sums[base] += v.enforced_wait();
+        sums[base + 1] += v.queue_wait();
+        sums[base + 2] += v.service();
+    }
+
+    let n_stages = per_origin
+        .values()
+        .map(|s| s.len() / COMPONENTS)
+        .max()
+        .unwrap_or(0);
+    let mut weights = vec![0.0f64; n_stages * COMPONENTS];
+    let mut total_weight = 0.0f64;
+
+    let mut completed = 0u64;
+    let mut dropped = 0u64;
+    let mut missed = 0u64;
+    let mut analyzed = 0u64;
+    let mut total_overrun = 0.0f64;
+    let mut exemplars: Vec<Exemplar> = Vec::new();
+
+    for f in &log.fates {
+        let Some(latency) = f.latency() else {
+            dropped += 1;
+            continue;
+        };
+        completed += 1;
+        if latency > deadline {
+            missed += 1;
+            total_overrun += latency - deadline;
+        }
+        if latency <= threshold {
+            continue;
+        }
+        analyzed += 1;
+        let weight = latency - threshold;
+        let Some(sums) = per_origin.get(&f.origin) else {
+            continue;
+        };
+        let item_total: f64 = sums.iter().sum();
+        if item_total <= 0.0 {
+            continue;
+        }
+        for (slot, component) in sums.iter().enumerate() {
+            weights[slot] += weight * component / item_total;
+        }
+        total_weight += weight;
+
+        // Exemplar bookkeeping: find the item's dominant component.
+        let (worst_slot, worst_val) = sums.iter().enumerate().fold(
+            (0, f64::MIN),
+            |acc, (i, &v)| if v > acc.1 { (i, v) } else { acc },
+        );
+        exemplars.push(Exemplar {
+            origin: f.origin,
+            latency,
+            overrun: latency - deadline,
+            worst_stage: (worst_slot / COMPONENTS) as u32,
+            worst_component: match worst_slot % COMPONENTS {
+                0 => "enforced-wait",
+                1 => "queue-wait",
+                _ => "service",
+            }
+            .to_string(),
+            worst_fraction: worst_val / item_total,
+        });
+    }
+
+    exemplars.sort_by(|a, b| b.latency.partial_cmp(&a.latency).unwrap());
+    exemplars.truncate(config.max_exemplars);
+
+    let stages: Vec<StageBlame> = if total_weight > 0.0 {
+        (0..n_stages)
+            .map(|s| StageBlame {
+                stage: s as u32,
+                enforced_wait: weights[s * COMPONENTS] / total_weight,
+                queue_wait: weights[s * COMPONENTS + 1] / total_weight,
+                service: weights[s * COMPONENTS + 2] / total_weight,
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    BlameReport {
+        deadline,
+        alpha: config.alpha,
+        completed_items: completed,
+        dropped_items: dropped,
+        missed_items: missed,
+        analyzed_items: analyzed,
+        total_overrun,
+        stages,
+        exemplars,
+    }
+}
+
+/// Human-readable rendering of a blame report.
+pub fn render_blame(report: &BlameReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "deadline-miss forensics (D = {:.0}, threshold = {:.2}·D)\n",
+        report.deadline, report.alpha
+    ));
+    out.push_str(&format!(
+        "completed {}  dropped {}  missed {}  analyzed {}  total overrun {:.0}\n",
+        report.completed_items,
+        report.dropped_items,
+        report.missed_items,
+        report.analyzed_items,
+        report.total_overrun
+    ));
+    if report.stages.is_empty() {
+        out.push_str("no items above threshold — nothing to blame\n");
+        return out;
+    }
+    out.push_str("stage   enforced-wait   queue-wait   service     total\n");
+    for s in &report.stages {
+        out.push_str(&format!(
+            "{:>5}   {:>12.1}%   {:>9.1}%   {:>6.1}%   {:>6.1}%\n",
+            s.stage,
+            s.enforced_wait * 100.0,
+            s.queue_wait * 100.0,
+            s.service * 100.0,
+            s.total() * 100.0
+        ));
+    }
+    out.push_str(&format!(
+        "accounted: {:.1}% of analyzed overrun weight\n",
+        report.accounted_fraction() * 100.0
+    ));
+    for e in &report.exemplars {
+        out.push_str(&format!(
+            "  worst: item {} latency {:.0} (overrun {:+.0}) — {:.0}% in stage {} {}\n",
+            e.origin,
+            e.latency,
+            e.overrun,
+            e.worst_fraction * 100.0,
+            e.worst_stage,
+            e.worst_component
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{ItemFate, ItemVisit, SpanSink};
+
+    fn visit(
+        origin: u64,
+        stage: u32,
+        enq: f64,
+        eligible: f64,
+        consumed: f64,
+        done: f64,
+    ) -> ItemVisit {
+        ItemVisit {
+            origin,
+            stage,
+            enqueued: enq,
+            eligible,
+            consumed,
+            done,
+        }
+    }
+
+    /// Two items through two stages; one misses. Blame fractions must
+    /// sum to 1 and point at the stage that actually held the item.
+    #[test]
+    fn blame_sums_to_one_and_points_at_culprit() {
+        let mut s = SpanSink::with_defaults();
+        // Item 0: fast path, total 20 < D.
+        s.visit(visit(0, 0, 0.0, 0.0, 0.0, 10.0));
+        s.visit(visit(0, 1, 10.0, 10.0, 10.0, 20.0));
+        s.fate(ItemFate {
+            origin: 0,
+            arrival: 0.0,
+            completion: Some(20.0),
+        });
+        // Item 1: stage 1 queue-wait dominates, total 100 > D.
+        s.visit(visit(1, 0, 0.0, 0.0, 0.0, 10.0));
+        s.visit(visit(1, 1, 10.0, 20.0, 90.0, 100.0));
+        s.fate(ItemFate {
+            origin: 1,
+            arrival: 0.0,
+            completion: Some(100.0),
+        });
+        let log = s.finish();
+        let report = analyze(&log, 50.0, &ForensicsConfig::default());
+
+        assert_eq!(report.completed_items, 2);
+        assert_eq!(report.missed_items, 1);
+        assert_eq!(report.analyzed_items, 1);
+        assert!((report.total_overrun - 50.0).abs() < 1e-12);
+        assert!((report.accounted_fraction() - 1.0).abs() < 1e-12);
+
+        // Item 1's decomposition: stage0 service 10, stage1 enforced 10,
+        // queue 70, service 10 — queue-wait at stage 1 dominates.
+        let s1 = report.stages.iter().find(|s| s.stage == 1).unwrap();
+        assert!((s1.queue_wait - 0.7).abs() < 1e-12);
+        assert!((s1.enforced_wait - 0.1).abs() < 1e-12);
+
+        assert_eq!(report.exemplars.len(), 1);
+        assert_eq!(report.exemplars[0].origin, 1);
+        assert_eq!(report.exemplars[0].worst_stage, 1);
+        assert_eq!(report.exemplars[0].worst_component, "queue-wait");
+    }
+
+    #[test]
+    fn alpha_widens_the_analyzed_population() {
+        let mut s = SpanSink::with_defaults();
+        for (origin, done) in [(0u64, 40.0f64), (1, 45.0), (2, 60.0)] {
+            s.visit(visit(origin, 0, 0.0, 0.0, 0.0, done));
+            s.fate(ItemFate {
+                origin,
+                arrival: 0.0,
+                completion: Some(done),
+            });
+        }
+        let log = s.finish();
+        let strict = analyze(&log, 50.0, &ForensicsConfig::default());
+        assert_eq!(strict.analyzed_items, 1);
+        let near = analyze(
+            &log,
+            50.0,
+            &ForensicsConfig {
+                alpha: 0.8,
+                max_exemplars: 5,
+            },
+        );
+        // Threshold 40: items with latency 45 and 60 analyzed.
+        assert_eq!(near.analyzed_items, 2);
+        assert_eq!(near.missed_items, 1);
+        assert!((near.accounted_fraction() - 1.0).abs() < 1e-12);
+        // Exemplars sorted worst-first.
+        assert_eq!(near.exemplars[0].origin, 2);
+    }
+
+    #[test]
+    fn weighting_prefers_larger_overruns() {
+        let mut s = SpanSink::with_defaults();
+        // Item 0 misses barely (latency 60, weight 10), all service in stage 0.
+        s.visit(visit(0, 0, 0.0, 0.0, 0.0, 60.0));
+        s.fate(ItemFate {
+            origin: 0,
+            arrival: 0.0,
+            completion: Some(60.0),
+        });
+        // Item 1 misses badly (latency 90, weight 40), all queue in stage 1.
+        s.visit(visit(1, 1, 0.0, 0.0, 90.0, 90.0));
+        s.fate(ItemFate {
+            origin: 1,
+            arrival: 0.0,
+            completion: Some(90.0),
+        });
+        let log = s.finish();
+        let report = analyze(&log, 50.0, &ForensicsConfig::default());
+        let s0 = report.stages.iter().find(|s| s.stage == 0).unwrap();
+        let s1 = report.stages.iter().find(|s| s.stage == 1).unwrap();
+        assert!((s0.service - 0.2).abs() < 1e-12, "10/50 of the weight");
+        assert!((s1.queue_wait - 0.8).abs() < 1e-12, "40/50 of the weight");
+        assert!((report.accounted_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drops_counted_but_not_blamed() {
+        let mut s = SpanSink::with_defaults();
+        s.fate(ItemFate {
+            origin: 0,
+            arrival: 0.0,
+            completion: None,
+        });
+        let log = s.finish();
+        let report = analyze(&log, 50.0, &ForensicsConfig::default());
+        assert_eq!(report.dropped_items, 1);
+        assert_eq!(report.analyzed_items, 0);
+        assert!(report.stages.is_empty());
+        assert_eq!(report.accounted_fraction(), 0.0);
+    }
+
+    #[test]
+    fn render_is_stable_and_mentions_stages() {
+        let mut s = SpanSink::with_defaults();
+        s.visit(visit(0, 0, 0.0, 10.0, 30.0, 60.0));
+        s.fate(ItemFate {
+            origin: 0,
+            arrival: 0.0,
+            completion: Some(60.0),
+        });
+        let log = s.finish();
+        let report = analyze(&log, 50.0, &ForensicsConfig::default());
+        let text = render_blame(&report);
+        assert!(text.contains("deadline-miss forensics"));
+        assert!(text.contains("stage"));
+        assert!(text.contains("worst: item 0"));
+        let empty = analyze(&TraceLog::default(), 50.0, &ForensicsConfig::default());
+        assert!(render_blame(&empty).contains("nothing to blame"));
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let mut s = SpanSink::with_defaults();
+        s.visit(visit(0, 0, 0.0, 10.0, 30.0, 60.0));
+        s.fate(ItemFate {
+            origin: 0,
+            arrival: 0.0,
+            completion: Some(60.0),
+        });
+        let report = analyze(&s.finish(), 50.0, &ForensicsConfig::default());
+        let v = serde_json::to_value(&report).unwrap();
+        let back: BlameReport = serde_json::from_value(&v).unwrap();
+        assert_eq!(back, report);
+    }
+}

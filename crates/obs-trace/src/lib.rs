@@ -1,0 +1,46 @@
+//! # obs-trace — causal tracing and deadline-miss forensics
+//!
+//! The workspace's observability layer (`des::obs`) reports *aggregates*:
+//! histograms, counters, quantiles. This crate records *causality* — the
+//! per-firing, per-item, per-solver-iteration spans that let a developer
+//! answer "which stage caused this deadline miss?" rather than "how many
+//! misses were there?".
+//!
+//! Three pieces:
+//!
+//! * [`span`] — a zero-dependency span sink. Simulators and solvers
+//!   thread an `Option<&mut SpanSink>` through their hot paths; when the
+//!   option is `None` each hook costs one untaken branch, the same
+//!   contract as `des::obs::ObsSink`. The sink records generic
+//!   enter/exit spans (with nesting), instant events, and two structured
+//!   record kinds the forensics layer consumes: per-item stage visits
+//!   (queue wait / enforced wait / service decomposition) and per-item
+//!   fates (arrival → completion or drop).
+//! * [`chrome`] — export a finished [`span::TraceLog`] as Chrome Trace
+//!   Event JSON. The output opens directly in `chrome://tracing` or
+//!   [Perfetto](https://ui.perfetto.dev): stages, item lifelines, and
+//!   solver activity land on separate process tracks.
+//! * [`forensics`] — reconstruct the causal path of every missed or
+//!   near-missed item (latency above a configurable `α·D` threshold) and
+//!   aggregate a per-stage *blame report*: what fraction of the total
+//!   overrun is attributable to each stage's queueing backlog, enforced
+//!   wait, and service time. Per-item fractions always sum to 1, so the
+//!   report accounts for 100 % of the overrun it analyzes.
+//!
+//! Timestamps are `f64` simulated cycles (or microseconds for solver
+//! spans); the crate deliberately knows nothing about `des::SimTime`,
+//! pipelines, or schedules, so every layer of the workspace can emit
+//! spans without dependency cycles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod forensics;
+pub mod span;
+
+pub use chrome::{chrome_trace, chrome_trace_string};
+pub use forensics::{analyze, render_blame, BlameReport, ForensicsConfig, StageBlame};
+pub use span::{
+    ItemFate, ItemVisit, SpanRecord, SpanSink, TraceConfig, TraceLog, Track, TrackKind,
+};

@@ -1,0 +1,557 @@
+//! The span sink: causal event collection with the one-untaken-branch
+//! disabled-cost contract.
+//!
+//! A [`SpanSink`] is created per traced run and threaded through
+//! instrumented code as `Option<&mut SpanSink>`. Emitters record:
+//!
+//! * **closed spans** ([`SpanSink::span`]) or **nested enter/exit
+//!   pairs** ([`SpanSink::enter`] / [`SpanSink::exit`]) on a [`Track`];
+//! * **instant events** ([`SpanSink::instant`]) — zero-duration marks;
+//! * **item visits** ([`SpanSink::visit`]) — the structured record of
+//!   one item passing through one stage, carrying the exact
+//!   enqueue/eligible/consumed/done timestamps that decompose its
+//!   sojourn into enforced wait + queueing backlog + service;
+//! * **item fates** ([`SpanSink::fate`]) — one per stream input:
+//!   arrival time and completion time (or `None` for drops).
+//!
+//! [`SpanSink::finish`] folds everything into a serializable
+//! [`TraceLog`], closing any spans left open at their start time.
+
+use serde::{Deserialize, Serialize};
+
+/// Which family of timeline a span belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TrackKind {
+    /// A pipeline stage's firing timeline (index = stage).
+    Stage,
+    /// A stream input's lifeline (index = origin).
+    Item,
+    /// Solver activity (index = solve attempt, wall-clock microseconds).
+    Solver,
+}
+
+/// A timeline identifier: kind plus an index within the kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Track {
+    /// Timeline family.
+    pub kind: TrackKind,
+    /// Index within the family (stage number, item origin, solve id).
+    pub index: u64,
+}
+
+impl Track {
+    /// The firing timeline of pipeline stage `stage`.
+    pub fn stage(stage: usize) -> Track {
+        Track {
+            kind: TrackKind::Stage,
+            index: stage as u64,
+        }
+    }
+
+    /// The lifeline of stream input `origin`.
+    pub fn item(origin: u64) -> Track {
+        Track {
+            kind: TrackKind::Item,
+            index: origin,
+        }
+    }
+
+    /// The solver timeline for solve attempt `attempt`.
+    pub fn solver(attempt: u64) -> Track {
+        Track {
+            kind: TrackKind::Solver,
+            index: attempt,
+        }
+    }
+}
+
+/// One closed span: a named interval on a track.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanRecord {
+    /// Timeline the span lives on.
+    pub track: Track,
+    /// Short, low-cardinality name (groups identical work in viewers).
+    pub name: String,
+    /// Category, e.g. `"firing"`, `"solver"`, `"lifeline"`.
+    pub cat: String,
+    /// Free-form detail rendered as a span argument (may be empty).
+    pub detail: String,
+    /// Start timestamp (simulated cycles, or µs for solver tracks).
+    pub start: f64,
+    /// Duration in the same unit as `start`.
+    pub dur: f64,
+    /// Nesting depth at emission (0 = top level of its track).
+    pub depth: u32,
+}
+
+/// A zero-duration mark on a track.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstantRecord {
+    /// Timeline the mark lives on.
+    pub track: Track,
+    /// Event name.
+    pub name: String,
+    /// Timestamp.
+    pub at: f64,
+}
+
+/// One item's passage through one stage, with the timestamps that
+/// partition its sojourn exactly:
+///
+/// ```text
+/// enqueued ──enforced wait──▶ eligible ──queue wait──▶ consumed ──service──▶ done
+/// ```
+///
+/// * **enforced wait** (`eligible − enqueued`): time until the stage's
+///   first firing opportunity at or after the item entered the queue —
+///   the structural delay imposed by the enforced-waits period (or, for
+///   the monolithic strategy, by waiting for the block to fill).
+/// * **queue wait** (`consumed − eligible`): extra firings the item had
+///   to wait out because items ahead of it filled earlier firings — the
+///   empirical counterpart of the paper's backlog term `b_i`.
+/// * **service** (`done − consumed`): the firing that consumed the item.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ItemVisit {
+    /// Stream input this item derives from.
+    pub origin: u64,
+    /// Stage visited.
+    pub stage: u32,
+    /// When the item entered the stage's input queue.
+    pub enqueued: f64,
+    /// First firing instant at or after `enqueued`.
+    pub eligible: f64,
+    /// Firing instant that actually consumed the item.
+    pub consumed: f64,
+    /// `consumed` + the stage's service time.
+    pub done: f64,
+}
+
+impl ItemVisit {
+    /// Structural wait for the next firing opportunity.
+    pub fn enforced_wait(&self) -> f64 {
+        self.eligible - self.enqueued
+    }
+
+    /// Extra wait caused by backlog ahead of the item.
+    pub fn queue_wait(&self) -> f64 {
+        self.consumed - self.eligible
+    }
+
+    /// Service time of the consuming firing.
+    pub fn service(&self) -> f64 {
+        self.done - self.consumed
+    }
+
+    /// Total time from enqueue to firing completion.
+    pub fn sojourn(&self) -> f64 {
+        self.done - self.enqueued
+    }
+}
+
+/// The fate of one stream input.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ItemFate {
+    /// Stream input index.
+    pub origin: u64,
+    /// Arrival time.
+    pub arrival: f64,
+    /// Completion time of the last derived item, or `None` if the input
+    /// was still unresolved when the run ended (a drop).
+    pub completion: Option<f64>,
+}
+
+impl ItemFate {
+    /// End-to-end latency, if the input completed.
+    pub fn latency(&self) -> Option<f64> {
+        self.completion.map(|c| c - self.arrival)
+    }
+}
+
+/// Capacity limits for a [`SpanSink`].
+///
+/// Long runs emit one visit per item per stage and one span per firing;
+/// the caps below bound memory for pathological runs. When a cap is
+/// hit, further records of that kind are counted (see
+/// [`TraceLog::dropped_spans`] / [`TraceLog::dropped_visits`]) but not
+/// stored — the newest records are dropped, keeping the causally
+/// earliest prefix intact so lifelines stay reconstructable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Maximum generic spans + instants retained.
+    pub max_spans: usize,
+    /// Maximum item visits retained.
+    pub max_visits: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            max_spans: 1 << 20,
+            max_visits: 1 << 21,
+        }
+    }
+}
+
+/// Live span collector. Construct per traced run, thread through
+/// instrumented code as `Option<&mut SpanSink>`, then call
+/// [`SpanSink::finish`].
+#[derive(Debug, Clone)]
+pub struct SpanSink {
+    config: TraceConfig,
+    spans: Vec<SpanRecord>,
+    open: Vec<SpanRecord>,
+    instants: Vec<InstantRecord>,
+    visits: Vec<ItemVisit>,
+    fates: Vec<ItemFate>,
+    dropped_spans: u64,
+    dropped_visits: u64,
+}
+
+impl SpanSink {
+    /// Sink with the given capacity limits.
+    pub fn new(config: TraceConfig) -> Self {
+        SpanSink {
+            config,
+            spans: Vec::new(),
+            open: Vec::new(),
+            instants: Vec::new(),
+            visits: Vec::new(),
+            fates: Vec::new(),
+            dropped_spans: 0,
+            dropped_visits: 0,
+        }
+    }
+
+    /// Sink with default limits.
+    pub fn with_defaults() -> Self {
+        SpanSink::new(TraceConfig::default())
+    }
+
+    fn span_room(&mut self) -> bool {
+        if self.spans.len() + self.open.len() + self.instants.len() >= self.config.max_spans {
+            self.dropped_spans += 1;
+            return false;
+        }
+        true
+    }
+
+    /// Record a closed span.
+    pub fn span(
+        &mut self,
+        track: Track,
+        name: impl Into<String>,
+        cat: impl Into<String>,
+        start: f64,
+        end: f64,
+    ) {
+        self.span_detail(track, name, cat, String::new(), start, end);
+    }
+
+    /// Record a closed span with a detail argument.
+    pub fn span_detail(
+        &mut self,
+        track: Track,
+        name: impl Into<String>,
+        cat: impl Into<String>,
+        detail: impl Into<String>,
+        start: f64,
+        end: f64,
+    ) {
+        if !self.span_room() {
+            return;
+        }
+        self.spans.push(SpanRecord {
+            track,
+            name: name.into(),
+            cat: cat.into(),
+            detail: detail.into(),
+            start,
+            dur: (end - start).max(0.0),
+            depth: self.open.len() as u32,
+        });
+    }
+
+    /// Open a nested span; close it with [`SpanSink::exit`]. Nesting is
+    /// a single stack shared across tracks (matching how instrumented
+    /// code calls it: strictly LIFO within one emitter).
+    pub fn enter(
+        &mut self,
+        track: Track,
+        name: impl Into<String>,
+        cat: impl Into<String>,
+        start: f64,
+    ) {
+        if !self.span_room() {
+            // Still push a placeholder so enter/exit stay paired.
+            self.open.push(SpanRecord {
+                track,
+                name: String::new(),
+                cat: String::new(),
+                detail: String::new(),
+                start,
+                dur: f64::NAN,
+                depth: u32::MAX, // sentinel: dropped on exit
+            });
+            return;
+        }
+        let depth = self.open.len() as u32;
+        self.open.push(SpanRecord {
+            track,
+            name: name.into(),
+            cat: cat.into(),
+            detail: String::new(),
+            start,
+            dur: f64::NAN,
+            depth,
+        });
+    }
+
+    /// Close the innermost open span at `end`. Returns `false` (and
+    /// records nothing) if no span is open.
+    pub fn exit(&mut self, end: f64) -> bool {
+        match self.open.pop() {
+            Some(mut rec) => {
+                if rec.depth != u32::MAX {
+                    rec.dur = (end - rec.start).max(0.0);
+                    self.spans.push(rec);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Record an instant event.
+    pub fn instant(&mut self, track: Track, name: impl Into<String>, at: f64) {
+        if !self.span_room() {
+            return;
+        }
+        self.instants.push(InstantRecord {
+            track,
+            name: name.into(),
+            at,
+        });
+    }
+
+    /// Record one item-stage visit.
+    pub fn visit(&mut self, visit: ItemVisit) {
+        if self.visits.len() >= self.config.max_visits {
+            self.dropped_visits += 1;
+            return;
+        }
+        self.visits.push(visit);
+    }
+
+    /// Record a stream input's fate. Fates are never capped: there is
+    /// exactly one per stream input and the forensics layer needs all
+    /// of them.
+    pub fn fate(&mut self, fate: ItemFate) {
+        self.fates.push(fate);
+    }
+
+    /// Number of visits recorded so far.
+    pub fn visit_count(&self) -> usize {
+        self.visits.len()
+    }
+
+    /// Fold into a [`TraceLog`]. Spans still open are closed with zero
+    /// duration at their start time.
+    pub fn finish(mut self) -> TraceLog {
+        while let Some(mut rec) = self.open.pop() {
+            if rec.depth != u32::MAX {
+                rec.dur = 0.0;
+                self.spans.push(rec);
+            }
+        }
+        TraceLog {
+            spans: self.spans,
+            instants: self.instants,
+            visits: self.visits,
+            fates: self.fates,
+            dropped_spans: self.dropped_spans,
+            dropped_visits: self.dropped_visits,
+        }
+    }
+}
+
+/// A finished, serializable trace: everything a [`SpanSink`] collected.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceLog {
+    /// Closed spans, in emission order.
+    pub spans: Vec<SpanRecord>,
+    /// Instant events, in emission order.
+    pub instants: Vec<InstantRecord>,
+    /// Item-stage visits, in consumption order.
+    pub visits: Vec<ItemVisit>,
+    /// Per-input fates (one per stream input that arrived).
+    pub fates: Vec<ItemFate>,
+    /// Spans/instants discarded after [`TraceConfig::max_spans`].
+    pub dropped_spans: u64,
+    /// Visits discarded after [`TraceConfig::max_visits`].
+    pub dropped_visits: u64,
+}
+
+impl TraceLog {
+    /// Merge another log into this one (e.g. solver spans + sim spans).
+    pub fn merge(&mut self, other: TraceLog) {
+        self.spans.extend(other.spans);
+        self.instants.extend(other.instants);
+        self.visits.extend(other.visits);
+        self.fates.extend(other.fates);
+        self.dropped_spans += other.dropped_spans;
+        self.dropped_visits += other.dropped_visits;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_spans_record_duration() {
+        let mut s = SpanSink::with_defaults();
+        s.span(Track::stage(0), "fire", "firing", 10.0, 15.0);
+        let log = s.finish();
+        assert_eq!(log.spans.len(), 1);
+        assert_eq!(log.spans[0].start, 10.0);
+        assert_eq!(log.spans[0].dur, 5.0);
+        assert_eq!(log.spans[0].depth, 0);
+    }
+
+    #[test]
+    fn enter_exit_nest() {
+        let mut s = SpanSink::with_defaults();
+        s.enter(Track::solver(0), "solve", "solver", 0.0);
+        s.enter(Track::solver(0), "iteration", "solver", 1.0);
+        assert!(s.exit(2.0));
+        assert!(s.exit(5.0));
+        assert!(!s.exit(6.0), "stack is empty");
+        let log = s.finish();
+        assert_eq!(log.spans.len(), 2);
+        // Inner span closed first, at depth 1.
+        assert_eq!(log.spans[0].name, "iteration");
+        assert_eq!(log.spans[0].depth, 1);
+        assert_eq!(log.spans[0].dur, 1.0);
+        assert_eq!(log.spans[1].name, "solve");
+        assert_eq!(log.spans[1].depth, 0);
+        assert_eq!(log.spans[1].dur, 5.0);
+    }
+
+    #[test]
+    fn dangling_open_spans_closed_at_finish() {
+        let mut s = SpanSink::with_defaults();
+        s.enter(Track::stage(1), "fire", "firing", 3.0);
+        let log = s.finish();
+        assert_eq!(log.spans.len(), 1);
+        assert_eq!(log.spans[0].dur, 0.0);
+    }
+
+    #[test]
+    fn caps_drop_newest_and_count() {
+        let mut s = SpanSink::new(TraceConfig {
+            max_spans: 2,
+            max_visits: 1,
+        });
+        for i in 0..4 {
+            s.span(Track::stage(0), "f", "firing", i as f64, i as f64 + 1.0);
+        }
+        s.visit(ItemVisit {
+            origin: 0,
+            stage: 0,
+            enqueued: 0.0,
+            eligible: 1.0,
+            consumed: 2.0,
+            done: 3.0,
+        });
+        s.visit(ItemVisit {
+            origin: 1,
+            stage: 0,
+            enqueued: 0.0,
+            eligible: 1.0,
+            consumed: 2.0,
+            done: 3.0,
+        });
+        let log = s.finish();
+        assert_eq!(log.spans.len(), 2);
+        assert_eq!(log.dropped_spans, 2);
+        assert_eq!(log.spans[0].start, 0.0, "earliest prefix kept");
+        assert_eq!(log.visits.len(), 1);
+        assert_eq!(log.dropped_visits, 1);
+    }
+
+    #[test]
+    fn visit_decomposition_partitions_sojourn() {
+        let v = ItemVisit {
+            origin: 7,
+            stage: 2,
+            enqueued: 100.0,
+            eligible: 130.0,
+            consumed: 170.0,
+            done: 200.0,
+        };
+        assert_eq!(v.enforced_wait(), 30.0);
+        assert_eq!(v.queue_wait(), 40.0);
+        assert_eq!(v.service(), 30.0);
+        assert_eq!(
+            v.enforced_wait() + v.queue_wait() + v.service(),
+            v.sojourn()
+        );
+    }
+
+    #[test]
+    fn fate_latency() {
+        let done = ItemFate {
+            origin: 0,
+            arrival: 10.0,
+            completion: Some(110.0),
+        };
+        assert_eq!(done.latency(), Some(100.0));
+        let dropped = ItemFate {
+            origin: 1,
+            arrival: 10.0,
+            completion: None,
+        };
+        assert_eq!(dropped.latency(), None);
+    }
+
+    #[test]
+    fn log_round_trips_through_json() {
+        let mut s = SpanSink::with_defaults();
+        s.span_detail(Track::stage(0), "fire", "firing", "take=3", 0.0, 4.0);
+        s.instant(Track::solver(1), "fallback", 9.0);
+        s.visit(ItemVisit {
+            origin: 3,
+            stage: 1,
+            enqueued: 1.0,
+            eligible: 2.0,
+            consumed: 3.0,
+            done: 4.0,
+        });
+        s.fate(ItemFate {
+            origin: 3,
+            arrival: 1.0,
+            completion: None,
+        });
+        let log = s.finish();
+        let v = serde_json::to_value(&log).unwrap();
+        let back: TraceLog = serde_json::from_value(&v).unwrap();
+        assert_eq!(back, log);
+    }
+
+    #[test]
+    fn merge_concatenates_and_sums_drops() {
+        let mut a = SpanSink::new(TraceConfig {
+            max_spans: 1,
+            max_visits: 8,
+        });
+        a.span(Track::stage(0), "x", "c", 0.0, 1.0);
+        a.span(Track::stage(0), "y", "c", 1.0, 2.0); // dropped
+        let mut log = a.finish();
+        let mut b = SpanSink::with_defaults();
+        b.instant(Track::item(0), "drop", 5.0);
+        log.merge(b.finish());
+        assert_eq!(log.spans.len(), 1);
+        assert_eq!(log.instants.len(), 1);
+        assert_eq!(log.dropped_spans, 1);
+    }
+}

@@ -22,6 +22,9 @@ use des::clock::SimTime;
 use des::obs::{ObsConfig, ObsSink};
 use des::rng::RngStream;
 use des::stats::OnlineStats;
+use obs_trace::{
+    analyze, ForensicsConfig, ItemFate, ItemVisit, SpanSink, TraceConfig, TraceLog, Track,
+};
 use rtsdf_core::WaitSchedule;
 use simd_device::{ActiveTimeLedger, OccupancyStats};
 use std::collections::VecDeque;
@@ -77,6 +80,28 @@ pub fn simulate_enforced_observed(
     metrics
 }
 
+/// [`simulate_enforced`] with causal span tracing enabled: collects
+/// per-firing spans, per-item stage visits (the exact enforced-wait /
+/// queue-wait / service sojourn decomposition), and per-input fates,
+/// then runs deadline-miss forensics over the finished trace. Returns
+/// the metrics (with [`SimMetrics::blame`] attached) and the raw
+/// [`TraceLog`] for export.
+pub fn simulate_enforced_traced(
+    pipeline: &PipelineSpec,
+    schedule: &WaitSchedule,
+    deadline: f64,
+    config: &SimConfig,
+    trace: TraceConfig,
+    forensics: &ForensicsConfig,
+) -> (SimMetrics, TraceLog) {
+    let mut sink = SpanSink::new(trace);
+    let mut metrics =
+        simulate_enforced_full(pipeline, schedule, deadline, config, None, Some(&mut sink));
+    let log = sink.finish();
+    metrics.blame = Some(analyze(&log, deadline, forensics));
+    (metrics, log)
+}
+
 /// Core simulator. `obs` is branch-on-`Option`: when `None`, every hook
 /// is a single untaken branch, so the uninstrumented path stays at the
 /// cost of the plain simulator.
@@ -85,7 +110,21 @@ pub fn simulate_enforced_with(
     schedule: &WaitSchedule,
     deadline: f64,
     config: &SimConfig,
+    obs: Option<&mut ObsSink>,
+) -> SimMetrics {
+    simulate_enforced_full(pipeline, schedule, deadline, config, obs, None)
+}
+
+/// Full-generality core: aggregate observability (`obs`) and causal
+/// span tracing (`spans`) are independent branch-on-`Option` layers;
+/// either `None` costs one untaken branch per hook.
+fn simulate_enforced_full(
+    pipeline: &PipelineSpec,
+    schedule: &WaitSchedule,
+    deadline: f64,
+    config: &SimConfig,
     mut obs: Option<&mut ObsSink>,
+    mut spans: Option<&mut SpanSink>,
 ) -> SimMetrics {
     let n = pipeline.len();
     if let Some(sink) = obs.as_deref_mut() {
@@ -154,6 +193,24 @@ pub fn simulate_enforced_with(
     } else {
         Vec::new()
     };
+    // Span-tracing state, allocated only when tracing: per-stage queues
+    // of (origin, enqueued, eligible) mirroring `queues`, plus each
+    // node's next scheduled firing instant. `eligible` — the first
+    // firing opportunity at or after enqueue — is exact because at most
+    // one Fire event per node is ever pending: strictly periodic
+    // refires are scheduled one at a time, and a dormant node's wake
+    // fires at the wake instant itself (its stale `next_fire` is in the
+    // past, so `max(now, next_fire)` correctly yields `now`).
+    let mut span_queue: Vec<VecDeque<(u64, SimTime, SimTime)>> = if spans.is_some() {
+        (0..n).map(|_| VecDeque::new()).collect()
+    } else {
+        Vec::new()
+    };
+    let mut next_fire: Vec<SimTime> = if spans.is_some() {
+        vec![SimTime::ZERO; n]
+    } else {
+        Vec::new()
+    };
     let mut max_depth = vec![0u64; n];
     // Vacation discipline: a dormant node skipped its firing on an
     // empty queue and is waiting for input to wake it.
@@ -196,6 +253,9 @@ pub fn simulate_enforced_with(
                         sink.on_enqueue(0, 1, queues[0].len());
                         enq_times[0].push_back(now);
                     }
+                    if spans.is_some() {
+                        span_queue[0].push_back((origin, now, now.max(next_fire[0])));
+                    }
                     if dormant[0] {
                         // Wake: the mandatory period already elapsed when
                         // the node went dormant, so firing now is legal.
@@ -205,6 +265,12 @@ pub fn simulate_enforced_with(
                 }
                 Ev::Deliver { node, items } => {
                     let delivered = items.len() as u64;
+                    if spans.is_some() {
+                        let eligible = now.max(next_fire[node]);
+                        for item in &items {
+                            span_queue[node].push_back((item.origin, now, eligible));
+                        }
+                    }
                     queues[node].extend(items);
                     max_depth[node] = max_depth[node].max(queues[node].len() as u64);
                     if let Some(sink) = obs.as_deref_mut() {
@@ -239,6 +305,26 @@ pub fn simulate_enforced_with(
                         }
                     }
                     let completion = now + SimTime::from_cycles(service[node]);
+                    if let Some(sink) = spans.as_deref_mut() {
+                        sink.span_detail(
+                            Track::stage(node),
+                            "fire",
+                            "firing",
+                            format!("take={take}"),
+                            now.as_f64(),
+                            completion.as_f64(),
+                        );
+                        for (origin, enq, eligible) in span_queue[node].drain(..take) {
+                            sink.visit(ItemVisit {
+                                origin,
+                                stage: node as u32,
+                                enqueued: enq.as_f64(),
+                                eligible: eligible.as_f64(),
+                                consumed: now.as_f64(),
+                                done: completion.as_f64(),
+                            });
+                        }
+                    }
                     let is_last = node + 1 == n;
                     if !consumed.is_empty() {
                         let mut outs: Vec<Item> = Vec::new();
@@ -276,7 +362,11 @@ pub fn simulate_enforced_with(
                     // over and further firings would only extend the
                     // horizon without processing anything).
                     if !lineage.all_complete() {
-                        cal.schedule(now + SimTime::from_cycles(periods[node]), Ev::Fire { node });
+                        let refire = now + SimTime::from_cycles(periods[node]);
+                        if spans.is_some() {
+                            next_fire[node] = refire;
+                        }
+                        cal.schedule(refire, Ev::Fire { node });
                     }
                 }
             }
@@ -291,6 +381,13 @@ pub fn simulate_enforced_with(
     let mut dropped = 0u64;
     let mut latency = OnlineStats::new();
     for (origin, completion) in lineage.completions() {
+        if let Some(sink) = spans.as_deref_mut() {
+            sink.fate(ItemFate {
+                origin,
+                arrival: arrivals[origin as usize].as_f64(),
+                completion: completion.map(|c| c.as_f64()),
+            });
+        }
         match completion {
             Some(c) => {
                 let lat = c.since(arrivals[origin as usize]).as_f64();
@@ -339,6 +436,7 @@ pub fn simulate_enforced_with(
         horizon,
         truncated,
         obs: None,
+        blame: None,
     }
 }
 
@@ -397,6 +495,77 @@ mod tests {
         assert!(report.stages[0].queue_depth.count > 0);
         assert!(report.stages[0].occupancy.count > 0);
         assert!(!report.trace.is_empty());
+    }
+
+    #[test]
+    fn traced_run_matches_plain_and_attaches_blame() {
+        let p = blast();
+        let sched = schedule(&p, 20.0, 2e5);
+        let cfg = SimConfig::quick(20.0, 1, 500);
+        let plain = simulate_enforced(&p, &sched, 2e5, &cfg);
+        let (traced, log) = simulate_enforced_traced(
+            &p,
+            &sched,
+            2e5,
+            &cfg,
+            TraceConfig::default(),
+            &ForensicsConfig::default(),
+        );
+        // Tracing must not perturb the simulation.
+        assert_eq!(plain.items_completed, traced.items_completed);
+        assert_eq!(plain.deadline_misses, traced.deadline_misses);
+        assert_eq!(plain.active_fraction, traced.active_fraction);
+        assert_eq!(plain.horizon, traced.horizon);
+        // One fate per stream input; visits at least one per input
+        // (head-stage consumption); spans for every firing.
+        assert_eq!(log.fates.len() as u64, traced.items_arrived);
+        assert!(log.visits.len() as u64 >= traced.items_arrived);
+        assert!(!log.spans.is_empty());
+        assert_eq!(log.dropped_spans, 0);
+        assert_eq!(log.dropped_visits, 0);
+        let blame = traced.blame.expect("blame attached");
+        assert_eq!(blame.completed_items, traced.items_completed);
+        assert_eq!(blame.dropped_items, traced.items_dropped);
+        assert_eq!(
+            blame.missed_items + blame.dropped_items,
+            traced.deadline_misses
+        );
+    }
+
+    #[test]
+    fn traced_misses_blame_accounts_all_overrun() {
+        let p = blast();
+        // No waits, deadline below one service time: every item misses.
+        let sched = WaitSchedule {
+            waits: vec![0.0; 4],
+            periods: p.service_times(),
+            active_fraction: 1.0,
+            backlog_factors: vec![1.0; 4],
+            latency_bound: 0.0,
+            method: SolveMethod::WaterFilling,
+            telemetry: None,
+        };
+        let cfg = SimConfig::quick(50.0, 3, 200);
+        let (m, _log) = simulate_enforced_traced(
+            &p,
+            &sched,
+            100.0,
+            &cfg,
+            TraceConfig::default(),
+            &ForensicsConfig::default(),
+        );
+        assert_eq!(m.deadline_misses, m.items_arrived);
+        let blame = m.blame.expect("blame attached");
+        assert_eq!(blame.analyzed_items, m.items_completed);
+        assert!(blame.total_overrun > 0.0);
+        assert!(!blame.stages.is_empty());
+        assert!(!blame.exemplars.is_empty());
+        // The per-stage fractions account for 100 % of the overrun.
+        assert!(
+            (blame.accounted_fraction() - 1.0).abs() < 1e-9,
+            "accounted {}",
+            blame.accounted_fraction()
+        );
     }
 
     #[test]

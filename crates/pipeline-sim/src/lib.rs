@@ -39,7 +39,9 @@ pub mod timeline;
 pub mod validate;
 
 pub use config::SimConfig;
-pub use enforced::{simulate_enforced, simulate_enforced_observed};
+pub use enforced::{simulate_enforced, simulate_enforced_observed, simulate_enforced_traced};
 pub use metrics::SimMetrics;
-pub use monolithic::{simulate_monolithic, simulate_monolithic_observed};
+pub use monolithic::{
+    simulate_monolithic, simulate_monolithic_observed, simulate_monolithic_traced,
+};
 pub use runner::{run_seeds_enforced, run_seeds_monolithic, MultiSeedReport};

@@ -2,6 +2,7 @@
 
 use des::obs::ObsReport;
 use des::stats::OnlineStats;
+use obs_trace::BlameReport;
 use serde::{Deserialize, Serialize};
 use simd_device::OccupancyStats;
 
@@ -40,6 +41,9 @@ pub struct SimMetrics {
     /// Structured observability report (`None` unless the run was
     /// started through an `*_observed` entry point).
     pub obs: Option<ObsReport>,
+    /// Deadline-miss forensics (`None` unless the run was started
+    /// through a `*_traced` entry point).
+    pub blame: Option<BlameReport>,
 }
 
 impl SimMetrics {
@@ -77,6 +81,7 @@ mod tests {
             horizon: 1000.0,
             truncated: false,
             obs: None,
+            blame: None,
         }
     }
 

@@ -16,6 +16,9 @@ use des::clock::SimTime;
 use des::obs::{ObsConfig, ObsSink};
 use des::rng::RngStream;
 use des::stats::OnlineStats;
+use obs_trace::{
+    analyze, ForensicsConfig, ItemFate, ItemVisit, SpanSink, TraceConfig, TraceLog, Track,
+};
 use rtsdf_core::MonolithicSchedule;
 use simd_device::OccupancyStats;
 
@@ -45,6 +48,28 @@ pub fn simulate_monolithic_observed(
     metrics
 }
 
+/// [`simulate_monolithic`] with causal span tracing enabled: per-stage
+/// block spans, per-item visits (block-fill wait as enforced wait,
+/// pipeline-busy wait as queue wait, block execution as service), and
+/// per-input fates, plus deadline-miss forensics over the finished
+/// trace. Returns the metrics (with [`SimMetrics::blame`] attached)
+/// and the raw [`TraceLog`] for export.
+pub fn simulate_monolithic_traced(
+    pipeline: &PipelineSpec,
+    schedule: &MonolithicSchedule,
+    deadline: f64,
+    config: &SimConfig,
+    trace: TraceConfig,
+    forensics: &ForensicsConfig,
+) -> (SimMetrics, TraceLog) {
+    let mut sink = SpanSink::new(trace);
+    let mut metrics =
+        simulate_monolithic_full(pipeline, schedule, deadline, config, None, Some(&mut sink));
+    let log = sink.finish();
+    metrics.blame = Some(analyze(&log, deadline, forensics));
+    (metrics, log)
+}
+
 /// Core simulator; `obs` hooks are branch-on-`Option` (see the enforced
 /// simulator for the convention).
 pub fn simulate_monolithic_with(
@@ -52,7 +77,20 @@ pub fn simulate_monolithic_with(
     schedule: &MonolithicSchedule,
     deadline: f64,
     config: &SimConfig,
+    obs: Option<&mut ObsSink>,
+) -> SimMetrics {
+    simulate_monolithic_full(pipeline, schedule, deadline, config, obs, None)
+}
+
+/// Full-generality core: aggregate observability (`obs`) and causal
+/// span tracing (`spans`) are independent branch-on-`Option` layers.
+fn simulate_monolithic_full(
+    pipeline: &PipelineSpec,
+    schedule: &MonolithicSchedule,
+    deadline: f64,
+    config: &SimConfig,
     mut obs: Option<&mut ObsSink>,
+    mut spans: Option<&mut SpanSink>,
 ) -> SimMetrics {
     let n = pipeline.len();
     if let Some(sink) = obs.as_deref_mut() {
@@ -119,7 +157,18 @@ pub fn simulate_monolithic_with(
                 break;
             }
             let firings = count.div_ceil(v as u64);
-            busy += firings as f64 * service[i];
+            let stage_busy = firings as f64 * service[i];
+            if let Some(sink) = spans.as_deref_mut() {
+                sink.span_detail(
+                    Track::stage(i),
+                    "block",
+                    "firing",
+                    format!("items={count} firings={firings}"),
+                    start + busy,
+                    start + busy + stage_busy,
+                );
+            }
+            busy += stage_busy;
             let full = count / v as u64;
             for _ in 0..full {
                 occupancy[i].record(v, v);
@@ -145,6 +194,28 @@ pub fn simulate_monolithic_with(
             }
         }
         let finish = start + busy;
+        if let Some(sink) = spans.as_deref_mut() {
+            // One visit per item at the head stage: block-fill wait is
+            // the structural (enforced) delay, waiting for a busy
+            // pipeline is queueing, and the block's execution is
+            // service. The three partition `finish − arrival` exactly.
+            for (j, &arr) in block.iter().enumerate() {
+                let origin = (processed_before + j) as u64;
+                sink.visit(ItemVisit {
+                    origin,
+                    stage: 0,
+                    enqueued: arr,
+                    eligible: ready,
+                    consumed: start,
+                    done: finish,
+                });
+                sink.fate(ItemFate {
+                    origin,
+                    arrival: arr,
+                    completion: Some(finish),
+                });
+            }
+        }
         busy_total += busy;
         pipeline_free_at = finish;
         horizon = horizon.max(finish);
@@ -170,6 +241,15 @@ pub fn simulate_monolithic_with(
         if let Some(sink) = obs {
             for _ in 0..dropped {
                 sink.on_drop();
+            }
+        }
+        if let Some(sink) = spans {
+            for (j, &arr) in arrivals[processed_before..].iter().enumerate() {
+                sink.fate(ItemFate {
+                    origin: (processed_before + j) as u64,
+                    arrival: arr,
+                    completion: None,
+                });
             }
         }
     }
@@ -202,6 +282,7 @@ pub fn simulate_monolithic_with(
         horizon,
         truncated,
         obs: None,
+        blame: None,
     }
 }
 
@@ -252,6 +333,79 @@ mod tests {
         // No empty firings exist in this strategy.
         assert_eq!(report.counters.empty_firings, 0);
         assert_eq!(report.stages[0].sojourn.count, observed.items_completed);
+    }
+
+    #[test]
+    fn traced_run_matches_plain_and_explains_latency() {
+        let p = blast();
+        let sched = schedule(&p, 50.0, 1e5);
+        let cfg = SimConfig::quick(50.0, 3, 2_000);
+        let plain = simulate_monolithic(&p, &sched, 1e5, &cfg);
+        let (traced, log) = simulate_monolithic_traced(
+            &p,
+            &sched,
+            1e5,
+            &cfg,
+            TraceConfig::default(),
+            &ForensicsConfig::default(),
+        );
+        assert_eq!(plain.items_completed, traced.items_completed);
+        assert_eq!(plain.deadline_misses, traced.deadline_misses);
+        assert_eq!(plain.active_fraction, traced.active_fraction);
+        assert_eq!(log.fates.len() as u64, traced.items_arrived);
+        // Exactly one head-stage visit per completed item, and its
+        // sojourn equals the item's end-to-end latency.
+        assert_eq!(log.visits.len() as u64, traced.items_completed);
+        for v in &log.visits {
+            let fate = &log.fates[v.origin as usize];
+            assert_eq!(fate.origin, v.origin);
+            assert_eq!(v.enqueued, fate.arrival);
+            assert_eq!(Some(v.done), fate.completion);
+        }
+        assert!(traced.blame.is_some());
+    }
+
+    #[test]
+    fn traced_unstable_run_blames_queueing() {
+        let p = blast();
+        // Same setup as `unstable_block_size_truncates`: backlog grows,
+        // items miss, and the forensics must attribute the overrun.
+        let sched = MonolithicSchedule {
+            block_size: 8,
+            block_time: 0.0,
+            active_fraction: 0.0,
+            latency_bound: 0.0,
+            b: 1.0,
+            s: 1.0,
+            telemetry: None,
+        };
+        let mut cfg = SimConfig::quick(1.0, 1, 20_000);
+        cfg.drain_factor = 3.0;
+        let (m, log) = simulate_monolithic_traced(
+            &p,
+            &sched,
+            1e4,
+            &cfg,
+            TraceConfig::default(),
+            &ForensicsConfig::default(),
+        );
+        assert!(m.truncated);
+        let blame = m.blame.expect("blame attached");
+        assert_eq!(blame.dropped_items, m.items_dropped);
+        assert!(blame.analyzed_items > 0);
+        assert!((blame.accounted_fraction() - 1.0).abs() < 1e-9);
+        // A backlogged pipeline: queueing (waiting for the pipeline to
+        // free up) must dominate the blame over block-fill waiting.
+        let queue: f64 = blame.stages.iter().map(|s| s.queue_wait).sum();
+        let enforced: f64 = blame.stages.iter().map(|s| s.enforced_wait).sum();
+        assert!(
+            queue > enforced,
+            "queueing {queue} should dominate block-fill {enforced}"
+        );
+        assert_eq!(
+            log.fates.iter().filter(|f| f.completion.is_none()).count() as u64,
+            m.items_dropped
+        );
     }
 
     #[test]

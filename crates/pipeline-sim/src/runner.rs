@@ -237,6 +237,7 @@ mod tests {
             horizon: 1.0,
             truncated: false,
             obs: None,
+            blame: None,
         };
         let r = MultiSeedReport {
             runs: vec![mk(vec![2.0]), mk(vec![1.0, 5.0, 3.0]), mk(vec![4.0, 0.5])],

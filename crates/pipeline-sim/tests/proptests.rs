@@ -3,9 +3,41 @@
 
 use dataflow_model::{GainModel, PipelineSpec, PipelineSpecBuilder, RtParams};
 use des::obs::ObsConfig;
-use pipeline_sim::{simulate_enforced, simulate_enforced_observed, simulate_monolithic, SimConfig};
+use obs_trace::{ForensicsConfig, TraceConfig, TraceLog};
+use pipeline_sim::{
+    simulate_enforced, simulate_enforced_observed, simulate_enforced_traced, simulate_monolithic,
+    simulate_monolithic_traced, SimConfig,
+};
 use proptest::prelude::*;
 use rtsdf_core::{EnforcedWaitsProblem, MonolithicSchedule, SolveMethod};
+
+/// Shared invariant for both simulators: every recorded visit's
+/// enforced-wait, queue-wait, and service components are non-negative,
+/// back-to-back, and exactly partition its sojourn (no gaps, no
+/// overlaps). `tol` covers float accumulation in the monolithic
+/// simulator's continuous clock; the enforced simulator runs on an
+/// integer cycle clock and must be exact.
+fn assert_visits_partition(log: &TraceLog, tol: f64) -> Result<(), TestCaseError> {
+    for v in &log.visits {
+        prop_assert!(
+            v.enqueued <= v.eligible && v.eligible <= v.consumed && v.consumed <= v.done,
+            "visit timestamps out of order: {v:?}"
+        );
+        let parts = v.enforced_wait() + v.queue_wait() + v.service();
+        prop_assert!(
+            (parts - v.sojourn()).abs() <= tol,
+            "components {parts} != sojourn {} for {v:?}",
+            v.sojourn()
+        );
+        // Back-to-back: each component starts where the previous ended,
+        // by construction of the four timestamps — re-derive the
+        // boundaries to make the no-gap/no-overlap claim explicit.
+        prop_assert!((v.enqueued + v.enforced_wait() - v.eligible).abs() <= tol);
+        prop_assert!((v.eligible + v.queue_wait() - v.consumed).abs() <= tol);
+        prop_assert!((v.consumed + v.service() - v.done).abs() <= tol);
+    }
+    Ok(())
+}
 
 fn pipeline() -> impl Strategy<Value = PipelineSpec> {
     prop::collection::vec((20.0..500.0f64, 0.2..2.0f64), 2..=4).prop_map(|stages| {
@@ -171,5 +203,106 @@ proptest! {
             slow.active_fraction,
             fast.active_fraction
         );
+    }
+
+    #[test]
+    fn enforced_trace_partitions_every_sojourn(
+        p in pipeline(),
+        seed in 0u64..500,
+    ) {
+        let xmin = rtsdf_core::minimal_periods(&p);
+        let tau0 = xmin[0] / p.vector_width() as f64 * 3.0;
+        let b: Vec<f64> = p.mean_gains().iter().map(|g| (g.ceil() + 2.0).max(3.0)).collect();
+        let min_d: f64 = xmin.iter().zip(&b).map(|(x, bi)| x * bi).sum();
+        let params = RtParams::new(tau0, min_d * 10.0).unwrap();
+        let sched = EnforcedWaitsProblem::new(&p, params, b)
+            .solve(SolveMethod::WaterFilling)
+            .unwrap();
+        let cfg = SimConfig::quick(tau0, seed, 300);
+        let plain = simulate_enforced(&p, &sched, params.deadline, &cfg);
+        let (traced, log) = simulate_enforced_traced(
+            &p,
+            &sched,
+            params.deadline,
+            &cfg,
+            TraceConfig::default(),
+            &ForensicsConfig::default(),
+        );
+        // Tracing is measurement only.
+        prop_assert_eq!(plain.active_fraction, traced.active_fraction);
+        prop_assert_eq!(plain.deadline_misses, traced.deadline_misses);
+        prop_assert_eq!(plain.horizon, traced.horizon);
+        // Integer cycle clock: the partition must be *exact*.
+        assert_visits_partition(&log, 0.0)?;
+        prop_assert_eq!(log.fates.len() as u64, traced.items_arrived);
+        for fate in &log.fates {
+            // Lifelines are causally closed: the head-stage visit starts
+            // at the input's arrival, every later visit starts exactly
+            // where an upstream firing delivered it (no gaps between
+            // stages), and the completion instant is one of the lineage's
+            // firing completions.
+            let visits: Vec<_> =
+                log.visits.iter().filter(|v| v.origin == fate.origin).collect();
+            prop_assert!(!visits.is_empty(), "input {} never consumed", fate.origin);
+            for v in &visits {
+                if v.stage == 0 {
+                    prop_assert_eq!(v.enqueued, fate.arrival);
+                } else {
+                    prop_assert!(
+                        visits
+                            .iter()
+                            .any(|u| u.stage + 1 == v.stage && u.done == v.enqueued),
+                        "stage-{} visit at {} has no upstream delivery",
+                        v.stage,
+                        v.enqueued
+                    );
+                }
+            }
+            if let Some(c) = fate.completion {
+                prop_assert!(visits.iter().any(|v| v.done == c));
+            }
+        }
+    }
+
+    #[test]
+    fn monolithic_trace_partitions_every_sojourn(
+        p in pipeline(),
+        seed in 0u64..500,
+        m_block in 8u64..200,
+    ) {
+        let tau0 = p.total_service_time();
+        let sched = MonolithicSchedule {
+            block_size: m_block,
+            block_time: 0.0,
+            active_fraction: 0.0,
+            latency_bound: 0.0,
+            b: 1.0,
+            s: 1.0,
+            telemetry: None,
+        };
+        let cfg = SimConfig::quick(tau0, seed, 400);
+        let plain = simulate_monolithic(&p, &sched, 1e18, &cfg);
+        let (traced, log) = simulate_monolithic_traced(
+            &p,
+            &sched,
+            1e18,
+            &cfg,
+            TraceConfig::default(),
+            &ForensicsConfig::default(),
+        );
+        prop_assert_eq!(plain.active_fraction, traced.active_fraction);
+        prop_assert_eq!(plain.deadline_misses, traced.deadline_misses);
+        // Continuous clock: allow float accumulation noise.
+        assert_visits_partition(&log, 1e-6)?;
+        // One visit per completed input; its sojourn is exactly the
+        // input's end-to-end latency, so the three components explain
+        // 100 % of every latency.
+        prop_assert_eq!(log.visits.len() as u64, traced.items_completed);
+        prop_assert_eq!(log.fates.len() as u64, traced.items_arrived);
+        for v in &log.visits {
+            let fate = &log.fates[v.origin as usize];
+            prop_assert_eq!(v.enqueued, fate.arrival);
+            prop_assert_eq!(Some(v.done), fate.completion);
+        }
     }
 }

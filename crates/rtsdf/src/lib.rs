@@ -14,6 +14,7 @@
 //! | [`blast`] | `blast` | the paper's BLAST test application |
 //! | [`apps`] | `apps` | gamma-ray burst, IDS, ML cascade pipelines |
 //! | [`engine`] | `des` | the generic discrete-event engine |
+//! | [`trace`] | `obs-trace` | causal span traces, Chrome/Perfetto export, deadline-miss forensics |
 //!
 //! ## Quickstart
 //!
@@ -51,6 +52,7 @@ pub use apps;
 pub use blast;
 pub use dataflow_model as model;
 pub use des as engine;
+pub use obs_trace as trace;
 pub use pipeline_sim as sim;
 pub use queueing;
 pub use rtsdf_core as core;
@@ -63,8 +65,8 @@ pub mod prelude {
         RtParams,
     };
     pub use pipeline_sim::{
-        run_seeds_enforced, run_seeds_monolithic, simulate_enforced, simulate_monolithic,
-        MultiSeedReport, SimConfig, SimMetrics,
+        run_seeds_enforced, run_seeds_monolithic, simulate_enforced, simulate_enforced_traced,
+        simulate_monolithic, simulate_monolithic_traced, MultiSeedReport, SimConfig, SimMetrics,
     };
     pub use rtsdf_core::{
         EnforcedWaitsProblem, MonolithicProblem, MonolithicSchedule, ScheduleError, SolveMethod,
@@ -86,5 +88,6 @@ mod tests {
         let _ = crate::apps::gamma::GammaConfig::default();
         let _ = crate::core::comparison::SweepConfig::paper_blast();
         let _ = crate::sim::SimConfig::quick(1.0, 0, 1);
+        let _ = crate::trace::TraceConfig::default();
     }
 }

@@ -83,6 +83,12 @@ pub struct Solution {
     /// Barrier weight `t` at the start of each centering step — the μ
     /// trajectory of the solve, for telemetry.
     pub barrier_ts: Vec<f64>,
+    /// Newton iterations used by each centering step (parallel to
+    /// `barrier_ts`).
+    pub barrier_newtons: Vec<usize>,
+    /// Wall-clock microseconds spent in each centering step (parallel to
+    /// `barrier_ts`), for span tracing.
+    pub barrier_wall_micros: Vec<f64>,
 }
 
 /// Why a solve failed.
@@ -158,10 +164,16 @@ pub fn minimize(
     let mut t = opts.t0;
     let mut total_newton = 0usize;
     let mut barrier_ts = Vec::new();
+    let mut barrier_newtons = Vec::new();
+    let mut barrier_wall_micros = Vec::new();
 
     for outer in 0..opts.max_outer_iters {
         barrier_ts.push(t);
-        total_newton += center(problem, constraints, &mut x, t, opts)?;
+        let step_start = std::time::Instant::now();
+        let newtons = center(problem, constraints, &mut x, t, opts)?;
+        barrier_wall_micros.push(step_start.elapsed().as_secs_f64() * 1e6);
+        barrier_newtons.push(newtons);
+        total_newton += newtons;
         if m / t < opts.tolerance {
             return Ok(Solution {
                 value: problem.value(&x),
@@ -169,6 +181,8 @@ pub fn minimize(
                 newton_iters: total_newton,
                 outer_iters: outer + 1,
                 barrier_ts,
+                barrier_newtons,
+                barrier_wall_micros,
                 x,
             });
         }
@@ -181,6 +195,8 @@ pub fn minimize(
         newton_iters: total_newton,
         outer_iters: opts.max_outer_iters,
         barrier_ts,
+        barrier_newtons,
+        barrier_wall_micros,
         x,
     })
 }
@@ -448,6 +464,13 @@ mod tests {
         assert!((sol.x[0] - 1.0).abs() < 1e-6, "{:?}", sol.x);
         assert!((sol.x[1] - 2.0).abs() < 1e-6, "{:?}", sol.x);
         assert!(sol.gap < 1e-8);
+        // Per-step telemetry is parallel to the μ trajectory and
+        // accounts for every Newton iteration.
+        assert_eq!(sol.barrier_ts.len(), sol.outer_iters);
+        assert_eq!(sol.barrier_newtons.len(), sol.outer_iters);
+        assert_eq!(sol.barrier_wall_micros.len(), sol.outer_iters);
+        assert_eq!(sol.barrier_newtons.iter().sum::<usize>(), sol.newton_iters);
+        assert!(sol.barrier_wall_micros.iter().all(|&w| w >= 0.0));
     }
 
     #[test]

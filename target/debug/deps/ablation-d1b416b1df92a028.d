@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-d1b416b1df92a028.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-d1b416b1df92a028: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

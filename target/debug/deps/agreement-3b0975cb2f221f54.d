@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/agreement-3b0975cb2f221f54.d: crates/bench/src/bin/agreement.rs Cargo.toml
+
+/root/repo/target/debug/deps/libagreement-3b0975cb2f221f54.rmeta: crates/bench/src/bin/agreement.rs Cargo.toml
+
+crates/bench/src/bin/agreement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

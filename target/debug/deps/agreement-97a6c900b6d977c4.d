@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/agreement-97a6c900b6d977c4.d: crates/bench/src/bin/agreement.rs
+
+/root/repo/target/debug/deps/agreement-97a6c900b6d977c4: crates/bench/src/bin/agreement.rs
+
+crates/bench/src/bin/agreement.rs:

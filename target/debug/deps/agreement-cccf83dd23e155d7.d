@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/agreement-cccf83dd23e155d7.d: crates/bench/src/bin/agreement.rs Cargo.toml
+
+/root/repo/target/debug/deps/libagreement-cccf83dd23e155d7.rmeta: crates/bench/src/bin/agreement.rs Cargo.toml
+
+crates/bench/src/bin/agreement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/apps-f7bfbbc149dd2d5a.d: crates/apps/src/lib.rs crates/apps/src/cascade.rs crates/apps/src/gamma.rs crates/apps/src/ids.rs crates/apps/src/kernels.rs
+
+/root/repo/target/debug/deps/apps-f7bfbbc149dd2d5a: crates/apps/src/lib.rs crates/apps/src/cascade.rs crates/apps/src/gamma.rs crates/apps/src/ids.rs crates/apps/src/kernels.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/cascade.rs:
+crates/apps/src/gamma.rs:
+crates/apps/src/ids.rs:
+crates/apps/src/kernels.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/apps_integration-01a7390da3f0dcba.d: crates/rtsdf/../../tests/apps_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libapps_integration-01a7390da3f0dcba.rmeta: crates/rtsdf/../../tests/apps_integration.rs Cargo.toml
+
+crates/rtsdf/../../tests/apps_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

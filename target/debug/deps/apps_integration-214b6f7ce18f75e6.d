@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/apps_integration-214b6f7ce18f75e6.d: crates/rtsdf/../../tests/apps_integration.rs
+
+/root/repo/target/debug/deps/apps_integration-214b6f7ce18f75e6: crates/rtsdf/../../tests/apps_integration.rs
+
+crates/rtsdf/../../tests/apps_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/apriori_b-6de063ec36f3aefd.d: crates/bench/src/bin/apriori_b.rs
+
+/root/repo/target/debug/deps/apriori_b-6de063ec36f3aefd: crates/bench/src/bin/apriori_b.rs
+
+crates/bench/src/bin/apriori_b.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/apriori_b-d280a78ade32b4f8.d: crates/bench/src/bin/apriori_b.rs Cargo.toml
+
+/root/repo/target/debug/deps/libapriori_b-d280a78ade32b4f8.rmeta: crates/bench/src/bin/apriori_b.rs Cargo.toml
+
+crates/bench/src/bin/apriori_b.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

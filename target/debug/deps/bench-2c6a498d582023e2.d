@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/bench-2c6a498d582023e2.d: crates/bench/src/lib.rs crates/bench/src/diff.rs crates/bench/src/manifest.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench-2c6a498d582023e2.rmeta: crates/bench/src/lib.rs crates/bench/src/diff.rs crates/bench/src/manifest.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/diff.rs:
+crates/bench/src/manifest.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench-3d73f23a8a7b8f9b.d: crates/bench/src/lib.rs crates/bench/src/diff.rs crates/bench/src/manifest.rs
+
+/root/repo/target/debug/deps/bench-3d73f23a8a7b8f9b: crates/bench/src/lib.rs crates/bench/src/diff.rs crates/bench/src/manifest.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/diff.rs:
+crates/bench/src/manifest.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

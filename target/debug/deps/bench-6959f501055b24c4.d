@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench-6959f501055b24c4.d: crates/bench/src/lib.rs crates/bench/src/diff.rs crates/bench/src/manifest.rs
+
+/root/repo/target/debug/deps/libbench-6959f501055b24c4.rlib: crates/bench/src/lib.rs crates/bench/src/diff.rs crates/bench/src/manifest.rs
+
+/root/repo/target/debug/deps/libbench-6959f501055b24c4.rmeta: crates/bench/src/lib.rs crates/bench/src/diff.rs crates/bench/src/manifest.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/diff.rs:
+crates/bench/src/manifest.rs:

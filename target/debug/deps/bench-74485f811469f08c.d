@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/bench-74485f811469f08c.d: crates/bench/src/lib.rs crates/bench/src/diff.rs crates/bench/src/manifest.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench-74485f811469f08c.rmeta: crates/bench/src/lib.rs crates/bench/src/diff.rs crates/bench/src/manifest.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/diff.rs:
+crates/bench/src/manifest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bench-da725d1f0ffc0e75.d: crates/bench/src/lib.rs crates/bench/src/diff.rs crates/bench/src/manifest.rs
+
+/root/repo/target/debug/deps/bench-da725d1f0ffc0e75: crates/bench/src/lib.rs crates/bench/src/diff.rs crates/bench/src/manifest.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/diff.rs:
+crates/bench/src/manifest.rs:

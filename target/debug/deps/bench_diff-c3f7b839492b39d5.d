@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_diff-c3f7b839492b39d5.d: crates/bench/src/bin/bench_diff.rs
+
+/root/repo/target/debug/deps/bench_diff-c3f7b839492b39d5: crates/bench/src/bin/bench_diff.rs
+
+crates/bench/src/bin/bench_diff.rs:

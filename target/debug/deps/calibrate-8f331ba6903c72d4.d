@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-8f331ba6903c72d4.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-8f331ba6903c72d4: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

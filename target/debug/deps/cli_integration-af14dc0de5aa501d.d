@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cli_integration-af14dc0de5aa501d.d: crates/cli/tests/cli_integration.rs
+
+/root/repo/target/debug/deps/cli_integration-af14dc0de5aa501d: crates/cli/tests/cli_integration.rs
+
+crates/cli/tests/cli_integration.rs:

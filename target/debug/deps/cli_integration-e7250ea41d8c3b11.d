@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cli_integration-e7250ea41d8c3b11.d: crates/cli/tests/cli_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli_integration-e7250ea41d8c3b11.rmeta: crates/cli/tests/cli_integration.rs Cargo.toml
+
+crates/cli/tests/cli_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/coschedule-48a307034158cac5.d: crates/bench/src/bin/coschedule.rs
+
+/root/repo/target/debug/deps/coschedule-48a307034158cac5: crates/bench/src/bin/coschedule.rs
+
+crates/bench/src/bin/coschedule.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/coschedule-8646765022c5471f.d: crates/bench/src/bin/coschedule.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoschedule-8646765022c5471f.rmeta: crates/bench/src/bin/coschedule.rs Cargo.toml
+
+crates/bench/src/bin/coschedule.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

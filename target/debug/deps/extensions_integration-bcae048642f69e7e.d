@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions_integration-bcae048642f69e7e.d: crates/rtsdf/../../tests/extensions_integration.rs
+
+/root/repo/target/debug/deps/extensions_integration-bcae048642f69e7e: crates/rtsdf/../../tests/extensions_integration.rs
+
+crates/rtsdf/../../tests/extensions_integration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extensions_integration-f6287718e0a18f50.d: crates/rtsdf/../../tests/extensions_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextensions_integration-f6287718e0a18f50.rmeta: crates/rtsdf/../../tests/extensions_integration.rs Cargo.toml
+
+crates/rtsdf/../../tests/extensions_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

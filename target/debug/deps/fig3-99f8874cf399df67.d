@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-99f8874cf399df67.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-99f8874cf399df67: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

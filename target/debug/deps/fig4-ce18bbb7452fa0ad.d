@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-ce18bbb7452fa0ad.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-ce18bbb7452fa0ad: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

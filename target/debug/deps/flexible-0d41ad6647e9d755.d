@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flexible-0d41ad6647e9d755.d: crates/bench/src/bin/flexible.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflexible-0d41ad6647e9d755.rmeta: crates/bench/src/bin/flexible.rs Cargo.toml
+
+crates/bench/src/bin/flexible.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

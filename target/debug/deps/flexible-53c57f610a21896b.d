@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flexible-53c57f610a21896b.d: crates/bench/src/bin/flexible.rs
+
+/root/repo/target/debug/deps/flexible-53c57f610a21896b: crates/bench/src/bin/flexible.rs
+
+crates/bench/src/bin/flexible.rs:

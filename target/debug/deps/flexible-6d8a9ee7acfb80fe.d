@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flexible-6d8a9ee7acfb80fe.d: crates/bench/src/bin/flexible.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflexible-6d8a9ee7acfb80fe.rmeta: crates/bench/src/bin/flexible.rs Cargo.toml
+
+crates/bench/src/bin/flexible.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

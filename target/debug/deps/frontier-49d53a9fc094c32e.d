@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/frontier-49d53a9fc094c32e.d: crates/bench/src/bin/frontier.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfrontier-49d53a9fc094c32e.rmeta: crates/bench/src/bin/frontier.rs Cargo.toml
+
+crates/bench/src/bin/frontier.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/frontier-58a7d02b05a51e28.d: crates/bench/src/bin/frontier.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfrontier-58a7d02b05a51e28.rmeta: crates/bench/src/bin/frontier.rs Cargo.toml
+
+crates/bench/src/bin/frontier.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

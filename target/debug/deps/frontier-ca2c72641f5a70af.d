@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/frontier-ca2c72641f5a70af.d: crates/bench/src/bin/frontier.rs
+
+/root/repo/target/debug/deps/frontier-ca2c72641f5a70af: crates/bench/src/bin/frontier.rs
+
+crates/bench/src/bin/frontier.rs:

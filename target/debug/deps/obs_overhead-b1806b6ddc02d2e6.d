@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/obs_overhead-b1806b6ddc02d2e6.d: crates/pipeline-sim/benches/obs_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libobs_overhead-b1806b6ddc02d2e6.rmeta: crates/pipeline-sim/benches/obs_overhead.rs Cargo.toml
+
+crates/pipeline-sim/benches/obs_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/obs_trace-06c955555eef0d3b.d: crates/obs-trace/src/lib.rs crates/obs-trace/src/chrome.rs crates/obs-trace/src/forensics.rs crates/obs-trace/src/span.rs
+
+/root/repo/target/debug/deps/libobs_trace-06c955555eef0d3b.rlib: crates/obs-trace/src/lib.rs crates/obs-trace/src/chrome.rs crates/obs-trace/src/forensics.rs crates/obs-trace/src/span.rs
+
+/root/repo/target/debug/deps/libobs_trace-06c955555eef0d3b.rmeta: crates/obs-trace/src/lib.rs crates/obs-trace/src/chrome.rs crates/obs-trace/src/forensics.rs crates/obs-trace/src/span.rs
+
+crates/obs-trace/src/lib.rs:
+crates/obs-trace/src/chrome.rs:
+crates/obs-trace/src/forensics.rs:
+crates/obs-trace/src/span.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/obs_trace-1be361a90a1f10f6.d: crates/obs-trace/src/lib.rs crates/obs-trace/src/chrome.rs crates/obs-trace/src/forensics.rs crates/obs-trace/src/span.rs Cargo.toml
+
+/root/repo/target/debug/deps/libobs_trace-1be361a90a1f10f6.rmeta: crates/obs-trace/src/lib.rs crates/obs-trace/src/chrome.rs crates/obs-trace/src/forensics.rs crates/obs-trace/src/span.rs Cargo.toml
+
+crates/obs-trace/src/lib.rs:
+crates/obs-trace/src/chrome.rs:
+crates/obs-trace/src/forensics.rs:
+crates/obs-trace/src/span.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

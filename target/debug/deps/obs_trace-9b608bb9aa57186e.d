@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/obs_trace-9b608bb9aa57186e.d: crates/obs-trace/src/lib.rs crates/obs-trace/src/chrome.rs crates/obs-trace/src/forensics.rs crates/obs-trace/src/span.rs
+
+/root/repo/target/debug/deps/obs_trace-9b608bb9aa57186e: crates/obs-trace/src/lib.rs crates/obs-trace/src/chrome.rs crates/obs-trace/src/forensics.rs crates/obs-trace/src/span.rs
+
+crates/obs-trace/src/lib.rs:
+crates/obs-trace/src/chrome.rs:
+crates/obs-trace/src/forensics.rs:
+crates/obs-trace/src/span.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_claims-0ffefd816b5b6e29.d: crates/rtsdf/../../tests/paper_claims.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_claims-0ffefd816b5b6e29.rmeta: crates/rtsdf/../../tests/paper_claims.rs Cargo.toml
+
+crates/rtsdf/../../tests/paper_claims.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-e65c48801e865992.d: crates/rtsdf/../../tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-e65c48801e865992: crates/rtsdf/../../tests/paper_claims.rs
+
+crates/rtsdf/../../tests/paper_claims.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pipeline_sim-6048883a9a1b69f6.d: crates/pipeline-sim/src/lib.rs crates/pipeline-sim/src/calibration.rs crates/pipeline-sim/src/config.rs crates/pipeline-sim/src/enforced.rs crates/pipeline-sim/src/item.rs crates/pipeline-sim/src/metrics.rs crates/pipeline-sim/src/monolithic.rs crates/pipeline-sim/src/runner.rs crates/pipeline-sim/src/timeline.rs crates/pipeline-sim/src/validate.rs
+
+/root/repo/target/debug/deps/pipeline_sim-6048883a9a1b69f6: crates/pipeline-sim/src/lib.rs crates/pipeline-sim/src/calibration.rs crates/pipeline-sim/src/config.rs crates/pipeline-sim/src/enforced.rs crates/pipeline-sim/src/item.rs crates/pipeline-sim/src/metrics.rs crates/pipeline-sim/src/monolithic.rs crates/pipeline-sim/src/runner.rs crates/pipeline-sim/src/timeline.rs crates/pipeline-sim/src/validate.rs
+
+crates/pipeline-sim/src/lib.rs:
+crates/pipeline-sim/src/calibration.rs:
+crates/pipeline-sim/src/config.rs:
+crates/pipeline-sim/src/enforced.rs:
+crates/pipeline-sim/src/item.rs:
+crates/pipeline-sim/src/metrics.rs:
+crates/pipeline-sim/src/monolithic.rs:
+crates/pipeline-sim/src/runner.rs:
+crates/pipeline-sim/src/timeline.rs:
+crates/pipeline-sim/src/validate.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pipeline_sim-8047bd1e08445172.d: crates/pipeline-sim/src/lib.rs crates/pipeline-sim/src/calibration.rs crates/pipeline-sim/src/config.rs crates/pipeline-sim/src/enforced.rs crates/pipeline-sim/src/item.rs crates/pipeline-sim/src/metrics.rs crates/pipeline-sim/src/monolithic.rs crates/pipeline-sim/src/runner.rs crates/pipeline-sim/src/timeline.rs crates/pipeline-sim/src/validate.rs
+
+/root/repo/target/debug/deps/pipeline_sim-8047bd1e08445172: crates/pipeline-sim/src/lib.rs crates/pipeline-sim/src/calibration.rs crates/pipeline-sim/src/config.rs crates/pipeline-sim/src/enforced.rs crates/pipeline-sim/src/item.rs crates/pipeline-sim/src/metrics.rs crates/pipeline-sim/src/monolithic.rs crates/pipeline-sim/src/runner.rs crates/pipeline-sim/src/timeline.rs crates/pipeline-sim/src/validate.rs
+
+crates/pipeline-sim/src/lib.rs:
+crates/pipeline-sim/src/calibration.rs:
+crates/pipeline-sim/src/config.rs:
+crates/pipeline-sim/src/enforced.rs:
+crates/pipeline-sim/src/item.rs:
+crates/pipeline-sim/src/metrics.rs:
+crates/pipeline-sim/src/monolithic.rs:
+crates/pipeline-sim/src/runner.rs:
+crates/pipeline-sim/src/timeline.rs:
+crates/pipeline-sim/src/validate.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/pipeline_sim-927ac1c7f9d3eecf.d: crates/pipeline-sim/src/lib.rs crates/pipeline-sim/src/calibration.rs crates/pipeline-sim/src/config.rs crates/pipeline-sim/src/enforced.rs crates/pipeline-sim/src/item.rs crates/pipeline-sim/src/metrics.rs crates/pipeline-sim/src/monolithic.rs crates/pipeline-sim/src/runner.rs crates/pipeline-sim/src/timeline.rs crates/pipeline-sim/src/validate.rs
+
+/root/repo/target/debug/deps/libpipeline_sim-927ac1c7f9d3eecf.rlib: crates/pipeline-sim/src/lib.rs crates/pipeline-sim/src/calibration.rs crates/pipeline-sim/src/config.rs crates/pipeline-sim/src/enforced.rs crates/pipeline-sim/src/item.rs crates/pipeline-sim/src/metrics.rs crates/pipeline-sim/src/monolithic.rs crates/pipeline-sim/src/runner.rs crates/pipeline-sim/src/timeline.rs crates/pipeline-sim/src/validate.rs
+
+/root/repo/target/debug/deps/libpipeline_sim-927ac1c7f9d3eecf.rmeta: crates/pipeline-sim/src/lib.rs crates/pipeline-sim/src/calibration.rs crates/pipeline-sim/src/config.rs crates/pipeline-sim/src/enforced.rs crates/pipeline-sim/src/item.rs crates/pipeline-sim/src/metrics.rs crates/pipeline-sim/src/monolithic.rs crates/pipeline-sim/src/runner.rs crates/pipeline-sim/src/timeline.rs crates/pipeline-sim/src/validate.rs
+
+crates/pipeline-sim/src/lib.rs:
+crates/pipeline-sim/src/calibration.rs:
+crates/pipeline-sim/src/config.rs:
+crates/pipeline-sim/src/enforced.rs:
+crates/pipeline-sim/src/item.rs:
+crates/pipeline-sim/src/metrics.rs:
+crates/pipeline-sim/src/monolithic.rs:
+crates/pipeline-sim/src/runner.rs:
+crates/pipeline-sim/src/timeline.rs:
+crates/pipeline-sim/src/validate.rs:

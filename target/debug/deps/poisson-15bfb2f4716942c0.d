@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/poisson-15bfb2f4716942c0.d: crates/bench/src/bin/poisson.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpoisson-15bfb2f4716942c0.rmeta: crates/bench/src/bin/poisson.rs Cargo.toml
+
+crates/bench/src/bin/poisson.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

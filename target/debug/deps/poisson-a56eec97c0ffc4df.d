@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/poisson-a56eec97c0ffc4df.d: crates/bench/src/bin/poisson.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpoisson-a56eec97c0ffc4df.rmeta: crates/bench/src/bin/poisson.rs Cargo.toml
+
+crates/bench/src/bin/poisson.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

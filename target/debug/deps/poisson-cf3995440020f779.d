@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/poisson-cf3995440020f779.d: crates/bench/src/bin/poisson.rs
+
+/root/repo/target/debug/deps/poisson-cf3995440020f779: crates/bench/src/bin/poisson.rs
+
+crates/bench/src/bin/poisson.rs:

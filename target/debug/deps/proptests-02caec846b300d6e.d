@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-02caec846b300d6e.d: crates/apps/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-02caec846b300d6e.rmeta: crates/apps/tests/proptests.rs Cargo.toml
+
+crates/apps/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

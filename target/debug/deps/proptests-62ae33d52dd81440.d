@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-62ae33d52dd81440.d: crates/pipeline-sim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-62ae33d52dd81440: crates/pipeline-sim/tests/proptests.rs
+
+crates/pipeline-sim/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-667140e857d93aaa.d: crates/apps/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-667140e857d93aaa: crates/apps/tests/proptests.rs
+
+crates/apps/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-6a7871954eff114c.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-6a7871954eff114c: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

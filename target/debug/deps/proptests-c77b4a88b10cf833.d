@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-c77b4a88b10cf833.d: crates/queueing/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-c77b4a88b10cf833: crates/queueing/tests/proptests.rs
+
+crates/queueing/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-d3c63b01974e8bfd.d: crates/queueing/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-d3c63b01974e8bfd.rmeta: crates/queueing/tests/proptests.rs Cargo.toml
+
+crates/queueing/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-ee7e9eff93c6a76a.d: crates/pipeline-sim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-ee7e9eff93c6a76a: crates/pipeline-sim/tests/proptests.rs
+
+crates/pipeline-sim/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-ff32595cc67b9729.d: crates/pipeline-sim/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-ff32595cc67b9729.rmeta: crates/pipeline-sim/tests/proptests.rs Cargo.toml
+
+crates/pipeline-sim/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/queueing-36b285f39ede8fca.d: crates/queueing/src/lib.rs crates/queueing/src/bulk.rs crates/queueing/src/estimate.rs crates/queueing/src/pmf.rs
+
+/root/repo/target/debug/deps/queueing-36b285f39ede8fca: crates/queueing/src/lib.rs crates/queueing/src/bulk.rs crates/queueing/src/estimate.rs crates/queueing/src/pmf.rs
+
+crates/queueing/src/lib.rs:
+crates/queueing/src/bulk.rs:
+crates/queueing/src/estimate.rs:
+crates/queueing/src/pmf.rs:

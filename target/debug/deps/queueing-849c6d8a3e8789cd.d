@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/queueing-849c6d8a3e8789cd.d: crates/bench/benches/queueing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqueueing-849c6d8a3e8789cd.rmeta: crates/bench/benches/queueing.rs Cargo.toml
+
+crates/bench/benches/queueing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

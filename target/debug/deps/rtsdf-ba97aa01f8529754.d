@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rtsdf-ba97aa01f8529754.d: crates/rtsdf/src/lib.rs
+
+/root/repo/target/debug/deps/librtsdf-ba97aa01f8529754.rlib: crates/rtsdf/src/lib.rs
+
+/root/repo/target/debug/deps/librtsdf-ba97aa01f8529754.rmeta: crates/rtsdf/src/lib.rs
+
+crates/rtsdf/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rtsdf-ca3ae992ffaaa693.d: crates/rtsdf/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librtsdf-ca3ae992ffaaa693.rmeta: crates/rtsdf/src/lib.rs Cargo.toml
+
+crates/rtsdf/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

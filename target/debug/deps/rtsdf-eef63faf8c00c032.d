@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rtsdf-eef63faf8c00c032.d: crates/rtsdf/src/lib.rs
+
+/root/repo/target/debug/deps/librtsdf-eef63faf8c00c032.rlib: crates/rtsdf/src/lib.rs
+
+/root/repo/target/debug/deps/librtsdf-eef63faf8c00c032.rmeta: crates/rtsdf/src/lib.rs
+
+crates/rtsdf/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rtsdf-f2eb59c765102e8a.d: crates/rtsdf/src/lib.rs
+
+/root/repo/target/debug/deps/rtsdf-f2eb59c765102e8a: crates/rtsdf/src/lib.rs
+
+crates/rtsdf/src/lib.rs:

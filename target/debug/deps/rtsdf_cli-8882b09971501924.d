@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rtsdf_cli-8882b09971501924.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/rtsdf_cli-8882b09971501924: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

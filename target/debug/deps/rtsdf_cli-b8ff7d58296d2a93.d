@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rtsdf_cli-b8ff7d58296d2a93.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/librtsdf_cli-b8ff7d58296d2a93.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

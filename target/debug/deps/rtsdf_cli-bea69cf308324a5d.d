@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rtsdf_cli-bea69cf308324a5d.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/rtsdf_cli-bea69cf308324a5d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rtsdf_cli-cf7d1c22e9f387a0.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/rtsdf_cli-cf7d1c22e9f387a0: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rtsdf_cli-f4f6fb22795c5c4c.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/librtsdf_cli-f4f6fb22795c5c4c.rlib: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/librtsdf_cli-f4f6fb22795c5c4c.rmeta: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/rtsdf_core-40c67d7c11fab512.d: crates/core/src/lib.rs crates/core/src/comparison.rs crates/core/src/coschedule.rs crates/core/src/enforced.rs crates/core/src/feasibility.rs crates/core/src/flexible.rs crates/core/src/frontier.rs crates/core/src/kkt.rs crates/core/src/monolithic.rs crates/core/src/schedule.rs crates/core/src/telemetry.rs
+
+/root/repo/target/debug/deps/rtsdf_core-40c67d7c11fab512: crates/core/src/lib.rs crates/core/src/comparison.rs crates/core/src/coschedule.rs crates/core/src/enforced.rs crates/core/src/feasibility.rs crates/core/src/flexible.rs crates/core/src/frontier.rs crates/core/src/kkt.rs crates/core/src/monolithic.rs crates/core/src/schedule.rs crates/core/src/telemetry.rs
+
+crates/core/src/lib.rs:
+crates/core/src/comparison.rs:
+crates/core/src/coschedule.rs:
+crates/core/src/enforced.rs:
+crates/core/src/feasibility.rs:
+crates/core/src/flexible.rs:
+crates/core/src/frontier.rs:
+crates/core/src/kkt.rs:
+crates/core/src/monolithic.rs:
+crates/core/src/schedule.rs:
+crates/core/src/telemetry.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/rtsdf_core-c88e90dc9d9cb450.d: crates/core/src/lib.rs crates/core/src/comparison.rs crates/core/src/coschedule.rs crates/core/src/enforced.rs crates/core/src/feasibility.rs crates/core/src/flexible.rs crates/core/src/frontier.rs crates/core/src/kkt.rs crates/core/src/monolithic.rs crates/core/src/schedule.rs crates/core/src/telemetry.rs
+
+/root/repo/target/debug/deps/librtsdf_core-c88e90dc9d9cb450.rlib: crates/core/src/lib.rs crates/core/src/comparison.rs crates/core/src/coschedule.rs crates/core/src/enforced.rs crates/core/src/feasibility.rs crates/core/src/flexible.rs crates/core/src/frontier.rs crates/core/src/kkt.rs crates/core/src/monolithic.rs crates/core/src/schedule.rs crates/core/src/telemetry.rs
+
+/root/repo/target/debug/deps/librtsdf_core-c88e90dc9d9cb450.rmeta: crates/core/src/lib.rs crates/core/src/comparison.rs crates/core/src/coschedule.rs crates/core/src/enforced.rs crates/core/src/feasibility.rs crates/core/src/flexible.rs crates/core/src/frontier.rs crates/core/src/kkt.rs crates/core/src/monolithic.rs crates/core/src/schedule.rs crates/core/src/telemetry.rs
+
+crates/core/src/lib.rs:
+crates/core/src/comparison.rs:
+crates/core/src/coschedule.rs:
+crates/core/src/enforced.rs:
+crates/core/src/feasibility.rs:
+crates/core/src/flexible.rs:
+crates/core/src/frontier.rs:
+crates/core/src/kkt.rs:
+crates/core/src/monolithic.rs:
+crates/core/src/schedule.rs:
+crates/core/src/telemetry.rs:

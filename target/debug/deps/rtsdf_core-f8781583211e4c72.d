@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/rtsdf_core-f8781583211e4c72.d: crates/core/src/lib.rs crates/core/src/comparison.rs crates/core/src/coschedule.rs crates/core/src/enforced.rs crates/core/src/feasibility.rs crates/core/src/flexible.rs crates/core/src/frontier.rs crates/core/src/kkt.rs crates/core/src/monolithic.rs crates/core/src/schedule.rs crates/core/src/telemetry.rs Cargo.toml
+
+/root/repo/target/debug/deps/librtsdf_core-f8781583211e4c72.rmeta: crates/core/src/lib.rs crates/core/src/comparison.rs crates/core/src/coschedule.rs crates/core/src/enforced.rs crates/core/src/feasibility.rs crates/core/src/flexible.rs crates/core/src/frontier.rs crates/core/src/kkt.rs crates/core/src/monolithic.rs crates/core/src/schedule.rs crates/core/src/telemetry.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/comparison.rs:
+crates/core/src/coschedule.rs:
+crates/core/src/enforced.rs:
+crates/core/src/feasibility.rs:
+crates/core/src/flexible.rs:
+crates/core/src/frontier.rs:
+crates/core/src/kkt.rs:
+crates/core/src/monolithic.rs:
+crates/core/src/schedule.rs:
+crates/core/src/telemetry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -9,5 +9,5 @@ crates/simd-device/src/occupancy.rs:
 crates/simd-device/src/share.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
 # env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simulator_integration-0529480f706942ec.d: crates/rtsdf/../../tests/simulator_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimulator_integration-0529480f706942ec.rmeta: crates/rtsdf/../../tests/simulator_integration.rs Cargo.toml
+
+crates/rtsdf/../../tests/simulator_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulator_integration-4da2b69f57febb04.d: crates/rtsdf/../../tests/simulator_integration.rs
+
+/root/repo/target/debug/deps/simulator_integration-4da2b69f57febb04: crates/rtsdf/../../tests/simulator_integration.rs
+
+crates/rtsdf/../../tests/simulator_integration.rs:

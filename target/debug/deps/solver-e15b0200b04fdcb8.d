@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/solver-e15b0200b04fdcb8.d: crates/bench/benches/solver.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsolver-e15b0200b04fdcb8.rmeta: crates/bench/benches/solver.rs Cargo.toml
+
+crates/bench/benches/solver.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

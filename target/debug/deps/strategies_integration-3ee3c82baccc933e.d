@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/strategies_integration-3ee3c82baccc933e.d: crates/rtsdf/../../tests/strategies_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstrategies_integration-3ee3c82baccc933e.rmeta: crates/rtsdf/../../tests/strategies_integration.rs Cargo.toml
+
+crates/rtsdf/../../tests/strategies_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

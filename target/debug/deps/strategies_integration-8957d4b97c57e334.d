@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/strategies_integration-8957d4b97c57e334.d: crates/rtsdf/../../tests/strategies_integration.rs
+
+/root/repo/target/debug/deps/strategies_integration-8957d4b97c57e334: crates/rtsdf/../../tests/strategies_integration.rs
+
+crates/rtsdf/../../tests/strategies_integration.rs:

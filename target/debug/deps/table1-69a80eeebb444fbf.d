@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-69a80eeebb444fbf.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-69a80eeebb444fbf: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

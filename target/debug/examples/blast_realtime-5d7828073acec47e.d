@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/blast_realtime-5d7828073acec47e.d: crates/rtsdf/../../examples/blast_realtime.rs Cargo.toml
+
+/root/repo/target/debug/examples/libblast_realtime-5d7828073acec47e.rmeta: crates/rtsdf/../../examples/blast_realtime.rs Cargo.toml
+
+crates/rtsdf/../../examples/blast_realtime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/blast_realtime-993571cc1051d7db.d: crates/rtsdf/../../examples/blast_realtime.rs
+
+/root/repo/target/debug/examples/blast_realtime-993571cc1051d7db: crates/rtsdf/../../examples/blast_realtime.rs
+
+crates/rtsdf/../../examples/blast_realtime.rs:

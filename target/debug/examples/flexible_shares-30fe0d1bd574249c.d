@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/flexible_shares-30fe0d1bd574249c.d: crates/rtsdf/../../examples/flexible_shares.rs
+
+/root/repo/target/debug/examples/flexible_shares-30fe0d1bd574249c: crates/rtsdf/../../examples/flexible_shares.rs
+
+crates/rtsdf/../../examples/flexible_shares.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/flexible_shares-9a8f077bca3366f7.d: crates/rtsdf/../../examples/flexible_shares.rs Cargo.toml
+
+/root/repo/target/debug/examples/libflexible_shares-9a8f077bca3366f7.rmeta: crates/rtsdf/../../examples/flexible_shares.rs Cargo.toml
+
+crates/rtsdf/../../examples/flexible_shares.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

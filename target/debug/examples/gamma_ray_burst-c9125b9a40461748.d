@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gamma_ray_burst-c9125b9a40461748.d: crates/rtsdf/../../examples/gamma_ray_burst.rs
+
+/root/repo/target/debug/examples/gamma_ray_burst-c9125b9a40461748: crates/rtsdf/../../examples/gamma_ray_burst.rs
+
+crates/rtsdf/../../examples/gamma_ray_burst.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/gamma_ray_burst-d56a289305e4afe3.d: crates/rtsdf/../../examples/gamma_ray_burst.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgamma_ray_burst-d56a289305e4afe3.rmeta: crates/rtsdf/../../examples/gamma_ray_burst.rs Cargo.toml
+
+crates/rtsdf/../../examples/gamma_ray_burst.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

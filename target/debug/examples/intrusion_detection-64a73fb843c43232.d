@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/intrusion_detection-64a73fb843c43232.d: crates/rtsdf/../../examples/intrusion_detection.rs Cargo.toml
+
+/root/repo/target/debug/examples/libintrusion_detection-64a73fb843c43232.rmeta: crates/rtsdf/../../examples/intrusion_detection.rs Cargo.toml
+
+crates/rtsdf/../../examples/intrusion_detection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/intrusion_detection-c7e40be29b1ab2eb.d: crates/rtsdf/../../examples/intrusion_detection.rs
+
+/root/repo/target/debug/examples/intrusion_detection-c7e40be29b1ab2eb: crates/rtsdf/../../examples/intrusion_detection.rs
+
+crates/rtsdf/../../examples/intrusion_detection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-61a9d26838ce923a.d: crates/rtsdf/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-61a9d26838ce923a: crates/rtsdf/../../examples/quickstart.rs
+
+crates/rtsdf/../../examples/quickstart.rs:

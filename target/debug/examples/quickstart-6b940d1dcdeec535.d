@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-6b940d1dcdeec535.d: crates/rtsdf/../../examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-6b940d1dcdeec535.rmeta: crates/rtsdf/../../examples/quickstart.rs Cargo.toml
+
+crates/rtsdf/../../examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

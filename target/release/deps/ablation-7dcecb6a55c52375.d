@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-7dcecb6a55c52375.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-7dcecb6a55c52375: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-9bea639a91262526.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-9bea639a91262526: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/agreement-a82bba4ba9df8677.d: crates/bench/src/bin/agreement.rs
+
+/root/repo/target/release/deps/agreement-a82bba4ba9df8677: crates/bench/src/bin/agreement.rs
+
+crates/bench/src/bin/agreement.rs:

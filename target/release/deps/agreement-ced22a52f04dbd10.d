@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/agreement-ced22a52f04dbd10.d: crates/bench/src/bin/agreement.rs
+
+/root/repo/target/release/deps/agreement-ced22a52f04dbd10: crates/bench/src/bin/agreement.rs
+
+crates/bench/src/bin/agreement.rs:

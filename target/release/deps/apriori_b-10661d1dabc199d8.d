@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/apriori_b-10661d1dabc199d8.d: crates/bench/src/bin/apriori_b.rs
+
+/root/repo/target/release/deps/apriori_b-10661d1dabc199d8: crates/bench/src/bin/apriori_b.rs
+
+crates/bench/src/bin/apriori_b.rs:

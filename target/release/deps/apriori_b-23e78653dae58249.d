@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/apriori_b-23e78653dae58249.d: crates/bench/src/bin/apriori_b.rs
+
+/root/repo/target/release/deps/apriori_b-23e78653dae58249: crates/bench/src/bin/apriori_b.rs
+
+crates/bench/src/bin/apriori_b.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bench-0361272f8b365287.d: crates/bench/src/lib.rs crates/bench/src/diff.rs crates/bench/src/manifest.rs
+
+/root/repo/target/release/deps/libbench-0361272f8b365287.rlib: crates/bench/src/lib.rs crates/bench/src/diff.rs crates/bench/src/manifest.rs
+
+/root/repo/target/release/deps/libbench-0361272f8b365287.rmeta: crates/bench/src/lib.rs crates/bench/src/diff.rs crates/bench/src/manifest.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/diff.rs:
+crates/bench/src/manifest.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bench-f8c6f81904ff0bcd.d: crates/bench/src/lib.rs crates/bench/src/diff.rs crates/bench/src/manifest.rs
+
+/root/repo/target/release/deps/libbench-f8c6f81904ff0bcd.rlib: crates/bench/src/lib.rs crates/bench/src/diff.rs crates/bench/src/manifest.rs
+
+/root/repo/target/release/deps/libbench-f8c6f81904ff0bcd.rmeta: crates/bench/src/lib.rs crates/bench/src/diff.rs crates/bench/src/manifest.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/diff.rs:
+crates/bench/src/manifest.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_diff-49b1825f70bde38e.d: crates/bench/src/bin/bench_diff.rs
+
+/root/repo/target/release/deps/bench_diff-49b1825f70bde38e: crates/bench/src/bin/bench_diff.rs
+
+crates/bench/src/bin/bench_diff.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_diff-c5a072acbe0bc0e0.d: crates/bench/src/bin/bench_diff.rs
+
+/root/repo/target/release/deps/bench_diff-c5a072acbe0bc0e0: crates/bench/src/bin/bench_diff.rs
+
+crates/bench/src/bin/bench_diff.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/calibrate-1e5f75eb300308c3.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/release/deps/calibrate-1e5f75eb300308c3: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/calibrate-af363ec352713e3d.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/release/deps/calibrate-af363ec352713e3d: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

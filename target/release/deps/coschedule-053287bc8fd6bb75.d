@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/coschedule-053287bc8fd6bb75.d: crates/bench/src/bin/coschedule.rs
+
+/root/repo/target/release/deps/coschedule-053287bc8fd6bb75: crates/bench/src/bin/coschedule.rs
+
+crates/bench/src/bin/coschedule.rs:

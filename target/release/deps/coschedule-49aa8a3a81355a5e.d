@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/coschedule-49aa8a3a81355a5e.d: crates/bench/src/bin/coschedule.rs
+
+/root/repo/target/release/deps/coschedule-49aa8a3a81355a5e: crates/bench/src/bin/coschedule.rs
+
+crates/bench/src/bin/coschedule.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-42b8a1ade727ad58.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/release/deps/fig3-42b8a1ade727ad58: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-be00ec6d85ac472c.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/release/deps/fig3-be00ec6d85ac472c: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

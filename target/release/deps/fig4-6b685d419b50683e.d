@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-6b685d419b50683e.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-6b685d419b50683e: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

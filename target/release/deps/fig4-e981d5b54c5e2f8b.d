@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-e981d5b54c5e2f8b.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-e981d5b54c5e2f8b: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/flexible-62b1a65282023229.d: crates/bench/src/bin/flexible.rs
+
+/root/repo/target/release/deps/flexible-62b1a65282023229: crates/bench/src/bin/flexible.rs
+
+crates/bench/src/bin/flexible.rs:

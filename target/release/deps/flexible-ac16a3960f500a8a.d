@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/flexible-ac16a3960f500a8a.d: crates/bench/src/bin/flexible.rs
+
+/root/repo/target/release/deps/flexible-ac16a3960f500a8a: crates/bench/src/bin/flexible.rs
+
+crates/bench/src/bin/flexible.rs:

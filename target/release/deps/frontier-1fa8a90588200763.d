@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/frontier-1fa8a90588200763.d: crates/bench/src/bin/frontier.rs
+
+/root/repo/target/release/deps/frontier-1fa8a90588200763: crates/bench/src/bin/frontier.rs
+
+crates/bench/src/bin/frontier.rs:

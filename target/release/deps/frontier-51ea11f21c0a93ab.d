@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/frontier-51ea11f21c0a93ab.d: crates/bench/src/bin/frontier.rs
+
+/root/repo/target/release/deps/frontier-51ea11f21c0a93ab: crates/bench/src/bin/frontier.rs
+
+crates/bench/src/bin/frontier.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/obs_overhead-934b1489dcbe66ad.d: crates/pipeline-sim/benches/obs_overhead.rs
+
+/root/repo/target/release/deps/obs_overhead-934b1489dcbe66ad: crates/pipeline-sim/benches/obs_overhead.rs
+
+crates/pipeline-sim/benches/obs_overhead.rs:

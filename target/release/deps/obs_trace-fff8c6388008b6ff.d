@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/obs_trace-fff8c6388008b6ff.d: crates/obs-trace/src/lib.rs crates/obs-trace/src/chrome.rs crates/obs-trace/src/forensics.rs crates/obs-trace/src/span.rs
+
+/root/repo/target/release/deps/libobs_trace-fff8c6388008b6ff.rlib: crates/obs-trace/src/lib.rs crates/obs-trace/src/chrome.rs crates/obs-trace/src/forensics.rs crates/obs-trace/src/span.rs
+
+/root/repo/target/release/deps/libobs_trace-fff8c6388008b6ff.rmeta: crates/obs-trace/src/lib.rs crates/obs-trace/src/chrome.rs crates/obs-trace/src/forensics.rs crates/obs-trace/src/span.rs
+
+crates/obs-trace/src/lib.rs:
+crates/obs-trace/src/chrome.rs:
+crates/obs-trace/src/forensics.rs:
+crates/obs-trace/src/span.rs:

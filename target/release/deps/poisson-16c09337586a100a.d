@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/poisson-16c09337586a100a.d: crates/bench/src/bin/poisson.rs
+
+/root/repo/target/release/deps/poisson-16c09337586a100a: crates/bench/src/bin/poisson.rs
+
+crates/bench/src/bin/poisson.rs:

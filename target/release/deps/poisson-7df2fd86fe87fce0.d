@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/poisson-7df2fd86fe87fce0.d: crates/bench/src/bin/poisson.rs
+
+/root/repo/target/release/deps/poisson-7df2fd86fe87fce0: crates/bench/src/bin/poisson.rs
+
+crates/bench/src/bin/poisson.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rtsdf-b1bd720cd6949cf5.d: crates/rtsdf/src/lib.rs
+
+/root/repo/target/release/deps/librtsdf-b1bd720cd6949cf5.rlib: crates/rtsdf/src/lib.rs
+
+/root/repo/target/release/deps/librtsdf-b1bd720cd6949cf5.rmeta: crates/rtsdf/src/lib.rs
+
+crates/rtsdf/src/lib.rs:

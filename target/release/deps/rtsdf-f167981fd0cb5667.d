@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rtsdf-f167981fd0cb5667.d: crates/rtsdf/src/lib.rs
+
+/root/repo/target/release/deps/librtsdf-f167981fd0cb5667.rlib: crates/rtsdf/src/lib.rs
+
+/root/repo/target/release/deps/librtsdf-f167981fd0cb5667.rmeta: crates/rtsdf/src/lib.rs
+
+crates/rtsdf/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rtsdf_cli-1ed7b3d231c5f62a.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/release/deps/librtsdf_cli-1ed7b3d231c5f62a.rlib: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/release/deps/librtsdf_cli-1ed7b3d231c5f62a.rmeta: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rtsdf_cli-ba0f1ac088afce5b.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/rtsdf_cli-ba0f1ac088afce5b: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/rtsdf_core-2d216d8cf5726f85.d: crates/core/src/lib.rs crates/core/src/comparison.rs crates/core/src/coschedule.rs crates/core/src/enforced.rs crates/core/src/feasibility.rs crates/core/src/flexible.rs crates/core/src/frontier.rs crates/core/src/kkt.rs crates/core/src/monolithic.rs crates/core/src/schedule.rs crates/core/src/telemetry.rs
+
+/root/repo/target/release/deps/librtsdf_core-2d216d8cf5726f85.rlib: crates/core/src/lib.rs crates/core/src/comparison.rs crates/core/src/coschedule.rs crates/core/src/enforced.rs crates/core/src/feasibility.rs crates/core/src/flexible.rs crates/core/src/frontier.rs crates/core/src/kkt.rs crates/core/src/monolithic.rs crates/core/src/schedule.rs crates/core/src/telemetry.rs
+
+/root/repo/target/release/deps/librtsdf_core-2d216d8cf5726f85.rmeta: crates/core/src/lib.rs crates/core/src/comparison.rs crates/core/src/coschedule.rs crates/core/src/enforced.rs crates/core/src/feasibility.rs crates/core/src/flexible.rs crates/core/src/frontier.rs crates/core/src/kkt.rs crates/core/src/monolithic.rs crates/core/src/schedule.rs crates/core/src/telemetry.rs
+
+crates/core/src/lib.rs:
+crates/core/src/comparison.rs:
+crates/core/src/coschedule.rs:
+crates/core/src/enforced.rs:
+crates/core/src/feasibility.rs:
+crates/core/src/flexible.rs:
+crates/core/src/frontier.rs:
+crates/core/src/kkt.rs:
+crates/core/src/monolithic.rs:
+crates/core/src/schedule.rs:
+crates/core/src/telemetry.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-1a0a3ad433839d4d.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-1a0a3ad433839d4d: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-a9f882ec98f432bb.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-a9f882ec98f432bb: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-207b1ba105c34176.d: crates/rtsdf/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-207b1ba105c34176: crates/rtsdf/../../examples/quickstart.rs
+
+crates/rtsdf/../../examples/quickstart.rs:
