@@ -5,12 +5,14 @@
 //! times and deadlines, and their difference (monolithic − enforced,
 //! positive where enforced waits win).
 
-use crate::enforced::EnforcedWaitsProblem;
+use crate::enforced::{EnforcedWaitsProblem, WarmStart};
 use crate::monolithic::MonolithicProblem;
 use crate::schedule::ScheduleError;
 use crate::telemetry::SolveTelemetry;
+use crate::threads::worker_threads;
 use dataflow_model::{PipelineSpec, RtParams};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// One grid cell's results.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -108,23 +110,60 @@ impl SweepConfig {
     }
 }
 
+/// Options controlling how a sweep runs. The default (`warm_start:
+/// false`) reproduces the original cold-solve-per-cell behaviour
+/// exactly.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SweepOptions {
+    /// Seed each cell's enforced-waits solve from its row's anchor — the
+    /// largest-deadline cell of the same τ0, solved cold first. The
+    /// anchor choice is deterministic, so the sequential and parallel
+    /// warm sweeps stay bit-identical to each other; warm cells converge
+    /// to the cold schedules within solver tolerance but spend fewer
+    /// iterations.
+    pub warm_start: bool,
+}
+
+impl SweepOptions {
+    /// Options with warm-starting enabled.
+    pub fn warm() -> Self {
+        SweepOptions { warm_start: true }
+    }
+}
+
 /// Optimize both strategies at one operating point.
 pub fn compare_at(pipeline: &PipelineSpec, params: RtParams, config: &SweepConfig) -> CellResult {
-    let enforced = EnforcedWaitsProblem::new(pipeline, params, config.enforced_b.clone())
-        .solve_with_fallback()
-        .ok();
+    compare_at_full(pipeline, params, config, None).0
+}
+
+/// [`compare_at`] that also returns the enforced schedule's periods as a
+/// warm-start hint for neighboring cells (when the cell was enforced
+/// feasible).
+fn compare_at_full(
+    pipeline: &PipelineSpec,
+    params: RtParams,
+    config: &SweepConfig,
+    warm: Option<&WarmStart>,
+) -> (CellResult, Option<WarmStart>) {
+    let prob = EnforcedWaitsProblem::new(pipeline, params, config.enforced_b.clone());
+    let enforced = match warm {
+        Some(hint) => prob.solve_with_fallback_warm(hint).ok(),
+        None => prob.solve_with_fallback().ok(),
+    };
+    let hint = enforced.as_ref().map(WarmStart::from_schedule);
     let monolithic =
         MonolithicProblem::new(pipeline, params, config.monolithic_b, config.monolithic_s)
             .solve_fast()
             .ok();
-    CellResult {
+    let cell = CellResult {
         tau0: params.tau0,
         deadline: params.deadline,
         enforced: enforced.as_ref().map(|s| s.active_fraction),
         monolithic: monolithic.as_ref().map(|s| s.active_fraction),
         enforced_telemetry: enforced.and_then(|s| s.telemetry),
         monolithic_telemetry: monolithic.and_then(|s| s.telemetry),
-    }
+    };
+    (cell, hint)
 }
 
 /// Validate every `(τ0, D)` grid point up front so a malformed grid is
@@ -150,12 +189,39 @@ pub fn sweep(
     deadlines: &[f64],
     config: &SweepConfig,
 ) -> Result<SweepResult, ScheduleError> {
+    sweep_with(pipeline, tau0s, deadlines, config, &SweepOptions::default())
+}
+
+/// [`sweep`] with explicit [`SweepOptions`]. With `warm_start` each row
+/// solves its anchor (largest-deadline) cell cold and seeds every other
+/// cell of the row from the anchor's enforced schedule.
+pub fn sweep_with(
+    pipeline: &PipelineSpec,
+    tau0s: &[f64],
+    deadlines: &[f64],
+    config: &SweepConfig,
+    opts: &SweepOptions,
+) -> Result<SweepResult, ScheduleError> {
     validate_grid(tau0s, deadlines)?;
-    let mut cells = Vec::with_capacity(tau0s.len() * deadlines.len());
-    for &tau0 in tau0s {
-        for &d in deadlines {
-            let params = RtParams::new(tau0, d).expect("grid validated above");
-            cells.push(compare_at(pipeline, params, config));
+    let cols = deadlines.len();
+    let mut cells = Vec::with_capacity(tau0s.len() * cols);
+    if !opts.warm_start {
+        for &tau0 in tau0s {
+            for &d in deadlines {
+                let params = RtParams::new(tau0, d).expect("grid validated above");
+                cells.push(compare_at(pipeline, params, config));
+            }
+        }
+    } else if cols > 0 {
+        for &tau0 in tau0s {
+            let anchor_params =
+                RtParams::new(tau0, deadlines[cols - 1]).expect("grid validated above");
+            let (anchor_cell, hint) = compare_at_full(pipeline, anchor_params, config, None);
+            for &d in &deadlines[..cols - 1] {
+                let params = RtParams::new(tau0, d).expect("grid validated above");
+                cells.push(compare_at_full(pipeline, params, config, hint.as_ref()).0);
+            }
+            cells.push(anchor_cell);
         }
     }
     Ok(SweepResult {
@@ -165,16 +231,130 @@ pub fn sweep(
     })
 }
 
-/// [`sweep`], parallelized across τ0 rows with scoped threads. Produces
-/// bit-identical results (cells are independent); use for large grids.
+/// Run `f` over `0..total` with `threads` workers pulling indices from a
+/// shared atomic cursor (cell-level work stealing). Results come back in
+/// index order. Unlike static chunking, a worker that drains its cheap
+/// items immediately steals from the expensive tail, so imbalanced
+/// workloads no longer serialize behind one thread.
+fn work_steal<T: Send>(total: usize, threads: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    let threads = threads.min(total.max(1));
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(total);
+    slots.resize_with(total, || None);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let cursor = &cursor;
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                // Workers buffer (index, result) pairs locally; the crate
+                // forbids unsafe code, so disjoint slot writes are merged
+                // single-threaded after the join instead.
+                let mut local = Vec::new();
+                loop {
+                    let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                    if idx >= total {
+                        break;
+                    }
+                    local.push((idx, f(idx)));
+                }
+                local
+            }));
+        }
+        for handle in handles {
+            for (idx, value) in handle.join().expect("sweep worker panicked") {
+                slots[idx] = Some(value);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("cursor covered every index"))
+        .collect()
+}
+
+/// [`sweep`], parallelized with a cell-level work-stealing scheduler
+/// (shared atomic cursor over the flattened grid, scoped threads).
+/// Produces bit-identical results to [`sweep`] — cells are independent
+/// and each cell's solve does not depend on scheduling order. The
+/// worker count honors `RTSDF_THREADS` (see [`crate::threads`]).
 pub fn sweep_parallel(
     pipeline: &PipelineSpec,
     tau0s: &[f64],
     deadlines: &[f64],
     config: &SweepConfig,
 ) -> Result<SweepResult, ScheduleError> {
+    sweep_parallel_with(pipeline, tau0s, deadlines, config, &SweepOptions::default())
+}
+
+/// [`sweep_parallel`] with explicit [`SweepOptions`]. The warm variant
+/// runs two work-stealing phases — row anchors first, then all remaining
+/// cells seeded from their row's anchor — and stays bit-identical to
+/// [`sweep_with`] under the same options, because each cell's input
+/// (operating point + anchor hint) is independent of scheduling order.
+pub fn sweep_parallel_with(
+    pipeline: &PipelineSpec,
+    tau0s: &[f64],
+    deadlines: &[f64],
+    config: &SweepConfig,
+    opts: &SweepOptions,
+) -> Result<SweepResult, ScheduleError> {
     validate_grid(tau0s, deadlines)?;
-    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let rows = tau0s.len();
+    let cols = deadlines.len();
+    let total = rows * cols;
+    let threads = worker_threads();
+    let result = |cells| SweepResult {
+        tau0s: tau0s.to_vec(),
+        deadlines: deadlines.to_vec(),
+        cells,
+    };
+    if total == 0 {
+        return Ok(result(Vec::new()));
+    }
+    if !opts.warm_start {
+        let cells = work_steal(total, threads, |idx| {
+            let (i, j) = (idx / cols, idx % cols);
+            let params = RtParams::new(tau0s[i], deadlines[j]).expect("grid validated above");
+            compare_at(pipeline, params, config)
+        });
+        return Ok(result(cells));
+    }
+    // Phase 1: one cold anchor per row (the largest deadline).
+    let anchors = work_steal(rows, threads, |i| {
+        let params = RtParams::new(tau0s[i], deadlines[cols - 1]).expect("grid validated above");
+        compare_at_full(pipeline, params, config, None)
+    });
+    // Phase 2: every remaining cell, warmed from its row's anchor.
+    let rest = work_steal(rows * (cols - 1), threads, |idx| {
+        let (i, j) = (idx / (cols - 1), idx % (cols - 1));
+        let params = RtParams::new(tau0s[i], deadlines[j]).expect("grid validated above");
+        compare_at_full(pipeline, params, config, anchors[i].1.as_ref()).0
+    });
+    let mut cells = Vec::with_capacity(total);
+    let mut rest = rest.into_iter();
+    for (anchor_cell, _) in anchors {
+        for _ in 0..cols - 1 {
+            cells.push(rest.next().expect("phase-2 covered every cell"));
+        }
+        cells.push(anchor_cell);
+    }
+    Ok(result(cells))
+}
+
+/// The previous static scheduler: τ0 rows divided into contiguous
+/// chunks, one scoped thread per chunk. Kept as the comparison baseline
+/// for the `sweep_hot_path` bench — imbalanced grids serialize their
+/// expensive rows behind single threads here, which is exactly what
+/// [`sweep_parallel`]'s work stealing fixes.
+pub fn sweep_parallel_chunked(
+    pipeline: &PipelineSpec,
+    tau0s: &[f64],
+    deadlines: &[f64],
+    config: &SweepConfig,
+) -> Result<SweepResult, ScheduleError> {
+    validate_grid(tau0s, deadlines)?;
+    let threads = worker_threads();
     let mut rows: Vec<Option<Vec<CellResult>>> = vec![None; tau0s.len()];
     std::thread::scope(|scope| {
         let chunk = tau0s.len().div_ceil(threads).max(1);
@@ -313,6 +493,92 @@ mod tests {
             assert_eq!(a.deadline, b.deadline);
             assert_eq!(a.enforced, b.enforced);
             assert_eq!(a.monolithic, b.monolithic);
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_bit_identical_on_degenerate_shapes() {
+        let p = blast();
+        let cfg = SweepConfig::paper_blast();
+        let shapes: [(&[f64], &[f64]); 4] = [
+            (&[], &[]),
+            (&[], &[5e4, 1e5]),
+            (&[10.0], &[5e4, 1e5, 2e5]),         // 1×N
+            (&[5.0, 10.0, 40.0, 100.0], &[1e5]), // N×1
+        ];
+        for (tau0s, ds) in shapes {
+            let seq = sweep(&p, tau0s, ds, &cfg).unwrap();
+            let par = sweep_parallel(&p, tau0s, ds, &cfg).unwrap();
+            assert_eq!(seq.cells.len(), par.cells.len());
+            for (a, b) in seq.cells.iter().zip(&par.cells) {
+                assert_eq!((a.tau0, a.deadline), (b.tau0, b.deadline));
+                assert_eq!(a.enforced, b.enforced);
+                assert_eq!(a.monolithic, b.monolithic);
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_scheduler_matches_work_stealing() {
+        let p = blast();
+        let (tau0s, ds) = RtParams::paper_grid(4, 4);
+        let cfg = SweepConfig::paper_blast();
+        let ws = sweep_parallel(&p, &tau0s, &ds, &cfg).unwrap();
+        let chunked = sweep_parallel_chunked(&p, &tau0s, &ds, &cfg).unwrap();
+        for (a, b) in ws.cells.iter().zip(&chunked.cells) {
+            assert_eq!(a.enforced, b.enforced);
+            assert_eq!(a.monolithic, b.monolithic);
+        }
+    }
+
+    #[test]
+    fn warm_sweep_parallel_bit_identical_to_warm_sequential() {
+        let p = blast();
+        let (tau0s, ds) = RtParams::paper_grid(5, 5);
+        let cfg = SweepConfig::paper_blast();
+        let opts = SweepOptions::warm();
+        let seq = sweep_with(&p, &tau0s, &ds, &cfg, &opts).unwrap();
+        let par = sweep_parallel_with(&p, &tau0s, &ds, &cfg, &opts).unwrap();
+        assert_eq!(seq.cells.len(), par.cells.len());
+        for (a, b) in seq.cells.iter().zip(&par.cells) {
+            assert_eq!((a.tau0, a.deadline), (b.tau0, b.deadline));
+            assert_eq!(a.enforced, b.enforced);
+            assert_eq!(a.monolithic, b.monolithic);
+        }
+    }
+
+    #[test]
+    fn warm_sweep_matches_cold_within_tolerance_and_saves_iterations() {
+        let p = blast();
+        let (tau0s, ds) = RtParams::paper_grid(5, 5);
+        let cfg = SweepConfig::paper_blast();
+        let cold = sweep(&p, &tau0s, &ds, &cfg).unwrap();
+        let warm = sweep_with(&p, &tau0s, &ds, &cfg, &SweepOptions::warm()).unwrap();
+        let mut cold_iters = 0u64;
+        let mut warm_iters = 0u64;
+        for (a, b) in cold.cells.iter().zip(&warm.cells) {
+            assert_eq!(a.enforced.is_some(), b.enforced.is_some(), "{a:?} vs {b:?}");
+            if let (Some(c), Some(w)) = (a.enforced, b.enforced) {
+                assert!((c - w).abs() < 1e-5, "cold {c} vs warm {w}");
+            }
+            // Monolithic solves are untouched by warm-starting.
+            assert_eq!(a.monolithic, b.monolithic);
+            if let (Some(ct), Some(wt)) = (&a.enforced_telemetry, &b.enforced_telemetry) {
+                cold_iters += ct.iterations;
+                warm_iters += wt.iterations;
+            }
+        }
+        assert!(
+            warm_iters < cold_iters,
+            "warm sweep iterations {warm_iters} should beat cold {cold_iters}"
+        );
+        // Anchors (last column) run cold; other feasible cells are warm.
+        let cols = ds.len();
+        for (k, cell) in warm.cells.iter().enumerate() {
+            if let Some(t) = &cell.enforced_telemetry {
+                let is_anchor = k % cols == cols - 1;
+                assert_eq!(t.warm_start, !is_anchor, "cell {k}: {t:?}");
+            }
         }
     }
 

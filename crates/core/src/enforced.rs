@@ -33,7 +33,9 @@ use dataflow_model::analysis::enforced_active_fraction;
 use dataflow_model::{PipelineSpec, RtParams};
 use obs_trace::{SpanSink, Track};
 use serde::{Deserialize, Serialize};
-use solver::convex::{find_interior_point, minimize, ConvexProblem, SolverOptions};
+use solver::convex::{
+    find_interior_point_detailed, minimize, minimize_warm, ConvexProblem, SolverOptions,
+};
 use solver::linalg::Mat;
 use solver::linear::ConstraintSet;
 
@@ -44,6 +46,24 @@ pub enum SolveMethod {
     InteriorPoint,
     /// Exact specialized water-filling (λ-bisection + PAV).
     WaterFilling,
+}
+
+/// A warm-start hint: the periods of a nearby instance's solution (the
+/// previous calibration round, or an adjacent sweep cell), used to seed
+/// the solve instead of starting cold.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WarmStart {
+    /// Firing periods `x_i` of the nearby solution.
+    pub periods: Vec<f64>,
+}
+
+impl WarmStart {
+    /// Warm-start hint from an already-solved schedule.
+    pub fn from_schedule(schedule: &WaitSchedule) -> Self {
+        WarmStart {
+            periods: schedule.periods.clone(),
+        }
+    }
 }
 
 /// An optimized enforced-waits schedule.
@@ -136,7 +156,25 @@ impl<'a> EnforcedWaitsProblem<'a> {
 
     /// Solve for the optimal waits with the chosen method.
     pub fn solve(&self, method: SolveMethod) -> Result<WaitSchedule, ScheduleError> {
-        self.solve_inner(method, None, 0)
+        self.solve_inner(method, None, None, 0)
+    }
+
+    /// [`EnforcedWaitsProblem::solve`] seeded from a nearby solution.
+    ///
+    /// Warm-started solves converge to the same schedule as cold starts
+    /// (within solver tolerance) but spend fewer iterations: the
+    /// interior-point method skips its loose early centering steps (or
+    /// runs phase-1 from the warm point instead of from scratch), and
+    /// water-filling brackets the deadline price around a KKT estimate
+    /// taken at the warm point instead of sweeping from λ = 10⁻³⁰.
+    /// The returned telemetry has `warm_start = true` so the effect is
+    /// visible in manifests.
+    pub fn solve_warm(
+        &self,
+        method: SolveMethod,
+        warm: &WarmStart,
+    ) -> Result<WaitSchedule, ScheduleError> {
+        self.solve_inner(method, Some(warm), None, 0)
     }
 
     /// [`EnforcedWaitsProblem::solve`] with solver span tracing: emits
@@ -150,16 +188,20 @@ impl<'a> EnforcedWaitsProblem<'a> {
         sink: &mut SpanSink,
         attempt: u64,
     ) -> Result<WaitSchedule, ScheduleError> {
-        self.solve_inner(method, Some(sink), attempt)
+        self.solve_inner(method, None, Some(sink), attempt)
     }
 
     fn solve_inner(
         &self,
         method: SolveMethod,
+        warm: Option<&WarmStart>,
         mut spans: Option<&mut SpanSink>,
         attempt: u64,
     ) -> Result<WaitSchedule, ScheduleError> {
         check_enforced_feasibility(self.pipeline, &self.params, &self.b)?;
+        // A hint with the wrong arity came from a different pipeline;
+        // ignore it rather than index out of bounds.
+        let warm = warm.filter(|w| w.periods.len() == self.pipeline.len());
         if let Some(sink) = spans.as_deref_mut() {
             let name = match method {
                 SolveMethod::InteriorPoint => "solve interior-point",
@@ -167,9 +209,19 @@ impl<'a> EnforcedWaitsProblem<'a> {
             };
             sink.enter(Track::solver(attempt), name, "solver", 0.0);
         }
-        let (result, micros) = timed(|| match method {
-            SolveMethod::InteriorPoint => self.solve_interior_point(spans.as_deref_mut(), attempt),
-            SolveMethod::WaterFilling => self.solve_waterfilling(spans.as_deref_mut(), attempt),
+        let (result, micros) = timed(|| match (method, warm) {
+            (SolveMethod::InteriorPoint, None) => {
+                self.solve_interior_point(spans.as_deref_mut(), attempt)
+            }
+            (SolveMethod::InteriorPoint, Some(w)) => {
+                self.solve_interior_point_warm(&w.periods, spans.as_deref_mut(), attempt)
+            }
+            (SolveMethod::WaterFilling, None) => {
+                self.solve_waterfilling(spans.as_deref_mut(), attempt)
+            }
+            (SolveMethod::WaterFilling, Some(w)) => {
+                self.solve_waterfilling_warm(&w.periods, spans.as_deref_mut(), attempt)
+            }
         });
         if let Some(sink) = spans {
             sink.exit(micros);
@@ -186,7 +238,18 @@ impl<'a> EnforcedWaitsProblem<'a> {
     /// pipelines with zero-mean-gain stages). The returned schedule's
     /// telemetry records whether the fallback was taken.
     pub fn solve_with_fallback(&self) -> Result<WaitSchedule, ScheduleError> {
-        self.solve_with_fallback_inner(None, 0)
+        self.solve_with_fallback_inner(None, None, 0)
+    }
+
+    /// [`EnforcedWaitsProblem::solve_with_fallback`] seeded from a
+    /// nearby solution (see [`EnforcedWaitsProblem::solve_warm`]). The
+    /// hint seeds both the water-filling attempt and, if taken, the
+    /// interior-point fallback.
+    pub fn solve_with_fallback_warm(
+        &self,
+        warm: &WarmStart,
+    ) -> Result<WaitSchedule, ScheduleError> {
+        self.solve_with_fallback_inner(Some(warm), None, 0)
     }
 
     /// [`EnforcedWaitsProblem::solve_with_fallback`] with solver span
@@ -199,22 +262,29 @@ impl<'a> EnforcedWaitsProblem<'a> {
         sink: &mut SpanSink,
         attempt: u64,
     ) -> Result<WaitSchedule, ScheduleError> {
-        self.solve_with_fallback_inner(Some(sink), attempt)
+        self.solve_with_fallback_inner(None, Some(sink), attempt)
     }
 
     fn solve_with_fallback_inner(
         &self,
+        warm: Option<&WarmStart>,
         mut spans: Option<&mut SpanSink>,
         attempt: u64,
     ) -> Result<WaitSchedule, ScheduleError> {
-        match self.solve_inner(SolveMethod::WaterFilling, spans.as_deref_mut(), attempt) {
+        match self.solve_inner(
+            SolveMethod::WaterFilling,
+            warm,
+            spans.as_deref_mut(),
+            attempt,
+        ) {
             Ok(s) => Ok(s),
             Err(ScheduleError::Infeasible(e)) => Err(ScheduleError::Infeasible(e)),
             Err(_) => {
                 if let Some(sink) = spans.as_deref_mut() {
                     sink.instant(Track::solver(attempt), "kkt-fallback", 0.0);
                 }
-                let mut s = self.solve_inner(SolveMethod::InteriorPoint, spans, attempt + 1)?;
+                let mut s =
+                    self.solve_inner(SolveMethod::InteriorPoint, warm, spans, attempt + 1)?;
                 if let Some(t) = s.telemetry.as_mut() {
                     t.fallback = true;
                 }
@@ -262,7 +332,7 @@ impl<'a> EnforcedWaitsProblem<'a> {
             + self.pipeline.vector_width() as f64 * self.params.tau0)
             .max(1.0)
             * 4.0;
-        let interior = find_interior_point(&cs, &x0, radius, &opts)
+        let (interior, phase1_newtons) = find_interior_point_detailed(&cs, &x0, radius, &opts)
             .map_err(|e| ScheduleError::Solver(format!("phase-1: {e}")))?;
         let phase1_done = elapsed_us(&t0);
         if let Some(sink) = spans.as_deref_mut() {
@@ -274,15 +344,7 @@ impl<'a> EnforcedWaitsProblem<'a> {
                 phase1_done,
             );
         }
-        let objective = ActiveFractionObjective {
-            t_over_n: self
-                .pipeline
-                .service_times()
-                .iter()
-                .map(|ti| ti / self.pipeline.len() as f64)
-                .collect(),
-        };
-        let sol = minimize(&objective, &cs, &interior, &opts)
+        let sol = minimize(&self.objective(), &cs, &interior, &opts)
             .map_err(|e| ScheduleError::Solver(e.to_string()))?;
         if let Some(sink) = spans {
             // One child span per barrier centering step, laid out
@@ -305,10 +367,132 @@ impl<'a> EnforcedWaitsProblem<'a> {
             }
         }
         let mut telemetry = SolveTelemetry::new("interior-point");
-        telemetry.iterations = sol.newton_iters as u64;
+        telemetry.iterations = (phase1_newtons + sol.newton_iters) as u64;
         telemetry.residual = sol.gap;
         telemetry.barrier_mu = sol.barrier_ts.clone();
+        telemetry.phase1_iterations = Some(phase1_newtons as u64);
         Ok((sol.x, telemetry))
+    }
+
+    fn solve_interior_point_warm(
+        &self,
+        warm: &[f64],
+        spans: Option<&mut SpanSink>,
+        attempt: u64,
+    ) -> Result<(Vec<f64>, SolveTelemetry), ScheduleError> {
+        let cs = self.constraint_set();
+        let opts = SolverOptions::default();
+        let radius = (self.params.deadline
+            + self.pipeline.vector_width() as f64 * self.params.tau0)
+            .max(1.0)
+            * 4.0;
+        // Optimal schedules sit on constraint boundaries (clamped
+        // x_i = t_i, tight deadlines), so a raw hint is almost never
+        // strictly feasible and would force a phase-1 restore. Nudge it
+        // into the interior first; fall back to the raw hint (and the
+        // solver's phase-1) when the nudge cannot find room.
+        let seed = self.interiorized_warm(warm);
+        let seed_ref: &[f64] = seed.as_deref().unwrap_or(warm);
+        let ws = minimize_warm(&self.objective(), &cs, seed_ref, radius, &opts)
+            .map_err(|e| ScheduleError::Solver(e.to_string()))?;
+        if let Some(sink) = spans {
+            let track = Track::solver(attempt);
+            sink.instant(
+                track,
+                if ws.warm_feasible {
+                    "warm-start"
+                } else {
+                    "warm-restore"
+                },
+                0.0,
+            );
+            let mut at = 0.0;
+            for (i, &dur) in ws.solution.barrier_wall_micros.iter().enumerate() {
+                sink.span_detail(
+                    track,
+                    "centering",
+                    "solver",
+                    format!(
+                        "t={:.3e} newtons={}",
+                        ws.solution.barrier_ts[i], ws.solution.barrier_newtons[i]
+                    ),
+                    at,
+                    at + dur,
+                );
+                at += dur;
+            }
+        }
+        let mut telemetry = SolveTelemetry::new("interior-point");
+        telemetry.iterations = (ws.phase1_newtons + ws.solution.newton_iters) as u64;
+        telemetry.residual = ws.solution.gap;
+        telemetry.barrier_mu = ws.solution.barrier_ts.clone();
+        telemetry.warm_start = true;
+        telemetry.phase1_iterations = Some(ws.phase1_newtons as u64);
+        Ok((ws.solution.x, telemetry))
+    }
+
+    /// Push a warm hint strictly inside the Fig.-1 feasible region, in
+    /// the water-filling substitution space `z_i = G_i·x_i` where the
+    /// constraints reduce to box bounds (`lo_i ≤ z_i`, `z_0 ≤ cap`),
+    /// monotonicity (`z` nonincreasing), and the deadline budget.
+    /// Returns `None` when there is no room (razor-thin feasible set or
+    /// zero-gain stages); callers then let phase-1 handle the raw hint.
+    fn interiorized_warm(&self, warm: &[f64]) -> Option<Vec<f64>> {
+        const EPS: f64 = 1e-6;
+        let g_total = self.pipeline.total_gains();
+        if g_total.iter().any(|&g| g <= 0.0) {
+            return None;
+        }
+        let n = self.pipeline.len();
+        let t = self.pipeline.service_times();
+        let cap = self.pipeline.vector_width() as f64 * self.params.tau0;
+        let lo: Vec<f64> = (0..n).map(|i| t[i] * g_total[i]).collect();
+        let c: Vec<f64> = (0..n).map(|i| self.b[i] / g_total[i]).collect();
+
+        let mut z: Vec<f64> = (0..n)
+            .map(|i| (g_total[i] * warm[i]).max(lo[i] * (1.0 + EPS)))
+            .collect();
+        z[0] = z[0].min(cap * (1.0 - EPS));
+
+        // Restore strict deadline slack by shrinking toward the lower
+        // bounds if the hint exhausted (or overshot) the budget.
+        let budget = |z: &[f64]| -> f64 { z.iter().zip(&c).map(|(&zi, &ci)| zi * ci).sum() };
+        let target = self.params.deadline * (1.0 - EPS);
+        let b_now = budget(&z);
+        if b_now >= target {
+            let b_lo: f64 = lo.iter().zip(&c).map(|(&li, &ci)| li * ci).sum();
+            if b_lo >= target {
+                return None;
+            }
+            let s = (target - b_lo) / (b_now - b_lo);
+            for (zi, &li) in z.iter_mut().zip(&lo) {
+                *zi = li + s * (*zi - li);
+            }
+        }
+        // Strict monotonicity (edge stability), squeezing downward only
+        // so the budget cannot regrow.
+        for i in 1..n {
+            z[i] = z[i].min(z[i - 1] * (1.0 - 1e-9));
+        }
+        // The squeeze may have collided with a lower bound; if so the
+        // region is too thin to nudge into.
+        for i in 0..n {
+            if z[i] < lo[i] * (1.0 + EPS / 2.0) {
+                return None;
+            }
+        }
+        Some(z.iter().zip(&g_total).map(|(&zi, &gi)| zi / gi).collect())
+    }
+
+    fn objective(&self) -> ActiveFractionObjective {
+        ActiveFractionObjective {
+            t_over_n: self
+                .pipeline
+                .service_times()
+                .iter()
+                .map(|ti| ti / self.pipeline.len() as f64)
+                .collect(),
+        }
     }
 
     fn solve_waterfilling(
@@ -401,6 +585,172 @@ impl<'a> EnforcedWaitsProblem<'a> {
         for _ in 0..200 {
             telemetry.iterations += 1;
             let mid = (lam_lo * lam_hi).sqrt(); // geometric: λ spans decades
+            let started = if spans.is_some() {
+                elapsed_us(&t0)
+            } else {
+                0.0
+            };
+            let over = budget_of(&inner(mid)) > self.params.deadline;
+            if let Some(sink) = spans.as_deref_mut() {
+                sink.span_detail(
+                    track,
+                    "bisection",
+                    "solver",
+                    format!("lambda={mid:.4e} over={over}"),
+                    started,
+                    elapsed_us(&t0),
+                );
+            }
+            if over {
+                lam_lo = mid;
+            } else {
+                lam_hi = mid;
+            }
+        }
+        let z = inner(lam_hi);
+        telemetry.residual = (self.params.deadline - budget_of(&z)).abs();
+        Ok((
+            z.iter().zip(&g_total).map(|(&z, &gt)| z / gt).collect(),
+            telemetry,
+        ))
+    }
+
+    /// Warm water-filling: instead of sweeping the deadline price λ up
+    /// from 10⁻³⁰, bracket it around the KKT stationarity estimate
+    /// `λ̂_i = a_i / (c_i·ẑ_i²)` taken at the warm point's `ẑ`, then
+    /// bisect with an early exit once the bracket collapses. Converges
+    /// to the same λ as the cold solve (the budget is monotone in λ)
+    /// in far fewer inner evaluations when the hint is close.
+    fn solve_waterfilling_warm(
+        &self,
+        warm: &[f64],
+        mut spans: Option<&mut SpanSink>,
+        attempt: u64,
+    ) -> Result<(Vec<f64>, SolveTelemetry), ScheduleError> {
+        let g_total = self.pipeline.total_gains();
+        if g_total.iter().any(|&g| g <= 0.0) {
+            return Err(ScheduleError::Solver(
+                "water-filling requires strictly positive mean gains; use InteriorPoint".into(),
+            ));
+        }
+        let n = self.pipeline.len();
+        let t = self.pipeline.service_times();
+        let cap = self.pipeline.vector_width() as f64 * self.params.tau0;
+        let a: Vec<f64> = (0..n).map(|i| t[i] * g_total[i] / n as f64).collect();
+        let c: Vec<f64> = (0..n).map(|i| self.b[i] / g_total[i]).collect();
+        let lo: Vec<f64> = (0..n).map(|i| t[i] * g_total[i]).collect();
+
+        let budget_of = |z: &[f64]| -> f64 { z.iter().zip(&c).map(|(&zi, &ci)| zi * ci).sum() };
+
+        let mut telemetry = SolveTelemetry::new("water-filling");
+        telemetry.warm_start = true;
+        let t0 = std::time::Instant::now();
+        let elapsed_us = |t0: &std::time::Instant| t0.elapsed().as_secs_f64() * 1e6;
+        let track = Track::solver(attempt);
+
+        // λ = 0 cap check, exactly as in the cold solve.
+        let z_cap = vec![cap; n];
+        if budget_of(&z_cap) <= self.params.deadline {
+            telemetry.iterations = 1;
+            telemetry.residual = self.params.deadline - budget_of(&z_cap);
+            if let Some(sink) = spans.as_deref_mut() {
+                sink.span_detail(
+                    track,
+                    "cap-check",
+                    "solver",
+                    "deadline slack at λ=0",
+                    0.0,
+                    elapsed_us(&t0),
+                );
+            }
+            return Ok((
+                z_cap.iter().zip(&g_total).map(|(&z, &gt)| z / gt).collect(),
+                telemetry,
+            ));
+        }
+
+        // Stationarity of a_i/z_i + λ·c_i·z_i gives λ = a_i/(c_i·z_i²);
+        // the optimal λ lies within the range of these estimates over
+        // the warm ẑ (modulo pooled/clamped coordinates, absorbed by the
+        // 16× guard band).
+        let mut lam_min = f64::INFINITY;
+        let mut lam_max = 0.0_f64;
+        for i in 0..n {
+            let z = (g_total[i] * warm[i]).clamp(lo[i], cap);
+            let est = a[i] / (c[i] * z * z);
+            if est.is_finite() && est > 0.0 {
+                lam_min = lam_min.min(est);
+                lam_max = lam_max.max(est);
+            }
+        }
+        let (mut lam_lo, mut lam_hi) = if lam_max > 0.0 && lam_min.is_finite() {
+            ((lam_min / 16.0).max(1e-30), (lam_max * 16.0).min(1e30))
+        } else {
+            (1e-30, 1.0)
+        };
+
+        let inner = |lambda: f64| pav_nonincreasing(&a, &c, &lo, cap, lambda);
+        // Restore the bracket invariant the bisection needs: over-budget
+        // at lam_lo, under-budget at lam_hi.
+        loop {
+            let started = if spans.is_some() {
+                elapsed_us(&t0)
+            } else {
+                0.0
+            };
+            let over = budget_of(&inner(lam_hi)) > self.params.deadline;
+            if let Some(sink) = spans.as_deref_mut() {
+                sink.span_detail(
+                    track,
+                    "bracket",
+                    "solver",
+                    format!("lambda={lam_hi:.4e} over={over}"),
+                    started,
+                    elapsed_us(&t0),
+                );
+            }
+            if !over {
+                break;
+            }
+            telemetry.iterations += 1;
+            lam_hi *= 10.0;
+            if lam_hi > 1e30 {
+                return Err(ScheduleError::Solver(
+                    "water-filling bisection failed to bracket the deadline price".into(),
+                ));
+            }
+        }
+        while lam_lo > 1e-30 {
+            telemetry.iterations += 1;
+            let started = if spans.is_some() {
+                elapsed_us(&t0)
+            } else {
+                0.0
+            };
+            let over = budget_of(&inner(lam_lo)) > self.params.deadline;
+            if let Some(sink) = spans.as_deref_mut() {
+                sink.span_detail(
+                    track,
+                    "bracket",
+                    "solver",
+                    format!("lambda={lam_lo:.4e} over={over}"),
+                    started,
+                    elapsed_us(&t0),
+                );
+            }
+            if over {
+                break;
+            }
+            lam_lo = (lam_lo / 10.0).max(1e-30);
+        }
+        for _ in 0..200 {
+            // Early exit: once the bracket has collapsed to machine
+            // precision further bisection cannot move λ.
+            if lam_hi / lam_lo < 1.0 + 1e-13 {
+                break;
+            }
+            telemetry.iterations += 1;
+            let mid = (lam_lo * lam_hi).sqrt();
             let started = if spans.is_some() {
                 elapsed_us(&t0)
             } else {
@@ -815,6 +1165,123 @@ mod tests {
             .spans
             .iter()
             .any(|s| s.track == Track::solver(1) && s.name == "solve interior-point"));
+    }
+
+    #[test]
+    fn warm_start_converges_to_cold_schedule_both_methods() {
+        let p = blast();
+        // Warm each cell from its neighbor's schedule (smaller deadline).
+        let deadlines = [3e4, 5e4, 1e5, 2e5, 3.5e5];
+        for w in deadlines.windows(2) {
+            let (d_prev, d) = (w[0], w[1]);
+            let prev = EnforcedWaitsProblem::new(
+                &p,
+                RtParams::new(10.0, d_prev).unwrap(),
+                PAPER_B.to_vec(),
+            )
+            .solve(SolveMethod::WaterFilling)
+            .unwrap();
+            let hint = WarmStart::from_schedule(&prev);
+            let prob =
+                EnforcedWaitsProblem::new(&p, RtParams::new(10.0, d).unwrap(), PAPER_B.to_vec());
+            for method in [SolveMethod::WaterFilling, SolveMethod::InteriorPoint] {
+                let cold = prob.solve(method).unwrap();
+                let warm = prob.solve_warm(method, &hint).unwrap();
+                assert!(warm.telemetry.as_ref().unwrap().warm_start);
+                assert!(
+                    (warm.active_fraction - cold.active_fraction).abs() < 1e-5,
+                    "{method:?} at D={d}: warm {} vs cold {}",
+                    warm.active_fraction,
+                    cold.active_fraction
+                );
+                for (a, b) in warm.periods.iter().zip(&cold.periods) {
+                    assert!(
+                        (a - b).abs() / b < 1e-3,
+                        "{method:?} at D={d}: {:?} vs {:?}",
+                        warm.periods,
+                        cold.periods
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn warm_start_uses_fewer_iterations_on_blast() {
+        // Acceptance criterion: mean interior-point iterations with
+        // warm-start enabled < disabled on the Table-1 BLAST pipeline.
+        // The same must hold for water-filling's λ-search.
+        let p = blast();
+        let deadlines = [3e4, 5e4, 8e4, 1.2e5, 2e5, 3.5e5];
+        let mut prev: Option<WaitSchedule> = None;
+        let mut cold_ip = 0u64;
+        let mut warm_ip = 0u64;
+        let mut cold_wf = 0u64;
+        let mut warm_wf = 0u64;
+        let mut warmed = 0u32;
+        for &d in &deadlines {
+            let prob =
+                EnforcedWaitsProblem::new(&p, RtParams::new(10.0, d).unwrap(), PAPER_B.to_vec());
+            let ip_cold = prob.solve(SolveMethod::InteriorPoint).unwrap();
+            let wf_cold = prob.solve(SolveMethod::WaterFilling).unwrap();
+            if let Some(prev) = &prev {
+                let hint = WarmStart::from_schedule(prev);
+                let ip_warm = prob.solve_warm(SolveMethod::InteriorPoint, &hint).unwrap();
+                let wf_warm = prob.solve_warm(SolveMethod::WaterFilling, &hint).unwrap();
+                cold_ip += ip_cold.telemetry.as_ref().unwrap().iterations;
+                warm_ip += ip_warm.telemetry.as_ref().unwrap().iterations;
+                cold_wf += wf_cold.telemetry.as_ref().unwrap().iterations;
+                warm_wf += wf_warm.telemetry.as_ref().unwrap().iterations;
+                warmed += 1;
+            }
+            prev = Some(wf_cold);
+        }
+        assert!(warmed > 0);
+        assert!(
+            warm_ip < cold_ip,
+            "mean warm IP iterations {} should beat cold {}",
+            warm_ip as f64 / warmed as f64,
+            cold_ip as f64 / warmed as f64
+        );
+        assert!(
+            warm_wf < cold_wf,
+            "mean warm WF iterations {} should beat cold {}",
+            warm_wf as f64 / warmed as f64,
+            cold_wf as f64 / warmed as f64
+        );
+    }
+
+    #[test]
+    fn mismatched_warm_hint_is_ignored_not_fatal() {
+        let p = blast();
+        let prob =
+            EnforcedWaitsProblem::new(&p, RtParams::new(10.0, 5e4).unwrap(), PAPER_B.to_vec());
+        let hint = WarmStart {
+            periods: vec![100.0, 200.0], // wrong arity for a 4-stage pipeline
+        };
+        let s = prob.solve_warm(SolveMethod::WaterFilling, &hint).unwrap();
+        let cold = prob.solve(SolveMethod::WaterFilling).unwrap();
+        assert_eq!(s.periods, cold.periods);
+        // The hint was dropped, so the solve ran cold.
+        assert!(!s.telemetry.as_ref().unwrap().warm_start);
+    }
+
+    #[test]
+    fn warm_fallback_still_answers_on_zero_gain_pipelines() {
+        let p = PipelineSpecBuilder::new(128)
+            .stage("kill", 100.0, GainModel::Deterministic { k: 0 })
+            .stage("dead", 50.0, GainModel::Deterministic { k: 1 })
+            .build()
+            .unwrap();
+        let params = RtParams::new(10.0, 1e6).unwrap();
+        let prob = EnforcedWaitsProblem::new(&p, params, vec![1.0, 1.0]);
+        let cold = prob.solve_with_fallback().unwrap();
+        let warm = prob
+            .solve_with_fallback_warm(&WarmStart::from_schedule(&cold))
+            .unwrap();
+        let t = warm.telemetry.as_ref().unwrap();
+        assert!(t.fallback && t.warm_start);
+        assert!((warm.active_fraction - cold.active_fraction).abs() < 1e-5);
     }
 
     #[test]

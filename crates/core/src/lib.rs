@@ -39,10 +39,12 @@ pub mod kkt;
 pub mod monolithic;
 pub mod schedule;
 pub mod telemetry;
+pub mod threads;
 
-pub use enforced::{EnforcedWaitsProblem, SolveMethod, WaitSchedule};
+pub use enforced::{EnforcedWaitsProblem, SolveMethod, WaitSchedule, WarmStart};
 pub use feasibility::{check_enforced_feasibility, minimal_periods, FeasibilityError};
 pub use flexible::{FlexibleSchedule, FlexibleSharesProblem};
 pub use monolithic::{MonolithicProblem, MonolithicSchedule};
 pub use schedule::ScheduleError;
 pub use telemetry::SolveTelemetry;
+pub use threads::worker_threads;

@@ -17,9 +17,10 @@ pub struct SolveTelemetry {
     /// Algorithm that produced the result (e.g. `"water-filling"`,
     /// `"interior-point"`, `"unimodal"`, `"scan"`, `"bnb"`).
     pub method: String,
-    /// Iteration count in the method's natural unit: Newton iterations
-    /// for interior point, bisection steps for water-filling, objective
-    /// evaluations for the integer searches.
+    /// Iteration count in the method's natural unit: total Newton
+    /// iterations (phase-1 included) for interior point, bisection steps
+    /// for water-filling, objective evaluations for the integer
+    /// searches.
     pub iterations: u64,
     /// Final residual in the method's natural unit: duality-gap bound
     /// for interior point, deadline-budget slack for water-filling,
@@ -33,6 +34,17 @@ pub struct SolveTelemetry {
     /// method failed (e.g. water-filling → interior point on zero-gain
     /// pipelines).
     pub fallback: bool,
+    /// True if the solve was seeded from a warm-start hint (a nearby
+    /// instance's schedule) rather than started cold.
+    pub warm_start: bool,
+    /// Phase-1 (feasibility restoration) Newton iterations, when the
+    /// method ran a phase-1 (interior point only; `None` otherwise).
+    pub phase1_iterations: Option<u64>,
+    /// Iterations a comparable cold solve used minus this solve's
+    /// iterations, when the caller measured one (e.g. the calibration
+    /// loop comparing against its previous round). Negative means the
+    /// warm start hurt.
+    pub iterations_saved: Option<i64>,
 }
 
 impl SolveTelemetry {
@@ -46,6 +58,9 @@ impl SolveTelemetry {
             barrier_mu: Vec::new(),
             wall_micros: 0.0,
             fallback: false,
+            warm_start: false,
+            phase1_iterations: None,
+            iterations_saved: None,
         }
     }
 }
@@ -68,6 +83,9 @@ mod tests {
         assert_eq!(t.method, "water-filling");
         assert_eq!(t.iterations, 0);
         assert!(!t.fallback);
+        assert!(!t.warm_start);
+        assert_eq!(t.phase1_iterations, None);
+        assert_eq!(t.iterations_saved, None);
         assert!(t.barrier_mu.is_empty());
     }
 
@@ -83,6 +101,9 @@ mod tests {
         let mut t = SolveTelemetry::new("interior-point");
         t.iterations = 12;
         t.barrier_mu = vec![1.0, 20.0];
+        t.warm_start = true;
+        t.phase1_iterations = Some(3);
+        t.iterations_saved = Some(-2);
         let v = serde_json::to_value(&t).unwrap();
         let back: SolveTelemetry = serde_json::from_value(&v).unwrap();
         assert_eq!(back, t);

@@ -1,0 +1,66 @@
+//! Worker-thread-count policy for embarrassingly parallel work.
+//!
+//! Both the `(τ0, D)` sweep scheduler ([`crate::comparison`]) and the
+//! multi-seed simulation runner in `pipeline-sim` fan work out over
+//! scoped threads. They share this policy so one environment variable
+//! controls both: `RTSDF_THREADS` overrides the worker count (useful
+//! for reproducible benchmarking and for containers whose
+//! `available_parallelism` misreports the cgroup quota); otherwise the
+//! detected parallelism is used, falling back to 4 when detection
+//! fails.
+
+use std::num::NonZeroUsize;
+
+/// Environment variable overriding the worker-thread count.
+pub const THREADS_ENV: &str = "RTSDF_THREADS";
+
+/// Number of worker threads for parallel sweeps and seed fan-out.
+///
+/// Resolution order: a positive integer in `RTSDF_THREADS`, then
+/// [`std::thread::available_parallelism`], then 4. Malformed or
+/// non-positive override values are ignored rather than erroring, so a
+/// stray `RTSDF_THREADS=0` degrades to the detected default instead of
+/// breaking every experiment binary.
+pub fn worker_threads() -> usize {
+    worker_threads_from(std::env::var(THREADS_ENV).ok().as_deref())
+}
+
+/// Testable core of [`worker_threads`]: resolves the count from an
+/// explicit override value instead of reading the environment.
+pub fn worker_threads_from(override_value: Option<&str>) -> usize {
+    if let Some(v) = override_value {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(4, NonZeroUsize::get)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn override_wins_when_valid() {
+        assert_eq!(worker_threads_from(Some("3")), 3);
+        assert_eq!(worker_threads_from(Some(" 12 ")), 12);
+        assert_eq!(worker_threads_from(Some("1")), 1);
+    }
+
+    #[test]
+    fn invalid_overrides_fall_back_to_detection() {
+        let detected = worker_threads_from(None);
+        assert!(detected >= 1);
+        for bad in ["0", "-2", "four", "", "1.5"] {
+            assert_eq!(worker_threads_from(Some(bad)), detected, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn env_reader_returns_a_positive_count() {
+        // Whatever the ambient environment says, the answer is usable.
+        assert!(worker_threads() >= 1);
+    }
+}

@@ -3,9 +3,12 @@
 
 use dataflow_model::{GainModel, PipelineSpec, PipelineSpecBuilder, RtParams};
 use proptest::prelude::*;
+use rtsdf_core::comparison::{
+    sweep, sweep_parallel, sweep_parallel_with, sweep_with, SweepConfig, SweepOptions,
+};
 use rtsdf_core::feasibility::minimal_periods;
 use rtsdf_core::kkt::verify_kkt;
-use rtsdf_core::{EnforcedWaitsProblem, MonolithicProblem, SolveMethod};
+use rtsdf_core::{EnforcedWaitsProblem, MonolithicProblem, SolveMethod, WarmStart};
 
 /// A random pipeline with strictly positive mean gains (so both Fig.-1
 /// solution methods apply).
@@ -130,6 +133,46 @@ proptest! {
     }
 
     #[test]
+    fn warm_started_solves_converge_to_cold_schedule(
+        p in pipeline(),
+        tau_scale in 1.05..20.0f64,
+        d_scale in 1.2..20.0f64,
+        hint_scale in 1.05..2.0f64,
+    ) {
+        // A warm start seeded from a *different* operating point's
+        // schedule must land on the same optimum as a cold solve, for
+        // both Fig.-1 methods.
+        let Some((params, b)) = feasible_point(&p, tau_scale, d_scale) else {
+            return Ok(());
+        };
+        let Some((hint_params, _)) = feasible_point(&p, tau_scale, d_scale * hint_scale) else {
+            return Ok(());
+        };
+        let hint_sched = EnforcedWaitsProblem::new(&p, hint_params, b.clone())
+            .solve(SolveMethod::WaterFilling)
+            .expect("feasible by construction");
+        let hint = WarmStart::from_schedule(&hint_sched);
+        for method in [SolveMethod::WaterFilling, SolveMethod::InteriorPoint] {
+            let prob = EnforcedWaitsProblem::new(&p, params, b.clone());
+            let cold = prob.solve(method).expect("feasible by construction");
+            let warm = prob.solve_warm(method, &hint).expect("warm solve succeeds");
+            prop_assert!(
+                (cold.active_fraction - warm.active_fraction).abs()
+                    <= 1e-4 * cold.active_fraction.max(1e-9),
+                "{method:?}: cold {} vs warm {}",
+                cold.active_fraction,
+                warm.active_fraction
+            );
+            for (c, w) in cold.periods.iter().zip(&warm.periods) {
+                prop_assert!(
+                    (c - w).abs() <= 1e-3 * c.abs().max(1.0),
+                    "{method:?}: periods {c} vs {w}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn monolithic_exact_result_beats_random_probes(
         p in pipeline(),
         tau_scale in 2.0..40.0f64,
@@ -155,5 +198,56 @@ proptest! {
                 prop_assert!(best.active_fraction <= v + 1e-12);
             }
         }
+    }
+}
+
+/// Compare two sweep results cell by cell, requiring bit-identical
+/// feasibility and active fractions.
+fn assert_sweeps_identical(
+    a: &rtsdf_core::comparison::SweepResult,
+    b: &rtsdf_core::comparison::SweepResult,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.cells.len(), b.cells.len());
+    for (x, y) in a.cells.iter().zip(&b.cells) {
+        prop_assert_eq!((x.tau0, x.deadline), (y.tau0, y.deadline));
+        prop_assert_eq!(x.enforced, y.enforced, "tau0={} D={}", x.tau0, x.deadline);
+        prop_assert_eq!(
+            x.monolithic,
+            y.monolithic,
+            "tau0={} D={}",
+            x.tau0,
+            x.deadline
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    // Sweeps run many solves per case; keep the case count moderate.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn parallel_sweep_bit_identical_to_sequential_on_random_grids(
+        p in pipeline(),
+        tau0s in prop::collection::vec(0.5..150.0f64, 0..=4),
+        deadlines in prop::collection::vec(2e4..4e5f64, 0..=4),
+    ) {
+        // Random grid shapes include empty, 1×N, and N×1; random
+        // operating points include infeasible cells. The work-stealing
+        // scheduler must reproduce the sequential sweep bit for bit,
+        // cold and warm alike.
+        let config = SweepConfig {
+            enforced_b: p.mean_gains().iter().map(|g| g.ceil().max(1.0)).collect(),
+            monolithic_b: 1.0,
+            monolithic_s: 1.0,
+        };
+        let seq = sweep(&p, &tau0s, &deadlines, &config).expect("valid grid");
+        let par = sweep_parallel(&p, &tau0s, &deadlines, &config).expect("valid grid");
+        assert_sweeps_identical(&seq, &par)?;
+        let opts = SweepOptions::warm();
+        let warm_seq = sweep_with(&p, &tau0s, &deadlines, &config, &opts).expect("valid grid");
+        let warm_par =
+            sweep_parallel_with(&p, &tau0s, &deadlines, &config, &opts).expect("valid grid");
+        assert_sweeps_identical(&warm_seq, &warm_par)?;
     }
 }

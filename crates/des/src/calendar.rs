@@ -148,6 +148,15 @@ impl<P> Calendar<P> {
         self.schedule(self.now + delay, payload);
     }
 
+    /// Reserve capacity for at least `additional` more pending events.
+    ///
+    /// Hot simulation loops that know a burst of scheduling is coming
+    /// (e.g. one `Deliver` + one `Fire` per firing) can pre-size the
+    /// heap once instead of growing it incrementally mid-run.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
     /// Timestamp of the next pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|e| e.time)
@@ -277,6 +286,17 @@ mod tests {
         assert!(!cal.is_empty());
         cal.clear();
         assert!(cal.is_empty());
+    }
+
+    #[test]
+    fn reserve_grows_capacity_without_touching_events() {
+        let mut cal = Calendar::new();
+        cal.schedule(t(1), "a");
+        cal.reserve(1024);
+        cal.schedule(t(2), "b");
+        assert_eq!(cal.pop().unwrap().payload, "a");
+        assert_eq!(cal.pop().unwrap().payload, "b");
+        assert_eq!(cal.total_scheduled(), 2);
     }
 
     #[test]

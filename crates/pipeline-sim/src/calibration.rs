@@ -18,7 +18,7 @@
 use crate::config::SimConfig;
 use crate::runner::run_seeds_enforced;
 use dataflow_model::{PipelineSpec, RtParams};
-use rtsdf_core::{EnforcedWaitsProblem, SolveMethod};
+use rtsdf_core::{EnforcedWaitsProblem, SolveMethod, WarmStart};
 use serde::{Deserialize, Serialize};
 
 /// Calibration methodology parameters.
@@ -67,6 +67,15 @@ pub struct CalibrationRound {
     /// Componentwise max empirical backlog (vectors) over all points
     /// and seeds.
     pub observed_backlog: Vec<f64>,
+    /// Mean solver iterations per feasible grid point this round. After
+    /// the first round every solve is warm-started from the same grid
+    /// point's previous schedule, so this drops once calibration starts
+    /// iterating.
+    pub mean_solver_iterations: f64,
+    /// Mean of the per-point iterations-saved telemetry (previous
+    /// round's iterations minus this round's), `None` on the first
+    /// round where there is nothing to compare against.
+    pub mean_iterations_saved: Option<f64>,
 }
 
 /// Final calibration outcome.
@@ -93,19 +102,54 @@ pub fn calibrate_enforced(
     let n = pipeline.len();
     let mut b = EnforcedWaitsProblem::optimistic_backlog(pipeline);
     let mut rounds = Vec::new();
+    // Per-grid-point warm-start chain: each round seeds its solves from
+    // the same point's schedule in the previous round (factors change
+    // little between rounds, so the previous optimum is a good hint).
+    let mut prev: Vec<Option<(WarmStart, u64)>> = vec![None; config.grid.len()];
 
     for _ in 0..config.max_rounds {
         let mut worst_miss_free = 1.0_f64;
         let mut worst_point = None;
         let mut observed = vec![0.0_f64; n];
         let mut any_feasible = false;
+        let mut iter_sum = 0u64;
+        let mut iter_points = 0u64;
+        let mut saved_sum = 0i64;
+        let mut saved_points = 0u64;
 
-        for params in &config.grid {
+        for (gi, params) in config.grid.iter().enumerate() {
             let prob = EnforcedWaitsProblem::new(pipeline, *params, b.clone());
-            let sched = match prob.solve(SolveMethod::WaterFilling) {
-                Ok(s) => s,
-                Err(_) => continue, // infeasible at these factors: skip
+            let solved = match prev[gi].as_ref() {
+                // A poor hint must not cost a grid point: retry cold on
+                // any warm failure (genuinely infeasible points fail
+                // both ways).
+                Some((hint, _)) => prob
+                    .solve_warm(SolveMethod::WaterFilling, hint)
+                    .or_else(|_| prob.solve(SolveMethod::WaterFilling)),
+                None => prob.solve(SolveMethod::WaterFilling),
             };
+            let mut sched = match solved {
+                Ok(s) => s,
+                Err(_) => {
+                    prev[gi] = None;
+                    continue; // infeasible at these factors: skip
+                }
+            };
+            if let Some(t) = sched.telemetry.as_mut() {
+                iter_sum += t.iterations;
+                iter_points += 1;
+                if let Some((_, prev_iters)) = prev[gi].as_ref() {
+                    let saved = *prev_iters as i64 - t.iterations as i64;
+                    t.iterations_saved = Some(saved);
+                    saved_sum += saved;
+                    saved_points += 1;
+                }
+            }
+            prev[gi] = Some((
+                WarmStart::from_schedule(&sched),
+                sched.telemetry.as_ref().map_or(0, |t| t.iterations),
+            ));
+            let sched = sched;
             any_feasible = true;
             let cfg = SimConfig::quick(params.tau0, 0, config.stream_length);
             let report = run_seeds_enforced(
@@ -134,6 +178,13 @@ pub fn calibrate_enforced(
             worst_miss_free,
             worst_point,
             observed_backlog: observed.clone(),
+            mean_solver_iterations: if iter_points > 0 {
+                iter_sum as f64 / iter_points as f64
+            } else {
+                0.0
+            },
+            mean_iterations_saved: (saved_points > 0)
+                .then(|| saved_sum as f64 / saved_points as f64),
         });
 
         if worst_miss_free >= config.target_miss_free {
@@ -217,6 +268,36 @@ mod tests {
         }
         // First round used the optimistic factors.
         assert_eq!(result.rounds[0].b, optimistic);
+    }
+
+    #[test]
+    fn warm_chaining_cuts_solver_effort_between_rounds() {
+        let p = blast();
+        // Tight deadlines miss at the optimistic factors, forcing at
+        // least one escalation round (so warm chaining kicks in).
+        let grid = vec![
+            RtParams::new(10.0, 4e4).unwrap(),
+            RtParams::new(30.0, 6e4).unwrap(),
+        ];
+        let result = calibrate_enforced(&p, &CalibrationConfig::quick(grid));
+        assert!(
+            result.rounds.len() >= 2,
+            "expected an escalation: {:?}",
+            result.rounds
+        );
+        let first = &result.rounds[0];
+        assert!(first.mean_solver_iterations > 0.0);
+        assert!(first.mean_iterations_saved.is_none());
+        for later in &result.rounds[1..] {
+            assert!(
+                later.mean_solver_iterations < first.mean_solver_iterations,
+                "warm round {} vs cold round {}",
+                later.mean_solver_iterations,
+                first.mean_solver_iterations
+            );
+            let saved = later.mean_iterations_saved.expect("warm rounds record it");
+            assert!(saved > 0.0, "iterations saved {saved}");
+        }
     }
 
     #[test]

@@ -16,7 +16,7 @@
 use crate::config::{FiringDiscipline, SimConfig};
 use crate::item::{Item, LineageTracker};
 use crate::metrics::SimMetrics;
-use dataflow_model::PipelineSpec;
+use dataflow_model::{GainModel, PipelineSpec};
 use des::calendar::Calendar;
 use des::clock::SimTime;
 use des::obs::{ObsConfig, ObsSink};
@@ -46,6 +46,22 @@ impl Ev {
             Ev::Arrival { .. } => 0,
             Ev::Deliver { .. } => 1,
             Ev::Fire { .. } => 2,
+        }
+    }
+}
+
+/// Stable in-place insertion sort of a same-timestamp batch by event
+/// class. Batches are tiny (a handful of events per instant), and the
+/// standard stable sort allocates a merge buffer for slices longer than
+/// its insertion threshold — this keeps the hot loop allocation-free
+/// while preserving the FIFO order within each class that determinism
+/// depends on.
+fn sort_batch_by_class(batch: &mut [Ev]) {
+    for i in 1..batch.len() {
+        let mut j = i;
+        while j > 0 && batch[j - 1].class() > batch[j].class() {
+            batch.swap(j - 1, j);
+            j -= 1;
         }
     }
 }
@@ -185,7 +201,18 @@ fn simulate_enforced_full(
         cal.schedule(SimTime::ZERO, Ev::Fire { node });
     }
 
-    let mut queues: Vec<VecDeque<Item>> = (0..n).map(|_| VecDeque::new()).collect();
+    // Gain models hoisted out of the firing loop: one bounds-checked
+    // node lookup per stage up front instead of one per consumed item.
+    let gain_of: Vec<&GainModel> = (0..n).map(|i| &pipeline.node(i).gain).collect();
+
+    let mut queues: Vec<VecDeque<Item>> = (0..n)
+        .map(|_| VecDeque::with_capacity(v as usize * 2))
+        .collect();
+    // Free-list of `Deliver` payload buffers: every delivered batch hands
+    // its (emptied) Vec back here, and every firing that emits outputs
+    // pops one instead of allocating. After warm-up the steady-state hot
+    // loop allocates nothing per item.
+    let mut vec_pool: Vec<Vec<Item>> = Vec::new();
     // Parallel per-stage enqueue timestamps for sojourn measurement;
     // allocated only when the observability layer is on.
     let mut enq_times: Vec<VecDeque<SimTime>> = if obs.is_some() {
@@ -235,7 +262,7 @@ fn simulate_enforced_full(
         while cal.peek_time() == Some(now) {
             batch.push(cal.pop().expect("peeked").payload);
         }
-        batch.sort_by_key(|e| e.class());
+        sort_batch_by_class(&mut batch);
 
         for ev in batch.drain(..) {
             if let Some(sink) = obs.as_deref_mut() {
@@ -263,7 +290,7 @@ fn simulate_enforced_full(
                         cal.schedule(now, Ev::Fire { node: 0 });
                     }
                 }
-                Ev::Deliver { node, items } => {
+                Ev::Deliver { node, mut items } => {
                     let delivered = items.len() as u64;
                     if spans.is_some() {
                         let eligible = now.max(next_fire[node]);
@@ -271,7 +298,10 @@ fn simulate_enforced_full(
                             span_queue[node].push_back((item.origin, now, eligible));
                         }
                     }
-                    queues[node].extend(items);
+                    queues[node].extend(items.drain(..));
+                    // Recycle the emptied payload buffer for a later
+                    // firing's outputs.
+                    vec_pool.push(items);
                     max_depth[node] = max_depth[node].max(queues[node].len() as u64);
                     if let Some(sink) = obs.as_deref_mut() {
                         sink.on_enqueue(node, delivered, queues[node].len());
@@ -292,7 +322,6 @@ fn simulate_enforced_full(
                         continue;
                     }
                     let take = (v as usize).min(queues[node].len());
-                    let consumed: Vec<Item> = queues[node].drain(..take).collect();
                     occupancy[node].record(take as u32, v);
                     ledger.record_firing(node, service[node] as f64, take as u32);
                     if let Some(sink) = obs.as_deref_mut() {
@@ -326,13 +355,18 @@ fn simulate_enforced_full(
                         }
                     }
                     let is_last = node + 1 == n;
-                    if !consumed.is_empty() {
-                        let mut outs: Vec<Item> = Vec::new();
-                        for item in consumed {
+                    if take > 0 {
+                        // Consume straight off the queue head and emit
+                        // into a recycled buffer: no per-firing
+                        // intermediate Vec, no fresh output allocation in
+                        // steady state.
+                        let mut outs: Vec<Item> = vec_pool.pop().unwrap_or_default();
+                        for _ in 0..take {
+                            let item = queues[node].pop_front().expect("take <= queue len");
                             let k = if is_last {
                                 0 // outputs exit the pipeline immediately
                             } else {
-                                pipeline.node(node).gain.sample(&mut gain_rngs[node])
+                                gain_of[node].sample(&mut gain_rngs[node])
                             };
                             if lineage.consume(item.origin, k, completion) {
                                 last_completion = last_completion.max(completion);
@@ -355,6 +389,8 @@ fn simulate_enforced_full(
                                     items: outs,
                                 },
                             );
+                        } else {
+                            vec_pool.push(outs);
                         }
                     }
                     // Periodic refire, but only while there is still work

@@ -186,9 +186,12 @@ fn simulate_monolithic_full(
                 }
             }
             if i + 1 < n {
+                // One node lookup per stage, not one per item.
+                let gain = &pipeline.node(i).gain;
+                let rng = &mut gain_rngs[i];
                 let mut next = 0u64;
                 for _ in 0..count {
-                    next += pipeline.node(i).gain.sample(&mut gain_rngs[i]) as u64;
+                    next += gain.sample(rng) as u64;
                 }
                 count = next;
             }

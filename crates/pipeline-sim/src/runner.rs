@@ -108,7 +108,7 @@ pub fn run_seeds_enforced(
     base_config: &SimConfig,
     num_seeds: u64,
 ) -> MultiSeedReport {
-    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let threads = rtsdf_core::worker_threads();
     let runs = run_parallel(0..num_seeds, threads, |seed| {
         let mut cfg = base_config.clone();
         cfg.seed = seed;
@@ -125,7 +125,7 @@ pub fn run_seeds_monolithic(
     base_config: &SimConfig,
     num_seeds: u64,
 ) -> MultiSeedReport {
-    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let threads = rtsdf_core::worker_threads();
     let runs = run_parallel(0..num_seeds, threads, |seed| {
         let mut cfg = base_config.clone();
         cfg.seed = seed;

@@ -51,6 +51,14 @@ pub struct SolverOptions {
     pub armijo: f64,
     /// Backtracking shrink factor.
     pub beta: f64,
+    /// Ceiling on the initial barrier weight chosen by
+    /// [`minimize_warm`]. The warm solve probes the Newton decrement of
+    /// the barrier objective at the warm point over a geometric ladder
+    /// of weights `t0·mu^k ≤ warm_t0` and starts at the largest weight
+    /// where the point is still nearly centered — a good hint skips the
+    /// loose early centering steps a cold start pays for, while a poor
+    /// hint degrades gracefully to the cold schedule.
+    pub warm_t0: f64,
 }
 
 impl Default for SolverOptions {
@@ -63,6 +71,7 @@ impl Default for SolverOptions {
             max_outer_iters: 60,
             armijo: 0.01,
             beta: 0.5,
+            warm_t0: 1e4,
         }
     }
 }
@@ -320,6 +329,18 @@ pub fn find_interior_point(
     radius: f64,
     opts: &SolverOptions,
 ) -> Result<Vec<f64>, SolveError> {
+    find_interior_point_detailed(constraints, x0, radius, opts).map(|(x, _)| x)
+}
+
+/// [`find_interior_point`] variant that also reports how many Newton
+/// iterations the phase-1 solve used (0 when `x0` was already strictly
+/// interior), so callers can account the cost in telemetry.
+pub fn find_interior_point_detailed(
+    constraints: &ConstraintSet,
+    x0: &[f64],
+    radius: f64,
+    opts: &SolverOptions,
+) -> Result<(Vec<f64>, usize), SolveError> {
     let n = constraints.dim();
     assert_eq!(x0.len(), n);
     // Fast path: x0 may already be strictly interior.
@@ -328,7 +349,7 @@ pub fn find_interior_point(
         .iter()
         .all(|c| c.slack(x0) > 1e-12)
     {
-        return Ok(x0.to_vec());
+        return Ok((x0.to_vec(), 0));
     }
 
     // Augmented problem over (x, s).
@@ -388,12 +409,131 @@ pub fn find_interior_point(
     let sol = minimize(&LinearS { dim: n + 1 }, &aug, &z0, opts)?;
     let s_opt = sol.x[n];
     if s_opt < -1e-12 {
-        Ok(sol.x[..n].to_vec())
+        Ok((sol.x[..n].to_vec(), sol.newton_iters))
     } else {
         Err(SolveError::Infeasible {
             violation: s_opt.max(0.0),
         })
     }
+}
+
+/// A warm-started solve: the [`Solution`] plus an accounting of what the
+/// warm start bought.
+#[derive(Debug, Clone)]
+pub struct WarmSolution {
+    /// The converged solve.
+    pub solution: Solution,
+    /// True if the warm point was already strictly feasible and phase-1
+    /// was skipped entirely.
+    pub warm_feasible: bool,
+    /// Newton iterations spent restoring feasibility (0 when
+    /// `warm_feasible`).
+    pub phase1_newtons: usize,
+}
+
+/// Newton decrement squared `gᵀH⁻¹g` of the barrier objective
+/// `t·f(x) − Σ log(slack_j)` at `x`, or `None` when it cannot be
+/// evaluated there (a non-positive slack or a non-PD Hessian). Small
+/// values mean `x` is nearly centered for weight `t`, so a centering
+/// step starting there is cheap.
+fn barrier_decrement2(
+    problem: &dyn ConvexProblem,
+    constraints: &ConstraintSet,
+    x: &[f64],
+    t: f64,
+) -> Option<f64> {
+    let n = problem.dim();
+    let mut g = vec![0.0; n];
+    problem.gradient(x, &mut g);
+    for gi in g.iter_mut() {
+        *gi *= t;
+    }
+    let mut h = Mat::zeros(n, n);
+    problem.hessian(x, &mut h);
+    for i in 0..n {
+        for j in 0..n {
+            h[(i, j)] *= t;
+        }
+    }
+    for c in constraints.constraints() {
+        let s = c.slack(x);
+        if s <= 0.0 || !s.is_finite() {
+            return None;
+        }
+        axpy(1.0 / s, &c.coeffs, &mut g);
+        h.rank1_update(&c.coeffs, 1.0 / (s * s));
+    }
+    let chol = h.cholesky()?;
+    let d = chol.solve(&g);
+    let l2 = dot(&g, &d);
+    l2.is_finite().then_some(l2)
+}
+
+/// Largest barrier weight in `{t0·mu^k : k ≥ 0, ≤ warm_t0}` at which
+/// `x` still looks nearly centered, judged by the Newton decrement.
+/// Probing costs one Hessian factorization per rung — negligible next
+/// to the centering iterations a wrong choice wastes.
+fn warm_barrier_weight(
+    problem: &dyn ConvexProblem,
+    constraints: &ConstraintSet,
+    x: &[f64],
+    opts: &SolverOptions,
+) -> f64 {
+    // λ²/2 bounds the barrier-objective excess over the centered point;
+    // centering from within this budget takes only a few damped steps.
+    const DECREMENT_BUDGET: f64 = 10.0;
+    let mut best = opts.t0;
+    let mut t = opts.t0 * opts.mu;
+    while t <= opts.warm_t0 {
+        match barrier_decrement2(problem, constraints, x, t) {
+            Some(l2) if l2 / 2.0 <= DECREMENT_BUDGET => best = t,
+            _ => break,
+        }
+        t *= opts.mu;
+    }
+    best
+}
+
+/// Minimize `problem` over `constraints` seeded from `warm`, a point
+/// expected to be near the optimum (e.g. the solution of a neighboring
+/// problem instance).
+///
+/// If `warm` is strictly feasible the barrier starts at the largest
+/// weight (capped by [`SolverOptions::warm_t0`]) at which `warm` is
+/// still nearly centered, skipping the loose early centering steps a
+/// cold start pays for. Otherwise phase-1 restores feasibility starting
+/// from `warm` (still cheaper than a cold phase-1 when `warm` is close)
+/// and the restored point is probed the same way.
+pub fn minimize_warm(
+    problem: &dyn ConvexProblem,
+    constraints: &ConstraintSet,
+    warm: &[f64],
+    radius: f64,
+    opts: &SolverOptions,
+) -> Result<WarmSolution, SolveError> {
+    let warm_feasible = constraints
+        .constraints()
+        .iter()
+        .all(|c| c.slack(warm) > 1e-12);
+    if warm_feasible {
+        let mut boosted = opts.clone();
+        boosted.t0 = warm_barrier_weight(problem, constraints, warm, opts);
+        let solution = minimize(problem, constraints, warm, &boosted)?;
+        return Ok(WarmSolution {
+            solution,
+            warm_feasible: true,
+            phase1_newtons: 0,
+        });
+    }
+    let (x0, phase1_newtons) = find_interior_point_detailed(constraints, warm, radius, opts)?;
+    let mut boosted = opts.clone();
+    boosted.t0 = warm_barrier_weight(problem, constraints, &x0, opts);
+    let solution = minimize(problem, constraints, &x0, &boosted)?;
+    Ok(WarmSolution {
+        solution,
+        warm_feasible: false,
+        phase1_newtons,
+    })
 }
 
 #[cfg(test)]
@@ -584,6 +724,72 @@ mod tests {
             sol.value < p.value(&x0),
             "optimizer should improve on start"
         );
+    }
+
+    #[test]
+    fn warm_start_from_near_optimum_uses_fewer_newton_iters() {
+        // Same problem as solution_respects_all_constraints; warm-start
+        // from a point close to the cold optimum and compare effort.
+        let p = Reciprocal {
+            t: vec![287.0, 955.0, 402.0, 2753.0],
+        };
+        let mut cs = ConstraintSet::new(4);
+        cs.push(vec![1.0, 3.0, 9.0, 6.0], 2e5, "deadline");
+        for (i, t) in [287.0, 955.0, 402.0, 2753.0].iter().enumerate() {
+            cs.push_lower_bound(i, *t, format!("x{i} >= t{i}"));
+        }
+        cs.push_upper_bound(0, 12_800.0, "rate");
+        let opts = SolverOptions::default();
+        let x0 = vec![300.0, 1000.0, 450.0, 2800.0];
+        let cold = minimize(&p, &cs, &x0, &opts).unwrap();
+
+        // Nudge the cold optimum toward the interior so it is strictly
+        // feasible, as a neighboring cell's schedule would be.
+        let warm_pt: Vec<f64> = cold.x.iter().map(|&xi| xi * 0.999).collect();
+        let warm = minimize_warm(&p, &cs, &warm_pt, 1e6, &opts).unwrap();
+        assert!(warm.warm_feasible);
+        assert_eq!(warm.phase1_newtons, 0);
+        assert!(
+            warm.solution.newton_iters < cold.newton_iters,
+            "warm {} vs cold {}",
+            warm.solution.newton_iters,
+            cold.newton_iters
+        );
+        for (w, c) in warm.solution.x.iter().zip(&cold.x) {
+            assert!(
+                (w - c).abs() / c < 1e-4,
+                "{:?} vs {:?}",
+                warm.solution.x,
+                cold.x
+            );
+        }
+    }
+
+    #[test]
+    fn warm_start_from_infeasible_point_restores_and_converges() {
+        let p = Quadratic { center: vec![5.0] };
+        let mut cs = ConstraintSet::new(1);
+        cs.push_upper_bound(0, 2.0, "cap");
+        cs.push_lower_bound(0, -10.0, "floor");
+        // Warm point sits outside the cap.
+        let warm = minimize_warm(&p, &cs, &[3.0], 100.0, &SolverOptions::default()).unwrap();
+        assert!(!warm.warm_feasible);
+        assert!(warm.phase1_newtons > 0);
+        assert!(
+            (warm.solution.x[0] - 2.0).abs() < 1e-5,
+            "{:?}",
+            warm.solution.x
+        );
+    }
+
+    #[test]
+    fn detailed_phase1_fast_path_reports_zero_newtons() {
+        let mut cs = ConstraintSet::new(1);
+        cs.push_upper_bound(0, 10.0, "ub");
+        let (x, newtons) =
+            find_interior_point_detailed(&cs, &[3.0], 100.0, &SolverOptions::default()).unwrap();
+        assert_eq!(x, vec![3.0]);
+        assert_eq!(newtons, 0);
     }
 
     #[test]

@@ -38,5 +38,7 @@ pub mod linalg;
 pub mod linear;
 pub mod scalar;
 
-pub use convex::{minimize, ConvexProblem, Solution, SolveError, SolverOptions};
+pub use convex::{
+    minimize, minimize_warm, ConvexProblem, Solution, SolveError, SolverOptions, WarmSolution,
+};
 pub use linear::{Constraint, ConstraintSet};

@@ -115,10 +115,26 @@ fn fmt_duration(d: Duration) -> String {
     }
 }
 
+/// One finished benchmark's timing summary, retained by the driver so
+/// harness-less benches can post-process their numbers (e.g. into a run
+/// manifest) instead of re-parsing stdout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Full benchmark id (group-qualified).
+    pub id: String,
+    /// Mean wall time per iteration, nanoseconds.
+    pub mean_ns: f64,
+    /// Minimum wall time per iteration, nanoseconds.
+    pub min_ns: f64,
+    /// Number of timed iterations.
+    pub samples: usize,
+}
+
 /// The benchmark driver.
 pub struct Criterion {
     target: Duration,
     filter: Option<String>,
+    results: Vec<BenchResult>,
 }
 
 impl Default for Criterion {
@@ -135,6 +151,7 @@ impl Default for Criterion {
         Criterion {
             target: Duration::from_millis(ms),
             filter,
+            results: Vec::new(),
         }
     }
 }
@@ -161,10 +178,35 @@ impl Criterion {
                     fmt_duration(mean),
                     fmt_duration(min)
                 );
+                self.results.push(BenchResult {
+                    id,
+                    mean_ns: mean.as_nanos() as f64,
+                    min_ns: min.as_nanos() as f64,
+                    samples: n,
+                });
             }
             None => println!("bench {id:<40} (no samples)"),
         }
         self
+    }
+
+    /// Replace the benchmark id filter. Benches that parse their own
+    /// CLI arguments (e.g. `--grid 4x4`) use this to override the
+    /// default's positional-argument sniffing, which would otherwise
+    /// treat a flag's value as a filter.
+    pub fn with_filter(mut self, filter: Option<String>) -> Self {
+        self.filter = filter;
+        self
+    }
+
+    /// Timing summaries of every benchmark run so far, in run order.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Drain and return the accumulated timing summaries.
+    pub fn take_results(&mut self) -> Vec<BenchResult> {
+        std::mem::take(&mut self.results)
     }
 
     /// Open a named group of related benchmarks.
@@ -269,6 +311,32 @@ mod tests {
             })
         });
         assert!(calls > 0);
+    }
+
+    #[test]
+    fn results_are_recorded_and_drainable() {
+        std::env::set_var("CRITERION_MEASURE_MS", "5");
+        let mut c = Criterion::default().with_filter(None);
+        c.bench_function("recorded", |b| b.iter(|| black_box(1 + 1)));
+        assert_eq!(c.results().len(), 1);
+        let r = &c.results()[0];
+        assert_eq!(r.id, "recorded");
+        assert!(r.mean_ns > 0.0);
+        assert!(r.min_ns <= r.mean_ns);
+        assert!(r.samples > 0);
+        let drained = c.take_results();
+        assert_eq!(drained.len(), 1);
+        assert!(c.results().is_empty());
+    }
+
+    #[test]
+    fn with_filter_skips_nonmatching_ids() {
+        std::env::set_var("CRITERION_MEASURE_MS", "5");
+        let mut c = Criterion::default().with_filter(Some("match".into()));
+        c.bench_function("other", |b| b.iter(|| black_box(0)));
+        c.bench_function("matching", |b| b.iter(|| black_box(0)));
+        let ids: Vec<&str> = c.results().iter().map(|r| r.id.as_str()).collect();
+        assert_eq!(ids, ["matching"]);
     }
 
     #[test]
