@@ -19,6 +19,7 @@
 //! | `tau0`, `deadline`, `tau0s`, `deadlines` | identity (must match)   |
 //! | `enforced`, `monolithic`               | lower is better (gated)   |
 //! | `iterations`, `deadline_misses`, `misses`, `items_dropped` | higher is worse (gated) |
+//! | `items_shed`, `resolves`, `total_shed`, `total_misses`, `total_dropped`, `total_resolves` | higher is worse (gated) |
 //! | `wall_micros`                          | info (gated with `--gate-wall`) |
 //! | everything else                        | informational             |
 //!
@@ -53,6 +54,8 @@ pub fn direction(path: &str) -> Direction {
         "tau0" | "deadline" | "tau0s" | "deadlines" => Direction::Identity,
         "enforced" | "monolithic" => Direction::Gated,
         "iterations" | "deadline_misses" | "misses" | "items_dropped" => Direction::Gated,
+        "items_shed" | "resolves" | "total_shed" | "total_misses" | "total_dropped"
+        | "total_resolves" => Direction::Gated,
         "wall_micros" => Direction::Wall,
         _ => Direction::Info,
     }
@@ -419,6 +422,16 @@ mod tests {
         assert_eq!(
             direction("cells[0].enforced_telemetry.wall_micros"),
             Direction::Wall
+        );
+        assert_eq!(direction("runs[2].items_shed"), Direction::Gated);
+        assert_eq!(direction("runs[2].resolves"), Direction::Gated);
+        assert_eq!(
+            direction("points[1].enforced_mitigated.total_shed"),
+            Direction::Gated
+        );
+        assert_eq!(
+            direction("points[1].monolithic.total_resolves"),
+            Direction::Gated
         );
         assert_eq!(
             direction("cells[0].enforced_telemetry.residual"),

@@ -24,6 +24,10 @@ USAGE:
                       [--b B1,B2,...] [--items N] [--seed S]
                       [--strategy enforced|monolithic] [--format chrome|json]
                       [--alpha A] [--out FILE]
+  rtsdf-cli stress    --pipeline FILE --tau0 T --deadline D
+                      [--b B1,B2,...] [--items N] [--seeds K]
+                      [--intensities I1,I2,...] [--target F] [--json]
+                      [--metrics json|csv]
 
 OPTIONS:
   --pipeline FILE   JSON file holding a PipelineSpec (see example-pipeline)
@@ -44,6 +48,9 @@ OPTIONS:
   --alpha A         deadline-miss forensics threshold: analyze items with
                     latency > A*deadline (default: 1.0)
   --out FILE        trace output path (default: trace.json)
+  --intensities L   perturbation intensities to sweep (default: 0,0.5,1)
+  --target F        miss-free-fraction target for the robustness margin
+                    (default: 0.95)
 ";
 
 /// Which strategies an `optimize` run covers.
@@ -156,6 +163,29 @@ pub enum Command {
         /// Output path.
         out: String,
     },
+    /// Robustness sweep under fault injection.
+    Stress {
+        /// Pipeline JSON path.
+        pipeline: String,
+        /// Inter-arrival time.
+        tau0: f64,
+        /// Deadline.
+        deadline: f64,
+        /// Backlog factors.
+        b: Option<Vec<f64>>,
+        /// Items per run.
+        items: usize,
+        /// Seeds per sweep cell.
+        seeds: u64,
+        /// Perturbation intensities to sweep.
+        intensities: Vec<f64>,
+        /// Miss-free-fraction target for the robustness margin.
+        target: f64,
+        /// Emit JSON.
+        json: bool,
+        /// Also write a run manifest / metrics file.
+        metrics: Option<MetricsFormat>,
+    },
     /// §6.2 calibration.
     Calibrate {
         /// Pipeline JSON path.
@@ -221,14 +251,62 @@ impl<'a> Scanner<'a> {
     fn parse_usize_or(&self, flag: &str, default: usize) -> Result<usize, ParseError> {
         match self.value_of(flag) {
             None => Ok(default),
-            Some(raw) => raw
-                .parse::<f64>()
-                .ok()
-                .filter(|v| *v >= 0.0 && v.fract() == 0.0)
-                .map(|v| v as usize)
-                .ok_or_else(|| ParseError(format!("{flag}: '{raw}' is not a nonnegative integer"))),
+            Some(raw) => parse_usize(flag, raw),
         }
     }
+
+    /// Reject unknown options and a value option immediately followed by
+    /// another option instead of its value. Tokens not starting with
+    /// `--` (including negative numbers like `-3`) remain valid values.
+    fn check_flags(&self, value_flags: &[&str], bool_flags: &[&str]) -> Result<(), ParseError> {
+        let mut i = 0;
+        while i < self.args.len() {
+            let tok = self.args[i].as_str();
+            if !tok.starts_with("--") {
+                return err(format!("unexpected argument '{tok}'"));
+            }
+            if value_flags.contains(&tok) {
+                match self.args.get(i + 1) {
+                    Some(next) if next.starts_with("--") => {
+                        return err(format!(
+                            "{tok} expects a value, but is followed by option '{next}'"
+                        ));
+                    }
+                    Some(_) => i += 2,
+                    None => return err(format!("{tok} expects a value")),
+                }
+            } else if bool_flags.contains(&tok) {
+                i += 1;
+            } else {
+                return err(format!("unknown option '{tok}'"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parse a nonnegative integer losslessly. Plain integer spellings go
+/// straight through `usize`; float spellings (`2e3`) are accepted only
+/// when finite, nonnegative, integral, and at most 2^53 (the largest
+/// magnitude at which every `f64` integer is exact) — so `1e30` is an
+/// error rather than a silent saturation to `usize::MAX`.
+fn parse_usize(flag: &str, raw: &str) -> Result<usize, ParseError> {
+    let trimmed = raw.trim();
+    if let Ok(v) = trimmed.parse::<usize>() {
+        return Ok(v);
+    }
+    let bad = || ParseError(format!("{flag}: '{raw}' is not a nonnegative integer"));
+    let v: f64 = trimmed.parse().map_err(|_| bad())?;
+    if !v.is_finite() || v < 0.0 || v.fract() != 0.0 {
+        return Err(bad());
+    }
+    const MAX_EXACT: f64 = 9_007_199_254_740_992.0; // 2^53
+    if v > MAX_EXACT {
+        return err(format!(
+            "{flag}: '{raw}' is too large to represent exactly (max 2^53)"
+        ));
+    }
+    usize::try_from(v as u64).map_err(|_| bad())
 }
 
 fn parse_b_list(raw: &str) -> Result<Vec<f64>, ParseError> {
@@ -263,6 +341,27 @@ fn parse_points(raw: &str) -> Result<Vec<(f64, f64)>, ParseError> {
         .collect()
 }
 
+fn parse_intensities(raw: &str) -> Result<Vec<f64>, ParseError> {
+    let levels: Vec<f64> = raw
+        .split(',')
+        .map(|tok| {
+            tok.trim()
+                .parse::<f64>()
+                .ok()
+                .filter(|v| v.is_finite() && *v >= 0.0)
+                .ok_or_else(|| {
+                    ParseError(format!(
+                        "--intensities: '{tok}' is not a nonnegative number"
+                    ))
+                })
+        })
+        .collect::<Result<_, _>>()?;
+    if levels.is_empty() {
+        return err("--intensities: need at least one level");
+    }
+    Ok(levels)
+}
+
 fn parse_grid(raw: &str) -> Result<(usize, usize), ParseError> {
     let mut it = raw.split('x');
     let r = it.next().unwrap_or("");
@@ -289,100 +388,197 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
     };
     let scan = Scanner { args: &argv[1..] };
     match sub.as_str() {
-        "example-pipeline" => Ok(Command::ExamplePipeline),
-        "optimize" => Ok(Command::Optimize {
-            pipeline: scan.require("--pipeline")?.to_string(),
-            tau0: scan.parse_f64("--tau0")?,
-            deadline: scan.parse_f64("--deadline")?,
-            b: scan.value_of("--b").map(parse_b_list).transpose()?,
-            strategy: match scan.value_of("--strategy") {
-                None | Some("all") => Strategy::All,
-                Some("enforced") => Strategy::Enforced,
-                Some("monolithic") => Strategy::Monolithic,
-                Some("flexible") => Strategy::Flexible,
-                Some(other) => return err(format!("--strategy: unknown strategy '{other}'")),
-            },
-            json: scan.has("--json"),
-        }),
-        "simulate" => Ok(Command::Simulate {
-            pipeline: scan.require("--pipeline")?.to_string(),
-            tau0: scan.parse_f64("--tau0")?,
-            deadline: scan.parse_f64("--deadline")?,
-            b: scan.value_of("--b").map(parse_b_list).transpose()?,
-            items: scan.parse_usize_or("--items", 10_000)?,
-            seeds: scan.parse_usize_or("--seeds", 8)? as u64,
-            json: scan.has("--json"),
-            metrics: scan.parse_metrics()?,
-        }),
-        "sweep" => Ok(Command::Sweep {
-            pipeline: scan.require("--pipeline")?.to_string(),
-            grid: match scan.value_of("--grid") {
-                None => (8, 8),
-                Some(raw) => parse_grid(raw)?,
-            },
-            csv: scan.has("--csv"),
-            metrics: scan.parse_metrics()?,
-        }),
-        "gantt" => Ok(Command::Gantt {
-            pipeline: scan.require("--pipeline")?.to_string(),
-            tau0: scan.parse_f64("--tau0")?,
-            deadline: scan.parse_f64("--deadline")?,
-            b: scan.value_of("--b").map(parse_b_list).transpose()?,
-            window: match scan.value_of("--window") {
-                None => 20_000.0,
-                Some(raw) => raw
-                    .parse::<f64>()
-                    .ok()
-                    .filter(|v| *v > 0.0)
-                    .ok_or_else(|| {
-                        ParseError(format!("--window: '{raw}' is not a positive number"))
-                    })?,
-            },
-            width: scan.parse_usize_or("--width", 100)?,
-        }),
-        "trace" => Ok(Command::Trace {
-            pipeline: scan.require("--pipeline")?.to_string(),
-            tau0: scan.parse_f64("--tau0")?,
-            deadline: scan.parse_f64("--deadline")?,
-            b: scan.value_of("--b").map(parse_b_list).transpose()?,
-            items: scan.parse_usize_or("--items", 10_000)?,
-            seed: scan.parse_usize_or("--seed", 0)? as u64,
-            strategy: match scan.value_of("--strategy") {
-                None | Some("enforced") => Strategy::Enforced,
-                Some("monolithic") => Strategy::Monolithic,
-                Some(other) => {
-                    return err(format!(
-                        "--strategy: trace supports 'enforced' or 'monolithic', got '{other}'"
-                    ))
-                }
-            },
-            format: match scan.value_of("--format") {
-                None | Some("chrome") => TraceFormat::Chrome,
-                Some("json") => TraceFormat::Json,
-                Some(other) => {
-                    return err(format!(
-                        "--format: expected 'chrome' or 'json', got '{other}'"
-                    ))
-                }
-            },
-            alpha: match scan.value_of("--alpha") {
-                None => 1.0,
-                Some(raw) => raw
-                    .parse::<f64>()
-                    .ok()
-                    .filter(|a| a.is_finite() && *a > 0.0)
-                    .ok_or_else(|| {
-                        ParseError(format!("--alpha: '{raw}' is not a positive number"))
-                    })?,
-            },
-            out: scan.value_of("--out").unwrap_or("trace.json").to_string(),
-        }),
-        "calibrate" => Ok(Command::Calibrate {
-            pipeline: scan.require("--pipeline")?.to_string(),
-            points: parse_points(scan.require("--points")?)?,
-            seeds: scan.parse_usize_or("--seeds", 8)? as u64,
-            items: scan.parse_usize_or("--items", 5_000)?,
-        }),
+        "example-pipeline" => {
+            scan.check_flags(&[], &[])?;
+            Ok(Command::ExamplePipeline)
+        }
+        "optimize" => {
+            scan.check_flags(
+                &["--pipeline", "--tau0", "--deadline", "--b", "--strategy"],
+                &["--json"],
+            )?;
+            Ok(Command::Optimize {
+                pipeline: scan.require("--pipeline")?.to_string(),
+                tau0: scan.parse_f64("--tau0")?,
+                deadline: scan.parse_f64("--deadline")?,
+                b: scan.value_of("--b").map(parse_b_list).transpose()?,
+                strategy: match scan.value_of("--strategy") {
+                    None | Some("all") => Strategy::All,
+                    Some("enforced") => Strategy::Enforced,
+                    Some("monolithic") => Strategy::Monolithic,
+                    Some("flexible") => Strategy::Flexible,
+                    Some(other) => return err(format!("--strategy: unknown strategy '{other}'")),
+                },
+                json: scan.has("--json"),
+            })
+        }
+        "simulate" => {
+            scan.check_flags(
+                &[
+                    "--pipeline",
+                    "--tau0",
+                    "--deadline",
+                    "--b",
+                    "--items",
+                    "--seeds",
+                    "--metrics",
+                ],
+                &["--json"],
+            )?;
+            Ok(Command::Simulate {
+                pipeline: scan.require("--pipeline")?.to_string(),
+                tau0: scan.parse_f64("--tau0")?,
+                deadline: scan.parse_f64("--deadline")?,
+                b: scan.value_of("--b").map(parse_b_list).transpose()?,
+                items: scan.parse_usize_or("--items", 10_000)?,
+                seeds: scan.parse_usize_or("--seeds", 8)? as u64,
+                json: scan.has("--json"),
+                metrics: scan.parse_metrics()?,
+            })
+        }
+        "sweep" => {
+            scan.check_flags(&["--pipeline", "--grid", "--metrics"], &["--csv"])?;
+            Ok(Command::Sweep {
+                pipeline: scan.require("--pipeline")?.to_string(),
+                grid: match scan.value_of("--grid") {
+                    None => (8, 8),
+                    Some(raw) => parse_grid(raw)?,
+                },
+                csv: scan.has("--csv"),
+                metrics: scan.parse_metrics()?,
+            })
+        }
+        "gantt" => {
+            scan.check_flags(
+                &[
+                    "--pipeline",
+                    "--tau0",
+                    "--deadline",
+                    "--b",
+                    "--window",
+                    "--width",
+                ],
+                &[],
+            )?;
+            Ok(Command::Gantt {
+                pipeline: scan.require("--pipeline")?.to_string(),
+                tau0: scan.parse_f64("--tau0")?,
+                deadline: scan.parse_f64("--deadline")?,
+                b: scan.value_of("--b").map(parse_b_list).transpose()?,
+                window: match scan.value_of("--window") {
+                    None => 20_000.0,
+                    Some(raw) => raw
+                        .parse::<f64>()
+                        .ok()
+                        .filter(|v| *v > 0.0)
+                        .ok_or_else(|| {
+                            ParseError(format!("--window: '{raw}' is not a positive number"))
+                        })?,
+                },
+                width: scan.parse_usize_or("--width", 100)?,
+            })
+        }
+        "trace" => {
+            scan.check_flags(
+                &[
+                    "--pipeline",
+                    "--tau0",
+                    "--deadline",
+                    "--b",
+                    "--items",
+                    "--seed",
+                    "--strategy",
+                    "--format",
+                    "--alpha",
+                    "--out",
+                ],
+                &[],
+            )?;
+            Ok(Command::Trace {
+                pipeline: scan.require("--pipeline")?.to_string(),
+                tau0: scan.parse_f64("--tau0")?,
+                deadline: scan.parse_f64("--deadline")?,
+                b: scan.value_of("--b").map(parse_b_list).transpose()?,
+                items: scan.parse_usize_or("--items", 10_000)?,
+                seed: scan.parse_usize_or("--seed", 0)? as u64,
+                strategy: match scan.value_of("--strategy") {
+                    None | Some("enforced") => Strategy::Enforced,
+                    Some("monolithic") => Strategy::Monolithic,
+                    Some(other) => {
+                        return err(format!(
+                            "--strategy: trace supports 'enforced' or 'monolithic', got '{other}'"
+                        ))
+                    }
+                },
+                format: match scan.value_of("--format") {
+                    None | Some("chrome") => TraceFormat::Chrome,
+                    Some("json") => TraceFormat::Json,
+                    Some(other) => {
+                        return err(format!(
+                            "--format: expected 'chrome' or 'json', got '{other}'"
+                        ))
+                    }
+                },
+                alpha: match scan.value_of("--alpha") {
+                    None => 1.0,
+                    Some(raw) => raw
+                        .parse::<f64>()
+                        .ok()
+                        .filter(|a| a.is_finite() && *a > 0.0)
+                        .ok_or_else(|| {
+                            ParseError(format!("--alpha: '{raw}' is not a positive number"))
+                        })?,
+                },
+                out: scan.value_of("--out").unwrap_or("trace.json").to_string(),
+            })
+        }
+        "stress" => {
+            scan.check_flags(
+                &[
+                    "--pipeline",
+                    "--tau0",
+                    "--deadline",
+                    "--b",
+                    "--items",
+                    "--seeds",
+                    "--intensities",
+                    "--target",
+                    "--metrics",
+                ],
+                &["--json"],
+            )?;
+            Ok(Command::Stress {
+                pipeline: scan.require("--pipeline")?.to_string(),
+                tau0: scan.parse_f64("--tau0")?,
+                deadline: scan.parse_f64("--deadline")?,
+                b: scan.value_of("--b").map(parse_b_list).transpose()?,
+                items: scan.parse_usize_or("--items", 2_000)?,
+                seeds: scan.parse_usize_or("--seeds", 4)? as u64,
+                intensities: match scan.value_of("--intensities") {
+                    None => vec![0.0, 0.5, 1.0],
+                    Some(raw) => parse_intensities(raw)?,
+                },
+                target: match scan.value_of("--target") {
+                    None => 0.95,
+                    Some(raw) => raw
+                        .parse::<f64>()
+                        .ok()
+                        .filter(|t| t.is_finite() && *t > 0.0 && *t <= 1.0)
+                        .ok_or_else(|| ParseError(format!("--target: '{raw}' is not in (0, 1]")))?,
+                },
+                json: scan.has("--json"),
+                metrics: scan.parse_metrics()?,
+            })
+        }
+        "calibrate" => {
+            scan.check_flags(&["--pipeline", "--points", "--seeds", "--items"], &[])?;
+            Ok(Command::Calibrate {
+                pipeline: scan.require("--pipeline")?.to_string(),
+                points: parse_points(scan.require("--points")?)?,
+                seeds: scan.parse_usize_or("--seeds", 8)? as u64,
+                items: scan.parse_usize_or("--items", 5_000)?,
+            })
+        }
         other => err(format!("unknown subcommand '{other}'")),
     }
 }
@@ -460,6 +656,136 @@ mod tests {
         .is_err());
         assert!(parse(&argv(
             "simulate --pipeline p --tau0 1 --deadline 1 --items 1.5"
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_flags() {
+        // Regression: '--seedz 100' used to be silently ignored, running
+        // with the default seed count instead of failing loudly.
+        let e = parse(&argv(
+            "simulate --pipeline p --tau0 1 --deadline 1e5 --seedz 100",
+        ))
+        .unwrap_err();
+        assert!(e.to_string().contains("--seedz"), "{e}");
+        let e = parse(&argv("optimize --pipeline p --tau0 1 --deadline 1 --jsn")).unwrap_err();
+        assert!(e.to_string().contains("--jsn"), "{e}");
+        // Stray positional arguments are also rejected.
+        assert!(parse(&argv("sweep --pipeline p extra")).is_err());
+        assert!(parse(&argv("example-pipeline --json")).is_err());
+    }
+
+    #[test]
+    fn rejects_flag_as_flag_value() {
+        // Regression: '--b --json' used to consume '--json' as the
+        // backlog list, producing a confusing number-parse error (or,
+        // for string-valued flags, silently wrong behavior).
+        let e = parse(&argv(
+            "simulate --pipeline p --tau0 1 --deadline 1e5 --b --json",
+        ))
+        .unwrap_err();
+        assert!(e.to_string().contains("--b"), "{e}");
+        assert!(e.to_string().contains("--json"), "{e}");
+        let e = parse(&argv("optimize --pipeline --tau0 1 --deadline 1")).unwrap_err();
+        assert!(e.to_string().contains("--pipeline"), "{e}");
+        // A value flag at the very end is also incomplete.
+        assert!(parse(&argv("simulate --pipeline p --tau0 1 --deadline 1 --items")).is_err());
+        // Negative numbers are still values, not options: this must keep
+        // reaching the number parser (which then rejects -3).
+        let e = parse(&argv(
+            "simulate --pipeline p --tau0 1 --deadline 1 --items -3",
+        ))
+        .unwrap_err();
+        assert!(e.to_string().contains("nonnegative integer"), "{e}");
+    }
+
+    #[test]
+    fn parse_usize_is_lossless() {
+        // Regression: '--items 1e30' used to go through `as usize`,
+        // saturating to usize::MAX and effectively hanging the run.
+        let e = parse(&argv(
+            "simulate --pipeline p --tau0 1 --deadline 1e5 --items 1e30",
+        ))
+        .unwrap_err();
+        assert!(e.to_string().contains("too large"), "{e}");
+        assert!(parse(&argv(
+            "simulate --pipeline p --tau0 1 --deadline 1e5 --items 9007199254740993"
+        ))
+        .is_ok()); // exact via the integer path
+                   // Float spellings with exact integer values still work.
+        match parse(&argv(
+            "simulate --pipeline p --tau0 1 --deadline 1e5 --items 2e3",
+        ))
+        .unwrap()
+        {
+            Command::Simulate { items, .. } => assert_eq!(items, 2_000),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv(
+            "simulate --pipeline p --tau0 1 --deadline 1e5 --items inf"
+        ))
+        .is_err());
+        assert!(parse(&argv(
+            "simulate --pipeline p --tau0 1 --deadline 1e5 --items nan"
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn parses_stress() {
+        let cmd = parse(&argv("stress --pipeline p.json --tau0 10 --deadline 1e5")).unwrap();
+        match cmd {
+            Command::Stress {
+                pipeline,
+                b,
+                items,
+                seeds,
+                intensities,
+                target,
+                json,
+                metrics,
+                ..
+            } => {
+                assert_eq!(pipeline, "p.json");
+                assert_eq!(b, None);
+                assert_eq!(items, 2_000);
+                assert_eq!(seeds, 4);
+                assert_eq!(intensities, vec![0.0, 0.5, 1.0]);
+                assert_eq!(target, 0.95);
+                assert!(!json);
+                assert_eq!(metrics, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse(&argv(
+            "stress --pipeline p.json --tau0 10 --deadline 1e5 --b 1,3,9,6 \
+             --items 500 --seeds 2 --intensities 0,1,2 --target 0.9 --json --metrics json",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Stress {
+                b,
+                intensities,
+                target,
+                json,
+                metrics,
+                ..
+            } => {
+                assert_eq!(b, Some(vec![1.0, 3.0, 9.0, 6.0]));
+                assert_eq!(intensities, vec![0.0, 1.0, 2.0]);
+                assert_eq!(target, 0.9);
+                assert!(json);
+                assert_eq!(metrics, Some(MetricsFormat::Json));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv(
+            "stress --pipeline p --tau0 1 --deadline 1 --intensities 0,x"
+        ))
+        .is_err());
+        assert!(parse(&argv(
+            "stress --pipeline p --tau0 1 --deadline 1 --target 2"
         ))
         .is_err());
     }

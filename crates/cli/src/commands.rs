@@ -414,6 +414,143 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<(), CommandError> {
             }
             Ok(())
         }
+        Command::Stress {
+            pipeline,
+            tau0,
+            deadline,
+            b,
+            items,
+            seeds,
+            intensities,
+            target,
+            json,
+            metrics,
+        } => {
+            let p = load_pipeline(&pipeline)?;
+            let params = params(tau0, deadline)?;
+            let b = backlog(&p, b)?;
+            let enforced = EnforcedWaitsProblem::new(&p, params, b.clone())
+                .solve(SolveMethod::WaterFilling)
+                .map_err(|e| CommandError::Params(e.to_string()))?;
+            let mono = MonolithicProblem::new(&p, params, 1.0, 1.0)
+                .solve_fast()
+                .map_err(|e| CommandError::Params(e.to_string()))?;
+            let cfg = SimConfig::quick(tau0, 0, items);
+            let report = robustness_report(
+                &p,
+                &enforced,
+                &mono,
+                deadline,
+                &cfg,
+                seeds,
+                &Perturbation::standard(1.0),
+                &intensities,
+                target,
+            );
+            if let Some(format) = metrics {
+                let path = match format {
+                    MetricsFormat::Json => RunManifest::new(
+                        "stress",
+                        serde_json::json!({
+                            "pipeline": pipeline,
+                            "tau0": tau0,
+                            "deadline": deadline,
+                            "b": b,
+                            "items": items,
+                            "seeds": seeds,
+                            "intensities": intensities,
+                            "target": target,
+                        }),
+                        serde_json::to_value(&report).expect("report serializes"),
+                    )
+                    .write()?,
+                    MetricsFormat::Csv => {
+                        let cell = |name: &str,
+                                    pt: &rtsdf::sim::robustness::RobustnessPoint,
+                                    s: &rtsdf::sim::robustness::StressSummary| {
+                            vec![
+                                format!("{:.4}", pt.intensity),
+                                name.to_string(),
+                                format!("{:.6}", s.miss_free_fraction),
+                                format!("{:.6}", s.worst_miss_rate),
+                                format!("{:.6}", s.worst_admitted_miss_rate),
+                                s.total_shed.to_string(),
+                                s.total_misses.to_string(),
+                                s.total_dropped.to_string(),
+                                s.total_resolves.to_string(),
+                                s.any_truncated.to_string(),
+                            ]
+                        };
+                        let rows: Vec<Vec<String>> = report
+                            .points
+                            .iter()
+                            .flat_map(|pt| {
+                                vec![
+                                    cell("enforced_mitigated", pt, &pt.enforced_mitigated),
+                                    cell("enforced_unmitigated", pt, &pt.enforced_unmitigated),
+                                    cell("monolithic", pt, &pt.monolithic),
+                                ]
+                            })
+                            .collect();
+                        bench::manifest::write_metrics_csv(
+                            "stress",
+                            &[
+                                "intensity",
+                                "strategy",
+                                "miss_free_fraction",
+                                "worst_miss_rate",
+                                "worst_admitted_miss_rate",
+                                "total_shed",
+                                "total_misses",
+                                "total_dropped",
+                                "total_resolves",
+                                "any_truncated",
+                            ],
+                            &rows,
+                        )?
+                    }
+                };
+                eprintln!("wrote {}", path.display());
+            }
+            if json {
+                writeln!(
+                    out,
+                    "{}",
+                    serde_json::to_string(&report).expect("report serializes")
+                )?;
+            } else {
+                let margin = |m: Option<f64>| m.map_or(String::from("none"), |v| format!("{v}"));
+                writeln!(
+                    out,
+                    "stressed {} intensities x {} seeds x {} items (target miss-free {:.0}%)",
+                    report.points.len(),
+                    seeds,
+                    items,
+                    100.0 * target
+                )?;
+                for pt in &report.points {
+                    writeln!(
+                        out,
+                        "  intensity {:.2}: mitigated miss-free {:.0}% (shed {}, resolves {}), \
+                         unmitigated {:.0}%, monolithic {:.0}%",
+                        pt.intensity,
+                        100.0 * pt.enforced_mitigated.miss_free_fraction,
+                        pt.enforced_mitigated.total_shed,
+                        pt.enforced_mitigated.total_resolves,
+                        100.0 * pt.enforced_unmitigated.miss_free_fraction,
+                        100.0 * pt.monolithic.miss_free_fraction,
+                    )?;
+                }
+                writeln!(
+                    out,
+                    "  margins: enforced+mitigation {}, enforced alone {}, monolithic {}",
+                    margin(report.enforced_margin),
+                    margin(report.unmitigated_margin),
+                    margin(report.monolithic_margin),
+                )?;
+            }
+            Ok(())
+        }
         Command::Calibrate {
             pipeline,
             points,

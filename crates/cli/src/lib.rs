@@ -10,6 +10,7 @@
 //! rtsdf-cli simulate  --pipeline blast.json --tau0 10 --deadline 1e5 --items 50000 --seeds 10
 //! rtsdf-cli sweep     --pipeline blast.json --grid 8x8 --csv
 //! rtsdf-cli calibrate --pipeline blast.json --points 10:1e5,30:1.5e5
+//! rtsdf-cli stress    --pipeline blast.json --tau0 10 --deadline 1e5 --b 1,3,9,6 --intensities 0,0.5,1
 //! ```
 //!
 //! The pipeline file is the `serde_json` encoding of

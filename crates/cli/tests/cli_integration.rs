@@ -233,6 +233,76 @@ fn trace_json_format_reports_blame_for_missed_deadlines() {
 }
 
 #[test]
+fn stress_is_deterministic_and_degrades_gracefully() {
+    let path = pipeline_file();
+    let cmd = format!(
+        "stress --pipeline {} --tau0 10 --deadline 1e5 --b 1,3,9,6 \
+         --items 600 --seeds 2 --intensities 0,1.5 --json",
+        path.display()
+    );
+    let out1 = run_to_string(&cmd).unwrap();
+    let out2 = run_to_string(&cmd).unwrap();
+    assert_eq!(out1, out2, "same seeds must reproduce bit-identically");
+
+    let v: serde_json::Value = serde_json::from_str(&out1).unwrap();
+    let points = v["points"].as_array().unwrap();
+    assert_eq!(points.len(), 2);
+
+    // Unperturbed at the paper's calibrated factors: miss-free, no
+    // mitigation activity.
+    let base = &points[0]["enforced_mitigated"];
+    assert_eq!(base["miss_free_fraction"].as_f64().unwrap(), 1.0);
+    assert_eq!(base["total_shed"].as_u64().unwrap(), 0);
+    assert_eq!(base["total_resolves"].as_u64().unwrap(), 0);
+
+    // Degradation is monotone: shed + misses can only grow with
+    // intensity, and under heavy faults shedding keeps the miss rate
+    // over *admitted* items at or below the unmitigated miss rate.
+    let hot = &points[1];
+    let mitigated = &hot["enforced_mitigated"];
+    let unmitigated = &hot["enforced_unmitigated"];
+    let pressure = |c: &serde_json::Value| {
+        c["total_shed"].as_u64().unwrap() + c["total_misses"].as_u64().unwrap()
+    };
+    assert!(pressure(mitigated) >= pressure(&points[0]["enforced_mitigated"]));
+    assert!(
+        mitigated["worst_admitted_miss_rate"].as_f64().unwrap()
+            <= unmitigated["worst_miss_rate"].as_f64().unwrap() + 1e-12,
+        "{hot}"
+    );
+    // Margins are reported for every strategy (possibly null).
+    assert!(v.get("enforced_margin").is_some());
+    assert!(v.get("monolithic_margin").is_some());
+}
+
+#[test]
+fn stress_human_output_reports_margins() {
+    let path = pipeline_file();
+    let out = run_to_string(&format!(
+        "stress --pipeline {} --tau0 10 --deadline 1e5 --b 1,3,9,6 \
+         --items 400 --seeds 2 --intensities 0",
+        path.display()
+    ))
+    .unwrap();
+    assert!(out.contains("stressed 1 intensities"), "{out}");
+    assert!(out.contains("margins:"), "{out}");
+}
+
+#[test]
+fn unknown_and_malformed_flags_are_clean_errors() {
+    // Regression: these used to be silently ignored or mis-consumed.
+    let err =
+        run_to_string("simulate --pipeline p --tau0 1 --deadline 1e5 --seedz 100").unwrap_err();
+    assert!(err.contains("--seedz"), "{err}");
+    let err =
+        run_to_string("simulate --pipeline p --tau0 1 --deadline 1e5 --b --json").unwrap_err();
+    assert!(err.contains("--b") && err.contains("--json"), "{err}");
+    let err =
+        run_to_string("simulate --pipeline p --tau0 1 --deadline 1e5 --items 1e30").unwrap_err();
+    assert!(err.contains("too large"), "{err}");
+}
+
+#[test]
 fn trace_monolithic_strategy_works() {
     let path = pipeline_file();
     let out_path = path.with_file_name("trace_mono.json");

@@ -37,6 +37,7 @@ pub mod flexible;
 pub mod frontier;
 pub mod kkt;
 pub mod monolithic;
+pub mod policy;
 pub mod schedule;
 pub mod telemetry;
 pub mod threads;
@@ -45,6 +46,7 @@ pub use enforced::{EnforcedWaitsProblem, SolveMethod, WaitSchedule, WarmStart};
 pub use feasibility::{check_enforced_feasibility, minimal_periods, FeasibilityError};
 pub use flexible::{FlexibleSchedule, FlexibleSharesProblem};
 pub use monolithic::{MonolithicProblem, MonolithicSchedule};
+pub use policy::{escalate_schedule, needs_escalation};
 pub use schedule::ScheduleError;
 pub use telemetry::SolveTelemetry;
 pub use threads::worker_threads;

@@ -30,6 +30,7 @@ pub mod error;
 pub mod gain;
 pub mod node;
 pub mod params;
+pub mod perturb;
 pub mod pipeline;
 
 pub use arrival::ArrivalProcess;
@@ -37,6 +38,7 @@ pub use error::ModelError;
 pub use gain::GainModel;
 pub use node::NodeSpec;
 pub use params::RtParams;
+pub use perturb::Perturbation;
 pub use pipeline::{PipelineSpec, PipelineSpecBuilder};
 
 /// The SIMD vector width used throughout the paper's evaluation

@@ -106,8 +106,12 @@ pub fn calibrate_enforced(
     // the same point's schedule in the previous round (factors change
     // little between rounds, so the previous optimum is a good hint).
     let mut prev: Vec<Option<(WarmStart, u64)>> = vec![None; config.grid.len()];
+    // Set once an escalation clamps a factor to `b_cap`: one more
+    // evaluation round runs at the capped factors, then the loop stops.
+    let mut capped = false;
+    let mut round = 0;
 
-    for _ in 0..config.max_rounds {
+    loop {
         let mut worst_miss_free = 1.0_f64;
         let mut worst_point = None;
         let mut observed = vec![0.0_f64; n];
@@ -195,6 +199,15 @@ pub fn calibrate_enforced(
             };
         }
 
+        // Stop only *after* evaluating the current factors, so the
+        // returned `b` is always the last simulated vector (a capped or
+        // budget-exhausted escalation result was previously returned
+        // without ever being solved or simulated).
+        round += 1;
+        if round >= config.max_rounds || capped {
+            break;
+        }
+
         // Escalate: raise each factor to the observed high-water mark;
         // if observation never exceeded the assumption, bump the node
         // with the tightest margin by one.
@@ -217,9 +230,7 @@ pub fn calibrate_enforced(
                 );
             b[worst_i] = (b[worst_i] + 1.0).min(config.b_cap);
         }
-        if b.iter().any(|&bi| bi >= config.b_cap) {
-            break;
-        }
+        capped = b.iter().any(|&bi| bi >= config.b_cap);
     }
 
     CalibrationResult {
@@ -324,5 +335,55 @@ mod tests {
     fn empty_grid_panics() {
         let p = blast();
         calibrate_enforced(&p, &CalibrationConfig::quick(vec![]));
+    }
+
+    #[test]
+    fn returned_factors_were_always_evaluated() {
+        // Regression: on hitting `b_cap` (or the round budget) the loop
+        // used to escalate and then return factors that were never
+        // solved or simulated, so `result.b` disagreed with the last
+        // recorded round. Force the cap with a hopeless deadline and a
+        // tiny cap, and require the invariant.
+        let p = blast();
+        // An unreachable target forces escalation every round; a tiny
+        // cap makes it clamp almost immediately.
+        let mut config = CalibrationConfig::quick(vec![RtParams::new(10.0, 1e5).unwrap()]);
+        config.target_miss_free = 2.0;
+        config.b_cap = 3.0;
+        config.seeds_per_point = 2;
+        config.stream_length = 500;
+        let result = calibrate_enforced(&p, &config);
+        assert!(!result.converged);
+        assert!(
+            result.b.iter().any(|&bi| bi >= config.b_cap),
+            "cap was never hit: {:?}",
+            result.b
+        );
+        let last = result.rounds.last().expect("at least one round");
+        assert_eq!(
+            result.b, last.b,
+            "returned factors must be the last evaluated vector"
+        );
+        // The capped vector itself was evaluated: its round is recorded
+        // with real simulation output.
+        assert!(result.rounds.iter().all(|r| !r.observed_backlog.is_empty()));
+    }
+
+    #[test]
+    fn round_budget_exhaustion_returns_last_evaluated_b() {
+        // Same invariant on the max_rounds path: with a single round
+        // allowed, the result must be the (evaluated) starting factors,
+        // not an escalated vector that never ran.
+        let p = blast();
+        let mut config = CalibrationConfig::quick(vec![RtParams::new(10.0, 4e4).unwrap()]);
+        config.max_rounds = 1;
+        config.seeds_per_point = 2;
+        config.stream_length = 500;
+        let result = calibrate_enforced(&p, &config);
+        assert_eq!(result.rounds.len(), 1);
+        assert_eq!(result.b, result.rounds[0].b);
+        if !result.converged {
+            assert_eq!(result.b, EnforcedWaitsProblem::optimistic_backlog(&p));
+        }
     }
 }

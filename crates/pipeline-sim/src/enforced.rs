@@ -14,9 +14,10 @@
 //! arrives exactly when a node fires is visible to that firing.
 
 use crate::config::{FiringDiscipline, SimConfig};
+use crate::faults::{FaultState, MitigationPolicy, FAULT_ARRIVAL_STREAM};
 use crate::item::{Item, LineageTracker};
 use crate::metrics::SimMetrics;
-use dataflow_model::{GainModel, PipelineSpec};
+use dataflow_model::{GainModel, Perturbation, PipelineSpec, RtParams};
 use des::calendar::Calendar;
 use des::clock::SimTime;
 use des::obs::{ObsConfig, ObsSink};
@@ -79,6 +80,47 @@ pub fn simulate_enforced(
     simulate_enforced_with(pipeline, schedule, deadline, config, None)
 }
 
+/// [`simulate_enforced`] under fault injection with graceful
+/// degradation.
+///
+/// The perturbation's arrival faults (jitter, bursts), service faults
+/// (inflation, spikes, stalls), and gain drift are applied from
+/// dedicated RNG substreams, so a zero-intensity perturbation is
+/// bit-identical to [`simulate_enforced`] at the same seed. `policy`
+/// selects the mitigations:
+///
+/// * **load shedding** — an arrival observed during overload (some
+///   queue above its design backlog factor) whose predicted latency
+///   exceeds the deadline is rejected at admission and counted in
+///   [`SimMetrics::items_shed`];
+/// * **escalation** — when the backlog high-water mark exceeds the
+///   design factors, the waits are re-solved at the observed ceilings
+///   (warm-started from the running schedule) and the node periods are
+///   updated mid-run; [`SimMetrics::resolves`] counts the re-solves.
+///
+/// # Panics
+/// Panics if the schedule's length does not match the pipeline or the
+/// perturbation fails [`Perturbation::validate`].
+pub fn simulate_enforced_perturbed(
+    pipeline: &PipelineSpec,
+    schedule: &WaitSchedule,
+    deadline: f64,
+    config: &SimConfig,
+    perturb: &Perturbation,
+    policy: &MitigationPolicy,
+) -> SimMetrics {
+    perturb.validate().expect("invalid perturbation");
+    simulate_enforced_full(
+        pipeline,
+        schedule,
+        deadline,
+        config,
+        None,
+        None,
+        Some((perturb, policy)),
+    )
+}
+
 /// [`simulate_enforced`] with the observability layer enabled: collects
 /// per-stage queue-depth / occupancy / sojourn distributions, event
 /// counters, and (if `obs_config.trace_capacity > 0`) a recent-event
@@ -111,8 +153,15 @@ pub fn simulate_enforced_traced(
     forensics: &ForensicsConfig,
 ) -> (SimMetrics, TraceLog) {
     let mut sink = SpanSink::new(trace);
-    let mut metrics =
-        simulate_enforced_full(pipeline, schedule, deadline, config, None, Some(&mut sink));
+    let mut metrics = simulate_enforced_full(
+        pipeline,
+        schedule,
+        deadline,
+        config,
+        None,
+        Some(&mut sink),
+        None,
+    );
     let log = sink.finish();
     metrics.blame = Some(analyze(&log, deadline, forensics));
     (metrics, log)
@@ -128,12 +177,34 @@ pub fn simulate_enforced_with(
     config: &SimConfig,
     obs: Option<&mut ObsSink>,
 ) -> SimMetrics {
-    simulate_enforced_full(pipeline, schedule, deadline, config, obs, None)
+    simulate_enforced_full(pipeline, schedule, deadline, config, obs, None, None)
 }
 
-/// Full-generality core: aggregate observability (`obs`) and causal
-/// span tracing (`spans`) are independent branch-on-`Option` layers;
-/// either `None` costs one untaken branch per hook.
+/// Mutable per-run state of the fault-injection / mitigation layer.
+struct StressState {
+    faults: FaultState,
+    policy: MitigationPolicy,
+    /// Real-time parameters for escalation re-solves (`None` disables
+    /// escalation, e.g. when the deadline is not a valid `RtParams`).
+    params: Option<RtParams>,
+    /// Factors the *current* periods were solved for; raised by each
+    /// escalation so the trigger re-arms at the new level.
+    design_b: Vec<f64>,
+    /// Continuous periods of the current schedule (warm-start seed).
+    periods_f: Vec<f64>,
+    /// Per-origin shed flags (indexed by origin).
+    shed: Vec<bool>,
+    items_shed: u64,
+    resolves: u64,
+    /// Set after an infeasible re-solve: keep the current schedule and
+    /// stop escalating.
+    escalation_dead: bool,
+}
+
+/// Full-generality core: aggregate observability (`obs`), causal span
+/// tracing (`spans`), and fault injection (`stress`) are independent
+/// branch-on-`Option` layers; any `None` costs one untaken branch per
+/// hook.
 fn simulate_enforced_full(
     pipeline: &PipelineSpec,
     schedule: &WaitSchedule,
@@ -141,6 +212,7 @@ fn simulate_enforced_full(
     config: &SimConfig,
     mut obs: Option<&mut ObsSink>,
     mut spans: Option<&mut SpanSink>,
+    stress_spec: Option<(&Perturbation, &MitigationPolicy)>,
 ) -> SimMetrics {
     let n = pipeline.len();
     if let Some(sink) = obs.as_deref_mut() {
@@ -157,8 +229,9 @@ fn simulate_enforced_full(
         .iter()
         .map(|&t| (t.round() as u64).max(1))
         .collect();
-    // Integer firing periods; never below the service time.
-    let periods: Vec<u64> = schedule
+    // Integer firing periods; never below the service time. Mutable
+    // because the escalation mitigation may re-solve them mid-run.
+    let mut periods: Vec<u64> = schedule
         .periods
         .iter()
         .zip(&service)
@@ -170,9 +243,32 @@ fn simulate_enforced_full(
     let mut gain_rngs: Vec<RngStream> = (0..n).map(|i| master.substream(1 + i as u64)).collect();
 
     // Precompute arrival times, rounded onto the integer clock.
-    let arrivals_f = config
+    let mut arrivals_f = config
         .arrivals
         .generate(config.stream_length, &mut arrival_rng);
+    // Fault-injection layer: arrival faults are applied to the
+    // precomputed times from a dedicated substream (the model's own
+    // arrival/gain streams are untouched, so intensity 0 reproduces the
+    // unperturbed run bit for bit).
+    let mut stress: Option<StressState> = stress_spec.map(|(perturb, policy)| {
+        let mut fault_rng = master.substream(FAULT_ARRIVAL_STREAM);
+        perturb.perturb_arrivals(
+            &mut arrivals_f,
+            config.arrivals.mean_interarrival(),
+            &mut fault_rng,
+        );
+        StressState {
+            faults: FaultState::new(perturb, &master, n),
+            policy: policy.clone(),
+            params: RtParams::new(config.arrivals.mean_interarrival(), deadline).ok(),
+            design_b: schedule.backlog_factors.clone(),
+            periods_f: schedule.periods.clone(),
+            shed: vec![false; config.stream_length],
+            items_shed: 0,
+            resolves: 0,
+            escalation_dead: false,
+        }
+    });
     let arrivals: Vec<SimTime> = {
         let mut last = 0u64;
         arrivals_f
@@ -203,7 +299,17 @@ fn simulate_enforced_full(
 
     // Gain models hoisted out of the firing loop: one bounds-checked
     // node lookup per stage up front instead of one per consumed item.
-    let gain_of: Vec<&GainModel> = (0..n).map(|i| &pipeline.node(i).gain).collect();
+    // Under fault injection the models are replaced by their drifted
+    // counterparts (identical parameters — and draws — at intensity 0).
+    let drifted_gains: Option<Vec<GainModel>> = stress_spec.map(|(perturb, _)| {
+        (0..n)
+            .map(|i| perturb.drift_gain(&pipeline.node(i).gain))
+            .collect()
+    });
+    let gain_of: Vec<&GainModel> = match &drifted_gains {
+        Some(gains) => gains.iter().collect(),
+        None => (0..n).map(|i| &pipeline.node(i).gain).collect(),
+    };
 
     let mut queues: Vec<VecDeque<Item>> = (0..n)
         .map(|_| VecDeque::with_capacity(v as usize * 2))
@@ -270,6 +376,80 @@ fn simulate_enforced_full(
             }
             match ev {
                 Ev::Arrival { origin } => {
+                    if let Some(st) = stress.as_mut() {
+                        // Escalation: when the backlog high-water mark
+                        // exceeds the factors the running periods were
+                        // solved for, re-solve the waits at the observed
+                        // ceilings (warm-started from the current
+                        // schedule) and adopt the new periods.
+                        if st.policy.escalate
+                            && !st.escalation_dead
+                            && st.resolves < u64::from(st.policy.max_resolves)
+                        {
+                            let headroom = st.policy.escalate_headroom;
+                            let overload = max_depth
+                                .iter()
+                                .zip(&st.design_b)
+                                .any(|(&d, &b)| (d as f64 / v as f64).ceil() > b + headroom);
+                            if overload {
+                                if let Some(params) = st.params {
+                                    let observed: Vec<f64> = max_depth
+                                        .iter()
+                                        .map(|&d| (d as f64 / v as f64).ceil())
+                                        .collect();
+                                    match rtsdf_core::policy::escalate_schedule(
+                                        pipeline,
+                                        params,
+                                        &st.periods_f,
+                                        &st.design_b,
+                                        &observed,
+                                    ) {
+                                        Ok(new_sched) => {
+                                            st.resolves += 1;
+                                            for (p, (&x, &t)) in periods
+                                                .iter_mut()
+                                                .zip(new_sched.periods.iter().zip(&service))
+                                            {
+                                                *p = (x.round() as u64).max(t);
+                                            }
+                                            st.periods_f = new_sched.periods;
+                                            st.design_b = new_sched.backlog_factors;
+                                        }
+                                        // No feasible schedule at the
+                                        // observed backlog: keep the
+                                        // current one and stop trying.
+                                        Err(_) => st.escalation_dead = true,
+                                    }
+                                } else {
+                                    st.escalation_dead = true;
+                                }
+                            }
+                        }
+                        // Deadline-aware load shedding: admit only if the
+                        // latency predicted from current queue depths
+                        // (floored at the design factors) fits the
+                        // deadline. The item still resolves in the
+                        // lineage tracker — as shed, not completed.
+                        if st.policy.shed {
+                            let mut overload = false;
+                            let mut predicted = 0.0;
+                            for i in 0..n {
+                                let q = queues[i].len() as u64 + u64::from(i == 0);
+                                let obs = (q as f64 / v as f64).ceil();
+                                if obs > st.design_b[i] {
+                                    overload = true;
+                                }
+                                predicted += periods[i] as f64 * obs.max(st.design_b[i]);
+                            }
+                            if overload && predicted > deadline {
+                                st.items_shed += 1;
+                                st.shed[origin as usize] = true;
+                                lineage.arrive(origin);
+                                lineage.consume(origin, 0, now);
+                                continue;
+                            }
+                        }
+                    }
                     lineage.arrive(origin);
                     queues[0].push_back(Item {
                         origin,
@@ -322,8 +502,15 @@ fn simulate_enforced_full(
                         continue;
                     }
                     let take = (v as usize).min(queues[node].len());
+                    // Effective service time of this firing: nominal, or
+                    // faulted (inflation / tail spike / stall) under
+                    // stress — exactly nominal at intensity 0.
+                    let svc = match stress.as_mut() {
+                        Some(st) => st.faults.service_cycles(node, service[node]),
+                        None => service[node],
+                    };
                     occupancy[node].record(take as u32, v);
-                    ledger.record_firing(node, service[node] as f64, take as u32);
+                    ledger.record_firing(node, svc as f64, take as u32);
                     if let Some(sink) = obs.as_deref_mut() {
                         sink.on_fire(node, take, v as usize);
                         for enq in enq_times[node].drain(..take) {
@@ -333,7 +520,7 @@ fn simulate_enforced_full(
                             sink.trace(now, node as u32, format!("fire n{node} take={take}"));
                         }
                     }
-                    let completion = now + SimTime::from_cycles(service[node]);
+                    let completion = now + SimTime::from_cycles(svc);
                     if let Some(sink) = spans.as_deref_mut() {
                         sink.span_detail(
                             Track::stage(node),
@@ -398,7 +585,12 @@ fn simulate_enforced_full(
                     // over and further firings would only extend the
                     // horizon without processing anything).
                     if !lineage.all_complete() {
-                        let refire = now + SimTime::from_cycles(periods[node]);
+                        // A faulted firing can outlast the period; the
+                        // node cannot re-fire before it completes. At
+                        // intensity 0 (and without stress) the period
+                        // already dominates the service time, so the
+                        // clamp is exact identity.
+                        let refire = (now + SimTime::from_cycles(periods[node])).max(completion);
                         if spans.is_some() {
                             next_fire[node] = refire;
                         }
@@ -417,6 +609,13 @@ fn simulate_enforced_full(
     let mut dropped = 0u64;
     let mut latency = OnlineStats::new();
     for (origin, completion) in lineage.completions() {
+        // Shed items never entered the pipeline: they are neither
+        // completions, misses, nor latency samples.
+        if let Some(st) = stress.as_ref() {
+            if st.shed[origin as usize] {
+                continue;
+            }
+        }
         if let Some(sink) = spans.as_deref_mut() {
             sink.fate(ItemFate {
                 origin,
@@ -454,11 +653,16 @@ fn simulate_enforced_full(
 
     let active_fraction = ledger.active_fraction();
     let active_fraction_nonempty = ledger.active_fraction_nonempty();
+    let items_shed = stress.as_ref().map_or(0, |st| st.items_shed);
     SimMetrics {
         items_arrived: arrivals.len() as u64,
-        items_completed: lineage.completed(),
+        // Shed items resolve in the lineage tracker (so the run
+        // terminates) but were never processed.
+        items_completed: lineage.completed() - items_shed,
         items_dropped: dropped,
         deadline_misses: misses,
+        items_shed,
+        resolves: stress.as_ref().map_or(0, |st| st.resolves),
         active_fraction: if config.charge_empty_firings {
             active_fraction
         } else {
@@ -504,6 +708,47 @@ mod tests {
         EnforcedWaitsProblem::new(pipeline, params, vec![1.0, 3.0, 9.0, 6.0])
             .solve(SolveMethod::WaterFilling)
             .unwrap()
+    }
+
+    #[test]
+    fn escalation_fires_on_undersized_design_factors() {
+        let p = blast();
+        let params = RtParams::new(10.0, 1e5).unwrap();
+        // Deliberately undersized factors (calibrated is [1,3,9,6]):
+        // real backlog exceeds the design even without faults, which is
+        // exactly the model-drift situation escalation exists for.
+        let sched = EnforcedWaitsProblem::new(&p, params, vec![1.0, 1.0, 1.0, 1.0])
+            .solve(SolveMethod::WaterFilling)
+            .unwrap();
+        let cfg = SimConfig::quick(10.0, 0, 1500);
+        let perturb = Perturbation::standard(1.0).at_intensity(0.0);
+        let policy = MitigationPolicy {
+            shed: false,
+            escalate: true,
+            escalate_headroom: 0.0,
+            max_resolves: 8,
+        };
+        let m = simulate_enforced_perturbed(&p, &sched, 1e5, &cfg, &perturb, &policy);
+        assert!(
+            m.resolves >= 1,
+            "undersized factors must trigger a re-solve"
+        );
+        assert!(m.resolves <= u64::from(policy.max_resolves));
+        assert_eq!(m.items_shed, 0);
+        assert_eq!(m.items_completed + m.items_dropped, m.items_arrived);
+
+        // The re-solve budget is a hard cap.
+        let capped = MitigationPolicy {
+            max_resolves: 1,
+            ..policy.clone()
+        };
+        let m1 = simulate_enforced_perturbed(&p, &sched, 1e5, &cfg, &perturb, &capped);
+        assert_eq!(m1.resolves, 1);
+
+        // Same seed, same escalation trajectory.
+        let m2 = simulate_enforced_perturbed(&p, &sched, 1e5, &cfg, &perturb, &policy);
+        assert_eq!(m.resolves, m2.resolves);
+        assert_eq!(m.deadline_misses, m2.deadline_misses);
     }
 
     #[test]

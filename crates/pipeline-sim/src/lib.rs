@@ -23,6 +23,12 @@
 //!   start from the optimistic `b_i = ⌈g_i⌉`, simulate, escalate the
 //!   factors of nodes whose queues overflow the design assumption, and
 //!   repeat until a target fraction of seeds is miss-free.
+//! * [`faults`] — fault injection (realizing a
+//!   [`dataflow_model::Perturbation`]) and the graceful-degradation
+//!   [`MitigationPolicy`] (deadline-aware load shedding, online wait
+//!   escalation).
+//! * [`robustness`] — perturbation-intensity sweeps: degradation curves
+//!   and the robustness margin of each strategy.
 //! * [`validate`] — optimizer-vs-simulator agreement checks.
 
 #![forbid(unsafe_code)]
@@ -31,17 +37,28 @@
 pub mod calibration;
 pub mod config;
 pub mod enforced;
+pub mod faults;
 pub mod item;
 pub mod metrics;
 pub mod monolithic;
+pub mod robustness;
 pub mod runner;
 pub mod timeline;
 pub mod validate;
 
 pub use config::SimConfig;
-pub use enforced::{simulate_enforced, simulate_enforced_observed, simulate_enforced_traced};
+pub use enforced::{
+    simulate_enforced, simulate_enforced_observed, simulate_enforced_perturbed,
+    simulate_enforced_traced,
+};
+pub use faults::MitigationPolicy;
 pub use metrics::SimMetrics;
 pub use monolithic::{
-    simulate_monolithic, simulate_monolithic_observed, simulate_monolithic_traced,
+    simulate_monolithic, simulate_monolithic_observed, simulate_monolithic_perturbed,
+    simulate_monolithic_traced,
 };
-pub use runner::{run_seeds_enforced, run_seeds_monolithic, MultiSeedReport};
+pub use robustness::{robustness_report, RobustnessPoint, RobustnessReport, StressSummary};
+pub use runner::{
+    run_seeds_enforced, run_seeds_enforced_perturbed, run_seeds_monolithic,
+    run_seeds_monolithic_perturbed, MultiSeedReport,
+};

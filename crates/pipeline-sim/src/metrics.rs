@@ -19,6 +19,12 @@ pub struct SimMetrics {
     /// Stream inputs whose completion exceeded `arrival + D` (including
     /// any still unresolved when the run hit its safety horizon).
     pub deadline_misses: u64,
+    /// Stream inputs rejected at admission by the load-shedding
+    /// mitigation (distinct from [`SimMetrics::items_dropped`]: shed
+    /// items never enter the pipeline and are not deadline misses).
+    pub items_shed: u64,
+    /// Online wait re-solves performed by the escalation mitigation.
+    pub resolves: u64,
     /// Measured active fraction under the paper's convention (empty
     /// firings charged).
     pub active_fraction: f64,
@@ -60,6 +66,32 @@ impl SimMetrics {
             self.deadline_misses as f64 / self.items_arrived as f64
         }
     }
+
+    /// Inputs actually admitted to the pipeline (arrived minus shed).
+    pub fn items_admitted(&self) -> u64 {
+        self.items_arrived.saturating_sub(self.items_shed)
+    }
+
+    /// Misses as a fraction of *admitted* inputs — the quality metric
+    /// the shedding mitigation protects: items it lets in should still
+    /// meet their deadlines.
+    pub fn admitted_miss_rate(&self) -> f64 {
+        let admitted = self.items_admitted();
+        if admitted == 0 {
+            0.0
+        } else {
+            self.deadline_misses as f64 / admitted as f64
+        }
+    }
+
+    /// Shed inputs as a fraction of arrived inputs.
+    pub fn shed_rate(&self) -> f64 {
+        if self.items_arrived == 0 {
+            0.0
+        } else {
+            self.items_shed as f64 / self.items_arrived as f64
+        }
+    }
 }
 
 #[cfg(test)]
@@ -72,6 +104,8 @@ mod tests {
             items_completed: 100,
             items_dropped: 0,
             deadline_misses: 0,
+            items_shed: 0,
+            resolves: 0,
             active_fraction: 0.5,
             active_fraction_nonempty: 0.4,
             latency: OnlineStats::new(),
@@ -95,5 +129,33 @@ mod tests {
         assert!((m.miss_rate() - 0.05).abs() < 1e-12);
         m.items_arrived = 0;
         assert_eq!(m.miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn shed_accessors() {
+        let mut m = blank();
+        assert_eq!(m.items_admitted(), 100);
+        assert_eq!(m.shed_rate(), 0.0);
+        assert_eq!(m.admitted_miss_rate(), 0.0);
+        m.items_shed = 20;
+        m.deadline_misses = 8;
+        assert_eq!(m.items_admitted(), 80);
+        assert!((m.shed_rate() - 0.2).abs() < 1e-12);
+        assert!((m.admitted_miss_rate() - 0.1).abs() < 1e-12);
+        // Degenerate: everything shed.
+        m.items_shed = 100;
+        assert_eq!(m.items_admitted(), 0);
+        assert_eq!(m.admitted_miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn serde_roundtrip_keeps_shed_counters() {
+        let mut m = blank();
+        m.items_shed = 7;
+        m.resolves = 2;
+        let json = serde_json::to_string(&m).unwrap();
+        let back: SimMetrics = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.items_shed, 7);
+        assert_eq!(back.resolves, 2);
     }
 }

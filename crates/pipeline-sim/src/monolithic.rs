@@ -10,8 +10,9 @@
 //! end.
 
 use crate::config::SimConfig;
+use crate::faults::{FaultState, FAULT_ARRIVAL_STREAM};
 use crate::metrics::SimMetrics;
-use dataflow_model::PipelineSpec;
+use dataflow_model::{GainModel, Perturbation, PipelineSpec};
 use des::clock::SimTime;
 use des::obs::{ObsConfig, ObsSink};
 use des::rng::RngStream;
@@ -30,6 +31,37 @@ pub fn simulate_monolithic(
     config: &SimConfig,
 ) -> SimMetrics {
     simulate_monolithic_with(pipeline, schedule, deadline, config, None)
+}
+
+/// [`simulate_monolithic`] under fault injection: arrival jitter and
+/// bursts, per-block service inflation / tail spikes / stalls, and
+/// gain drift, all from dedicated RNG substreams so a zero-intensity
+/// perturbation is bit-identical to the unperturbed run at the same
+/// seed.
+///
+/// The monolithic strategy has no admission or wait-re-solve hooks, so
+/// no mitigation policy applies — this is the unmanaged baseline the
+/// robustness report compares the enforced-waits mitigations against.
+///
+/// # Panics
+/// Panics if the perturbation fails [`Perturbation::validate`].
+pub fn simulate_monolithic_perturbed(
+    pipeline: &PipelineSpec,
+    schedule: &MonolithicSchedule,
+    deadline: f64,
+    config: &SimConfig,
+    perturb: &Perturbation,
+) -> SimMetrics {
+    perturb.validate().expect("invalid perturbation");
+    simulate_monolithic_full(
+        pipeline,
+        schedule,
+        deadline,
+        config,
+        None,
+        None,
+        Some(perturb),
+    )
 }
 
 /// [`simulate_monolithic`] with the observability layer enabled;
@@ -63,8 +95,15 @@ pub fn simulate_monolithic_traced(
     forensics: &ForensicsConfig,
 ) -> (SimMetrics, TraceLog) {
     let mut sink = SpanSink::new(trace);
-    let mut metrics =
-        simulate_monolithic_full(pipeline, schedule, deadline, config, None, Some(&mut sink));
+    let mut metrics = simulate_monolithic_full(
+        pipeline,
+        schedule,
+        deadline,
+        config,
+        None,
+        Some(&mut sink),
+        None,
+    );
     let log = sink.finish();
     metrics.blame = Some(analyze(&log, deadline, forensics));
     (metrics, log)
@@ -79,11 +118,12 @@ pub fn simulate_monolithic_with(
     config: &SimConfig,
     obs: Option<&mut ObsSink>,
 ) -> SimMetrics {
-    simulate_monolithic_full(pipeline, schedule, deadline, config, obs, None)
+    simulate_monolithic_full(pipeline, schedule, deadline, config, obs, None, None)
 }
 
-/// Full-generality core: aggregate observability (`obs`) and causal
-/// span tracing (`spans`) are independent branch-on-`Option` layers.
+/// Full-generality core: aggregate observability (`obs`), causal span
+/// tracing (`spans`), and fault injection (`stress_spec`) are
+/// independent branch-on-`Option` layers.
 fn simulate_monolithic_full(
     pipeline: &PipelineSpec,
     schedule: &MonolithicSchedule,
@@ -91,6 +131,7 @@ fn simulate_monolithic_full(
     config: &SimConfig,
     mut obs: Option<&mut ObsSink>,
     mut spans: Option<&mut SpanSink>,
+    stress_spec: Option<&Perturbation>,
 ) -> SimMetrics {
     let n = pipeline.len();
     if let Some(sink) = obs.as_deref_mut() {
@@ -104,9 +145,27 @@ fn simulate_monolithic_full(
     let mut arrival_rng = master.substream(0);
     let mut gain_rngs: Vec<RngStream> = (0..n).map(|i| master.substream(1 + i as u64)).collect();
 
-    let arrivals = config
+    let mut arrivals = config
         .arrivals
         .generate(config.stream_length, &mut arrival_rng);
+    // Fault-injection layer: arrival faults perturb the precomputed
+    // times, gain drift swaps in drifted models, and service faults are
+    // drawn per block-stage — all from dedicated substreams, so
+    // intensity 0 reproduces the unperturbed run bit for bit.
+    let mut faults: Option<FaultState> = stress_spec.map(|perturb| {
+        let mut fault_rng = master.substream(FAULT_ARRIVAL_STREAM);
+        perturb.perturb_arrivals(
+            &mut arrivals,
+            config.arrivals.mean_interarrival(),
+            &mut fault_rng,
+        );
+        FaultState::new(perturb, &master, n)
+    });
+    let drifted_gains: Option<Vec<GainModel>> = stress_spec.map(|perturb| {
+        (0..n)
+            .map(|i| perturb.drift_gain(&pipeline.node(i).gain))
+            .collect()
+    });
     let last_arrival = arrivals.last().copied().unwrap_or(0.0);
     let safety_horizon = last_arrival + config.drain_factor * deadline;
 
@@ -157,7 +216,10 @@ fn simulate_monolithic_full(
                 break;
             }
             let firings = count.div_ceil(v as u64);
-            let stage_busy = firings as f64 * service[i];
+            let stage_busy = match faults.as_mut() {
+                Some(f) => f.block_busy(i, firings, service[i]),
+                None => firings as f64 * service[i],
+            };
             if let Some(sink) = spans.as_deref_mut() {
                 sink.span_detail(
                     Track::stage(i),
@@ -187,7 +249,10 @@ fn simulate_monolithic_full(
             }
             if i + 1 < n {
                 // One node lookup per stage, not one per item.
-                let gain = &pipeline.node(i).gain;
+                let gain = match &drifted_gains {
+                    Some(gains) => &gains[i],
+                    None => &pipeline.node(i).gain,
+                };
                 let rng = &mut gain_rngs[i];
                 let mut next = 0u64;
                 for _ in 0..count {
@@ -266,6 +331,8 @@ fn simulate_monolithic_full(
         items_completed: completed,
         items_dropped: dropped,
         deadline_misses: misses,
+        items_shed: 0,
+        resolves: 0,
         active_fraction,
         // No empty firings exist in this strategy: a stage with zero
         // items simply does not fire.

@@ -6,10 +6,11 @@
 //! a scoped thread pool.
 
 use crate::config::SimConfig;
-use crate::enforced::simulate_enforced;
+use crate::enforced::{simulate_enforced, simulate_enforced_perturbed};
+use crate::faults::MitigationPolicy;
 use crate::metrics::SimMetrics;
-use crate::monolithic::simulate_monolithic;
-use dataflow_model::PipelineSpec;
+use crate::monolithic::{simulate_monolithic, simulate_monolithic_perturbed};
+use dataflow_model::{Perturbation, PipelineSpec};
 use rtsdf_core::{MonolithicSchedule, WaitSchedule};
 use serde::{Deserialize, Serialize};
 
@@ -66,6 +67,31 @@ impl MultiSeedReport {
     pub fn any_truncated(&self) -> bool {
         self.runs.iter().any(|r| r.truncated)
     }
+
+    /// Worst per-run miss rate over *admitted* items (misses divided by
+    /// arrived − shed) — the quality statistic the shedding mitigation
+    /// protects.
+    pub fn worst_admitted_miss_rate(&self) -> f64 {
+        self.runs
+            .iter()
+            .map(|r| r.admitted_miss_rate())
+            .fold(0.0, f64::max)
+    }
+
+    /// Total items shed at admission across all runs.
+    pub fn total_shed(&self) -> u64 {
+        self.runs.iter().map(|r| r.items_shed).sum()
+    }
+
+    /// Total online wait re-solves across all runs.
+    pub fn total_resolves(&self) -> u64 {
+        self.runs.iter().map(|r| r.resolves).sum()
+    }
+
+    /// Total deadline misses across all runs.
+    pub fn total_misses(&self) -> u64 {
+        self.runs.iter().map(|r| r.deadline_misses).sum()
+    }
 }
 
 /// Run a closure-per-seed experiment in parallel and collect results in
@@ -113,6 +139,50 @@ pub fn run_seeds_enforced(
         let mut cfg = base_config.clone();
         cfg.seed = seed;
         simulate_enforced(pipeline, schedule, deadline, &cfg)
+    });
+    MultiSeedReport { runs }
+}
+
+/// Simulate an enforced-waits schedule under fault injection with
+/// graceful degradation, across `num_seeds` seeds in parallel. See
+/// [`simulate_enforced_perturbed`] for the fault and mitigation
+/// semantics; a zero-intensity perturbation reproduces
+/// [`run_seeds_enforced`] bit for bit (modulo the mitigation-only
+/// counters, which stay zero).
+pub fn run_seeds_enforced_perturbed(
+    pipeline: &PipelineSpec,
+    schedule: &WaitSchedule,
+    deadline: f64,
+    base_config: &SimConfig,
+    num_seeds: u64,
+    perturb: &Perturbation,
+    policy: &MitigationPolicy,
+) -> MultiSeedReport {
+    let threads = rtsdf_core::worker_threads();
+    let runs = run_parallel(0..num_seeds, threads, |seed| {
+        let mut cfg = base_config.clone();
+        cfg.seed = seed;
+        simulate_enforced_perturbed(pipeline, schedule, deadline, &cfg, perturb, policy)
+    });
+    MultiSeedReport { runs }
+}
+
+/// Simulate a monolithic schedule under fault injection across
+/// `num_seeds` seeds in parallel (no mitigation exists for this
+/// strategy; see [`simulate_monolithic_perturbed`]).
+pub fn run_seeds_monolithic_perturbed(
+    pipeline: &PipelineSpec,
+    schedule: &MonolithicSchedule,
+    deadline: f64,
+    base_config: &SimConfig,
+    num_seeds: u64,
+    perturb: &Perturbation,
+) -> MultiSeedReport {
+    let threads = rtsdf_core::worker_threads();
+    let runs = run_parallel(0..num_seeds, threads, |seed| {
+        let mut cfg = base_config.clone();
+        cfg.seed = seed;
+        simulate_monolithic_perturbed(pipeline, schedule, deadline, &cfg, perturb)
     });
     MultiSeedReport { runs }
 }
@@ -228,6 +298,8 @@ mod tests {
             items_completed: 1,
             items_dropped: 0,
             deadline_misses: 0,
+            items_shed: 0,
+            resolves: 0,
             active_fraction: 0.5,
             active_fraction_nonempty: 0.5,
             latency: des::stats::OnlineStats::new(),

@@ -1,12 +1,13 @@
 //! Property-based tests for the pipeline simulator: conservation laws
 //! and metric sanity on randomized pipelines and schedules.
 
-use dataflow_model::{GainModel, PipelineSpec, PipelineSpecBuilder, RtParams};
+use dataflow_model::{GainModel, Perturbation, PipelineSpec, PipelineSpecBuilder, RtParams};
 use des::obs::ObsConfig;
 use obs_trace::{ForensicsConfig, TraceConfig, TraceLog};
 use pipeline_sim::{
-    simulate_enforced, simulate_enforced_observed, simulate_enforced_traced, simulate_monolithic,
-    simulate_monolithic_traced, SimConfig,
+    simulate_enforced, simulate_enforced_observed, simulate_enforced_perturbed,
+    simulate_enforced_traced, simulate_monolithic, simulate_monolithic_perturbed,
+    simulate_monolithic_traced, MitigationPolicy, SimConfig,
 };
 use proptest::prelude::*;
 use rtsdf_core::{EnforcedWaitsProblem, MonolithicSchedule, SolveMethod};
@@ -262,6 +263,97 @@ proptest! {
                 prop_assert!(visits.iter().any(|v| v.done == c));
             }
         }
+    }
+
+    #[test]
+    fn zero_intensity_perturbation_is_identity(
+        p in pipeline(),
+        seed in 0u64..200,
+    ) {
+        // Fault injection at intensity 0 must be *bit-identical* to the
+        // unperturbed simulators: every multiplier is exactly 1, every
+        // fault probability exactly 0, and fault RNG draws come from
+        // substreams disjoint from the model's.
+        let xmin = rtsdf_core::minimal_periods(&p);
+        let tau0 = xmin[0] / p.vector_width() as f64 * 3.0;
+        let b: Vec<f64> = p.mean_gains().iter().map(|g| (g.ceil() + 2.0).max(3.0)).collect();
+        let min_d: f64 = xmin.iter().zip(&b).map(|(x, bi)| x * bi).sum();
+        let params = RtParams::new(tau0, min_d * 10.0).unwrap();
+        let sched = EnforcedWaitsProblem::new(&p, params, b)
+            .solve(SolveMethod::WaterFilling)
+            .unwrap();
+        let cfg = SimConfig::quick(tau0, seed, 300);
+        let zero = Perturbation::standard(1.0).at_intensity(0.0);
+
+        let plain = simulate_enforced(&p, &sched, params.deadline, &cfg);
+        let perturbed = simulate_enforced_perturbed(
+            &p, &sched, params.deadline, &cfg, &zero, &MitigationPolicy::none(),
+        );
+        prop_assert_eq!(plain.active_fraction, perturbed.active_fraction);
+        prop_assert_eq!(plain.deadline_misses, perturbed.deadline_misses);
+        prop_assert_eq!(plain.items_completed, perturbed.items_completed);
+        prop_assert_eq!(plain.horizon, perturbed.horizon);
+        prop_assert_eq!(&plain.max_queue_depth, &perturbed.max_queue_depth);
+        prop_assert_eq!(plain.latency.mean(), perturbed.latency.mean());
+        prop_assert_eq!(perturbed.items_shed, 0);
+        prop_assert_eq!(perturbed.resolves, 0);
+
+        let mono_sched = MonolithicSchedule {
+            block_size: 32,
+            block_time: 0.0,
+            active_fraction: 0.0,
+            latency_bound: 0.0,
+            b: 1.0,
+            s: 1.0,
+            telemetry: None,
+        };
+        let mono_tau0 = p.total_service_time();
+        let mono_cfg = SimConfig::quick(mono_tau0, seed, 300);
+        let mono_plain = simulate_monolithic(&p, &mono_sched, 1e18, &mono_cfg);
+        let mono_perturbed =
+            simulate_monolithic_perturbed(&p, &mono_sched, 1e18, &mono_cfg, &zero);
+        prop_assert_eq!(mono_plain.active_fraction, mono_perturbed.active_fraction);
+        prop_assert_eq!(mono_plain.deadline_misses, mono_perturbed.deadline_misses);
+        prop_assert_eq!(mono_plain.items_completed, mono_perturbed.items_completed);
+        prop_assert_eq!(mono_plain.horizon, mono_perturbed.horizon);
+        prop_assert_eq!(mono_plain.latency.mean(), mono_perturbed.latency.mean());
+    }
+
+    #[test]
+    fn shedding_conserves_items(
+        p in pipeline(),
+        seed in 0u64..200,
+        intensity in 0.5..3.0f64,
+    ) {
+        // Under load shedding every arrived input has exactly one fate:
+        // shed at admission, completed, or dropped at the horizon.
+        let xmin = rtsdf_core::minimal_periods(&p);
+        let tau0 = xmin[0] / p.vector_width() as f64 * 2.0;
+        let b: Vec<f64> = p.mean_gains().iter().map(|g| g.ceil().max(1.0)).collect();
+        let min_d: f64 = xmin.iter().zip(&b).map(|(x, bi)| x * bi).sum();
+        let params = RtParams::new(tau0, min_d * 3.0).unwrap();
+        let sched = EnforcedWaitsProblem::new(&p, params, b)
+            .solve(SolveMethod::WaterFilling)
+            .unwrap();
+        let cfg = SimConfig::quick(tau0, seed, 300);
+        let m = simulate_enforced_perturbed(
+            &p,
+            &sched,
+            params.deadline,
+            &cfg,
+            &Perturbation::standard(intensity),
+            &MitigationPolicy::full(),
+        );
+        prop_assert_eq!(
+            m.items_shed + m.items_completed + m.items_dropped,
+            m.items_arrived,
+            "shed {} + completed {} + dropped {} != arrived {}",
+            m.items_shed, m.items_completed, m.items_dropped, m.items_arrived
+        );
+        prop_assert!(m.items_shed <= m.items_arrived);
+        prop_assert!(m.items_admitted() == m.items_arrived - m.items_shed);
+        let r = m.admitted_miss_rate();
+        prop_assert!((0.0..=1.0).contains(&r), "admitted miss rate {r}");
     }
 
     #[test]

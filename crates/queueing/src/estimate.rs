@@ -58,7 +58,16 @@ impl Default for EstimateConfig {
 }
 
 /// Dense PMF of a gain model, for burst-size modeling.
+///
+/// # Panics
+/// Panics if `max_k < 1`: a zero-bin "PMF" cannot represent any gain
+/// distribution's support (a Bernoulli's success mass, for instance,
+/// would silently fold into the zero bin, misreporting the mean as 0).
 pub fn gain_pmf(gain: &GainModel, max_k: usize) -> Vec<f64> {
+    assert!(
+        max_k >= 1,
+        "gain_pmf needs max_k >= 1 to represent nonzero gains, got {max_k}"
+    );
     match gain {
         GainModel::Deterministic { k } => {
             let mut p = vec![0.0; max_k + 1];
@@ -68,7 +77,7 @@ pub fn gain_pmf(gain: &GainModel, max_k: usize) -> Vec<f64> {
         GainModel::Bernoulli { p } => {
             let mut out = vec![0.0; max_k + 1];
             out[0] = 1.0 - p;
-            out[1.min(max_k)] += *p;
+            out[1] += *p;
             out
         }
         GainModel::CensoredPoisson { mean, cap } => {
@@ -203,6 +212,68 @@ mod tests {
         );
         assert_eq!(e[0], 0.5);
         assert_eq!(e[2], 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_k >= 1")]
+    fn gain_pmf_rejects_zero_bins() {
+        // Regression: `max_k = 0` used to fold a Bernoulli's success
+        // mass into the zero bin (`out[1.min(0)] += p`), silently
+        // producing a point mass at 0 with the wrong mean.
+        gain_pmf(&GainModel::Bernoulli { p: 0.3 }, 0);
+    }
+
+    #[test]
+    fn gain_pmf_preserves_mean_at_small_max_k() {
+        // Bernoulli support is {0, 1}: any max_k >= 1 must reproduce
+        // the exact mean `p`.
+        for max_k in 1..=4 {
+            let b = gain_pmf(&GainModel::Bernoulli { p: 0.379 }, max_k);
+            assert_eq!(b.len(), max_k + 1);
+            assert!((b.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+            assert!(
+                (pmf::mean(&b) - 0.379).abs() < 1e-12,
+                "max_k={max_k}: mean {}",
+                pmf::mean(&b)
+            );
+        }
+        // Deterministic gain within range: exact mean. (Truncation
+        // below k censors by design, like the Poisson cap.)
+        for max_k in 2..=4 {
+            let d = gain_pmf(&GainModel::Deterministic { k: 2 }, max_k);
+            assert!((pmf::mean(&d) - 2.0).abs() < 1e-12);
+        }
+        // Empirical gain with support {0, 2}: exact from max_k = 2.
+        for max_k in 2..=4 {
+            let e = gain_pmf(
+                &GainModel::Empirical {
+                    pmf: vec![(0, 0.5), (2, 0.5)],
+                },
+                max_k,
+            );
+            assert!((pmf::mean(&e) - 1.0).abs() < 1e-12);
+        }
+        // Censored Poisson: censoring at max_k < cap shifts tail mass
+        // into the last bin, so the mean can only shrink — and the
+        // total mass stays 1.
+        let full = gain_pmf(
+            &GainModel::CensoredPoisson {
+                mean: 1.92,
+                cap: 16,
+            },
+            16,
+        );
+        for max_k in 1..16 {
+            let c = gain_pmf(
+                &GainModel::CensoredPoisson {
+                    mean: 1.92,
+                    cap: 16,
+                },
+                max_k,
+            );
+            assert!((c.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(pmf::mean(&c) <= pmf::mean(&full) + 1e-9);
+        }
     }
 
     #[test]

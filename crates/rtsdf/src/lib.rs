@@ -61,12 +61,15 @@ pub use simd_device as device;
 /// The most commonly used types, one `use` away.
 pub mod prelude {
     pub use dataflow_model::{
-        ArrivalProcess, GainModel, ModelError, NodeSpec, PipelineSpec, PipelineSpecBuilder,
-        RtParams,
+        ArrivalProcess, GainModel, ModelError, NodeSpec, Perturbation, PipelineSpec,
+        PipelineSpecBuilder, RtParams,
     };
     pub use pipeline_sim::{
-        run_seeds_enforced, run_seeds_monolithic, simulate_enforced, simulate_enforced_traced,
-        simulate_monolithic, simulate_monolithic_traced, MultiSeedReport, SimConfig, SimMetrics,
+        robustness_report, run_seeds_enforced, run_seeds_enforced_perturbed, run_seeds_monolithic,
+        run_seeds_monolithic_perturbed, simulate_enforced, simulate_enforced_perturbed,
+        simulate_enforced_traced, simulate_monolithic, simulate_monolithic_perturbed,
+        simulate_monolithic_traced, MitigationPolicy, MultiSeedReport, RobustnessReport, SimConfig,
+        SimMetrics,
     };
     pub use rtsdf_core::{
         EnforcedWaitsProblem, MonolithicProblem, MonolithicSchedule, ScheduleError, SolveMethod,
