@@ -171,6 +171,41 @@ fn main() {
         group.finish();
     }
 
+    // Stats pipeline: the histogram + moments + quantile path every
+    // observed run funnels its sojourn/latency samples through. A fixed
+    // pseudo-latency buffer (10% past the histogram range, so the
+    // overflow tracking is exercised) streams through `push_batch` /
+    // `push_slice`, then the three tail quantiles are read back.
+    let stats_samples = 65_536usize;
+    let hist_range = 24_000.0;
+    let samples: Vec<f64> = {
+        use rtsdf::engine::rng::RngStream;
+        let mut rng = RngStream::new(7);
+        use rand::Rng;
+        (0..stats_samples)
+            .map(|_| rng.gen::<f64>() * hist_range * 1.1)
+            .collect()
+    };
+    {
+        use rtsdf::engine::stats::{Histogram, OnlineStats};
+        let mut group = c.benchmark_group("stats");
+        group.bench_function("histogram", |b| {
+            b.iter(|| {
+                let mut h = Histogram::new(0.0, hist_range, 256);
+                let mut s = OnlineStats::new();
+                h.push_batch(black_box(&samples));
+                s.push_slice(black_box(&samples));
+                black_box((
+                    h.quantile(0.5),
+                    h.quantile(0.99),
+                    h.quantile(0.999),
+                    s.mean(),
+                ))
+            })
+        });
+        group.finish();
+    }
+
     let results = c.take_results();
     let cells = (rows * cols) as f64;
     let chunked = mean_ns(&results, "sweep/chunked");
@@ -224,6 +259,12 @@ fn main() {
                     "monolithic": json!({
                         "wall_micros": mean_ns(&results, "sim/monolithic") / 1e3,
                         "items_per_sec": per_sec(sim_items as f64, mean_ns(&results, "sim/monolithic")),
+                    }),
+                }),
+                "stats": json!({
+                    "histogram": json!({
+                        "wall_micros": mean_ns(&results, "stats/histogram") / 1e3,
+                        "samples_per_sec": per_sec(stats_samples as f64, mean_ns(&results, "stats/histogram")),
                     }),
                 }),
             });

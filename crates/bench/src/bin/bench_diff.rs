@@ -3,7 +3,7 @@
 //! ```text
 //! cargo run --release -p bench --bin bench_diff -- \
 //!     results/baseline/BENCH_fig3.json BENCH_fig3.json \
-//!     [--threshold 0.05] [--gate-wall] [--all]
+//!     [--threshold 0.05] [--throughput-threshold 0.5] [--gate-wall] [--all]
 //! ```
 //!
 //! Prints a delta table (changed leaves only; `--all` includes
@@ -16,7 +16,8 @@ use bench::{diff_manifests, render_diff, DiffConfig, RunManifest};
 fn usage() -> ! {
     eprintln!(
         "usage: bench_diff <baseline.json> <candidate.json> \
-         [--threshold FRACTION] [--gate-wall] [--all]"
+         [--threshold FRACTION] [--throughput-threshold FRACTION] \
+         [--gate-wall] [--all]"
     );
     std::process::exit(2);
 }
@@ -47,6 +48,15 @@ fn main() {
                     usage();
                 }
                 config.threshold = v;
+            }
+            "--throughput-threshold" => {
+                let Some(v) = it.next().and_then(|v| v.parse::<f64>().ok()) else {
+                    usage();
+                };
+                if !(v.is_finite() && v >= 0.0) {
+                    usage();
+                }
+                config.throughput_threshold = v;
             }
             "--gate-wall" => config.gate_wall = true,
             "--all" => config.show_unchanged = true,

@@ -20,6 +20,7 @@
 //! | `enforced`, `monolithic`               | lower is better (gated)   |
 //! | `iterations`, `deadline_misses`, `misses`, `items_dropped` | higher is worse (gated) |
 //! | `items_shed`, `resolves`, `total_shed`, `total_misses`, `total_dropped`, `total_resolves` | higher is worse (gated) |
+//! | `items_per_sec`, `samples_per_sec`     | lower is worse (gated at the wider `--throughput-threshold`) |
 //! | `wall_micros`                          | info (gated with `--gate-wall`) |
 //! | everything else                        | informational             |
 //!
@@ -39,6 +40,12 @@ pub enum Direction {
     /// Gated metric where an increase is a regression (covers both
     /// "lower is better" objectives and "higher is worse" counters).
     Gated,
+    /// Gated throughput metric where a *decrease* is a regression.
+    /// Gated at [`DiffConfig::throughput_threshold`] — wider than the
+    /// main threshold because rates are machine-load sensitive, but
+    /// unlike wall times they gate by default: losing half the
+    /// simulator's items/s is a hot-path regression, not noise.
+    Throughput,
     /// Wall-clock timing: informational unless `gate_wall` is set.
     Wall,
     /// Reported but never gated.
@@ -56,6 +63,10 @@ pub fn direction(path: &str) -> Direction {
         "iterations" | "deadline_misses" | "misses" | "items_dropped" => Direction::Gated,
         "items_shed" | "resolves" | "total_shed" | "total_misses" | "total_dropped"
         | "total_resolves" => Direction::Gated,
+        // Hot-path throughput rates: lower is a regression. The
+        // parallel-sweep `cells_per_sec` stays informational (it depends
+        // on machine core count, not on the code's hot paths).
+        "items_per_sec" | "samples_per_sec" => Direction::Throughput,
         "wall_micros" => Direction::Wall,
         _ => Direction::Info,
     }
@@ -171,6 +182,11 @@ pub struct DiffConfig {
     /// Relative drift on a gated key beyond which the change gates
     /// (default 0.05 = 5%).
     pub threshold: f64,
+    /// Relative *drop* on a throughput key (`items_per_sec`,
+    /// `samples_per_sec`) beyond which the change gates (default 0.5:
+    /// losing half the rate is a hot-path regression; smaller swings
+    /// are machine noise).
+    pub throughput_threshold: f64,
     /// Gate on `wall_micros` drift too (off by default: timings are
     /// machine-dependent).
     pub gate_wall: bool,
@@ -182,6 +198,7 @@ impl Default for DiffConfig {
     fn default() -> Self {
         DiffConfig {
             threshold: 0.05,
+            throughput_threshold: 0.5,
             gate_wall: false,
             show_unchanged: false,
         }
@@ -250,6 +267,19 @@ fn compare_leaf(path: &str, old: &Leaf, new: &Leaf, config: &DiffConfig) -> (Ver
                         (Verdict::Improvement, delta)
                     }
                 }
+                Direction::Throughput => {
+                    // Higher is better; only a drop past the (wide)
+                    // throughput threshold gates.
+                    if rel.abs() <= IDENTITY_TOL {
+                        (Verdict::Unchanged, String::new())
+                    } else if rel < -config.throughput_threshold {
+                        (Verdict::Regression, delta)
+                    } else if rel > config.throughput_threshold {
+                        (Verdict::Improvement, delta)
+                    } else {
+                        (Verdict::Drift, delta)
+                    }
+                }
                 Direction::Info => {
                     if rel.abs() <= IDENTITY_TOL {
                         (Verdict::Unchanged, String::new())
@@ -262,12 +292,12 @@ fn compare_leaf(path: &str, old: &Leaf, new: &Leaf, config: &DiffConfig) -> (Ver
         // Feasibility flips: a gated metric disappearing (number ->
         // null) is a regression; appearing is an improvement.
         (Leaf::Num(_), Leaf::Null) => match dir {
-            Direction::Gated => (Verdict::Regression, "lost".into()),
+            Direction::Gated | Direction::Throughput => (Verdict::Regression, "lost".into()),
             Direction::Identity => (Verdict::Incomparable, "lost".into()),
             _ => (Verdict::Drift, "lost".into()),
         },
         (Leaf::Null, Leaf::Num(_)) => match dir {
-            Direction::Gated => (Verdict::Improvement, "gained".into()),
+            Direction::Gated | Direction::Throughput => (Verdict::Improvement, "gained".into()),
             Direction::Identity => (Verdict::Incomparable, "gained".into()),
             _ => (Verdict::Drift, "gained".into()),
         },
@@ -507,6 +537,49 @@ mod tests {
         );
         assert_eq!(rep.improvements, 1);
         assert_eq!(rep.exit_code(), 0);
+    }
+
+    #[test]
+    fn throughput_gates_on_drops_past_the_wide_threshold() {
+        assert_eq!(
+            direction("sim.enforced.items_per_sec"),
+            Direction::Throughput
+        );
+        assert_eq!(
+            direction("stats.histogram.samples_per_sec"),
+            Direction::Throughput
+        );
+        // `cells_per_sec` depends on core count, stays informational.
+        assert_eq!(direction("sweep.chunked.cells_per_sec"), Direction::Info);
+
+        let cfg = DiffConfig::default();
+        // Losing 60% of throughput (past the 50% default) gates.
+        let old = json(r#"{"sim": {"enforced": {"items_per_sec": 6.0e6}}}"#);
+        let new = json(r#"{"sim": {"enforced": {"items_per_sec": 2.4e6}}}"#);
+        let rep = diff_manifests(&manifest(old), &manifest(new), &cfg);
+        assert_eq!(rep.regressions, 1);
+        assert_eq!(rep.exit_code(), 1);
+        // A 30% dip is machine noise: drift, exit 0.
+        let old = json(r#"{"sim": {"enforced": {"items_per_sec": 6.0e6}}}"#);
+        let new = json(r#"{"sim": {"enforced": {"items_per_sec": 4.2e6}}}"#);
+        let rep = diff_manifests(&manifest(old), &manifest(new), &cfg);
+        assert_eq!(rep.exit_code(), 0);
+        assert_eq!(rep.rows[0].verdict, Verdict::Drift);
+        // Doubling is an improvement (never gates).
+        let old = json(r#"{"sim": {"enforced": {"items_per_sec": 6.0e6}}}"#);
+        let new = json(r#"{"sim": {"enforced": {"items_per_sec": 1.3e7}}}"#);
+        let rep = diff_manifests(&manifest(old), &manifest(new), &cfg);
+        assert_eq!(rep.improvements, 1);
+        assert_eq!(rep.exit_code(), 0);
+        // A tighter threshold turns the 30% dip into a regression.
+        let tight = DiffConfig {
+            throughput_threshold: 0.2,
+            ..DiffConfig::default()
+        };
+        let old = json(r#"{"sim": {"enforced": {"items_per_sec": 6.0e6}}}"#);
+        let new = json(r#"{"sim": {"enforced": {"items_per_sec": 4.2e6}}}"#);
+        let rep = diff_manifests(&manifest(old), &manifest(new), &tight);
+        assert_eq!(rep.exit_code(), 1);
     }
 
     #[test]

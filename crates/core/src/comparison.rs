@@ -239,6 +239,12 @@ pub fn sweep_with(
 fn work_steal<T: Send>(total: usize, threads: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
     let threads = threads.min(total.max(1));
     let cursor = AtomicUsize::new(0);
+    // Each cursor bump claims a run of `chunk` indices instead of one:
+    // on large grids (64×64 = 4096 cells) this divides the contended
+    // read-modify-write traffic by the chunk factor, while ~8 claims
+    // per worker still leaves enough grains to balance an expensive
+    // tail across the pool.
+    let chunk = (total / (threads * 8)).max(1);
     let mut slots: Vec<Option<T>> = Vec::with_capacity(total);
     slots.resize_with(total, || None);
     std::thread::scope(|scope| {
@@ -252,11 +258,13 @@ fn work_steal<T: Send>(total: usize, threads: usize, f: impl Fn(usize) -> T + Sy
                 // single-threaded after the join instead.
                 let mut local = Vec::new();
                 loop {
-                    let idx = cursor.fetch_add(1, Ordering::Relaxed);
-                    if idx >= total {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= total {
                         break;
                     }
-                    local.push((idx, f(idx)));
+                    for idx in start..(start + chunk).min(total) {
+                        local.push((idx, f(idx)));
+                    }
                 }
                 local
             }));

@@ -173,6 +173,82 @@ impl GainModel {
             }
         }
     }
+
+    /// Draw output counts for a whole firing at once, filling `out`.
+    ///
+    /// Draw-for-draw identical to calling [`GainModel::sample`] once per
+    /// element, but the enum dispatch (and, for the Poisson model, the
+    /// distribution construction) is hoisted out of the per-item loop —
+    /// this is the batch service path of the SoA simulators.
+    pub fn sample_batch<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut [u32]) {
+        match self {
+            GainModel::Deterministic { k } => out.fill(*k),
+            GainModel::Bernoulli { p } => {
+                let p = *p;
+                for o in out.iter_mut() {
+                    *o = u32::from(rng.gen::<f64>() < p);
+                }
+            }
+            GainModel::CensoredPoisson { mean, cap } => {
+                let pois = Poisson::new(*mean).expect("validated mean > 0");
+                let cap = *cap;
+                for o in out.iter_mut() {
+                    *o = (pois.sample(rng) as u32).min(cap);
+                }
+            }
+            GainModel::Empirical { pmf } => {
+                let last = pmf.last().map(|(k, _)| *k).unwrap_or(0);
+                for o in out.iter_mut() {
+                    let mut u = rng.gen::<f64>();
+                    let mut drawn = last;
+                    for (k, p) in pmf {
+                        if u < *p {
+                            drawn = *k;
+                            break;
+                        }
+                        u -= p;
+                    }
+                    *o = drawn;
+                }
+            }
+        }
+    }
+
+    /// Total outputs of `count` consumed inputs, summed as drawn.
+    ///
+    /// Uses exactly the RNG draws of `count` calls to
+    /// [`GainModel::sample`] (none at all for the deterministic model),
+    /// so block simulations that only need the stage total stay
+    /// bit-compatible with per-item sampling.
+    pub fn sample_sum<R: Rng + ?Sized>(&self, rng: &mut R, count: u64) -> u64 {
+        match self {
+            GainModel::Deterministic { k } => count * u64::from(*k),
+            GainModel::Bernoulli { p } => {
+                let p = *p;
+                let mut total = 0u64;
+                for _ in 0..count {
+                    total += u64::from(rng.gen::<f64>() < p);
+                }
+                total
+            }
+            GainModel::CensoredPoisson { mean, cap } => {
+                let pois = Poisson::new(*mean).expect("validated mean > 0");
+                let cap = *cap;
+                let mut total = 0u64;
+                for _ in 0..count {
+                    total += u64::from((pois.sample(rng) as u32).min(cap));
+                }
+                total
+            }
+            GainModel::Empirical { .. } => {
+                let mut total = 0u64;
+                for _ in 0..count {
+                    total += u64::from(self.sample(rng));
+                }
+                total
+            }
+        }
+    }
 }
 
 /// Mean of `min(Poisson(λ), cap)`.
@@ -381,6 +457,55 @@ mod tests {
     #[test]
     fn from_samples_rejects_empty() {
         assert!(GainModel::from_samples(&[]).is_err());
+    }
+
+    fn all_models() -> Vec<GainModel> {
+        vec![
+            GainModel::Deterministic { k: 2 },
+            GainModel::Bernoulli { p: 0.379 },
+            GainModel::CensoredPoisson {
+                mean: 1.920,
+                cap: 16,
+            },
+            GainModel::CensoredPoisson { mean: 2.0, cap: 1 },
+            GainModel::Empirical {
+                pmf: vec![(0, 0.5), (2, 0.25), (4, 0.25)],
+            },
+        ]
+    }
+
+    #[test]
+    fn sample_batch_is_draw_identical_to_scalar() {
+        for g in all_models() {
+            let mut scalar_rng = rng();
+            let mut batch_rng = rng();
+            let scalar: Vec<u32> = (0..500).map(|_| g.sample(&mut scalar_rng)).collect();
+            let mut batch = vec![0u32; 500];
+            g.sample_batch(&mut batch_rng, &mut batch);
+            assert_eq!(scalar, batch, "{g:?}");
+            // Both RNGs must sit at the same position afterwards.
+            assert_eq!(
+                scalar_rng.gen::<u64>(),
+                batch_rng.gen::<u64>(),
+                "{g:?} consumed a different number of draws"
+            );
+        }
+    }
+
+    #[test]
+    fn sample_sum_is_draw_identical_to_scalar() {
+        for g in all_models() {
+            let mut scalar_rng = rng();
+            let mut sum_rng = rng();
+            let scalar: u64 = (0..500).map(|_| u64::from(g.sample(&mut scalar_rng))).sum();
+            let sum = g.sample_sum(&mut sum_rng, 500);
+            assert_eq!(scalar, sum, "{g:?}");
+            assert_eq!(
+                scalar_rng.gen::<u64>(),
+                sum_rng.gen::<u64>(),
+                "{g:?} consumed a different number of draws"
+            );
+        }
     }
 
     #[test]

@@ -13,9 +13,10 @@
 //! manifests.
 
 use crate::clock::SimTime;
-use crate::stats::{Histogram, OnlineStats};
+use crate::stats::{nearest_rank, Histogram, OnlineStats};
 use crate::trace::{TraceBuffer, TraceRecord};
 use serde::{Deserialize, Serialize};
+use std::cell::{Cell, RefCell};
 
 /// Shape of the accumulators an [`ObsSink`] allocates.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -78,8 +79,13 @@ pub struct Dist {
     stats: OnlineStats,
     hist: Histogram,
     /// Raw samples while at most `exact_cutoff` have arrived; dropped
-    /// (set to `None`) the moment the budget would overflow.
-    raw: Option<Vec<f64>>,
+    /// (set to `None`) the moment the budget would overflow. Interior
+    /// mutability lets [`Dist::summary`] sort the buffer lazily — once,
+    /// on first use — behind its `&self` signature.
+    raw: Option<RefCell<Vec<f64>>>,
+    /// Whether `raw` is currently sorted (set by the lazy sort in
+    /// [`Dist::summary`], cleared by every push).
+    raw_sorted: Cell<bool>,
     exact_cutoff: usize,
 }
 
@@ -96,7 +102,8 @@ impl Dist {
         Dist {
             stats: OnlineStats::new(),
             hist: Histogram::new(lo, hi, nbins),
-            raw: (exact_cutoff > 0).then(Vec::new),
+            raw: (exact_cutoff > 0).then(|| RefCell::new(Vec::new())),
+            raw_sorted: Cell::new(false),
             exact_cutoff,
         }
     }
@@ -107,13 +114,39 @@ impl Dist {
         self.hist.push(x);
         if self
             .raw
-            .as_ref()
-            .is_some_and(|r| r.len() >= self.exact_cutoff)
+            .as_mut()
+            .is_some_and(|r| r.get_mut().len() >= self.exact_cutoff)
         {
             self.raw = None;
         }
         if let Some(raw) = self.raw.as_mut() {
-            raw.push(x);
+            raw.get_mut().push(x);
+            self.raw_sorted.set(false);
+        }
+    }
+
+    /// Record a slice of samples, in order.
+    ///
+    /// State-identical to pushing each element in turn (same moments,
+    /// same histogram bins, same raw-sample retention decision), but
+    /// runs the moment/histogram accumulation over the whole batch.
+    pub fn push_batch(&mut self, xs: &[f64]) {
+        if xs.is_empty() {
+            return;
+        }
+        self.stats.push_slice(xs);
+        self.hist.push_batch(xs);
+        // Scalar retention semantics: the raw buffer holds at most
+        // `exact_cutoff` samples and is dropped by the push that would
+        // exceed the budget.
+        if let Some(raw) = self.raw.as_mut() {
+            let buf = raw.get_mut();
+            if buf.len() + xs.len() > self.exact_cutoff {
+                self.raw = None;
+            } else {
+                buf.extend_from_slice(xs);
+                self.raw_sorted.set(false);
+            }
         }
     }
 
@@ -128,17 +161,28 @@ impl Dist {
     }
 
     /// Fold into a serializable summary.
+    ///
+    /// The first call after a push sorts the retained raw samples in
+    /// place (lazily, behind the `&self` signature); repeat calls reuse
+    /// the sorted buffer instead of re-sorting per summary.
     pub fn summary(&self) -> DistSummary {
-        let sorted = self.raw.as_ref().filter(|r| !r.is_empty()).map(|r| {
-            let mut s = r.clone();
-            s.sort_by(|a, b| a.partial_cmp(b).expect("samples are not NaN"));
-            s
-        });
+        let sorted = self
+            .raw
+            .as_ref()
+            .filter(|r| !r.borrow().is_empty())
+            .map(|r| {
+                if !self.raw_sorted.get() {
+                    r.borrow_mut()
+                        .sort_by(|a, b| a.partial_cmp(b).expect("samples are not NaN"));
+                    self.raw_sorted.set(true);
+                }
+                r.borrow()
+            });
         let q = |frac: f64| match &sorted {
             // Nearest-rank on the retained samples: exact for small
             // runs, immune to histogram bin width.
             Some(s) => {
-                let rank = ((frac * s.len() as f64).ceil() as usize).clamp(1, s.len());
+                let rank = nearest_rank(frac, s.len() as u64) as usize;
                 Some(s[rank - 1])
             }
             None => self.hist.quantile(frac),
@@ -310,9 +354,21 @@ impl ObsSink {
         self.stages[stage].sojourn.push(cycles);
     }
 
+    /// A batch of consumed items waited `cycles[..]` in `stage`'s
+    /// queue, in consumption order. State-identical to one
+    /// [`ObsSink::on_sojourn`] call per element.
+    pub fn on_sojourn_batch(&mut self, stage: usize, cycles: &[f64]) {
+        self.stages[stage].sojourn.push_batch(cycles);
+    }
+
     /// A pipeline-level completion.
     pub fn on_completion(&mut self) {
         self.counters.completions += 1;
+    }
+
+    /// `n` pipeline-level completions at once.
+    pub fn on_completions(&mut self, n: u64) {
+        self.counters.completions += n;
     }
 
     /// An item was dropped (never completed).
@@ -437,6 +493,63 @@ mod tests {
         assert!(sum.exact, "1000 samples sit below the default cutoff");
         assert_eq!(sum.p999, Some(999.0));
         assert_eq!(sum.p50, Some(500.0));
+    }
+
+    #[test]
+    fn push_batch_summary_matches_sequential_push() {
+        let xs: Vec<f64> = (0..300)
+            .map(|i| (f64::from(i) * 1.3).sin() * 40.0)
+            .collect();
+        // Exercise both regimes: raw retained (exact) and dropped.
+        for cutoff in [4096, 64] {
+            let mut scalar = Dist::with_cutoff(-50.0, 50.0, 25, cutoff);
+            for &x in &xs {
+                scalar.push(x);
+            }
+            let mut batched = Dist::with_cutoff(-50.0, 50.0, 25, cutoff);
+            for chunk in xs.chunks(37) {
+                batched.push_batch(chunk);
+            }
+            assert_eq!(batched.is_exact(), scalar.is_exact());
+            assert_eq!(batched.summary(), scalar.summary(), "cutoff {cutoff}");
+        }
+    }
+
+    #[test]
+    fn summary_is_stable_across_repeat_calls_and_interleaved_pushes() {
+        let mut d = Dist::new(0.0, 100.0, 10);
+        for i in 0..50 {
+            d.push(f64::from((i * 37) % 100));
+        }
+        let first = d.summary();
+        // The lazy sort ran once; a repeat call must reuse it verbatim.
+        assert_eq!(d.summary(), first);
+        // A push after a summary invalidates the sorted view.
+        d.push(1000.0);
+        let second = d.summary();
+        assert_eq!(second.count, 51);
+        assert_eq!(second.max, Some(1000.0));
+        assert_eq!(second.p999, Some(1000.0));
+    }
+
+    #[test]
+    fn sojourn_batch_matches_scalar_hook() {
+        let cycles: Vec<f64> = (0..120).map(|i| f64::from(i) * 3.5).collect();
+        let mut scalar = ObsSink::with_defaults(2);
+        for &c in &cycles {
+            scalar.on_sojourn(1, c);
+        }
+        let mut batched = ObsSink::with_defaults(2);
+        batched.on_sojourn_batch(1, &cycles);
+        assert_eq!(scalar.report(), batched.report());
+        // Counter batch hook, same deal.
+        let mut a = ObsSink::with_defaults(1);
+        for _ in 0..7 {
+            a.on_completion();
+        }
+        let mut b = ObsSink::with_defaults(1);
+        b.on_completions(7);
+        assert_eq!(a.report(), b.report());
     }
 
     #[test]

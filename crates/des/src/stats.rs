@@ -6,6 +6,22 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Nearest-rank of the `q`-quantile among `n` samples: the 1-based index
+/// of the order statistic to report, `⌈q·n⌉` clamped to `[1, n]`.
+///
+/// This is the single rank convention shared by the exact
+/// (sorted-raw-sample) quantile path and [`Histogram::quantile`], so the
+/// two agree to within one bin width on in-range data. Returns 0 only
+/// when `n == 0` (no sample to pick).
+#[inline]
+pub fn nearest_rank(q: f64, n: u64) -> u64 {
+    if n == 0 {
+        return 0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    ((q * n as f64).ceil() as u64).clamp(1, n)
+}
+
 /// Welford online mean/variance plus min/max and count.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct OnlineStats {
@@ -36,6 +52,18 @@ impl OnlineStats {
         self.m2 += delta * (x - self.mean);
         self.min = self.min.min(x);
         self.max = self.max.max(x);
+    }
+
+    /// Add a slice of samples, in order.
+    ///
+    /// Exactly equivalent to calling [`OnlineStats::push`] once per
+    /// element (the Welford recurrence is inherently sequential, so the
+    /// result is bit-identical); batching just amortizes call overhead
+    /// on the simulators' accounting paths.
+    pub fn push_slice(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.push(x);
+        }
     }
 
     /// Number of samples.
@@ -106,6 +134,12 @@ pub struct Histogram {
     underflow: u64,
     overflow: u64,
     total: u64,
+    /// Largest sample that landed in the overflow bin (`None` while no
+    /// sample has). Quantiles that resolve into the overflow bin report
+    /// this instead of clamping to `hi`, so tail percentiles of
+    /// overflow-heavy runs are not silently capped at the histogram
+    /// range.
+    overflow_max: Option<f64>,
 }
 
 impl Histogram {
@@ -123,6 +157,7 @@ impl Histogram {
             underflow: 0,
             overflow: 0,
             total: 0,
+            overflow_max: None,
         }
     }
 
@@ -133,10 +168,50 @@ impl Histogram {
             self.underflow += 1;
         } else if x >= self.hi {
             self.overflow += 1;
+            self.overflow_max = Some(self.overflow_max.map_or(x, |m| m.max(x)));
         } else {
             let frac = (x - self.lo) / (self.hi - self.lo);
             let idx = ((frac * self.bins.len() as f64) as usize).min(self.bins.len() - 1);
             self.bins[idx] += 1;
+        }
+    }
+
+    /// Record a slice of samples.
+    ///
+    /// Produces exactly the same state as pushing each element in turn;
+    /// the range bounds and bin scale are hoisted out of the loop so the
+    /// common all-in-range case compiles to a tight counting loop.
+    pub fn push_batch(&mut self, xs: &[f64]) {
+        let lo = self.lo;
+        let hi = self.hi;
+        let range = hi - lo;
+        let nbins = self.bins.len() as f64;
+        let last = self.bins.len() - 1;
+        let mut underflow = 0u64;
+        let mut overflow = 0u64;
+        let mut overflow_max = f64::NEG_INFINITY;
+        for &x in xs {
+            if x < lo {
+                underflow += 1;
+            } else if x >= hi {
+                overflow += 1;
+                overflow_max = overflow_max.max(x);
+            } else {
+                // Same expression as the scalar `push`, term for term:
+                // bin selection must stay bit-identical across paths.
+                let frac = (x - lo) / range;
+                let idx = ((frac * nbins) as usize).min(last);
+                self.bins[idx] += 1;
+            }
+        }
+        self.total += xs.len() as u64;
+        self.underflow += underflow;
+        self.overflow += overflow;
+        if overflow > 0 {
+            self.overflow_max = Some(
+                self.overflow_max
+                    .map_or(overflow_max, |m| m.max(overflow_max)),
+            );
         }
     }
 
@@ -155,6 +230,11 @@ impl Histogram {
         self.overflow
     }
 
+    /// Largest sample that landed in the overflow bin, if any.
+    pub fn overflow_max(&self) -> Option<f64> {
+        self.overflow_max
+    }
+
     /// Per-bin counts.
     pub fn bins(&self) -> &[u64] {
         &self.bins
@@ -162,14 +242,16 @@ impl Histogram {
 
     /// Approximate `q`-quantile (0 ≤ q ≤ 1) from bin midpoints.
     ///
-    /// Underflow samples count as `lo`, overflow as `hi`. Returns `None`
-    /// if the histogram is empty.
+    /// Underflow samples count as `lo`. A quantile that resolves into
+    /// the overflow bin reports the largest overflowed sample actually
+    /// observed (not the range bound `hi`, which would silently cap
+    /// tail percentiles of overflow-heavy runs). Returns `None` if the
+    /// histogram is empty.
     pub fn quantile(&self, q: f64) -> Option<f64> {
         if self.total == 0 {
             return None;
         }
-        let q = q.clamp(0.0, 1.0);
-        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let target = nearest_rank(q, self.total);
         let mut seen = self.underflow;
         if seen >= target {
             return Some(self.lo);
@@ -181,7 +263,9 @@ impl Histogram {
                 return Some(self.lo + (i as f64 + 0.5) * width);
             }
         }
-        Some(self.hi)
+        // The rank falls in the overflow bin (nonempty, or we would have
+        // stopped above: underflow + Σbins + overflow = total ≥ target).
+        Some(self.overflow_max.unwrap_or(self.hi))
     }
 
     /// Merge a compatible histogram (same range and bin count).
@@ -200,6 +284,10 @@ impl Histogram {
         self.underflow += other.underflow;
         self.overflow += other.overflow;
         self.total += other.total;
+        self.overflow_max = match (self.overflow_max, other.overflow_max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
     }
 }
 
@@ -374,6 +462,91 @@ mod tests {
     #[should_panic(expected = "at least one bin")]
     fn histogram_zero_bins_panics() {
         Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    fn nearest_rank_convention() {
+        assert_eq!(nearest_rank(0.5, 0), 0);
+        assert_eq!(nearest_rank(0.0, 10), 1);
+        assert_eq!(nearest_rank(0.5, 10), 5);
+        assert_eq!(nearest_rank(0.999, 10), 10);
+        assert_eq!(nearest_rank(1.0, 10), 10);
+        assert_eq!(nearest_rank(2.0, 10), 10, "q is clamped to [0, 1]");
+        assert_eq!(nearest_rank(-1.0, 10), 1);
+    }
+
+    #[test]
+    fn overflow_quantile_reports_observed_max_not_range_bound() {
+        // Regression: quantiles resolving into the overflow bin used to
+        // clamp at `hi`, underreporting true tail latency.
+        let mut h = Histogram::new(0.0, 100.0, 10);
+        for i in 0..900 {
+            h.push(f64::from(i % 100));
+        }
+        for i in 0..100 {
+            h.push(250.0 + f64::from(i)); // 100 samples far past hi
+        }
+        assert_eq!(h.overflow(), 100);
+        assert_eq!(h.overflow_max(), Some(349.0));
+        let p999 = h.quantile(0.999).unwrap();
+        assert!(p999 > 100.0, "p999 {p999} still clamped at hi");
+        assert_eq!(p999, 349.0);
+        // In-range quantiles are untouched by the fix.
+        let p50 = h.quantile(0.5).unwrap();
+        assert!(p50 < 100.0);
+    }
+
+    #[test]
+    fn overflow_max_survives_merge() {
+        let mut a = Histogram::new(0.0, 10.0, 5);
+        let mut b = Histogram::new(0.0, 10.0, 5);
+        a.push(12.0);
+        b.push(99.0);
+        a.merge(&b);
+        assert_eq!(a.overflow_max(), Some(99.0));
+        let mut c = Histogram::new(0.0, 10.0, 5);
+        c.merge(&a);
+        assert_eq!(c.overflow_max(), Some(99.0));
+    }
+
+    #[test]
+    fn push_batch_matches_sequential_push() {
+        let xs: Vec<f64> = (0..1000)
+            .map(|i| (f64::from(i) * 0.7134).sin() * 80.0 + 20.0)
+            .collect();
+        let mut scalar = Histogram::new(0.0, 50.0, 17);
+        for &x in &xs {
+            scalar.push(x);
+        }
+        let mut batched = Histogram::new(0.0, 50.0, 17);
+        // Uneven chunks to exercise the partial-batch merges.
+        for chunk in xs.chunks(97) {
+            batched.push_batch(chunk);
+        }
+        assert_eq!(scalar.bins(), batched.bins());
+        assert_eq!(scalar.underflow(), batched.underflow());
+        assert_eq!(scalar.overflow(), batched.overflow());
+        assert_eq!(scalar.total(), batched.total());
+        assert_eq!(scalar.overflow_max(), batched.overflow_max());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(scalar.quantile(q), batched.quantile(q));
+        }
+    }
+
+    #[test]
+    fn push_slice_matches_sequential_push() {
+        let xs: Vec<f64> = (0..257).map(|i| (f64::from(i)).cos() * 5.0).collect();
+        let mut scalar = OnlineStats::new();
+        for &x in &xs {
+            scalar.push(x);
+        }
+        let mut sliced = OnlineStats::new();
+        sliced.push_slice(&xs);
+        assert_eq!(scalar.count(), sliced.count());
+        assert_eq!(scalar.mean(), sliced.mean());
+        assert_eq!(scalar.variance(), sliced.variance());
+        assert_eq!(scalar.min(), sliced.min());
+        assert_eq!(scalar.max(), sliced.max());
     }
 
     #[test]

@@ -103,3 +103,39 @@ proptest! {
         prop_assert!(mean >= lo - 1e-9 && mean <= hi + 1e-9, "mean {mean} outside [{lo}, {hi}]");
     }
 }
+
+proptest! {
+    // The histogram path and the exact (sorted-sample) path share one
+    // rank convention (`stats::nearest_rank`), so for in-range data a
+    // histogram quantile may only differ from the exact quantile by
+    // bin granularity: the exact rank-th sample lies inside the bin
+    // whose upper edge the histogram reports, so the gap is at most one
+    // bin width.
+    #[test]
+    fn histogram_and_exact_quantiles_agree_within_one_bin(
+        samples in prop::collection::vec(0.0..1000.0f64, 1..400),
+        nbins in 4usize..256,
+        q in 0.0..=1.0f64,
+    ) {
+        use des::stats::nearest_rank;
+
+        let (lo, hi) = (0.0, 1000.0);
+        let mut h = Histogram::new(lo, hi, nbins);
+        for &x in &samples {
+            h.push(x);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rank = nearest_rank(q, sorted.len() as u64) as usize;
+        let exact = sorted[rank - 1];
+        let hist = h.quantile(q).expect("nonempty histogram");
+        // The histogram reports the midpoint of the bin holding the
+        // rank-th sample, so it is within half a bin of the exact value
+        // — "one bin width" with slack for edge-placement rounding.
+        let bin_width = (hi - lo) / nbins as f64;
+        prop_assert!(
+            (hist - exact).abs() <= bin_width + 1e-9,
+            "q={q}: histogram {hist} vs exact {exact} (bin width {bin_width})"
+        );
+    }
+}

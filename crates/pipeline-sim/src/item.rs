@@ -25,16 +25,26 @@ pub struct Item {
 #[derive(Debug)]
 pub struct LineageTracker {
     live: Vec<u32>,
-    completion: Vec<Option<SimTime>>,
+    /// Completion cycle per input, [`LineageTracker::INCOMPLETE`] while
+    /// unresolved. A plain `u64` lane (rather than `Option<SimTime>`)
+    /// halves the footprint and lets the end-of-run latency accounting
+    /// stream over it as a flat slice.
+    completion: Vec<u64>,
     completed: u64,
 }
 
 impl LineageTracker {
+    /// Sentinel in [`LineageTracker::completion_cycles`] for an input
+    /// that has not completed. (A real completion at `u64::MAX` cycles
+    /// is unrepresentable: simulations truncate long before the clock
+    /// saturates.)
+    pub const INCOMPLETE: u64 = u64::MAX;
+
     /// Tracker for a stream of `n` inputs.
     pub fn new(n: usize) -> Self {
         LineageTracker {
             live: vec![0; n],
-            completion: vec![None; n],
+            completion: vec![Self::INCOMPLETE; n],
             completed: 0,
         }
     }
@@ -53,8 +63,8 @@ impl LineageTracker {
         let o = origin as usize;
         debug_assert!(self.live[o] > 0, "consuming dead lineage of input {origin}");
         self.live[o] = self.live[o] - 1 + outputs;
-        if self.live[o] == 0 && self.completion[o].is_none() {
-            self.completion[o] = Some(at);
+        if self.live[o] == 0 && self.completion[o] == Self::INCOMPLETE {
+            self.completion[o] = at.cycles();
             self.completed += 1;
             true
         } else {
@@ -69,7 +79,8 @@ impl LineageTracker {
 
     /// Completion time of input `origin`, if complete.
     pub fn completion(&self, origin: u64) -> Option<SimTime> {
-        self.completion[origin as usize]
+        let c = self.completion[origin as usize];
+        (c != Self::INCOMPLETE).then(|| SimTime::from_cycles(c))
     }
 
     /// True if every input in the stream is complete.
@@ -79,10 +90,19 @@ impl LineageTracker {
 
     /// Iterate completion times with input indices.
     pub fn completions(&self) -> impl Iterator<Item = (u64, Option<SimTime>)> + '_ {
-        self.completion
-            .iter()
-            .enumerate()
-            .map(|(i, c)| (i as u64, *c))
+        self.completion.iter().enumerate().map(|(i, &c)| {
+            (
+                i as u64,
+                (c != Self::INCOMPLETE).then(|| SimTime::from_cycles(c)),
+            )
+        })
+    }
+
+    /// Raw completion-cycle lane: one entry per input, in origin order,
+    /// [`LineageTracker::INCOMPLETE`] for unresolved inputs. The batch
+    /// latency-accounting pass streams over this slice directly.
+    pub fn completion_cycles(&self) -> &[u64] {
+        &self.completion
     }
 }
 

@@ -41,8 +41,10 @@ pub mod faults;
 pub mod item;
 pub mod metrics;
 pub mod monolithic;
+pub mod reference;
 pub mod robustness;
 pub mod runner;
+pub mod soa;
 pub mod timeline;
 pub mod validate;
 

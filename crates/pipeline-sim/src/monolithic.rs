@@ -179,6 +179,9 @@ fn simulate_monolithic_full(
     let mut truncated = false;
     let mut max_waiting = 0u64;
     let mut processed_before = 0usize;
+    // Reused batch buffers: one sojourn/latency sample per block item.
+    let mut soj_buf: Vec<f64> = Vec::with_capacity(m);
+    let mut lat_buf: Vec<f64> = Vec::with_capacity(m);
 
     for block in arrivals.chunks(m) {
         let ready = *block.last().expect("chunks are nonempty");
@@ -196,9 +199,9 @@ fn simulate_monolithic_full(
             sink.on_event();
             sink.on_enqueue(0, block.len() as u64, arrived - processed_before);
             // Sojourn at the head stage: wait from arrival to block start.
-            for &arr in block {
-                sink.on_sojourn(0, start - arr);
-            }
+            soj_buf.clear();
+            soj_buf.extend(block.iter().map(|&arr| start - arr));
+            sink.on_sojourn_batch(0, &soj_buf);
             if sink.tracing() {
                 sink.trace(
                     SimTime::from_f64_rounded(start),
@@ -253,12 +256,11 @@ fn simulate_monolithic_full(
                     Some(gains) => &gains[i],
                     None => &pipeline.node(i).gain,
                 };
-                let rng = &mut gain_rngs[i];
-                let mut next = 0u64;
-                for _ in 0..count {
-                    next += gain.sample(rng) as u64;
-                }
-                count = next;
+                // Draw-identical to the per-item loop (see
+                // `GainModel::sample_sum`), but deterministic models pay
+                // zero RNG draws and the distribution parameters are
+                // hoisted out of the loop.
+                count = gain.sample_sum(&mut gain_rngs[i], count);
             }
         }
         let finish = start + busy;
@@ -289,16 +291,19 @@ fn simulate_monolithic_full(
         horizon = horizon.max(finish);
         processed_before += block.len();
 
-        for &arr in block {
-            let lat = finish - arr;
-            latency.push(lat);
-            completed += 1;
-            if let Some(sink) = obs.as_deref_mut() {
-                sink.on_completion();
-            }
-            if lat > deadline {
-                misses += 1;
-            }
+        // Latency accounting for the whole block in one pass; the
+        // Welford fold visits samples in the same order as the per-item
+        // loop, so moments stay bit-identical.
+        lat_buf.clear();
+        lat_buf.extend(block.iter().map(|&arr| finish - arr));
+        latency.push_slice(&lat_buf);
+        completed += block.len() as u64;
+        misses += lat_buf
+            .iter()
+            .map(|&lat| u64::from(lat > deadline))
+            .sum::<u64>();
+        if let Some(sink) = obs.as_deref_mut() {
+            sink.on_completions(block.len() as u64);
         }
     }
     let mut dropped = 0u64;

@@ -6,8 +6,8 @@ use des::obs::ObsConfig;
 use obs_trace::{ForensicsConfig, TraceConfig, TraceLog};
 use pipeline_sim::{
     simulate_enforced, simulate_enforced_observed, simulate_enforced_perturbed,
-    simulate_enforced_traced, simulate_monolithic, simulate_monolithic_perturbed,
-    simulate_monolithic_traced, MitigationPolicy, SimConfig,
+    simulate_enforced_traced, simulate_monolithic, simulate_monolithic_observed,
+    simulate_monolithic_perturbed, simulate_monolithic_traced, MitigationPolicy, SimConfig,
 };
 use proptest::prelude::*;
 use rtsdf_core::{EnforcedWaitsProblem, MonolithicSchedule, SolveMethod};
@@ -396,5 +396,111 @@ proptest! {
             prop_assert_eq!(v.enqueued, fate.arrival);
             prop_assert_eq!(Some(v.done), fate.completion);
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Bit-identity of the vectorized (SoA) simulators against the frozen
+// scalar references in `pipeline_sim::reference`. Serializing the full
+// SimMetrics (latency moments, occupancy, queue depths, and — where
+// enabled — the complete ObsReport with its histograms and counters)
+// and comparing the JSON strings checks every reported value bit for
+// bit, not just a few headline numbers.
+
+fn metrics_json(m: &pipeline_sim::metrics::SimMetrics) -> String {
+    serde_json::to_string(m).expect("metrics serialize")
+}
+
+/// Perturbation intensity for the stress comparisons: `0.0` must be in
+/// the support (intensity zero is the documented bit-identity boundary
+/// of the fault layer), alongside genuinely stressful settings.
+fn intensity() -> impl Strategy<Value = f64> {
+    prop_oneof![Just(0.0), 0.3..2.5f64]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn vectorized_enforced_matches_scalar_reference(
+        p in pipeline(),
+        seed in 0u64..1000,
+        intensity in intensity(),
+    ) {
+        use des::obs::ObsSink;
+        use pipeline_sim::reference::simulate_enforced_reference;
+
+        let xmin = rtsdf_core::minimal_periods(&p);
+        let tau0 = xmin[0] / p.vector_width() as f64 * 2.5;
+        let b: Vec<f64> = p.mean_gains().iter().map(|g| (g.ceil() + 1.0).max(2.0)).collect();
+        let min_d: f64 = xmin.iter().zip(&b).map(|(x, bi)| x * bi).sum();
+        let params = RtParams::new(tau0, min_d * 5.0).unwrap();
+        let sched = EnforcedWaitsProblem::new(&p, params, b)
+            .solve(SolveMethod::WaterFilling)
+            .unwrap();
+        let cfg = SimConfig::quick(tau0, seed, 400);
+
+        // Observed run: SimMetrics + full ObsReport must agree.
+        let live = simulate_enforced_observed(
+            &p, &sched, params.deadline, &cfg, ObsConfig::default(),
+        );
+        let mut sink = ObsSink::new(p.len(), ObsConfig::default());
+        let mut oracle = simulate_enforced_reference(
+            &p, &sched, params.deadline, &cfg, Some(&mut sink), None,
+        );
+        oracle.obs = Some(sink.report());
+        prop_assert_eq!(metrics_json(&live), metrics_json(&oracle));
+
+        // Stressed run (full mitigation policy: shedding + escalation).
+        let perturb = Perturbation::standard(1.0).at_intensity(intensity);
+        let policy = MitigationPolicy::full();
+        let live = simulate_enforced_perturbed(
+            &p, &sched, params.deadline, &cfg, &perturb, &policy,
+        );
+        let oracle = simulate_enforced_reference(
+            &p, &sched, params.deadline, &cfg, None, Some((&perturb, &policy)),
+        );
+        prop_assert_eq!(metrics_json(&live), metrics_json(&oracle));
+    }
+
+    #[test]
+    fn vectorized_monolithic_matches_scalar_reference(
+        p in pipeline(),
+        seed in 0u64..1000,
+        m_block in 8u64..128,
+        intensity in intensity(),
+    ) {
+        use des::obs::ObsSink;
+        use pipeline_sim::reference::simulate_monolithic_reference;
+
+        let tau0 = p.total_service_time();
+        let sched = MonolithicSchedule {
+            block_size: m_block,
+            block_time: 0.0,
+            active_fraction: 0.0,
+            latency_bound: 0.0,
+            b: 1.0,
+            s: 1.0,
+            telemetry: None,
+        };
+        let cfg = SimConfig::quick(tau0, seed, 400);
+        let deadline = 1e15;
+
+        let live = simulate_monolithic_observed(
+            &p, &sched, deadline, &cfg, ObsConfig::default(),
+        );
+        let mut sink = ObsSink::new(p.len(), ObsConfig::default());
+        let mut oracle = simulate_monolithic_reference(
+            &p, &sched, deadline, &cfg, Some(&mut sink), None,
+        );
+        oracle.obs = Some(sink.report());
+        prop_assert_eq!(metrics_json(&live), metrics_json(&oracle));
+
+        let perturb = Perturbation::standard(1.0).at_intensity(intensity);
+        let live = simulate_monolithic_perturbed(&p, &sched, deadline, &cfg, &perturb);
+        let oracle = simulate_monolithic_reference(
+            &p, &sched, deadline, &cfg, None, Some(&perturb),
+        );
+        prop_assert_eq!(metrics_json(&live), metrics_json(&oracle));
     }
 }

@@ -26,13 +26,20 @@ impl std::error::Error for PoissonError {}
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Poisson {
     lambda: f64,
+    /// `exp(-lambda)`, the Knuth-loop termination threshold. Computed
+    /// once at construction so batch sampling pays no transcendental
+    /// per draw.
+    limit: f64,
 }
 
 impl Poisson {
     /// Create a Poisson distribution; `lambda` must be finite and `> 0`.
     pub fn new(lambda: f64) -> Result<Poisson, PoissonError> {
         if lambda.is_finite() && lambda > 0.0 {
-            Ok(Poisson { lambda })
+            Ok(Poisson {
+                lambda,
+                limit: (-lambda).exp(),
+            })
         } else {
             Err(PoissonError)
         }
@@ -44,7 +51,7 @@ impl Distribution<f64> for Poisson {
         if self.lambda < 30.0 {
             // Knuth's product-of-uniforms method; exact and fast for the
             // small means this workspace uses (BLAST extend stage ~1.9).
-            let limit = (-self.lambda).exp();
+            let limit = self.limit;
             let mut count = 0u64;
             let mut prod: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
             while prod > limit {
