@@ -1,0 +1,227 @@
+//! Criterion bench: cost of the live-metrics layer on the simulator
+//! hot loop.
+//!
+//! Two measurements of the same fixed-seed enforced-waits BLAST run:
+//!
+//! * **disabled** — `simulate_enforced`, the default entry point. The
+//!   live layer is compiled in but detached (`live = None`), so its
+//!   cost is one untaken branch per event. This is the configuration
+//!   every experiment runs in, and its `items_per_sec` is the gated
+//!   key: `bench_diff --throughput-threshold 0.01` against the
+//!   committed baseline enforces that attaching the telemetry layer to
+//!   the codebase cost the uninstrumented hot loop less than 1%.
+//! * **enabled** — `simulate_enforced_live` publishing counters, queue
+//!   high-water marks, and throughput gauges into a real registry. Its
+//!   rate is informational (instrumentation is allowed to cost
+//!   something); the printed overhead fraction documents how much.
+//!
+//! The monolithic loop gets the same treatment at block granularity.
+//!
+//! ```text
+//! cargo bench -p bench --bench metrics_overhead -- [--metrics json|csv]
+//! ```
+
+use bench::manifest::{write_metrics_csv, MetricsFormat, RunManifest};
+use criterion::{black_box, Criterion};
+use rtsdf::prelude::*;
+use rtsdf::sim::{simulate_enforced_live, simulate_monolithic_live, SimLiveMetrics};
+use serde_json::json;
+
+fn mean_ns(results: &[criterion::BenchResult], id: &str) -> f64 {
+    results
+        .iter()
+        .find(|r| r.id == id)
+        .map(|r| r.mean_ns)
+        .unwrap_or(f64::NAN)
+}
+
+/// Best-case (minimum) iteration time. The gated throughput keys use
+/// this rather than the mean: a 1% regression gate needs a low-noise
+/// statistic, and the minimum over a measurement window is far more
+/// stable under scheduler jitter than the mean, while still moving
+/// whenever real work is added to the hot loop.
+fn min_ns(results: &[criterion::BenchResult], id: &str) -> f64 {
+    results
+        .iter()
+        .find(|r| r.id == id)
+        .map(|r| r.min_ns)
+        .unwrap_or(f64::NAN)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let metrics = bench::parse_metrics_flag(&args).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let pipeline = rtsdf::blast::paper_pipeline();
+
+    // Same workload as sweep_hot_path's sim group, so the gated
+    // disabled-path rate is comparable across the two manifests.
+    let items = 2_000usize;
+    let enf_cfg = SimConfig::quick(10.0, 7, items);
+    let mono_cfg = SimConfig::quick(50.0, 7, items);
+    let enf_sched = EnforcedWaitsProblem::new(
+        &pipeline,
+        RtParams::new(10.0, 1e5).unwrap(),
+        vec![1.0, 3.0, 9.0, 6.0],
+    )
+    .solve(SolveMethod::WaterFilling)
+    .expect("enforced point is feasible");
+    let mono_sched = MonolithicProblem::new(&pipeline, RtParams::new(50.0, 1e5).unwrap(), 1.0, 1.0)
+        .solve_fast()
+        .expect("monolithic point is feasible");
+
+    // One registry reused across iterations: steady-state publishing
+    // cost, not registry construction.
+    let live = SimLiveMetrics::new(pipeline.len(), 1);
+
+    // This bench parses its own flags, so the shim's positional-filter
+    // sniffing must be disabled.
+    //
+    // Each variant is measured in TWO windows ("x" and "x2"),
+    // interleaved with the other variant, and the gated statistic is
+    // the min over both. A transient load burst (a parallel build, a
+    // scheduler hiccup) can poison one whole measurement window; it is
+    // very unlikely to poison two windows several seconds apart, so
+    // the min-of-mins stays on the quiet-machine value.
+    let mut c = Criterion::default().with_filter(None);
+    {
+        let mut group = c.benchmark_group("enforced");
+        for pass in ["", "2"] {
+            group.bench_function(format!("disabled{pass}"), |b| {
+                b.iter(|| black_box(simulate_enforced(&pipeline, &enf_sched, 1e5, &enf_cfg)))
+            });
+            group.bench_function(format!("enabled{pass}"), |b| {
+                b.iter(|| {
+                    let h = live.handle(0);
+                    black_box(simulate_enforced_live(
+                        &pipeline, &enf_sched, 1e5, &enf_cfg, &h,
+                    ))
+                })
+            });
+        }
+        group.finish();
+    }
+    {
+        let mut group = c.benchmark_group("monolithic");
+        for pass in ["", "2"] {
+            group.bench_function(format!("disabled{pass}"), |b| {
+                b.iter(|| black_box(simulate_monolithic(&pipeline, &mono_sched, 1e5, &mono_cfg)))
+            });
+            group.bench_function(format!("enabled{pass}"), |b| {
+                b.iter(|| {
+                    let h = live.handle(0);
+                    black_box(simulate_monolithic_live(
+                        &pipeline,
+                        &mono_sched,
+                        1e5,
+                        &mono_cfg,
+                        &h,
+                    ))
+                })
+            });
+        }
+        group.finish();
+    }
+
+    let results = c.take_results();
+    let rate = |ns: f64| items as f64 / (ns / 1e9);
+    let overhead = |disabled_ns: f64, enabled_ns: f64| enabled_ns / disabled_ns - 1.0;
+    let best = |id: &str| min_ns(&results, id).min(min_ns(&results, &format!("{id}2")));
+    let enf_off = best("enforced/disabled");
+    let enf_on = best("enforced/enabled");
+    let mono_off = best("monolithic/disabled");
+    let mono_on = best("monolithic/enabled");
+    println!();
+    println!(
+        "enforced:   disabled {:.2}M items/s, enabled {:.2}M items/s (publishing overhead {:+.2}%)",
+        rate(enf_off) / 1e6,
+        rate(enf_on) / 1e6,
+        100.0 * overhead(enf_off, enf_on),
+    );
+    println!(
+        "monolithic: disabled {:.2}M items/s, enabled {:.2}M items/s (publishing overhead {:+.2}%)",
+        rate(mono_off) / 1e6,
+        rate(mono_on) / 1e6,
+        100.0 * overhead(mono_off, mono_on),
+    );
+
+    let Some(format) = metrics else { return };
+    match format {
+        MetricsFormat::Json => {
+            // `items_per_sec` on the disabled paths is the gated key
+            // (Throughput direction); the enabled rates use a
+            // non-gated name on purpose — instrumented throughput is
+            // informational.
+            let results_blob = json!({
+                "items": items,
+                "sim": json!({
+                    "enforced": json!({
+                        "wall_micros": enf_off / 1e3,
+                        "mean_wall_micros": mean_ns(&results, "enforced/disabled") / 1e3,
+                        "items_per_sec": rate(enf_off),
+                        "enabled_wall_micros": enf_on / 1e3,
+                        "enabled_rate": rate(enf_on),
+                        "publish_overhead_fraction": overhead(enf_off, enf_on),
+                    }),
+                    "monolithic": json!({
+                        "wall_micros": mono_off / 1e3,
+                        "mean_wall_micros": mean_ns(&results, "monolithic/disabled") / 1e3,
+                        "items_per_sec": rate(mono_off),
+                        "enabled_wall_micros": mono_on / 1e3,
+                        "enabled_rate": rate(mono_on),
+                        "publish_overhead_fraction": overhead(mono_off, mono_on),
+                    }),
+                }),
+            });
+            let config_blob = json!({
+                "items": items,
+                "enforced_tau0": 10.0,
+                "monolithic_tau0": 50.0,
+                "deadline": 1e5,
+                "seed": 7,
+            });
+            let manifest = RunManifest::new("metrics_overhead", config_blob, results_blob);
+            match manifest.write() {
+                Ok(path) => eprintln!("wrote {}", path.display()),
+                Err(e) => {
+                    eprintln!("cannot write manifest: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        MetricsFormat::Csv => {
+            let row = |name: &str, off: f64, on: f64| {
+                vec![
+                    name.to_string(),
+                    format!("{:.1}", off / 1e3),
+                    format!("{:.1}", on / 1e3),
+                    format!("{:.0}", rate(off)),
+                    format!("{:.0}", rate(on)),
+                    format!("{:.6}", overhead(off, on)),
+                ]
+            };
+            let path = write_metrics_csv(
+                "metrics_overhead",
+                &[
+                    "simulator",
+                    "disabled_wall_us",
+                    "enabled_wall_us",
+                    "disabled_items_per_sec",
+                    "enabled_items_per_sec",
+                    "publish_overhead_fraction",
+                ],
+                &[
+                    row("enforced", enf_off, enf_on),
+                    row("monolithic", mono_off, mono_on),
+                ],
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("cannot write csv: {e}");
+                std::process::exit(2);
+            });
+            eprintln!("wrote {}", path.display());
+        }
+    }
+}

@@ -3,21 +3,26 @@
 //! ```text
 //! cargo run --release -p bench --bin bench_diff -- \
 //!     results/baseline/BENCH_fig3.json BENCH_fig3.json \
-//!     [--threshold 0.05] [--throughput-threshold 0.5] [--gate-wall] [--all]
+//!     [--threshold 0.05] [--throughput-threshold 0.5] [--gate-wall] [--all] \
+//!     [--json-verdict verdict.json]
 //! ```
 //!
 //! Prints a delta table (changed leaves only; `--all` includes
 //! unchanged ones) and exits 0 when clean, 1 on a regression past the
 //! threshold, 2 when the manifests are not comparable (different
-//! experiment or grid) or on usage errors.
+//! experiment or grid) or on usage errors. On a regression the full
+//! table is followed by a `FAILED GATES` table holding only the keys
+//! that gated, with the threshold each was judged against.
+//! `--json-verdict <path>` additionally writes the verdict (exit code,
+//! counts, failed gates) as JSON for downstream tooling.
 
-use bench::{diff_manifests, render_diff, DiffConfig, RunManifest};
+use bench::{diff_manifests, diff_verdict, render_diff, render_failures, DiffConfig, RunManifest};
 
 fn usage() -> ! {
     eprintln!(
         "usage: bench_diff <baseline.json> <candidate.json> \
          [--threshold FRACTION] [--throughput-threshold FRACTION] \
-         [--gate-wall] [--all]"
+         [--gate-wall] [--all] [--json-verdict PATH]"
     );
     std::process::exit(2);
 }
@@ -37,9 +42,16 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut config = DiffConfig::default();
     let mut files = Vec::new();
+    let mut json_verdict: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--json-verdict" => {
+                let Some(path) = it.next() else {
+                    usage();
+                };
+                json_verdict = Some(path.clone());
+            }
             "--threshold" => {
                 let Some(v) = it.next().and_then(|v| v.parse::<f64>().ok()) else {
                     usage();
@@ -79,5 +91,17 @@ fn main() {
     );
     let report = diff_manifests(&old, &new, &config);
     print!("{}", render_diff(&report, &config));
+    // A developer reading a red CI log wants the failed gates alone,
+    // not the whole delta table: repeat just those at the end.
+    print!("{}", render_failures(&report, &config));
+    if let Some(path) = json_verdict {
+        let verdict = diff_verdict(&report, &config);
+        let text = serde_json::to_string(&verdict).expect("verdict serializes");
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("bench_diff: cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("wrote verdict to {path}");
+    }
     std::process::exit(report.exit_code());
 }

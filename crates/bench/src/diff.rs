@@ -28,6 +28,7 @@
 //! feasible cell is a regression, gaining one is an improvement.
 
 use crate::manifest::RunManifest;
+use serde::{Deserialize, Serialize};
 use serde_json::Value;
 use std::collections::BTreeMap;
 
@@ -412,6 +413,109 @@ pub fn render_diff(report: &DiffReport, config: &DiffConfig) -> String {
     out
 }
 
+/// The relative threshold that applies to `path` under `config`:
+/// throughput keys gate at the wider throughput threshold, everything
+/// else at the main one.
+pub fn applied_threshold(path: &str, config: &DiffConfig) -> f64 {
+    match direction(path) {
+        Direction::Throughput => config.throughput_threshold,
+        _ => config.threshold,
+    }
+}
+
+/// One gated key that regressed past its threshold.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GateFailure {
+    /// Flattened leaf path within `results`.
+    pub path: String,
+    /// Rendered baseline value.
+    pub baseline: String,
+    /// Rendered candidate value.
+    pub current: String,
+    /// Rendered relative delta (or `lost` for a feasibility flip).
+    pub delta: String,
+    /// The relative threshold this key was gated at.
+    pub threshold: f64,
+}
+
+/// Machine-readable verdict for CI: the exit code, the counts behind
+/// it, and the failed gates (empty when clean). Written by the
+/// `bench_diff` binary's `--json-verdict <path>` flag.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiffVerdict {
+    /// Process exit code ([`DiffReport::exit_code`]).
+    pub exit_code: i64,
+    /// Leaves compared.
+    pub compared: u64,
+    /// Gated regressions past threshold.
+    pub regressions: u64,
+    /// Gated improvements past threshold.
+    pub improvements: u64,
+    /// Identity/structural mismatches.
+    pub incomparable: u64,
+    /// The failed gates, in path order.
+    pub failures: Vec<GateFailure>,
+}
+
+/// Extract just the failed gates from a report: the regression rows,
+/// each paired with the threshold it was judged against.
+pub fn gate_failures(report: &DiffReport, config: &DiffConfig) -> Vec<GateFailure> {
+    report
+        .rows
+        .iter()
+        .filter(|r| r.verdict == Verdict::Regression)
+        .map(|r| GateFailure {
+            path: r.path.clone(),
+            baseline: r.old.clone(),
+            current: r.new.clone(),
+            delta: r.delta.clone(),
+            threshold: applied_threshold(&r.path, config),
+        })
+        .collect()
+}
+
+/// Build the machine-readable verdict for a report.
+pub fn diff_verdict(report: &DiffReport, config: &DiffConfig) -> DiffVerdict {
+    DiffVerdict {
+        exit_code: i64::from(report.exit_code()),
+        compared: report.compared as u64,
+        regressions: report.regressions as u64,
+        improvements: report.improvements as u64,
+        incomparable: report.incomparable as u64,
+        failures: gate_failures(report, config),
+    }
+}
+
+/// Render a table of ONLY the failed gates — what a developer reading a
+/// red CI log needs first, without digging through the full delta
+/// table. Empty string when nothing failed.
+pub fn render_failures(report: &DiffReport, config: &DiffConfig) -> String {
+    let failures = gate_failures(report, config);
+    if failures.is_empty() {
+        return String::new();
+    }
+    let rows: Vec<Vec<String>> = failures
+        .iter()
+        .map(|f| {
+            vec![
+                f.path.clone(),
+                f.baseline.clone(),
+                f.current.clone(),
+                f.delta.clone(),
+                format!("{:.1}%", f.threshold * 100.0),
+            ]
+        })
+        .collect();
+    format!(
+        "FAILED GATES ({}):\n{}",
+        failures.len(),
+        crate::render_table(
+            &["path", "baseline", "current", "delta", "threshold"],
+            &rows
+        ),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -616,6 +720,66 @@ mod tests {
         assert!(text.contains("REGRESSION"));
         assert!(text.contains("1 regression(s)"));
         assert!(text.contains("threshold 5.0%"));
+    }
+
+    #[test]
+    fn failure_table_lists_only_regressed_gates_with_their_thresholds() {
+        // One gated regression, one throughput regression, one drift,
+        // one improvement: the failure table must hold exactly the two
+        // regressions, each with the threshold that judged it.
+        let old = json(
+            r#"{"cells": [{"enforced": 0.50, "monolithic": 0.80}],
+                "sim": {"enforced": {"items_per_sec": 6.0e6}},
+                "note_info": 1.0}"#,
+        );
+        let new = json(
+            r#"{"cells": [{"enforced": 0.60, "monolithic": 0.70}],
+                "sim": {"enforced": {"items_per_sec": 1.0e6}},
+                "note_info": 2.0}"#,
+        );
+        let cfg = DiffConfig::default();
+        let rep = diff_manifests(&manifest(old), &manifest(new), &cfg);
+        assert_eq!(rep.regressions, 2);
+
+        let failures = gate_failures(&rep, &cfg);
+        assert_eq!(failures.len(), 2);
+        assert_eq!(failures[0].path, "cells[0].enforced");
+        assert_eq!(failures[0].threshold, cfg.threshold);
+        assert_eq!(failures[1].path, "sim.enforced.items_per_sec");
+        assert_eq!(failures[1].threshold, cfg.throughput_threshold);
+
+        let table = render_failures(&rep, &cfg);
+        assert!(table.contains("FAILED GATES (2)"), "{table}");
+        assert!(table.contains("cells[0].enforced"), "{table}");
+        assert!(table.contains("50.0%"), "{table}");
+        // Non-failures stay out of the failure table.
+        assert!(!table.contains("monolithic"), "{table}");
+        assert!(!table.contains("note_info"), "{table}");
+    }
+
+    #[test]
+    fn failure_table_is_empty_when_clean() {
+        let r = json(r#"{"cells": [{"enforced": 0.5}]}"#);
+        let cfg = DiffConfig::default();
+        let rep = diff_manifests(&manifest(r.clone()), &manifest(r), &cfg);
+        assert_eq!(render_failures(&rep, &cfg), "");
+        assert!(gate_failures(&rep, &cfg).is_empty());
+    }
+
+    #[test]
+    fn verdict_json_round_trips_and_matches_report() {
+        let old = json(r#"{"cells": [{"enforced": 0.50}]}"#);
+        let new = json(r#"{"cells": [{"enforced": 0.75}]}"#);
+        let cfg = DiffConfig::default();
+        let rep = diff_manifests(&manifest(old), &manifest(new), &cfg);
+        let verdict = diff_verdict(&rep, &cfg);
+        assert_eq!(verdict.exit_code, 1);
+        assert_eq!(verdict.regressions, 1);
+        assert_eq!(verdict.failures.len(), 1);
+        assert_eq!(verdict.failures[0].current, "0.750000");
+        let text = serde_json::to_string(&verdict).unwrap();
+        let back: DiffVerdict = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, verdict);
     }
 
     #[test]

@@ -11,7 +11,10 @@
 pub mod diff;
 pub mod manifest;
 
-pub use diff::{diff_manifests, render_diff, DiffConfig, DiffReport};
+pub use diff::{
+    diff_manifests, diff_verdict, render_diff, render_failures, DiffConfig, DiffReport,
+    DiffVerdict, GateFailure,
+};
 pub use manifest::{parse_metrics_flag, MetricsFormat, RunManifest};
 
 use std::fmt::Write as _;

@@ -108,13 +108,38 @@ pub fn emit_sweep_metrics(
     config: &SweepConfig,
     format: MetricsFormat,
 ) -> std::io::Result<PathBuf> {
+    emit_sweep_metrics_live(name, result, config, format, None)
+}
+
+/// [`emit_sweep_metrics`] plus an optional live-metrics snapshot: when
+/// present (and the format is JSON), the final registry state is
+/// embedded in the manifest's results under the `live_metrics` key, so
+/// the scheduler's cells-claimed / steal / busy-fraction counters land
+/// next to the per-cell results they describe. CSV output ignores the
+/// snapshot (its schema is per-cell rows).
+pub fn emit_sweep_metrics_live(
+    name: &str,
+    result: &SweepResult,
+    config: &SweepConfig,
+    format: MetricsFormat,
+    live: Option<&rtsdf::metrics::MetricsSnapshot>,
+) -> std::io::Result<PathBuf> {
     match format {
-        MetricsFormat::Json => RunManifest::new(
-            name,
-            serde_json::to_value(config).expect("config serializes"),
-            serde_json::to_value(result).expect("sweep serializes"),
-        )
-        .write(),
+        MetricsFormat::Json => {
+            let mut results = serde_json::to_value(result).expect("sweep serializes");
+            if let (Some(snap), Value::Object(m)) = (live, &mut results) {
+                m.insert(
+                    "live_metrics".into(),
+                    serde_json::to_value(snap).expect("snapshot serializes"),
+                );
+            }
+            RunManifest::new(
+                name,
+                serde_json::to_value(config).expect("config serializes"),
+                results,
+            )
+            .write()
+        }
         MetricsFormat::Csv => {
             let t = |t: &Option<SolveTelemetry>, f: &dyn Fn(&SolveTelemetry) -> String| {
                 t.as_ref().map_or_else(|| "-".into(), f)

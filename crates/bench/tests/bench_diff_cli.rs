@@ -1,0 +1,103 @@
+//! End-to-end tests for the `bench_diff` binary: exit codes, the
+//! failed-gates table, and the `--json-verdict` output.
+
+use bench::DiffVerdict;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bench-diff-cli-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write_manifest(dir: &std::path::Path, file: &str, results: &str) -> PathBuf {
+    let path = dir.join(file);
+    let text = format!(
+        r#"{{"experiment": "fig3", "argv": [], "git_rev": null,
+            "config": null, "results": {results}}}"#
+    );
+    std::fs::write(&path, text).unwrap();
+    path
+}
+
+fn run(args: &[&str]) -> (i32, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_bench_diff"))
+        .args(args)
+        .output()
+        .unwrap();
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8(out.stdout).unwrap(),
+    )
+}
+
+#[test]
+fn regression_prints_failed_gates_table_and_writes_verdict() {
+    let dir = temp_dir("regress");
+    let old = write_manifest(
+        &dir,
+        "old.json",
+        r#"{"cells": [{"enforced": 0.50, "monolithic": 0.80}]}"#,
+    );
+    let new = write_manifest(
+        &dir,
+        "new.json",
+        r#"{"cells": [{"enforced": 0.60, "monolithic": 0.80}]}"#,
+    );
+    let verdict_path = dir.join("verdict.json");
+    let (code, stdout) = run(&[
+        old.to_str().unwrap(),
+        new.to_str().unwrap(),
+        "--json-verdict",
+        verdict_path.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 1, "{stdout}");
+    assert!(stdout.contains("FAILED GATES (1)"), "{stdout}");
+    assert!(stdout.contains("cells[0].enforced"), "{stdout}");
+    // Only the failed gate appears in the failure table (after the
+    // summary line that ends the full delta table).
+    let failures = stdout.split("FAILED GATES").nth(1).unwrap();
+    assert!(!failures.contains("monolithic"), "{stdout}");
+
+    let verdict: DiffVerdict =
+        serde_json::from_str(&std::fs::read_to_string(&verdict_path).unwrap()).unwrap();
+    assert_eq!(verdict.exit_code, 1);
+    assert_eq!(verdict.regressions, 1);
+    assert_eq!(verdict.failures.len(), 1);
+    assert_eq!(verdict.failures[0].path, "cells[0].enforced");
+    assert_eq!(verdict.failures[0].threshold, 0.05);
+}
+
+#[test]
+fn clean_diff_exits_zero_with_clean_verdict_and_no_failure_table() {
+    let dir = temp_dir("clean");
+    let old = write_manifest(&dir, "old.json", r#"{"cells": [{"enforced": 0.50}]}"#);
+    let new = write_manifest(&dir, "new.json", r#"{"cells": [{"enforced": 0.50}]}"#);
+    let verdict_path = dir.join("verdict.json");
+    let (code, stdout) = run(&[
+        old.to_str().unwrap(),
+        new.to_str().unwrap(),
+        "--json-verdict",
+        verdict_path.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(!stdout.contains("FAILED GATES"), "{stdout}");
+    let verdict: DiffVerdict =
+        serde_json::from_str(&std::fs::read_to_string(&verdict_path).unwrap()).unwrap();
+    assert_eq!(verdict.exit_code, 0);
+    assert!(verdict.failures.is_empty());
+}
+
+#[test]
+fn json_verdict_without_a_path_is_a_usage_error() {
+    let dir = temp_dir("usage");
+    let old = write_manifest(&dir, "old.json", r#"{}"#);
+    let new = write_manifest(&dir, "new.json", r#"{}"#);
+    let (code, _) = run(&[
+        old.to_str().unwrap(),
+        new.to_str().unwrap(),
+        "--json-verdict",
+    ]);
+    assert_eq!(code, 2);
+}

@@ -16,6 +16,7 @@ USAGE:
                       [--b B1,B2,...] [--items N] [--seeds K] [--json]
                       [--metrics json|csv]
   rtsdf-cli sweep     --pipeline FILE [--grid RxC] [--csv] [--metrics json|csv]
+                      [--live] [--live-interval MS] [--metrics-listen ADDR]
   rtsdf-cli calibrate --pipeline FILE --points T1:D1,T2:D2,...
                       [--seeds K] [--items N]
   rtsdf-cli gantt     --pipeline FILE --tau0 T --deadline D
@@ -28,6 +29,7 @@ USAGE:
                       [--b B1,B2,...] [--items N] [--seeds K]
                       [--intensities I1,I2,...] [--target F] [--json]
                       [--metrics json|csv]
+                      [--live] [--live-interval MS] [--metrics-listen ADDR]
 
 OPTIONS:
   --pipeline FILE   JSON file holding a PipelineSpec (see example-pipeline)
@@ -51,7 +53,41 @@ OPTIONS:
   --intensities L   perturbation intensities to sweep (default: 0,0.5,1)
   --target F        miss-free-fraction target for the robustness margin
                     (default: 0.95)
+  --live            render an in-place progress line (cells/runs done, ETA,
+                    items/s, shed and miss counters) on stderr
+  --live-interval MS  progress-line refresh interval in milliseconds
+                    (default: 500; implies --live)
+  --metrics-listen ADDR  serve Prometheus text at GET /metrics on ADDR
+                    (e.g. 127.0.0.1:9184; port 0 picks a free port)
 ";
+
+/// Live-telemetry options shared by `sweep` and `stress`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LiveOpts {
+    /// Render an in-place progress line on stderr.
+    pub live: bool,
+    /// Refresh interval of the progress line, in milliseconds.
+    pub interval_ms: u64,
+    /// Serve Prometheus text at `GET /metrics` on this address.
+    pub metrics_listen: Option<String>,
+}
+
+impl LiveOpts {
+    /// Everything off (the default).
+    pub fn off() -> Self {
+        LiveOpts {
+            live: false,
+            interval_ms: 500,
+            metrics_listen: None,
+        }
+    }
+
+    /// True when any live machinery (progress line or `/metrics`
+    /// server) is requested, i.e. a registry must be created.
+    pub fn enabled(&self) -> bool {
+        self.live || self.metrics_listen.is_some()
+    }
+}
 
 /// Which strategies an `optimize` run covers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -124,6 +160,8 @@ pub enum Command {
         csv: bool,
         /// Also write a run manifest / metrics file.
         metrics: Option<MetricsFormat>,
+        /// Live progress / `/metrics` serving.
+        live: LiveOpts,
     },
     /// ASCII firing timeline.
     Gantt {
@@ -185,6 +223,8 @@ pub enum Command {
         json: bool,
         /// Also write a run manifest / metrics file.
         metrics: Option<MetricsFormat>,
+        /// Live progress / `/metrics` serving.
+        live: LiveOpts,
     },
     /// §6.2 calibration.
     Calibrate {
@@ -246,6 +286,25 @@ impl<'a> Scanner<'a> {
 
     fn parse_metrics(&self) -> Result<Option<MetricsFormat>, ParseError> {
         bench::parse_metrics_flag(self.args).map_err(ParseError)
+    }
+
+    fn parse_live(&self) -> Result<LiveOpts, ParseError> {
+        let interval_ms = match self.value_of("--live-interval") {
+            None => 500,
+            Some(raw) => {
+                let ms = parse_usize("--live-interval", raw)? as u64;
+                if ms == 0 {
+                    return err("--live-interval: must be at least 1 ms");
+                }
+                ms
+            }
+        };
+        Ok(LiveOpts {
+            // An explicit interval implies the progress line.
+            live: self.has("--live") || self.value_of("--live-interval").is_some(),
+            interval_ms,
+            metrics_listen: self.value_of("--metrics-listen").map(str::to_string),
+        })
     }
 
     fn parse_usize_or(&self, flag: &str, default: usize) -> Result<usize, ParseError> {
@@ -437,7 +496,16 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
             })
         }
         "sweep" => {
-            scan.check_flags(&["--pipeline", "--grid", "--metrics"], &["--csv"])?;
+            scan.check_flags(
+                &[
+                    "--pipeline",
+                    "--grid",
+                    "--metrics",
+                    "--live-interval",
+                    "--metrics-listen",
+                ],
+                &["--csv", "--live"],
+            )?;
             Ok(Command::Sweep {
                 pipeline: scan.require("--pipeline")?.to_string(),
                 grid: match scan.value_of("--grid") {
@@ -446,6 +514,7 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 },
                 csv: scan.has("--csv"),
                 metrics: scan.parse_metrics()?,
+                live: scan.parse_live()?,
             })
         }
         "gantt" => {
@@ -544,8 +613,10 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                     "--intensities",
                     "--target",
                     "--metrics",
+                    "--live-interval",
+                    "--metrics-listen",
                 ],
-                &["--json"],
+                &["--json", "--live"],
             )?;
             Ok(Command::Stress {
                 pipeline: scan.require("--pipeline")?.to_string(),
@@ -568,6 +639,7 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 },
                 json: scan.has("--json"),
                 metrics: scan.parse_metrics()?,
+                live: scan.parse_live()?,
             })
         }
         "calibrate" => {
@@ -810,11 +882,62 @@ mod tests {
                 grid: (12, 6),
                 csv: true,
                 metrics: None,
+                live: LiveOpts::off(),
             }
         );
         assert!(parse(&argv("sweep --pipeline p --grid 1x6")).is_err());
         assert!(parse(&argv("sweep --pipeline p --grid 4x4x4")).is_err());
         assert!(parse(&argv("sweep --pipeline p --grid huge")).is_err());
+    }
+
+    #[test]
+    fn parses_live_options() {
+        // Defaults: everything off.
+        match parse(&argv("sweep --pipeline p.json")).unwrap() {
+            Command::Sweep { live, .. } => {
+                assert_eq!(live, LiveOpts::off());
+                assert!(!live.enabled());
+            }
+            other => panic!("{other:?}"),
+        }
+        // --live alone.
+        match parse(&argv("sweep --pipeline p.json --live")).unwrap() {
+            Command::Sweep { live, .. } => {
+                assert!(live.live && live.enabled());
+                assert_eq!(live.interval_ms, 500);
+                assert_eq!(live.metrics_listen, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        // An explicit interval implies --live.
+        match parse(&argv(
+            "stress --pipeline p --tau0 1 --deadline 1e5 --live-interval 100",
+        ))
+        .unwrap()
+        {
+            Command::Stress { live, .. } => {
+                assert!(live.live);
+                assert_eq!(live.interval_ms, 100);
+            }
+            other => panic!("{other:?}"),
+        }
+        // --metrics-listen enables the registry without the progress line.
+        match parse(&argv(
+            "sweep --pipeline p.json --metrics-listen 127.0.0.1:0",
+        ))
+        .unwrap()
+        {
+            Command::Sweep { live, .. } => {
+                assert!(!live.live && live.enabled());
+                assert_eq!(live.metrics_listen.as_deref(), Some("127.0.0.1:0"));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Bad intervals are rejected.
+        assert!(parse(&argv("sweep --pipeline p --live-interval 0")).is_err());
+        assert!(parse(&argv("sweep --pipeline p --live-interval x")).is_err());
+        // Other subcommands do not accept live flags.
+        assert!(parse(&argv("simulate --pipeline p --tau0 1 --deadline 1 --live")).is_err());
     }
 
     #[test]

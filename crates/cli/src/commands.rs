@@ -2,12 +2,14 @@
 //! results.
 
 use crate::args::{Command, Strategy, TraceFormat};
+use crate::live::{render_stress, render_sweep, LiveSession};
 use bench::{MetricsFormat, RunManifest};
 use obs_trace::{chrome_trace_string, render_blame, ForensicsConfig, SpanSink, TraceConfig};
-use rtsdf::core::comparison::{sweep_parallel, SweepConfig};
-use rtsdf::core::FlexibleSharesProblem;
+use rtsdf::core::comparison::{sweep_parallel_live, SweepConfig, SweepOptions, SweepProgress};
+use rtsdf::core::{worker_threads, FlexibleSharesProblem};
 use rtsdf::prelude::*;
 use rtsdf::sim::calibration::{calibrate_enforced, CalibrationConfig};
+use rtsdf::sim::{robustness_report_live, SimLiveMetrics};
 use std::fmt;
 use std::io::Write;
 
@@ -264,6 +266,7 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<(), CommandError> {
             grid,
             csv,
             metrics,
+            live,
         } => {
             let p = load_pipeline(&pipeline)?;
             let (tau0s, ds) = RtParams::paper_grid(grid.0, grid.1);
@@ -272,12 +275,36 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<(), CommandError> {
                 monolithic_b: 1.0,
                 monolithic_s: 1.0,
             };
+            let progress = live.enabled().then(|| SweepProgress::new(worker_threads()));
+            let session = progress
+                .as_ref()
+                .map(|pr| LiveSession::start(&live, pr.registry(), render_sweep))
+                .transpose()
+                .map_err(CommandError::Params)?;
             // Bit-identical to the sequential sweep (property-tested), so
-            // the CSV/manifest output is unchanged — just faster.
-            let r = sweep_parallel(&p, &tau0s, &ds, &config)
-                .map_err(|e| CommandError::Params(e.to_string()))?;
+            // the CSV/manifest output is unchanged — just faster. Live
+            // telemetry publishes on the side of each cell's solve.
+            let r = sweep_parallel_live(
+                &p,
+                &tau0s,
+                &ds,
+                &config,
+                &SweepOptions::default(),
+                progress.as_ref(),
+            )
+            .map_err(|e| CommandError::Params(e.to_string()))?;
+            let snap = progress.as_ref().map(|pr| pr.registry().snapshot());
+            if let Some(s) = session {
+                s.finish();
+            }
             if let Some(format) = metrics {
-                let path = bench::manifest::emit_sweep_metrics("sweep", &r, &config, format)?;
+                let path = bench::manifest::emit_sweep_metrics_live(
+                    "sweep",
+                    &r,
+                    &config,
+                    format,
+                    snap.as_ref(),
+                )?;
                 eprintln!("wrote {}", path.display());
             }
             if csv {
@@ -425,6 +452,7 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<(), CommandError> {
             target,
             json,
             metrics,
+            live,
         } => {
             let p = load_pipeline(&pipeline)?;
             let params = params(tau0, deadline)?;
@@ -436,7 +464,15 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<(), CommandError> {
                 .solve_fast()
                 .map_err(|e| CommandError::Params(e.to_string()))?;
             let cfg = SimConfig::quick(tau0, 0, items);
-            let report = robustness_report(
+            let live_metrics = live
+                .enabled()
+                .then(|| SimLiveMetrics::new(p.len(), worker_threads()));
+            let session = live_metrics
+                .as_ref()
+                .map(|m| LiveSession::start(&live, m.registry(), render_stress))
+                .transpose()
+                .map_err(CommandError::Params)?;
+            let report = robustness_report_live(
                 &p,
                 &enforced,
                 &mono,
@@ -446,24 +482,38 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<(), CommandError> {
                 &Perturbation::standard(1.0),
                 &intensities,
                 target,
+                live_metrics.as_ref(),
             );
+            let snap = live_metrics.as_ref().map(|m| m.registry().snapshot());
+            if let Some(s) = session {
+                s.finish();
+            }
             if let Some(format) = metrics {
                 let path = match format {
-                    MetricsFormat::Json => RunManifest::new(
-                        "stress",
-                        serde_json::json!({
-                            "pipeline": pipeline,
-                            "tau0": tau0,
-                            "deadline": deadline,
-                            "b": b,
-                            "items": items,
-                            "seeds": seeds,
-                            "intensities": intensities,
-                            "target": target,
-                        }),
-                        serde_json::to_value(&report).expect("report serializes"),
-                    )
-                    .write()?,
+                    MetricsFormat::Json => {
+                        let mut results = serde_json::to_value(&report).expect("report serializes");
+                        if let (Some(snap), serde_json::Value::Object(m)) = (&snap, &mut results) {
+                            m.insert(
+                                "live_metrics".into(),
+                                serde_json::to_value(snap).expect("snapshot serializes"),
+                            );
+                        }
+                        RunManifest::new(
+                            "stress",
+                            serde_json::json!({
+                                "pipeline": pipeline,
+                                "tau0": tau0,
+                                "deadline": deadline,
+                                "b": b,
+                                "items": items,
+                                "seeds": seeds,
+                                "intensities": intensities,
+                                "target": target,
+                            }),
+                            results,
+                        )
+                        .write()?
+                    }
                     MetricsFormat::Csv => {
                         let cell = |name: &str,
                                     pt: &rtsdf::sim::robustness::RobustnessPoint,

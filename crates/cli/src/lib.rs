@@ -22,6 +22,7 @@
 
 pub mod args;
 pub mod commands;
+pub mod live;
 
 pub use args::{parse, Command, ParseError};
 

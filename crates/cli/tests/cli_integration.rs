@@ -317,3 +317,91 @@ fn trace_monolithic_strategy_works() {
     let v: serde_json::Value = serde_json::from_str(&text).unwrap();
     assert!(!v["traceEvents"].as_array().unwrap().is_empty());
 }
+
+#[test]
+fn sweep_live_output_is_bit_identical_to_plain() {
+    let path = pipeline_file();
+    let plain = run_to_string(&format!(
+        "sweep --pipeline {} --grid 4x4 --csv",
+        path.display()
+    ))
+    .unwrap();
+    // --live-interval implies --live; 127.0.0.1:0 binds an ephemeral
+    // port so parallel test runs never collide.
+    let live = run_to_string(&format!(
+        "sweep --pipeline {} --grid 4x4 --csv --live-interval 10 --metrics-listen 127.0.0.1:0",
+        path.display()
+    ))
+    .unwrap();
+    assert_eq!(plain, live, "live telemetry must not change results");
+}
+
+#[test]
+fn sweep_manifest_embeds_live_metrics_snapshot() {
+    // Manifest output lands in $BENCH_OUT_DIR, so run the real binary
+    // in a subprocess rather than mutating this process's environment.
+    let pipeline = pipeline_file();
+    let dir = std::env::temp_dir().join(format!("rtsdf-cli-live-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let status = std::process::Command::new(env!("CARGO_BIN_EXE_rtsdf-cli"))
+        .args([
+            "sweep",
+            "--pipeline",
+            pipeline.to_str().unwrap(),
+            "--grid",
+            "4x4",
+            "--metrics",
+            "json",
+            "--live-interval",
+            "20",
+            "--metrics-listen",
+            "127.0.0.1:0",
+        ])
+        .env("BENCH_OUT_DIR", &dir)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .status()
+        .unwrap();
+    assert!(status.success());
+    let text = std::fs::read_to_string(dir.join("BENCH_sweep.json")).unwrap();
+    let v: serde_json::Value = serde_json::from_str(&text).unwrap();
+    let families = v["results"]["live_metrics"]["families"]
+        .as_array()
+        .expect("manifest embeds the final registry snapshot");
+    let total = |name: &str| -> f64 {
+        families
+            .iter()
+            .find(|f| f["name"].as_str() == Some(name))
+            .map(|f| {
+                f["samples"]
+                    .as_array()
+                    .unwrap()
+                    .iter()
+                    .map(|s| s["value"].as_f64().unwrap())
+                    .sum()
+            })
+            .unwrap_or(0.0)
+    };
+    // Every cell of the 4x4 grid was claimed and completed, and the
+    // snapshot agrees with the manifest's own cell list.
+    assert_eq!(total("rtsdf_sweep_cells_completed"), 16.0, "{text}");
+    assert_eq!(total("rtsdf_sweep_cells_claimed"), 16.0, "{text}");
+    assert_eq!(v["results"]["cells"].as_array().unwrap().len(), 16);
+    assert!(total("rtsdf_sweep_steals") >= 1.0);
+}
+
+#[test]
+fn stress_live_output_is_bit_identical_to_plain() {
+    let path = pipeline_file();
+    let cmd = |extra: &str| {
+        run_to_string(&format!(
+            "stress --pipeline {} --tau0 10 --deadline 1e5 --b 1,3,9,6 \
+             --items 400 --seeds 2 --intensities 0,1 --json{extra}",
+            path.display()
+        ))
+        .unwrap()
+    };
+    let plain = cmd("");
+    let live = cmd(" --live --live-interval 10");
+    assert_eq!(plain, live, "live telemetry must not change results");
+}

@@ -11,8 +11,11 @@ use crate::schedule::ScheduleError;
 use crate::telemetry::SolveTelemetry;
 use crate::threads::worker_threads;
 use dataflow_model::{PipelineSpec, RtParams};
+use metrics::{CounterHandle, GaugeHandle, Registry};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// One grid cell's results.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -231,12 +234,109 @@ pub fn sweep_with(
     })
 }
 
+/// Live telemetry for the work-stealing sweep scheduler: a sharded
+/// [`Registry`] that workers update as they claim and finish cells.
+/// Attach one via [`sweep_parallel_live`]; scrape it with
+/// `metrics::MetricsServer` or poll [`SweepProgress::completed`] for a
+/// progress line. Publishing is pure counting on the side of each
+/// cell's solve, so instrumented sweeps stay bit-identical to plain
+/// ones.
+#[derive(Debug)]
+pub struct SweepProgress {
+    registry: Arc<Registry>,
+    cells_total: GaugeHandle,
+    cells_completed: CounterHandle,
+    cells_claimed: CounterHandle,
+    steals: CounterHandle,
+    busy_fraction: GaugeHandle,
+}
+
+impl SweepProgress {
+    /// Progress tracker sharded over `workers` threads (use
+    /// [`worker_threads`]).
+    pub fn new(workers: usize) -> Self {
+        let mut r = Registry::new(workers);
+        let cells_total = r.gauge("rtsdf_sweep_cells_total", "total cells in the sweep grid");
+        let cells_completed = r.counter("rtsdf_sweep_cells_completed", "cells finished so far");
+        let cells_claimed = r.counter_full(
+            "rtsdf_sweep_cells_claimed",
+            "cells claimed from the shared cursor, per worker",
+            &[],
+            true,
+        );
+        let steals = r.counter_full(
+            "rtsdf_sweep_steals",
+            "cursor claims (steals) performed, per worker",
+            &[],
+            true,
+        );
+        let busy_fraction = r.gauge_full(
+            "rtsdf_sweep_worker_busy_fraction",
+            "fraction of wall-clock time spent solving cells, per worker",
+            &[],
+            true,
+        );
+        SweepProgress {
+            registry: Arc::new(r),
+            cells_total,
+            cells_completed,
+            cells_claimed,
+            steals,
+            busy_fraction,
+        }
+    }
+
+    /// The underlying registry, for serving `/metrics` or snapshots.
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.registry)
+    }
+
+    /// Record the grid size (idempotent; called by the sweep entry).
+    pub fn set_total(&self, total: usize) {
+        self.registry.gauge_set(self.cells_total, 0, total as f64);
+    }
+
+    /// Total cells, as last recorded by [`set_total`](Self::set_total).
+    pub fn total(&self) -> u64 {
+        self.registry.gauge_value(self.cells_total) as u64
+    }
+
+    /// Cells finished so far, summed across workers.
+    pub fn completed(&self) -> u64 {
+        self.registry.counter_value(self.cells_completed)
+    }
+
+    fn on_claim(&self, worker: usize, cells: u64) {
+        self.registry.inc(self.steals, worker, 1);
+        self.registry.inc(self.cells_claimed, worker, cells);
+    }
+
+    fn on_cell_done(&self, worker: usize, busy: Duration, elapsed: Duration) {
+        self.registry.inc(self.cells_completed, worker, 1);
+        let wall = elapsed.as_secs_f64();
+        if wall > 0.0 {
+            self.registry
+                .gauge_set(self.busy_fraction, worker, busy.as_secs_f64() / wall);
+        }
+    }
+}
+
 /// Run `f` over `0..total` with `threads` workers pulling indices from a
 /// shared atomic cursor (cell-level work stealing). Results come back in
 /// index order. Unlike static chunking, a worker that drains its cheap
 /// items immediately steals from the expensive tail, so imbalanced
 /// workloads no longer serialize behind one thread.
-fn work_steal<T: Send>(total: usize, threads: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+///
+/// With `live` attached, each claim and cell completion is published
+/// into the progress registry; the uninstrumented path stays
+/// allocation- and timing-free — each hook is one untaken branch on the
+/// `Option`.
+fn work_steal_live<T: Send>(
+    total: usize,
+    threads: usize,
+    f: impl Fn(usize) -> T + Sync,
+    live: Option<&SweepProgress>,
+) -> Vec<T> {
     let threads = threads.min(total.max(1));
     let cursor = AtomicUsize::new(0);
     // Each cursor bump claims a run of `chunk` indices instead of one:
@@ -249,7 +349,7 @@ fn work_steal<T: Send>(total: usize, threads: usize, f: impl Fn(usize) -> T + Sy
     slots.resize_with(total, || None);
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
-        for _ in 0..threads {
+        for worker in 0..threads {
             let cursor = &cursor;
             let f = &f;
             handles.push(scope.spawn(move || {
@@ -257,13 +357,26 @@ fn work_steal<T: Send>(total: usize, threads: usize, f: impl Fn(usize) -> T + Sy
                 // forbids unsafe code, so disjoint slot writes are merged
                 // single-threaded after the join instead.
                 let mut local = Vec::new();
+                let started = Instant::now();
+                let mut busy = Duration::ZERO;
                 loop {
                     let start = cursor.fetch_add(chunk, Ordering::Relaxed);
                     if start >= total {
                         break;
                     }
-                    for idx in start..(start + chunk).min(total) {
-                        local.push((idx, f(idx)));
+                    let stop = (start + chunk).min(total);
+                    if let Some(p) = live {
+                        p.on_claim(worker, (stop - start) as u64);
+                    }
+                    for idx in start..stop {
+                        if let Some(p) = live {
+                            let cell_start = Instant::now();
+                            local.push((idx, f(idx)));
+                            busy += cell_start.elapsed();
+                            p.on_cell_done(worker, busy, started.elapsed());
+                        } else {
+                            local.push((idx, f(idx)));
+                        }
                     }
                 }
                 local
@@ -307,6 +420,22 @@ pub fn sweep_parallel_with(
     config: &SweepConfig,
     opts: &SweepOptions,
 ) -> Result<SweepResult, ScheduleError> {
+    sweep_parallel_live(pipeline, tau0s, deadlines, config, opts, None)
+}
+
+/// [`sweep_parallel_with`] plus optional live telemetry: when
+/// `progress` is attached, workers publish per-cell claim, steal,
+/// completion, and busy-fraction metrics into its registry as the sweep
+/// runs. Results remain bit-identical to the uninstrumented sweep —
+/// publishing happens outside each cell's solve.
+pub fn sweep_parallel_live(
+    pipeline: &PipelineSpec,
+    tau0s: &[f64],
+    deadlines: &[f64],
+    config: &SweepConfig,
+    opts: &SweepOptions,
+    progress: Option<&SweepProgress>,
+) -> Result<SweepResult, ScheduleError> {
     validate_grid(tau0s, deadlines)?;
     let rows = tau0s.len();
     let cols = deadlines.len();
@@ -320,25 +449,44 @@ pub fn sweep_parallel_with(
     if total == 0 {
         return Ok(result(Vec::new()));
     }
+    if let Some(p) = progress {
+        p.set_total(total);
+    }
     if !opts.warm_start {
-        let cells = work_steal(total, threads, |idx| {
-            let (i, j) = (idx / cols, idx % cols);
-            let params = RtParams::new(tau0s[i], deadlines[j]).expect("grid validated above");
-            compare_at(pipeline, params, config)
-        });
+        let cells = work_steal_live(
+            total,
+            threads,
+            |idx| {
+                let (i, j) = (idx / cols, idx % cols);
+                let params = RtParams::new(tau0s[i], deadlines[j]).expect("grid validated above");
+                compare_at(pipeline, params, config)
+            },
+            progress,
+        );
         return Ok(result(cells));
     }
     // Phase 1: one cold anchor per row (the largest deadline).
-    let anchors = work_steal(rows, threads, |i| {
-        let params = RtParams::new(tau0s[i], deadlines[cols - 1]).expect("grid validated above");
-        compare_at_full(pipeline, params, config, None)
-    });
+    let anchors = work_steal_live(
+        rows,
+        threads,
+        |i| {
+            let params =
+                RtParams::new(tau0s[i], deadlines[cols - 1]).expect("grid validated above");
+            compare_at_full(pipeline, params, config, None)
+        },
+        progress,
+    );
     // Phase 2: every remaining cell, warmed from its row's anchor.
-    let rest = work_steal(rows * (cols - 1), threads, |idx| {
-        let (i, j) = (idx / (cols - 1), idx % (cols - 1));
-        let params = RtParams::new(tau0s[i], deadlines[j]).expect("grid validated above");
-        compare_at_full(pipeline, params, config, anchors[i].1.as_ref()).0
-    });
+    let rest = work_steal_live(
+        rows * (cols - 1),
+        threads,
+        |idx| {
+            let (i, j) = (idx / (cols - 1), idx % (cols - 1));
+            let params = RtParams::new(tau0s[i], deadlines[j]).expect("grid validated above");
+            compare_at_full(pipeline, params, config, anchors[i].1.as_ref()).0
+        },
+        progress,
+    );
     let mut cells = Vec::with_capacity(total);
     let mut rest = rest.into_iter();
     for (anchor_cell, _) in anchors {
@@ -501,6 +649,38 @@ mod tests {
             assert_eq!(a.deadline, b.deadline);
             assert_eq!(a.enforced, b.enforced);
             assert_eq!(a.monolithic, b.monolithic);
+        }
+    }
+
+    #[test]
+    fn live_sweep_is_bit_identical_and_counts_every_cell() {
+        let p = blast();
+        let (tau0s, ds) = RtParams::paper_grid(4, 4);
+        let cfg = SweepConfig::paper_blast();
+        for warm in [false, true] {
+            let opts = SweepOptions { warm_start: warm };
+            let plain = sweep_parallel_with(&p, &tau0s, &ds, &cfg, &opts).unwrap();
+            let progress = SweepProgress::new(worker_threads());
+            let live = sweep_parallel_live(&p, &tau0s, &ds, &cfg, &opts, Some(&progress)).unwrap();
+            for (a, b) in plain.cells.iter().zip(&live.cells) {
+                assert_eq!((a.tau0, a.deadline), (b.tau0, b.deadline));
+                assert_eq!(a.enforced, b.enforced);
+                assert_eq!(a.monolithic, b.monolithic);
+            }
+            // Every cell is claimed exactly once and completed exactly once.
+            assert_eq!(progress.total(), 16);
+            assert_eq!(progress.completed(), 16);
+            let snap = progress.registry().snapshot();
+            assert_eq!(snap.total("rtsdf_sweep_cells_claimed"), 16.0);
+            assert!(snap.total("rtsdf_sweep_steals") >= 1.0);
+            let busy = snap.family("rtsdf_sweep_worker_busy_fraction").unwrap();
+            for sample in &busy.samples {
+                assert!(
+                    (0.0..=1.0 + 1e-9).contains(&sample.value),
+                    "busy fraction {} out of range",
+                    sample.value
+                );
+            }
         }
     }
 

@@ -363,6 +363,18 @@ impl<'a> EnforcedWaitsProblem<'a> {
                     at,
                     at + dur,
                 );
+                sink.counter(
+                    Track::solver(attempt),
+                    "residual",
+                    at + dur,
+                    cs.len().max(1) as f64 / sol.barrier_ts[i],
+                );
+                sink.counter(
+                    Track::solver(attempt),
+                    "barrier-mu",
+                    at + dur,
+                    sol.barrier_ts[i],
+                );
                 at += dur;
             }
         }
@@ -370,6 +382,13 @@ impl<'a> EnforcedWaitsProblem<'a> {
         telemetry.iterations = (phase1_newtons + sol.newton_iters) as u64;
         telemetry.residual = sol.gap;
         telemetry.barrier_mu = sol.barrier_ts.clone();
+        // Duality-gap bound m/t at each barrier stage: the certified
+        // distance to optimal as centering progressed.
+        telemetry.residual_series = sol
+            .barrier_ts
+            .iter()
+            .map(|&t| cs.len().max(1) as f64 / t)
+            .collect();
         telemetry.phase1_iterations = Some(phase1_newtons as u64);
         Ok((sol.x, telemetry))
     }
@@ -419,6 +438,13 @@ impl<'a> EnforcedWaitsProblem<'a> {
                     at,
                     at + dur,
                 );
+                sink.counter(
+                    track,
+                    "residual",
+                    at + dur,
+                    cs.len().max(1) as f64 / ws.solution.barrier_ts[i],
+                );
+                sink.counter(track, "barrier-mu", at + dur, ws.solution.barrier_ts[i]);
                 at += dur;
             }
         }
@@ -426,6 +452,12 @@ impl<'a> EnforcedWaitsProblem<'a> {
         telemetry.iterations = (ws.phase1_newtons + ws.solution.newton_iters) as u64;
         telemetry.residual = ws.solution.gap;
         telemetry.barrier_mu = ws.solution.barrier_ts.clone();
+        telemetry.residual_series = ws
+            .solution
+            .barrier_ts
+            .iter()
+            .map(|&t| cs.len().max(1) as f64 / t)
+            .collect();
         telemetry.warm_start = true;
         telemetry.phase1_iterations = Some(ws.phase1_newtons as u64);
         Ok((ws.solution.x, telemetry))
@@ -533,6 +565,7 @@ impl<'a> EnforcedWaitsProblem<'a> {
         if budget_of(&z_cap) <= self.params.deadline {
             telemetry.iterations = 1; // one budget evaluation decided it
             telemetry.residual = self.params.deadline - budget_of(&z_cap);
+            telemetry.residual_series.push(telemetry.residual);
             if let Some(sink) = spans.as_deref_mut() {
                 sink.span_detail(
                     track,
@@ -560,7 +593,8 @@ impl<'a> EnforcedWaitsProblem<'a> {
             } else {
                 0.0
             };
-            let over = budget_of(&inner(lam_hi)) > self.params.deadline;
+            let bud = budget_of(&inner(lam_hi));
+            let over = bud > self.params.deadline;
             if let Some(sink) = spans.as_deref_mut() {
                 sink.span_detail(
                     track,
@@ -575,6 +609,9 @@ impl<'a> EnforcedWaitsProblem<'a> {
                 break;
             }
             telemetry.iterations += 1;
+            telemetry
+                .residual_series
+                .push((self.params.deadline - bud).abs());
             lam_hi *= 10.0;
             if lam_hi > 1e30 {
                 return Err(ScheduleError::Solver(
@@ -590,7 +627,11 @@ impl<'a> EnforcedWaitsProblem<'a> {
             } else {
                 0.0
             };
-            let over = budget_of(&inner(mid)) > self.params.deadline;
+            let bud = budget_of(&inner(mid));
+            let over = bud > self.params.deadline;
+            telemetry
+                .residual_series
+                .push((self.params.deadline - bud).abs());
             if let Some(sink) = spans.as_deref_mut() {
                 sink.span_detail(
                     track,
@@ -599,6 +640,12 @@ impl<'a> EnforcedWaitsProblem<'a> {
                     format!("lambda={mid:.4e} over={over}"),
                     started,
                     elapsed_us(&t0),
+                );
+                sink.counter(
+                    track,
+                    "residual",
+                    elapsed_us(&t0),
+                    (self.params.deadline - bud).abs(),
                 );
             }
             if over {
@@ -653,6 +700,7 @@ impl<'a> EnforcedWaitsProblem<'a> {
         if budget_of(&z_cap) <= self.params.deadline {
             telemetry.iterations = 1;
             telemetry.residual = self.params.deadline - budget_of(&z_cap);
+            telemetry.residual_series.push(telemetry.residual);
             if let Some(sink) = spans.as_deref_mut() {
                 sink.span_detail(
                     track,
@@ -698,7 +746,8 @@ impl<'a> EnforcedWaitsProblem<'a> {
             } else {
                 0.0
             };
-            let over = budget_of(&inner(lam_hi)) > self.params.deadline;
+            let bud = budget_of(&inner(lam_hi));
+            let over = bud > self.params.deadline;
             if let Some(sink) = spans.as_deref_mut() {
                 sink.span_detail(
                     track,
@@ -713,6 +762,9 @@ impl<'a> EnforcedWaitsProblem<'a> {
                 break;
             }
             telemetry.iterations += 1;
+            telemetry
+                .residual_series
+                .push((self.params.deadline - bud).abs());
             lam_hi *= 10.0;
             if lam_hi > 1e30 {
                 return Err(ScheduleError::Solver(
@@ -727,7 +779,11 @@ impl<'a> EnforcedWaitsProblem<'a> {
             } else {
                 0.0
             };
-            let over = budget_of(&inner(lam_lo)) > self.params.deadline;
+            let bud = budget_of(&inner(lam_lo));
+            let over = bud > self.params.deadline;
+            telemetry
+                .residual_series
+                .push((self.params.deadline - bud).abs());
             if let Some(sink) = spans.as_deref_mut() {
                 sink.span_detail(
                     track,
@@ -756,7 +812,11 @@ impl<'a> EnforcedWaitsProblem<'a> {
             } else {
                 0.0
             };
-            let over = budget_of(&inner(mid)) > self.params.deadline;
+            let bud = budget_of(&inner(mid));
+            let over = bud > self.params.deadline;
+            telemetry
+                .residual_series
+                .push((self.params.deadline - bud).abs());
             if let Some(sink) = spans.as_deref_mut() {
                 sink.span_detail(
                     track,
@@ -765,6 +825,12 @@ impl<'a> EnforcedWaitsProblem<'a> {
                     format!("lambda={mid:.4e} over={over}"),
                     started,
                     elapsed_us(&t0),
+                );
+                sink.counter(
+                    track,
+                    "residual",
+                    elapsed_us(&t0),
+                    (self.params.deadline - bud).abs(),
                 );
             }
             if over {

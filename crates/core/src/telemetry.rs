@@ -28,6 +28,11 @@ pub struct SolveTelemetry {
     pub residual: f64,
     /// Barrier weight trajectory (interior point only; empty otherwise).
     pub barrier_mu: Vec<f64>,
+    /// Per-iteration convergence series in the method's residual unit:
+    /// duality-gap bound per barrier stage for interior point,
+    /// deadline-budget slack per bisection step for water-filling.
+    /// Empty for exact integer searches.
+    pub residual_series: Vec<f64>,
     /// Wall-clock time the solve took, in microseconds.
     pub wall_micros: f64,
     /// True if this result came from a fallback path after the primary
@@ -56,6 +61,7 @@ impl SolveTelemetry {
             iterations: 0,
             residual: 0.0,
             barrier_mu: Vec::new(),
+            residual_series: Vec::new(),
             wall_micros: 0.0,
             fallback: false,
             warm_start: false,
@@ -87,6 +93,7 @@ mod tests {
         assert_eq!(t.phase1_iterations, None);
         assert_eq!(t.iterations_saved, None);
         assert!(t.barrier_mu.is_empty());
+        assert!(t.residual_series.is_empty());
     }
 
     #[test]
@@ -101,6 +108,7 @@ mod tests {
         let mut t = SolveTelemetry::new("interior-point");
         t.iterations = 12;
         t.barrier_mu = vec![1.0, 20.0];
+        t.residual_series = vec![0.5, 0.05, 0.005];
         t.warm_start = true;
         t.phase1_iterations = Some(3);
         t.iterations_saved = Some(-2);

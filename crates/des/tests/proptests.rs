@@ -139,3 +139,53 @@ proptest! {
         );
     }
 }
+
+proptest! {
+    /// Randomized overfill of the trace ring: for any capacity and any
+    /// number of pushes (often far past capacity), the report must
+    /// account for every record — `trace_dropped` is exactly the
+    /// overflow, and the ring retains exactly the newest `capacity`
+    /// records in chronological order. This is the accounting the
+    /// `rtsdf_sim` drop counters and `/metrics` exposition rely on:
+    /// nothing is silently lost, nothing is double-counted.
+    #[test]
+    fn trace_ring_overfill_accounts_for_every_record(
+        capacity in 1usize..64,
+        pushes in 0usize..512,
+    ) {
+        let mut sink = ObsSink::new(1, ObsConfig::with_trace(capacity));
+        for i in 0..pushes {
+            sink.trace(SimTime::from_cycles(i as u64), 7, format!("e{i}"));
+        }
+        let report = sink.report();
+        let kept = pushes.min(capacity);
+        prop_assert_eq!(report.trace.len(), kept);
+        prop_assert_eq!(
+            report.trace_dropped,
+            pushes.saturating_sub(capacity) as u64,
+            "dropped must be exactly the overflow"
+        );
+        // Retained records are the newest `kept`, oldest first.
+        let expect: Vec<String> =
+            (pushes - kept..pushes).map(|i| format!("e{i}")).collect();
+        let got: Vec<String> =
+            report.trace.iter().map(|r| r.message.clone()).collect();
+        prop_assert_eq!(got, expect);
+        // Total accounting: retained + dropped == pushed.
+        prop_assert_eq!(report.trace.len() as u64 + report.trace_dropped, pushes as u64);
+    }
+
+    /// A zero-capacity config disables tracing: hooks are no-ops and
+    /// nothing is ever counted as dropped, however many events fire.
+    #[test]
+    fn disabled_trace_never_records_or_drops(pushes in 0usize..256) {
+        let mut sink = ObsSink::new(1, ObsConfig::default());
+        prop_assert!(!sink.tracing());
+        for i in 0..pushes {
+            sink.trace(SimTime::from_cycles(i as u64), 1, "ignored");
+        }
+        let report = sink.report();
+        prop_assert_eq!(report.trace.len(), 0);
+        prop_assert_eq!(report.trace_dropped, 0);
+    }
+}

@@ -1,0 +1,32 @@
+//! # metrics — live runtime telemetry for sweeps and simulations
+//!
+//! A sharded, allocation-free-on-the-hot-path registry of counters,
+//! gauges, and fixed-bucket histograms. Metrics are registered up front
+//! (one handle per metric); the hot path is a single relaxed atomic
+//! read-modify-write on a per-worker shard, so concurrent workers never
+//! contend on a cache line and never take a lock. A snapshot merges the
+//! shards into a serde-stable [`MetricsSnapshot`] that two exporters
+//! render: Prometheus text exposition ([`render_prometheus`]) and JSON
+//! (`serde_json` on the snapshot).
+//!
+//! The disabled path follows the same discipline as the simulator's
+//! `ObsSink`: callers thread an `Option<&...>` through their hot loop,
+//! so a disabled registry costs one untaken branch per hook.
+//!
+//! [`MetricsServer`] serves `GET /metrics` (Prometheus text) from a
+//! minimal std-only TCP responder — the pull endpoint a resident
+//! scheduling service needs for admission decisions driven by current
+//! backlog and solver health.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod prometheus;
+pub mod registry;
+pub mod server;
+pub mod snapshot;
+
+pub use prometheus::render_prometheus;
+pub use registry::{CounterHandle, GaugeHandle, HistogramHandle, Registry};
+pub use server::MetricsServer;
+pub use snapshot::{HistogramValue, MetricFamily, MetricSample, MetricsSnapshot};

@@ -1,0 +1,163 @@
+//! Prometheus text exposition (format version 0.0.4).
+//!
+//! Renders a [`MetricsSnapshot`] following the conventions scrapers
+//! expect: one `# HELP` / `# TYPE` pair per family, escaped label
+//! values, and for histograms cumulative `_bucket{le=...}` lines
+//! (including the synthesized `le="+Inf"` line) plus `_sum` and
+//! `_count`.
+
+use crate::snapshot::{MetricSample, MetricsSnapshot};
+use std::fmt::Write;
+
+/// Content-Type header value for the exposition format.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn escape_label_value(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Format a sample value the way Prometheus clients do: integral values
+/// without a fractional part, everything else via shortest-round-trip
+/// `Display`.
+fn fmt_value(v: f64) -> String {
+    if v.is_finite() && v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.0}")
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn label_block(labels: &[(String, String)], extra: Option<(&str, String)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{}\"", escape_label_value(&v)));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+fn render_histogram(out: &mut String, name: &str, sample: &MetricSample) {
+    let Some(hist) = &sample.histogram else {
+        return;
+    };
+    for (bound, cum) in hist.bounds.iter().zip(&hist.cumulative) {
+        let labels = label_block(&sample.labels, Some(("le", fmt_value(*bound))));
+        let _ = writeln!(out, "{name}_bucket{labels} {cum}");
+    }
+    let inf = label_block(&sample.labels, Some(("le", "+Inf".to_string())));
+    let _ = writeln!(out, "{name}_bucket{inf} {}", hist.count);
+    let plain = label_block(&sample.labels, None);
+    let _ = writeln!(out, "{name}_sum{plain} {}", fmt_value(hist.sum));
+    let _ = writeln!(out, "{name}_count{plain} {}", hist.count);
+}
+
+/// Render a snapshot as Prometheus text exposition.
+pub fn render_prometheus(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for family in &snapshot.families {
+        let _ = writeln!(out, "# HELP {} {}", family.name, escape_help(&family.help));
+        let _ = writeln!(out, "# TYPE {} {}", family.name, family.kind);
+        for sample in &family.samples {
+            if family.kind == "histogram" {
+                render_histogram(&mut out, &family.name, sample);
+            } else {
+                let labels = label_block(&sample.labels, None);
+                let _ = writeln!(out, "{}{labels} {}", family.name, fmt_value(sample.value));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::{HistogramValue, MetricFamily, MetricsSnapshot};
+
+    #[test]
+    fn counter_renders_help_type_and_value() {
+        let snap = MetricsSnapshot {
+            families: vec![MetricFamily {
+                name: "c_total".to_string(),
+                help: "a counter".to_string(),
+                kind: "counter".to_string(),
+                samples: vec![MetricSample {
+                    labels: vec![],
+                    value: 7.0,
+                    histogram: None,
+                }],
+            }],
+        };
+        assert_eq!(
+            render_prometheus(&snap),
+            "# HELP c_total a counter\n# TYPE c_total counter\nc_total 7\n"
+        );
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let snap = MetricsSnapshot {
+            families: vec![MetricFamily {
+                name: "g".to_string(),
+                help: "multi\nline \\ help".to_string(),
+                kind: "gauge".to_string(),
+                samples: vec![MetricSample {
+                    labels: vec![("path".to_string(), "a\\b \"q\"\n".to_string())],
+                    value: 1.5,
+                    histogram: None,
+                }],
+            }],
+        };
+        let text = render_prometheus(&snap);
+        assert!(text.contains("# HELP g multi\\nline \\\\ help\n"));
+        assert!(text.contains("g{path=\"a\\\\b \\\"q\\\"\\n\"} 1.5\n"));
+    }
+
+    #[test]
+    fn histogram_gets_inf_bucket_sum_and_count() {
+        let snap = MetricsSnapshot {
+            families: vec![MetricFamily {
+                name: "h".to_string(),
+                help: "hist".to_string(),
+                kind: "histogram".to_string(),
+                samples: vec![MetricSample {
+                    labels: vec![("stage".to_string(), "2".to_string())],
+                    value: 9.5,
+                    histogram: Some(HistogramValue {
+                        bounds: vec![0.5, 2.5],
+                        cumulative: vec![1, 3],
+                        sum: 9.5,
+                        count: 4,
+                    }),
+                }],
+            }],
+        };
+        let text = render_prometheus(&snap);
+        assert!(text.contains("h_bucket{stage=\"2\",le=\"0.5\"} 1\n"));
+        assert!(text.contains("h_bucket{stage=\"2\",le=\"2.5\"} 3\n"));
+        assert!(text.contains("h_bucket{stage=\"2\",le=\"+Inf\"} 4\n"));
+        assert!(text.contains("h_sum{stage=\"2\"} 9.5\n"));
+        assert!(text.contains("h_count{stage=\"2\"} 4\n"));
+    }
+
+    #[test]
+    fn integral_floats_render_without_fraction() {
+        assert_eq!(fmt_value(3.0), "3");
+        assert_eq!(fmt_value(3.25), "3.25");
+        assert_eq!(fmt_value(f64::INFINITY), "+Inf");
+    }
+}

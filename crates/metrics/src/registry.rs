@@ -1,0 +1,513 @@
+//! The sharded metric registry.
+//!
+//! Metrics are registered once, up front, against a fixed number of
+//! worker shards; registration returns a copyable handle. After that
+//! the registry is immutable structure-wise and every mutation is a
+//! relaxed atomic on the caller's own shard:
+//!
+//! * **counters** — monotone `u64`, one atomic cell per shard; a
+//!   snapshot sums the shards (or reports them per worker).
+//! * **gauges** — an `f64` stored as bits, one cell per shard; plain
+//!   set or monotone set-max. Non-per-worker gauges merge by *max*
+//!   across shards, so they must hold non-negative quantities (all of
+//!   ours do: depths, totals, rates, fractions).
+//! * **histograms** — fixed upper-bound buckets plus an overflow
+//!   (`+Inf`) bucket and a running sum, all per shard; a snapshot merges
+//!   shard buckets and renders cumulative counts.
+//!
+//! Because shard cells are pre-allocated at registration, the hot path
+//! (`inc`, `gauge_set`, `observe`) performs no allocation and takes no
+//! lock — the property the `metrics_overhead` bench in `bench/` gates.
+
+use crate::snapshot::{HistogramValue, MetricFamily, MetricSample, MetricsSnapshot};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Handle to a registered counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterHandle(usize);
+
+/// Handle to a registered gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeHandle(usize);
+
+/// Handle to a registered histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramHandle(usize);
+
+#[derive(Debug)]
+struct HistShard {
+    /// One count per finite upper bound, plus a final overflow bucket.
+    counts: Vec<AtomicU64>,
+    /// Running sum of observed values, stored as `f64` bits.
+    sum_bits: AtomicU64,
+}
+
+#[derive(Debug)]
+enum Storage {
+    /// One monotone cell per shard.
+    Counter(Vec<AtomicU64>),
+    /// One `f64`-bits cell per shard.
+    Gauge(Vec<AtomicU64>),
+    /// Per-shard bucket counts and sums.
+    Histogram {
+        bounds: Vec<f64>,
+        shards: Vec<HistShard>,
+    },
+}
+
+#[derive(Debug)]
+struct Metric {
+    name: String,
+    help: String,
+    labels: Vec<(String, String)>,
+    per_worker: bool,
+    storage: Storage,
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self.storage {
+            Storage::Counter(_) => "counter",
+            Storage::Gauge(_) => "gauge",
+            Storage::Histogram { .. } => "histogram",
+        }
+    }
+}
+
+/// The registry: a fixed set of metrics over a fixed set of worker
+/// shards. Shared across workers behind an `Arc`; all mutation methods
+/// take `&self`.
+#[derive(Debug)]
+pub struct Registry {
+    shards: usize,
+    metrics: Vec<Metric>,
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+impl Registry {
+    /// Registry with `shards` worker shards (at least 1).
+    pub fn new(shards: usize) -> Self {
+        Registry {
+            shards: shards.max(1),
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Number of worker shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    fn register(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        per_worker: bool,
+        storage: Storage,
+    ) -> usize {
+        assert!(valid_name(name), "invalid metric name {name:?}");
+        let kind = Metric {
+            name: String::new(),
+            help: String::new(),
+            labels: vec![],
+            per_worker: false,
+            storage,
+        };
+        let labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| {
+                assert!(valid_name(k), "invalid label name {k:?}");
+                (k.to_string(), v.to_string())
+            })
+            .collect();
+        for existing in &self.metrics {
+            if existing.name == name {
+                assert_eq!(
+                    existing.kind(),
+                    kind.kind(),
+                    "metric {name:?} re-registered with a different kind"
+                );
+                assert!(
+                    existing.labels != labels,
+                    "metric {name:?} registered twice with identical labels"
+                );
+            }
+        }
+        self.metrics.push(Metric {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels,
+            per_worker,
+            storage: kind.storage,
+        });
+        self.metrics.len() - 1
+    }
+
+    fn zeroed(&self) -> Vec<AtomicU64> {
+        (0..self.shards).map(|_| AtomicU64::new(0)).collect()
+    }
+
+    /// Register a counter reported as one sum across all shards.
+    pub fn counter(&mut self, name: &str, help: &str) -> CounterHandle {
+        self.counter_full(name, help, &[], false)
+    }
+
+    /// Register a counter with static labels; with `per_worker` the
+    /// snapshot reports one sample per shard (label `worker="i"`)
+    /// instead of the sum.
+    pub fn counter_full(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        per_worker: bool,
+    ) -> CounterHandle {
+        let cells = self.zeroed();
+        CounterHandle(self.register(name, help, labels, per_worker, Storage::Counter(cells)))
+    }
+
+    /// Register a gauge reported as the max across shards (gauges must
+    /// hold non-negative values; see module docs).
+    pub fn gauge(&mut self, name: &str, help: &str) -> GaugeHandle {
+        self.gauge_full(name, help, &[], false)
+    }
+
+    /// Register a gauge with static labels; with `per_worker` the
+    /// snapshot reports each shard's value under a `worker` label.
+    pub fn gauge_full(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        per_worker: bool,
+    ) -> GaugeHandle {
+        let cells = self.zeroed();
+        GaugeHandle(self.register(name, help, labels, per_worker, Storage::Gauge(cells)))
+    }
+
+    /// Register a histogram with the given finite, strictly increasing
+    /// bucket upper bounds (an overflow `+Inf` bucket is implicit).
+    pub fn histogram(&mut self, name: &str, help: &str, bounds: &[f64]) -> HistogramHandle {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]) && bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite and strictly increasing"
+        );
+        let shards = (0..self.shards)
+            .map(|_| HistShard {
+                counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+                sum_bits: AtomicU64::new(0),
+            })
+            .collect();
+        HistogramHandle(self.register(
+            name,
+            help,
+            &[],
+            false,
+            Storage::Histogram {
+                bounds: bounds.to_vec(),
+                shards,
+            },
+        ))
+    }
+
+    fn shard_of(&self, worker: usize) -> usize {
+        if worker < self.shards {
+            worker
+        } else {
+            worker % self.shards
+        }
+    }
+
+    /// Add `n` to a counter on `worker`'s shard.
+    pub fn inc(&self, h: CounterHandle, worker: usize, n: u64) {
+        let Storage::Counter(cells) = &self.metrics[h.0].storage else {
+            unreachable!("counter handle points at a counter");
+        };
+        cells[self.shard_of(worker)].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value of a counter (sum over shards).
+    pub fn counter_value(&self, h: CounterHandle) -> u64 {
+        let Storage::Counter(cells) = &self.metrics[h.0].storage else {
+            unreachable!("counter handle points at a counter");
+        };
+        cells.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Set a gauge on `worker`'s shard.
+    pub fn gauge_set(&self, h: GaugeHandle, worker: usize, value: f64) {
+        let Storage::Gauge(cells) = &self.metrics[h.0].storage else {
+            unreachable!("gauge handle points at a gauge");
+        };
+        cells[self.shard_of(worker)].store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Raise a gauge on `worker`'s shard to `value` if it is larger
+    /// (monotone high-water mark).
+    pub fn gauge_max(&self, h: GaugeHandle, worker: usize, value: f64) {
+        let Storage::Gauge(cells) = &self.metrics[h.0].storage else {
+            unreachable!("gauge handle points at a gauge");
+        };
+        let cell = &cells[self.shard_of(worker)];
+        let _ = cell.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+            (value > f64::from_bits(bits)).then(|| value.to_bits())
+        });
+    }
+
+    /// Current merged value of a gauge (max over shards).
+    pub fn gauge_value(&self, h: GaugeHandle) -> f64 {
+        let Storage::Gauge(cells) = &self.metrics[h.0].storage else {
+            unreachable!("gauge handle points at a gauge");
+        };
+        cells
+            .iter()
+            .map(|c| f64::from_bits(c.load(Ordering::Relaxed)))
+            .fold(0.0, f64::max)
+    }
+
+    /// Record an observation in a histogram on `worker`'s shard.
+    pub fn observe(&self, h: HistogramHandle, worker: usize, value: f64) {
+        let Storage::Histogram { bounds, shards } = &self.metrics[h.0].storage else {
+            unreachable!("histogram handle points at a histogram");
+        };
+        let shard = &shards[self.shard_of(worker)];
+        let idx = bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(bounds.len());
+        shard.counts[idx].fetch_add(1, Ordering::Relaxed);
+        let _ = shard
+            .sum_bits
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                Some((f64::from_bits(bits) + value).to_bits())
+            });
+    }
+
+    /// Merge every shard into a serde-stable snapshot. Concurrent
+    /// writers are fine: counters are monotone per shard, so repeated
+    /// snapshots see non-decreasing sums and never a torn value.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut families: Vec<MetricFamily> = Vec::new();
+        for m in &self.metrics {
+            let samples = self.metric_samples(m);
+            match families.last_mut() {
+                Some(f) if f.name == m.name => f.samples.extend(samples),
+                _ => families.push(MetricFamily {
+                    name: m.name.clone(),
+                    help: m.help.clone(),
+                    kind: m.kind().to_string(),
+                    samples,
+                }),
+            }
+        }
+        MetricsSnapshot { families }
+    }
+
+    fn metric_samples(&self, m: &Metric) -> Vec<MetricSample> {
+        let with_worker = |labels: &[(String, String)], w: usize| {
+            let mut l = labels.to_vec();
+            l.push(("worker".to_string(), w.to_string()));
+            l
+        };
+        match &m.storage {
+            Storage::Counter(cells) => {
+                if m.per_worker {
+                    cells
+                        .iter()
+                        .enumerate()
+                        .map(|(w, c)| MetricSample {
+                            labels: with_worker(&m.labels, w),
+                            value: c.load(Ordering::Relaxed) as f64,
+                            histogram: None,
+                        })
+                        .collect()
+                } else {
+                    let sum: u64 = cells.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+                    vec![MetricSample {
+                        labels: m.labels.clone(),
+                        value: sum as f64,
+                        histogram: None,
+                    }]
+                }
+            }
+            Storage::Gauge(cells) => {
+                let val = |c: &AtomicU64| f64::from_bits(c.load(Ordering::Relaxed));
+                if m.per_worker {
+                    cells
+                        .iter()
+                        .enumerate()
+                        .map(|(w, c)| MetricSample {
+                            labels: with_worker(&m.labels, w),
+                            value: val(c),
+                            histogram: None,
+                        })
+                        .collect()
+                } else {
+                    vec![MetricSample {
+                        labels: m.labels.clone(),
+                        value: cells.iter().map(val).fold(0.0, f64::max),
+                        histogram: None,
+                    }]
+                }
+            }
+            Storage::Histogram { bounds, shards } => {
+                let mut merged = vec![0u64; bounds.len() + 1];
+                let mut sum = 0.0;
+                for shard in shards {
+                    for (acc, c) in merged.iter_mut().zip(&shard.counts) {
+                        *acc += c.load(Ordering::Relaxed);
+                    }
+                    sum += f64::from_bits(shard.sum_bits.load(Ordering::Relaxed));
+                }
+                let count: u64 = merged.iter().sum();
+                // Cumulative counts per finite bound; `count` doubles as
+                // the implicit `+Inf` bucket.
+                let mut cumulative = Vec::with_capacity(bounds.len());
+                let mut acc = 0u64;
+                for c in &merged[..bounds.len()] {
+                    acc += c;
+                    cumulative.push(acc);
+                }
+                vec![MetricSample {
+                    labels: m.labels.clone(),
+                    value: sum,
+                    histogram: Some(HistogramValue {
+                        bounds: bounds.clone(),
+                        cumulative,
+                        sum,
+                        count,
+                    }),
+                }]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_sum_across_shards() {
+        let mut r = Registry::new(4);
+        let c = r.counter("c_total", "a counter");
+        r.inc(c, 0, 2);
+        r.inc(c, 3, 5);
+        r.inc(c, 7, 1); // worker 7 folds onto shard 3
+        assert_eq!(r.counter_value(c), 8);
+        let snap = r.snapshot();
+        assert_eq!(snap.families.len(), 1);
+        assert_eq!(snap.families[0].samples[0].value, 8.0);
+    }
+
+    #[test]
+    fn per_worker_counters_report_each_shard() {
+        let mut r = Registry::new(2);
+        let c = r.counter_full("claims", "per-worker", &[], true);
+        r.inc(c, 0, 3);
+        r.inc(c, 1, 4);
+        let snap = r.snapshot();
+        let samples = &snap.families[0].samples;
+        assert_eq!(samples.len(), 2);
+        assert_eq!(
+            samples[0].labels,
+            vec![("worker".to_string(), "0".to_string())]
+        );
+        assert_eq!(samples[0].value, 3.0);
+        assert_eq!(samples[1].value, 4.0);
+    }
+
+    #[test]
+    fn gauges_set_and_max_merge() {
+        let mut r = Registry::new(2);
+        let g = r.gauge("depth_hwm", "high-water mark");
+        r.gauge_set(g, 0, 5.0);
+        r.gauge_max(g, 1, 9.0);
+        r.gauge_max(g, 1, 3.0); // lower: no effect
+        assert_eq!(r.gauge_value(g), 9.0);
+        r.gauge_set(g, 1, 1.0); // plain set overwrites the shard
+        assert_eq!(r.gauge_value(g), 5.0);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let mut r = Registry::new(2);
+        let h = r.histogram("lat", "latency", &[1.0, 10.0, 100.0]);
+        for (w, v) in [(0, 0.5), (1, 0.9), (0, 5.0), (1, 50.0), (0, 1e6)] {
+            r.observe(h, w, v);
+        }
+        let snap = r.snapshot();
+        let sample = &snap.families[0].samples[0];
+        let hist = sample.histogram.as_ref().unwrap();
+        assert_eq!(hist.cumulative, vec![2, 3, 4]);
+        assert_eq!(hist.count, 5);
+        assert!((hist.sum - (0.5 + 0.9 + 5.0 + 50.0 + 1e6)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn boundary_value_lands_in_its_bucket() {
+        let mut r = Registry::new(1);
+        let h = r.histogram("b", "bounds", &[1.0, 2.0]);
+        r.observe(h, 0, 1.0); // le="1" is inclusive, Prometheus-style
+        r.observe(h, 0, 2.0);
+        let snap = r.snapshot();
+        let hist = snap.families[0].samples[0].histogram.clone().unwrap();
+        assert_eq!(hist.cumulative, vec![1, 2]);
+    }
+
+    #[test]
+    fn same_name_different_labels_is_one_family() {
+        let mut r = Registry::new(1);
+        let a = r.gauge_full("queue_hwm", "per stage", &[("stage", "0")], false);
+        let b = r.gauge_full("queue_hwm", "per stage", &[("stage", "1")], false);
+        r.gauge_set(a, 0, 1.0);
+        r.gauge_set(b, 0, 2.0);
+        let snap = r.snapshot();
+        assert_eq!(snap.families.len(), 1);
+        assert_eq!(snap.families[0].samples.len(), 2);
+        assert_eq!(snap.families[0].samples[1].value, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical labels")]
+    fn duplicate_registration_panics() {
+        let mut r = Registry::new(1);
+        let _ = r.counter("dup", "x");
+        let _ = r.counter("dup", "x");
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_conflict_panics() {
+        let mut r = Registry::new(1);
+        let _ = r.counter("k", "x");
+        let _ = r.gauge_full("k", "x", &[("a", "b")], false);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn bad_name_panics() {
+        let mut r = Registry::new(1);
+        let _ = r.counter("9starts_with_digit", "x");
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let mut r = Registry::new(0);
+        assert_eq!(r.shards(), 1);
+        let c = r.counter("c_total", "x");
+        r.inc(c, 5, 1);
+        assert_eq!(r.counter_value(c), 1);
+    }
+}

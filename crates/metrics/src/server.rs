@@ -1,0 +1,153 @@
+//! Minimal std-only HTTP responder for `GET /metrics`.
+//!
+//! One accept-loop thread, no dependencies: enough to let Prometheus
+//! (or `curl`) scrape a running sweep. Shutdown stores a stop flag and
+//! self-connects to unblock `accept`; `Drop` does the same, so a server
+//! never outlives its scope.
+
+use crate::prometheus::{render_prometheus, CONTENT_TYPE};
+use crate::registry::Registry;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Background server exposing a registry at `GET /metrics`.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+fn respond(status: &str, content_type: &str, body: &str) -> String {
+    format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+fn handle_conn(mut conn: TcpStream, registry: &Registry) {
+    let _ = conn.set_read_timeout(Some(Duration::from_millis(500)));
+    let mut buf = [0u8; 1024];
+    let n = match conn.read(&mut buf) {
+        Ok(n) if n > 0 => n,
+        _ => return,
+    };
+    let request = String::from_utf8_lossy(&buf[..n]);
+    let reply = match request.lines().next().map(str::trim) {
+        Some(line) if line.starts_with("GET /metrics ") || line == "GET /metrics" => {
+            let body = render_prometheus(&registry.snapshot());
+            respond("200 OK", CONTENT_TYPE, &body)
+        }
+        Some(line) if line.starts_with("GET ") => {
+            respond("404 Not Found", "text/plain", "not found\n")
+        }
+        _ => respond("400 Bad Request", "text/plain", "bad request\n"),
+    };
+    let _ = conn.write_all(reply.as_bytes());
+}
+
+impl MetricsServer {
+    /// Bind `addr` (e.g. `127.0.0.1:9184`, port 0 for an ephemeral
+    /// port) and serve the registry until [`shutdown`](Self::shutdown)
+    /// or drop.
+    pub fn start<A: ToSocketAddrs>(addr: A, registry: Arc<Registry>) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("metrics-server".to_string())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if stop_flag.load(Ordering::Acquire) {
+                        break;
+                    }
+                    if let Ok(conn) = conn {
+                        handle_conn(conn, &registry);
+                    }
+                }
+            })?;
+        Ok(MetricsServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the accept loop and join the server thread.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock accept() with a throwaway connection to ourselves.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut reply = String::new();
+        conn.read_to_string(&mut reply).unwrap();
+        reply
+    }
+
+    fn test_registry() -> Arc<Registry> {
+        let mut r = Registry::new(2);
+        let c = r.counter("rtsdf_sweep_cells_completed", "cells finished");
+        r.inc(c, 0, 3);
+        r.inc(c, 1, 4);
+        Arc::new(r)
+    }
+
+    #[test]
+    fn serves_metrics_and_404s_elsewhere() {
+        let mut server = MetricsServer::start("127.0.0.1:0", test_registry()).unwrap();
+        let reply = get(server.addr(), "/metrics");
+        assert!(reply.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(reply.contains("text/plain; version=0.0.4"));
+        assert!(reply.contains("rtsdf_sweep_cells_completed 7\n"));
+        assert!(get(server.addr(), "/other").starts_with("HTTP/1.1 404"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_drop_is_clean() {
+        let mut server = MetricsServer::start("127.0.0.1:0", test_registry()).unwrap();
+        server.shutdown();
+        server.shutdown();
+        drop(server);
+    }
+
+    #[test]
+    fn snapshot_reflects_writes_between_scrapes() {
+        let mut r = Registry::new(1);
+        let c = r.counter("live_total", "live");
+        let registry = Arc::new(r);
+        let server = MetricsServer::start("127.0.0.1:0", Arc::clone(&registry)).unwrap();
+        assert!(get(server.addr(), "/metrics").contains("live_total 0\n"));
+        registry.inc(c, 0, 5);
+        assert!(get(server.addr(), "/metrics").contains("live_total 5\n"));
+    }
+}

@@ -1,0 +1,130 @@
+//! Serde-stable snapshot types.
+//!
+//! A [`MetricsSnapshot`] is a point-in-time merge of every shard in a
+//! [`Registry`](crate::Registry). It is plain data — families of
+//! samples with label pairs — so it serializes stably through the
+//! vendored serde shims and can be embedded verbatim into a
+//! `RunManifest` (the `live_metrics` key) or rendered to Prometheus
+//! text. All fields are always serialized and required on deserialize;
+//! histogram bounds are kept finite (the implicit `+Inf` bucket is
+//! carried by `count`), so no field ever round-trips through JSON
+//! `null` for a non-finite float.
+
+use serde::{Deserialize, Serialize};
+
+/// Merged view of one histogram.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramValue {
+    /// Finite bucket upper bounds, strictly increasing. The `+Inf`
+    /// bucket is implicit: its cumulative count equals `count`.
+    pub bounds: Vec<f64>,
+    /// Cumulative observation counts, one per entry of `bounds`
+    /// (Prometheus `_bucket` semantics).
+    pub cumulative: Vec<u64>,
+    /// Sum of all observed values.
+    pub sum: f64,
+    /// Total number of observations.
+    pub count: u64,
+}
+
+/// One sample within a family: a label set and a value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricSample {
+    /// Label pairs, in registration order; per-worker metrics carry a
+    /// trailing `("worker", "<shard>")` pair.
+    pub labels: Vec<(String, String)>,
+    /// Counter sum, gauge value, or histogram sum (mirrors
+    /// `histogram.sum` for histograms).
+    pub value: f64,
+    /// Bucket detail, present only for histograms.
+    pub histogram: Option<HistogramValue>,
+}
+
+/// A named family of samples sharing one kind and help string.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricFamily {
+    /// Metric name (Prometheus-valid: `[a-zA-Z_:][a-zA-Z0-9_:]*`).
+    pub name: String,
+    /// Human-readable help string.
+    pub help: String,
+    /// `"counter"`, `"gauge"`, or `"histogram"`.
+    pub kind: String,
+    /// Samples, one per distinct label set.
+    pub samples: Vec<MetricSample>,
+}
+
+/// Point-in-time merge of a whole registry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Families in registration order.
+    pub families: Vec<MetricFamily>,
+}
+
+impl MetricsSnapshot {
+    /// Look up a family by metric name.
+    pub fn family(&self, name: &str) -> Option<&MetricFamily> {
+        self.families.iter().find(|f| f.name == name)
+    }
+
+    /// Sum of all sample values in the family `name` (0.0 if absent).
+    /// For non-per-worker counters and gauges this is the single merged
+    /// sample; for per-worker families it totals the shards.
+    pub fn total(&self, name: &str) -> f64 {
+        self.family(name)
+            .map(|f| f.samples.iter().map(|s| s.value).sum())
+            .unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        MetricsSnapshot {
+            families: vec![
+                MetricFamily {
+                    name: "rtsdf_sweep_cells_completed".to_string(),
+                    help: "cells finished".to_string(),
+                    kind: "counter".to_string(),
+                    samples: vec![MetricSample {
+                        labels: vec![],
+                        value: 42.0,
+                        histogram: None,
+                    }],
+                },
+                MetricFamily {
+                    name: "rtsdf_sim_latency".to_string(),
+                    help: "latency".to_string(),
+                    kind: "histogram".to_string(),
+                    samples: vec![MetricSample {
+                        labels: vec![("stage".to_string(), "1".to_string())],
+                        value: 12.5,
+                        histogram: Some(HistogramValue {
+                            bounds: vec![1.0, 10.0],
+                            cumulative: vec![3, 5],
+                            sum: 12.5,
+                            count: 6,
+                        }),
+                    }],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let snap = sample_snapshot();
+        let text = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn family_and_total_lookups() {
+        let snap = sample_snapshot();
+        assert_eq!(snap.total("rtsdf_sweep_cells_completed"), 42.0);
+        assert_eq!(snap.total("missing"), 0.0);
+        assert_eq!(snap.family("rtsdf_sim_latency").unwrap().kind, "histogram");
+    }
+}

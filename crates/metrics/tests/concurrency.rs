@@ -1,0 +1,122 @@
+//! Concurrency properties of the sharded registry (satellite: snapshot
+//! exactness).
+//!
+//! Two guarantees matter to callers:
+//!  1. **Exactness at rest** — after all writers join, the merged
+//!     snapshot equals the sequential ground truth, for any randomized
+//!     assignment of operations to workers (a stand-in for the
+//!     work-stealing scheduler's unpredictable claim order).
+//!  2. **No tears while writing** — a snapshot taken concurrently with
+//!     writers only ever sees counter values between 0 and the final
+//!     total, and successive snapshots are monotone non-decreasing
+//!     (per-shard counters are monotone, and a sum of monotone reads
+//!     is monotone).
+
+use metrics::Registry;
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Randomized "steal schedule": every op carries the worker that
+    /// executes it and the amount. Ops are dealt round-robin to real
+    /// threads, so shard contention and cross-shard interleaving both
+    /// occur. The merged counter must equal the plain sum.
+    #[test]
+    fn merged_counters_match_sequential_ground_truth(
+        ops in prop::collection::vec((0usize..8, 1u64..100), 1..400),
+        shards in 1usize..8,
+        threads in 1usize..6,
+    ) {
+        let mut r = Registry::new(shards);
+        let total_handle = r.counter("ops_total", "all ops");
+        let per_worker = r.counter_full("ops_by_worker", "per worker", &[], true);
+        let hwm = r.gauge("amount_hwm", "largest single op");
+        let registry = Arc::new(r);
+
+        let expected_total: u64 = ops.iter().map(|&(_, n)| n).sum();
+        let expected_hwm = ops.iter().map(|&(_, n)| n).max().unwrap_or(0) as f64;
+
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let registry = &registry;
+                let ops = &ops;
+                scope.spawn(move || {
+                    for &(worker, n) in ops.iter().skip(t).step_by(threads) {
+                        registry.inc(total_handle, worker, n);
+                        registry.inc(per_worker, worker, n);
+                        registry.gauge_max(hwm, worker, n as f64);
+                    }
+                });
+            }
+        });
+
+        prop_assert_eq!(registry.counter_value(total_handle), expected_total);
+        let snap = registry.snapshot();
+        prop_assert_eq!(snap.total("ops_total"), expected_total as f64);
+        // Per-worker samples must account for every op, just sliced by shard.
+        prop_assert_eq!(snap.total("ops_by_worker"), expected_total as f64);
+        prop_assert_eq!(snap.total("amount_hwm"), expected_hwm);
+
+        // Shard-level ground truth: ops on worker w land on shard w % shards.
+        let mut by_shard = vec![0u64; shards];
+        for &(worker, n) in &ops {
+            by_shard[worker % shards] += n;
+        }
+        let family = snap.family("ops_by_worker").unwrap();
+        prop_assert_eq!(family.samples.len(), shards);
+        for (shard, sample) in family.samples.iter().enumerate() {
+            prop_assert_eq!(sample.value, by_shard[shard] as f64);
+            prop_assert_eq!(
+                &sample.labels,
+                &vec![("worker".to_string(), shard.to_string())]
+            );
+        }
+    }
+
+    /// Snapshot while writers run: every observed value is within
+    /// [0, final], the sequence of observations is monotone, and the
+    /// final snapshot is exact.
+    #[test]
+    fn snapshots_during_writes_are_monotone_and_untorn(
+        ops in prop::collection::vec((0usize..4, 1u64..16), 50..300),
+        shards in 1usize..5,
+    ) {
+        let mut r = Registry::new(shards);
+        let c = r.counter("progress_total", "progress");
+        let registry = Arc::new(r);
+        let done = Arc::new(AtomicBool::new(false));
+        let expected: u64 = ops.iter().map(|&(_, n)| n).sum();
+
+        let seen = std::thread::scope(|scope| {
+            let reader = {
+                let registry = Arc::clone(&registry);
+                let done = Arc::clone(&done);
+                scope.spawn(move || {
+                    let mut seen = Vec::new();
+                    while !done.load(Ordering::Acquire) {
+                        seen.push(registry.snapshot().total("progress_total"));
+                    }
+                    seen.push(registry.snapshot().total("progress_total"));
+                    seen
+                })
+            };
+            for &(worker, n) in &ops {
+                registry.inc(c, worker, n);
+            }
+            done.store(true, Ordering::Release);
+            reader.join().unwrap()
+        });
+
+        for pair in seen.windows(2) {
+            prop_assert!(pair[0] <= pair[1], "snapshot went backwards: {} then {}", pair[0], pair[1]);
+        }
+        for &v in &seen {
+            prop_assert!(v >= 0.0 && v <= expected as f64, "torn read {v} (final {expected})");
+            prop_assert_eq!(v, v.trunc()); // counter sums are whole numbers, never partial bits
+        }
+        prop_assert_eq!(*seen.last().unwrap(), expected as f64);
+    }
+}

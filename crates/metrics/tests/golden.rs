@@ -1,0 +1,98 @@
+//! Golden-file test for the Prometheus text exposition (satellite:
+//! exposition format), plus a JSON round-trip of the same snapshot
+//! through the serde shims.
+//!
+//! The golden file pins the scraper-facing contract: `# HELP`/`# TYPE`
+//! ordering, label escaping (`\\`, `\"`, `\n`), per-worker labeling,
+//! and histogram `_bucket{le=...}` / `+Inf` / `_sum` / `_count`
+//! conventions. If rendering changes intentionally, regenerate
+//! `tests/golden/exposition.prom` from the test's panic output.
+
+use metrics::{render_prometheus, MetricsSnapshot, Registry};
+
+const GOLDEN: &str = include_str!("golden/exposition.prom");
+
+/// Deterministic registry exercising every sample shape the exporter
+/// can produce.
+fn build_registry() -> Registry {
+    let mut r = Registry::new(2);
+
+    let total = r.gauge("rtsdf_sweep_cells_total", "total cells in the sweep grid");
+    r.gauge_set(total, 0, 256.0);
+
+    let claimed = r.counter_full(
+        "rtsdf_sweep_cells_claimed",
+        "cells claimed, per worker",
+        &[],
+        true,
+    );
+    r.inc(claimed, 0, 3);
+    r.inc(claimed, 1, 5);
+
+    let hwm0 = r.gauge_full(
+        "rtsdf_sim_queue_depth_hwm",
+        "queue depth high-water mark",
+        &[("stage", "0")],
+        false,
+    );
+    let hwm1 = r.gauge_full(
+        "rtsdf_sim_queue_depth_hwm",
+        "queue depth high-water mark",
+        &[("stage", "1")],
+        false,
+    );
+    r.gauge_max(hwm0, 1, 17.0);
+    r.gauge_max(hwm1, 0, 4.5);
+
+    let odd = r.counter_full(
+        "odd_labels",
+        "label escaping: backslash \\, quote \", newline \n",
+        &[("path", "a\\b"), ("note", "say \"hi\"\n")],
+        false,
+    );
+    r.inc(odd, 0, 1);
+
+    let lat = r.histogram(
+        "rtsdf_sim_latency_cycles",
+        "item latency",
+        &[1.0, 10.0, 100.0],
+    );
+    for (worker, v) in [(0, 0.25), (1, 2.0), (0, 9.5), (1, 59.0), (0, 1200.0)] {
+        r.observe(lat, worker, v);
+    }
+
+    r
+}
+
+#[test]
+fn prometheus_exposition_matches_golden_file() {
+    let rendered = render_prometheus(&build_registry().snapshot());
+    assert_eq!(
+        rendered, GOLDEN,
+        "exposition drifted from tests/golden/exposition.prom;\n\
+         if intentional, update the golden file to:\n{rendered}"
+    );
+}
+
+#[test]
+fn snapshot_round_trips_through_json() {
+    let snap = build_registry().snapshot();
+    let json = serde_json::to_string(&snap).unwrap();
+    let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, snap);
+    // And the round-tripped snapshot renders identically.
+    assert_eq!(render_prometheus(&back), GOLDEN);
+}
+
+#[test]
+fn snapshot_json_is_embeddable_as_value() {
+    // Manifests embed snapshots as untyped values; keys must survive.
+    let snap = build_registry().snapshot();
+    let value = serde_json::to_value(&snap).unwrap();
+    let families = value.get("families").and_then(|f| f.as_array()).unwrap();
+    assert_eq!(families.len(), 5);
+    assert_eq!(
+        families[0].get("name").and_then(|n| n.as_str()),
+        Some("rtsdf_sweep_cells_total")
+    );
+}

@@ -27,6 +27,10 @@ use serde_json::{json, Map, Value};
 const PID_STAGES: u64 = 1;
 const PID_ITEMS: u64 = 2;
 const PID_SOLVER: u64 = 3;
+/// Counter series (solver convergence) render in their own process so
+/// the `ph:"C"` tracks don't interleave with the span rows; the process
+/// meta is emitted only when the log actually carries counters.
+const PID_CONVERGENCE: u64 = 4;
 
 fn pid_tid(track: Track) -> (u64, u64) {
     match track.kind {
@@ -141,6 +145,41 @@ pub fn chrome_trace(log: &TraceLog) -> Value {
         m.insert("tid".into(), json!(tid));
         m.insert("s".into(), json!("t"));
         events.push(Value::Object(m));
+    }
+
+    // Counter series (e.g. solver residual / barrier-μ) render as
+    // ph:"C" tracks under their own process, one thread row per source
+    // track index.
+    if !log.counters.is_empty() {
+        events.push(meta(
+            "process_name",
+            PID_CONVERGENCE,
+            None,
+            "solver convergence",
+        ));
+        let mut named_counters: Vec<u64> = Vec::new();
+        for c in &log.counters {
+            let tid = c.track.index;
+            if !named_counters.contains(&tid) {
+                named_counters.push(tid);
+                events.push(meta(
+                    "thread_name",
+                    PID_CONVERGENCE,
+                    Some(tid),
+                    &format!("solve {tid}"),
+                ));
+            }
+            let mut m = Map::new();
+            m.insert("ph".into(), json!("C"));
+            m.insert("name".into(), json!(c.name.clone()));
+            m.insert("ts".into(), json!(c.at));
+            m.insert("pid".into(), json!(PID_CONVERGENCE));
+            m.insert("tid".into(), json!(tid));
+            let mut args = Map::new();
+            args.insert("value".into(), json!(c.value));
+            m.insert("args".into(), Value::Object(args));
+            events.push(Value::Object(m));
+        }
     }
 
     // Completion / drop marks from fates land on the item lifeline.
@@ -267,6 +306,43 @@ mod tests {
         assert!(instants.contains(&"fallback"));
         assert!(instants.contains(&"complete"));
         assert!(instants.contains(&"dropped"));
+    }
+
+    #[test]
+    fn counters_render_as_counter_events_in_their_own_process() {
+        let mut s = SpanSink::with_defaults();
+        s.span(Track::solver(0), "phase-1", "solver", 0.0, 5.0);
+        s.counter(Track::solver(0), "residual", 5.0, 0.5);
+        s.counter(Track::solver(0), "residual", 10.0, 0.05);
+        let v = chrome_trace(&s.finish());
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        let counters: Vec<&Value> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("C"))
+            .collect();
+        assert_eq!(counters.len(), 2);
+        for c in &counters {
+            assert_eq!(c.get("pid").unwrap().as_u64(), Some(PID_CONVERGENCE));
+            assert!(c["args"]["value"].as_f64().is_some());
+        }
+        // The convergence process meta appears exactly once.
+        let conv_metas = events
+            .iter()
+            .filter(|e| {
+                e.get("ph").and_then(Value::as_str) == Some("M")
+                    && e.get("pid").and_then(Value::as_u64) == Some(PID_CONVERGENCE)
+            })
+            .count();
+        assert_eq!(conv_metas, 2); // process_name + one thread_name
+    }
+
+    #[test]
+    fn counter_free_logs_emit_no_convergence_process() {
+        let v = chrome_trace(&sample_log());
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        assert!(events
+            .iter()
+            .all(|e| e.get("pid").and_then(Value::as_u64) != Some(PID_CONVERGENCE)));
     }
 
     #[test]

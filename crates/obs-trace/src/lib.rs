@@ -42,5 +42,6 @@ pub mod span;
 pub use chrome::{chrome_trace, chrome_trace_string};
 pub use forensics::{analyze, render_blame, BlameReport, ForensicsConfig, StageBlame};
 pub use span::{
-    ItemFate, ItemVisit, SpanRecord, SpanSink, TraceConfig, TraceLog, Track, TrackKind,
+    CounterRecord, ItemFate, ItemVisit, SpanRecord, SpanSink, TraceConfig, TraceLog, Track,
+    TrackKind,
 };

@@ -95,6 +95,21 @@ pub struct InstantRecord {
     pub at: f64,
 }
 
+/// One sample of a named numeric series on a track (e.g. the solver's
+/// per-iteration residual). Rendered as a Chrome `ph:"C"` counter track
+/// so convergence is visible as a curve alongside the solve spans.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterRecord {
+    /// Timeline the sample belongs to.
+    pub track: Track,
+    /// Series name (e.g. `"residual"`, `"barrier-mu"`).
+    pub name: String,
+    /// Timestamp, in the track's time unit.
+    pub at: f64,
+    /// Sampled value.
+    pub value: f64,
+}
+
 /// One item's passage through one stage, with the timestamps that
 /// partition its sojourn exactly:
 ///
@@ -201,6 +216,7 @@ pub struct SpanSink {
     spans: Vec<SpanRecord>,
     open: Vec<SpanRecord>,
     instants: Vec<InstantRecord>,
+    counters: Vec<CounterRecord>,
     visits: Vec<ItemVisit>,
     fates: Vec<ItemFate>,
     dropped_spans: u64,
@@ -215,6 +231,7 @@ impl SpanSink {
             spans: Vec::new(),
             open: Vec::new(),
             instants: Vec::new(),
+            counters: Vec::new(),
             visits: Vec::new(),
             fates: Vec::new(),
             dropped_spans: 0,
@@ -228,7 +245,9 @@ impl SpanSink {
     }
 
     fn span_room(&mut self) -> bool {
-        if self.spans.len() + self.open.len() + self.instants.len() >= self.config.max_spans {
+        if self.spans.len() + self.open.len() + self.instants.len() + self.counters.len()
+            >= self.config.max_spans
+        {
             self.dropped_spans += 1;
             return false;
         }
@@ -333,6 +352,20 @@ impl SpanSink {
         });
     }
 
+    /// Record one sample of a numeric series (counted against the span
+    /// cap, like instants).
+    pub fn counter(&mut self, track: Track, name: impl Into<String>, at: f64, value: f64) {
+        if !self.span_room() {
+            return;
+        }
+        self.counters.push(CounterRecord {
+            track,
+            name: name.into(),
+            at,
+            value,
+        });
+    }
+
     /// Record one item-stage visit.
     pub fn visit(&mut self, visit: ItemVisit) {
         if self.visits.len() >= self.config.max_visits {
@@ -366,6 +399,7 @@ impl SpanSink {
         TraceLog {
             spans: self.spans,
             instants: self.instants,
+            counters: self.counters,
             visits: self.visits,
             fates: self.fates,
             dropped_spans: self.dropped_spans,
@@ -381,6 +415,8 @@ pub struct TraceLog {
     pub spans: Vec<SpanRecord>,
     /// Instant events, in emission order.
     pub instants: Vec<InstantRecord>,
+    /// Counter-series samples, in emission order.
+    pub counters: Vec<CounterRecord>,
     /// Item-stage visits, in consumption order.
     pub visits: Vec<ItemVisit>,
     /// Per-input fates (one per stream input that arrived).
@@ -396,6 +432,7 @@ impl TraceLog {
     pub fn merge(&mut self, other: TraceLog) {
         self.spans.extend(other.spans);
         self.instants.extend(other.instants);
+        self.counters.extend(other.counters);
         self.visits.extend(other.visits);
         self.fates.extend(other.fates);
         self.dropped_spans += other.dropped_spans;
@@ -515,10 +552,26 @@ mod tests {
     }
 
     #[test]
+    fn counters_record_and_cap_like_instants() {
+        let mut s = SpanSink::new(TraceConfig {
+            max_spans: 2,
+            max_visits: 8,
+        });
+        s.counter(Track::solver(0), "residual", 0.0, 1.0);
+        s.counter(Track::solver(0), "residual", 1.0, 0.1);
+        s.counter(Track::solver(0), "residual", 2.0, 0.01); // over cap
+        let log = s.finish();
+        assert_eq!(log.counters.len(), 2);
+        assert_eq!(log.dropped_spans, 1);
+        assert_eq!(log.counters[1].value, 0.1);
+    }
+
+    #[test]
     fn log_round_trips_through_json() {
         let mut s = SpanSink::with_defaults();
         s.span_detail(Track::stage(0), "fire", "firing", "take=3", 0.0, 4.0);
         s.instant(Track::solver(1), "fallback", 9.0);
+        s.counter(Track::solver(1), "residual", 10.0, 0.5);
         s.visit(ItemVisit {
             origin: 3,
             stage: 1,

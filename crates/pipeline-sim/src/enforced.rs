@@ -16,6 +16,7 @@
 use crate::config::{FiringDiscipline, SimConfig};
 use crate::faults::{FaultState, MitigationPolicy, FAULT_ARRIVAL_STREAM};
 use crate::item::LineageTracker;
+use crate::live::SimLive;
 use crate::metrics::SimMetrics;
 use crate::soa::SoaQueue;
 use dataflow_model::{GainModel, Perturbation, PipelineSpec, RtParams};
@@ -124,6 +125,58 @@ pub fn simulate_enforced_perturbed(
         None,
         None,
         Some((perturb, policy)),
+        None,
+    )
+}
+
+/// [`simulate_enforced`] publishing live progress into a metrics
+/// registry (see [`crate::live::SimLiveMetrics`]): items
+/// arrived/completed/dropped, per-stage queue-depth high-water marks,
+/// and wall-clock throughput.
+pub fn simulate_enforced_live(
+    pipeline: &PipelineSpec,
+    schedule: &WaitSchedule,
+    deadline: f64,
+    config: &SimConfig,
+    live: &SimLive<'_>,
+) -> SimMetrics {
+    simulate_enforced_full(
+        pipeline,
+        schedule,
+        deadline,
+        config,
+        None,
+        None,
+        None,
+        Some(live),
+    )
+}
+
+/// [`simulate_enforced_perturbed`] publishing live progress (including
+/// shed counts) into a metrics registry.
+///
+/// # Panics
+/// Panics if the schedule's length does not match the pipeline or the
+/// perturbation fails [`Perturbation::validate`].
+pub fn simulate_enforced_perturbed_live(
+    pipeline: &PipelineSpec,
+    schedule: &WaitSchedule,
+    deadline: f64,
+    config: &SimConfig,
+    perturb: &Perturbation,
+    policy: &MitigationPolicy,
+    live: &SimLive<'_>,
+) -> SimMetrics {
+    perturb.validate().expect("invalid perturbation");
+    simulate_enforced_full(
+        pipeline,
+        schedule,
+        deadline,
+        config,
+        None,
+        None,
+        Some((perturb, policy)),
+        Some(live),
     )
 }
 
@@ -167,6 +220,7 @@ pub fn simulate_enforced_traced(
         None,
         Some(&mut sink),
         None,
+        None,
     );
     let log = sink.finish();
     metrics.blame = Some(analyze(&log, deadline, forensics));
@@ -183,7 +237,7 @@ pub fn simulate_enforced_with(
     config: &SimConfig,
     obs: Option<&mut ObsSink>,
 ) -> SimMetrics {
-    simulate_enforced_full(pipeline, schedule, deadline, config, obs, None, None)
+    simulate_enforced_full(pipeline, schedule, deadline, config, obs, None, None, None)
 }
 
 /// Mutable per-run state of the fault-injection / mitigation layer.
@@ -208,9 +262,10 @@ struct StressState {
 }
 
 /// Full-generality core: aggregate observability (`obs`), causal span
-/// tracing (`spans`), and fault injection (`stress`) are independent
-/// branch-on-`Option` layers; any `None` costs one untaken branch per
-/// hook.
+/// tracing (`spans`), fault injection (`stress`), and live metrics
+/// (`live`) are independent branch-on-`Option` layers; any `None` costs
+/// one untaken branch per hook.
+#[allow(clippy::too_many_arguments)]
 fn simulate_enforced_full(
     pipeline: &PipelineSpec,
     schedule: &WaitSchedule,
@@ -219,6 +274,7 @@ fn simulate_enforced_full(
     mut obs: Option<&mut ObsSink>,
     mut spans: Option<&mut SpanSink>,
     stress_spec: Option<(&Perturbation, &MitigationPolicy)>,
+    live: Option<&SimLive<'_>>,
 ) -> SimMetrics {
     let n = pipeline.len();
     if let Some(sink) = obs.as_deref_mut() {
@@ -404,6 +460,11 @@ fn simulate_enforced_full(
             if let Some(sink) = obs.as_deref_mut() {
                 sink.on_event();
             }
+            if let Some(l) = live {
+                if l.on_arrival() {
+                    l.tick(&max_depth);
+                }
+            }
             {
                 if let Some(st) = stress.as_mut() {
                     // Escalation: when the backlog high-water mark
@@ -473,6 +534,9 @@ fn simulate_enforced_full(
                         if overload && predicted > deadline {
                             st.items_shed += 1;
                             st.shed[origin as usize] = true;
+                            if let Some(l) = live {
+                                l.on_shed();
+                            }
                             lineage.arrive(origin);
                             lineage.consume(origin, 0, now);
                             continue;
@@ -600,6 +664,9 @@ fn simulate_enforced_full(
                                 if let Some(sink) = obs.as_deref_mut() {
                                     sink.on_completion();
                                 }
+                                if let Some(l) = live {
+                                    l.on_completion();
+                                }
                             }
                             for _ in 0..k {
                                 outs.push(origin);
@@ -702,6 +769,14 @@ fn simulate_enforced_full(
         }
     }
     latency.push_slice(&lat_buf);
+
+    // Live metrics run-end flush: drop totals are only known after the
+    // accounting pass, and the final tick publishes the run's closing
+    // queue high-water marks and throughput.
+    if let Some(l) = live {
+        l.on_drops(dropped);
+        l.tick(&max_depth);
+    }
 
     let horizon = if lineage.all_complete() {
         last_completion.as_f64()

@@ -39,6 +39,7 @@ pub mod config;
 pub mod enforced;
 pub mod faults;
 pub mod item;
+pub mod live;
 pub mod metrics;
 pub mod monolithic;
 pub mod reference;
@@ -53,14 +54,19 @@ pub use enforced::{
     simulate_enforced, simulate_enforced_observed, simulate_enforced_perturbed,
     simulate_enforced_traced,
 };
+pub use enforced::{simulate_enforced_live, simulate_enforced_perturbed_live};
 pub use faults::MitigationPolicy;
+pub use live::{SimLive, SimLiveMetrics};
 pub use metrics::SimMetrics;
 pub use monolithic::{
-    simulate_monolithic, simulate_monolithic_observed, simulate_monolithic_perturbed,
-    simulate_monolithic_traced,
+    simulate_monolithic, simulate_monolithic_live, simulate_monolithic_observed,
+    simulate_monolithic_perturbed, simulate_monolithic_perturbed_live, simulate_monolithic_traced,
 };
-pub use robustness::{robustness_report, RobustnessPoint, RobustnessReport, StressSummary};
+pub use robustness::{
+    robustness_report, robustness_report_live, RobustnessPoint, RobustnessReport, StressSummary,
+};
 pub use runner::{
-    run_seeds_enforced, run_seeds_enforced_perturbed, run_seeds_monolithic,
-    run_seeds_monolithic_perturbed, MultiSeedReport,
+    run_seeds_enforced, run_seeds_enforced_perturbed, run_seeds_enforced_perturbed_live,
+    run_seeds_monolithic, run_seeds_monolithic_perturbed, run_seeds_monolithic_perturbed_live,
+    MultiSeedReport,
 };

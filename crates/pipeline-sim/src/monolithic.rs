@@ -11,6 +11,7 @@
 
 use crate::config::SimConfig;
 use crate::faults::{FaultState, FAULT_ARRIVAL_STREAM};
+use crate::live::SimLive;
 use crate::metrics::SimMetrics;
 use dataflow_model::{GainModel, Perturbation, PipelineSpec};
 use des::clock::SimTime;
@@ -61,6 +62,56 @@ pub fn simulate_monolithic_perturbed(
         None,
         None,
         Some(perturb),
+        None,
+    )
+}
+
+/// [`simulate_monolithic`] publishing live progress into a metrics
+/// registry (see [`crate::live::SimLiveMetrics`]): items
+/// arrived/completed/dropped, the head-stage queue-depth high-water
+/// mark, and wall-clock throughput.
+pub fn simulate_monolithic_live(
+    pipeline: &PipelineSpec,
+    schedule: &MonolithicSchedule,
+    deadline: f64,
+    config: &SimConfig,
+    live: &SimLive<'_>,
+) -> SimMetrics {
+    simulate_monolithic_full(
+        pipeline,
+        schedule,
+        deadline,
+        config,
+        None,
+        None,
+        None,
+        Some(live),
+    )
+}
+
+/// [`simulate_monolithic_perturbed`] publishing live progress into a
+/// metrics registry.
+///
+/// # Panics
+/// Panics if the perturbation fails [`Perturbation::validate`].
+pub fn simulate_monolithic_perturbed_live(
+    pipeline: &PipelineSpec,
+    schedule: &MonolithicSchedule,
+    deadline: f64,
+    config: &SimConfig,
+    perturb: &Perturbation,
+    live: &SimLive<'_>,
+) -> SimMetrics {
+    perturb.validate().expect("invalid perturbation");
+    simulate_monolithic_full(
+        pipeline,
+        schedule,
+        deadline,
+        config,
+        None,
+        None,
+        Some(perturb),
+        Some(live),
     )
 }
 
@@ -103,6 +154,7 @@ pub fn simulate_monolithic_traced(
         None,
         Some(&mut sink),
         None,
+        None,
     );
     let log = sink.finish();
     metrics.blame = Some(analyze(&log, deadline, forensics));
@@ -118,12 +170,13 @@ pub fn simulate_monolithic_with(
     config: &SimConfig,
     obs: Option<&mut ObsSink>,
 ) -> SimMetrics {
-    simulate_monolithic_full(pipeline, schedule, deadline, config, obs, None, None)
+    simulate_monolithic_full(pipeline, schedule, deadline, config, obs, None, None, None)
 }
 
 /// Full-generality core: aggregate observability (`obs`), causal span
-/// tracing (`spans`), and fault injection (`stress_spec`) are
-/// independent branch-on-`Option` layers.
+/// tracing (`spans`), fault injection (`stress_spec`), and live metrics
+/// (`live`) are independent branch-on-`Option` layers.
+#[allow(clippy::too_many_arguments)]
 fn simulate_monolithic_full(
     pipeline: &PipelineSpec,
     schedule: &MonolithicSchedule,
@@ -132,6 +185,7 @@ fn simulate_monolithic_full(
     mut obs: Option<&mut ObsSink>,
     mut spans: Option<&mut SpanSink>,
     stress_spec: Option<&Perturbation>,
+    live: Option<&SimLive<'_>>,
 ) -> SimMetrics {
     let n = pipeline.len();
     if let Some(sink) = obs.as_deref_mut() {
@@ -195,6 +249,13 @@ fn simulate_monolithic_full(
         // busy pipeline).
         let arrived = arrivals.partition_point(|&t| t <= start);
         max_waiting = max_waiting.max((arrived - processed_before) as u64);
+        if let Some(l) = live {
+            // Block granularity: the whole block "arrives" when it is
+            // ready to run; only the head stage has a queue.
+            if l.on_arrivals(block.len() as u64) {
+                l.tick(&[max_waiting]);
+            }
+        }
         if let Some(sink) = obs.as_deref_mut() {
             sink.on_event();
             sink.on_enqueue(0, block.len() as u64, arrived - processed_before);
@@ -305,6 +366,9 @@ fn simulate_monolithic_full(
         if let Some(sink) = obs.as_deref_mut() {
             sink.on_completions(block.len() as u64);
         }
+        if let Some(l) = live {
+            l.on_completions(block.len() as u64);
+        }
     }
     let mut dropped = 0u64;
     if truncated {
@@ -325,6 +389,11 @@ fn simulate_monolithic_full(
                 });
             }
         }
+    }
+    // Live metrics run-end flush: drops and the closing tick.
+    if let Some(l) = live {
+        l.on_drops(dropped);
+        l.tick(&[max_waiting]);
     }
     let horizon = horizon.max(1.0);
 

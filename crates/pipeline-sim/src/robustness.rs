@@ -17,8 +17,9 @@
 
 use crate::config::SimConfig;
 use crate::faults::MitigationPolicy;
+use crate::live::SimLiveMetrics;
 use crate::runner::{
-    run_seeds_enforced_perturbed, run_seeds_monolithic_perturbed, MultiSeedReport,
+    run_seeds_enforced_perturbed_live, run_seeds_monolithic_perturbed_live, MultiSeedReport,
 };
 use dataflow_model::{Perturbation, PipelineSpec};
 use rtsdf_core::{MonolithicSchedule, WaitSchedule};
@@ -129,9 +130,45 @@ pub fn robustness_report(
     intensities: &[f64],
     target: f64,
 ) -> RobustnessReport {
+    robustness_report_live(
+        pipeline,
+        enforced,
+        monolithic,
+        deadline,
+        config,
+        num_seeds,
+        perturb,
+        intensities,
+        target,
+        None,
+    )
+}
+
+/// [`robustness_report`] publishing live progress into a metrics
+/// registry: `rtsdf_sim_runs_total` is set to the whole sweep's run
+/// count (levels × 3 strategies × seeds) up front, every finished seed
+/// bumps `rtsdf_sim_runs_completed`, and the per-run item counters
+/// accumulate across all cells. `live: None` is exactly
+/// [`robustness_report`].
+#[allow(clippy::too_many_arguments)]
+pub fn robustness_report_live(
+    pipeline: &PipelineSpec,
+    enforced: &WaitSchedule,
+    monolithic: &MonolithicSchedule,
+    deadline: f64,
+    config: &SimConfig,
+    num_seeds: u64,
+    perturb: &Perturbation,
+    intensities: &[f64],
+    target: f64,
+    live: Option<&SimLiveMetrics>,
+) -> RobustnessReport {
     let mut levels: Vec<f64> = intensities.to_vec();
     levels.sort_by(|a, b| a.partial_cmp(b).expect("finite intensities"));
     levels.dedup();
+    if let Some(m) = live {
+        m.set_runs_total(levels.len() as u64 * 3 * num_seeds);
+    }
     let mitigated = MitigationPolicy::full();
     let unmitigated = MitigationPolicy::none();
     let points: Vec<RobustnessPoint> = levels
@@ -140,20 +177,23 @@ pub fn robustness_report(
             let p = perturb.at_intensity(intensity);
             RobustnessPoint {
                 intensity,
-                enforced_mitigated: StressSummary::from_report(&run_seeds_enforced_perturbed(
-                    pipeline, enforced, deadline, config, num_seeds, &p, &mitigated,
+                enforced_mitigated: StressSummary::from_report(&run_seeds_enforced_perturbed_live(
+                    pipeline, enforced, deadline, config, num_seeds, &p, &mitigated, live,
                 )),
-                enforced_unmitigated: StressSummary::from_report(&run_seeds_enforced_perturbed(
-                    pipeline,
-                    enforced,
-                    deadline,
-                    config,
-                    num_seeds,
-                    &p,
-                    &unmitigated,
-                )),
-                monolithic: StressSummary::from_report(&run_seeds_monolithic_perturbed(
-                    pipeline, monolithic, deadline, config, num_seeds, &p,
+                enforced_unmitigated: StressSummary::from_report(
+                    &run_seeds_enforced_perturbed_live(
+                        pipeline,
+                        enforced,
+                        deadline,
+                        config,
+                        num_seeds,
+                        &p,
+                        &unmitigated,
+                        live,
+                    ),
+                ),
+                monolithic: StressSummary::from_report(&run_seeds_monolithic_perturbed_live(
+                    pipeline, monolithic, deadline, config, num_seeds, &p, live,
                 )),
             }
         })

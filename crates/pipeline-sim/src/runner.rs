@@ -6,10 +6,15 @@
 //! a scoped thread pool.
 
 use crate::config::SimConfig;
-use crate::enforced::{simulate_enforced, simulate_enforced_perturbed};
+use crate::enforced::{
+    simulate_enforced, simulate_enforced_perturbed, simulate_enforced_perturbed_live,
+};
 use crate::faults::MitigationPolicy;
+use crate::live::{SimLive, SimLiveMetrics};
 use crate::metrics::SimMetrics;
-use crate::monolithic::{simulate_monolithic, simulate_monolithic_perturbed};
+use crate::monolithic::{
+    simulate_monolithic, simulate_monolithic_perturbed, simulate_monolithic_perturbed_live,
+};
 use dataflow_model::{Perturbation, PipelineSpec};
 use rtsdf_core::{MonolithicSchedule, WaitSchedule};
 use serde::{Deserialize, Serialize};
@@ -100,6 +105,21 @@ fn run_parallel<F>(seeds: std::ops::Range<u64>, threads: usize, f: F) -> Vec<Sim
 where
     F: Fn(u64) -> SimMetrics + Sync,
 {
+    run_parallel_live(seeds, threads, None, |seed, _| f(seed))
+}
+
+/// [`run_parallel`] with an optional live-metrics registry: each worker
+/// thread publishes through its own shard (one [`SimLive`] handle per
+/// run), and every finished seed bumps `rtsdf_sim_runs_completed`.
+fn run_parallel_live<F>(
+    seeds: std::ops::Range<u64>,
+    threads: usize,
+    live: Option<&SimLiveMetrics>,
+    f: F,
+) -> Vec<SimMetrics>
+where
+    F: Fn(u64, Option<&SimLive<'_>>) -> SimMetrics + Sync,
+{
     let seeds: Vec<u64> = seeds.collect();
     if seeds.is_empty() {
         // `chunks(0)` below would panic; zero seeds is a valid request
@@ -110,11 +130,22 @@ where
     let chunk = seeds.len().div_ceil(threads).max(1);
     let mut results: Vec<Option<SimMetrics>> = vec![None; seeds.len()];
     std::thread::scope(|scope| {
-        for (seed_chunk, result_chunk) in seeds.chunks(chunk).zip(results.chunks_mut(chunk)) {
+        for (worker, (seed_chunk, result_chunk)) in seeds
+            .chunks(chunk)
+            .zip(results.chunks_mut(chunk))
+            .enumerate()
+        {
             let f = &f;
             scope.spawn(move || {
                 for (s, out) in seed_chunk.iter().zip(result_chunk.iter_mut()) {
-                    *out = Some(f(*s));
+                    match live {
+                        Some(m) => {
+                            let h = m.handle(worker);
+                            *out = Some(f(*s, Some(&h)));
+                            m.on_run_complete(worker);
+                        }
+                        None => *out = Some(f(*s, None)),
+                    }
                 }
             });
         }
@@ -167,6 +198,37 @@ pub fn run_seeds_enforced_perturbed(
     MultiSeedReport { runs }
 }
 
+/// [`run_seeds_enforced_perturbed`] publishing live progress into a
+/// metrics registry: per-run item counters, queue high-water marks,
+/// throughput, and a `rtsdf_sim_runs_completed` bump per finished seed.
+/// `live: None` is exactly [`run_seeds_enforced_perturbed`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_seeds_enforced_perturbed_live(
+    pipeline: &PipelineSpec,
+    schedule: &WaitSchedule,
+    deadline: f64,
+    base_config: &SimConfig,
+    num_seeds: u64,
+    perturb: &Perturbation,
+    policy: &MitigationPolicy,
+    live: Option<&SimLiveMetrics>,
+) -> MultiSeedReport {
+    let threads = rtsdf_core::worker_threads();
+    let runs = run_parallel_live(0..num_seeds, threads, live, |seed, l| {
+        let mut cfg = base_config.clone();
+        cfg.seed = seed;
+        match l {
+            Some(h) => simulate_enforced_perturbed_live(
+                pipeline, schedule, deadline, &cfg, perturb, policy, h,
+            ),
+            None => {
+                simulate_enforced_perturbed(pipeline, schedule, deadline, &cfg, perturb, policy)
+            }
+        }
+    });
+    MultiSeedReport { runs }
+}
+
 /// Simulate a monolithic schedule under fault injection across
 /// `num_seeds` seeds in parallel (no mitigation exists for this
 /// strategy; see [`simulate_monolithic_perturbed`]).
@@ -183,6 +245,32 @@ pub fn run_seeds_monolithic_perturbed(
         let mut cfg = base_config.clone();
         cfg.seed = seed;
         simulate_monolithic_perturbed(pipeline, schedule, deadline, &cfg, perturb)
+    });
+    MultiSeedReport { runs }
+}
+
+/// [`run_seeds_monolithic_perturbed`] publishing live progress into a
+/// metrics registry; `live: None` is exactly
+/// [`run_seeds_monolithic_perturbed`].
+pub fn run_seeds_monolithic_perturbed_live(
+    pipeline: &PipelineSpec,
+    schedule: &MonolithicSchedule,
+    deadline: f64,
+    base_config: &SimConfig,
+    num_seeds: u64,
+    perturb: &Perturbation,
+    live: Option<&SimLiveMetrics>,
+) -> MultiSeedReport {
+    let threads = rtsdf_core::worker_threads();
+    let runs = run_parallel_live(0..num_seeds, threads, live, |seed, l| {
+        let mut cfg = base_config.clone();
+        cfg.seed = seed;
+        match l {
+            Some(h) => {
+                simulate_monolithic_perturbed_live(pipeline, schedule, deadline, &cfg, perturb, h)
+            }
+            None => simulate_monolithic_perturbed(pipeline, schedule, deadline, &cfg, perturb),
+        }
     });
     MultiSeedReport { runs }
 }

@@ -15,6 +15,7 @@
 //! | [`apps`] | `apps` | gamma-ray burst, IDS, ML cascade pipelines |
 //! | [`engine`] | `des` | the generic discrete-event engine |
 //! | [`trace`] | `obs-trace` | causal span traces, Chrome/Perfetto export, deadline-miss forensics |
+//! | [`metrics`] | `metrics` | lock-free live-metrics registry, Prometheus/JSON export, `/metrics` server |
 //!
 //! ## Quickstart
 //!
@@ -52,6 +53,7 @@ pub use apps;
 pub use blast;
 pub use dataflow_model as model;
 pub use des as engine;
+pub use metrics;
 pub use obs_trace as trace;
 pub use pipeline_sim as sim;
 pub use queueing;
@@ -92,5 +94,6 @@ mod tests {
         let _ = crate::core::comparison::SweepConfig::paper_blast();
         let _ = crate::sim::SimConfig::quick(1.0, 0, 1);
         let _ = crate::trace::TraceConfig::default();
+        let _ = crate::metrics::Registry::new(1);
     }
 }
