@@ -14,6 +14,10 @@
 //!   alerting.
 //! * [`cascade`] — a Viola–Jones-style attentional cascade: cheap
 //!   classifiers discard most windows, expensive ones confirm.
+//! * [`logalytics`] — a streaming log-analytics diamond (parse →
+//!   {filter, enrich} → join → aggregate), the flagship *DAG* workload:
+//!   it synthesizes a [`dataflow_model::Topology`] with per-edge gains
+//!   and routing weights rather than a linear chain.
 //!
 //! Each module synthesizes a workload, *measures* its gain
 //! distributions from actual (simplified but real) computations over
@@ -30,3 +34,4 @@ pub mod cascade;
 pub mod gamma;
 pub mod ids;
 pub mod kernels;
+pub mod logalytics;

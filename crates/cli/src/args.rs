@@ -12,10 +12,11 @@ USAGE:
   rtsdf-cli example-pipeline
   rtsdf-cli optimize  --pipeline FILE --tau0 T --deadline D
                       [--b B1,B2,...] [--strategy enforced|monolithic|flexible|all] [--json]
-  rtsdf-cli simulate  --pipeline FILE --tau0 T --deadline D
+  rtsdf-cli simulate  (--pipeline FILE | --workload NAME) --tau0 T --deadline D
                       [--b B1,B2,...] [--items N] [--seeds K] [--json]
                       [--metrics json|csv]
-  rtsdf-cli sweep     --pipeline FILE [--grid RxC] [--csv] [--metrics json|csv]
+  rtsdf-cli sweep     (--pipeline FILE | --workload NAME)
+                      [--grid RxC] [--csv] [--metrics json|csv]
                       [--live] [--live-interval MS] [--metrics-listen ADDR]
   rtsdf-cli calibrate --pipeline FILE --points T1:D1,T2:D2,...
                       [--seeds K] [--items N]
@@ -25,7 +26,7 @@ USAGE:
                       [--b B1,B2,...] [--items N] [--seed S]
                       [--strategy enforced|monolithic] [--format chrome|json]
                       [--alpha A] [--out FILE]
-  rtsdf-cli stress    --pipeline FILE --tau0 T --deadline D
+  rtsdf-cli stress    (--pipeline FILE | --workload NAME) --tau0 T --deadline D
                       [--b B1,B2,...] [--items N] [--seeds K]
                       [--intensities I1,I2,...] [--target F] [--json]
                       [--metrics json|csv]
@@ -33,6 +34,9 @@ USAGE:
 
 OPTIONS:
   --pipeline FILE   JSON file holding a PipelineSpec (see example-pipeline)
+  --workload NAME   built-in synthesized workload instead of a pipeline file;
+                    'logalytics' is the log-analytics DAG
+                    (parse -> {filter, enrich} -> join -> aggregate)
   --tau0 T          inter-arrival time in cycles (floats accepted, e.g. 1e2)
   --deadline D      end-to-end deadline in cycles
   --b LIST          backlog factors, one per stage (default: ceil of each gain)
@@ -60,6 +64,9 @@ OPTIONS:
   --metrics-listen ADDR  serve Prometheus text at GET /metrics on ADDR
                     (e.g. 127.0.0.1:9184; port 0 picks a free port)
 ";
+
+/// Built-in synthesized workloads selectable with `--workload`.
+pub const WORKLOADS: &[&str] = &["logalytics"];
 
 /// Live-telemetry options shared by `sweep` and `stress`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -133,8 +140,11 @@ pub enum Command {
     },
     /// Optimize then simulate across seeds.
     Simulate {
-        /// Pipeline JSON path.
-        pipeline: String,
+        /// Pipeline JSON path (chain mode; absent when a workload is
+        /// selected).
+        pipeline: Option<String>,
+        /// Built-in synthesized workload name (DAG mode).
+        workload: Option<String>,
         /// Inter-arrival time.
         tau0: f64,
         /// Deadline.
@@ -152,8 +162,11 @@ pub enum Command {
     },
     /// Fig-3/4 style grid sweep.
     Sweep {
-        /// Pipeline JSON path.
-        pipeline: String,
+        /// Pipeline JSON path (chain mode; absent when a workload is
+        /// selected).
+        pipeline: Option<String>,
+        /// Built-in synthesized workload name (DAG mode).
+        workload: Option<String>,
         /// Grid shape (τ0 points, D points).
         grid: (usize, usize),
         /// Emit CSV.
@@ -203,8 +216,11 @@ pub enum Command {
     },
     /// Robustness sweep under fault injection.
     Stress {
-        /// Pipeline JSON path.
-        pipeline: String,
+        /// Pipeline JSON path (chain mode; absent when a workload is
+        /// selected).
+        pipeline: Option<String>,
+        /// Built-in synthesized workload name (DAG mode).
+        workload: Option<String>,
         /// Inter-arrival time.
         tau0: f64,
         /// Deadline.
@@ -305,6 +321,26 @@ impl<'a> Scanner<'a> {
             interval_ms,
             metrics_listen: self.value_of("--metrics-listen").map(str::to_string),
         })
+    }
+
+    /// Resolve the mutually exclusive `--pipeline FILE` / `--workload
+    /// NAME` pair: exactly one must be present, and a workload name must
+    /// be a known built-in.
+    fn parse_source(&self) -> Result<(Option<String>, Option<String>), ParseError> {
+        let workload = self.value_of("--workload").map(str::to_string);
+        if let Some(name) = &workload {
+            if !WORKLOADS.contains(&name.as_str()) {
+                return err(format!(
+                    "--workload: unknown workload '{name}' (available: {})",
+                    WORKLOADS.join(", ")
+                ));
+            }
+            if self.has("--pipeline") {
+                return err("--pipeline and --workload are mutually exclusive");
+            }
+            return Ok((None, workload));
+        }
+        Ok((Some(self.require("--pipeline")?.to_string()), None))
     }
 
     fn parse_usize_or(&self, flag: &str, default: usize) -> Result<usize, ParseError> {
@@ -475,6 +511,7 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
             scan.check_flags(
                 &[
                     "--pipeline",
+                    "--workload",
                     "--tau0",
                     "--deadline",
                     "--b",
@@ -484,8 +521,10 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 ],
                 &["--json"],
             )?;
+            let (pipeline, workload) = scan.parse_source()?;
             Ok(Command::Simulate {
-                pipeline: scan.require("--pipeline")?.to_string(),
+                pipeline,
+                workload,
                 tau0: scan.parse_f64("--tau0")?,
                 deadline: scan.parse_f64("--deadline")?,
                 b: scan.value_of("--b").map(parse_b_list).transpose()?,
@@ -499,6 +538,7 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
             scan.check_flags(
                 &[
                     "--pipeline",
+                    "--workload",
                     "--grid",
                     "--metrics",
                     "--live-interval",
@@ -506,8 +546,10 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 ],
                 &["--csv", "--live"],
             )?;
+            let (pipeline, workload) = scan.parse_source()?;
             Ok(Command::Sweep {
-                pipeline: scan.require("--pipeline")?.to_string(),
+                pipeline,
+                workload,
                 grid: match scan.value_of("--grid") {
                     None => (8, 8),
                     Some(raw) => parse_grid(raw)?,
@@ -605,6 +647,7 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
             scan.check_flags(
                 &[
                     "--pipeline",
+                    "--workload",
                     "--tau0",
                     "--deadline",
                     "--b",
@@ -618,8 +661,10 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 ],
                 &["--json", "--live"],
             )?;
+            let (pipeline, workload) = scan.parse_source()?;
             Ok(Command::Stress {
-                pipeline: scan.require("--pipeline")?.to_string(),
+                pipeline,
+                workload,
                 tau0: scan.parse_f64("--tau0")?,
                 deadline: scan.parse_f64("--deadline")?,
                 b: scan.value_of("--b").map(parse_b_list).transpose()?,
@@ -819,7 +864,7 @@ mod tests {
                 metrics,
                 ..
             } => {
-                assert_eq!(pipeline, "p.json");
+                assert_eq!(pipeline.as_deref(), Some("p.json"));
                 assert_eq!(b, None);
                 assert_eq!(items, 2_000);
                 assert_eq!(seeds, 4);
@@ -878,7 +923,8 @@ mod tests {
         assert_eq!(
             cmd,
             Command::Sweep {
-                pipeline: "p.json".into(),
+                pipeline: Some("p.json".into()),
+                workload: None,
                 grid: (12, 6),
                 csv: true,
                 metrics: None,
@@ -888,6 +934,64 @@ mod tests {
         assert!(parse(&argv("sweep --pipeline p --grid 1x6")).is_err());
         assert!(parse(&argv("sweep --pipeline p --grid 4x4x4")).is_err());
         assert!(parse(&argv("sweep --pipeline p --grid huge")).is_err());
+    }
+
+    #[test]
+    fn parses_workload_selector() {
+        // A workload replaces the pipeline file.
+        match parse(&argv(
+            "simulate --workload logalytics --tau0 40 --deadline 4e5",
+        ))
+        .unwrap()
+        {
+            Command::Simulate {
+                pipeline, workload, ..
+            } => {
+                assert_eq!(pipeline, None);
+                assert_eq!(workload.as_deref(), Some("logalytics"));
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv("sweep --workload logalytics")).unwrap() {
+            Command::Sweep {
+                pipeline, workload, ..
+            } => {
+                assert_eq!(pipeline, None);
+                assert_eq!(workload.as_deref(), Some("logalytics"));
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv(
+            "stress --workload logalytics --tau0 40 --deadline 4e5",
+        ))
+        .unwrap()
+        {
+            Command::Stress {
+                pipeline, workload, ..
+            } => {
+                assert_eq!(pipeline, None);
+                assert_eq!(workload.as_deref(), Some("logalytics"));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Unknown workload names fail loudly.
+        let e = parse(&argv("simulate --workload blursed --tau0 1 --deadline 1")).unwrap_err();
+        assert!(e.to_string().contains("logalytics"), "{e}");
+        // --pipeline and --workload are mutually exclusive.
+        let e = parse(&argv(
+            "simulate --pipeline p.json --workload logalytics --tau0 1 --deadline 1",
+        ))
+        .unwrap_err();
+        assert!(e.to_string().contains("mutually exclusive"), "{e}");
+        // Neither still demands --pipeline.
+        let e = parse(&argv("simulate --tau0 1 --deadline 1")).unwrap_err();
+        assert!(e.to_string().contains("--pipeline"), "{e}");
+        // Subcommands without workload support reject the flag.
+        assert!(parse(&argv(
+            "optimize --workload logalytics --tau0 1 --deadline 1"
+        ))
+        .is_err());
+        assert!(parse(&argv("trace --workload logalytics --tau0 1 --deadline 1")).is_err());
     }
 
     #[test]

@@ -5,11 +5,19 @@ use crate::args::{Command, Strategy, TraceFormat};
 use crate::live::{render_stress, render_sweep, LiveSession};
 use bench::{MetricsFormat, RunManifest};
 use obs_trace::{chrome_trace_string, render_blame, ForensicsConfig, SpanSink, TraceConfig};
-use rtsdf::core::comparison::{sweep_parallel_live, SweepConfig, SweepOptions, SweepProgress};
-use rtsdf::core::{worker_threads, FlexibleSharesProblem};
+use rtsdf::core::comparison::{
+    sweep_parallel_live, sweep_topology_parallel_live, SweepConfig, SweepOptions, SweepProgress,
+};
+use rtsdf::core::{
+    worker_threads, EnforcedDagProblem, FlexibleSharesProblem, MonolithicDagProblem,
+};
+use rtsdf::model::Topology;
 use rtsdf::prelude::*;
 use rtsdf::sim::calibration::{calibrate_enforced, CalibrationConfig};
-use rtsdf::sim::{robustness_report_live, SimLiveMetrics};
+use rtsdf::sim::{
+    robustness_report_live, robustness_report_topology_live, run_seeds_enforced_topology,
+    SimLiveMetrics,
+};
 use std::fmt;
 use std::io::Write;
 
@@ -49,6 +57,46 @@ fn load_pipeline(path: &str) -> Result<PipelineSpec, CommandError> {
         .map_err(|e| CommandError::Pipeline(format!("cannot parse '{path}': {e}")))
 }
 
+/// The dataflow a command operates on: a chain [`PipelineSpec`] loaded
+/// from `--pipeline`, or a DAG [`Topology`] synthesized by a built-in
+/// `--workload`.
+enum Dataflow {
+    /// Linear chain from a pipeline JSON file.
+    Chain(PipelineSpec),
+    /// DAG from a built-in workload.
+    Dag(Topology),
+}
+
+/// Seed for built-in workload synthesis. Fixed so `--workload` runs are
+/// reproducible: the measured gains (and therefore schedules, metrics,
+/// and bench manifests) are identical across invocations and machines.
+const WORKLOAD_SEED: u64 = 7;
+
+/// Resolve the mutually exclusive pipeline/workload pair into a loaded
+/// dataflow plus a display name for reports and manifests.
+fn load_dataflow(
+    pipeline: &Option<String>,
+    workload: &Option<String>,
+) -> Result<(Dataflow, String), CommandError> {
+    match (pipeline, workload) {
+        (Some(path), None) => Ok((Dataflow::Chain(load_pipeline(path)?), path.clone())),
+        (None, Some(name)) => match name.as_str() {
+            "logalytics" => {
+                let config = rtsdf::apps::logalytics::LogalyticsConfig::default();
+                let topology = rtsdf::apps::logalytics::synthesize(&config, WORKLOAD_SEED)
+                    .map_err(|e| CommandError::Pipeline(format!("workload '{name}': {e}")))?;
+                Ok((Dataflow::Dag(topology), name.clone()))
+            }
+            other => Err(CommandError::Pipeline(format!(
+                "unknown workload '{other}'"
+            ))),
+        },
+        _ => Err(CommandError::Pipeline(
+            "exactly one of --pipeline or --workload is required".into(),
+        )),
+    }
+}
+
 fn params(tau0: f64, deadline: f64) -> Result<RtParams, CommandError> {
     RtParams::new(tau0, deadline).map_err(|e| CommandError::Params(e.to_string()))
 }
@@ -61,6 +109,18 @@ fn backlog(pipeline: &PipelineSpec, b: Option<Vec<f64>>) -> Result<Vec<f64>, Com
             "--b has {} entries but the pipeline has {} stages",
             b.len(),
             pipeline.len()
+        ))),
+    }
+}
+
+fn topology_backlog(topology: &Topology, b: Option<Vec<f64>>) -> Result<Vec<f64>, CommandError> {
+    match b {
+        None => Ok(EnforcedDagProblem::optimistic_backlog(topology)),
+        Some(b) if b.len() == topology.len() => Ok(b),
+        Some(b) => Err(CommandError::Params(format!(
+            "--b has {} entries but the workload has {} nodes",
+            b.len(),
+            topology.len()
         ))),
     }
 }
@@ -161,6 +221,7 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<(), CommandError> {
         }
         Command::Simulate {
             pipeline,
+            workload,
             tau0,
             deadline,
             b,
@@ -169,32 +230,60 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<(), CommandError> {
             json,
             metrics,
         } => {
-            let p = load_pipeline(&pipeline)?;
+            let (flow, source) = load_dataflow(&pipeline, &workload)?;
             let params = params(tau0, deadline)?;
-            let b = backlog(&p, b)?;
-            let sched = EnforcedWaitsProblem::new(&p, params, b.clone())
-                .solve(SolveMethod::WaterFilling)
-                .map_err(|e| CommandError::Params(e.to_string()))?;
             let cfg = SimConfig::quick(tau0, 0, items);
-            let report = run_seeds_enforced(&p, &sched, deadline, &cfg, seeds);
+            // The manifest name keys the CI baseline: chain runs gate
+            // against BENCH_simulate.json, workload (DAG) runs against
+            // BENCH_dag.json.
+            let (experiment, source_key) = match flow {
+                Dataflow::Chain(_) => ("simulate", "pipeline"),
+                Dataflow::Dag(_) => ("dag", "workload"),
+            };
+            let (b, sched, report) = match &flow {
+                Dataflow::Chain(p) => {
+                    let b = backlog(p, b)?;
+                    let sched = EnforcedWaitsProblem::new(p, params, b.clone())
+                        .solve(SolveMethod::WaterFilling)
+                        .map_err(|e| CommandError::Params(e.to_string()))?;
+                    let report = run_seeds_enforced(p, &sched, deadline, &cfg, seeds);
+                    (b, sched, report)
+                }
+                Dataflow::Dag(t) => {
+                    let b = topology_backlog(t, b)?;
+                    let sched = EnforcedDagProblem::new(t, params, b.clone())
+                        .solve()
+                        .map_err(|e| CommandError::Params(e.to_string()))?;
+                    let report = run_seeds_enforced_topology(t, &sched, deadline, &cfg, seeds);
+                    (b, sched, report)
+                }
+            };
             if let Some(format) = metrics {
                 let path = match format {
-                    MetricsFormat::Json => RunManifest::new(
-                        "simulate",
-                        serde_json::json!({
-                            "pipeline": pipeline,
+                    MetricsFormat::Json => {
+                        let mut config = serde_json::json!({
                             "tau0": tau0,
                             "deadline": deadline,
                             "b": b,
                             "items": items,
                             "seeds": seeds,
-                        }),
-                        serde_json::json!({
-                            "schedule": sched,
-                            "runs": report,
-                        }),
-                    )
-                    .write()?,
+                        });
+                        if let serde_json::Value::Object(m) = &mut config {
+                            m.insert(
+                                source_key.to_string(),
+                                serde_json::Value::String(source.clone()),
+                            );
+                        }
+                        RunManifest::new(
+                            experiment,
+                            config,
+                            serde_json::json!({
+                                "schedule": sched,
+                                "runs": report,
+                            }),
+                        )
+                        .write()?
+                    }
                     MetricsFormat::Csv => {
                         let rows: Vec<Vec<String>> = report
                             .runs
@@ -212,7 +301,7 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<(), CommandError> {
                             })
                             .collect();
                         bench::manifest::write_metrics_csv(
-                            "simulate",
+                            experiment,
                             &[
                                 "seed",
                                 "active_fraction",
@@ -263,15 +352,20 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<(), CommandError> {
         }
         Command::Sweep {
             pipeline,
+            workload,
             grid,
             csv,
             metrics,
             live,
         } => {
-            let p = load_pipeline(&pipeline)?;
+            let (flow, _source) = load_dataflow(&pipeline, &workload)?;
             let (tau0s, ds) = RtParams::paper_grid(grid.0, grid.1);
+            let (experiment, enforced_b) = match &flow {
+                Dataflow::Chain(p) => ("sweep", EnforcedWaitsProblem::optimistic_backlog(p)),
+                Dataflow::Dag(t) => ("sweep_dag", EnforcedDagProblem::optimistic_backlog(t)),
+            };
             let config = SweepConfig {
-                enforced_b: EnforcedWaitsProblem::optimistic_backlog(&p),
+                enforced_b,
                 monolithic_b: 1.0,
                 monolithic_s: 1.0,
             };
@@ -284,14 +378,19 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<(), CommandError> {
             // Bit-identical to the sequential sweep (property-tested), so
             // the CSV/manifest output is unchanged — just faster. Live
             // telemetry publishes on the side of each cell's solve.
-            let r = sweep_parallel_live(
-                &p,
-                &tau0s,
-                &ds,
-                &config,
-                &SweepOptions::default(),
-                progress.as_ref(),
-            )
+            let r = match &flow {
+                Dataflow::Chain(p) => sweep_parallel_live(
+                    p,
+                    &tau0s,
+                    &ds,
+                    &config,
+                    &SweepOptions::default(),
+                    progress.as_ref(),
+                ),
+                Dataflow::Dag(t) => {
+                    sweep_topology_parallel_live(t, &tau0s, &ds, &config, progress.as_ref())
+                }
+            }
             .map_err(|e| CommandError::Params(e.to_string()))?;
             let snap = progress.as_ref().map(|pr| pr.registry().snapshot());
             if let Some(s) = session {
@@ -299,7 +398,7 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<(), CommandError> {
             }
             if let Some(format) = metrics {
                 let path = bench::manifest::emit_sweep_metrics_live(
-                    "sweep",
+                    experiment,
                     &r,
                     &config,
                     format,
@@ -443,6 +542,7 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<(), CommandError> {
         }
         Command::Stress {
             pipeline,
+            workload,
             tau0,
             deadline,
             b,
@@ -454,36 +554,69 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<(), CommandError> {
             metrics,
             live,
         } => {
-            let p = load_pipeline(&pipeline)?;
+            let (flow, source) = load_dataflow(&pipeline, &workload)?;
             let params = params(tau0, deadline)?;
-            let b = backlog(&p, b)?;
-            let enforced = EnforcedWaitsProblem::new(&p, params, b.clone())
-                .solve(SolveMethod::WaterFilling)
-                .map_err(|e| CommandError::Params(e.to_string()))?;
-            let mono = MonolithicProblem::new(&p, params, 1.0, 1.0)
-                .solve_fast()
-                .map_err(|e| CommandError::Params(e.to_string()))?;
+            let (experiment, source_key, stages) = match &flow {
+                Dataflow::Chain(p) => ("stress", "pipeline", p.len()),
+                Dataflow::Dag(t) => ("stress_dag", "workload", t.len()),
+            };
+            let (b, enforced, mono) = match &flow {
+                Dataflow::Chain(p) => {
+                    let b = backlog(p, b)?;
+                    let enforced = EnforcedWaitsProblem::new(p, params, b.clone())
+                        .solve(SolveMethod::WaterFilling)
+                        .map_err(|e| CommandError::Params(e.to_string()))?;
+                    let mono = MonolithicProblem::new(p, params, 1.0, 1.0)
+                        .solve_fast()
+                        .map_err(|e| CommandError::Params(e.to_string()))?;
+                    (b, enforced, mono)
+                }
+                Dataflow::Dag(t) => {
+                    let b = topology_backlog(t, b)?;
+                    let enforced = EnforcedDagProblem::new(t, params, b.clone())
+                        .solve()
+                        .map_err(|e| CommandError::Params(e.to_string()))?;
+                    let mono = MonolithicDagProblem::new(t, params, 1.0, 1.0)
+                        .solve_fast()
+                        .map_err(|e| CommandError::Params(e.to_string()))?;
+                    (b, enforced, mono)
+                }
+            };
             let cfg = SimConfig::quick(tau0, 0, items);
             let live_metrics = live
                 .enabled()
-                .then(|| SimLiveMetrics::new(p.len(), worker_threads()));
+                .then(|| SimLiveMetrics::new(stages, worker_threads()));
             let session = live_metrics
                 .as_ref()
                 .map(|m| LiveSession::start(&live, m.registry(), render_stress))
                 .transpose()
                 .map_err(CommandError::Params)?;
-            let report = robustness_report_live(
-                &p,
-                &enforced,
-                &mono,
-                deadline,
-                &cfg,
-                seeds,
-                &Perturbation::standard(1.0),
-                &intensities,
-                target,
-                live_metrics.as_ref(),
-            );
+            let report = match &flow {
+                Dataflow::Chain(p) => robustness_report_live(
+                    p,
+                    &enforced,
+                    &mono,
+                    deadline,
+                    &cfg,
+                    seeds,
+                    &Perturbation::standard(1.0),
+                    &intensities,
+                    target,
+                    live_metrics.as_ref(),
+                ),
+                Dataflow::Dag(t) => robustness_report_topology_live(
+                    t,
+                    &enforced,
+                    &mono,
+                    deadline,
+                    &cfg,
+                    seeds,
+                    &Perturbation::standard(1.0),
+                    &intensities,
+                    target,
+                    live_metrics.as_ref(),
+                ),
+            };
             let snap = live_metrics.as_ref().map(|m| m.registry().snapshot());
             if let Some(s) = session {
                 s.finish();
@@ -498,21 +631,22 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<(), CommandError> {
                                 serde_json::to_value(snap).expect("snapshot serializes"),
                             );
                         }
-                        RunManifest::new(
-                            "stress",
-                            serde_json::json!({
-                                "pipeline": pipeline,
-                                "tau0": tau0,
-                                "deadline": deadline,
-                                "b": b,
-                                "items": items,
-                                "seeds": seeds,
-                                "intensities": intensities,
-                                "target": target,
-                            }),
-                            results,
-                        )
-                        .write()?
+                        let mut config = serde_json::json!({
+                            "tau0": tau0,
+                            "deadline": deadline,
+                            "b": b,
+                            "items": items,
+                            "seeds": seeds,
+                            "intensities": intensities,
+                            "target": target,
+                        });
+                        if let serde_json::Value::Object(m) = &mut config {
+                            m.insert(
+                                source_key.to_string(),
+                                serde_json::Value::String(source.clone()),
+                            );
+                        }
+                        RunManifest::new(experiment, config, results).write()?
                     }
                     MetricsFormat::Csv => {
                         let cell = |name: &str,
@@ -543,7 +677,7 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<(), CommandError> {
                             })
                             .collect();
                         bench::manifest::write_metrics_csv(
-                            "stress",
+                            experiment,
                             &[
                                 "intensity",
                                 "strategy",

@@ -5,12 +5,13 @@
 //! times and deadlines, and their difference (monolithic − enforced,
 //! positive where enforced waits win).
 
+use crate::dag::{EnforcedDagProblem, MonolithicDagProblem};
 use crate::enforced::{EnforcedWaitsProblem, WarmStart};
 use crate::monolithic::MonolithicProblem;
 use crate::schedule::ScheduleError;
 use crate::telemetry::SolveTelemetry;
 use crate::threads::worker_threads;
-use dataflow_model::{PipelineSpec, RtParams};
+use dataflow_model::{PipelineSpec, RtParams, Topology};
 use metrics::{CounterHandle, GaugeHandle, Registry};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -498,6 +499,66 @@ pub fn sweep_parallel_live(
     Ok(result(cells))
 }
 
+/// Optimize both strategies at one operating point on a DAG topology.
+/// Chain topologies delegate to the chain solvers inside
+/// [`EnforcedDagProblem`] and [`MonolithicDagProblem`], so sweeping a
+/// [`Topology::chain`] is bit-identical to [`compare_at`] under cold
+/// solves.
+pub fn compare_at_topology(
+    topology: &Topology,
+    params: RtParams,
+    config: &SweepConfig,
+) -> CellResult {
+    let enforced = EnforcedDagProblem::new(topology, params, config.enforced_b.clone())
+        .solve()
+        .ok();
+    let monolithic =
+        MonolithicDagProblem::new(topology, params, config.monolithic_b, config.monolithic_s)
+            .solve_fast()
+            .ok();
+    CellResult {
+        tau0: params.tau0,
+        deadline: params.deadline,
+        enforced: enforced.as_ref().map(|s| s.active_fraction),
+        monolithic: monolithic.as_ref().map(|s| s.active_fraction),
+        enforced_telemetry: enforced.and_then(|s| s.telemetry),
+        monolithic_telemetry: monolithic.and_then(|s| s.telemetry),
+    }
+}
+
+/// [`sweep_parallel_live`] generalized to DAG topologies: both
+/// strategies' DAG design problems solved cold at every grid cell, with
+/// the same work-stealing scheduler and optional live telemetry.
+pub fn sweep_topology_parallel_live(
+    topology: &Topology,
+    tau0s: &[f64],
+    deadlines: &[f64],
+    config: &SweepConfig,
+    progress: Option<&SweepProgress>,
+) -> Result<SweepResult, ScheduleError> {
+    validate_grid(tau0s, deadlines)?;
+    let cols = deadlines.len();
+    let total = tau0s.len() * cols;
+    if let Some(p) = progress {
+        p.set_total(total);
+    }
+    let cells = work_steal_live(
+        total,
+        worker_threads(),
+        |idx| {
+            let (i, j) = (idx / cols, idx % cols);
+            let params = RtParams::new(tau0s[i], deadlines[j]).expect("grid validated above");
+            compare_at_topology(topology, params, config)
+        },
+        progress,
+    );
+    Ok(SweepResult {
+        tau0s: tau0s.to_vec(),
+        deadlines: deadlines.to_vec(),
+        cells,
+    })
+}
+
 /// The previous static scheduler: τ0 rows divided into contiguous
 /// chunks, one scoped thread per chunk. Kept as the comparison baseline
 /// for the `sweep_hot_path` bench — imbalanced grids serialize their
@@ -820,5 +881,20 @@ mod tests {
         let params = RtParams::new(1.0, 3.5e5).unwrap();
         let cell = compare_at(&p, params, &SweepConfig::paper_blast());
         assert!(cell.monolithic.is_none());
+    }
+
+    #[test]
+    fn topology_sweep_on_chain_matches_chain_sweep() {
+        let p = blast();
+        let t = Topology::chain(&p);
+        let cfg = SweepConfig::paper_blast();
+        let (tau0s, ds) = RtParams::paper_grid(3, 3);
+        let chain = sweep(&p, &tau0s, &ds, &cfg).unwrap();
+        let dag = sweep_topology_parallel_live(&t, &tau0s, &ds, &cfg, None).unwrap();
+        assert_eq!(chain.cells.len(), dag.cells.len());
+        for (c, d) in chain.cells.iter().zip(&dag.cells) {
+            assert_eq!(c.enforced, d.enforced, "tau0={} D={}", c.tau0, c.deadline);
+            assert_eq!(c.monolithic, d.monolithic);
+        }
     }
 }

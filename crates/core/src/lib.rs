@@ -31,6 +31,7 @@
 
 pub mod comparison;
 pub mod coschedule;
+pub mod dag;
 pub mod enforced;
 pub mod feasibility;
 pub mod flexible;
@@ -42,6 +43,10 @@ pub mod schedule;
 pub mod telemetry;
 pub mod threads;
 
+pub use dag::{
+    check_topology_feasibility, escalate_schedule_topology, topology_minimal_periods,
+    EnforcedDagProblem, MonolithicDagProblem,
+};
 pub use enforced::{EnforcedWaitsProblem, SolveMethod, WaitSchedule, WarmStart};
 pub use feasibility::{check_enforced_feasibility, minimal_periods, FeasibilityError};
 pub use flexible::{FlexibleSchedule, FlexibleSharesProblem};

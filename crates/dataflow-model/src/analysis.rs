@@ -13,6 +13,7 @@
 
 use crate::params::RtParams;
 use crate::pipeline::PipelineSpec;
+use crate::topology::Topology;
 
 /// Active fraction of the enforced-waits schedule with firing periods
 /// `x_i = t_i + w_i` (paper §4.1):
@@ -157,6 +158,128 @@ pub fn monolithic_limit_active_fraction(pipeline: &PipelineSpec, params: &RtPara
 /// `N` below the monolithic limit.
 pub fn enforced_limit_active_fraction(pipeline: &PipelineSpec, params: &RtParams) -> f64 {
     monolithic_limit_active_fraction(pipeline, params) / pipeline.len() as f64
+}
+
+// ---------------------------------------------------------------------------
+// DAG generalizations. Arrival rates propagate per edge: fan-out splits
+// a node's output flow across its out-edges, fan-in sums the flows of a
+// node's in-edges ([`Topology::total_gains`]). On a chain topology each
+// function below reproduces its `PipelineSpec` counterpart bit-for-bit.
+// ---------------------------------------------------------------------------
+
+/// Active fraction of an enforced-waits schedule on a DAG with firing
+/// periods `x_i`: `(1/N) Σ t_i / x_i`, node-indexed.
+///
+/// # Panics
+/// Panics if `periods.len()` differs from the node count or any period
+/// is not positive.
+pub fn topology_enforced_active_fraction(topology: &Topology, periods: &[f64]) -> f64 {
+    assert_eq!(
+        periods.len(),
+        topology.len(),
+        "period vector length mismatch"
+    );
+    let n = topology.len() as f64;
+    topology
+        .nodes()
+        .iter()
+        .zip(periods)
+        .map(|(node, &x)| {
+            assert!(x > 0.0, "firing period must be positive, got {x}");
+            node.service_time / x
+        })
+        .sum::<f64>()
+        / n
+}
+
+/// Upper bounds `U_i` on each firing period implied by per-edge
+/// stability alone: node `i` sees `G_i` items per stream input (fan-in
+/// summed, fan-out split), so `x_i ≤ v·τ0 / G_i`. Nodes with zero mean
+/// traffic get `f64::INFINITY`.
+pub fn topology_period_upper_bounds(topology: &Topology, params: &RtParams) -> Vec<f64> {
+    let v = topology.vector_width() as f64;
+    topology
+        .total_gains()
+        .iter()
+        .map(|&g_total| {
+            if g_total <= 0.0 {
+                f64::INFINITY
+            } else {
+                v * params.tau0 / g_total
+            }
+        })
+        .collect()
+}
+
+/// The smallest deadline any enforced-waits schedule on the DAG can
+/// satisfy given node-indexed backlog factors `b`: `Σ b_i · t_i`.
+/// Conservative for DAGs: it charges every node once, i.e. the longest
+/// path through the DAG is bounded by the sum over all nodes.
+///
+/// # Panics
+/// Panics on a length mismatch.
+pub fn topology_min_feasible_deadline(topology: &Topology, b: &[f64]) -> f64 {
+    assert_eq!(b.len(), topology.len(), "backlog factor length mismatch");
+    topology
+        .nodes()
+        .iter()
+        .zip(b)
+        .map(|(node, &bi)| bi * node.service_time)
+        .sum()
+}
+
+/// Worst-case queueing latency bound for an enforced-waits schedule on
+/// the DAG: `Σ b_i·x_i` over all nodes (every root-to-sink path is a
+/// subset of the node set, so the sum bounds the longest path).
+pub fn topology_enforced_latency_bound(topology: &Topology, periods: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(periods.len(), topology.len());
+    assert_eq!(b.len(), topology.len());
+    periods.iter().zip(b).map(|(&x, &bi)| bi * x).sum()
+}
+
+/// Average time for the monolithic runtime to push a block of `M`
+/// inputs through the DAG: `T̄(M) = Σ_i ⌈M·G_i / v⌉ · t_i`, where `G_i`
+/// is node `i`'s mean items per stream input (fan-in summed, fan-out
+/// split by routing weight). The block visits nodes in topological
+/// order on the single shared device, so the same per-node vector-count
+/// formula as the chain applies.
+pub fn topology_monolithic_block_time(topology: &Topology, m: u64) -> f64 {
+    let v = topology.vector_width() as f64;
+    let totals = topology.total_gains();
+    topology
+        .nodes()
+        .iter()
+        .zip(&totals)
+        .map(|(node, &g_total)| {
+            let vectors = (m as f64 * g_total / v).ceil();
+            vectors * node.service_time
+        })
+        .sum()
+}
+
+/// Average-case active fraction of the monolithic strategy on the DAG at
+/// block size `M`: `ρ0·T̄(M)/M`.
+pub fn topology_monolithic_active_fraction(topology: &Topology, params: &RtParams, m: u64) -> f64 {
+    assert!(m > 0, "block size must be positive");
+    params.rho0() * topology_monolithic_block_time(topology, m) / m as f64
+}
+
+/// Stability check for the monolithic strategy on the DAG:
+/// `T̄(M) ≤ M·τ0`.
+pub fn topology_monolithic_stable(topology: &Topology, params: &RtParams, m: u64) -> bool {
+    topology_monolithic_block_time(topology, m) <= m as f64 * params.tau0
+}
+
+/// Worst-case response bound for the monolithic strategy on the DAG:
+/// `b·M·τ0 + S·T̄(M)`.
+pub fn topology_monolithic_latency_bound(
+    topology: &Topology,
+    params: &RtParams,
+    m: u64,
+    b: f64,
+    s: f64,
+) -> f64 {
+    b * m as f64 * params.tau0 + s * topology_monolithic_block_time(topology, m)
 }
 
 #[cfg(test)]
@@ -324,5 +447,112 @@ mod tests {
         let m1 = monolithic_limit_active_fraction(&p, &rt(10.0, 1e5));
         let m2 = monolithic_limit_active_fraction(&p, &rt(20.0, 1e5));
         assert!((m1 / m2 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn topology_chain_analysis_bit_matches_pipeline_analysis() {
+        let p = blast();
+        let t = Topology::chain(&p);
+        let params = rt(10.0, 1e5);
+        let x = [300.0, 1000.0, 450.0, 2800.0];
+        let b = [1.0, 3.0, 9.0, 6.0];
+        assert_eq!(
+            topology_enforced_active_fraction(&t, &x),
+            enforced_active_fraction(&p, &x)
+        );
+        assert_eq!(
+            topology_period_upper_bounds(&t, &params),
+            period_upper_bounds(&p, &params)
+        );
+        assert_eq!(
+            topology_min_feasible_deadline(&t, &b),
+            min_feasible_deadline(&p, &b)
+        );
+        assert_eq!(
+            topology_enforced_latency_bound(&t, &x, &b),
+            enforced_latency_bound(&p, &x, &b)
+        );
+        for m in [1, 64, 128, 256, 4096] {
+            assert_eq!(
+                topology_monolithic_block_time(&t, m),
+                monolithic_block_time(&p, m)
+            );
+            assert_eq!(
+                topology_monolithic_active_fraction(&t, &params, m),
+                monolithic_active_fraction(&p, &params, m)
+            );
+            assert_eq!(
+                topology_monolithic_stable(&t, &params, m),
+                monolithic_stable(&p, &params, m)
+            );
+            assert_eq!(
+                topology_monolithic_latency_bound(&t, &params, m, 1.0, 1.5),
+                monolithic_latency_bound(&p, &params, m, 1.0, 1.5)
+            );
+        }
+    }
+
+    #[test]
+    fn topology_period_bounds_account_for_fan_in_sums() {
+        use crate::topology::TopologyBuilder;
+        // parse → {filter, enrich} → join: join's traffic is the SUM of
+        // both branch flows, so its period bound is tighter than either
+        // branch alone would imply.
+        let t = TopologyBuilder::new(128)
+            .node("parse", 100.0)
+            .node("filter", 40.0)
+            .node("enrich", 60.0)
+            .node("join", 80.0)
+            .edge(0, 1, GainModel::Deterministic { k: 1 }, 0.5)
+            .edge(0, 2, GainModel::Deterministic { k: 1 }, 0.5)
+            .edge(1, 3, GainModel::Deterministic { k: 1 }, 1.0)
+            .edge(2, 3, GainModel::Deterministic { k: 2 }, 1.0)
+            .build()
+            .unwrap();
+        let params = rt(10.0, 1e5);
+        let u = topology_period_upper_bounds(&t, &params);
+        let g = t.total_gains();
+        // join sees 0.5·1 + 0.5·2 = 1.5 items per input.
+        assert!((g[3] - 1.5).abs() < 1e-15);
+        assert!((u[3] - 128.0 * 10.0 / 1.5).abs() < 1e-9);
+        // Tighter than the head bound (more traffic than the source).
+        assert!(u[3] < u[0]);
+    }
+
+    #[test]
+    fn per_edge_flow_balance_holds() {
+        use crate::topology::TopologyBuilder;
+        let t = TopologyBuilder::new(64)
+            .node("a", 10.0)
+            .node("b", 10.0)
+            .node("c", 10.0)
+            .node("d", 10.0)
+            .node("e", 10.0)
+            .edge(0, 1, GainModel::Bernoulli { p: 0.7 }, 1.0)
+            .edge(0, 2, GainModel::CensoredPoisson { mean: 1.3, cap: 8 }, 0.4)
+            .edge(1, 3, GainModel::Deterministic { k: 2 }, 0.9)
+            .edge(2, 3, GainModel::Bernoulli { p: 0.2 }, 1.0)
+            .edge(2, 4, GainModel::Deterministic { k: 1 }, 0.1)
+            .edge(3, 4, GainModel::Deterministic { k: 1 }, 1.0)
+            .build()
+            .unwrap();
+        let g = t.total_gains();
+        let flows = t.edge_flows();
+        // Each edge's flow is its source's in-rate times gain times weight...
+        for (e, edge) in t.edges().iter().enumerate() {
+            assert!(
+                (flows[e] - g[edge.src] * edge.gain.mean() * edge.weight).abs() < 1e-12,
+                "edge {e} flow mismatch"
+            );
+        }
+        // ...and every non-source node's in-rate is the sum of its
+        // in-edge flows (fan-in conservation).
+        for (i, &gi) in g.iter().enumerate() {
+            if i == t.source() {
+                continue;
+            }
+            let inflow: f64 = t.in_edges(i).iter().map(|&e| flows[e]).sum();
+            assert!((gi - inflow).abs() < 1e-12, "node {i} flow imbalance");
+        }
     }
 }

@@ -28,6 +28,52 @@ pub enum ModelError {
         /// What was wrong.
         reason: String,
     },
+    /// Stage names must be unique (duplicates silently alias in
+    /// forensics tables).
+    DuplicateStageName {
+        /// The repeated name.
+        name: String,
+    },
+    /// An edge may not connect a node to itself.
+    SelfEdge {
+        /// The offending node index.
+        node: usize,
+    },
+    /// An edge endpoint refers to a node index that does not exist.
+    EdgeEndpointOutOfRange {
+        /// Offending edge index.
+        edge: usize,
+        /// The out-of-range node index.
+        endpoint: usize,
+    },
+    /// An edge routing weight must be finite and in `(0, 1]`.
+    InvalidEdgeWeight {
+        /// Offending edge index.
+        edge: usize,
+        /// The rejected value.
+        value: f64,
+    },
+    /// An edge gain model parameter is out of range.
+    InvalidEdgeGain {
+        /// Offending edge index.
+        edge: usize,
+        /// What was wrong.
+        reason: String,
+    },
+    /// At most one edge may connect a given (src, dst) pair.
+    DuplicateEdge {
+        /// Producing node index.
+        src: usize,
+        /// Consuming node index.
+        dst: usize,
+    },
+    /// The edge relation must be acyclic.
+    CyclicTopology,
+    /// A topology must have exactly one source node (in-degree 0).
+    MultipleSources {
+        /// How many in-degree-0 nodes were found.
+        count: usize,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -49,6 +95,31 @@ impl fmt::Display for ModelError {
                 }
             }
             ModelError::InvalidRtParams { reason } => write!(f, "invalid RT parameters: {reason}"),
+            ModelError::DuplicateStageName { name } => {
+                write!(f, "duplicate stage name '{name}'")
+            }
+            ModelError::SelfEdge { node } => {
+                write!(f, "node {node}: self-edges are not allowed")
+            }
+            ModelError::EdgeEndpointOutOfRange { edge, endpoint } => {
+                write!(f, "edge {edge}: endpoint {endpoint} is out of range")
+            }
+            ModelError::InvalidEdgeWeight { edge, value } => {
+                write!(f, "edge {edge}: routing weight {value} is not in (0, 1]")
+            }
+            ModelError::InvalidEdgeGain { edge, reason } => {
+                write!(f, "edge {edge}: invalid gain model: {reason}")
+            }
+            ModelError::DuplicateEdge { src, dst } => {
+                write!(f, "duplicate edge {src} -> {dst}")
+            }
+            ModelError::CyclicTopology => write!(f, "topology contains a cycle"),
+            ModelError::MultipleSources { count } => {
+                write!(
+                    f,
+                    "topology must have exactly one source node, found {count}"
+                )
+            }
         }
     }
 }
@@ -85,5 +156,37 @@ mod tests {
             reason: "tau0 <= 0".into(),
         };
         assert!(e.to_string().contains("tau0"));
+    }
+
+    #[test]
+    fn display_topology_messages() {
+        let e = ModelError::DuplicateStageName {
+            name: "seed".into(),
+        };
+        assert!(e.to_string().contains("'seed'"));
+        assert!(ModelError::SelfEdge { node: 3 }
+            .to_string()
+            .contains("node 3"));
+        let e = ModelError::EdgeEndpointOutOfRange {
+            edge: 1,
+            endpoint: 9,
+        };
+        assert!(e.to_string().contains("edge 1"));
+        assert!(e.to_string().contains('9'));
+        let e = ModelError::InvalidEdgeWeight {
+            edge: 0,
+            value: 1.5,
+        };
+        assert!(e.to_string().contains("(0, 1]"));
+        let e = ModelError::InvalidEdgeGain {
+            edge: 2,
+            reason: "p>1".into(),
+        };
+        assert!(e.to_string().contains("edge 2"));
+        let e = ModelError::DuplicateEdge { src: 0, dst: 1 };
+        assert!(e.to_string().contains("0 -> 1"));
+        assert!(ModelError::CyclicTopology.to_string().contains("cycle"));
+        let e = ModelError::MultipleSources { count: 2 };
+        assert!(e.to_string().contains("found 2"));
     }
 }

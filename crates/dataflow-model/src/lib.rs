@@ -32,6 +32,7 @@ pub mod node;
 pub mod params;
 pub mod perturb;
 pub mod pipeline;
+pub mod topology;
 
 pub use arrival::ArrivalProcess;
 pub use error::ModelError;
@@ -40,6 +41,7 @@ pub use node::NodeSpec;
 pub use params::RtParams;
 pub use perturb::Perturbation;
 pub use pipeline::{PipelineSpec, PipelineSpecBuilder};
+pub use topology::{EdgeSpec, Topology, TopologyBuilder};
 
 /// The SIMD vector width used throughout the paper's evaluation
 /// (consistent with the Mercator BLAST implementation).

@@ -30,6 +30,15 @@ impl PipelineSpec {
         for (i, n) in nodes.iter().enumerate() {
             n.validate(i)?;
         }
+        for (i, a) in nodes.iter().enumerate() {
+            for b in &nodes[..i] {
+                if a.name == b.name {
+                    return Err(ModelError::DuplicateStageName {
+                        name: a.name.clone(),
+                    });
+                }
+            }
+        }
         Ok(PipelineSpec {
             nodes,
             vector_width,
@@ -213,6 +222,19 @@ mod tests {
             Err(ModelError::NonPositiveServiceTime { node, .. }) => assert_eq!(node, 1),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn rejects_duplicate_stage_names() {
+        // Regression: duplicate names used to silently alias rows in the
+        // forensics tables downstream.
+        let err = PipelineSpecBuilder::new(8)
+            .stage("dup", 1.0, GainModel::Deterministic { k: 1 })
+            .stage("mid", 2.0, GainModel::Deterministic { k: 1 })
+            .stage("dup", 3.0, GainModel::Deterministic { k: 1 })
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ModelError::DuplicateStageName { name: "dup".into() });
     }
 
     #[test]

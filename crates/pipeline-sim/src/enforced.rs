@@ -12,6 +12,17 @@
 //! Determinism: events at the same timestamp are processed in class
 //! order — arrivals and deliveries first, then fires — so an item that
 //! arrives exactly when a node fires is visible to that firing.
+//!
+//! The core routes firings along a [`Topology`]'s out-edges: each firing
+//! draws one gain batch per out-edge (from that edge's dedicated RNG
+//! substream), Bernoulli-thins it by the edge's routing weight when the
+//! weight is below 1, and delivers one batch per edge at firing
+//! completion; fan-in nodes simply receive deliveries from several
+//! producers into the same queue. A linear chain is the one-out-edge
+//! special case, and the chain entry points below wrap their
+//! [`PipelineSpec`] in [`Topology::chain`] — edge `i`'s substream label
+//! equals the per-stage label the chain implementation used, so the
+//! chain path is bit-identical to the frozen scalar reference.
 
 use crate::config::{FiringDiscipline, SimConfig};
 use crate::faults::{FaultState, MitigationPolicy, FAULT_ARRIVAL_STREAM};
@@ -19,7 +30,7 @@ use crate::item::LineageTracker;
 use crate::live::SimLive;
 use crate::metrics::SimMetrics;
 use crate::soa::SoaQueue;
-use dataflow_model::{GainModel, Perturbation, PipelineSpec, RtParams};
+use dataflow_model::{GainModel, Perturbation, PipelineSpec, RtParams, Topology};
 use des::calendar::Calendar;
 use des::clock::SimTime;
 use des::obs::{ObsConfig, ObsSink};
@@ -116,16 +127,13 @@ pub fn simulate_enforced_perturbed(
     perturb: &Perturbation,
     policy: &MitigationPolicy,
 ) -> SimMetrics {
-    perturb.validate().expect("invalid perturbation");
-    simulate_enforced_full(
-        pipeline,
+    simulate_enforced_topology_perturbed(
+        &Topology::chain(pipeline),
         schedule,
         deadline,
         config,
-        None,
-        None,
-        Some((perturb, policy)),
-        None,
+        perturb,
+        policy,
     )
 }
 
@@ -140,16 +148,7 @@ pub fn simulate_enforced_live(
     config: &SimConfig,
     live: &SimLive<'_>,
 ) -> SimMetrics {
-    simulate_enforced_full(
-        pipeline,
-        schedule,
-        deadline,
-        config,
-        None,
-        None,
-        None,
-        Some(live),
-    )
+    simulate_enforced_topology_live(&Topology::chain(pipeline), schedule, deadline, config, live)
 }
 
 /// [`simulate_enforced_perturbed`] publishing live progress (including
@@ -167,16 +166,14 @@ pub fn simulate_enforced_perturbed_live(
     policy: &MitigationPolicy,
     live: &SimLive<'_>,
 ) -> SimMetrics {
-    perturb.validate().expect("invalid perturbation");
-    simulate_enforced_full(
-        pipeline,
+    simulate_enforced_topology_perturbed_live(
+        &Topology::chain(pipeline),
         schedule,
         deadline,
         config,
-        None,
-        None,
-        Some((perturb, policy)),
-        Some(live),
+        perturb,
+        policy,
+        live,
     )
 }
 
@@ -191,10 +188,13 @@ pub fn simulate_enforced_observed(
     config: &SimConfig,
     obs_config: ObsConfig,
 ) -> SimMetrics {
-    let mut sink = ObsSink::new(pipeline.len(), obs_config);
-    let mut metrics = simulate_enforced_with(pipeline, schedule, deadline, config, Some(&mut sink));
-    metrics.obs = Some(sink.report());
-    metrics
+    simulate_enforced_topology_observed(
+        &Topology::chain(pipeline),
+        schedule,
+        deadline,
+        config,
+        obs_config,
+    )
 }
 
 /// [`simulate_enforced`] with causal span tracing enabled: collects
@@ -211,20 +211,14 @@ pub fn simulate_enforced_traced(
     trace: TraceConfig,
     forensics: &ForensicsConfig,
 ) -> (SimMetrics, TraceLog) {
-    let mut sink = SpanSink::new(trace);
-    let mut metrics = simulate_enforced_full(
-        pipeline,
+    simulate_enforced_topology_traced(
+        &Topology::chain(pipeline),
         schedule,
         deadline,
         config,
-        None,
-        Some(&mut sink),
-        None,
-        None,
-    );
-    let log = sink.finish();
-    metrics.blame = Some(analyze(&log, deadline, forensics));
-    (metrics, log)
+        trace,
+        forensics,
+    )
 }
 
 /// Core simulator. `obs` is branch-on-`Option`: when `None`, every hook
@@ -237,7 +231,168 @@ pub fn simulate_enforced_with(
     config: &SimConfig,
     obs: Option<&mut ObsSink>,
 ) -> SimMetrics {
-    simulate_enforced_full(pipeline, schedule, deadline, config, obs, None, None, None)
+    simulate_enforced_topology_with(&Topology::chain(pipeline), schedule, deadline, config, obs)
+}
+
+/// Simulate one run of `schedule` on an arbitrary DAG `topology` with
+/// deadline `deadline`.
+///
+/// Firings are routed along the topology's out-edges: each out-edge
+/// draws its own stochastic gain per consumed item (from a dedicated
+/// RNG substream), thins the outputs by the edge's routing weight, and
+/// delivers the surviving batch to its destination node at firing
+/// completion. Fan-in nodes merge deliveries from all producers into a
+/// single FIFO input queue. An item is complete when every output it
+/// spawned — across all edges — has been resolved.
+///
+/// For a chain topology this is bit-identical to [`simulate_enforced`]
+/// on the underlying [`PipelineSpec`].
+///
+/// # Panics
+/// Panics if the schedule's length does not match the topology.
+pub fn simulate_enforced_topology(
+    topology: &Topology,
+    schedule: &WaitSchedule,
+    deadline: f64,
+    config: &SimConfig,
+) -> SimMetrics {
+    simulate_enforced_topology_with(topology, schedule, deadline, config, None)
+}
+
+/// [`simulate_enforced_topology`] with an optional observability sink
+/// (the topology-general core behind [`simulate_enforced_with`]).
+pub fn simulate_enforced_topology_with(
+    topology: &Topology,
+    schedule: &WaitSchedule,
+    deadline: f64,
+    config: &SimConfig,
+    obs: Option<&mut ObsSink>,
+) -> SimMetrics {
+    simulate_enforced_full(topology, schedule, deadline, config, obs, None, None, None)
+}
+
+/// [`simulate_enforced_topology`] under fault injection with graceful
+/// degradation (see [`simulate_enforced_perturbed`] for the mitigation
+/// semantics; escalation re-solves use the DAG solver, which delegates
+/// to the chain solver on chain topologies).
+///
+/// # Panics
+/// Panics if the schedule's length does not match the topology or the
+/// perturbation fails [`Perturbation::validate`].
+pub fn simulate_enforced_topology_perturbed(
+    topology: &Topology,
+    schedule: &WaitSchedule,
+    deadline: f64,
+    config: &SimConfig,
+    perturb: &Perturbation,
+    policy: &MitigationPolicy,
+) -> SimMetrics {
+    perturb.validate().expect("invalid perturbation");
+    simulate_enforced_full(
+        topology,
+        schedule,
+        deadline,
+        config,
+        None,
+        None,
+        Some((perturb, policy)),
+        None,
+    )
+}
+
+/// [`simulate_enforced_topology`] publishing live progress into a
+/// metrics registry.
+pub fn simulate_enforced_topology_live(
+    topology: &Topology,
+    schedule: &WaitSchedule,
+    deadline: f64,
+    config: &SimConfig,
+    live: &SimLive<'_>,
+) -> SimMetrics {
+    simulate_enforced_full(
+        topology,
+        schedule,
+        deadline,
+        config,
+        None,
+        None,
+        None,
+        Some(live),
+    )
+}
+
+/// [`simulate_enforced_topology_perturbed`] publishing live progress
+/// (including shed counts) into a metrics registry.
+///
+/// # Panics
+/// Panics if the schedule's length does not match the topology or the
+/// perturbation fails [`Perturbation::validate`].
+pub fn simulate_enforced_topology_perturbed_live(
+    topology: &Topology,
+    schedule: &WaitSchedule,
+    deadline: f64,
+    config: &SimConfig,
+    perturb: &Perturbation,
+    policy: &MitigationPolicy,
+    live: &SimLive<'_>,
+) -> SimMetrics {
+    perturb.validate().expect("invalid perturbation");
+    simulate_enforced_full(
+        topology,
+        schedule,
+        deadline,
+        config,
+        None,
+        None,
+        Some((perturb, policy)),
+        Some(live),
+    )
+}
+
+/// [`simulate_enforced_topology`] with the observability layer enabled
+/// (per-node queue-depth / occupancy / sojourn distributions, returned
+/// in [`SimMetrics::obs`]).
+pub fn simulate_enforced_topology_observed(
+    topology: &Topology,
+    schedule: &WaitSchedule,
+    deadline: f64,
+    config: &SimConfig,
+    obs_config: ObsConfig,
+) -> SimMetrics {
+    let mut sink = ObsSink::new(topology.len(), obs_config);
+    let mut metrics =
+        simulate_enforced_topology_with(topology, schedule, deadline, config, Some(&mut sink));
+    metrics.obs = Some(sink.report());
+    metrics
+}
+
+/// [`simulate_enforced_topology`] with causal span tracing and
+/// deadline-miss forensics enabled (see [`simulate_enforced_traced`]).
+/// Spans and blame stay keyed by node: queues and service live at
+/// nodes, while the per-edge routing contribution is covered by the
+/// analysis layer's per-edge flow accounting.
+pub fn simulate_enforced_topology_traced(
+    topology: &Topology,
+    schedule: &WaitSchedule,
+    deadline: f64,
+    config: &SimConfig,
+    trace: TraceConfig,
+    forensics: &ForensicsConfig,
+) -> (SimMetrics, TraceLog) {
+    let mut sink = SpanSink::new(trace);
+    let mut metrics = simulate_enforced_full(
+        topology,
+        schedule,
+        deadline,
+        config,
+        None,
+        Some(&mut sink),
+        None,
+        None,
+    );
+    let log = sink.finish();
+    metrics.blame = Some(analyze(&log, deadline, forensics));
+    (metrics, log)
 }
 
 /// Mutable per-run state of the fault-injection / mitigation layer.
@@ -267,7 +422,7 @@ struct StressState {
 /// one untaken branch per hook.
 #[allow(clippy::too_many_arguments)]
 fn simulate_enforced_full(
-    pipeline: &PipelineSpec,
+    topology: &Topology,
     schedule: &WaitSchedule,
     deadline: f64,
     config: &SimConfig,
@@ -276,17 +431,17 @@ fn simulate_enforced_full(
     stress_spec: Option<(&Perturbation, &MitigationPolicy)>,
     live: Option<&SimLive<'_>>,
 ) -> SimMetrics {
-    let n = pipeline.len();
+    let n = topology.len();
     if let Some(sink) = obs.as_deref_mut() {
-        assert_eq!(sink.num_stages(), n, "obs sink/pipeline length mismatch");
+        assert_eq!(sink.num_stages(), n, "obs sink/topology length mismatch");
     }
     assert_eq!(
         schedule.periods.len(),
         n,
-        "schedule/pipeline length mismatch"
+        "schedule/topology length mismatch"
     );
-    let v = pipeline.vector_width();
-    let service: Vec<u64> = pipeline
+    let v = topology.vector_width();
+    let service: Vec<u64> = topology
         .service_times()
         .iter()
         .map(|&t| (t.round() as u64).max(1))
@@ -302,7 +457,13 @@ fn simulate_enforced_full(
 
     let master = RngStream::new(config.seed);
     let mut arrival_rng = master.substream(0);
-    let mut gain_rngs: Vec<RngStream> = (0..n).map(|i| master.substream(1 + i as u64)).collect();
+    // One gain substream per *edge*, in declaration order. For a chain
+    // built by `Topology::chain`, edge `i` is `i → i+1`, so its label
+    // `1 + i` is exactly the label the per-stage implementation used —
+    // the draw sequence (and therefore every metric) is unchanged.
+    let mut gain_rngs: Vec<RngStream> = (0..topology.edges().len())
+        .map(|e| master.substream(1 + e as u64))
+        .collect();
 
     // Precompute arrival times, rounded onto the integer clock.
     let mut arrivals_f = config
@@ -358,17 +519,19 @@ fn simulate_enforced_full(
     }
 
     // Gain models hoisted out of the firing loop: one bounds-checked
-    // node lookup per stage up front instead of one per consumed item.
-    // Under fault injection the models are replaced by their drifted
+    // edge lookup up front instead of one per consumed item. Under
+    // fault injection the models are replaced by their drifted
     // counterparts (identical parameters — and draws — at intensity 0).
     let drifted_gains: Option<Vec<GainModel>> = stress_spec.map(|(perturb, _)| {
-        (0..n)
-            .map(|i| perturb.drift_gain(&pipeline.node(i).gain))
+        topology
+            .edges()
+            .iter()
+            .map(|e| perturb.drift_gain(&e.gain))
             .collect()
     });
     let gain_of: Vec<&GainModel> = match &drifted_gains {
         Some(gains) => gains.iter().collect(),
-        None => (0..n).map(|i| &pipeline.node(i).gain).collect(),
+        None => topology.edges().iter().map(|e| &e.gain).collect(),
     };
 
     // Per-stage input queues in structure-of-arrays form: one flat
@@ -386,6 +549,13 @@ fn simulate_enforced_full(
     let mut vec_pool: Vec<Vec<u64>> = Vec::new();
     // Reusable per-firing gain-draw lane (one entry per consumed item).
     let mut gains_buf: Vec<u32> = Vec::with_capacity(v as usize);
+    // Per-item output total across all out-edges of a firing, for the
+    // lineage ledger (an item is resolved only when *all* its outputs
+    // on every edge are resolved).
+    let mut ktot_buf: Vec<u32> = Vec::with_capacity(v as usize);
+    // Deliveries staged per out-edge during a firing; drained into the
+    // calendar after the lineage pass releases the queue borrow.
+    let mut pending_deliver: Vec<(usize, Vec<u64>)> = Vec::new();
     // Parallel per-stage enqueue-timestamp lanes for sojourn
     // measurement, plus a reusable batch buffer for the samples;
     // allocated only when the observability layer is on.
@@ -487,8 +657,8 @@ fn simulate_enforced_full(
                                     .iter()
                                     .map(|&d| (d as f64 / v as f64).ceil())
                                     .collect();
-                                match rtsdf_core::policy::escalate_schedule(
-                                    pipeline,
+                                match rtsdf_core::dag::escalate_schedule_topology(
+                                    topology,
                                     params,
                                     &st.periods_f,
                                     &st.design_b,
@@ -641,25 +811,60 @@ fn simulate_enforced_full(
                             });
                         }
                     }
-                    let is_last = node + 1 == n;
                     if take > 0 {
-                        // Batch service: draw all of this firing's
-                        // gains in one hoisted-dispatch pass (the draw
+                        let consumed = queues[node].take_front(take);
+                        ktot_buf.clear();
+                        ktot_buf.resize(take, 0);
+                        // Route along out-edges: per edge, draw the
+                        // whole firing's gains in one hoisted-dispatch
+                        // pass from the edge's own substream (the draw
                         // sequence is identical to one `sample` per
-                        // item — the scalar reference pins this), then
-                        // stream over the consumed origin slice.
-                        if !is_last {
+                        // item — the scalar reference pins this), thin
+                        // by the routing weight when it is below 1, and
+                        // stage one delivery batch. A sink node has no
+                        // out-edges, so its outputs exit immediately
+                        // (no draw, k = 0) — exactly the old last-stage
+                        // special case.
+                        for &e in topology.out_edges(node) {
                             gains_buf.clear();
                             gains_buf.resize(take, 0);
-                            gain_of[node].sample_batch(&mut gain_rngs[node], &mut gains_buf);
+                            gain_of[e].sample_batch(&mut gain_rngs[e], &mut gains_buf);
+                            let edge = topology.edge(e);
+                            let mut outs: Vec<u64> = vec_pool.pop().unwrap_or_default();
+                            if edge.weight < 1.0 {
+                                // Bernoulli thinning per output, from
+                                // the same edge substream. Never taken
+                                // on chain topologies (weight == 1), so
+                                // the chain draw sequence is unchanged.
+                                for (i, &origin) in consumed.iter().enumerate() {
+                                    let mut kept = 0u32;
+                                    for _ in 0..gains_buf[i] {
+                                        if gain_rngs[e].next_f64() < edge.weight {
+                                            kept += 1;
+                                        }
+                                    }
+                                    ktot_buf[i] += kept;
+                                    for _ in 0..kept {
+                                        outs.push(origin);
+                                    }
+                                }
+                            } else {
+                                for (i, &origin) in consumed.iter().enumerate() {
+                                    let k = gains_buf[i];
+                                    ktot_buf[i] += k;
+                                    for _ in 0..k {
+                                        outs.push(origin);
+                                    }
+                                }
+                            }
+                            if !outs.is_empty() {
+                                pending_deliver.push((edge.dst, outs));
+                            } else {
+                                vec_pool.push(outs);
+                            }
                         }
-                        let consumed = queues[node].take_front(take);
-                        let mut outs: Vec<u64> = vec_pool.pop().unwrap_or_default();
                         for (i, &origin) in consumed.iter().enumerate() {
-                            // Last stage: outputs exit the pipeline
-                            // immediately (no draw, k = 0).
-                            let k = if is_last { 0 } else { gains_buf[i] };
-                            if lineage.consume(origin, k, completion) {
+                            if lineage.consume(origin, ktot_buf[i], completion) {
                                 last_completion = last_completion.max(completion);
                                 if let Some(sink) = obs.as_deref_mut() {
                                     sink.on_completion();
@@ -668,20 +873,15 @@ fn simulate_enforced_full(
                                     l.on_completion();
                                 }
                             }
-                            for _ in 0..k {
-                                outs.push(origin);
-                            }
                         }
-                        if !outs.is_empty() {
+                        for (dst, outs) in pending_deliver.drain(..) {
                             cal.schedule(
                                 completion,
                                 Ev::Deliver {
-                                    node: node + 1,
+                                    node: dst,
                                     origins: outs,
                                 },
                             );
-                        } else {
-                            vec_pool.push(outs);
                         }
                     }
                     // Periodic refire, but only while there is still work

@@ -52,21 +52,32 @@ pub mod validate;
 pub use config::SimConfig;
 pub use enforced::{
     simulate_enforced, simulate_enforced_observed, simulate_enforced_perturbed,
+    simulate_enforced_topology, simulate_enforced_topology_observed,
+    simulate_enforced_topology_perturbed, simulate_enforced_topology_traced,
     simulate_enforced_traced,
 };
-pub use enforced::{simulate_enforced_live, simulate_enforced_perturbed_live};
+pub use enforced::{
+    simulate_enforced_live, simulate_enforced_perturbed_live, simulate_enforced_topology_live,
+    simulate_enforced_topology_perturbed_live,
+};
 pub use faults::MitigationPolicy;
 pub use live::{SimLive, SimLiveMetrics};
 pub use metrics::SimMetrics;
 pub use monolithic::{
     simulate_monolithic, simulate_monolithic_live, simulate_monolithic_observed,
-    simulate_monolithic_perturbed, simulate_monolithic_perturbed_live, simulate_monolithic_traced,
+    simulate_monolithic_perturbed, simulate_monolithic_perturbed_live,
+    simulate_monolithic_topology, simulate_monolithic_topology_live,
+    simulate_monolithic_topology_observed, simulate_monolithic_topology_perturbed,
+    simulate_monolithic_topology_perturbed_live, simulate_monolithic_topology_traced,
+    simulate_monolithic_traced,
 };
 pub use robustness::{
-    robustness_report, robustness_report_live, RobustnessPoint, RobustnessReport, StressSummary,
+    robustness_report, robustness_report_live, robustness_report_topology_live, RobustnessPoint,
+    RobustnessReport, StressSummary,
 };
 pub use runner::{
     run_seeds_enforced, run_seeds_enforced_perturbed, run_seeds_enforced_perturbed_live,
-    run_seeds_monolithic, run_seeds_monolithic_perturbed, run_seeds_monolithic_perturbed_live,
-    MultiSeedReport,
+    run_seeds_enforced_topology, run_seeds_enforced_topology_perturbed_live, run_seeds_monolithic,
+    run_seeds_monolithic_perturbed, run_seeds_monolithic_perturbed_live,
+    run_seeds_monolithic_topology, run_seeds_monolithic_topology_perturbed_live, MultiSeedReport,
 };

@@ -13,7 +13,7 @@ use crate::config::SimConfig;
 use crate::faults::{FaultState, FAULT_ARRIVAL_STREAM};
 use crate::live::SimLive;
 use crate::metrics::SimMetrics;
-use dataflow_model::{GainModel, Perturbation, PipelineSpec};
+use dataflow_model::{GainModel, Perturbation, PipelineSpec, Topology};
 use des::clock::SimTime;
 use des::obs::{ObsConfig, ObsSink};
 use des::rng::RngStream;
@@ -53,16 +53,12 @@ pub fn simulate_monolithic_perturbed(
     config: &SimConfig,
     perturb: &Perturbation,
 ) -> SimMetrics {
-    perturb.validate().expect("invalid perturbation");
-    simulate_monolithic_full(
-        pipeline,
+    simulate_monolithic_topology_perturbed(
+        &Topology::chain(pipeline),
         schedule,
         deadline,
         config,
-        None,
-        None,
-        Some(perturb),
-        None,
+        perturb,
     )
 }
 
@@ -77,16 +73,7 @@ pub fn simulate_monolithic_live(
     config: &SimConfig,
     live: &SimLive<'_>,
 ) -> SimMetrics {
-    simulate_monolithic_full(
-        pipeline,
-        schedule,
-        deadline,
-        config,
-        None,
-        None,
-        None,
-        Some(live),
-    )
+    simulate_monolithic_topology_live(&Topology::chain(pipeline), schedule, deadline, config, live)
 }
 
 /// [`simulate_monolithic_perturbed`] publishing live progress into a
@@ -102,16 +89,13 @@ pub fn simulate_monolithic_perturbed_live(
     perturb: &Perturbation,
     live: &SimLive<'_>,
 ) -> SimMetrics {
-    perturb.validate().expect("invalid perturbation");
-    simulate_monolithic_full(
-        pipeline,
+    simulate_monolithic_topology_perturbed_live(
+        &Topology::chain(pipeline),
         schedule,
         deadline,
         config,
-        None,
-        None,
-        Some(perturb),
-        Some(live),
+        perturb,
+        live,
     )
 }
 
@@ -124,11 +108,13 @@ pub fn simulate_monolithic_observed(
     config: &SimConfig,
     obs_config: ObsConfig,
 ) -> SimMetrics {
-    let mut sink = ObsSink::new(pipeline.len(), obs_config);
-    let mut metrics =
-        simulate_monolithic_with(pipeline, schedule, deadline, config, Some(&mut sink));
-    metrics.obs = Some(sink.report());
-    metrics
+    simulate_monolithic_topology_observed(
+        &Topology::chain(pipeline),
+        schedule,
+        deadline,
+        config,
+        obs_config,
+    )
 }
 
 /// [`simulate_monolithic`] with causal span tracing enabled: per-stage
@@ -145,9 +131,158 @@ pub fn simulate_monolithic_traced(
     trace: TraceConfig,
     forensics: &ForensicsConfig,
 ) -> (SimMetrics, TraceLog) {
+    simulate_monolithic_topology_traced(
+        &Topology::chain(pipeline),
+        schedule,
+        deadline,
+        config,
+        trace,
+        forensics,
+    )
+}
+
+/// Core simulator; `obs` hooks are branch-on-`Option` (see the enforced
+/// simulator for the convention).
+pub fn simulate_monolithic_with(
+    pipeline: &PipelineSpec,
+    schedule: &MonolithicSchedule,
+    deadline: f64,
+    config: &SimConfig,
+    obs: Option<&mut ObsSink>,
+) -> SimMetrics {
+    simulate_monolithic_topology_with(&Topology::chain(pipeline), schedule, deadline, config, obs)
+}
+
+/// Simulate one run of the monolithic `schedule` on an arbitrary DAG
+/// `topology`.
+///
+/// Within a block, nodes execute in topological order; each node's item
+/// count is the sum over its in-edges of the upstream counts after the
+/// edge's sampled gain and routing-weight thinning. For a chain
+/// topology this is bit-identical to [`simulate_monolithic`] on the
+/// underlying [`PipelineSpec`].
+pub fn simulate_monolithic_topology(
+    topology: &Topology,
+    schedule: &MonolithicSchedule,
+    deadline: f64,
+    config: &SimConfig,
+) -> SimMetrics {
+    simulate_monolithic_topology_with(topology, schedule, deadline, config, None)
+}
+
+/// [`simulate_monolithic_topology`] with an optional observability sink
+/// (the topology-general core behind [`simulate_monolithic_with`]).
+pub fn simulate_monolithic_topology_with(
+    topology: &Topology,
+    schedule: &MonolithicSchedule,
+    deadline: f64,
+    config: &SimConfig,
+    obs: Option<&mut ObsSink>,
+) -> SimMetrics {
+    simulate_monolithic_full(topology, schedule, deadline, config, obs, None, None, None)
+}
+
+/// [`simulate_monolithic_topology`] under fault injection (see
+/// [`simulate_monolithic_perturbed`]).
+///
+/// # Panics
+/// Panics if the perturbation fails [`Perturbation::validate`].
+pub fn simulate_monolithic_topology_perturbed(
+    topology: &Topology,
+    schedule: &MonolithicSchedule,
+    deadline: f64,
+    config: &SimConfig,
+    perturb: &Perturbation,
+) -> SimMetrics {
+    perturb.validate().expect("invalid perturbation");
+    simulate_monolithic_full(
+        topology,
+        schedule,
+        deadline,
+        config,
+        None,
+        None,
+        Some(perturb),
+        None,
+    )
+}
+
+/// [`simulate_monolithic_topology`] publishing live progress into a
+/// metrics registry.
+pub fn simulate_monolithic_topology_live(
+    topology: &Topology,
+    schedule: &MonolithicSchedule,
+    deadline: f64,
+    config: &SimConfig,
+    live: &SimLive<'_>,
+) -> SimMetrics {
+    simulate_monolithic_full(
+        topology,
+        schedule,
+        deadline,
+        config,
+        None,
+        None,
+        None,
+        Some(live),
+    )
+}
+
+/// [`simulate_monolithic_topology_perturbed`] publishing live progress
+/// into a metrics registry.
+///
+/// # Panics
+/// Panics if the perturbation fails [`Perturbation::validate`].
+pub fn simulate_monolithic_topology_perturbed_live(
+    topology: &Topology,
+    schedule: &MonolithicSchedule,
+    deadline: f64,
+    config: &SimConfig,
+    perturb: &Perturbation,
+    live: &SimLive<'_>,
+) -> SimMetrics {
+    perturb.validate().expect("invalid perturbation");
+    simulate_monolithic_full(
+        topology,
+        schedule,
+        deadline,
+        config,
+        None,
+        None,
+        Some(perturb),
+        Some(live),
+    )
+}
+
+/// [`simulate_monolithic_topology`] with the observability layer
+/// enabled; summaries land in [`SimMetrics::obs`].
+pub fn simulate_monolithic_topology_observed(
+    topology: &Topology,
+    schedule: &MonolithicSchedule,
+    deadline: f64,
+    config: &SimConfig,
+    obs_config: ObsConfig,
+) -> SimMetrics {
+    let mut sink = ObsSink::new(topology.len(), obs_config);
+    let mut metrics =
+        simulate_monolithic_topology_with(topology, schedule, deadline, config, Some(&mut sink));
+    metrics.obs = Some(sink.report());
+    metrics
+}
+
+/// [`simulate_monolithic_topology`] with causal span tracing and
+/// deadline-miss forensics enabled (see [`simulate_monolithic_traced`]).
+pub fn simulate_monolithic_topology_traced(
+    topology: &Topology,
+    schedule: &MonolithicSchedule,
+    deadline: f64,
+    config: &SimConfig,
+    trace: TraceConfig,
+    forensics: &ForensicsConfig,
+) -> (SimMetrics, TraceLog) {
     let mut sink = SpanSink::new(trace);
     let mut metrics = simulate_monolithic_full(
-        pipeline,
+        topology,
         schedule,
         deadline,
         config,
@@ -161,24 +296,12 @@ pub fn simulate_monolithic_traced(
     (metrics, log)
 }
 
-/// Core simulator; `obs` hooks are branch-on-`Option` (see the enforced
-/// simulator for the convention).
-pub fn simulate_monolithic_with(
-    pipeline: &PipelineSpec,
-    schedule: &MonolithicSchedule,
-    deadline: f64,
-    config: &SimConfig,
-    obs: Option<&mut ObsSink>,
-) -> SimMetrics {
-    simulate_monolithic_full(pipeline, schedule, deadline, config, obs, None, None, None)
-}
-
 /// Full-generality core: aggregate observability (`obs`), causal span
 /// tracing (`spans`), fault injection (`stress_spec`), and live metrics
 /// (`live`) are independent branch-on-`Option` layers.
 #[allow(clippy::too_many_arguments)]
 fn simulate_monolithic_full(
-    pipeline: &PipelineSpec,
+    topology: &Topology,
     schedule: &MonolithicSchedule,
     deadline: f64,
     config: &SimConfig,
@@ -187,17 +310,22 @@ fn simulate_monolithic_full(
     stress_spec: Option<&Perturbation>,
     live: Option<&SimLive<'_>>,
 ) -> SimMetrics {
-    let n = pipeline.len();
+    let n = topology.len();
     if let Some(sink) = obs.as_deref_mut() {
-        assert_eq!(sink.num_stages(), n, "obs sink/pipeline length mismatch");
+        assert_eq!(sink.num_stages(), n, "obs sink/topology length mismatch");
     }
-    let v = pipeline.vector_width();
+    let v = topology.vector_width();
     let m = schedule.block_size.max(1) as usize;
-    let service: Vec<f64> = pipeline.service_times();
+    let service: Vec<f64> = topology.service_times();
+    let src = topology.source();
 
     let master = RngStream::new(config.seed);
     let mut arrival_rng = master.substream(0);
-    let mut gain_rngs: Vec<RngStream> = (0..n).map(|i| master.substream(1 + i as u64)).collect();
+    // One gain substream per edge (chain edge `i` keeps the per-stage
+    // label `1 + i` — see the enforced simulator).
+    let mut gain_rngs: Vec<RngStream> = (0..topology.edges().len())
+        .map(|e| master.substream(1 + e as u64))
+        .collect();
 
     let mut arrivals = config
         .arrivals
@@ -216,8 +344,10 @@ fn simulate_monolithic_full(
         FaultState::new(perturb, &master, n)
     });
     let drifted_gains: Option<Vec<GainModel>> = stress_spec.map(|perturb| {
-        (0..n)
-            .map(|i| perturb.drift_gain(&pipeline.node(i).gain))
+        topology
+            .edges()
+            .iter()
+            .map(|e| perturb.drift_gain(&e.gain))
             .collect()
     });
     let last_arrival = arrivals.last().copied().unwrap_or(0.0);
@@ -236,6 +366,8 @@ fn simulate_monolithic_full(
     // Reused batch buffers: one sojourn/latency sample per block item.
     let mut soj_buf: Vec<f64> = Vec::with_capacity(m);
     let mut lat_buf: Vec<f64> = Vec::with_capacity(m);
+    // Per-node item counts within the current block, reset per block.
+    let mut counts: Vec<u64> = vec![0; n];
 
     for block in arrivals.chunks(m) {
         let ready = *block.last().expect("chunks are nonempty");
@@ -258,26 +390,31 @@ fn simulate_monolithic_full(
         }
         if let Some(sink) = obs.as_deref_mut() {
             sink.on_event();
-            sink.on_enqueue(0, block.len() as u64, arrived - processed_before);
-            // Sojourn at the head stage: wait from arrival to block start.
+            sink.on_enqueue(src, block.len() as u64, arrived - processed_before);
+            // Sojourn at the source node: wait from arrival to block start.
             soj_buf.clear();
             soj_buf.extend(block.iter().map(|&arr| start - arr));
-            sink.on_sojourn_batch(0, &soj_buf);
+            sink.on_sojourn_batch(src, &soj_buf);
             if sink.tracing() {
                 sink.trace(
                     SimTime::from_f64_rounded(start),
-                    0,
+                    src as u32,
                     format!("block of {} starts", block.len()),
                 );
             }
         }
 
-        // Push the block through all stages, sampling actual gains.
-        let mut count = block.len() as u64;
+        // Push the block through all nodes in topological order, sampling
+        // actual per-edge gains. A node nothing reached does not fire
+        // (and draws nothing) — for a chain this reproduces the old
+        // early-exit on a zeroed stage exactly.
+        counts.iter_mut().for_each(|c| *c = 0);
+        counts[src] = block.len() as u64;
         let mut busy = 0.0;
-        for i in 0..n {
+        for &i in topology.topo_order() {
+            let count = counts[i];
             if count == 0 {
-                break;
+                continue;
             }
             let firings = count.div_ceil(v as u64);
             let stage_busy = match faults.as_mut() {
@@ -311,17 +448,32 @@ fn simulate_monolithic_full(
                     sink.on_fire(i, rem as usize, v as usize);
                 }
             }
-            if i + 1 < n {
-                // One node lookup per stage, not one per item.
+            for &e in topology.out_edges(i) {
+                // One edge lookup per stage, not one per item.
                 let gain = match &drifted_gains {
-                    Some(gains) => &gains[i],
-                    None => &pipeline.node(i).gain,
+                    Some(gains) => &gains[e],
+                    None => &topology.edge(e).gain,
                 };
                 // Draw-identical to the per-item loop (see
                 // `GainModel::sample_sum`), but deterministic models pay
                 // zero RNG draws and the distribution parameters are
                 // hoisted out of the loop.
-                count = gain.sample_sum(&mut gain_rngs[i], count);
+                let out = gain.sample_sum(&mut gain_rngs[e], count);
+                let edge = topology.edge(e);
+                // Routing weight below 1: Bernoulli-thin each output
+                // from the same edge substream (never taken on chains).
+                let kept = if edge.weight < 1.0 {
+                    let mut kept = 0u64;
+                    for _ in 0..out {
+                        if gain_rngs[e].next_f64() < edge.weight {
+                            kept += 1;
+                        }
+                    }
+                    kept
+                } else {
+                    out
+                };
+                counts[edge.dst] += kept;
             }
         }
         let finish = start + busy;
@@ -334,7 +486,7 @@ fn simulate_monolithic_full(
                 let origin = (processed_before + j) as u64;
                 sink.visit(ItemVisit {
                     origin,
-                    stage: 0,
+                    stage: src as u32,
                     enqueued: arr,
                     eligible: ready,
                     consumed: start,
@@ -414,12 +566,12 @@ fn simulate_monolithic_full(
         latency,
         max_queue_depth: {
             let mut d = vec![0u64; n];
-            d[0] = max_waiting;
+            d[src] = max_waiting;
             d
         },
         max_backlog_vectors: {
             let mut b = vec![0.0; n];
-            b[0] = max_waiting as f64 / v as f64;
+            b[src] = max_waiting as f64 / v as f64;
             b
         },
         occupancy,

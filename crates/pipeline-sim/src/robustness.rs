@@ -19,9 +19,10 @@ use crate::config::SimConfig;
 use crate::faults::MitigationPolicy;
 use crate::live::SimLiveMetrics;
 use crate::runner::{
-    run_seeds_enforced_perturbed_live, run_seeds_monolithic_perturbed_live, MultiSeedReport,
+    run_seeds_enforced_topology_perturbed_live, run_seeds_monolithic_topology_perturbed_live,
+    MultiSeedReport,
 };
-use dataflow_model::{Perturbation, PipelineSpec};
+use dataflow_model::{Perturbation, PipelineSpec, Topology};
 use rtsdf_core::{MonolithicSchedule, WaitSchedule};
 use serde::{Deserialize, Serialize};
 
@@ -163,6 +164,35 @@ pub fn robustness_report_live(
     target: f64,
     live: Option<&SimLiveMetrics>,
 ) -> RobustnessReport {
+    robustness_report_topology_live(
+        &Topology::chain(pipeline),
+        enforced,
+        monolithic,
+        deadline,
+        config,
+        num_seeds,
+        perturb,
+        intensities,
+        target,
+        live,
+    )
+}
+
+/// [`robustness_report_live`] on an arbitrary DAG topology. For a chain
+/// topology this is bit-identical to the chain entry point.
+#[allow(clippy::too_many_arguments)]
+pub fn robustness_report_topology_live(
+    topology: &Topology,
+    enforced: &WaitSchedule,
+    monolithic: &MonolithicSchedule,
+    deadline: f64,
+    config: &SimConfig,
+    num_seeds: u64,
+    perturb: &Perturbation,
+    intensities: &[f64],
+    target: f64,
+    live: Option<&SimLiveMetrics>,
+) -> RobustnessReport {
     let mut levels: Vec<f64> = intensities.to_vec();
     levels.sort_by(|a, b| a.partial_cmp(b).expect("finite intensities"));
     levels.dedup();
@@ -177,12 +207,14 @@ pub fn robustness_report_live(
             let p = perturb.at_intensity(intensity);
             RobustnessPoint {
                 intensity,
-                enforced_mitigated: StressSummary::from_report(&run_seeds_enforced_perturbed_live(
-                    pipeline, enforced, deadline, config, num_seeds, &p, &mitigated, live,
-                )),
+                enforced_mitigated: StressSummary::from_report(
+                    &run_seeds_enforced_topology_perturbed_live(
+                        topology, enforced, deadline, config, num_seeds, &p, &mitigated, live,
+                    ),
+                ),
                 enforced_unmitigated: StressSummary::from_report(
-                    &run_seeds_enforced_perturbed_live(
-                        pipeline,
+                    &run_seeds_enforced_topology_perturbed_live(
+                        topology,
                         enforced,
                         deadline,
                         config,
@@ -192,9 +224,11 @@ pub fn robustness_report_live(
                         live,
                     ),
                 ),
-                monolithic: StressSummary::from_report(&run_seeds_monolithic_perturbed_live(
-                    pipeline, monolithic, deadline, config, num_seeds, &p, live,
-                )),
+                monolithic: StressSummary::from_report(
+                    &run_seeds_monolithic_topology_perturbed_live(
+                        topology, monolithic, deadline, config, num_seeds, &p, live,
+                    ),
+                ),
             }
         })
         .collect();

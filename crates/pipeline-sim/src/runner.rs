@@ -8,14 +8,18 @@
 use crate::config::SimConfig;
 use crate::enforced::{
     simulate_enforced, simulate_enforced_perturbed, simulate_enforced_perturbed_live,
+    simulate_enforced_topology, simulate_enforced_topology_perturbed,
+    simulate_enforced_topology_perturbed_live,
 };
 use crate::faults::MitigationPolicy;
 use crate::live::{SimLive, SimLiveMetrics};
 use crate::metrics::SimMetrics;
 use crate::monolithic::{
     simulate_monolithic, simulate_monolithic_perturbed, simulate_monolithic_perturbed_live,
+    simulate_monolithic_topology, simulate_monolithic_topology_perturbed,
+    simulate_monolithic_topology_perturbed_live,
 };
-use dataflow_model::{Perturbation, PipelineSpec};
+use dataflow_model::{Perturbation, PipelineSpec, Topology};
 use rtsdf_core::{MonolithicSchedule, WaitSchedule};
 use serde::{Deserialize, Serialize};
 
@@ -270,6 +274,98 @@ pub fn run_seeds_monolithic_perturbed_live(
                 simulate_monolithic_perturbed_live(pipeline, schedule, deadline, &cfg, perturb, h)
             }
             None => simulate_monolithic_perturbed(pipeline, schedule, deadline, &cfg, perturb),
+        }
+    });
+    MultiSeedReport { runs }
+}
+
+/// Simulate an enforced-waits schedule on an arbitrary DAG topology
+/// under `num_seeds` seeds, in parallel. For a chain topology this is
+/// bit-identical to [`run_seeds_enforced`].
+pub fn run_seeds_enforced_topology(
+    topology: &Topology,
+    schedule: &WaitSchedule,
+    deadline: f64,
+    base_config: &SimConfig,
+    num_seeds: u64,
+) -> MultiSeedReport {
+    let threads = rtsdf_core::worker_threads();
+    let runs = run_parallel(0..num_seeds, threads, |seed| {
+        let mut cfg = base_config.clone();
+        cfg.seed = seed;
+        simulate_enforced_topology(topology, schedule, deadline, &cfg)
+    });
+    MultiSeedReport { runs }
+}
+
+/// [`run_seeds_enforced_perturbed_live`] on an arbitrary DAG topology.
+#[allow(clippy::too_many_arguments)]
+pub fn run_seeds_enforced_topology_perturbed_live(
+    topology: &Topology,
+    schedule: &WaitSchedule,
+    deadline: f64,
+    base_config: &SimConfig,
+    num_seeds: u64,
+    perturb: &Perturbation,
+    policy: &MitigationPolicy,
+    live: Option<&SimLiveMetrics>,
+) -> MultiSeedReport {
+    let threads = rtsdf_core::worker_threads();
+    let runs = run_parallel_live(0..num_seeds, threads, live, |seed, l| {
+        let mut cfg = base_config.clone();
+        cfg.seed = seed;
+        match l {
+            Some(h) => simulate_enforced_topology_perturbed_live(
+                topology, schedule, deadline, &cfg, perturb, policy, h,
+            ),
+            None => simulate_enforced_topology_perturbed(
+                topology, schedule, deadline, &cfg, perturb, policy,
+            ),
+        }
+    });
+    MultiSeedReport { runs }
+}
+
+/// Simulate a monolithic schedule on an arbitrary DAG topology under
+/// `num_seeds` seeds, in parallel. For a chain topology this is
+/// bit-identical to [`run_seeds_monolithic`].
+pub fn run_seeds_monolithic_topology(
+    topology: &Topology,
+    schedule: &MonolithicSchedule,
+    deadline: f64,
+    base_config: &SimConfig,
+    num_seeds: u64,
+) -> MultiSeedReport {
+    let threads = rtsdf_core::worker_threads();
+    let runs = run_parallel(0..num_seeds, threads, |seed| {
+        let mut cfg = base_config.clone();
+        cfg.seed = seed;
+        simulate_monolithic_topology(topology, schedule, deadline, &cfg)
+    });
+    MultiSeedReport { runs }
+}
+
+/// [`run_seeds_monolithic_perturbed_live`] on an arbitrary DAG topology.
+pub fn run_seeds_monolithic_topology_perturbed_live(
+    topology: &Topology,
+    schedule: &MonolithicSchedule,
+    deadline: f64,
+    base_config: &SimConfig,
+    num_seeds: u64,
+    perturb: &Perturbation,
+    live: Option<&SimLiveMetrics>,
+) -> MultiSeedReport {
+    let threads = rtsdf_core::worker_threads();
+    let runs = run_parallel_live(0..num_seeds, threads, live, |seed, l| {
+        let mut cfg = base_config.clone();
+        cfg.seed = seed;
+        match l {
+            Some(h) => simulate_monolithic_topology_perturbed_live(
+                topology, schedule, deadline, &cfg, perturb, h,
+            ),
+            None => {
+                simulate_monolithic_topology_perturbed(topology, schedule, deadline, &cfg, perturb)
+            }
         }
     });
     MultiSeedReport { runs }

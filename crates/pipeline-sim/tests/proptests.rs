@@ -40,22 +40,70 @@ fn assert_visits_partition(log: &TraceLog, tol: f64) -> Result<(), TestCaseError
     Ok(())
 }
 
+/// Bounded two-point gain with the requested mean: `k` with probability
+/// `gain / k`, else `0`, for `k = ceil(gain)`.
+fn two_point(gain: f64) -> GainModel {
+    let k = gain.ceil().max(1.0) as u32;
+    let p_hi = gain / k as f64;
+    GainModel::Empirical {
+        pmf: vec![(0, 1.0 - p_hi), (k, p_hi)],
+    }
+}
+
 fn pipeline() -> impl Strategy<Value = PipelineSpec> {
     prop::collection::vec((20.0..500.0f64, 0.2..2.0f64), 2..=4).prop_map(|stages| {
         let mut b = PipelineSpecBuilder::new(32);
         for (i, (t, gain)) in stages.into_iter().enumerate() {
-            let k = gain.ceil().max(1.0) as u32;
-            let p_hi = gain / k as f64;
-            b = b.stage(
-                format!("s{i}"),
-                t,
-                GainModel::Empirical {
-                    pmf: vec![(0, 1.0 - p_hi), (k, p_hi)],
-                },
-            );
+            b = b.stage(format!("s{i}"), t, two_point(gain));
         }
         b.build().expect("valid")
     })
+}
+
+/// Random fan-out/fan-in DAG: a diamond `0 -> {1, 2} -> 3` with random
+/// service times, per-edge gains, and routing weights, followed by an
+/// optional linear tail. Every topology is acyclic and single-source by
+/// construction but exercises both split and merge paths.
+fn topology() -> impl Strategy<Value = dataflow_model::Topology> {
+    (
+        prop::collection::vec((20.0..300.0f64, 0.2..1.5f64), 4..=6),
+        prop::collection::vec(0.2..1.0f64, 2),
+    )
+        .prop_map(|(nodes, weights)| {
+            let n = nodes.len();
+            let mut b = dataflow_model::TopologyBuilder::new(32);
+            for (i, (t, _)) in nodes.iter().enumerate() {
+                b = b.node(format!("n{i}"), *t);
+            }
+            // Diamond core: split at the source, merge at node 3.
+            b = b
+                .edge(0, 1, two_point(nodes[0].1), weights[0])
+                .edge(0, 2, two_point(nodes[1].1), weights[1])
+                .edge(1, 3, two_point(nodes[1].1), 1.0)
+                .edge(2, 3, two_point(nodes[2].1), 1.0);
+            // Linear tail after the merge, if any nodes remain.
+            for (i, (_, gain)) in nodes.iter().enumerate().take(n - 1).skip(3) {
+                b = b.edge(i, i + 1, two_point(*gain), 1.0);
+            }
+            b.build().expect("valid diamond")
+        })
+}
+
+/// A stable, generously-deadlined operating point for an arbitrary
+/// topology, mirroring the chain recipe: the arrival interval dominates
+/// every node's minimal period weighted by its total gain.
+fn topology_operating_point(t: &dataflow_model::Topology, slack: f64) -> RtParams {
+    let xmin = rtsdf_core::topology_minimal_periods(t);
+    let gains = t.total_gains();
+    let v = t.vector_width() as f64;
+    let tau0 = xmin
+        .iter()
+        .zip(&gains)
+        .map(|(x, g)| x * g / v)
+        .fold(0.0f64, f64::max)
+        * slack;
+    let min_d: f64 = xmin.iter().sum();
+    RtParams::new(tau0, min_d * 20.0).unwrap()
 }
 
 proptest! {
@@ -502,5 +550,200 @@ proptest! {
             &p, &sched, deadline, &cfg, None, Some(&perturb),
         );
         prop_assert_eq!(metrics_json(&live), metrics_json(&oracle));
+    }
+}
+
+// ---------------------------------------------------------------------
+// The DAG generalization. Two laws: (1) any linear chain expressed as a
+// `Topology` is *bit-identical* — serialized SimMetrics plus ObsReport —
+// to the frozen scalar references, so the topology routing layer adds
+// exactly nothing on chains; (2) on genuine fan-out/fan-in topologies
+// every arrived input has exactly one fate (completed, dropped, or shed).
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn chain_as_topology_enforced_matches_scalar_reference(
+        p in pipeline(),
+        seed in 0u64..1000,
+        intensity in intensity(),
+    ) {
+        use des::obs::ObsSink;
+        use pipeline_sim::reference::simulate_enforced_reference;
+        use pipeline_sim::{
+            simulate_enforced_topology_observed, simulate_enforced_topology_perturbed,
+        };
+
+        let t = dataflow_model::Topology::chain(&p);
+        let xmin = rtsdf_core::minimal_periods(&p);
+        let tau0 = xmin[0] / p.vector_width() as f64 * 2.5;
+        let b: Vec<f64> = p.mean_gains().iter().map(|g| (g.ceil() + 1.0).max(2.0)).collect();
+        let min_d: f64 = xmin.iter().zip(&b).map(|(x, bi)| x * bi).sum();
+        let params = RtParams::new(tau0, min_d * 5.0).unwrap();
+        let sched = EnforcedWaitsProblem::new(&p, params, b)
+            .solve(SolveMethod::WaterFilling)
+            .unwrap();
+        let cfg = SimConfig::quick(tau0, seed, 400);
+
+        // Observed run: SimMetrics + full ObsReport must agree.
+        let live = simulate_enforced_topology_observed(
+            &t, &sched, params.deadline, &cfg, ObsConfig::default(),
+        );
+        let mut sink = ObsSink::new(p.len(), ObsConfig::default());
+        let mut oracle = simulate_enforced_reference(
+            &p, &sched, params.deadline, &cfg, Some(&mut sink), None,
+        );
+        oracle.obs = Some(sink.report());
+        prop_assert_eq!(metrics_json(&live), metrics_json(&oracle));
+
+        // Stressed run, including intensity 0.
+        let perturb = Perturbation::standard(1.0).at_intensity(intensity);
+        let policy = MitigationPolicy::full();
+        let live = simulate_enforced_topology_perturbed(
+            &t, &sched, params.deadline, &cfg, &perturb, &policy,
+        );
+        let oracle = simulate_enforced_reference(
+            &p, &sched, params.deadline, &cfg, None, Some((&perturb, &policy)),
+        );
+        prop_assert_eq!(metrics_json(&live), metrics_json(&oracle));
+    }
+
+    #[test]
+    fn chain_as_topology_monolithic_matches_scalar_reference(
+        p in pipeline(),
+        seed in 0u64..1000,
+        m_block in 8u64..128,
+        intensity in intensity(),
+    ) {
+        use des::obs::ObsSink;
+        use pipeline_sim::reference::simulate_monolithic_reference;
+        use pipeline_sim::{
+            simulate_monolithic_topology_observed, simulate_monolithic_topology_perturbed,
+        };
+
+        let t = dataflow_model::Topology::chain(&p);
+        let tau0 = p.total_service_time();
+        let sched = MonolithicSchedule {
+            block_size: m_block,
+            block_time: 0.0,
+            active_fraction: 0.0,
+            latency_bound: 0.0,
+            b: 1.0,
+            s: 1.0,
+            telemetry: None,
+        };
+        let cfg = SimConfig::quick(tau0, seed, 400);
+        let deadline = 1e15;
+
+        let live = simulate_monolithic_topology_observed(
+            &t, &sched, deadline, &cfg, ObsConfig::default(),
+        );
+        let mut sink = ObsSink::new(p.len(), ObsConfig::default());
+        let mut oracle = simulate_monolithic_reference(
+            &p, &sched, deadline, &cfg, Some(&mut sink), None,
+        );
+        oracle.obs = Some(sink.report());
+        prop_assert_eq!(metrics_json(&live), metrics_json(&oracle));
+
+        let perturb = Perturbation::standard(1.0).at_intensity(intensity);
+        let live = simulate_monolithic_topology_perturbed(&t, &sched, deadline, &cfg, &perturb);
+        let oracle = simulate_monolithic_reference(
+            &p, &sched, deadline, &cfg, None, Some(&perturb),
+        );
+        prop_assert_eq!(metrics_json(&live), metrics_json(&oracle));
+    }
+
+    #[test]
+    fn dag_enforced_simulation_conserves_items(
+        t in topology(),
+        seed in 0u64..1000,
+        slack in 2.0..6.0f64,
+    ) {
+        use pipeline_sim::simulate_enforced_topology;
+
+        let params = topology_operating_point(&t, slack);
+        let b: Vec<f64> = rtsdf_core::EnforcedDagProblem::optimistic_backlog(&t)
+            .iter()
+            .map(|x| x + 2.0)
+            .collect();
+        let sched = rtsdf_core::EnforcedDagProblem::new(&t, params, b)
+            .solve()
+            .expect("generous operating point is feasible");
+        let cfg = SimConfig::quick(params.tau0, seed, 400);
+        let m = simulate_enforced_topology(&t, &sched, params.deadline, &cfg);
+        prop_assert!(!m.truncated);
+        prop_assert_eq!(
+            m.items_completed + m.items_dropped,
+            m.items_arrived,
+            "completed {} + dropped {} != arrived {}",
+            m.items_completed, m.items_dropped, m.items_arrived
+        );
+        prop_assert!(m.active_fraction > 0.0 && m.active_fraction <= 1.0 + 1e-9);
+        prop_assert!(m.latency.count() == m.items_arrived);
+        for o in &m.occupancy {
+            prop_assert!((0.0..=1.0).contains(&o.mean_occupancy()));
+        }
+    }
+
+    #[test]
+    fn dag_shedding_conserves_items(
+        t in topology(),
+        seed in 0u64..500,
+        intensity in 0.5..2.5f64,
+    ) {
+        use pipeline_sim::simulate_enforced_topology_perturbed;
+
+        let params = topology_operating_point(&t, 2.0);
+        let b: Vec<f64> = rtsdf_core::EnforcedDagProblem::optimistic_backlog(&t)
+            .iter()
+            .map(|x| x + 1.0)
+            .collect();
+        let sched = rtsdf_core::EnforcedDagProblem::new(&t, params, b)
+            .solve()
+            .expect("generous operating point is feasible");
+        let cfg = SimConfig::quick(params.tau0, seed, 300);
+        let m = simulate_enforced_topology_perturbed(
+            &t,
+            &sched,
+            params.deadline,
+            &cfg,
+            &Perturbation::standard(intensity),
+            &MitigationPolicy::full(),
+        );
+        prop_assert_eq!(
+            m.items_shed + m.items_completed + m.items_dropped,
+            m.items_arrived,
+            "shed {} + completed {} + dropped {} != arrived {}",
+            m.items_shed, m.items_completed, m.items_dropped, m.items_arrived
+        );
+        prop_assert!(m.items_shed <= m.items_arrived);
+        prop_assert!(m.items_admitted() == m.items_arrived - m.items_shed);
+    }
+
+    #[test]
+    fn dag_monolithic_simulation_conserves_items(
+        t in topology(),
+        seed in 0u64..500,
+        m_block in 8u64..128,
+    ) {
+        use pipeline_sim::simulate_monolithic_topology;
+
+        let tau0 = t.total_service_time();
+        let sched = MonolithicSchedule {
+            block_size: m_block,
+            block_time: 0.0,
+            active_fraction: 0.0,
+            latency_bound: 0.0,
+            b: 1.0,
+            s: 1.0,
+            telemetry: None,
+        };
+        let cfg = SimConfig::quick(tau0, seed, 400);
+        let m = simulate_monolithic_topology(&t, &sched, 1e18, &cfg);
+        prop_assert!(!m.truncated);
+        prop_assert_eq!(m.items_completed + m.items_dropped, m.items_arrived);
+        prop_assert_eq!(m.deadline_misses, 0);
+        prop_assert!(m.active_fraction > 0.0 && m.active_fraction <= 1.0 + 1e-9);
     }
 }
