@@ -18,6 +18,10 @@
 //!   {filter, enrich} → join → aggregate), the flagship *DAG* workload:
 //!   it synthesizes a [`dataflow_model::Topology`] with per-edge gains
 //!   and routing weights rather than a linear chain.
+//! * [`deepchain`] — deterministic `N`-stage synthetic chains (no RNG)
+//!   for solver scaling studies: their tridiagonal KKT structure
+//!   exercises the banded interior-point path at depths (N up to 1000)
+//!   far beyond the measured workloads.
 //!
 //! Each module synthesizes a workload, *measures* its gain
 //! distributions from actual (simplified but real) computations over
@@ -31,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod cascade;
+pub mod deepchain;
 pub mod gamma;
 pub mod ids;
 pub mod kernels;

@@ -1,0 +1,247 @@
+//! Criterion bench: interior-point scaling on deep synthetic chains.
+//!
+//! The paper's pipelines are 4 stages deep; this bench drives the
+//! enforced-waits interior point through the deterministic
+//! `deepchain` workloads at N ∈ {4, 32, 64, 128, 512, 1000} to show
+//! the banded Newton path holds its O(N·b²)-per-step promise. Each
+//! depth's solve is measured cold, and one representative solve's
+//! telemetry records the factorization kind (`dense` below the
+//! banded engagement threshold, `banded` with bandwidth 1 above it),
+//! total Newton iterations, and the derived wall-per-iteration cost.
+//!
+//! The scaling gate: the per-Newton-step KKT kernel cost (assembly +
+//! banded factor + solve, reported by `SolveTelemetry::
+//! newton_solve_micros`) between N=512 and N=64 must stay ≤ 12× (a
+//! dense O(N³) step would be ~64×). The full wall per iteration is
+//! recorded alongside but not gated: the Armijo line search runs an
+//! instance-dependent number of barrier evaluations per step (5–13 on
+//! these chains), which measures conditioning, not factorization
+//! scaling. The bench exits non-zero when the gate fails, and
+//! `--metrics json` writes the measurements to `BENCH_deep.json`
+//! (iterations gated by `bench_diff`, wall times informational) so CI
+//! tracks the trajectory.
+//!
+//! ```text
+//! cargo bench -p bench --bench solver_deep -- [--metrics json|csv]
+//! ```
+
+use bench::manifest::{write_metrics_csv, MetricsFormat, RunManifest};
+use criterion::{black_box, Criterion};
+use rtsdf::core::minimal_periods;
+use rtsdf::prelude::*;
+use serde_json::json;
+
+/// Chain depths to measure (the acceptance gate compares 512 vs 64).
+const DEPTHS: &[usize] = &[4, 32, 64, 128, 512, 1000];
+
+/// Maximum allowed per-Newton-step KKT kernel ratio between N=512 and
+/// N=64 (linear scaling predicts 8×; dense O(N³) steps would be ~512×).
+const MAX_KERNEL_PER_ITER_RATIO: f64 = 12.0;
+
+/// One depth's measurements.
+struct DepthRow {
+    n: usize,
+    wall_micros: f64,
+    min_wall_micros: f64,
+    /// Smallest per-solve Newton-kernel wall over the repeat solves
+    /// (`None` on the dense path below the banded engagement size).
+    kernel_micros: Option<f64>,
+    iterations: u64,
+    phase1_iterations: u64,
+    factorization: String,
+    bandwidth: Option<u64>,
+    active_fraction: f64,
+}
+
+impl DepthRow {
+    /// Full-solve wall per Newton iteration, from the fastest sample:
+    /// the minimum is the run-to-run-stable measure of what the work
+    /// itself costs, while the mean absorbs scheduler and frequency
+    /// interference that scales with wall time.
+    fn wall_per_iter(&self) -> f64 {
+        self.min_wall_micros / self.iterations.max(1) as f64
+    }
+
+    /// Gated metric: KKT assembly + banded factor + solve per Newton
+    /// step, excluding the instance-conditioned line-search work.
+    fn kernel_per_iter(&self) -> Option<f64> {
+        self.kernel_micros
+            .map(|k| k / self.iterations.max(1) as f64)
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let metrics = bench::parse_metrics_flag(&args).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+
+    // This bench parses its own flags, so the shim's positional-filter
+    // sniffing must be disabled.
+    let mut c = Criterion::default().with_filter(None);
+
+    let mut rows: Vec<DepthRow> = Vec::with_capacity(DEPTHS.len());
+    for &n in DEPTHS {
+        let p = rtsdf::apps::deepchain::deep_chain(n).expect("deep chain builds");
+        let b = EnforcedWaitsProblem::optimistic_backlog(&p);
+        let min_d: f64 = minimal_periods(&p)
+            .iter()
+            .zip(&b)
+            .map(|(x, bi)| x * bi)
+            .sum();
+        let params = RtParams::new(5.0, min_d * 2.0).expect("valid operating point");
+        let prob = EnforcedWaitsProblem::new(&p, params, b);
+        {
+            let mut group = c.benchmark_group("deep_ip");
+            group.bench_function(format!("n{n}"), |bench| {
+                bench.iter(|| black_box(prob.solve(SolveMethod::InteriorPoint).unwrap()))
+            });
+            group.finish();
+        }
+        // Representative solves for telemetry; min-of-repeats stabilizes
+        // the in-solve kernel timer against scheduler interference.
+        let mut kernel_micros: Option<f64> = None;
+        let mut last = None;
+        for _ in 0..3 {
+            let sched = prob
+                .solve(SolveMethod::InteriorPoint)
+                .expect("deep chain is schedulable");
+            let t = sched
+                .telemetry
+                .clone()
+                .expect("interior point reports telemetry");
+            if let Some(k) = t.newton_solve_micros {
+                kernel_micros = Some(kernel_micros.map_or(k, |b: f64| b.min(k)));
+            }
+            last = Some((sched, t));
+        }
+        let (sched, t) = last.expect("at least one solve ran");
+        rows.push(DepthRow {
+            n,
+            wall_micros: f64::NAN,     // filled from criterion below
+            min_wall_micros: f64::NAN, // filled from criterion below
+            kernel_micros,
+            iterations: t.iterations,
+            phase1_iterations: t.phase1_iterations.unwrap_or(0),
+            factorization: t.factorization.unwrap_or_else(|| "unknown".into()),
+            bandwidth: t.bandwidth,
+            active_fraction: sched.active_fraction,
+        });
+    }
+
+    let results = c.take_results();
+    for row in &mut rows {
+        let hit = results
+            .iter()
+            .find(|r| r.id == format!("deep_ip/n{}", row.n));
+        row.wall_micros = hit.map(|r| r.mean_ns / 1e3).unwrap_or(f64::NAN);
+        row.min_wall_micros = hit.map(|r| r.min_ns / 1e3).unwrap_or(f64::NAN);
+    }
+
+    println!();
+    for row in &rows {
+        println!(
+            "N={:<5} {:>10.1} µs/solve  {:>4} iters ({} phase-1)  {:>8.2} µs/iter  {} kernel µs/iter  {}{}",
+            row.n,
+            row.wall_micros,
+            row.iterations,
+            row.phase1_iterations,
+            row.wall_per_iter(),
+            row.kernel_per_iter()
+                .map_or("     n/a".into(), |k| format!("{k:>8.2}")),
+            row.factorization,
+            row.bandwidth.map_or(String::new(), |b| format!("(bw={b})")),
+        );
+    }
+
+    let at = |n: usize| rows.iter().find(|r| r.n == n).expect("depth measured");
+    let wall_ratio = at(512).wall_per_iter() / at(64).wall_per_iter();
+    let kernel_ratio = match (at(512).kernel_per_iter(), at(64).kernel_per_iter()) {
+        (Some(a), Some(b)) => a / b,
+        _ => f64::NAN,
+    };
+    println!(
+        "scaling: per-step KKT kernel N=512 / N=64 = {kernel_ratio:.2}x \
+         (gate: <= {MAX_KERNEL_PER_ITER_RATIO}x); full wall per iter = {wall_ratio:.2}x (info)"
+    );
+
+    if let Some(format) = metrics {
+        match format {
+            MetricsFormat::Json => {
+                let mut depths = serde_json::Map::new();
+                for row in &rows {
+                    depths.insert(
+                        format!("n{}", row.n),
+                        json!({
+                            "wall_micros": row.wall_micros,
+                            "min_wall_micros": row.min_wall_micros,
+                            "kernel_micros": row.kernel_micros,
+                            "iterations": row.iterations,
+                            "phase1_newton_steps": row.phase1_iterations,
+                            "wall_per_iter_micros": row.wall_per_iter(),
+                            "kernel_per_iter_micros": row.kernel_per_iter(),
+                            "factorization": row.factorization,
+                            "bandwidth_value": row.bandwidth,
+                            "active_fraction_value": row.active_fraction,
+                        }),
+                    );
+                }
+                let results_blob = json!({
+                    "depths": depths,
+                    "scaling": json!({
+                        "kernel_per_iter_ratio_512_over_64": kernel_ratio,
+                        "wall_per_iter_ratio_512_over_64": wall_ratio,
+                        "max_allowed_kernel_ratio": MAX_KERNEL_PER_ITER_RATIO,
+                    }),
+                });
+                let config_blob = json!({
+                    "depths": DEPTHS,
+                    "tau0": 5.0,
+                    "deadline_over_minimum": 2.0,
+                });
+                let path = RunManifest::new("deep", config_blob, results_blob)
+                    .write()
+                    .expect("metrics written");
+                eprintln!("wrote {}", path.display());
+            }
+            MetricsFormat::Csv => {
+                let csv_rows: Vec<Vec<String>> = rows
+                    .iter()
+                    .map(|r| {
+                        vec![
+                            format!("n{}", r.n),
+                            format!("{:.3}", r.wall_micros),
+                            r.iterations.to_string(),
+                            format!("{:.4}", r.wall_per_iter()),
+                            r.factorization.clone(),
+                        ]
+                    })
+                    .collect();
+                let path = write_metrics_csv(
+                    "deep",
+                    &[
+                        "id",
+                        "wall_micros",
+                        "iterations",
+                        "wall_per_iter",
+                        "factorization",
+                    ],
+                    &csv_rows,
+                )
+                .expect("metrics written");
+                eprintln!("wrote {}", path.display());
+            }
+        }
+    }
+
+    // NaN (missing banded kernel telemetry) must fail the gate too.
+    if kernel_ratio.is_nan() || kernel_ratio > MAX_KERNEL_PER_ITER_RATIO {
+        eprintln!(
+            "FAIL: per-step KKT kernel ratio N=512/N=64 = {kernel_ratio:.2}x exceeds \
+             {MAX_KERNEL_PER_ITER_RATIO}x — the banded Newton path is not engaging \
+             (or regressed to dense scaling)"
+        );
+        std::process::exit(1);
+    }
+}

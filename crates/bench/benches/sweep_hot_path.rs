@@ -26,11 +26,13 @@
 use bench::manifest::{write_metrics_csv, MetricsFormat, RunManifest};
 use criterion::{black_box, Criterion};
 use rtsdf::core::comparison::{
-    sweep_parallel, sweep_parallel_chunked, sweep_parallel_with, SweepConfig, SweepOptions,
+    sweep_parallel, sweep_parallel_chunked, sweep_parallel_live, sweep_parallel_with, SweepConfig,
+    SweepOptions, SweepProgress, SweepResult,
 };
-use rtsdf::core::WarmStart;
+use rtsdf::core::{worker_threads, WarmStart};
 use rtsdf::prelude::*;
 use serde_json::json;
+use std::time::Instant;
 
 /// Parse `--grid RxC` (default 8x8).
 fn parse_grid(args: &[String]) -> (usize, usize) {
@@ -206,6 +208,68 @@ fn main() {
         group.finish();
     }
 
+    // Production-scale work-stealing profile (ROADMAP item 3 leftover:
+    // stealing measured ~1x over chunked on small grids — answer the
+    // question at a 64×64 production grid). Single timed passes, not
+    // criterion groups: at 4096 cells one pass is already seconds, and
+    // the wall keys are informational. The work-stealing pass publishes
+    // into a live metrics registry so the row records actual steals and
+    // per-worker busy fractions; the two warm modes' deterministic
+    // iteration totals quantify the cross-cell seeding win at scale.
+    let (prof_rows, prof_cols) = (64usize, 64usize);
+    let (prof_tau0s, prof_ds) = imbalanced_grid(prof_rows, prof_cols);
+    let t0 = Instant::now();
+    let _ = sweep_parallel_chunked(&pipeline, &prof_tau0s, &prof_ds, &sweep_config).unwrap();
+    let prof_chunked = t0.elapsed();
+    let progress = SweepProgress::new(worker_threads());
+    let t0 = Instant::now();
+    let _ = sweep_parallel_live(
+        &pipeline,
+        &prof_tau0s,
+        &prof_ds,
+        &sweep_config,
+        &SweepOptions::default(),
+        Some(&progress),
+    )
+    .unwrap();
+    let prof_ws = t0.elapsed();
+    let total_iters = |r: &SweepResult| {
+        r.cells
+            .iter()
+            .filter_map(|c| c.enforced_telemetry.as_ref())
+            .map(|t| t.iterations)
+            .sum::<u64>()
+    };
+    let warm_rows_sweep = sweep_parallel_with(
+        &pipeline,
+        &prof_tau0s,
+        &prof_ds,
+        &sweep_config,
+        &SweepOptions::warm(),
+    )
+    .unwrap();
+    let warm_graph_sweep = sweep_parallel_with(
+        &pipeline,
+        &prof_tau0s,
+        &prof_ds,
+        &sweep_config,
+        &SweepOptions::warm_graph(),
+    )
+    .unwrap();
+    let (warm_rows_iters, warm_graph_iters) = (
+        total_iters(&warm_rows_sweep),
+        total_iters(&warm_graph_sweep),
+    );
+    let snap = progress.registry().snapshot();
+    let prof_steals = snap.total("rtsdf_sweep_steals");
+    let prof_claims = snap.total("rtsdf_sweep_cells_claimed");
+    let busy: Vec<f64> = snap
+        .family("rtsdf_sweep_worker_busy_fraction")
+        .map(|f| f.samples.iter().map(|s| s.value).collect())
+        .unwrap_or_default();
+    let busy_min = busy.iter().copied().fold(f64::INFINITY, f64::min);
+    let busy_mean = busy.iter().sum::<f64>() / busy.len().max(1) as f64;
+
     let results = c.take_results();
     let cells = (rows * cols) as f64;
     let chunked = mean_ns(&results, "sweep/chunked");
@@ -221,6 +285,16 @@ fn main() {
         chunked / ws
     );
     println!("solver: cold {cold_iters} iters, warm {warm_iters} iters");
+    println!(
+        "profile {prof_rows}x{prof_cols}: work stealing {:.2}s vs chunked {:.2}s ({:.2}x), \
+         {prof_steals:.0} steals / {prof_claims:.0} cells, busy min {busy_min:.2} mean {busy_mean:.2}",
+        prof_ws.as_secs_f64(),
+        prof_chunked.as_secs_f64(),
+        prof_chunked.as_secs_f64() / prof_ws.as_secs_f64(),
+    );
+    println!(
+        "profile {prof_rows}x{prof_cols} warm: row chaining {warm_rows_iters} iters vs graph {warm_graph_iters} iters"
+    );
 
     let Some(format) = metrics else { return };
     match format {
@@ -266,6 +340,25 @@ fn main() {
                         "wall_micros": mean_ns(&results, "stats/histogram") / 1e3,
                         "samples_per_sec": per_sec(stats_samples as f64, mean_ns(&results, "stats/histogram")),
                     }),
+                }),
+                "work_steal_profile": json!({
+                    "grid_rows": prof_rows,
+                    "grid_cols": prof_cols,
+                    "chunked": json!({
+                        "wall_micros": prof_chunked.as_secs_f64() * 1e6,
+                        "cells_per_sec": (prof_rows * prof_cols) as f64 / prof_chunked.as_secs_f64(),
+                    }),
+                    "work_stealing": json!({
+                        "wall_micros": prof_ws.as_secs_f64() * 1e6,
+                        "cells_per_sec": (prof_rows * prof_cols) as f64 / prof_ws.as_secs_f64(),
+                    }),
+                    "speedup_vs_chunked": prof_chunked.as_secs_f64() / prof_ws.as_secs_f64(),
+                    "steals": prof_steals,
+                    "cells_claimed": prof_claims,
+                    "busy_fraction_min": busy_min,
+                    "busy_fraction_mean": busy_mean,
+                    "warm_rows": json!({ "iterations": warm_rows_iters }),
+                    "warm_graph": json!({ "iterations": warm_graph_iters }),
                 }),
             });
             let config_blob = json!({

@@ -36,7 +36,9 @@ OPTIONS:
   --pipeline FILE   JSON file holding a PipelineSpec (see example-pipeline)
   --workload NAME   built-in synthesized workload instead of a pipeline file;
                     'logalytics' is the log-analytics DAG
-                    (parse -> {filter, enrich} -> join -> aggregate)
+                    (parse -> {filter, enrich} -> join -> aggregate);
+                    'deepchain:N' is a deterministic N-stage chain (N >= 2)
+                    for solver scaling studies
   --tau0 T          inter-arrival time in cycles (floats accepted, e.g. 1e2)
   --deadline D      end-to-end deadline in cycles
   --b LIST          backlog factors, one per stage (default: ceil of each gain)
@@ -66,7 +68,21 @@ OPTIONS:
 ";
 
 /// Built-in synthesized workloads selectable with `--workload`.
-pub const WORKLOADS: &[&str] = &["logalytics"];
+/// `deepchain:N` is additionally accepted with any stage count `N ≥ 2`
+/// (see [`workload_is_known`]).
+pub const WORKLOADS: &[&str] = &["logalytics", "deepchain:N"];
+
+/// Whether `name` selects a built-in workload: an exact entry of
+/// [`WORKLOADS`], or the parameterized `deepchain:N` form with a stage
+/// count of at least 2.
+pub fn workload_is_known(name: &str) -> bool {
+    if name != "deepchain:N" && WORKLOADS.contains(&name) {
+        return true;
+    }
+    name.strip_prefix("deepchain:")
+        .and_then(|n| n.parse::<usize>().ok())
+        .is_some_and(|n| n >= 2)
+}
 
 /// Live-telemetry options shared by `sweep` and `stress`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -329,7 +345,7 @@ impl<'a> Scanner<'a> {
     fn parse_source(&self) -> Result<(Option<String>, Option<String>), ParseError> {
         let workload = self.value_of("--workload").map(str::to_string);
         if let Some(name) = &workload {
-            if !WORKLOADS.contains(&name.as_str()) {
+            if !workload_is_known(name) {
                 return err(format!(
                     "--workload: unknown workload '{name}' (available: {})",
                     WORKLOADS.join(", ")
@@ -992,6 +1008,28 @@ mod tests {
         ))
         .is_err());
         assert!(parse(&argv("trace --workload logalytics --tau0 1 --deadline 1")).is_err());
+    }
+
+    #[test]
+    fn parses_deepchain_workload_selector() {
+        // The parameterized form carries its stage count through.
+        match parse(&argv("sweep --workload deepchain:512")).unwrap() {
+            Command::Sweep {
+                pipeline, workload, ..
+            } => {
+                assert_eq!(pipeline, None);
+                assert_eq!(workload.as_deref(), Some("deepchain:512"));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(workload_is_known("deepchain:2"));
+        assert!(workload_is_known("deepchain:1000"));
+        // The placeholder itself, degenerate sizes, and junk are
+        // rejected at parse time.
+        for bad in ["deepchain:N", "deepchain:1", "deepchain:", "deepchain:x"] {
+            assert!(!workload_is_known(bad), "{bad}");
+            assert!(parse(&argv(&format!("sweep --workload {bad}"))).is_err());
+        }
     }
 
     #[test]

@@ -87,9 +87,16 @@ fn load_dataflow(
                     .map_err(|e| CommandError::Pipeline(format!("workload '{name}': {e}")))?;
                 Ok((Dataflow::Dag(topology), name.clone()))
             }
-            other => Err(CommandError::Pipeline(format!(
-                "unknown workload '{other}'"
-            ))),
+            other => match other.strip_prefix("deepchain:").map(str::parse::<usize>) {
+                Some(Ok(stages)) if stages >= 2 => {
+                    let spec = rtsdf::apps::deepchain::deep_chain(stages)
+                        .map_err(|e| CommandError::Pipeline(format!("workload '{name}': {e}")))?;
+                    Ok((Dataflow::Chain(spec), name.clone()))
+                }
+                _ => Err(CommandError::Pipeline(format!(
+                    "unknown workload '{other}'"
+                ))),
+            },
         },
         _ => Err(CommandError::Pipeline(
             "exactly one of --pipeline or --workload is required".into(),

@@ -82,6 +82,16 @@ fn simulate_prints_metrics() {
 }
 
 #[test]
+fn simulate_deepchain_workload_runs_as_a_chain() {
+    let out = run_to_string(
+        "simulate --workload deepchain:32 --tau0 5 --deadline 1e7 --items 500 --seeds 1",
+    )
+    .unwrap();
+    assert!(out.contains("miss-free seeds"), "{out}");
+    assert!(out.contains("active fraction: predicted"), "{out}");
+}
+
+#[test]
 fn sweep_csv_has_expected_columns() {
     let path = pipeline_file();
     let out = run_to_string(&format!(

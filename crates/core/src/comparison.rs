@@ -18,6 +18,20 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// Grid coordinates of the cell whose schedule seeded a warm-started
+/// cell (`row` indexes `tau0s`, `col` indexes `deadlines`). Recording
+/// the edge makes warm sweeps auditable: the seeding choice is a pure
+/// function of already-solved neighbors, so replaying the recorded
+/// edges reproduces the sweep bit-identically regardless of which
+/// worker solved which cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SeedEdge {
+    /// τ0 axis index of the seeding cell.
+    pub row: u64,
+    /// Deadline axis index of the seeding cell.
+    pub col: u64,
+}
+
 /// One grid cell's results.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CellResult {
@@ -33,6 +47,11 @@ pub struct CellResult {
     pub enforced_telemetry: Option<SolveTelemetry>,
     /// Telemetry of the monolithic solve (when it succeeded).
     pub monolithic_telemetry: Option<SolveTelemetry>,
+    /// Which cell seeded this one's enforced solve, when the sweep ran
+    /// warm (`None` for cold solves and anchors). Skipped when absent so
+    /// cold-sweep output stays byte-identical to earlier versions.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub warm_seed: Option<SeedEdge>,
 }
 
 impl CellResult {
@@ -126,12 +145,36 @@ pub struct SweepOptions {
     /// to the cold schedules within solver tolerance but spend fewer
     /// iterations.
     pub warm_start: bool,
+    /// Seed each cell from its *best-converged already-solved neighbor*
+    /// instead of the row anchor: the grid is swept in anti-diagonal
+    /// waves from the single cold anchor at `(row 0, largest deadline)`,
+    /// and every other cell picks whichever of its two wave-`w−1`
+    /// predecessors — `(i−1, j)` or `(i, j+1)` — converged in fewer
+    /// iterations. Each seed is one grid step away (vs up to `cols−1`
+    /// for row chaining), so the hints are closer and the sweep spends
+    /// fewer total iterations. Supersedes `warm_start` when both are
+    /// set. The parent choice depends only on the completed previous
+    /// wave, never on scheduling order, so parallel graph sweeps stay
+    /// bit-identical to sequential ones.
+    #[serde(default)]
+    pub warm_graph: bool,
 }
 
 impl SweepOptions {
-    /// Options with warm-starting enabled.
+    /// Options with row-anchor warm-starting enabled.
     pub fn warm() -> Self {
-        SweepOptions { warm_start: true }
+        SweepOptions {
+            warm_start: true,
+            warm_graph: false,
+        }
+    }
+
+    /// Options with cross-cell warm-start graph seeding enabled.
+    pub fn warm_graph() -> Self {
+        SweepOptions {
+            warm_start: true,
+            warm_graph: true,
+        }
     }
 }
 
@@ -166,6 +209,7 @@ fn compare_at_full(
         monolithic: monolithic.as_ref().map(|s| s.active_fraction),
         enforced_telemetry: enforced.and_then(|s| s.telemetry),
         monolithic_telemetry: monolithic.and_then(|s| s.telemetry),
+        warm_seed: None,
     };
     (cell, hint)
 }
@@ -208,6 +252,13 @@ pub fn sweep_with(
 ) -> Result<SweepResult, ScheduleError> {
     validate_grid(tau0s, deadlines)?;
     let cols = deadlines.len();
+    if opts.warm_graph {
+        return Ok(SweepResult {
+            tau0s: tau0s.to_vec(),
+            deadlines: deadlines.to_vec(),
+            cells: sweep_graph_cells(pipeline, tau0s, deadlines, config, 1, None),
+        });
+    }
     let mut cells = Vec::with_capacity(tau0s.len() * cols);
     if !opts.warm_start {
         for &tau0 in tau0s {
@@ -217,13 +268,20 @@ pub fn sweep_with(
             }
         }
     } else if cols > 0 {
-        for &tau0 in tau0s {
+        for (i, &tau0) in tau0s.iter().enumerate() {
             let anchor_params =
                 RtParams::new(tau0, deadlines[cols - 1]).expect("grid validated above");
             let (anchor_cell, hint) = compare_at_full(pipeline, anchor_params, config, None);
             for &d in &deadlines[..cols - 1] {
                 let params = RtParams::new(tau0, d).expect("grid validated above");
-                cells.push(compare_at_full(pipeline, params, config, hint.as_ref()).0);
+                let mut cell = compare_at_full(pipeline, params, config, hint.as_ref()).0;
+                if hint.is_some() {
+                    cell.warm_seed = Some(SeedEdge {
+                        row: i as u64,
+                        col: (cols - 1) as u64,
+                    });
+                }
+                cells.push(cell);
             }
             cells.push(anchor_cell);
         }
@@ -453,6 +511,11 @@ pub fn sweep_parallel_live(
     if let Some(p) = progress {
         p.set_total(total);
     }
+    if opts.warm_graph {
+        return Ok(result(sweep_graph_cells(
+            pipeline, tau0s, deadlines, config, threads, progress,
+        )));
+    }
     if !opts.warm_start {
         let cells = work_steal_live(
             total,
@@ -484,7 +547,15 @@ pub fn sweep_parallel_live(
         |idx| {
             let (i, j) = (idx / (cols - 1), idx % (cols - 1));
             let params = RtParams::new(tau0s[i], deadlines[j]).expect("grid validated above");
-            compare_at_full(pipeline, params, config, anchors[i].1.as_ref()).0
+            let hint = anchors[i].1.as_ref();
+            let mut cell = compare_at_full(pipeline, params, config, hint).0;
+            if hint.is_some() {
+                cell.warm_seed = Some(SeedEdge {
+                    row: i as u64,
+                    col: (cols - 1) as u64,
+                });
+            }
+            cell
         },
         progress,
     );
@@ -497,6 +568,96 @@ pub fn sweep_parallel_live(
         cells.push(anchor_cell);
     }
     Ok(result(cells))
+}
+
+/// Pick the warm-start parent of grid cell `(i, j)` from its two
+/// anti-diagonal predecessors — `(i−1, j)` (previous τ0 row, same
+/// deadline) and `(i, j+1)` (same row, next larger deadline): whichever
+/// enforced solve *converged best* (fewest total iterations), breaking
+/// ties toward the same-row neighbor whose operating point differs only
+/// in deadline. Predecessors whose enforced solve failed are skipped;
+/// `None` means solve cold. Both predecessors live on wave
+/// `i + (cols−1−j) − 1`, so by the time a wave starts every candidate
+/// parent is final — the choice is a pure function of grid contents,
+/// never of scheduling order.
+fn graph_parent(i: usize, j: usize, cols: usize, iters: &[Option<u64>]) -> Option<(usize, usize)> {
+    let converged = |cand: Option<(usize, usize)>| {
+        cand.and_then(|(pi, pj)| iters[pi * cols + pj].map(|n| (n, (pi, pj))))
+    };
+    let right = converged((j + 1 < cols).then(|| (i, j + 1)));
+    let up = converged((i > 0).then(|| (i - 1, j)));
+    match (right, up) {
+        (Some((rn, rc)), Some((un, uc))) => Some(if un < rn { uc } else { rc }),
+        (Some((_, c)), None) | (None, Some((_, c))) => Some(c),
+        (None, None) => None,
+    }
+}
+
+/// Sweep the grid as a cross-cell warm-start *graph*: anti-diagonal
+/// waves expand from a single cold anchor at `(row 0, largest
+/// deadline)` — the most-slack operating point — and every later cell
+/// is seeded from its best-converged neighbor via [`graph_parent`].
+/// Cells within a wave are independent (their parents are all in the
+/// completed previous wave), so each wave runs under the work-stealing
+/// scheduler with a barrier between waves; results are bit-identical
+/// for any `threads`, and the chosen seed edge is recorded on each
+/// [`CellResult`] for audit.
+fn sweep_graph_cells(
+    pipeline: &PipelineSpec,
+    tau0s: &[f64],
+    deadlines: &[f64],
+    config: &SweepConfig,
+    threads: usize,
+    progress: Option<&SweepProgress>,
+) -> Vec<CellResult> {
+    let rows = tau0s.len();
+    let cols = deadlines.len();
+    if rows == 0 || cols == 0 {
+        return Vec::new();
+    }
+    let total = rows * cols;
+    let mut cells: Vec<Option<CellResult>> = vec![None; total];
+    let mut hints: Vec<Option<WarmStart>> = Vec::with_capacity(total);
+    hints.resize_with(total, || None);
+    let mut iters: Vec<Option<u64>> = vec![None; total];
+    for wave in 0..rows + cols - 1 {
+        // Cells with i + (cols−1−j) == wave, in ascending-row order.
+        let wave_cells: Vec<(usize, usize)> = (0..rows)
+            .filter_map(|i| {
+                let off = wave.checked_sub(i)?;
+                (off < cols).then(|| (i, cols - 1 - off))
+            })
+            .collect();
+        let solved = work_steal_live(
+            wave_cells.len(),
+            threads,
+            |k| {
+                let (i, j) = wave_cells[k];
+                let params = RtParams::new(tau0s[i], deadlines[j]).expect("grid validated above");
+                let parent = graph_parent(i, j, cols, &iters);
+                let hint = parent.and_then(|(pi, pj)| hints[pi * cols + pj].as_ref());
+                let (mut cell, hint_out) = compare_at_full(pipeline, params, config, hint);
+                if hint.is_some() {
+                    cell.warm_seed = parent.map(|(pi, pj)| SeedEdge {
+                        row: pi as u64,
+                        col: pj as u64,
+                    });
+                }
+                (cell, hint_out)
+            },
+            progress,
+        );
+        for (&(i, j), (cell, hint)) in wave_cells.iter().zip(solved) {
+            let idx = i * cols + j;
+            iters[idx] = cell.enforced_telemetry.as_ref().map(|t| t.iterations);
+            cells[idx] = Some(cell);
+            hints[idx] = hint;
+        }
+    }
+    cells
+        .into_iter()
+        .map(|c| c.expect("waves covered every cell"))
+        .collect()
 }
 
 /// Optimize both strategies at one operating point on a DAG topology.
@@ -523,6 +684,7 @@ pub fn compare_at_topology(
         monolithic: monolithic.as_ref().map(|s| s.active_fraction),
         enforced_telemetry: enforced.and_then(|s| s.telemetry),
         monolithic_telemetry: monolithic.and_then(|s| s.telemetry),
+        warm_seed: None,
     }
 }
 
@@ -718,8 +880,11 @@ mod tests {
         let p = blast();
         let (tau0s, ds) = RtParams::paper_grid(4, 4);
         let cfg = SweepConfig::paper_blast();
-        for warm in [false, true] {
-            let opts = SweepOptions { warm_start: warm };
+        for opts in [
+            SweepOptions::default(),
+            SweepOptions::warm(),
+            SweepOptions::warm_graph(),
+        ] {
             let plain = sweep_parallel_with(&p, &tau0s, &ds, &cfg, &opts).unwrap();
             let progress = SweepProgress::new(worker_threads());
             let live = sweep_parallel_live(&p, &tau0s, &ds, &cfg, &opts, Some(&progress)).unwrap();
@@ -832,6 +997,83 @@ mod tests {
     }
 
     #[test]
+    fn graph_sweep_parallel_bit_identical_to_sequential() {
+        let p = blast();
+        let (tau0s, ds) = RtParams::paper_grid(5, 5);
+        let cfg = SweepConfig::paper_blast();
+        let opts = SweepOptions::warm_graph();
+        let seq = sweep_with(&p, &tau0s, &ds, &cfg, &opts).unwrap();
+        let par = sweep_parallel_with(&p, &tau0s, &ds, &cfg, &opts).unwrap();
+        assert_eq!(seq.cells.len(), par.cells.len());
+        for (a, b) in seq.cells.iter().zip(&par.cells) {
+            assert_eq!((a.tau0, a.deadline), (b.tau0, b.deadline));
+            assert_eq!(a.enforced, b.enforced);
+            assert_eq!(a.monolithic, b.monolithic);
+            assert_eq!(a.warm_seed, b.warm_seed, "seed edges must be deterministic");
+        }
+    }
+
+    #[test]
+    fn graph_sweep_matches_cold_within_tolerance_and_records_seed_edges() {
+        let p = blast();
+        let (tau0s, ds) = RtParams::paper_grid(5, 5);
+        let cfg = SweepConfig::paper_blast();
+        let cold = sweep(&p, &tau0s, &ds, &cfg).unwrap();
+        let graph = sweep_with(&p, &tau0s, &ds, &cfg, &SweepOptions::warm_graph()).unwrap();
+        let cols = ds.len();
+        for (k, (a, b)) in cold.cells.iter().zip(&graph.cells).enumerate() {
+            let (i, j) = (k / cols, k % cols);
+            assert_eq!(a.enforced.is_some(), b.enforced.is_some(), "{a:?} vs {b:?}");
+            if let (Some(c), Some(w)) = (a.enforced, b.enforced) {
+                assert!((c - w).abs() < 1e-5, "cell {k}: cold {c} vs graph {w}");
+            }
+            assert_eq!(a.monolithic, b.monolithic);
+            // The single anchor (row 0, largest deadline) runs cold;
+            // every recorded seed edge points to an adjacent
+            // predecessor from the previous anti-diagonal wave.
+            if (i, j) == (0, cols - 1) {
+                assert!(b.warm_seed.is_none(), "anchor must run cold: {b:?}");
+            }
+            if let Some(edge) = b.warm_seed {
+                let (pi, pj) = (edge.row as usize, edge.col as usize);
+                assert!(
+                    (pi == i && pj == j + 1) || (pi + 1 == i && pj == j),
+                    "cell ({i},{j}) seeded from non-neighbor ({pi},{pj})"
+                );
+            }
+            if let Some(t) = &b.enforced_telemetry {
+                assert_eq!(t.warm_start, b.warm_seed.is_some(), "cell {k}: {t:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn graph_warm_start_beats_row_chaining_on_fig3_grid() {
+        // The acceptance criterion for cross-cell seeding: on the
+        // fig3-style grid, nearest-neighbor graph seeds (one grid step
+        // away, single cold anchor) must spend fewer total enforced
+        // interior iterations than row-anchor chaining (hints up to
+        // cols−1 steps away, one cold anchor per row).
+        let p = blast();
+        let (tau0s, ds) = RtParams::paper_grid(8, 8);
+        let cfg = SweepConfig::paper_blast();
+        let row = sweep_with(&p, &tau0s, &ds, &cfg, &SweepOptions::warm()).unwrap();
+        let graph = sweep_with(&p, &tau0s, &ds, &cfg, &SweepOptions::warm_graph()).unwrap();
+        let iters = |r: &SweepResult| {
+            r.cells
+                .iter()
+                .filter_map(|c| c.enforced_telemetry.as_ref())
+                .map(|t| t.iterations)
+                .sum::<u64>()
+        };
+        let (row_iters, graph_iters) = (iters(&row), iters(&graph));
+        assert!(
+            graph_iters < row_iters,
+            "graph sweep iterations {graph_iters} should beat row chaining {row_iters}"
+        );
+    }
+
+    #[test]
     fn difference_requires_both_feasible() {
         let c = CellResult {
             tau0: 1.0,
@@ -840,6 +1082,7 @@ mod tests {
             monolithic: None,
             enforced_telemetry: None,
             monolithic_telemetry: None,
+            warm_seed: None,
         };
         assert!(c.difference().is_none());
     }

@@ -36,7 +36,7 @@ use serde::{Deserialize, Serialize};
 use solver::convex::{
     find_interior_point_detailed, minimize, minimize_warm, ConvexProblem, SolverOptions,
 };
-use solver::linalg::Mat;
+use solver::linalg::{BandedMat, Mat};
 use solver::linear::ConstraintSet;
 
 /// Which algorithm solves the Fig.-1 program.
@@ -332,8 +332,11 @@ impl<'a> EnforcedWaitsProblem<'a> {
             + self.pipeline.vector_width() as f64 * self.params.tau0)
             .max(1.0)
             * 4.0;
-        let (interior, phase1_newtons) = find_interior_point_detailed(&cs, &x0, radius, &opts)
-            .map_err(|e| ScheduleError::Solver(format!("phase-1: {e}")))?;
+        let (interior, phase1_newtons) = match self.analytic_interior_seed(&cs) {
+            Some(seed) => (seed, 0),
+            None => find_interior_point_detailed(&cs, &x0, radius, &opts)
+                .map_err(|e| ScheduleError::Solver(format!("phase-1: {e}")))?,
+        };
         let phase1_done = elapsed_us(&t0);
         if let Some(sink) = spans.as_deref_mut() {
             sink.span(
@@ -390,6 +393,8 @@ impl<'a> EnforcedWaitsProblem<'a> {
             .map(|&t| cs.len().max(1) as f64 / t)
             .collect();
         telemetry.phase1_iterations = Some(phase1_newtons as u64);
+        telemetry.record_factorization(sol.banded_bandwidth);
+        telemetry.newton_solve_micros = sol.newton_solve_micros;
         Ok((sol.x, telemetry))
     }
 
@@ -460,6 +465,8 @@ impl<'a> EnforcedWaitsProblem<'a> {
             .collect();
         telemetry.warm_start = true;
         telemetry.phase1_iterations = Some(ws.phase1_newtons as u64);
+        telemetry.record_factorization(ws.solution.banded_bandwidth);
+        telemetry.newton_solve_micros = ws.solution.newton_solve_micros;
         Ok((ws.solution.x, telemetry))
     }
 
@@ -524,7 +531,31 @@ impl<'a> EnforcedWaitsProblem<'a> {
                 .iter()
                 .map(|ti| ti / self.pipeline.len() as f64)
                 .collect(),
+            // Chain adjacency: each edge constraint couples x_{i-1} and
+            // x_i, so the KKT system is tridiagonal (plus the dense
+            // deadline row the solver folds in by low-rank correction).
+            bandwidth: Some(1),
         }
+    }
+
+    /// Analytic strictly-interior starting point for deep pipelines.
+    ///
+    /// Phase-1 solves a dense augmented Newton system — O(n³) per step —
+    /// which at hundreds of stages dwarfs the banded centering it
+    /// precedes. The minimal periods pushed into the interior by the
+    /// same nudge the warm path uses are strictly feasible whenever the
+    /// feasible set has any width, so deep solves can skip phase-1
+    /// entirely. Paper-scale problems (n < 32, where the dense path
+    /// runs anyway) keep the phase-1 route and its exact telemetry.
+    fn analytic_interior_seed(&self, cs: &ConstraintSet) -> Option<Vec<f64>> {
+        if self.pipeline.len() < 32 {
+            return None;
+        }
+        let seed = self.interiorized_warm(&minimal_periods(self.pipeline))?;
+        cs.constraints()
+            .iter()
+            .all(|c| c.slack(&seed) > 0.0)
+            .then_some(seed)
     }
 
     fn solve_waterfilling(
@@ -848,9 +879,16 @@ impl<'a> EnforcedWaitsProblem<'a> {
     }
 }
 
-/// The Fig.-1 objective `(1/N) Σ t_i/x_i` for the interior-point solver.
-struct ActiveFractionObjective {
-    t_over_n: Vec<f64>,
+/// The active-fraction objective `(1/N) Σ t_i/x_i` for the
+/// interior-point solver (Fig.-1 chains and, via
+/// [`crate::dag::EnforcedDagProblem`], DAG node sets). The Hessian is
+/// diagonal, so the declared `bandwidth` comes entirely from the
+/// constraint adjacency profile the owner computed: `Some(1)` for
+/// chains (each edge couples adjacent periods), the topo-order span for
+/// DAGs, `None` to force the dense Newton path.
+pub(crate) struct ActiveFractionObjective {
+    pub(crate) t_over_n: Vec<f64>,
+    pub(crate) bandwidth: Option<usize>,
 }
 
 impl ConvexProblem for ActiveFractionObjective {
@@ -868,6 +906,14 @@ impl ConvexProblem for ActiveFractionObjective {
     fn hessian(&self, x: &[f64], h: &mut Mat) {
         for i in 0..x.len() {
             h[(i, i)] = 2.0 * self.t_over_n[i] / (x[i] * x[i] * x[i]);
+        }
+    }
+    fn bandwidth(&self) -> Option<usize> {
+        self.bandwidth
+    }
+    fn hessian_banded(&self, x: &[f64], h: &mut BandedMat) {
+        for (i, xi) in x.iter().enumerate() {
+            *h.at_mut(i, i) = 2.0 * self.t_over_n[i] / (xi * xi * xi);
         }
     }
 }
@@ -1348,6 +1394,85 @@ mod tests {
         let t = warm.telemetry.as_ref().unwrap();
         assert!(t.fallback && t.warm_start);
         assert!((warm.active_fraction - cold.active_fraction).abs() < 1e-5);
+    }
+
+    fn deep_chain(n: usize) -> PipelineSpec {
+        let mut builder = PipelineSpecBuilder::new(128);
+        for i in 0..n {
+            builder = builder.stage(
+                format!("s{i}"),
+                100.0 + i as f64,
+                GainModel::Bernoulli { p: 0.9 },
+            );
+        }
+        builder.build().unwrap()
+    }
+
+    #[test]
+    fn deep_chain_ip_uses_banded_factorization_and_matches_water_filling() {
+        let p = deep_chain(64);
+        let b = EnforcedWaitsProblem::optimistic_backlog(&p);
+        let min_d: f64 = minimal_periods(&p)
+            .iter()
+            .zip(&b)
+            .map(|(x, bi)| x * bi)
+            .sum();
+        let params = RtParams::new(5.0, min_d * 2.0).unwrap();
+        let prob = EnforcedWaitsProblem::new(&p, params, b);
+        let ip = prob.solve(SolveMethod::InteriorPoint).unwrap();
+        let wf = prob.solve(SolveMethod::WaterFilling).unwrap();
+        let tel = ip.telemetry.as_ref().unwrap();
+        assert_eq!(tel.factorization.as_deref(), Some("banded"));
+        assert_eq!(tel.bandwidth, Some(1));
+        // The analytic interior seed replaces phase-1 at depth.
+        assert_eq!(tel.phase1_iterations, Some(0));
+        assert!(
+            (ip.active_fraction - wf.active_fraction).abs() < 1e-5,
+            "IP {} vs WF {}",
+            ip.active_fraction,
+            wf.active_fraction
+        );
+        for (a, b) in ip.periods.iter().zip(&wf.periods) {
+            assert!((a - b).abs() / b < 1e-3, "banded IP diverged from WF");
+        }
+        assert!(prob.constraint_set().is_feasible(&ip.periods, 1e-6 * min_d));
+    }
+
+    #[test]
+    fn deep_chain_warm_ip_stays_banded_and_converges() {
+        let p = deep_chain(48);
+        let b = EnforcedWaitsProblem::optimistic_backlog(&p);
+        let min_d: f64 = minimal_periods(&p)
+            .iter()
+            .zip(&b)
+            .map(|(x, bi)| x * bi)
+            .sum();
+        let prob =
+            EnforcedWaitsProblem::new(&p, RtParams::new(5.0, min_d * 2.0).unwrap(), b.clone());
+        let cold = prob.solve(SolveMethod::InteriorPoint).unwrap();
+        let near = EnforcedWaitsProblem::new(&p, RtParams::new(5.0, min_d * 2.1).unwrap(), b);
+        let warm = near
+            .solve_warm(SolveMethod::InteriorPoint, &WarmStart::from_schedule(&cold))
+            .unwrap();
+        let cold_near = near.solve(SolveMethod::InteriorPoint).unwrap();
+        let tel = warm.telemetry.as_ref().unwrap();
+        assert!(tel.warm_start);
+        assert_eq!(tel.factorization.as_deref(), Some("banded"));
+        assert!((warm.active_fraction - cold_near.active_fraction).abs() < 1e-5);
+    }
+
+    #[test]
+    fn paper_scale_ip_keeps_dense_factorization() {
+        let p = blast();
+        let prob =
+            EnforcedWaitsProblem::new(&p, RtParams::new(10.0, 5e4).unwrap(), PAPER_B.to_vec());
+        let s = prob.solve(SolveMethod::InteriorPoint).unwrap();
+        let tel = s.telemetry.as_ref().unwrap();
+        assert_eq!(tel.factorization.as_deref(), Some("dense"));
+        assert_eq!(tel.bandwidth, None);
+        // Water-filling telemetry does not claim a factorization at all.
+        let wf = prob.solve(SolveMethod::WaterFilling).unwrap();
+        assert_eq!(wf.telemetry.as_ref().unwrap().factorization, None);
     }
 
     #[test]

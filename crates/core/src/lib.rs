@@ -45,7 +45,7 @@ pub mod threads;
 
 pub use dag::{
     check_topology_feasibility, escalate_schedule_topology, topology_minimal_periods,
-    EnforcedDagProblem, MonolithicDagProblem,
+    verify_kkt_dag, EnforcedDagProblem, MonolithicDagProblem,
 };
 pub use enforced::{EnforcedWaitsProblem, SolveMethod, WaitSchedule, WarmStart};
 pub use feasibility::{check_enforced_feasibility, minimal_periods, FeasibilityError};

@@ -50,6 +50,22 @@ pub struct SolveTelemetry {
     /// loop comparing against its previous round). Negative means the
     /// warm start hurt.
     pub iterations_saved: Option<i64>,
+    /// Newton factorization the interior-point solve used: `"dense"` or
+    /// `"banded"`. `None` for non-Newton methods. Skipped when absent so
+    /// existing serialized telemetry stays byte-identical.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub factorization: Option<String>,
+    /// Bandwidth of the banded factorization (only when `factorization`
+    /// is `"banded"`).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub bandwidth: Option<u64>,
+    /// Wall-clock microseconds the solve spent assembling, factoring,
+    /// and solving Newton KKT systems (banded interior point only;
+    /// `None` otherwise). Separates the O(N·bw²) per-step kernel from
+    /// line-search barrier evaluations so scaling benches can gate on
+    /// the factorization cost rather than instance conditioning.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub newton_solve_micros: Option<f64>,
 }
 
 impl SolveTelemetry {
@@ -67,6 +83,24 @@ impl SolveTelemetry {
             warm_start: false,
             phase1_iterations: None,
             iterations_saved: None,
+            factorization: None,
+            bandwidth: None,
+            newton_solve_micros: None,
+        }
+    }
+
+    /// Record which Newton factorization an interior-point solve used,
+    /// from the solver's reported banded bandwidth (`None` = dense).
+    pub fn record_factorization(&mut self, banded_bandwidth: Option<usize>) {
+        match banded_bandwidth {
+            Some(bw) => {
+                self.factorization = Some("banded".to_string());
+                self.bandwidth = Some(bw as u64);
+            }
+            None => {
+                self.factorization = Some("dense".to_string());
+                self.bandwidth = None;
+            }
         }
     }
 }
@@ -94,6 +128,31 @@ mod tests {
         assert_eq!(t.iterations_saved, None);
         assert!(t.barrier_mu.is_empty());
         assert!(t.residual_series.is_empty());
+        assert_eq!(t.factorization, None);
+        assert_eq!(t.bandwidth, None);
+        assert_eq!(t.newton_solve_micros, None);
+    }
+
+    #[test]
+    fn factorization_fields_skip_when_absent_and_roundtrip_when_set() {
+        let t = SolveTelemetry::new("water-filling");
+        let v = serde_json::to_value(&t).unwrap();
+        let rendered = serde_json::to_string(&v).unwrap();
+        assert!(!rendered.contains("factorization"));
+        assert!(!rendered.contains("bandwidth"));
+        assert!(!rendered.contains("newton_solve_micros"));
+
+        let mut t = SolveTelemetry::new("interior-point");
+        t.record_factorization(Some(1));
+        assert_eq!(t.factorization.as_deref(), Some("banded"));
+        assert_eq!(t.bandwidth, Some(1));
+        let back: SolveTelemetry =
+            serde_json::from_value(&serde_json::to_value(&t).unwrap()).unwrap();
+        assert_eq!(back, t);
+
+        t.record_factorization(None);
+        assert_eq!(t.factorization.as_deref(), Some("dense"));
+        assert_eq!(t.bandwidth, None);
     }
 
     #[test]

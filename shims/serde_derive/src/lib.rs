@@ -11,10 +11,34 @@
 //! * enums whose variants are unit, newtype, tuple, or struct-like,
 //!   encoded with serde's externally-tagged convention.
 //!
-//! `#[serde(...)]` attributes are not supported and are rejected loudly
-//! rather than silently ignored.
+//! Field-level `#[serde(default)]`, `#[serde(default = "path")]` and
+//! `#[serde(skip_serializing_if = "path")]` are honored (they are what
+//! lets new optional telemetry fields leave existing manifests
+//! byte-identical); any other `#[serde(...)]` attribute is rejected
+//! loudly rather than silently ignored.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A named struct (or struct-variant) field plus its honored serde
+/// attributes.
+#[derive(Debug)]
+struct Field {
+    name: String,
+    /// `skip_serializing_if = "path"`: call `path(&self.field)` and omit
+    /// the key when it returns true.
+    skip_if: Option<String>,
+    /// `default` / `default = "path"`: value to use when the key is
+    /// absent from the input (instead of deserializing `Null`).
+    default: Option<FieldDefault>,
+}
+
+#[derive(Debug)]
+enum FieldDefault {
+    /// `#[serde(default)]` → `Default::default()`.
+    Trait,
+    /// `#[serde(default = "path")]` → `path()`.
+    Path(String),
+}
 
 #[derive(Debug)]
 enum Item {
@@ -22,7 +46,7 @@ enum Item {
     Struct {
         name: String,
         generics: Vec<String>,
-        fields: Vec<String>,
+        fields: Vec<Field>,
     },
     /// Tuple struct with `arity` unnamed fields.
     TupleStruct {
@@ -41,7 +65,7 @@ enum Item {
 enum VariantShape {
     Unit,
     Tuple(usize),
-    Struct(Vec<String>),
+    Struct(Vec<Field>),
 }
 
 #[derive(Debug)]
@@ -51,7 +75,7 @@ struct Variant {
 }
 
 /// Derive `serde::Serialize`.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     gen_serialize(&item)
@@ -60,7 +84,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 }
 
 /// Derive `serde::Deserialize`.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     gen_deserialize(&item)
@@ -121,7 +145,9 @@ fn parse_item(input: TokenStream) -> Item {
 }
 
 /// Skip outer attributes (including doc comments) and visibility
-/// qualifiers. Rejects `#[serde(...)]`, which this shim cannot honor.
+/// qualifiers. Rejects `#[serde(...)]` here — item-, variant- and
+/// tuple-level serde attributes are not honored by this shim (named
+/// fields get theirs parsed by [`skip_attrs_collect_serde`]).
 fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
     loop {
         match tokens.get(*i) {
@@ -129,7 +155,7 @@ fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
                 if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
                     let inner = g.stream().to_string();
                     if inner.starts_with("serde") {
-                        panic!("#[serde(...)] attributes are not supported by the vendored serde_derive shim: {inner}");
+                        panic!("#[serde(...)] attributes are not supported by the vendored serde_derive shim in this position: {inner}");
                     }
                 }
                 *i += 2; // `#` + bracket group
@@ -143,6 +169,95 @@ fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
                 }
             }
             _ => return,
+        }
+    }
+}
+
+/// Like [`skip_attrs_and_vis`] but for named fields: honored
+/// `#[serde(...)]` arguments (`default`, `default = "path"`,
+/// `skip_serializing_if = "path"`) are collected instead of rejected;
+/// anything else inside a serde attribute still panics loudly.
+fn skip_attrs_collect_serde(
+    tokens: &[TokenTree],
+    i: &mut usize,
+) -> (Option<String>, Option<FieldDefault>) {
+    let mut skip_if = None;
+    let mut default = None;
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+                    let attr: Vec<TokenTree> = g.stream().into_iter().collect();
+                    let is_serde = matches!(
+                        attr.first(),
+                        Some(TokenTree::Ident(id)) if id.to_string() == "serde"
+                    );
+                    if is_serde {
+                        let args = match attr.get(1) {
+                            Some(TokenTree::Group(args))
+                                if args.delimiter() == Delimiter::Parenthesis =>
+                            {
+                                args.stream()
+                            }
+                            other => panic!("malformed #[serde ...] attribute: {other:?}"),
+                        };
+                        parse_serde_field_args(args, &mut skip_if, &mut default);
+                    }
+                }
+                *i += 2; // `#` + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // pub(crate) / pub(in ...)
+                    }
+                }
+            }
+            _ => return (skip_if, default),
+        }
+    }
+}
+
+/// Parse the comma-separated arguments of a field-level `#[serde(...)]`.
+fn parse_serde_field_args(
+    args: TokenStream,
+    skip_if: &mut Option<String>,
+    default: &mut Option<FieldDefault>,
+) {
+    let tokens: Vec<TokenTree> = args.into_iter().collect();
+    let mut i = 0;
+    while i < tokens.len() {
+        let key = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                i += 1;
+                continue;
+            }
+            other => panic!("unsupported serde attribute argument: {other}"),
+        };
+        i += 1;
+        let value = match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                i += 1;
+                match tokens.get(i) {
+                    Some(TokenTree::Literal(lit)) => {
+                        i += 1;
+                        let s = lit.to_string();
+                        Some(s.trim_matches('"').to_string())
+                    }
+                    other => panic!("expected string literal after `{key} =`, found {other:?}"),
+                }
+            }
+            _ => None,
+        };
+        match (key.as_str(), value) {
+            ("default", None) => *default = Some(FieldDefault::Trait),
+            ("default", Some(path)) => *default = Some(FieldDefault::Path(path)),
+            ("skip_serializing_if", Some(path)) => *skip_if = Some(path),
+            (other, _) => panic!(
+                "serde attribute `{other}` is not supported by the vendored serde_derive shim"
+            ),
         }
     }
 }
@@ -179,12 +294,12 @@ fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Vec<String> {
     params
 }
 
-fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        skip_attrs_and_vis(&tokens, &mut i);
+        let (skip_if, default) = skip_attrs_collect_serde(&tokens, &mut i);
         if i >= tokens.len() {
             break;
         }
@@ -198,7 +313,11 @@ fn parse_named_fields(stream: TokenStream) -> Vec<String> {
             other => panic!("expected `:` after field `{name}`, found {other}"),
         }
         skip_type(&tokens, &mut i);
-        fields.push(name);
+        fields.push(Field {
+            name,
+            skip_if,
+            default,
+        });
         // Trailing comma, if any.
         if let Some(TokenTree::Punct(p)) = tokens.get(i) {
             if p.as_char() == ',' {
@@ -316,9 +435,16 @@ fn gen_serialize(item: &Item) -> String {
         } => {
             let mut body = String::from("let mut m = ::serde::Map::new();\n");
             for f in fields {
-                body.push_str(&format!(
-                    "m.insert(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}));\n"
-                ));
+                let fname = &f.name;
+                let insert = format!(
+                    "m.insert(\"{fname}\".to_string(), ::serde::Serialize::to_value(&self.{fname}));\n"
+                );
+                match &f.skip_if {
+                    Some(path) => {
+                        body.push_str(&format!("if !{path}(&self.{fname}) {{ {insert} }}\n"))
+                    }
+                    None => body.push_str(&insert),
+                }
             }
             body.push_str("::serde::Value::Object(m)");
             format!(
@@ -378,12 +504,23 @@ fn gen_serialize(item: &Item) -> String {
                         ));
                     }
                     VariantShape::Struct(fields) => {
-                        let binds = fields.join(", ");
+                        let binds = fields
+                            .iter()
+                            .map(|f| f.name.clone())
+                            .collect::<Vec<_>>()
+                            .join(", ");
                         let mut inner = String::from("let mut fm = ::serde::Map::new();\n");
                         for f in fields {
-                            inner.push_str(&format!(
-                                "fm.insert(\"{f}\".to_string(), ::serde::Serialize::to_value({f}));\n"
-                            ));
+                            let fname = &f.name;
+                            let insert = format!(
+                                "fm.insert(\"{fname}\".to_string(), ::serde::Serialize::to_value({fname}));\n"
+                            );
+                            match &f.skip_if {
+                                Some(path) => {
+                                    inner.push_str(&format!("if !{path}({fname}) {{ {insert} }}\n"))
+                                }
+                                None => inner.push_str(&insert),
+                            }
                         }
                         arms.push_str(&format!(
                             "{name}::{vn} {{ {binds} }} => {{ {inner} \
@@ -402,6 +539,28 @@ fn gen_serialize(item: &Item) -> String {
     }
 }
 
+/// Emit one `field: <expr>,` line reconstructing a named field from the
+/// map binding `map_var`, honoring a `default` attribute for absent
+/// keys.
+fn field_from_value(owner: &str, f: &Field, map_var: &str) -> String {
+    let fname = &f.name;
+    let from = format!(
+        "::serde::Deserialize::from_value(v)\
+         .map_err(|e| ::serde::Error::custom(format!(\"{owner}.{fname}: {{e}}\")))?"
+    );
+    match &f.default {
+        None => format!(
+            "{fname}: {{ let v = {map_var}.get(\"{fname}\").unwrap_or(&::serde::Value::Null); {from} }},\n"
+        ),
+        Some(FieldDefault::Trait) => format!(
+            "{fname}: match {map_var}.get(\"{fname}\") {{ Some(v) => {from}, None => Default::default() }},\n"
+        ),
+        Some(FieldDefault::Path(path)) => format!(
+            "{fname}: match {map_var}.get(\"{fname}\") {{ Some(v) => {from}, None => {path}() }},\n"
+        ),
+    }
+}
+
 fn gen_deserialize(item: &Item) -> String {
     match item {
         Item::Struct {
@@ -415,11 +574,7 @@ fn gen_deserialize(item: &Item) -> String {
             );
             let mut ctor = String::new();
             for f in fields {
-                ctor.push_str(&format!(
-                    "{f}: ::serde::Deserialize::from_value(\
-                     m.get(\"{f}\").unwrap_or(&::serde::Value::Null))\
-                     .map_err(|e| ::serde::Error::custom(format!(\"{name}.{f}: {{e}}\")))?,\n"
-                ));
+                ctor.push_str(&field_from_value(name, f, "m"));
             }
             body.push_str(&format!("Ok({name} {{ {ctor} }})"));
             format!(
@@ -489,12 +644,7 @@ fn gen_deserialize(item: &Item) -> String {
                     VariantShape::Struct(fields) => {
                         let mut ctor = String::new();
                         for f in fields {
-                            ctor.push_str(&format!(
-                                "{f}: ::serde::Deserialize::from_value(\
-                                 fm.get(\"{f}\").unwrap_or(&::serde::Value::Null))\
-                                 .map_err(|e| ::serde::Error::custom(\
-                                 format!(\"{name}::{vn}.{f}: {{e}}\")))?,\n"
-                            ));
+                            ctor.push_str(&field_from_value(&format!("{name}::{vn}"), f, "fm"));
                         }
                         tagged_arms.push_str(&format!(
                             "\"{vn}\" => {{ let fm = inner.as_object().ok_or_else(|| \
