@@ -100,7 +100,7 @@ impl Cascade {
                 .iter()
                 .map(|w| stage_score(w, prefix_lens[i]))
                 .collect();
-            scores.sort_by(|a, b| a.partial_cmp(b).expect("scores are finite"));
+            scores.sort_by(f64::total_cmp);
             let cut_idx = ((1.0 - rate) * scores.len() as f64) as usize;
             let threshold = scores[cut_idx.min(scores.len() - 1)];
             thresholds.push(threshold);

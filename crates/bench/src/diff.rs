@@ -20,6 +20,7 @@
 //! | `enforced`, `monolithic`               | lower is better (gated)   |
 //! | `iterations`, `deadline_misses`, `misses`, `items_dropped` | higher is worse (gated) |
 //! | `items_shed`, `resolves`, `total_shed`, `total_misses`, `total_dropped`, `total_resolves` | higher is worse (gated) |
+//! | `conservation_violations`, `agreement_failures` | higher is worse (gated) |
 //! | `items_per_sec`, `samples_per_sec`     | lower is worse (gated at the wider `--throughput-threshold`) |
 //! | `wall_micros`                          | info (gated with `--gate-wall`) |
 //! | everything else                        | informational             |
@@ -64,6 +65,9 @@ pub fn direction(path: &str) -> Direction {
         "iterations" | "deadline_misses" | "misses" | "items_dropped" => Direction::Gated,
         "items_shed" | "resolves" | "total_shed" | "total_misses" | "total_dropped"
         | "total_resolves" => Direction::Gated,
+        // Sim-vs-real cross-validation (BENCH_exec.json): any item-loss
+        // or agreement failure in the threaded executor is a regression.
+        "conservation_violations" | "agreement_failures" => Direction::Gated,
         // Hot-path throughput rates: lower is a regression. The
         // parallel-sweep `cells_per_sec` stays informational (it depends
         // on machine core count, not on the code's hot paths).
@@ -559,6 +563,13 @@ mod tests {
         );
         assert_eq!(direction("runs[2].items_shed"), Direction::Gated);
         assert_eq!(direction("runs[2].resolves"), Direction::Gated);
+        assert_eq!(direction("conservation_violations"), Direction::Gated);
+        assert_eq!(direction("agreement_failures"), Direction::Gated);
+        assert_eq!(
+            direction("quantities[0].error"),
+            Direction::Info,
+            "agreement errors are timing-noisy: gated via agreement_failures, not raw error"
+        );
         assert_eq!(
             direction("points[1].enforced_mitigated.total_shed"),
             Direction::Gated

@@ -31,6 +31,10 @@ USAGE:
                       [--intensities I1,I2,...] [--target F] [--json]
                       [--metrics json|csv]
                       [--live] [--live-interval MS] [--metrics-listen ADDR]
+  rtsdf-cli execute   (--pipeline FILE | --workload NAME) --tau0 T --deadline D
+                      [--b B1,B2,...] [--items N] [--seed S] [--duration SECS]
+                      [--strategy enforced|monolithic] [--sim-seeds K]
+                      [--tolerance F] [--gate] [--json] [--metrics json|csv]
 
 OPTIONS:
   --pipeline FILE   JSON file holding a PipelineSpec (see example-pipeline)
@@ -59,6 +63,13 @@ OPTIONS:
   --intensities L   perturbation intensities to sweep (default: 0,0.5,1)
   --target F        miss-free-fraction target for the robustness margin
                     (default: 0.95)
+  --duration SECS   target wall duration of a real 'execute' run (default: 1.0)
+  --sim-seeds K     simulator seeds averaged in the sim-vs-real comparison
+                    (default: 4)
+  --tolerance F     relative-error tolerance of the sim-vs-real agreement
+                    check (default: 0.10)
+  --gate            exit nonzero if the run violates item conservation or
+                    any agreement check fails
   --live            render an in-place progress line (cells/runs done, ETA,
                     items/s, shed and miss counters) on stderr
   --live-interval MS  progress-line refresh interval in milliseconds
@@ -72,6 +83,21 @@ OPTIONS:
 /// (see [`workload_is_known`]).
 pub const WORKLOADS: &[&str] = &["logalytics", "deepchain:N"];
 
+/// Parse the stage count out of a `deepchain:N` workload name.
+///
+/// Strict: the suffix must be plain ASCII digits. `usize::from_str`
+/// alone would also accept a leading `+` (`deepchain:+8`), and sloppy
+/// spellings like `deepchain: 8` must fail here rather than resolve to
+/// a workload, so reject anything that is not `[0-9]+` before parsing.
+/// The count must be at least 2 (a chain needs two stages).
+pub fn parse_deepchain_stages(name: &str) -> Option<usize> {
+    let suffix = name.strip_prefix("deepchain:")?;
+    if suffix.is_empty() || !suffix.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    suffix.parse::<usize>().ok().filter(|&n| n >= 2)
+}
+
 /// Whether `name` selects a built-in workload: an exact entry of
 /// [`WORKLOADS`], or the parameterized `deepchain:N` form with a stage
 /// count of at least 2.
@@ -79,9 +105,7 @@ pub fn workload_is_known(name: &str) -> bool {
     if name != "deepchain:N" && WORKLOADS.contains(&name) {
         return true;
     }
-    name.strip_prefix("deepchain:")
-        .and_then(|n| n.parse::<usize>().ok())
-        .is_some_and(|n| n >= 2)
+    parse_deepchain_stages(name).is_some()
 }
 
 /// Live-telemetry options shared by `sweep` and `stress`.
@@ -258,6 +282,38 @@ pub enum Command {
         /// Live progress / `/metrics` serving.
         live: LiveOpts,
     },
+    /// Real threaded execution, cross-validated against the simulator.
+    Execute {
+        /// Pipeline JSON path (chain mode; absent when a workload is
+        /// selected).
+        pipeline: Option<String>,
+        /// Built-in synthesized workload name (DAG mode).
+        workload: Option<String>,
+        /// Inter-arrival time.
+        tau0: f64,
+        /// Deadline.
+        deadline: f64,
+        /// Backlog factors.
+        b: Option<Vec<f64>>,
+        /// Stream inputs in the real run.
+        items: usize,
+        /// RNG seed of the real run.
+        seed: u64,
+        /// Target wall duration of the run, seconds.
+        duration: f64,
+        /// Which strategy to execute (enforced or monolithic only).
+        strategy: Strategy,
+        /// Simulator seeds averaged for the comparison.
+        sim_seeds: u64,
+        /// Agreement tolerance (relative error).
+        tolerance: f64,
+        /// Exit nonzero on conservation/agreement failure.
+        gate: bool,
+        /// Emit JSON.
+        json: bool,
+        /// Also write a run manifest / metrics file.
+        metrics: Option<MetricsFormat>,
+    },
     /// §6.2 calibration.
     Calibrate {
         /// Pipeline JSON path.
@@ -346,6 +402,14 @@ impl<'a> Scanner<'a> {
         let workload = self.value_of("--workload").map(str::to_string);
         if let Some(name) = &workload {
             if !workload_is_known(name) {
+                // A bad deepchain suffix gets a targeted message; plain
+                // unknown names get the available list.
+                if let Some(suffix) = name.strip_prefix("deepchain:") {
+                    return err(format!(
+                        "--workload: deepchain stage count must be a plain \
+                         unsigned integer >= 2, got '{suffix}'"
+                    ));
+                }
                 return err(format!(
                     "--workload: unknown workload '{name}' (available: {})",
                     WORKLOADS.join(", ")
@@ -703,6 +767,71 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 live: scan.parse_live()?,
             })
         }
+        "execute" => {
+            scan.check_flags(
+                &[
+                    "--pipeline",
+                    "--workload",
+                    "--tau0",
+                    "--deadline",
+                    "--b",
+                    "--items",
+                    "--seed",
+                    "--duration",
+                    "--strategy",
+                    "--sim-seeds",
+                    "--tolerance",
+                    "--metrics",
+                ],
+                &["--gate", "--json"],
+            )?;
+            let (pipeline, workload) = scan.parse_source()?;
+            Ok(Command::Execute {
+                pipeline,
+                workload,
+                tau0: scan.parse_f64("--tau0")?,
+                deadline: scan.parse_f64("--deadline")?,
+                b: scan.value_of("--b").map(parse_b_list).transpose()?,
+                items: scan.parse_usize_or("--items", 2_000)?,
+                seed: scan.parse_usize_or("--seed", 0)? as u64,
+                duration: match scan.value_of("--duration") {
+                    None => 1.0,
+                    Some(raw) => raw
+                        .parse::<f64>()
+                        .ok()
+                        .filter(|d| d.is_finite() && *d > 0.0)
+                        .ok_or_else(|| {
+                            ParseError(format!("--duration: '{raw}' is not a positive number"))
+                        })?,
+                },
+                strategy: match scan.value_of("--strategy") {
+                    None | Some("enforced") => Strategy::Enforced,
+                    Some("monolithic") => Strategy::Monolithic,
+                    Some(other) => {
+                        return err(format!(
+                            "--strategy: execute supports 'enforced' or 'monolithic', got '{other}'"
+                        ))
+                    }
+                },
+                sim_seeds: match scan.parse_usize_or("--sim-seeds", 4)? {
+                    0 => return err("--sim-seeds: need at least one simulator seed"),
+                    k => k as u64,
+                },
+                tolerance: match scan.value_of("--tolerance") {
+                    None => 0.10,
+                    Some(raw) => raw
+                        .parse::<f64>()
+                        .ok()
+                        .filter(|t| t.is_finite() && *t > 0.0)
+                        .ok_or_else(|| {
+                            ParseError(format!("--tolerance: '{raw}' is not a positive number"))
+                        })?,
+                },
+                gate: scan.has("--gate"),
+                json: scan.has("--json"),
+                metrics: scan.parse_metrics()?,
+            })
+        }
         "calibrate" => {
             scan.check_flags(&["--pipeline", "--points", "--seeds", "--items"], &[])?;
             Ok(Command::Calibrate {
@@ -1032,6 +1161,39 @@ mod tests {
         }
     }
 
+    /// Table-driven rejection of sloppy `deepchain:` spellings that
+    /// `usize::from_str`'s leniency used to let through (leading `+`)
+    /// or that should get a targeted message (whitespace, sign, hex).
+    #[test]
+    fn rejects_sloppy_deepchain_spellings_with_targeted_errors() {
+        let cases: &[(&str, &str)] = &[
+            ("deepchain:+8", "deepchain stage count"),
+            ("deepchain: 8", "deepchain stage count"),
+            ("deepchain:8 ", "deepchain stage count"),
+            ("deepchain:-8", "deepchain stage count"),
+            ("deepchain:0x8", "deepchain stage count"),
+            ("deepchain:8_0", "deepchain stage count"),
+            ("deepchain:０８", "deepchain stage count"), // full-width digits
+            ("deepchain:1", "deepchain stage count"),
+            ("deepchain:", "deepchain stage count"),
+            ("logalytic", "unknown workload"),
+        ];
+        for &(name, needle) in cases {
+            assert_eq!(parse_deepchain_stages(name), None, "{name}");
+            assert!(!workload_is_known(name), "{name}");
+            // Single argv token (argv() would split on the space).
+            let args: Vec<String> = ["sweep", "--workload", name]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+            let msg = parse(&args).unwrap_err().0;
+            assert!(msg.contains(needle), "{name}: '{msg}'");
+        }
+        // Well-formed spellings still resolve.
+        assert_eq!(parse_deepchain_stages("deepchain:2"), Some(2));
+        assert_eq!(parse_deepchain_stages("deepchain:512"), Some(512));
+    }
+
     #[test]
     fn parses_live_options() {
         // Defaults: everything off.
@@ -1075,9 +1237,22 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
-        // Bad intervals are rejected.
-        assert!(parse(&argv("sweep --pipeline p --live-interval 0")).is_err());
-        assert!(parse(&argv("sweep --pipeline p --live-interval x")).is_err());
+        // Bad intervals are rejected: interval 0 would busy-spin the
+        // progress renderer, so it gets the typed validation error —
+        // also when combined with an explicit --live, and in float
+        // spelling (rejected as a non-integer).
+        for bad in [
+            "sweep --pipeline p --live-interval 0",
+            "sweep --pipeline p --live --live-interval 0",
+            "sweep --pipeline p --live --live-interval 0.0",
+            "sweep --pipeline p --live-interval x",
+        ] {
+            assert!(parse(&argv(bad)).is_err(), "{bad}");
+        }
+        let msg = parse(&argv("sweep --pipeline p --live --live-interval 0"))
+            .unwrap_err()
+            .0;
+        assert!(msg.contains("--live-interval"), "{msg}");
         // Other subcommands do not accept live flags.
         assert!(parse(&argv("simulate --pipeline p --tau0 1 --deadline 1 --live")).is_err());
     }
@@ -1183,6 +1358,83 @@ mod tests {
         ))
         .is_err());
         assert!(parse(&argv("trace --pipeline p --tau0 1 --deadline 1 --alpha -2")).is_err());
+    }
+
+    #[test]
+    fn parses_execute() {
+        // Defaults.
+        match parse(&argv(
+            "execute --workload logalytics --tau0 40 --deadline 4e5",
+        ))
+        .unwrap()
+        {
+            Command::Execute {
+                pipeline,
+                workload,
+                items,
+                seed,
+                duration,
+                strategy,
+                sim_seeds,
+                tolerance,
+                gate,
+                json,
+                metrics,
+                ..
+            } => {
+                assert_eq!(pipeline, None);
+                assert_eq!(workload.as_deref(), Some("logalytics"));
+                assert_eq!(items, 2_000);
+                assert_eq!(seed, 0);
+                assert_eq!(duration, 1.0);
+                assert_eq!(strategy, Strategy::Enforced);
+                assert_eq!(sim_seeds, 4);
+                assert_eq!(tolerance, 0.10);
+                assert!(!gate && !json);
+                assert_eq!(metrics, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Full spelling.
+        match parse(&argv(
+            "execute --pipeline p.json --tau0 20 --deadline 2e5 --b 1,3,9,6 \
+             --items 500 --seed 7 --duration 0.5 --strategy monolithic \
+             --sim-seeds 8 --tolerance 0.2 --gate --json --metrics json",
+        ))
+        .unwrap()
+        {
+            Command::Execute {
+                b,
+                duration,
+                strategy,
+                sim_seeds,
+                tolerance,
+                gate,
+                json,
+                metrics,
+                ..
+            } => {
+                assert_eq!(b, Some(vec![1.0, 3.0, 9.0, 6.0]));
+                assert_eq!(duration, 0.5);
+                assert_eq!(strategy, Strategy::Monolithic);
+                assert_eq!(sim_seeds, 8);
+                assert_eq!(tolerance, 0.2);
+                assert!(gate && json);
+                assert_eq!(metrics, Some(MetricsFormat::Json));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Bad spellings fail loudly.
+        for bad in [
+            "execute --pipeline p --tau0 1 --deadline 1 --duration 0",
+            "execute --pipeline p --tau0 1 --deadline 1 --duration -1",
+            "execute --pipeline p --tau0 1 --deadline 1 --strategy flexible",
+            "execute --pipeline p --tau0 1 --deadline 1 --sim-seeds 0",
+            "execute --pipeline p --tau0 1 --deadline 1 --tolerance nope",
+            "execute --pipeline p --tau0 1 --deadline 1 --live",
+        ] {
+            assert!(parse(&argv(bad)).is_err(), "{bad}");
+        }
     }
 
     #[test]

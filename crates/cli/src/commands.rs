@@ -9,8 +9,9 @@ use rtsdf::core::comparison::{
     sweep_parallel_live, sweep_topology_parallel_live, SweepConfig, SweepOptions, SweepProgress,
 };
 use rtsdf::core::{
-    worker_threads, EnforcedDagProblem, FlexibleSharesProblem, MonolithicDagProblem,
+    worker_threads, AnySchedule, EnforcedDagProblem, FlexibleSharesProblem, MonolithicDagProblem,
 };
+use rtsdf::exec::{sim_vs_real, ExecConfig};
 use rtsdf::model::Topology;
 use rtsdf::prelude::*;
 use rtsdf::sim::calibration::{calibrate_enforced, CalibrationConfig};
@@ -30,6 +31,8 @@ pub enum CommandError {
     Params(String),
     /// Output write failed.
     Io(std::io::Error),
+    /// A `--gate` check failed (conservation or sim-vs-real agreement).
+    Gate(String),
 }
 
 impl fmt::Display for CommandError {
@@ -38,6 +41,7 @@ impl fmt::Display for CommandError {
             CommandError::Pipeline(m) => write!(f, "pipeline: {m}"),
             CommandError::Params(m) => write!(f, "parameters: {m}"),
             CommandError::Io(e) => write!(f, "io: {e}"),
+            CommandError::Gate(m) => write!(f, "gate: {m}"),
         }
     }
 }
@@ -87,13 +91,16 @@ fn load_dataflow(
                     .map_err(|e| CommandError::Pipeline(format!("workload '{name}': {e}")))?;
                 Ok((Dataflow::Dag(topology), name.clone()))
             }
-            other => match other.strip_prefix("deepchain:").map(str::parse::<usize>) {
-                Some(Ok(stages)) if stages >= 2 => {
+            // Strict digits-only suffix parsing shared with the arg
+            // scanner, so `deepchain:+8` / `deepchain: 8` cannot sneak
+            // past via `usize::from_str`'s leniency.
+            other => match crate::args::parse_deepchain_stages(other) {
+                Some(stages) => {
                     let spec = rtsdf::apps::deepchain::deep_chain(stages)
                         .map_err(|e| CommandError::Pipeline(format!("workload '{name}': {e}")))?;
                     Ok((Dataflow::Chain(spec), name.clone()))
                 }
-                _ => Err(CommandError::Pipeline(format!(
+                None => Err(CommandError::Pipeline(format!(
                     "unknown workload '{other}'"
                 ))),
             },
@@ -739,6 +746,171 @@ pub fn execute(cmd: Command, out: &mut dyn Write) -> Result<(), CommandError> {
                     margin(report.unmitigated_margin),
                     margin(report.monolithic_margin),
                 )?;
+            }
+            Ok(())
+        }
+        Command::Execute {
+            pipeline,
+            workload,
+            tau0,
+            deadline,
+            b,
+            items,
+            seed,
+            duration,
+            strategy,
+            sim_seeds,
+            tolerance,
+            gate,
+            json,
+            metrics,
+        } => {
+            let (flow, source) = load_dataflow(&pipeline, &workload)?;
+            let params = params(tau0, deadline)?;
+            let (topology, b) = match flow {
+                Dataflow::Chain(p) => {
+                    let b = backlog(&p, b)?;
+                    (Topology::chain(&p), b)
+                }
+                Dataflow::Dag(t) => {
+                    let b = topology_backlog(&t, b)?;
+                    (t, b)
+                }
+            };
+            // DAG problems delegate to the chain solvers on linear
+            // topologies, so one code path covers both sources.
+            let schedule: AnySchedule = match strategy {
+                Strategy::Monolithic => MonolithicDagProblem::new(&topology, params, 1.0, 1.0)
+                    .solve_fast()
+                    .map_err(|e| CommandError::Params(e.to_string()))?
+                    .into(),
+                _ => EnforcedDagProblem::new(&topology, params, b.clone())
+                    .solve()
+                    .map_err(|e| CommandError::Params(e.to_string()))?
+                    .into(),
+            };
+            let mut config = ExecConfig::new(items, seed, tau0, deadline);
+            config.target_duration_secs = duration;
+            // Simulator seeds disjoint from the real run's seed so the
+            // agreement check is a genuine cross-validation, not a
+            // same-stream replay.
+            let seeds: Vec<u64> = (1..=sim_seeds).collect();
+            let report = sim_vs_real(&topology, &schedule, &config, &seeds, tolerance)
+                .map_err(|e| CommandError::Params(e.to_string()))?;
+            if let Some(format) = metrics {
+                let path = match format {
+                    MetricsFormat::Json => {
+                        let mut config_json = serde_json::json!({
+                            "tau0": tau0,
+                            "deadline": deadline,
+                            "b": b,
+                            "items": items,
+                            "seed": seed,
+                            "duration": duration,
+                            "strategy": report.strategy,
+                            "sim_seeds": sim_seeds,
+                            "tolerance": tolerance,
+                        });
+                        if let serde_json::Value::Object(m) = &mut config_json {
+                            let key = if pipeline.is_some() {
+                                "pipeline"
+                            } else {
+                                "workload"
+                            };
+                            m.insert(key.into(), serde_json::Value::String(source.clone()));
+                        }
+                        RunManifest::new(
+                            "exec",
+                            config_json,
+                            serde_json::to_value(&report).expect("report serializes"),
+                        )
+                        .write()?
+                    }
+                    MetricsFormat::Csv => {
+                        let rows: Vec<Vec<String>> = report
+                            .quantities
+                            .iter()
+                            .map(|q| {
+                                vec![
+                                    q.quantity.clone(),
+                                    format!("{:.6}", q.sim),
+                                    format!("{:.6}", q.real),
+                                    format!("{:.6}", q.error),
+                                    q.within.to_string(),
+                                ]
+                            })
+                            .collect();
+                        bench::manifest::write_metrics_csv(
+                            "exec",
+                            &["quantity", "sim", "real", "error", "within"],
+                            &rows,
+                        )?
+                    }
+                };
+                eprintln!("wrote {}", path.display());
+            }
+            if json {
+                writeln!(
+                    out,
+                    "{}",
+                    serde_json::to_string(&report).expect("report serializes")
+                )?;
+            } else {
+                writeln!(
+                    out,
+                    "executed {} items on '{}' ({} strategy) across {} threads",
+                    items,
+                    source,
+                    report.strategy,
+                    topology.len(),
+                )?;
+                writeln!(
+                    out,
+                    "  real: active fraction {:.4}, miss rate {:.4}, horizon {:.0} cycles",
+                    report.exec.active_fraction,
+                    report.exec.miss_rate(),
+                    report.exec.horizon_cycles,
+                )?;
+                for q in &report.quantities {
+                    writeln!(
+                        out,
+                        "  {:>16}: sim {:.4}  real {:.4}  error {:.2}% {}",
+                        q.quantity,
+                        q.sim,
+                        q.real,
+                        100.0 * q.error,
+                        if q.within { "(ok)" } else { "(DISAGREE)" },
+                    )?;
+                }
+                let q = |o: Option<f64>| o.map_or_else(|| String::from("-"), |v| format!("{v:.0}"));
+                for s in &report.sojourn {
+                    writeln!(
+                        out,
+                        "  sojourn {:>10}: sim p50/p90 {}/{}  real {}/{} cycles",
+                        s.stage,
+                        q(s.sim_p50),
+                        q(s.sim_p90),
+                        q(s.real_p50),
+                        q(s.real_p90),
+                    )?;
+                }
+                writeln!(
+                    out,
+                    "  agreement: {} of {} quantities within {:.0}% ({})",
+                    report.quantities.len() as u64 - report.agreement_failures,
+                    report.quantities.len(),
+                    100.0 * tolerance,
+                    if report.passes() { "PASS" } else { "FAIL" },
+                )?;
+            }
+            if gate && !report.passes() {
+                return Err(CommandError::Gate(format!(
+                    "sim-vs-real agreement failed: {} conservation violation(s), \
+                     {} quantity disagreement(s) at tolerance {:.0}%",
+                    report.conservation_violations,
+                    report.agreement_failures,
+                    100.0 * tolerance,
+                )));
             }
             Ok(())
         }

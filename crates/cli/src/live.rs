@@ -38,6 +38,12 @@ impl LiveSession {
         registry: Arc<Registry>,
         render: impl Fn(&MetricsSnapshot, Duration) -> String + Send + 'static,
     ) -> Result<LiveSession, String> {
+        // The arg scanner already rejects `--live-interval 0`, but
+        // `LiveOpts` is constructible in code too; a zero interval
+        // would turn the painter loop into a busy spin on stderr.
+        if opts.live && opts.interval_ms == 0 {
+            return Err("--live-interval: must be at least 1 ms".to_string());
+        }
         let server = match &opts.metrics_listen {
             Some(addr) => {
                 let server = MetricsServer::start(addr.as_str(), Arc::clone(&registry))
@@ -216,6 +222,21 @@ mod tests {
         let session = LiveSession::start(&opts, registry, render_sweep).unwrap();
         std::thread::sleep(Duration::from_millis(20));
         session.finish();
+    }
+
+    /// A zero interval (reachable via a hand-built `LiveOpts`) must be
+    /// refused before the painter thread spawns — it would busy-spin.
+    #[test]
+    fn session_rejects_zero_interval() {
+        let opts = LiveOpts {
+            live: true,
+            interval_ms: 0,
+            metrics_listen: None,
+        };
+        let err = LiveSession::start(&opts, registry_with(0, 0.0), render_sweep)
+            .err()
+            .expect("zero interval must fail");
+        assert!(err.contains("--live-interval"), "{err}");
     }
 
     #[test]

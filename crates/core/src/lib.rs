@@ -52,6 +52,6 @@ pub use feasibility::{check_enforced_feasibility, minimal_periods, FeasibilityEr
 pub use flexible::{FlexibleSchedule, FlexibleSharesProblem};
 pub use monolithic::{MonolithicProblem, MonolithicSchedule};
 pub use policy::{escalate_schedule, needs_escalation};
-pub use schedule::ScheduleError;
+pub use schedule::{AnySchedule, ScheduleError};
 pub use telemetry::SolveTelemetry;
 pub use threads::worker_threads;

@@ -1,7 +1,61 @@
-//! Shared error type for schedule construction.
+//! Shared error type for schedule construction, and the strategy-tagged
+//! schedule handoff execution backends consume.
 
+use crate::enforced::WaitSchedule;
 use crate::feasibility::FeasibilityError;
+use crate::monolithic::MonolithicSchedule;
 use std::fmt;
+
+/// A solved schedule of either strategy, as handed to an execution
+/// backend (simulator or real executor). Both backends accept both
+/// strategies, so the handoff carries the strategy tag with the payload
+/// instead of forcing every backend API to split into per-strategy
+/// entry points.
+#[derive(Debug, Clone)]
+pub enum AnySchedule {
+    /// Enforced waits: per-node firing periods `x_i = t_i + w_i`.
+    Enforced(WaitSchedule),
+    /// Monolithic batching: whole-stream blocks of `M` items.
+    Monolithic(MonolithicSchedule),
+}
+
+impl AnySchedule {
+    /// Stable strategy name for reports and manifests.
+    pub fn strategy(&self) -> &'static str {
+        match self {
+            AnySchedule::Enforced(_) => "enforced",
+            AnySchedule::Monolithic(_) => "monolithic",
+        }
+    }
+
+    /// The optimizer's predicted active fraction.
+    pub fn predicted_active_fraction(&self) -> f64 {
+        match self {
+            AnySchedule::Enforced(s) => s.active_fraction,
+            AnySchedule::Monolithic(s) => s.active_fraction,
+        }
+    }
+
+    /// The optimizer's worst-case response bound (cycles).
+    pub fn latency_bound(&self) -> f64 {
+        match self {
+            AnySchedule::Enforced(s) => s.latency_bound,
+            AnySchedule::Monolithic(s) => s.latency_bound,
+        }
+    }
+}
+
+impl From<WaitSchedule> for AnySchedule {
+    fn from(s: WaitSchedule) -> Self {
+        AnySchedule::Enforced(s)
+    }
+}
+
+impl From<MonolithicSchedule> for AnySchedule {
+    fn from(s: MonolithicSchedule) -> Self {
+        AnySchedule::Monolithic(s)
+    }
+}
 
 /// Why a strategy failed to produce a schedule.
 #[derive(Debug, Clone, PartialEq)]

@@ -1,0 +1,119 @@
+//! Backend-agnostic execution interfaces.
+//!
+//! The repo has (at least) two ways of *running* a pipeline: the
+//! discrete-event simulator in `pipeline-sim` and the threaded real
+//! executor in `rtsdf-exec`. Both consume the same [`Topology`] and the
+//! same solved schedule, and both ultimately answer the same questions —
+//! how many items arrived/completed/missed, what fraction of the device
+//! was active. This module pins that shared contract so cross-backend
+//! comparisons (`sim_vs_real`) operate on one vocabulary instead of
+//! pattern-matching every backend's report type.
+
+use crate::topology::Topology;
+use serde::{Deserialize, Serialize};
+
+/// The backend-independent outcome of one pipeline run: the counters
+/// and ratios every execution backend must be able to report,
+/// reduced from its own richer metrics type.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecOutcome {
+    /// Stream inputs that entered the run.
+    pub items_arrived: u64,
+    /// Stream inputs fully resolved (every derived output exited).
+    pub items_completed: u64,
+    /// Stream inputs unresolved at the end of the run.
+    pub items_dropped: u64,
+    /// Completed items whose end-to-end latency exceeded the deadline,
+    /// plus dropped items (a drop is counted as a miss).
+    pub deadline_misses: u64,
+    /// Measured active fraction (Σ busy time / (N × horizon)).
+    pub active_fraction: f64,
+    /// Mean end-to-end latency of completed items, in cycles.
+    pub mean_latency: f64,
+    /// Logical span of the run, in cycles.
+    pub horizon_cycles: f64,
+}
+
+impl ExecOutcome {
+    /// Deadline misses over arrived items (0 for an empty run).
+    pub fn miss_rate(&self) -> f64 {
+        if self.items_arrived == 0 {
+            0.0
+        } else {
+            self.deadline_misses as f64 / self.items_arrived as f64
+        }
+    }
+
+    /// Item conservation: every arrived item is either completed or
+    /// dropped, never both, never lost.
+    pub fn conservation_holds(&self) -> bool {
+        self.items_completed + self.items_dropped == self.items_arrived
+    }
+}
+
+/// Reduction from a backend's own report type to the shared outcome.
+pub trait IntoOutcome {
+    /// Fold this report into the backend-independent counters.
+    fn outcome(&self) -> ExecOutcome;
+}
+
+/// A pipeline execution backend.
+///
+/// `Schedule` is backend-specific on purpose: the simulator and the
+/// threaded executor both take the solver's schedules, but a future
+/// backend (e.g. a device runtime) may take a lowered form. `Report`
+/// keeps each backend's full-fidelity metrics; [`IntoOutcome`] is the
+/// common denominator comparisons run on.
+pub trait PipelineExecutor {
+    /// The schedule type this backend consumes.
+    type Schedule;
+    /// The backend's full metrics type.
+    type Report: IntoOutcome;
+    /// The backend's failure type.
+    type Error: std::error::Error;
+
+    /// Short stable name for manifests and reports (`"des"`, `"threads"`).
+    fn name(&self) -> &'static str;
+
+    /// Run the stream described by the backend's own configuration
+    /// through `topology` under `schedule`.
+    fn run(
+        &self,
+        topology: &Topology,
+        schedule: &Self::Schedule,
+    ) -> Result<Self::Report, Self::Error>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_rates_and_conservation() {
+        let o = ExecOutcome {
+            items_arrived: 100,
+            items_completed: 98,
+            items_dropped: 2,
+            deadline_misses: 5,
+            active_fraction: 0.25,
+            mean_latency: 1e4,
+            horizon_cycles: 1e6,
+        };
+        assert!((o.miss_rate() - 0.05).abs() < 1e-12);
+        assert!(o.conservation_holds());
+        let leaky = ExecOutcome {
+            items_completed: 97,
+            ..o.clone()
+        };
+        assert!(!leaky.conservation_holds());
+        let empty = ExecOutcome {
+            items_arrived: 0,
+            items_completed: 0,
+            items_dropped: 0,
+            deadline_misses: 0,
+            ..o
+        };
+        assert_eq!(empty.miss_rate(), 0.0);
+        assert!(empty.conservation_holds());
+    }
+}

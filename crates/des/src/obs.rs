@@ -172,8 +172,9 @@ impl Dist {
             .filter(|r| !r.borrow().is_empty())
             .map(|r| {
                 if !self.raw_sorted.get() {
-                    r.borrow_mut()
-                        .sort_by(|a, b| a.partial_cmp(b).expect("samples are not NaN"));
+                    // `total_cmp` so a stray NaN sample sorts to the end
+                    // instead of aborting the whole report.
+                    r.borrow_mut().sort_by(f64::total_cmp);
                     self.raw_sorted.set(true);
                 }
                 r.borrow()
@@ -462,6 +463,22 @@ mod tests {
         assert_eq!(s.p90, Some(90.0));
         assert_eq!(s.p99, Some(99.0));
         assert_eq!(s.p999, Some(100.0));
+    }
+
+    /// Regression: a single NaN sample used to abort `summary()` via the
+    /// `partial_cmp(..).expect(..)` sort. NaN now sorts to the end under
+    /// the total order and the finite quantiles stay answerable.
+    #[test]
+    fn nan_samples_do_not_abort_summary() {
+        let mut d = Dist::new(0.0, 10.0, 4);
+        d.push(1.0);
+        d.push(f64::NAN);
+        d.push_batch(&[3.0, 2.0]);
+        let s = d.summary();
+        assert_eq!(s.count, 4);
+        // Nearest-rank(0.5, 4) = 2nd of [1, 2, 3, NaN].
+        assert_eq!(s.p50, Some(2.0));
+        assert!(s.p999.is_some_and(f64::is_nan), "NaN sorts last");
     }
 
     #[test]

@@ -1,0 +1,249 @@
+//! Bounded MPSC channels between stage threads.
+//!
+//! `std::sync::mpsc` channels are unbounded (or rendezvous), and the
+//! workspace vendors no external channel crate, so the stage links are
+//! a small `Mutex<VecDeque>` + two `Condvar`s. Capacity is the finite
+//! backlog bound: a sender whose destination queue is full *blocks* —
+//! that is the real back-pressure the simulator's unbounded queues only
+//! measure after the fact.
+//!
+//! Shutdown is by sender-count: every stage thread drops its `Sender`
+//! clones when it exits, and a receiver that sees zero senders and an
+//! empty queue knows its upstream cone has fully drained. Because the
+//! topology is acyclic, this close cascade always terminates: a node
+//! never exits before all of its producers have.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// One in-flight work item: the ancestral stream input it descends
+/// from, and when it entered the destination queue (nanoseconds from
+/// run start, for sojourn measurement).
+#[derive(Debug, Clone, Copy)]
+pub struct Item {
+    /// Index of the ancestral stream input.
+    pub origin: u64,
+    /// Enqueue timestamp, ns from run start.
+    pub enqueued_ns: u64,
+}
+
+struct State {
+    queue: VecDeque<Item>,
+    senders: usize,
+    max_depth: usize,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+/// Sending half; clone one per in-edge. Dropping the last clone closes
+/// the channel.
+pub struct Sender(Arc<Inner>);
+
+/// Receiving half (exactly one per node).
+pub struct Receiver(Arc<Inner>);
+
+/// What a non-blocking drain observed.
+#[derive(Debug, Clone, Copy)]
+pub struct Drain {
+    /// Queue depth at the instant of the drain, before removal.
+    pub depth_before: usize,
+    /// Items actually taken.
+    pub taken: usize,
+    /// All senders have been dropped (no more items will ever arrive
+    /// once the queue is empty).
+    pub disconnected: bool,
+}
+
+/// A bounded channel of `capacity` items.
+pub fn bounded(capacity: usize) -> (Sender, Receiver) {
+    let inner = Arc::new(Inner {
+        state: Mutex::new(State {
+            queue: VecDeque::with_capacity(capacity.min(1024)),
+            senders: 1,
+            max_depth: 0,
+        }),
+        not_full: Condvar::new(),
+        not_empty: Condvar::new(),
+        capacity: capacity.max(1),
+    });
+    (Sender(Arc::clone(&inner)), Receiver(inner))
+}
+
+impl Clone for Sender {
+    fn clone(&self) -> Self {
+        self.0.state.lock().expect("channel poisoned").senders += 1;
+        Sender(Arc::clone(&self.0))
+    }
+}
+
+impl Drop for Sender {
+    fn drop(&mut self) {
+        let mut st = self.0.state.lock().expect("channel poisoned");
+        st.senders -= 1;
+        if st.senders == 0 {
+            drop(st);
+            // Wake a receiver blocked in `recv_block` so it observes
+            // the disconnect.
+            self.0.not_empty.notify_all();
+        }
+    }
+}
+
+impl Sender {
+    /// Deliver one item, blocking while the queue is at capacity (the
+    /// finite-`b_i` back-pressure). Returns the nanoseconds spent
+    /// blocked (0 on the uncontended path).
+    pub fn send(&self, item: Item) -> u64 {
+        let mut st = self.0.state.lock().expect("channel poisoned");
+        let mut blocked_ns = 0u64;
+        while st.queue.len() >= self.0.capacity {
+            let t0 = std::time::Instant::now();
+            st = self.0.not_full.wait(st).expect("channel poisoned");
+            blocked_ns += t0.elapsed().as_nanos() as u64;
+        }
+        st.queue.push_back(item);
+        let depth = st.queue.len();
+        st.max_depth = st.max_depth.max(depth);
+        drop(st);
+        self.0.not_empty.notify_one();
+        blocked_ns
+    }
+}
+
+impl Receiver {
+    /// Take up to `max` items without blocking.
+    pub fn drain_up_to(&self, max: usize, buf: &mut Vec<Item>) -> Drain {
+        let mut st = self.0.state.lock().expect("channel poisoned");
+        let depth_before = st.queue.len();
+        let taken = depth_before.min(max);
+        buf.extend(st.queue.drain(..taken));
+        let disconnected = st.senders == 0;
+        drop(st);
+        if taken > 0 {
+            self.0.not_full.notify_all();
+        }
+        Drain {
+            depth_before,
+            taken,
+            disconnected,
+        }
+    }
+
+    /// Block until `want` items are available (or the channel is closed
+    /// and drained), then take up to `want`. Used by the monolithic
+    /// block worker to accumulate whole blocks; the final partial block
+    /// is whatever remains at close.
+    pub fn recv_block(&self, want: usize, buf: &mut Vec<Item>) -> Drain {
+        // Never wait for more than the channel can hold: senders block
+        // at capacity, so a larger `want` could never be satisfied.
+        let want = want.min(self.0.capacity);
+        let mut st = self.0.state.lock().expect("channel poisoned");
+        while st.queue.len() < want && st.senders > 0 {
+            st = self.0.not_empty.wait(st).expect("channel poisoned");
+        }
+        let depth_before = st.queue.len();
+        let taken = depth_before.min(want);
+        buf.extend(st.queue.drain(..taken));
+        let disconnected = st.senders == 0;
+        drop(st);
+        if taken > 0 {
+            self.0.not_full.notify_all();
+        }
+        Drain {
+            depth_before,
+            taken,
+            disconnected,
+        }
+    }
+
+    /// High-water mark of the queue depth over the channel's lifetime.
+    pub fn max_depth(&self) -> usize {
+        self.0.state.lock().expect("channel poisoned").max_depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn item(origin: u64) -> Item {
+        Item {
+            origin,
+            enqueued_ns: 0,
+        }
+    }
+
+    #[test]
+    fn fifo_and_depth_tracking() {
+        let (tx, rx) = bounded(8);
+        for i in 0..5 {
+            tx.send(item(i));
+        }
+        let mut buf = Vec::new();
+        let d = rx.drain_up_to(3, &mut buf);
+        assert_eq!(d.depth_before, 5);
+        assert_eq!(d.taken, 3);
+        assert!(!d.disconnected);
+        assert_eq!(
+            buf.iter().map(|x| x.origin).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert_eq!(rx.max_depth(), 5);
+    }
+
+    #[test]
+    fn send_blocks_at_capacity_until_drained() {
+        let (tx, rx) = bounded(2);
+        tx.send(item(0));
+        tx.send(item(1));
+        let t = std::thread::spawn(move || {
+            let blocked = tx.send(item(2));
+            (tx, blocked)
+        });
+        // Give the sender time to block, then free a slot.
+        std::thread::sleep(Duration::from_millis(20));
+        let mut buf = Vec::new();
+        rx.drain_up_to(1, &mut buf);
+        let (_tx, blocked) = t.join().unwrap();
+        assert!(blocked > 0, "sender must have waited for capacity");
+        let d = rx.drain_up_to(8, &mut buf);
+        assert_eq!(d.depth_before, 2);
+    }
+
+    #[test]
+    fn disconnect_is_observable_after_drain() {
+        let (tx, rx) = bounded(4);
+        let tx2 = tx.clone();
+        tx.send(item(0));
+        drop(tx);
+        let mut buf = Vec::new();
+        assert!(!rx.drain_up_to(8, &mut buf).disconnected, "tx2 still live");
+        drop(tx2);
+        let d = rx.drain_up_to(8, &mut buf);
+        assert!(d.disconnected);
+        assert_eq!(d.taken, 0);
+    }
+
+    #[test]
+    fn recv_block_returns_partial_on_close() {
+        let (tx, rx) = bounded(8);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            tx.send(item(0));
+            tx.send(item(1));
+            drop(tx);
+        });
+        let mut buf = Vec::new();
+        // Wants 4, gets the 2 that ever arrive.
+        let d = rx.recv_block(4, &mut buf);
+        t.join().unwrap();
+        assert!(d.disconnected);
+        assert_eq!(buf.len(), 2);
+    }
+}

@@ -1,0 +1,139 @@
+//! Monotonic-clock timers: parked enforced waits, spinning service
+//! burns, and the calibration that sizes both.
+//!
+//! Two different kinds of time pass in a stage thread:
+//!
+//! * **Enforced waits** (the schedule's `w_i`) are *idle* time. They
+//!   park the thread with `thread::sleep` so the CPU is free for other
+//!   stages' service burns — essential on machines with fewer cores
+//!   than stages, which is exactly the paper's shared-device model.
+//!   Sleep wakes late by the OS timer granularity; the measured
+//!   overshoot is recorded by [`calibrate`] and reported, and the
+//!   firing loop's catch-up rule absorbs it.
+//! * **Service burns** emulate the stage's compute: a spin until a
+//!   wall-clock deadline. Burning to a *deadline* rather than for an
+//!   iteration count makes the emulation self-calibrating — preemption
+//!   stretches neither the burn (the deadline is absolute) nor the
+//!   schedule behind it.
+
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Measured properties of this machine's clocks, serialized into run
+/// manifests so a reported run carries its own timing context.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimerCalibration {
+    /// Mean cost of one `Instant::now()` call, nanoseconds.
+    pub now_overhead_ns: f64,
+    /// Worst observed overshoot of a 1 ms `thread::sleep`, nanoseconds
+    /// (OS timer granularity + scheduler latency).
+    pub sleep_overshoot_ns: u64,
+    /// Mean overshoot of the same sleeps, nanoseconds.
+    pub sleep_overshoot_mean_ns: u64,
+}
+
+impl TimerCalibration {
+    /// A nominal calibration for tests that must not spend wall time.
+    pub fn nominal() -> Self {
+        TimerCalibration {
+            now_overhead_ns: 30.0,
+            sleep_overshoot_ns: 200_000,
+            sleep_overshoot_mean_ns: 60_000,
+        }
+    }
+}
+
+/// Measure clock overhead and sleep granularity. Costs ~15 ms of wall
+/// time; run once per executor invocation.
+pub fn calibrate() -> TimerCalibration {
+    // Instant::now overhead over a tight loop.
+    const NOW_CALLS: u32 = 4096;
+    let t0 = Instant::now();
+    for _ in 0..NOW_CALLS {
+        std::hint::black_box(Instant::now());
+    }
+    let now_overhead_ns = t0.elapsed().as_nanos() as f64 / f64::from(NOW_CALLS);
+
+    // Overshoot of short sleeps.
+    const SLEEPS: u32 = 10;
+    let nominal = Duration::from_millis(1);
+    let mut worst = 0u64;
+    let mut sum = 0u64;
+    for _ in 0..SLEEPS {
+        let t0 = Instant::now();
+        std::thread::sleep(nominal);
+        let over = t0.elapsed().saturating_sub(nominal).as_nanos() as u64;
+        worst = worst.max(over);
+        sum += over;
+    }
+    TimerCalibration {
+        now_overhead_ns,
+        sleep_overshoot_ns: worst,
+        sleep_overshoot_mean_ns: sum / u64::from(SLEEPS),
+    }
+}
+
+/// The two timer primitives, parameterized by calibration.
+#[derive(Debug, Clone, Copy)]
+pub struct Timers {
+    _calibration: TimerCalibration,
+}
+
+impl Timers {
+    /// Build from a calibration.
+    pub fn new(calibration: TimerCalibration) -> Self {
+        Timers {
+            _calibration: calibration,
+        }
+    }
+
+    /// Park until `deadline` (enforced wait). Pure sleep — the thread
+    /// yields its core; wake-up is late by up to the OS granularity,
+    /// which the caller's catch-up rule absorbs.
+    pub fn wait_until(&self, deadline: Instant) {
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return;
+            }
+            std::thread::sleep(deadline - now);
+        }
+    }
+
+    /// Spin until `deadline` (service burn). Consumes the CPU — this
+    /// *is* the emulated work — and exits as soon as the wall clock
+    /// passes the deadline, so preemption cannot stretch the schedule.
+    pub fn burn_until(&self, deadline: Instant) {
+        while Instant::now() < deadline {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_is_sane() {
+        let c = calibrate();
+        assert!(c.now_overhead_ns > 0.0 && c.now_overhead_ns < 100_000.0);
+        // A 1 ms sleep should not overshoot by a second.
+        assert!(c.sleep_overshoot_ns < 1_000_000_000);
+        assert!(c.sleep_overshoot_mean_ns <= c.sleep_overshoot_ns);
+    }
+
+    #[test]
+    fn wait_and_burn_reach_their_deadlines() {
+        let t = Timers::new(TimerCalibration::nominal());
+        let d1 = Instant::now() + Duration::from_millis(5);
+        t.wait_until(d1);
+        assert!(Instant::now() >= d1);
+        let d2 = Instant::now() + Duration::from_micros(300);
+        t.burn_until(d2);
+        assert!(Instant::now() >= d2);
+        // Deadlines in the past return immediately.
+        t.wait_until(Instant::now());
+        t.burn_until(Instant::now());
+    }
+}

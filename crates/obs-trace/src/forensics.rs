@@ -205,7 +205,9 @@ pub fn analyze(log: &TraceLog, deadline: f64, config: &ForensicsConfig) -> Blame
         });
     }
 
-    exemplars.sort_by(|a, b| b.latency.partial_cmp(&a.latency).unwrap());
+    // NaN latencies (corrupt trace input) are surfaced at the head of
+    // the descending total order rather than panicking mid-forensics.
+    exemplars.sort_by(|a, b| b.latency.total_cmp(&a.latency));
     exemplars.truncate(config.max_exemplars);
 
     let stages: Vec<StageBlame> = if total_weight > 0.0 {
@@ -375,6 +377,33 @@ mod tests {
         assert!((near.accounted_fraction() - 1.0).abs() < 1e-12);
         // Exemplars sorted worst-first.
         assert_eq!(near.exemplars[0].origin, 2);
+    }
+
+    /// Regression: one NaN completion time in the trace used to abort
+    /// the entire forensics run at the exemplar sort. The NaN item is
+    /// now carried through (latency preserved as NaN, surfaced first in
+    /// the descending order) and the finite items still get analyzed.
+    #[test]
+    fn nan_latency_is_reported_not_fatal() {
+        let mut s = SpanSink::with_defaults();
+        s.visit(visit(0, 0, 0.0, 0.0, 0.0, 100.0));
+        s.fate(ItemFate {
+            origin: 0,
+            arrival: 0.0,
+            completion: Some(100.0),
+        });
+        s.visit(visit(1, 0, 0.0, 0.0, 0.0, f64::NAN));
+        s.fate(ItemFate {
+            origin: 1,
+            arrival: 0.0,
+            completion: Some(f64::NAN),
+        });
+        let log = s.finish();
+        let report = analyze(&log, 50.0, &ForensicsConfig::default());
+        assert_eq!(report.completed_items, 2);
+        assert!(report.exemplars.iter().any(|e| e.origin == 0));
+        let corrupt = report.exemplars.iter().find(|e| e.origin == 1).unwrap();
+        assert!(corrupt.latency.is_nan());
     }
 
     #[test]

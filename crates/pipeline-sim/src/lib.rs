@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod calibration;
 pub mod config;
 pub mod enforced;
@@ -49,6 +50,7 @@ pub mod soa;
 pub mod timeline;
 pub mod validate;
 
+pub use backend::DesBackend;
 pub use config::SimConfig;
 pub use enforced::{
     simulate_enforced, simulate_enforced_observed, simulate_enforced_perturbed,

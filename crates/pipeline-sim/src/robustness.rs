@@ -193,8 +193,14 @@ pub fn robustness_report_topology_live(
     target: f64,
     live: Option<&SimLiveMetrics>,
 ) -> RobustnessReport {
-    let mut levels: Vec<f64> = intensities.to_vec();
-    levels.sort_by(|a, b| a.partial_cmp(b).expect("finite intensities"));
+    // Non-finite intensities cannot parameterize a perturbation; drop
+    // them instead of panicking, and sort NaN-safely via `total_cmp`.
+    let mut levels: Vec<f64> = intensities
+        .iter()
+        .copied()
+        .filter(|x| x.is_finite())
+        .collect();
+    levels.sort_by(f64::total_cmp);
     levels.dedup();
     if let Some(m) = live {
         m.set_runs_total(levels.len() as u64 * 3 * num_seeds);
@@ -310,6 +316,35 @@ mod tests {
             sustained_margin([(0.0, &cell(0.95))].iter().copied(), 0.95),
             Some(0.0)
         );
+    }
+
+    /// Regression: a NaN intensity used to abort the whole sweep at the
+    /// level sort (`expect("finite intensities")`). Non-finite levels
+    /// are now dropped up front and the finite ones still run.
+    #[test]
+    fn non_finite_intensities_are_dropped_not_fatal() {
+        let p = blast();
+        let params = RtParams::new(10.0, 1e5).unwrap();
+        let enforced = EnforcedWaitsProblem::new(&p, params, vec![1.0, 3.0, 9.0, 6.0])
+            .solve(SolveMethod::WaterFilling)
+            .unwrap();
+        let mono = MonolithicProblem::new(&p, params, 1.0, 1.0)
+            .solve()
+            .unwrap();
+        let cfg = SimConfig::quick(10.0, 0, 200);
+        let report = robustness_report(
+            &p,
+            &enforced,
+            &mono,
+            1e5,
+            &cfg,
+            1,
+            &Perturbation::standard(1.0),
+            &[f64::NAN, 0.0, f64::INFINITY],
+            0.95,
+        );
+        assert_eq!(report.points.len(), 1);
+        assert_eq!(report.points[0].intensity, 0.0);
     }
 
     #[test]

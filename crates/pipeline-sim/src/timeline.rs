@@ -92,7 +92,7 @@ pub fn record_timeline(
             t += period;
         }
     }
-    firings.sort_by(|a, b| a.start.partial_cmp(&b.start).expect("finite times"));
+    firings.sort_by(|a, b| a.start.total_cmp(&b.start));
     Timeline {
         nodes: pipeline.len(),
         vector_width: pipeline.vector_width(),

@@ -9,6 +9,7 @@
 //! | [`model`] | `dataflow-model` | pipelines, gains, arrivals, active-fraction algebra |
 //! | [`core`] | `rtsdf-core` | enforced-waits & monolithic optimizers, KKT certification, Fig. 3/4 sweeps |
 //! | [`sim`] | `pipeline-sim` | discrete-event simulator, multi-seed runner, §6.2 calibration |
+//! | [`exec`] | `rtsdf-exec` | threaded execution backend, sim-vs-real cross-validation |
 //! | [`device`] | `simd-device` | SIMT machine, occupancy & share accounting |
 //! | [`queueing`] | `queueing` | bulk-service queues, a-priori backlog estimation |
 //! | [`blast`] | `blast` | the paper's BLAST test application |
@@ -58,6 +59,7 @@ pub use obs_trace as trace;
 pub use pipeline_sim as sim;
 pub use queueing;
 pub use rtsdf_core as core;
+pub use rtsdf_exec as exec;
 pub use simd_device as device;
 
 /// The most commonly used types, one `use` away.
@@ -93,6 +95,7 @@ mod tests {
         let _ = crate::apps::gamma::GammaConfig::default();
         let _ = crate::core::comparison::SweepConfig::paper_blast();
         let _ = crate::sim::SimConfig::quick(1.0, 0, 1);
+        let _ = crate::exec::ExecConfig::new(1, 0, 1.0, 1.0);
         let _ = crate::trace::TraceConfig::default();
         let _ = crate::metrics::Registry::new(1);
     }
